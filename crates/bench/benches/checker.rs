@@ -1,0 +1,28 @@
+//! E3 bench: STLlint analysis throughput (statements/second) over random
+//! programs and the corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gp_checker::analyze::analyze;
+use gp_checker::corpus::{corpus, random_program, statement_count};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checker");
+    for &size in &[50usize, 200, 1000] {
+        let programs: Vec<_> = (0..8).map(|s| random_program(s, size)).collect();
+        let stmts: usize = programs.iter().map(statement_count).sum();
+        g.throughput(Throughput::Elements(stmts as u64));
+        g.bench_with_input(BenchmarkId::new("random_programs", size), &size, |b, _| {
+            b.iter(|| {
+                programs.iter().map(|p| analyze(p).len()).sum::<usize>()
+            })
+        });
+    }
+    let cases = corpus();
+    g.bench_function("full_corpus", |b| {
+        b.iter(|| cases.iter().map(|c| analyze(&c.program).len()).sum::<usize>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

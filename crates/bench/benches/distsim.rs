@@ -1,0 +1,55 @@
+//! E10 bench: simulator throughput — leader elections and broadcasts per
+//! second at fixed sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_distsim::algorithms::{adversarial_ring_uids, echo_nodes, hs_nodes, lcr_nodes};
+use gp_distsim::engine::{AsyncRunner, SyncRunner};
+use gp_distsim::topology::Topology;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("election");
+    g.sample_size(10);
+    for &n in &[64usize, 256] {
+        let uids = adversarial_ring_uids(n);
+        g.bench_with_input(BenchmarkId::new("lcr_sync", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r =
+                    SyncRunner::new(Topology::ring_unidirectional(n), lcr_nodes(&uids));
+                r.run(20 * n as u64 + 100)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hs_sync", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = SyncRunner::new(Topology::ring_bidirectional(n), hs_nodes(&uids));
+                r.run(60 * n as u64 + 200)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lcr_async", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = AsyncRunner::new(
+                    Topology::ring_unidirectional(n),
+                    lcr_nodes(&uids),
+                    5,
+                    9,
+                );
+                r.run(10_000_000)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("broadcast");
+    g.sample_size(10);
+    let topo = Topology::random_connected(200, 200, 1);
+    let n = topo.len();
+    g.bench_function("echo_sync_200", |b| {
+        b.iter(|| {
+            let mut r = SyncRunner::new(topo.clone(), echo_nodes(n, 0));
+            r.run(10_000)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

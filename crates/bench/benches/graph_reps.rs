@@ -1,0 +1,49 @@
+//! Substrate bench: one generic BFS/Dijkstra source over two graph
+//! representations (adjacency list vs CSR) — the paper's
+//! generality-without-performance-loss claim on the graph library.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_graphs::algo::{bfs_distances, dijkstra};
+use gp_graphs::{AdjacencyList, CsrGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_edges(n: u32, m: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    for _ in 0..m {
+        edges.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+    }
+    edges
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bfs");
+    g.sample_size(20);
+    for &n in &[1_000u32, 10_000] {
+        let edges = random_edges(n, n as usize * 4, 2);
+        let adj = AdjacencyList::from_edges(n as usize, &edges);
+        let csr = CsrGraph::from_edges(n as usize, &edges);
+        g.bench_with_input(BenchmarkId::new("adjacency_list", n), &n, |b, _| {
+            b.iter(|| bfs_distances(&adj, 0))
+        });
+        g.bench_with_input(BenchmarkId::new("csr", n), &n, |b, _| {
+            b.iter(|| bfs_distances(&csr, 0))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("dijkstra");
+    g.sample_size(15);
+    let n = 10_000u32;
+    let edges = random_edges(n, n as usize * 4, 3);
+    let adj = AdjacencyList::from_edges(n as usize, &edges);
+    let csr = CsrGraph::from_edges(n as usize, &edges);
+    let w = |e: gp_graphs::Edge| ((e.source as u64 * 7 + e.target as u64 * 13) % 100) as f64 + 1.0;
+    g.bench_function("adjacency_list_10k", |b| b.iter(|| dijkstra(&adj, 0, w)));
+    g.bench_function("csr_10k", |b| b.iter(|| dijkstra(&csr, 0, w)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E2 bench: CLACRM mixed vs promoted complex-by-real matrix multiply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_core::numeric::{clacrm_mixed, clacrm_promoted, Complex, Matrix};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clacrm");
+    g.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let a = Matrix::from_fn(n, n, |i, j| {
+            Complex::new((i as f32 * 0.37).sin(), (j as f32 * 0.11).cos())
+        });
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 17) as f32 * 0.25 - 2.0);
+        g.bench_with_input(BenchmarkId::new("mixed", n), &n, |bch, _| {
+            bch.iter(|| clacrm_mixed(&a, &b))
+        });
+        g.bench_with_input(BenchmarkId::new("promoted", n), &n, |bch, _| {
+            bch.iter(|| clacrm_promoted(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E11 bench: data-parallel reduce/scan/sort vs sequential, by thread
+//! count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gp_core::algebra::{monoid_fold, AddOp};
+use gp_core::order::NaturalLess;
+use gp_parallel::par::{par_reduce, par_scan, par_sort};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random(n: usize) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n).map(|_| rng.gen_range(-1000..1000)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 4_000_000usize;
+    let data = random(n);
+
+    let mut g = c.benchmark_group("reduce");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("sequential", |b| b.iter(|| monoid_fold(&AddOp, &data)));
+    for &th in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("par", th), &th, |b, &th| {
+            b.iter(|| par_reduce(&data, th, &AddOp))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            data.iter()
+                .map(|x| {
+                    acc += x;
+                    acc
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    for &th in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("par", th), &th, |b, &th| {
+            b.iter(|| par_scan(&data, th, &AddOp))
+        });
+    }
+    g.finish();
+
+    let sort_data = random(1_000_000);
+    let mut g = c.benchmark_group("sort");
+    g.sample_size(10);
+    g.bench_function("sequential_introsort", |b| {
+        b.iter(|| {
+            let mut v = sort_data.clone();
+            gp_sequences::sort::introsort(&mut v, &NaturalLess);
+            v
+        })
+    });
+    for &th in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("par", th), &th, |b, &th| {
+            b.iter(|| {
+                let mut v = sort_data.clone();
+                par_sort(&mut v, th, &NaturalLess);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

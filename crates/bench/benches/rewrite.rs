@@ -1,0 +1,42 @@
+//! E5 bench: simplification cost and the payoff of evaluating simplified
+//! expressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gp_rewrite::{BinOp, Expr, Simplifier, Type, UnOp};
+use std::collections::BTreeMap;
+
+fn nested_expr(depth: usize) -> Expr {
+    let mut e = Expr::var("x", Type::Int);
+    for _ in 0..depth {
+        e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, e, Expr::int(1)),
+            Expr::bin(
+                BinOp::Add,
+                Expr::var("y", Type::Int),
+                Expr::un(UnOp::Neg, Expr::var("y", Type::Int)),
+            ),
+        );
+    }
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let s = Simplifier::standard();
+    let e = nested_expr(40);
+    c.bench_function("simplify/depth40", |b| b.iter(|| s.simplify(&e)));
+
+    let env: BTreeMap<String, gp_rewrite::Value> = [
+        ("x".to_string(), gp_rewrite::Value::Int(7)),
+        ("y".to_string(), gp_rewrite::Value::Int(-3)),
+    ]
+    .into();
+    let (simplified, _) = s.simplify(&e);
+    c.bench_function("eval/original_depth40", |b| b.iter(|| e.eval(&env)));
+    c.bench_function("eval/simplified_depth40", |b| {
+        b.iter(|| simplified.eval(&env))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

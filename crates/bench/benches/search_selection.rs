@@ -1,0 +1,31 @@
+//! E6 bench: the asymptotic payoff of the checker's suggestion — linear
+//! `find` vs `lower_bound` on sorted data, across sizes (the crossover the
+//! paper's "potential optimization" message is about).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_core::cursor::SliceCursor;
+use gp_core::order::NaturalLess;
+use gp_sequences::binary::lower_bound;
+use gp_sequences::find::find;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sorted_search");
+    for &n in &[64usize, 1024, 16384, 262144] {
+        let data: Vec<i64> = (0..n as i64).map(|x| x * 2).collect();
+        // Search for the last element: the linear worst case.
+        let needle = (n as i64 - 1) * 2;
+        g.bench_with_input(BenchmarkId::new("find_linear", n), &n, |b, _| {
+            b.iter(|| find(SliceCursor::whole(&data), &needle))
+        });
+        g.bench_with_input(BenchmarkId::new("lower_bound", n), &n, |b, _| {
+            b.iter(|| {
+                let r = SliceCursor::whole(&data);
+                lower_bound(&r, &needle, &NaturalLess)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E7 bench: concept-based overloading picks the right sort — introsort on
+//! random-access sequences, merge sort on forward-only lists — and the
+//! dispatch itself costs nothing (ConceptSort vs calling introsort
+//! directly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_core::order::NaturalLess;
+use gp_sequences::sort::{introsort, sort_list, ConceptSort};
+use gp_sequences::{ArraySeq, SList};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random(n: usize) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_dispatch");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let data = random(n);
+        // Dispatched through the concept facade (array → introsort).
+        g.bench_with_input(BenchmarkId::new("array_concept_sort", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s: ArraySeq<i64> = data.iter().copied().collect();
+                s.sort_by(&NaturalLess);
+                s
+            })
+        });
+        // Hand-picked introsort: the zero-overhead claim.
+        g.bench_with_input(BenchmarkId::new("array_direct_introsort", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                introsort(&mut v, &NaturalLess);
+                v
+            })
+        });
+        // Forward-only list: the dispatcher must pick merge sort.
+        g.bench_with_input(BenchmarkId::new("list_concept_sort", n), &n, |b, _| {
+            b.iter(|| {
+                let mut l = SList::from_slice(&data);
+                l.sort_by(&NaturalLess);
+                l
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("list_direct_merge", n), &n, |b, _| {
+            b.iter(|| {
+                let l = SList::from_slice(&data);
+                sort_list(&l, &NaturalLess)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! E9: complexity guarantees validated empirically — measured operation
+//! counts from the counting archetypes fitted against the taxonomy's
+//! declared bounds.
+
+use gp_bench::{banner, random_ints, Table};
+use gp_core::archetype::{Counters, CountingCursor, CountingOrder};
+use gp_core::complexity::{best_fit, Complexity};
+use gp_core::cursor::{Range, SliceCursor};
+use gp_core::order::NaturalLess;
+use gp_sequences::binary::lower_bound;
+use gp_sequences::containers::SList;
+use gp_sequences::find::find;
+use gp_sequences::sort::{insertion_sort, introsort, sort_list};
+
+fn ladder() -> Vec<Complexity> {
+    vec![
+        Complexity::constant(),
+        Complexity::log("n"),
+        Complexity::linear("n"),
+        Complexity::n_log_n("n"),
+        Complexity::poly("n", 2),
+    ]
+}
+
+/// Measure `counts(n)` over a size sweep and report bound conformance.
+fn fit_row(
+    t: &Table,
+    name: &str,
+    declared: &Complexity,
+    sizes: &[usize],
+    mut measure: impl FnMut(usize) -> u64,
+) {
+    let samples: Vec<(f64, f64)> = sizes
+        .iter()
+        .map(|&n| (n as f64, measure(n) as f64))
+        .collect();
+    let fit = declared.fit(&samples);
+    let ladder = ladder();
+    let best = &ladder[best_fit(&ladder, &samples)];
+    t.row(&[
+        name.to_string(),
+        declared.to_string(),
+        samples
+            .iter()
+            .map(|(n, c)| format!("{}:{}", *n as u64, *c as u64))
+            .collect::<Vec<_>>()
+            .join(" "),
+        fit.bound_holds.to_string(),
+        best.to_string(),
+    ]);
+}
+
+fn main() {
+    banner(
+        "E9",
+        "Measured operation counts vs declared complexity guarantees",
+        "§1/§3: 'performance constraints … at the level of asymptotic bounds'",
+    );
+    let t = Table::new(&[
+        ("algorithm", 18),
+        ("declared", 12),
+        ("measured (n:ops)", 56),
+        ("holds", 6),
+        ("best fit", 12),
+    ]);
+    let sizes = [256usize, 512, 1024, 2048, 4096, 8192];
+
+    // find: O(n) reads (search for an absent value = full scan).
+    fit_row(&t, "find", &Complexity::linear("n"), &sizes, |n| {
+        let data = random_ints(n, 11);
+        let counters = Counters::new();
+        let r = SliceCursor::whole(&data);
+        let range = Range::new(
+            CountingCursor::new(r.first, counters.clone()),
+            CountingCursor::new(r.last, counters.clone()),
+        );
+        let _ = find(range, &i64::MAX);
+        counters.reads()
+    });
+
+    // lower_bound: O(log n) comparisons on sorted data.
+    fit_row(&t, "lower_bound", &Complexity::log("n"), &sizes, |n| {
+        let data: Vec<i64> = (0..n as i64).collect();
+        let counters = Counters::new();
+        let ord = CountingOrder::new(NaturalLess, counters.clone());
+        let r = SliceCursor::whole(&data);
+        let range = Range::new(
+            CountingCursor::new(r.first, counters.clone()),
+            CountingCursor::new(r.last, counters.clone()),
+        );
+        let _ = lower_bound(&range, &(n as i64 / 2), &ord);
+        counters.comparisons()
+    });
+
+    // introsort: O(n log n) comparisons.
+    fit_row(&t, "introsort", &Complexity::n_log_n("n"), &sizes, |n| {
+        let mut data = random_ints(n, 13);
+        let counters = Counters::new();
+        let ord = CountingOrder::new(NaturalLess, counters.clone());
+        introsort(&mut data, &ord);
+        counters.comparisons()
+    });
+
+    // list merge sort: O(n log n) comparisons on forward-only cursors.
+    fit_row(&t, "merge_sort(list)", &Complexity::n_log_n("n"), &sizes, |n| {
+        let data = random_ints(n, 17);
+        let l = SList::from_slice(&data);
+        let counters = Counters::new();
+        let ord = CountingOrder::new(NaturalLess, counters.clone());
+        let _ = sort_list(&l, &ord);
+        counters.comparisons()
+    });
+
+    // insertion sort: O(n²) comparisons on random data (smaller sweep).
+    let small = [64usize, 128, 256, 512, 1024];
+    fit_row(&t, "insertion_sort", &Complexity::poly("n", 2), &small, |n| {
+        let mut data = random_ints(n, 19);
+        let counters = Counters::new();
+        let ord = CountingOrder::new(NaturalLess, counters.clone());
+        insertion_sort(&mut data, &ord);
+        counters.comparisons()
+    });
+
+    println!();
+    println!("  'holds' = the declared taxonomy bound is consistent with the");
+    println!("  measured growth; 'best fit' = the tightest ladder bound that fits.");
+
+    banner(
+        "E9b",
+        "A deliberately wrong guarantee is rejected",
+        "the validation has teeth",
+    );
+    let samples: Vec<(f64, f64)> = [256usize, 512, 1024, 2048, 4096, 8192]
+        .iter()
+        .map(|&n| {
+            let mut data = random_ints(n, 13);
+            let counters = Counters::new();
+            let ord = CountingOrder::new(NaturalLess, counters.clone());
+            introsort(&mut data, &ord);
+            (n as f64, counters.comparisons() as f64)
+        })
+        .collect();
+    let wrong = Complexity::linear("n");
+    let fit = wrong.fit(&samples);
+    println!(
+        "  claiming introsort does {wrong} comparisons: holds = {}",
+        fit.bound_holds
+    );
+}

@@ -1,0 +1,73 @@
+//! # gp-bench — experiment harness
+//!
+//! One binary per experiment (E1–E12 of `DESIGN.md`/`EXPERIMENTS.md`) that
+//! prints the table/series the paper's claim corresponds to, plus Criterion
+//! benches (`benches/`) for the timing-sensitive claims. Shared workload
+//! generators and table formatting live here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random integer workload.
+pub fn random_ints(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect()
+}
+
+/// Deterministic sorted workload.
+pub fn sorted_ints(n: usize) -> Vec<i64> {
+    (0..n as i64).map(|x| x * 3).collect()
+}
+
+/// Minimal fixed-width table printer for the experiment binaries.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Start a table and print the header row.
+    pub fn new(headers: &[(&str, usize)]) -> Self {
+        let widths: Vec<usize> = headers.iter().map(|(_, w)| *w).collect();
+        let t = Table { widths };
+        t.row(&headers.iter().map(|(h, _)| h.to_string()).collect::<Vec<_>>());
+        t.rule();
+        t
+    }
+
+    /// Print one row.
+    pub fn row(&self, cells: &[String]) {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+
+    /// Print a horizontal rule.
+    pub fn rule(&self) {
+        let line: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Section banner used by every experiment binary.
+pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    println!();
+    println!("=== {id}: {title}");
+    println!("    paper: {paper_ref}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(random_ints(100, 7), random_ints(100, 7));
+        assert_ne!(random_ints(100, 7), random_ints(100, 8));
+        let s = sorted_ints(50);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,816 @@
+//! The flow-sensitive abstract interpreter and the algorithm entry/exit
+//! handlers.
+
+use crate::ir::{AlgorithmName, Cond, ContainerKind, PosExpr, Program, Stmt};
+use crate::state::{AbsState, AtEnd, ContainerInfo, IterInfo, Sortedness, Validity};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Diagnostic severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A definite bug on every path reaching the statement.
+    Error,
+    /// A bug on some path.
+    Warning,
+    /// A performance improvement opportunity (§3.2 suggestions).
+    Suggestion,
+}
+
+/// Machine-readable diagnostic categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiagnosticCode {
+    /// Dereference of a (maybe-)singular iterator (Fig. 4's bug).
+    DerefSingular,
+    /// Dereference of a (maybe-)past-the-end iterator.
+    DerefPastEnd,
+    /// Advancing a (maybe-)singular iterator.
+    AdvanceSingular,
+    /// Advancing past the end.
+    AdvancePastEnd,
+    /// An algorithm whose entry handler requires sortedness got a sequence
+    /// not known to be sorted.
+    RequiresSorted,
+    /// Linear search over a known-sorted sequence (suggest `lower_bound`).
+    SortedLinearSearch,
+    /// Reference to an undeclared iterator/container.
+    UnknownName,
+}
+
+/// One checker finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity level.
+    pub severity: Severity,
+    /// Category.
+    pub code: DiagnosticCode,
+    /// The iterator/container/algorithm the finding is about.
+    pub subject: String,
+    /// Human-readable message (matching the paper's wording where the
+    /// paper shows one).
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "Error",
+            Severity::Warning => "Warning",
+            Severity::Suggestion => "Suggestion",
+        };
+        write!(f, "{sev}: {}", self.message)
+    }
+}
+
+/// The paper's Fig. 4 diagnostic text.
+pub const MSG_SINGULAR: &str = "attempt to dereference a singular iterator";
+/// Past-the-end dereference text.
+pub const MSG_PAST_END: &str = "attempt to dereference a past-the-end iterator";
+/// The paper's §3.2 optimization suggestion text.
+pub const MSG_SORTED_LINEAR: &str = "potential optimization: the incoming sequence [first, last) \
+is sorted, but will be searched linearly with this algorithm. Consider replacing this algorithm \
+with one specialized for sorted sequences (e.g., lower_bound)";
+
+struct Analyzer {
+    diags: Vec<Diagnostic>,
+    seen: BTreeSet<(DiagnosticCode, String)>,
+}
+
+impl Analyzer {
+    fn report(&mut self, severity: Severity, code: DiagnosticCode, subject: &str, message: String) {
+        // Loop fixpoint passes revisit statements; report each finding once.
+        if self.seen.insert((code, subject.to_string())) {
+            self.diags.push(Diagnostic {
+                severity,
+                code,
+                subject: subject.to_string(),
+                message,
+            });
+        } else if severity == Severity::Error {
+            // Upgrade an earlier Warning to Error if a later pass proves it.
+            if let Some(d) = self
+                .diags
+                .iter_mut()
+                .find(|d| d.code == code && d.subject == subject)
+            {
+                if d.severity == Severity::Warning {
+                    d.severity = Severity::Error;
+                }
+            }
+        }
+    }
+
+    /// Check an iterator use; returns the iterator info if usable enough to
+    /// continue the analysis.
+    fn check_iter_use(
+        &mut self,
+        state: &AbsState,
+        name: &str,
+        deref: bool,
+    ) -> Option<(Validity, AtEnd)> {
+        let Some(it) = state.iters.get(name) else {
+            self.report(
+                Severity::Error,
+                DiagnosticCode::UnknownName,
+                name,
+                format!("use of undeclared iterator `{name}`"),
+            );
+            return None;
+        };
+        let validity = it.validity;
+        match validity {
+            Validity::Singular => self.report(
+                Severity::Error,
+                if deref {
+                    DiagnosticCode::DerefSingular
+                } else {
+                    DiagnosticCode::AdvanceSingular
+                },
+                name,
+                if deref {
+                    MSG_SINGULAR.to_string()
+                } else {
+                    format!("attempt to advance a singular iterator (`{name}`)")
+                },
+            ),
+            Validity::MaybeSingular => self.report(
+                Severity::Warning,
+                if deref {
+                    DiagnosticCode::DerefSingular
+                } else {
+                    DiagnosticCode::AdvanceSingular
+                },
+                name,
+                if deref {
+                    MSG_SINGULAR.to_string()
+                } else {
+                    format!("attempt to advance a possibly singular iterator (`{name}`)")
+                },
+            ),
+            Validity::Valid => {}
+        }
+        if validity != Validity::Singular {
+            match it.at_end {
+                AtEnd::Yes => self.report(
+                    Severity::Error,
+                    if deref {
+                        DiagnosticCode::DerefPastEnd
+                    } else {
+                        DiagnosticCode::AdvancePastEnd
+                    },
+                    name,
+                    if deref {
+                        MSG_PAST_END.to_string()
+                    } else {
+                        format!("attempt to advance past the end (`{name}`)")
+                    },
+                ),
+                AtEnd::Maybe if deref => self.report(
+                    Severity::Warning,
+                    DiagnosticCode::DerefPastEnd,
+                    name,
+                    MSG_PAST_END.to_string(),
+                ),
+                _ => {}
+            }
+        }
+        Some((validity, it.at_end))
+    }
+
+    /// Direct invalidation: every iterator currently pointing into the
+    /// container becomes singular (the per-kind policies decide when this
+    /// is called).
+    fn invalidate_container(state: &mut AbsState, container: &str) {
+        for it in state.iters.values_mut() {
+            if it.container == container {
+                it.validity = Validity::Singular;
+            }
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], state: &mut AbsState) {
+        for s in stmts {
+            self.exec(s, state);
+        }
+    }
+
+    fn exec(&mut self, stmt: &Stmt, state: &mut AbsState) {
+        match stmt {
+            Stmt::DeclContainer { name, kind } => {
+                state.containers.insert(
+                    name.clone(),
+                    ContainerInfo {
+                        kind: *kind,
+                        sorted: Sortedness::Unknown,
+                        maybe_empty: true,
+                    },
+                );
+            }
+            Stmt::DeclIter {
+                name,
+                container,
+                pos,
+            } => {
+                let Some(c) = state.containers.get(container) else {
+                    self.report(
+                        Severity::Error,
+                        DiagnosticCode::UnknownName,
+                        container,
+                        format!("use of undeclared container `{container}`"),
+                    );
+                    return;
+                };
+                let at_end = match pos {
+                    PosExpr::Begin => {
+                        if c.maybe_empty {
+                            AtEnd::Maybe
+                        } else {
+                            AtEnd::No
+                        }
+                    }
+                    PosExpr::End => AtEnd::Yes,
+                    PosExpr::SearchResult => AtEnd::Maybe,
+                };
+                state.iters.insert(
+                    name.clone(),
+                    IterInfo {
+                        container: container.clone(),
+                        validity: Validity::Valid,
+                        at_end,
+                    },
+                );
+            }
+            Stmt::Advance { iter } => {
+                self.check_iter_use(state, iter, false);
+                if let Some(it) = state.iters.get_mut(iter) {
+                    if it.at_end != AtEnd::Yes {
+                        it.at_end = AtEnd::Maybe;
+                    }
+                }
+            }
+            Stmt::Deref { iter } => {
+                self.check_iter_use(state, iter, true);
+            }
+            Stmt::Erase {
+                container,
+                iter,
+                capture,
+            } => {
+                self.check_iter_use(state, iter, true); // erase dereferences
+                let kind = state.containers.get(container).map(|c| c.kind);
+                match kind {
+                    Some(ContainerKind::Vector) | Some(ContainerKind::Deque) => {
+                        Self::invalidate_container(state, container);
+                    }
+                    Some(ContainerKind::List) => {
+                        // Only the erased position dies.
+                        if let Some(it) = state.iters.get_mut(iter) {
+                            it.validity = Validity::Singular;
+                        }
+                    }
+                    None => {
+                        self.report(
+                            Severity::Error,
+                            DiagnosticCode::UnknownName,
+                            container,
+                            format!("use of undeclared container `{container}`"),
+                        );
+                        return;
+                    }
+                }
+                if let Some(cap) = capture {
+                    state.iters.insert(
+                        cap.clone(),
+                        IterInfo {
+                            container: container.clone(),
+                            validity: Validity::Valid,
+                            at_end: AtEnd::Maybe,
+                        },
+                    );
+                }
+                // Erasing preserves sortedness; the container may now be
+                // empty.
+                if let Some(c) = state.containers.get_mut(container) {
+                    c.maybe_empty = true;
+                }
+            }
+            Stmt::Insert { container, iter } => {
+                self.check_iter_use(state, iter, false);
+                let kind = state.containers.get(container).map(|c| c.kind);
+                if matches!(kind, Some(ContainerKind::Vector) | Some(ContainerKind::Deque)) {
+                    Self::invalidate_container(state, container);
+                }
+                if let Some(c) = state.containers.get_mut(container) {
+                    c.sorted = Sortedness::Unknown;
+                    c.maybe_empty = false;
+                }
+            }
+            Stmt::PushBack { container } => {
+                let kind = state.containers.get(container).map(|c| c.kind);
+                if matches!(kind, Some(ContainerKind::Vector) | Some(ContainerKind::Deque)) {
+                    Self::invalidate_container(state, container);
+                }
+                if let Some(c) = state.containers.get_mut(container) {
+                    c.sorted = Sortedness::Unsorted;
+                    c.maybe_empty = false;
+                } else {
+                    self.report(
+                        Severity::Error,
+                        DiagnosticCode::UnknownName,
+                        container,
+                        format!("use of undeclared container `{container}`"),
+                    );
+                }
+            }
+            Stmt::Clear { container } => {
+                if state.containers.contains_key(container) {
+                    Self::invalidate_container(state, container);
+                    let c = state.containers.get_mut(container).expect("checked");
+                    // An empty sequence is vacuously sorted.
+                    c.sorted = Sortedness::Sorted;
+                    c.maybe_empty = true;
+                } else {
+                    self.report(
+                        Severity::Error,
+                        DiagnosticCode::UnknownName,
+                        container,
+                        format!("use of undeclared container `{container}`"),
+                    );
+                }
+            }
+            Stmt::Assign { dst, src } => {
+                if let Some(info) = state.iters.get(src).cloned() {
+                    state.iters.insert(dst.clone(), info);
+                } else {
+                    self.report(
+                        Severity::Error,
+                        DiagnosticCode::UnknownName,
+                        src,
+                        format!("use of undeclared iterator `{src}`"),
+                    );
+                }
+            }
+            Stmt::Call {
+                algorithm,
+                container,
+                capture,
+            } => {
+                self.exec_algorithm(*algorithm, container, capture.as_deref(), state);
+            }
+            Stmt::While { cond, body } => {
+                self.exec_while(cond, body, state);
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+            } => {
+                let mut s_then = state.clone();
+                let mut s_else = state.clone();
+                self.exec_block(then_branch, &mut s_then);
+                self.exec_block(else_branch, &mut s_else);
+                *state = s_then.join(&s_else);
+            }
+        }
+    }
+
+    /// Entry/exit handlers per algorithm (§3.1: "entry handlers check
+    /// preconditions and exit handlers check/enforce postconditions").
+    fn exec_algorithm(
+        &mut self,
+        alg: AlgorithmName,
+        container: &str,
+        capture: Option<&str>,
+        state: &mut AbsState,
+    ) {
+        let Some(c) = state.containers.get(container).cloned() else {
+            self.report(
+                Severity::Error,
+                DiagnosticCode::UnknownName,
+                container,
+                format!("use of undeclared container `{container}`"),
+            );
+            return;
+        };
+        match alg {
+            AlgorithmName::Sort => {
+                // Exit handler: sortedness installed.
+                if let Some(cm) = state.containers.get_mut(container) {
+                    cm.sorted = Sortedness::Sorted;
+                }
+            }
+            AlgorithmName::Find => {
+                // §3.2: suggest the asymptotically better algorithm.
+                if c.sorted == Sortedness::Sorted {
+                    self.report(
+                        Severity::Suggestion,
+                        DiagnosticCode::SortedLinearSearch,
+                        &format!("find({container})"),
+                        MSG_SORTED_LINEAR.to_string(),
+                    );
+                }
+            }
+            AlgorithmName::LowerBound | AlgorithmName::BinarySearch => {
+                // Entry handler: sortedness required.
+                match c.sorted {
+                    Sortedness::Sorted => {}
+                    Sortedness::Unsorted => self.report(
+                        Severity::Error,
+                        DiagnosticCode::RequiresSorted,
+                        &format!("{}({container})", alg.as_str()),
+                        format!(
+                            "algorithm `{}` requires the sequence to be sorted, but it is not",
+                            alg.as_str()
+                        ),
+                    ),
+                    Sortedness::Unknown => self.report(
+                        Severity::Warning,
+                        DiagnosticCode::RequiresSorted,
+                        &format!("{}({container})", alg.as_str()),
+                        format!(
+                            "algorithm `{}` requires the sequence to be sorted, but it may not be",
+                            alg.as_str()
+                        ),
+                    ),
+                }
+            }
+            AlgorithmName::Unique => {
+                if c.sorted != Sortedness::Sorted {
+                    self.report(
+                        Severity::Warning,
+                        DiagnosticCode::RequiresSorted,
+                        &format!("unique({container})"),
+                        "algorithm `unique` removes only adjacent duplicates; on an unsorted \
+                         sequence this is unlikely to be the intended full deduplication"
+                            .to_string(),
+                    );
+                }
+                if matches!(c.kind, ContainerKind::Vector | ContainerKind::Deque) {
+                    Self::invalidate_container(state, container);
+                }
+            }
+            AlgorithmName::MaxElement => {}
+        }
+        if let Some(cap) = capture {
+            state.iters.insert(
+                cap.to_string(),
+                IterInfo {
+                    container: container.to_string(),
+                    validity: Validity::Valid,
+                    at_end: AtEnd::Maybe,
+                },
+            );
+        }
+    }
+
+    fn exec_while(&mut self, cond: &Cond, body: &[Stmt], state: &mut AbsState) {
+        const MAX_PASSES: usize = 6;
+        let mut loop_state = state.clone();
+        for _ in 0..MAX_PASSES {
+            let mut body_state = loop_state.clone();
+            // Condition refinement on loop entry: `iter != end` means the
+            // iterator is dereferenceable inside the body.
+            if let Cond::IterNotEnd { iter } = cond {
+                if let Some(it) = body_state.iters.get_mut(iter) {
+                    if it.at_end != AtEnd::Yes {
+                        it.at_end = AtEnd::No;
+                    }
+                }
+            }
+            self.exec_block(body, &mut body_state);
+            let next = loop_state.join(&body_state);
+            if next == loop_state {
+                break;
+            }
+            loop_state = next;
+        }
+        // Exit refinement: the condition is false.
+        if let Cond::IterNotEnd { iter } = cond {
+            if let Some(it) = loop_state.iters.get_mut(iter) {
+                it.at_end = AtEnd::Yes;
+            }
+        }
+        *state = loop_state;
+    }
+}
+
+/// Run the checker over a program.
+pub fn analyze(program: &Program) -> Vec<Diagnostic> {
+    let mut a = Analyzer {
+        diags: Vec::new(),
+        seen: BTreeSet::new(),
+    };
+    let mut state = AbsState::default();
+    a.exec_block(&program.stmts, &mut state);
+    a.diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build::*;
+    use crate::ir::{AlgorithmName as A, ContainerKind as K, Program};
+
+    fn codes(diags: &[Diagnostic]) -> Vec<DiagnosticCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_traversal_produces_no_diagnostics() {
+        let p = Program::new(
+            "clean",
+            vec![
+                container("c", K::List),
+                begin("it", "c"),
+                while_not_end("it", vec![deref("it"), advance("it")]),
+            ],
+        );
+        assert!(analyze(&p).is_empty(), "{:?}", analyze(&p));
+    }
+
+    #[test]
+    fn deref_of_end_is_an_error() {
+        let p = Program::new(
+            "deref-end",
+            vec![container("c", K::Vector), end("it", "c"), deref("it")],
+        );
+        let d = analyze(&p);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, DiagnosticCode::DerefPastEnd);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert_eq!(d[0].message, MSG_PAST_END);
+    }
+
+    #[test]
+    fn deref_of_begin_on_maybe_empty_container_warns() {
+        let p = Program::new(
+            "deref-begin",
+            vec![container("c", K::Vector), begin("it", "c"), deref("it")],
+        );
+        let d = analyze(&p);
+        assert_eq!(codes(&d), vec![DiagnosticCode::DerefPastEnd]);
+        assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn vector_push_back_invalidates_iterators_but_list_does_not() {
+        let make = |kind| {
+            Program::new(
+                "pb",
+                vec![
+                    container("c", kind),
+                    begin("it", "c"),
+                    push_back("c"),
+                    while_not_end("it", vec![deref("it"), advance("it")]),
+                ],
+            )
+        };
+        let d = analyze(&make(K::Vector));
+        assert!(d.iter().any(|d| d.code == DiagnosticCode::DerefSingular
+            && d.message == MSG_SINGULAR));
+        let d = analyze(&make(K::List));
+        assert!(
+            !d.iter().any(|d| d.code == DiagnosticCode::DerefSingular),
+            "list push_back must not invalidate: {d:?}"
+        );
+    }
+
+    #[test]
+    fn fig4_erase_loop_bug_is_detected_with_paper_message() {
+        // Fig. 4: extract-and-erase of failing grades without refreshing
+        // the loop iterator.
+        let p = Program::new(
+            "fig4-buggy",
+            vec![
+                container("students", K::List),
+                container("failures", K::List),
+                begin("iter", "students"),
+                while_not_end(
+                    "iter",
+                    vec![
+                        deref("iter"), // if (fgrade(*iter))
+                        branch(
+                            vec![
+                                deref("iter"), // failures.push_back(*iter)
+                                push_back("failures"),
+                                erase("students", "iter"), // BUG
+                            ],
+                            vec![advance("iter")],
+                        ),
+                    ],
+                ),
+            ],
+        );
+        let d = analyze(&p);
+        let hit = d
+            .iter()
+            .find(|d| d.code == DiagnosticCode::DerefSingular)
+            .expect("the Fig. 4 bug must be found");
+        assert_eq!(hit.message, MSG_SINGULAR);
+    }
+
+    #[test]
+    fn fig4_fixed_version_is_clean() {
+        // The corrected idiom: iter = students.erase(iter).
+        let p = Program::new(
+            "fig4-fixed",
+            vec![
+                container("students", K::List),
+                container("failures", K::List),
+                begin("iter", "students"),
+                while_not_end(
+                    "iter",
+                    vec![
+                        deref("iter"),
+                        branch(
+                            vec![
+                                deref("iter"),
+                                push_back("failures"),
+                                erase_into("students", "iter", "iter"),
+                            ],
+                            vec![advance("iter")],
+                        ),
+                    ],
+                ),
+            ],
+        );
+        let d = analyze(&p);
+        assert!(
+            !d.iter().any(|d| d.code == DiagnosticCode::DerefSingular),
+            "fixed program must not warn about singular deref: {d:?}"
+        );
+    }
+
+    #[test]
+    fn sorted_then_linear_search_yields_paper_suggestion() {
+        let p = Program::new(
+            "sorted-find",
+            vec![
+                container("v", K::Vector),
+                call(A::Sort, "v"),
+                call_into(A::Find, "v", "i"),
+            ],
+        );
+        let d = analyze(&p);
+        assert_eq!(codes(&d), vec![DiagnosticCode::SortedLinearSearch]);
+        assert_eq!(d[0].severity, Severity::Suggestion);
+        assert_eq!(d[0].message, MSG_SORTED_LINEAR);
+    }
+
+    #[test]
+    fn find_on_unsorted_data_is_fine() {
+        let p = Program::new(
+            "plain-find",
+            vec![container("v", K::Vector), call_into(A::Find, "v", "i")],
+        );
+        assert!(analyze(&p).is_empty());
+    }
+
+    #[test]
+    fn binary_search_without_sort_warns_and_after_push_back_errors() {
+        let p = Program::new(
+            "bs-unknown",
+            vec![container("v", K::Vector), call(A::BinarySearch, "v")],
+        );
+        let d = analyze(&p);
+        assert_eq!(codes(&d), vec![DiagnosticCode::RequiresSorted]);
+        assert_eq!(d[0].severity, Severity::Warning);
+
+        let p = Program::new(
+            "bs-unsorted",
+            vec![
+                container("v", K::Vector),
+                call(A::Sort, "v"),
+                push_back("v"), // breaks sortedness
+                call(A::BinarySearch, "v"),
+            ],
+        );
+        let d = analyze(&p);
+        assert!(d
+            .iter()
+            .any(|d| d.code == DiagnosticCode::RequiresSorted && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn binary_search_after_sort_is_clean() {
+        let p = Program::new(
+            "bs-ok",
+            vec![
+                container("v", K::Vector),
+                call(A::Sort, "v"),
+                call(A::BinarySearch, "v"),
+            ],
+        );
+        assert!(analyze(&p).is_empty());
+    }
+
+    #[test]
+    fn branch_join_degrades_validity() {
+        // Invalidate on one path only: the later deref is a Warning (maybe),
+        // not an Error.
+        let p = Program::new(
+            "branchy",
+            vec![
+                container("v", K::Vector),
+                begin("it", "v"),
+                branch(vec![push_back("v")], vec![]),
+                deref("it"),
+            ],
+        );
+        let d = analyze(&p);
+        let hit = d
+            .iter()
+            .find(|d| d.code == DiagnosticCode::DerefSingular)
+            .expect("maybe-invalidated deref must warn");
+        assert_eq!(hit.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn use_of_undeclared_names_is_reported() {
+        let p = Program::new("bad", vec![deref("nope")]);
+        let d = analyze(&p);
+        assert_eq!(codes(&d), vec![DiagnosticCode::UnknownName]);
+        let p = Program::new("bad2", vec![begin("it", "ghost")]);
+        let d = analyze(&p);
+        assert_eq!(codes(&d), vec![DiagnosticCode::UnknownName]);
+    }
+
+    #[test]
+    fn erase_capture_produces_valid_iterator_on_vector_too() {
+        let p = Program::new(
+            "vec-erase-fixed",
+            vec![
+                container("v", K::Vector),
+                begin("it", "v"),
+                while_not_end(
+                    "it",
+                    vec![
+                        deref("it"),
+                        branch(
+                            vec![erase_into("v", "it", "it")],
+                            vec![advance("it")],
+                        ),
+                    ],
+                ),
+            ],
+        );
+        let d = analyze(&p);
+        assert!(
+            !d.iter().any(|d| d.code == DiagnosticCode::DerefSingular),
+            "captured erase result is valid: {d:?}"
+        );
+    }
+
+    #[test]
+    fn clear_invalidates_and_makes_vacuously_sorted() {
+        // clear-then-deref: every iterator dies, regardless of kind.
+        let p = Program::new(
+            "clear-deref",
+            vec![
+                container("l", K::List),
+                begin("it", "l"),
+                Stmt::Clear {
+                    container: "l".into(),
+                },
+                deref("it"),
+            ],
+        );
+        let d = analyze(&p);
+        assert!(d
+            .iter()
+            .any(|d| d.code == DiagnosticCode::DerefSingular && d.severity == Severity::Error));
+
+        // clear-then-binary_search: an empty sequence is vacuously sorted,
+        // so the entry handler is satisfied.
+        let p = Program::new(
+            "clear-bsearch",
+            vec![
+                container("v", K::Vector),
+                Stmt::Clear {
+                    container: "v".into(),
+                },
+                call(A::BinarySearch, "v"),
+            ],
+        );
+        assert!(analyze(&p).is_empty());
+    }
+
+    #[test]
+    fn unique_on_unsorted_warns() {
+        let p = Program::new(
+            "unique-unsorted",
+            vec![container("v", K::Vector), call(A::Unique, "v")],
+        );
+        let d = analyze(&p);
+        assert!(d.iter().any(|d| d.code == DiagnosticCode::RequiresSorted));
+        // After sort: clean.
+        let p = Program::new(
+            "unique-sorted",
+            vec![
+                container("v", K::Vector),
+                call(A::Sort, "v"),
+                call(A::Unique, "v"),
+            ],
+        );
+        assert!(analyze(&p).is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! The checked mini-language: concept-level container/iterator/algorithm
+//! events.
+//!
+//! This is the abstraction STLlint works at — not C++ syntax, but the
+//! library-semantic events a front end would extract from it. A [`Program`]
+//! is a statement list with structured control flow (`while` over an
+//! iterator-vs-end condition, nondeterministic `if`).
+
+/// Container kinds, distinguished by their **invalidation semantics** —
+/// the cross-cutting semantic iterator concept of §3.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ContainerKind {
+    /// Contiguous storage: `erase`/`insert`/`push_back` invalidate every
+    /// iterator into the container (conservative: reallocation or shifting).
+    Vector,
+    /// Node-based: `erase` invalidates only the erased position; `insert`
+    /// and `push_back` invalidate nothing.
+    List,
+    /// Block-based: any structural change invalidates everything.
+    Deque,
+}
+
+/// Where a newly obtained iterator points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PosExpr {
+    /// `c.begin()` — dereferenceable unless the container may be empty.
+    Begin,
+    /// `c.end()` — past the end, never dereferenceable.
+    End,
+    /// Result of a search — may or may not be the end.
+    SearchResult,
+}
+
+/// Loop conditions the analyzer understands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cond {
+    /// `iter != c.end()` — inside the body the iterator is known
+    /// dereferenceable; after the loop it is at the end.
+    IterNotEnd {
+        /// The iterator compared against `end()`.
+        iter: String,
+    },
+    /// An opaque condition (analyzed as nondeterministic).
+    Unknown,
+}
+
+/// Library algorithms with entry/exit handler specifications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgorithmName {
+    /// `sort(c)` — exit handler: installs sortedness.
+    Sort,
+    /// `find(c, v)` — linear search; entry handler: suggests `lower_bound`
+    /// when the sequence is known sorted.
+    Find,
+    /// `lower_bound(c, v)` — entry handler: requires sortedness.
+    LowerBound,
+    /// `binary_search(c, v)` — entry handler: requires sortedness.
+    BinarySearch,
+    /// `unique(c)` — entry handler: full deduplication requires
+    /// sortedness; also mutates the container (invalidates, vector-style).
+    Unique,
+    /// `max_element(c)` — no handlers; returns a search-result iterator.
+    MaxElement,
+}
+
+impl AlgorithmName {
+    /// Display name used in diagnostics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlgorithmName::Sort => "sort",
+            AlgorithmName::Find => "find",
+            AlgorithmName::LowerBound => "lower_bound",
+            AlgorithmName::BinarySearch => "binary_search",
+            AlgorithmName::Unique => "unique",
+            AlgorithmName::MaxElement => "max_element",
+        }
+    }
+}
+
+/// Statements of the checked language.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Declare a container with statically unknown contents.
+    DeclContainer {
+        /// Container name.
+        name: String,
+        /// Invalidation-semantics kind.
+        kind: ContainerKind,
+    },
+    /// Obtain an iterator into a container.
+    DeclIter {
+        /// Iterator name.
+        name: String,
+        /// Container it points into.
+        container: String,
+        /// Initial position.
+        pos: PosExpr,
+    },
+    /// `++iter`.
+    Advance {
+        /// The iterator.
+        iter: String,
+    },
+    /// `*iter` (read).
+    Deref {
+        /// The iterator.
+        iter: String,
+    },
+    /// `c.erase(iter)`, optionally capturing the returned (valid) iterator:
+    /// `res = c.erase(iter)`.
+    Erase {
+        /// The container.
+        container: String,
+        /// The erased position.
+        iter: String,
+        /// Name to bind the returned iterator to, if captured.
+        capture: Option<String>,
+    },
+    /// `c.insert(iter, v)`.
+    Insert {
+        /// The container.
+        container: String,
+        /// Insertion position.
+        iter: String,
+    },
+    /// `c.push_back(v)`.
+    PushBack {
+        /// The container.
+        container: String,
+    },
+    /// `c.clear()` — invalidates every iterator (all kinds) and leaves an
+    /// empty (hence vacuously sorted) container.
+    Clear {
+        /// The container.
+        container: String,
+    },
+    /// Iterator assignment `dst = src`.
+    Assign {
+        /// Destination iterator name.
+        dst: String,
+        /// Source iterator name.
+        src: String,
+    },
+    /// A library algorithm call over the whole container, optionally
+    /// binding a returned iterator.
+    Call {
+        /// The algorithm.
+        algorithm: AlgorithmName,
+        /// The container argument.
+        container: String,
+        /// Name to bind a returned iterator to, if any.
+        capture: Option<String>,
+    },
+    /// `while cond { body }`.
+    While {
+        /// Loop condition.
+        cond: Cond,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Nondeterministic branch (analyzed along both arms, states joined).
+    If {
+        /// Then-arm.
+        then_branch: Vec<Stmt>,
+        /// Else-arm.
+        else_branch: Vec<Stmt>,
+    },
+}
+
+/// A checkable program: a named statement list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Program name (corpus id / diagnostics context).
+    pub name: String,
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Create a program.
+    pub fn new(name: impl Into<String>, stmts: Vec<Stmt>) -> Self {
+        Program {
+            name: name.into(),
+            stmts,
+        }
+    }
+}
+
+/// Fluent builder helpers so corpus programs read like the C++ they model.
+pub mod build {
+    use super::*;
+
+    /// `ContainerKind c;`
+    pub fn container(name: &str, kind: ContainerKind) -> Stmt {
+        Stmt::DeclContainer {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// `auto it = c.begin();`
+    pub fn begin(iter: &str, container: &str) -> Stmt {
+        Stmt::DeclIter {
+            name: iter.into(),
+            container: container.into(),
+            pos: PosExpr::Begin,
+        }
+    }
+
+    /// `auto it = c.end();`
+    pub fn end(iter: &str, container: &str) -> Stmt {
+        Stmt::DeclIter {
+            name: iter.into(),
+            container: container.into(),
+            pos: PosExpr::End,
+        }
+    }
+
+    /// `++it;`
+    pub fn advance(iter: &str) -> Stmt {
+        Stmt::Advance { iter: iter.into() }
+    }
+
+    /// `*it;`
+    pub fn deref(iter: &str) -> Stmt {
+        Stmt::Deref { iter: iter.into() }
+    }
+
+    /// `c.erase(it);`
+    pub fn erase(container: &str, iter: &str) -> Stmt {
+        Stmt::Erase {
+            container: container.into(),
+            iter: iter.into(),
+            capture: None,
+        }
+    }
+
+    /// `it2 = c.erase(it);`
+    pub fn erase_into(container: &str, iter: &str, capture: &str) -> Stmt {
+        Stmt::Erase {
+            container: container.into(),
+            iter: iter.into(),
+            capture: Some(capture.into()),
+        }
+    }
+
+    /// `c.push_back(v);`
+    pub fn push_back(container: &str) -> Stmt {
+        Stmt::PushBack {
+            container: container.into(),
+        }
+    }
+
+    /// `c.clear();`
+    pub fn clear(container: &str) -> Stmt {
+        Stmt::Clear {
+            container: container.into(),
+        }
+    }
+
+    /// `c.insert(it, v);`
+    pub fn insert(container: &str, iter: &str) -> Stmt {
+        Stmt::Insert {
+            container: container.into(),
+            iter: iter.into(),
+        }
+    }
+
+    /// `dst = src;`
+    pub fn assign(dst: &str, src: &str) -> Stmt {
+        Stmt::Assign {
+            dst: dst.into(),
+            src: src.into(),
+        }
+    }
+
+    /// `alg(c);`
+    pub fn call(algorithm: AlgorithmName, container: &str) -> Stmt {
+        Stmt::Call {
+            algorithm,
+            container: container.into(),
+            capture: None,
+        }
+    }
+
+    /// `it = alg(c);`
+    pub fn call_into(algorithm: AlgorithmName, container: &str, capture: &str) -> Stmt {
+        Stmt::Call {
+            algorithm,
+            container: container.into(),
+            capture: Some(capture.into()),
+        }
+    }
+
+    /// `while (it != c.end()) { body }`
+    pub fn while_not_end(iter: &str, body: Vec<Stmt>) -> Stmt {
+        Stmt::While {
+            cond: Cond::IterNotEnd { iter: iter.into() },
+            body,
+        }
+    }
+
+    /// `if (?) { then } else { els }`
+    pub fn branch(then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            then_branch,
+            else_branch,
+        }
+    }
+}

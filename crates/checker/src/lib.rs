@@ -1,0 +1,41 @@
+//! # gp-checker — STLlint: high-level static checking against library
+//! semantics
+//!
+//! Reproduction of the paper's §3.1 system. STLlint "analyzes the
+//! behavior of abstractions at a high level and ignores the
+//! implementation of the abstractions": programs are modeled as sequences
+//! of *concept-level events* — obtain an iterator, advance, dereference,
+//! erase, call an algorithm — and a flow-sensitive abstract interpreter
+//! tracks what library semantics say about them.
+//!
+//! What it detects (each is an experiment row in E3/E4/E6):
+//!
+//! * **Iterator invalidation** (Fig. 4): the textbook erase-loop bug yields
+//!   the paper's exact diagnostic, `attempt to dereference a singular
+//!   iterator`. Invalidation policies are per-container-kind, because "the
+//!   invalidation behavior of operations varies greatly across domains, but
+//!   the semantic iterator concept … cross-cuts" them.
+//! * **Range violations**: dereferencing a (possibly) past-the-end
+//!   iterator.
+//! * **Sortedness pre/postconditions**: `sort` installs a *sortedness*
+//!   property (exit handler); `binary_search`/`lower_bound` demand it
+//!   (entry handlers); `find` on a sorted sequence triggers the paper's
+//!   algorithm-selection suggestion verbatim (§3.2).
+//! * **Multipass mischaracterization** ([`multipass`]): running an
+//!   algorithm against the semantic Input-Iterator archetype exposes
+//!   undeclared Forward (multipass) requirements, e.g. `max_element`'s.
+//!
+//! Modules: [`ir`] (the checked mini-language), [`parse`] (a line-oriented
+//! text front end for it), [`state`] (abstract domains), [`mod@analyze`] (the
+//! interpreter and algorithm entry/exit handlers), [`corpus`] (the bug
+//! corpus, including Fig. 4), [`multipass`] (semantic-archetype checking).
+
+pub mod analyze;
+pub mod corpus;
+pub mod ir;
+pub mod multipass;
+pub mod parse;
+pub mod state;
+
+pub use analyze::{analyze, Diagnostic, DiagnosticCode, Severity};
+pub use ir::{AlgorithmName, Cond, ContainerKind, PosExpr, Program, Stmt};

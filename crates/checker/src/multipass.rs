@@ -1,0 +1,194 @@
+//! Semantic-archetype checking of algorithm concept declarations (§3.1).
+//!
+//! "STLlint can detect the semantic errors resulting from mischaracterizing
+//! the concept requirements of `max_element` using a semantic archetype of
+//! an Input Iterator, which permits only one traversal of the sequence."
+//!
+//! The archetype is [`SinglePassCursor`]: it *claims* Forward syntactically
+//! but records every multipass use. We run a generic algorithm against it;
+//! if the algorithm's author declared it an Input-Iterator algorithm and
+//! violations occur, the declaration is wrong.
+
+use gp_core::archetype::SinglePassCursor;
+use gp_core::cursor::Range;
+
+/// The cursor concept the algorithm author declared as the requirement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeclaredCategory {
+    /// Declared to need only single-pass input.
+    Input,
+    /// Declared to need multipass forward cursors.
+    Forward,
+}
+
+/// Outcome of running an algorithm against the Input-Iterator semantic
+/// archetype.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultipassReport {
+    /// Algorithm under test.
+    pub algorithm: String,
+    /// What its author declared.
+    pub declared: DeclaredCategory,
+    /// Multipass uses observed by the archetype.
+    pub violations: usize,
+    /// True if the declaration is wrong: an Input declaration with observed
+    /// multipass uses.
+    pub mischaracterized: bool,
+}
+
+impl MultipassReport {
+    /// One-line rendering for the experiment table.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<14} declared={:<8} violations={:<3} {}",
+            self.algorithm,
+            format!("{:?}", self.declared),
+            self.violations,
+            if self.mischaracterized {
+                "MISCHARACTERIZED (needs Forward)"
+            } else {
+                "ok"
+            }
+        )
+    }
+}
+
+/// Run `algorithm` (as a closure over the archetype range) against the
+/// semantic archetype and report.
+pub fn check_against_input_archetype<F>(
+    algorithm: &str,
+    declared: DeclaredCategory,
+    data: Vec<i64>,
+    run: F,
+) -> MultipassReport
+where
+    F: FnOnce(Range<SinglePassCursor<i64>>),
+{
+    let (first, last, tracker) = SinglePassCursor::make_range(data);
+    run(Range::new(first, last));
+    let violations = tracker.violations();
+    MultipassReport {
+        algorithm: algorithm.to_string(),
+        declared,
+        violations,
+        mischaracterized: declared == DeclaredCategory::Input && violations > 0,
+    }
+}
+
+/// The standard suite: each `gp-sequences` algorithm run against the
+/// archetype under a *deliberately minimal* (Input) declaration, revealing
+/// which ones truly need Forward.
+pub fn standard_suite(data: Vec<i64>) -> Vec<MultipassReport> {
+    use gp_core::algebra::AddOp;
+    use gp_core::order::NaturalLess;
+    use gp_sequences::{find, fold};
+
+    let mut out = Vec::new();
+    out.push(check_against_input_archetype(
+        "find",
+        DeclaredCategory::Input,
+        data.clone(),
+        |r| {
+            let target = data.last().cloned().unwrap_or(0);
+            let _ = find::find(r, &target);
+        },
+    ));
+    out.push(check_against_input_archetype(
+        "count",
+        DeclaredCategory::Input,
+        data.clone(),
+        |r| {
+            let _ = find::count(r, &data[0]);
+        },
+    ));
+    out.push(check_against_input_archetype(
+        "accumulate",
+        DeclaredCategory::Input,
+        data.clone(),
+        |r| {
+            let _ = fold::accumulate(r, &AddOp);
+        },
+    ));
+    // max_element under the (wrong) Input declaration: the archetype
+    // exposes its multipass dependency.
+    out.push(check_against_input_archetype(
+        "max_element",
+        DeclaredCategory::Input,
+        data.clone(),
+        |r| {
+            let _ = fold::max_element(&r, &NaturalLess);
+        },
+    ));
+    // And under the correct Forward declaration: violations occur but are
+    // licensed.
+    out.push(check_against_input_archetype(
+        "max_element",
+        DeclaredCategory::Forward,
+        data,
+        |r| {
+            let _ = fold::max_element(&r, &NaturalLess);
+        },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<i64> {
+        vec![3, 9, 4, 9, 1, 7]
+    }
+
+    #[test]
+    fn true_input_algorithms_run_clean() {
+        for r in standard_suite(data()) {
+            if r.algorithm != "max_element" {
+                assert_eq!(r.violations, 0, "{} should be single-pass", r.algorithm);
+                assert!(!r.mischaracterized);
+            }
+        }
+    }
+
+    #[test]
+    fn max_element_is_exposed_under_input_declaration() {
+        let suite = standard_suite(data());
+        let wrong = suite
+            .iter()
+            .find(|r| r.algorithm == "max_element" && r.declared == DeclaredCategory::Input)
+            .unwrap();
+        assert!(wrong.violations > 0);
+        assert!(wrong.mischaracterized);
+        let right = suite
+            .iter()
+            .find(|r| r.algorithm == "max_element" && r.declared == DeclaredCategory::Forward)
+            .unwrap();
+        assert!(right.violations > 0);
+        assert!(!right.mischaracterized, "Forward declaration licenses it");
+    }
+
+    #[test]
+    fn report_summary_is_printable() {
+        let suite = standard_suite(data());
+        for r in &suite {
+            let s = r.summary();
+            assert!(s.contains(&r.algorithm));
+        }
+        assert!(suite
+            .iter()
+            .any(|r| r.summary().contains("MISCHARACTERIZED")));
+    }
+
+    #[test]
+    fn empty_input_produces_no_violations() {
+        let r = check_against_input_archetype(
+            "find",
+            DeclaredCategory::Input,
+            vec![],
+            |range| {
+                let _ = gp_sequences::find::find(range, &1);
+            },
+        );
+        assert_eq!(r.violations, 0);
+    }
+}

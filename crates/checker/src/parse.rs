@@ -1,0 +1,310 @@
+//! A small text front end for the checker: programs as line-oriented
+//! source, the way a lint tool would consume them.
+//!
+//! ```text
+//! # Fig. 4, buggy
+//! container students list
+//! container failures list
+//! iter iter = begin students
+//! while iter != end {
+//!     deref iter
+//!     if {
+//!         deref iter
+//!         push_back failures
+//!         erase students iter
+//!     } else {
+//!         advance iter
+//!     }
+//! }
+//! ```
+//!
+//! Statements: `container NAME (vector|list|deque)`,
+//! `iter NAME = (begin|end|search) CONTAINER`, `advance IT`, `deref IT`,
+//! `erase CONTAINER IT [-> CAPTURE]`, `insert CONTAINER IT`,
+//! `push_back CONTAINER`, `clear CONTAINER`, `assign DST SRC`,
+//! `call (sort|find|lower_bound|binary_search|unique|max_element)
+//! CONTAINER [-> IT]`, `while IT != end {`, `while ? {`, `if {`,
+//! `} else {`, `}`. `#` starts a comment.
+
+use crate::ir::{AlgorithmName, Cond, ContainerKind, PosExpr, Program, Stmt};
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+enum Frame {
+    While { cond: Cond, body: Vec<Stmt> },
+    IfThen { then_branch: Vec<Stmt> },
+    IfElse { then_branch: Vec<Stmt>, else_branch: Vec<Stmt> },
+}
+
+/// Parse a program from source text.
+pub fn parse(name: &str, src: &str) -> Result<Program, ParseError> {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut top: Vec<Stmt> = Vec::new();
+
+    fn current<'a>(stack: &'a mut [Frame], top: &'a mut Vec<Stmt>) -> &'a mut Vec<Stmt> {
+        match stack.last_mut() {
+            None => top,
+            Some(Frame::While { body, .. }) => body,
+            Some(Frame::IfThen { then_branch }) => then_branch,
+            Some(Frame::IfElse { else_branch, .. }) => else_branch,
+        }
+    }
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            ["container", name, kind] => {
+                let kind = match *kind {
+                    "vector" => ContainerKind::Vector,
+                    "list" => ContainerKind::List,
+                    "deque" => ContainerKind::Deque,
+                    other => return err(lineno, format!("unknown container kind `{other}`")),
+                };
+                current(&mut stack, &mut top).push(Stmt::DeclContainer {
+                    name: name.to_string(),
+                    kind,
+                });
+            }
+            ["iter", name, "=", pos, container] => {
+                let pos = match *pos {
+                    "begin" => PosExpr::Begin,
+                    "end" => PosExpr::End,
+                    "search" => PosExpr::SearchResult,
+                    other => return err(lineno, format!("unknown position `{other}`")),
+                };
+                current(&mut stack, &mut top).push(Stmt::DeclIter {
+                    name: name.to_string(),
+                    container: container.to_string(),
+                    pos,
+                });
+            }
+            ["advance", it] => current(&mut stack, &mut top).push(Stmt::Advance {
+                iter: it.to_string(),
+            }),
+            ["deref", it] => current(&mut stack, &mut top).push(Stmt::Deref {
+                iter: it.to_string(),
+            }),
+            ["erase", c, it] => current(&mut stack, &mut top).push(Stmt::Erase {
+                container: c.to_string(),
+                iter: it.to_string(),
+                capture: None,
+            }),
+            ["erase", c, it, "->", cap] => current(&mut stack, &mut top).push(Stmt::Erase {
+                container: c.to_string(),
+                iter: it.to_string(),
+                capture: Some(cap.to_string()),
+            }),
+            ["insert", c, it] => current(&mut stack, &mut top).push(Stmt::Insert {
+                container: c.to_string(),
+                iter: it.to_string(),
+            }),
+            ["push_back", c] => current(&mut stack, &mut top).push(Stmt::PushBack {
+                container: c.to_string(),
+            }),
+            ["clear", c] => current(&mut stack, &mut top).push(Stmt::Clear {
+                container: c.to_string(),
+            }),
+            ["assign", dst, src_] => current(&mut stack, &mut top).push(Stmt::Assign {
+                dst: dst.to_string(),
+                src: src_.to_string(),
+            }),
+            ["call", alg, c] | ["call", alg, c, "->", _] => {
+                let algorithm = match *alg {
+                    "sort" => AlgorithmName::Sort,
+                    "find" => AlgorithmName::Find,
+                    "lower_bound" => AlgorithmName::LowerBound,
+                    "binary_search" => AlgorithmName::BinarySearch,
+                    "unique" => AlgorithmName::Unique,
+                    "max_element" => AlgorithmName::MaxElement,
+                    other => return err(lineno, format!("unknown algorithm `{other}`")),
+                };
+                let capture = if toks.len() == 5 {
+                    Some(toks[4].to_string())
+                } else {
+                    None
+                };
+                current(&mut stack, &mut top).push(Stmt::Call {
+                    algorithm,
+                    container: c.to_string(),
+                    capture,
+                });
+            }
+            ["while", it, "!=", "end", "{"] => stack.push(Frame::While {
+                cond: Cond::IterNotEnd {
+                    iter: it.to_string(),
+                },
+                body: Vec::new(),
+            }),
+            ["while", "?", "{"] => stack.push(Frame::While {
+                cond: Cond::Unknown,
+                body: Vec::new(),
+            }),
+            ["if", "{"] => stack.push(Frame::IfThen {
+                then_branch: Vec::new(),
+            }),
+            ["}", "else", "{"] => match stack.pop() {
+                Some(Frame::IfThen { then_branch }) => stack.push(Frame::IfElse {
+                    then_branch,
+                    else_branch: Vec::new(),
+                }),
+                _ => return err(lineno, "`} else {` without a matching `if {`"),
+            },
+            ["}"] => {
+                let stmt = match stack.pop() {
+                    Some(Frame::While { cond, body }) => Stmt::While { cond, body },
+                    Some(Frame::IfThen { then_branch }) => Stmt::If {
+                        then_branch,
+                        else_branch: Vec::new(),
+                    },
+                    Some(Frame::IfElse {
+                        then_branch,
+                        else_branch,
+                    }) => Stmt::If {
+                        then_branch,
+                        else_branch,
+                    },
+                    None => return err(lineno, "unmatched `}`"),
+                };
+                current(&mut stack, &mut top).push(stmt);
+            }
+            _ => return err(lineno, format!("cannot parse `{line}`")),
+        }
+    }
+    if !stack.is_empty() {
+        return err(src.lines().count(), "unclosed block at end of input");
+    }
+    Ok(Program::new(name, top))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze, DiagnosticCode, MSG_SINGULAR, MSG_SORTED_LINEAR};
+    use crate::corpus::fig4_program;
+
+    const FIG4: &str = r"
+        # Fig. 4: extract-and-erase of failing grades (buggy)
+        container students list
+        container failures list
+        iter iter = begin students
+        while iter != end {
+            deref iter            # if (fgrade(*iter))
+            if {
+                deref iter        # failures.push_back(*iter)
+                push_back failures
+                erase students iter
+            } else {
+                advance iter
+            }
+        }
+    ";
+
+    #[test]
+    fn parsed_fig4_matches_the_builder_version() {
+        let parsed = parse("fig4-buggy", FIG4).expect("parses");
+        assert_eq!(parsed, fig4_program(false));
+    }
+
+    #[test]
+    fn parsed_fig4_produces_the_paper_diagnostic() {
+        let parsed = parse("fig4-buggy", FIG4).unwrap();
+        let diags = analyze(&parsed);
+        assert!(diags.iter().any(|d| d.message == MSG_SINGULAR));
+    }
+
+    #[test]
+    fn fixed_source_with_capture_arrow_is_clean() {
+        let fixed = FIG4.replace("erase students iter", "erase students iter -> iter");
+        let parsed = parse("fig4-fixed", &fixed).unwrap();
+        assert_eq!(parsed, fig4_program(true));
+        let diags = analyze(&parsed);
+        assert!(!diags.iter().any(|d| d.code == DiagnosticCode::DerefSingular));
+    }
+
+    #[test]
+    fn sorted_linear_search_from_source() {
+        let src = r"
+            container v vector
+            call sort v
+            call find v -> i
+        ";
+        let diags = analyze(&parse("p", src).unwrap());
+        assert!(diags.iter().any(|d| d.message == MSG_SORTED_LINEAR));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse("p", "container v hashmap").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("hashmap"));
+
+        let e = parse("p", "container v vector\nfrobnicate v").unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = parse("p", "while x != end {\n  deref x").unwrap_err();
+        assert!(e.message.contains("unclosed"));
+
+        let e = parse("p", "}").unwrap_err();
+        assert!(e.message.contains("unmatched"));
+
+        let e = parse("p", "} else {").unwrap_err();
+        assert!(e.message.contains("without a matching"));
+    }
+
+    #[test]
+    fn clear_parses_and_comments_are_ignored() {
+        let src = "container v vector # trailing comment\nclear v";
+        let p = parse("p", src).unwrap();
+        assert_eq!(p.stmts.len(), 2);
+        assert!(matches!(p.stmts[1], Stmt::Clear { .. }));
+    }
+
+    #[test]
+    fn nested_blocks_parse() {
+        let src = r"
+            container v list
+            iter it = begin v
+            while it != end {
+                if {
+                    while ? {
+                        advance it
+                    }
+                } else {
+                    deref it
+                }
+                advance it
+            }
+        ";
+        let p = parse("nested", src).unwrap();
+        assert_eq!(p.stmts.len(), 3);
+        let _ = analyze(&p); // must not panic
+    }
+}

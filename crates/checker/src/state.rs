@@ -1,0 +1,237 @@
+//! Abstract domains for the checker: iterator validity, end-position
+//! knowledge, container versions, and the sortedness property lattice.
+//!
+//! The analysis is flow-sensitive and path-insensitive: branches are
+//! analyzed separately and **joined**, loops are iterated to a fixpoint.
+//! All lattices here are tiny and finite, so fixpoints arrive in a handful
+//! of passes.
+
+use crate::ir::ContainerKind;
+use std::collections::BTreeMap;
+
+/// Is the iterator usable at all?
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Validity {
+    /// Definitely valid.
+    Valid,
+    /// Valid on some paths, singular on others.
+    MaybeSingular,
+    /// Definitely singular (invalidated or never initialized).
+    Singular,
+}
+
+impl Validity {
+    /// Lattice join (least upper bound towards uncertainty).
+    pub fn join(self, other: Validity) -> Validity {
+        if self == other {
+            self
+        } else {
+            Validity::MaybeSingular
+        }
+    }
+}
+
+/// Does the iterator sit at the past-the-end position?
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AtEnd {
+    /// Definitely dereferenceable (not at end).
+    No,
+    /// Unknown.
+    Maybe,
+    /// Definitely at the end.
+    Yes,
+}
+
+impl AtEnd {
+    /// Lattice join.
+    pub fn join(self, other: AtEnd) -> AtEnd {
+        if self == other {
+            self
+        } else {
+            AtEnd::Maybe
+        }
+    }
+}
+
+/// The sortedness property installed/consumed by the algorithm handlers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sortedness {
+    /// Known sorted (post-`sort`).
+    Sorted,
+    /// Known modified since any sort.
+    Unsorted,
+    /// No information.
+    Unknown,
+}
+
+impl Sortedness {
+    /// Lattice join.
+    pub fn join(self, other: Sortedness) -> Sortedness {
+        if self == other {
+            self
+        } else {
+            Sortedness::Unknown
+        }
+    }
+}
+
+/// Abstract container state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContainerInfo {
+    /// Invalidation-semantics kind.
+    pub kind: ContainerKind,
+    /// The sortedness property.
+    pub sorted: Sortedness,
+    /// Could the container be empty? (`begin()` of a maybe-empty container
+    /// is maybe-at-end.)
+    pub maybe_empty: bool,
+}
+
+/// Abstract iterator state.
+///
+/// Invalidation is **direct**: the invalidating operation marks every
+/// affected iterator [`Validity::Singular`] at the point it happens, so
+/// joins never conflate "reacquired after the mutation" with "stale".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IterInfo {
+    /// Container the iterator points into.
+    pub container: String,
+    /// Validity level.
+    pub validity: Validity,
+    /// End-position knowledge.
+    pub at_end: AtEnd,
+}
+
+impl IterInfo {
+    /// Join two states of the same iterator name.
+    pub fn join(&self, other: &IterInfo) -> IterInfo {
+        let mut validity = self.validity.join(other.validity);
+        // Pointing at different containers on different paths means the
+        // analysis has lost track of what the handle refers to.
+        if self.container != other.container {
+            validity = validity.join(Validity::MaybeSingular);
+        }
+        IterInfo {
+            container: self.container.clone(),
+            validity,
+            at_end: self.at_end.join(other.at_end),
+        }
+    }
+}
+
+/// The full abstract state at a program point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AbsState {
+    /// Containers in scope.
+    pub containers: BTreeMap<String, ContainerInfo>,
+    /// Iterators in scope.
+    pub iters: BTreeMap<String, IterInfo>,
+}
+
+impl AbsState {
+    /// Join two states (after a branch, or loop back-edge).
+    pub fn join(&self, other: &AbsState) -> AbsState {
+        let mut out = AbsState::default();
+        for (name, a) in &self.containers {
+            let merged = match other.containers.get(name) {
+                Some(b) => ContainerInfo {
+                    kind: a.kind,
+                    sorted: a.sorted.join(b.sorted),
+                    maybe_empty: a.maybe_empty || b.maybe_empty,
+                },
+                None => a.clone(),
+            };
+            out.containers.insert(name.clone(), merged);
+        }
+        for (name, b) in &other.containers {
+            out.containers.entry(name.clone()).or_insert_with(|| b.clone());
+        }
+        for (name, a) in &self.iters {
+            let merged = match other.iters.get(name) {
+                Some(b) => a.join(b),
+                // Declared on one path only: usable only maybe.
+                None => IterInfo {
+                    validity: a.validity.join(Validity::MaybeSingular),
+                    ..a.clone()
+                },
+            };
+            out.iters.insert(name.clone(), merged);
+        }
+        for (name, b) in &other.iters {
+            out.iters.entry(name.clone()).or_insert_with(|| IterInfo {
+                validity: b.validity.join(Validity::MaybeSingular),
+                ..b.clone()
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_join_is_commutative_and_absorbing() {
+        use Validity::*;
+        assert_eq!(Valid.join(Valid), Valid);
+        assert_eq!(Valid.join(Singular), MaybeSingular);
+        assert_eq!(Singular.join(Valid), MaybeSingular);
+        assert_eq!(Singular.join(Singular), Singular);
+        assert_eq!(MaybeSingular.join(Valid), MaybeSingular);
+    }
+
+    #[test]
+    fn at_end_and_sortedness_joins() {
+        assert_eq!(AtEnd::No.join(AtEnd::Yes), AtEnd::Maybe);
+        assert_eq!(AtEnd::Maybe.join(AtEnd::Maybe), AtEnd::Maybe);
+        assert_eq!(Sortedness::Sorted.join(Sortedness::Unsorted), Sortedness::Unknown);
+        assert_eq!(Sortedness::Sorted.join(Sortedness::Sorted), Sortedness::Sorted);
+    }
+
+    #[test]
+    fn iter_join_detects_container_divergence() {
+        let a = IterInfo {
+            container: "c".into(),
+            validity: Validity::Valid,
+            at_end: AtEnd::No,
+        };
+        let mut b = a.clone();
+        b.container = "d".into(); // points elsewhere on the other path
+        let j = a.join(&b);
+        assert_eq!(j.validity, Validity::MaybeSingular);
+    }
+
+    #[test]
+    fn state_join_handles_one_sided_declarations() {
+        let mut a = AbsState::default();
+        a.iters.insert(
+            "it".into(),
+            IterInfo {
+                container: "c".into(),
+                validity: Validity::Valid,
+                at_end: AtEnd::No,
+            },
+        );
+        let b = AbsState::default();
+        let j = a.join(&b);
+        assert_eq!(j.iters["it"].validity, Validity::MaybeSingular);
+        let j2 = b.join(&a);
+        assert_eq!(j2.iters["it"].validity, Validity::MaybeSingular);
+    }
+
+    #[test]
+    fn container_join_ors_maybe_empty() {
+        let mk = |maybe_empty| ContainerInfo {
+            kind: ContainerKind::Vector,
+            sorted: Sortedness::Unknown,
+            maybe_empty,
+        };
+        let mut a = AbsState::default();
+        a.containers.insert("c".into(), mk(false));
+        let mut b = AbsState::default();
+        b.containers.insert("c".into(), mk(true));
+        let j = a.join(&b);
+        assert!(j.containers["c"].maybe_empty);
+    }
+}

@@ -1,0 +1,776 @@
+//! Algebraic concepts as traits, with executable axiom checks.
+//!
+//! The paper's optimizer (Fig. 5) keys rewrite rules on algebraic concepts:
+//! `x + 0 → x` is valid when `(x, +)` models **Monoid**, `x + (-x) → 0` when
+//! `(x, +, -)` models **Group**. This module gives those concepts a trait
+//! encoding where the *operation witness* is a value (e.g. [`AddOp`]), so a
+//! single type can participate in several models — `(i64, +)` and
+//! `(i64, *)` are different monoids, exactly as the paper treats them.
+//!
+//! Semantic constraints are executable: [`check_associativity`],
+//! [`check_identity`], [`check_inverse`], [`check_commutativity`],
+//! [`check_distributivity`], and [`check_vector_space`] validate models on
+//! sample data (with approximate equality for floating point via [`AlgEq`]).
+//!
+//! The multi-type **Vector Space** concept of Fig. 3 is [`VectorSpace`],
+//! deliberately parameterized over *both* the vector and the scalar type —
+//! the scalar is not an associated type of the vector, which is what makes
+//! the mixed-precision (CLACRM) kernels expressible (experiment E2).
+
+use std::ops::{Add, Mul, Neg};
+
+// ---------------------------------------------------------------------------
+// Supporting numeric traits
+// ---------------------------------------------------------------------------
+
+/// Additive identity.
+pub trait Zero: Sized {
+    /// The zero element.
+    fn zero() -> Self;
+}
+
+/// Multiplicative identity.
+pub trait One: Sized {
+    /// The one element.
+    fn one() -> Self;
+}
+
+/// Multiplicative inverse (for field-like types).
+pub trait Recip: Sized {
+    /// `1 / self`. Precondition: `self` is invertible (non-zero).
+    fn recip(&self) -> Self;
+}
+
+/// Least and greatest elements (identities for max/min monoids).
+pub trait Bounded: Sized {
+    /// The least value of the type.
+    fn min_value() -> Self;
+    /// The greatest value of the type.
+    fn max_value() -> Self;
+}
+
+/// Equality for axiom checking: exact for discrete types, relative-epsilon
+/// for floating point.
+pub trait AlgEq {
+    /// True if the two values are equal for the purposes of axiom checking.
+    fn alg_eq(&self, other: &Self) -> bool;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Zero for $t { fn zero() -> Self { 0 } }
+        impl One for $t { fn one() -> Self { 1 } }
+        impl Bounded for $t {
+            fn min_value() -> Self { <$t>::MIN }
+            fn max_value() -> Self { <$t>::MAX }
+        }
+        impl AlgEq for $t { fn alg_eq(&self, other: &Self) -> bool { self == other } }
+    )*};
+}
+int_impls!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Zero for $t { fn zero() -> Self { 0.0 } }
+        impl One for $t { fn one() -> Self { 1.0 } }
+        impl Recip for $t { fn recip(&self) -> Self { 1.0 / self } }
+        impl Bounded for $t {
+            fn min_value() -> Self { <$t>::NEG_INFINITY }
+            fn max_value() -> Self { <$t>::INFINITY }
+        }
+        impl AlgEq for $t {
+            fn alg_eq(&self, other: &Self) -> bool {
+                if self == other {
+                    return true;
+                }
+                let scale = self.abs().max(other.abs()).max(1.0);
+                (self - other).abs() <= scale * (<$t>::EPSILON * 64.0)
+            }
+        }
+    )*};
+}
+float_impls!(f32, f64);
+
+impl AlgEq for bool {
+    fn alg_eq(&self, other: &Self) -> bool {
+        self == other
+    }
+}
+
+impl AlgEq for String {
+    fn alg_eq(&self, other: &Self) -> bool {
+        self == other
+    }
+}
+
+impl<T: AlgEq> AlgEq for Vec<T> {
+    fn alg_eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other).all(|(a, b)| a.alg_eq(b))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operation witnesses and algebraic concept traits
+// ---------------------------------------------------------------------------
+
+/// A binary operation witness on `T` — the "(x, +)" pairing of a type with
+/// an operation that the paper's concept descriptions revolve around.
+pub trait BinaryOp<T> {
+    /// Apply the operation.
+    fn op(&self, a: &T, b: &T) -> T;
+    /// Display name used in diagnostics and rewrite rules.
+    fn name(&self) -> &'static str {
+        "op"
+    }
+}
+
+/// Marker: the operation is associative (Semigroup concept).
+pub trait Semigroup<T>: BinaryOp<T> {}
+
+/// Marker: the operation is commutative.
+pub trait CommutativeOp<T>: BinaryOp<T> {}
+
+/// The operation has a two-sided identity element.
+pub trait Identity<T>: BinaryOp<T> {
+    /// The identity element.
+    fn identity(&self) -> T;
+}
+
+/// The Monoid concept: associative operation with identity.
+pub trait Monoid<T>: Semigroup<T> + Identity<T> {}
+impl<T, O: Semigroup<T> + Identity<T>> Monoid<T> for O {}
+
+/// Every element has a two-sided inverse.
+pub trait Inverse<T>: Identity<T> {
+    /// The inverse of `a`.
+    fn inverse(&self, a: &T) -> T;
+}
+
+/// The Group concept: monoid with inverses.
+pub trait Group<T>: Monoid<T> + Inverse<T> {}
+impl<T, O: Monoid<T> + Inverse<T>> Group<T> for O {}
+
+/// The Abelian (commutative) Group concept.
+pub trait AbelianGroup<T>: Group<T> + CommutativeOp<T> {}
+impl<T, O: Group<T> + CommutativeOp<T>> AbelianGroup<T> for O {}
+
+/// The Ring concept over a single carrier type: `(T, +, *)` where `(T, +)`
+/// is an abelian group, `(T, *)` a monoid, and `*` distributes over `+`.
+pub trait Ring<T> {
+    /// Addition.
+    fn add(&self, a: &T, b: &T) -> T;
+    /// Multiplication.
+    fn mul(&self, a: &T, b: &T) -> T;
+    /// Additive identity.
+    fn zero(&self) -> T;
+    /// Multiplicative identity.
+    fn one(&self) -> T;
+    /// Additive inverse.
+    fn neg(&self, a: &T) -> T;
+}
+
+/// The Field concept: a commutative ring with multiplicative inverses.
+pub trait Field<T>: Ring<T> {
+    /// Multiplicative inverse. Precondition: `a` is non-zero.
+    fn recip(&self, a: &T) -> T;
+}
+
+/// The Vector Space multi-type concept (Fig. 3): `V` over scalar field `S`.
+///
+/// Crucially `S` is an independent parameter, **not** an associated type of
+/// `V`: "in general, the scalar type of a vector space is not *determined*
+/// by the vector type" — the CLACRM mixed-precision kernels depend on
+/// `Vec<Complex<f32>>` forming a vector space over *both* `f32` and
+/// `Complex<f32>`.
+pub trait VectorSpace<V, S> {
+    /// Vector addition.
+    fn vadd(&self, a: &V, b: &V) -> V;
+    /// The zero vector.
+    fn vzero(&self) -> V;
+    /// Additive inverse of a vector.
+    fn vneg(&self, a: &V) -> V;
+    /// Scalar multiplication `mult(s, v)` of Fig. 3.
+    fn scale(&self, s: &S, v: &V) -> V;
+}
+
+// ---------------------------------------------------------------------------
+// Standard operation witnesses
+// ---------------------------------------------------------------------------
+
+/// Addition witness: `(T, +)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AddOp;
+
+impl<T: Clone + Add<Output = T>> BinaryOp<T> for AddOp {
+    fn op(&self, a: &T, b: &T) -> T {
+        a.clone() + b.clone()
+    }
+    fn name(&self) -> &'static str {
+        "+"
+    }
+}
+impl<T: Clone + Add<Output = T>> Semigroup<T> for AddOp {}
+impl<T: Clone + Add<Output = T>> CommutativeOp<T> for AddOp {}
+impl<T: Clone + Add<Output = T> + Zero> Identity<T> for AddOp {
+    fn identity(&self) -> T {
+        T::zero()
+    }
+}
+impl<T: Clone + Add<Output = T> + Zero + Neg<Output = T>> Inverse<T> for AddOp {
+    fn inverse(&self, a: &T) -> T {
+        -a.clone()
+    }
+}
+
+/// Multiplication witness: `(T, *)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MulOp;
+
+impl<T: Clone + Mul<Output = T>> BinaryOp<T> for MulOp {
+    fn op(&self, a: &T, b: &T) -> T {
+        a.clone() * b.clone()
+    }
+    fn name(&self) -> &'static str {
+        "*"
+    }
+}
+impl<T: Clone + Mul<Output = T>> Semigroup<T> for MulOp {}
+impl<T: Clone + Mul<Output = T>> CommutativeOp<T> for MulOp {}
+impl<T: Clone + Mul<Output = T> + One> Identity<T> for MulOp {
+    fn identity(&self) -> T {
+        T::one()
+    }
+}
+impl<T: Clone + Mul<Output = T> + One + Recip> Inverse<T> for MulOp {
+    fn inverse(&self, a: &T) -> T {
+        a.recip()
+    }
+}
+
+/// Boolean conjunction witness: `(bool, ∧)` with identity `true`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AndOp;
+
+impl BinaryOp<bool> for AndOp {
+    fn op(&self, a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+    fn name(&self) -> &'static str {
+        "&&"
+    }
+}
+impl Semigroup<bool> for AndOp {}
+impl CommutativeOp<bool> for AndOp {}
+impl Identity<bool> for AndOp {
+    fn identity(&self) -> bool {
+        true
+    }
+}
+
+/// Boolean disjunction witness: `(bool, ∨)` with identity `false`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrOp;
+
+impl BinaryOp<bool> for OrOp {
+    fn op(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn name(&self) -> &'static str {
+        "||"
+    }
+}
+impl Semigroup<bool> for OrOp {}
+impl CommutativeOp<bool> for OrOp {}
+impl Identity<bool> for OrOp {
+    fn identity(&self) -> bool {
+        false
+    }
+}
+
+/// Bitwise-and witness: `(uN, &)` with identity all-ones (the paper's
+/// `i & 0xFFF… → i` instance in Fig. 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BitAndOp;
+
+macro_rules! bitand_impls {
+    ($($t:ty),*) => {$(
+        impl BinaryOp<$t> for BitAndOp {
+            fn op(&self, a: &$t, b: &$t) -> $t { a & b }
+            fn name(&self) -> &'static str { "&" }
+        }
+        impl Semigroup<$t> for BitAndOp {}
+        impl CommutativeOp<$t> for BitAndOp {}
+        impl Identity<$t> for BitAndOp {
+            fn identity(&self) -> $t { <$t>::MAX }
+        }
+    )*};
+}
+bitand_impls!(u8, u16, u32, u64, u128, usize);
+
+/// Minimum witness: `(T, min)` with identity `T::max_value()`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinOp;
+
+impl<T: Clone + PartialOrd> BinaryOp<T> for MinOp {
+    fn op(&self, a: &T, b: &T) -> T {
+        if b < a {
+            b.clone()
+        } else {
+            a.clone()
+        }
+    }
+    fn name(&self) -> &'static str {
+        "min"
+    }
+}
+impl<T: Clone + PartialOrd> Semigroup<T> for MinOp {}
+impl<T: Clone + PartialOrd> CommutativeOp<T> for MinOp {}
+impl<T: Clone + PartialOrd + Bounded> Identity<T> for MinOp {
+    fn identity(&self) -> T {
+        T::max_value()
+    }
+}
+
+/// Maximum witness: `(T, max)` with identity `T::min_value()`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxOp;
+
+impl<T: Clone + PartialOrd> BinaryOp<T> for MaxOp {
+    fn op(&self, a: &T, b: &T) -> T {
+        if b > a {
+            b.clone()
+        } else {
+            a.clone()
+        }
+    }
+    fn name(&self) -> &'static str {
+        "max"
+    }
+}
+impl<T: Clone + PartialOrd> Semigroup<T> for MaxOp {}
+impl<T: Clone + PartialOrd> CommutativeOp<T> for MaxOp {}
+impl<T: Clone + PartialOrd + Bounded> Identity<T> for MaxOp {
+    fn identity(&self) -> T {
+        T::min_value()
+    }
+}
+
+/// String/sequence concatenation witness (a non-commutative monoid — the
+/// `concat(s, "") → s` instance of Fig. 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConcatOp;
+
+impl BinaryOp<String> for ConcatOp {
+    fn op(&self, a: &String, b: &String) -> String {
+        let mut s = a.clone();
+        s.push_str(b);
+        s
+    }
+    fn name(&self) -> &'static str {
+        "concat"
+    }
+}
+impl Semigroup<String> for ConcatOp {}
+impl Identity<String> for ConcatOp {
+    fn identity(&self) -> String {
+        String::new()
+    }
+}
+
+impl<T: Clone> BinaryOp<Vec<T>> for ConcatOp {
+    fn op(&self, a: &Vec<T>, b: &Vec<T>) -> Vec<T> {
+        let mut v = a.clone();
+        v.extend(b.iter().cloned());
+        v
+    }
+    fn name(&self) -> &'static str {
+        "concat"
+    }
+}
+impl<T: Clone> Semigroup<Vec<T>> for ConcatOp {}
+impl<T: Clone> Identity<Vec<T>> for ConcatOp {
+    fn identity(&self) -> Vec<T> {
+        Vec::new()
+    }
+}
+
+/// The ring/field of a numeric type via its std operators.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NumericRing;
+
+impl<T> Ring<T> for NumericRing
+where
+    T: Clone + Add<Output = T> + Mul<Output = T> + Neg<Output = T> + Zero + One,
+{
+    fn add(&self, a: &T, b: &T) -> T {
+        a.clone() + b.clone()
+    }
+    fn mul(&self, a: &T, b: &T) -> T {
+        a.clone() * b.clone()
+    }
+    fn zero(&self) -> T {
+        T::zero()
+    }
+    fn one(&self) -> T {
+        T::one()
+    }
+    fn neg(&self, a: &T) -> T {
+        -a.clone()
+    }
+}
+
+impl<T> Field<T> for NumericRing
+where
+    T: Clone + Add<Output = T> + Mul<Output = T> + Neg<Output = T> + Zero + One + Recip,
+{
+    fn recip(&self, a: &T) -> T {
+        a.recip()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executable axiom checks
+// ---------------------------------------------------------------------------
+
+/// Check associativity over all triples drawn from `samples` (capped).
+pub fn check_associativity<T: AlgEq + Clone>(
+    op: &impl BinaryOp<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    let cap = samples.len().min(24);
+    let mut checked = 0;
+    for a in &samples[..cap] {
+        for b in &samples[..cap] {
+            for c in &samples[..cap] {
+                let l = op.op(&op.op(a, b), c);
+                let r = op.op(a, &op.op(b, c));
+                if !l.alg_eq(&r) {
+                    return Err(format!(
+                        "associativity of `{}` failed on sample triple #{checked}",
+                        op.name()
+                    ));
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Check the two-sided identity law over `samples`.
+pub fn check_identity<T: AlgEq + Clone>(
+    op: &impl Identity<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    let e = op.identity();
+    for (i, a) in samples.iter().enumerate() {
+        if !op.op(a, &e).alg_eq(a) || !op.op(&e, a).alg_eq(a) {
+            return Err(format!(
+                "identity law of `{}` failed on sample #{i}",
+                op.name()
+            ));
+        }
+    }
+    Ok(samples.len())
+}
+
+/// Check the two-sided inverse law over `samples`.
+pub fn check_inverse<T: AlgEq + Clone>(
+    op: &impl Inverse<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    let e = op.identity();
+    for (i, a) in samples.iter().enumerate() {
+        let inv = op.inverse(a);
+        if !op.op(a, &inv).alg_eq(&e) || !op.op(&inv, a).alg_eq(&e) {
+            return Err(format!(
+                "inverse law of `{}` failed on sample #{i}",
+                op.name()
+            ));
+        }
+    }
+    Ok(samples.len())
+}
+
+/// Check commutativity over all pairs drawn from `samples` (capped).
+pub fn check_commutativity<T: AlgEq + Clone>(
+    op: &impl BinaryOp<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    let cap = samples.len().min(64);
+    let mut checked = 0;
+    for a in &samples[..cap] {
+        for b in &samples[..cap] {
+            if !op.op(a, b).alg_eq(&op.op(b, a)) {
+                return Err(format!(
+                    "commutativity of `{}` failed on sample pair #{checked}",
+                    op.name()
+                ));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+/// Check both distributivity laws of a ring over sample triples (capped).
+pub fn check_distributivity<T: AlgEq + Clone>(
+    ring: &impl Ring<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    let cap = samples.len().min(16);
+    let mut checked = 0;
+    for a in &samples[..cap] {
+        for b in &samples[..cap] {
+            for c in &samples[..cap] {
+                let left = ring.mul(a, &ring.add(b, c));
+                let right = ring.add(&ring.mul(a, b), &ring.mul(a, c));
+                if !left.alg_eq(&right) {
+                    return Err(format!("left distributivity failed on triple #{checked}"));
+                }
+                let left = ring.mul(&ring.add(a, b), c);
+                let right = ring.add(&ring.mul(a, c), &ring.mul(b, c));
+                if !left.alg_eq(&right) {
+                    return Err(format!("right distributivity failed on triple #{checked}"));
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Check the vector-space axioms (compatibility of scaling, identity scalar,
+/// distributivity over vector and scalar addition) on sample data.
+pub fn check_vector_space<V, S>(
+    vs: &impl VectorSpace<V, S>,
+    field: &impl Field<S>,
+    scalars: &[S],
+    vectors: &[V],
+) -> Result<usize, String>
+where
+    V: AlgEq + Clone,
+    S: Clone,
+{
+    let one = field.one();
+    let mut checked = 0;
+    for v in vectors {
+        // 1 * v == v
+        if !vs.scale(&one, v).alg_eq(v) {
+            return Err("identity scalar law failed".to_string());
+        }
+        // v + (-v) == 0
+        if !vs.vadd(v, &vs.vneg(v)).alg_eq(&vs.vzero()) {
+            return Err("vector additive inverse law failed".to_string());
+        }
+        checked += 2;
+    }
+    let scap = scalars.len().min(8);
+    let vcap = vectors.len().min(8);
+    for s in &scalars[..scap] {
+        for t in &scalars[..scap] {
+            for v in &vectors[..vcap] {
+                // (s * t) v == s (t v)
+                let l = vs.scale(&field.mul(s, t), v);
+                let r = vs.scale(s, &vs.scale(t, v));
+                if !l.alg_eq(&r) {
+                    return Err("scalar compatibility law failed".to_string());
+                }
+                // (s + t) v == s v + t v
+                let l = vs.scale(&field.add(s, t), v);
+                let r = vs.vadd(&vs.scale(s, v), &vs.scale(t, v));
+                if !l.alg_eq(&r) {
+                    return Err("scalar distributivity law failed".to_string());
+                }
+                checked += 2;
+            }
+        }
+        for u in &vectors[..vcap] {
+            for v in &vectors[..vcap] {
+                // s (u + v) == s u + s v
+                let l = vs.scale(s, &vs.vadd(u, v));
+                let r = vs.vadd(&vs.scale(s, u), &vs.scale(s, v));
+                if !l.alg_eq(&r) {
+                    return Err("vector distributivity law failed".to_string());
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// A generic fold over a slice using any [`Monoid`] — the canonical
+/// concept-constrained generic algorithm (`accumulate`).
+pub fn monoid_fold<T, O: Monoid<T>>(op: &O, items: &[T]) -> T {
+    let mut acc = op.identity();
+    for x in items {
+        acc = op.op(&acc, x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints() -> Vec<i64> {
+        vec![-7, -3, -1, 0, 1, 2, 5, 11, 42, -100]
+    }
+
+    #[test]
+    fn integer_addition_is_an_abelian_group() {
+        let s = ints();
+        assert!(check_associativity(&AddOp, &s).is_ok());
+        assert!(check_identity::<i64>(&AddOp, &s).is_ok());
+        assert!(check_inverse::<i64>(&AddOp, &s).is_ok());
+        assert!(check_commutativity(&AddOp, &s).is_ok());
+    }
+
+    #[test]
+    fn integer_multiplication_is_a_monoid_not_a_group() {
+        let s = ints();
+        assert!(check_associativity::<i64>(&MulOp, &s).is_ok());
+        assert!(check_identity::<i64>(&MulOp, &s).is_ok());
+        // No Inverse impl for i64 multiplication: `MulOp: Inverse<i64>`
+        // does not hold because i64 lacks `Recip`. (Compile-time fact.)
+    }
+
+    #[test]
+    fn float_multiplication_inverse_holds_approximately() {
+        let s = vec![1.0f64, -2.5, 3.125, 0.3, 1e6, -1e-6];
+        assert!(check_inverse::<f64>(&MulOp, &s).is_ok());
+        assert!(check_associativity::<f64>(&MulOp, &s).is_ok());
+    }
+
+    #[test]
+    fn boolean_and_or_are_monoids() {
+        let s = vec![true, false];
+        assert!(check_associativity(&AndOp, &s).is_ok());
+        assert!(check_identity(&AndOp, &s).is_ok());
+        assert!(check_associativity(&OrOp, &s).is_ok());
+        assert!(check_identity(&OrOp, &s).is_ok());
+    }
+
+    #[test]
+    fn bitand_identity_is_all_ones() {
+        let s: Vec<u32> = vec![0, 1, 0xFFFF_FFFF, 0xDEAD_BEEF, 7];
+        assert!(check_associativity(&BitAndOp, &s).is_ok());
+        assert!(check_identity(&BitAndOp, &s).is_ok());
+        assert_eq!(<BitAndOp as Identity<u32>>::identity(&BitAndOp), u32::MAX);
+    }
+
+    #[test]
+    fn concat_is_a_non_commutative_monoid() {
+        let s: Vec<String> = ["", "a", "bc", "hello "]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(check_associativity(&ConcatOp, &s).is_ok());
+        assert!(check_identity(&ConcatOp, &s).is_ok());
+        assert!(check_commutativity(&ConcatOp, &s).is_err());
+    }
+
+    #[test]
+    fn min_max_monoids() {
+        let s = vec![3i64, -1, 7, 0, 7, 100];
+        assert!(check_associativity(&MinOp, &s).is_ok());
+        assert!(check_identity(&MinOp, &s).is_ok());
+        assert!(check_associativity(&MaxOp, &s).is_ok());
+        assert!(check_identity(&MaxOp, &s).is_ok());
+        assert_eq!(monoid_fold(&MaxOp, &s), 100);
+        assert_eq!(monoid_fold(&MinOp, &s), -1);
+    }
+
+    #[test]
+    fn integer_ring_distributes() {
+        assert!(check_distributivity::<i64>(&NumericRing, &ints()).is_ok());
+    }
+
+    #[test]
+    fn broken_operation_is_caught() {
+        /// Subtraction is not associative: the checker must find this.
+        struct SubOp;
+        impl BinaryOp<i64> for SubOp {
+            fn op(&self, a: &i64, b: &i64) -> i64 {
+                a - b
+            }
+            fn name(&self) -> &'static str {
+                "-"
+            }
+        }
+        let err = check_associativity(&SubOp, &ints()).unwrap_err();
+        assert!(err.contains("associativity"));
+    }
+
+    #[test]
+    fn monoid_fold_equals_iterator_fold() {
+        let s = ints();
+        assert_eq!(monoid_fold(&AddOp, &s), s.iter().sum::<i64>());
+        assert_eq!(monoid_fold(&MulOp, &s), s.iter().product::<i64>());
+        // Empty input yields the identity, which is what makes parallel
+        // tree reduction (gp-parallel) correct.
+        assert_eq!(monoid_fold::<i64, _>(&AddOp, &[]), 0);
+    }
+
+    /// A dense-vector space over f64 used by the axiom checker test.
+    struct RealVecSpace {
+        dim: usize,
+    }
+    impl VectorSpace<Vec<f64>, f64> for RealVecSpace {
+        fn vadd(&self, a: &Vec<f64>, b: &Vec<f64>) -> Vec<f64> {
+            a.iter().zip(b).map(|(x, y)| x + y).collect()
+        }
+        fn vzero(&self) -> Vec<f64> {
+            vec![0.0; self.dim]
+        }
+        fn vneg(&self, a: &Vec<f64>) -> Vec<f64> {
+            a.iter().map(|x| -x).collect()
+        }
+        fn scale(&self, s: &f64, v: &Vec<f64>) -> Vec<f64> {
+            v.iter().map(|x| s * x).collect()
+        }
+    }
+
+    #[test]
+    fn real_vector_space_axioms_hold() {
+        let vs = RealVecSpace { dim: 3 };
+        let scalars = [0.0, 1.0, -2.0, 0.5, 3.25];
+        let vectors = [
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 2.0, 3.0],
+            vec![-1.5, 0.25, 8.0],
+        ];
+        let checked = check_vector_space(&vs, &NumericRing, &scalars, &vectors).unwrap();
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn broken_vector_space_is_caught() {
+        /// Scaling that drops the last coordinate: violates distributivity
+        /// over vector addition? No — it is linear. Violate identity instead.
+        struct Broken;
+        impl VectorSpace<Vec<f64>, f64> for Broken {
+            fn vadd(&self, a: &Vec<f64>, b: &Vec<f64>) -> Vec<f64> {
+                a.iter().zip(b).map(|(x, y)| x + y).collect()
+            }
+            fn vzero(&self) -> Vec<f64> {
+                vec![0.0; 2]
+            }
+            fn vneg(&self, a: &Vec<f64>) -> Vec<f64> {
+                a.iter().map(|x| -x).collect()
+            }
+            fn scale(&self, s: &f64, v: &Vec<f64>) -> Vec<f64> {
+                v.iter().map(|x| s * x + 1.0).collect() // affine, not linear
+            }
+        }
+        let err = check_vector_space(
+            &Broken,
+            &NumericRing,
+            &[1.0, 2.0],
+            &[vec![1.0, 2.0], vec![0.0, 0.0]],
+        )
+        .unwrap_err();
+        assert!(err.contains("law failed"));
+    }
+}

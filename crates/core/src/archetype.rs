@@ -1,0 +1,488 @@
+//! Executable concept archetypes (paper §2.1 and §3.1).
+//!
+//! A *concept archetype* is a minimal model of a concept, used to verify
+//! that a generic algorithm requires nothing beyond what its concept
+//! constraints state. The paper distinguishes:
+//!
+//! * **syntactic archetypes** — minimal syntax; compiling an algorithm
+//!   against one proves it uses only the concept's operations
+//!   ([`ArchetypeElem`]/[`ArchetypeOp`] for Monoid);
+//! * **semantic archetypes** — "emulate the behavior of the *most
+//!   restrictive* model of a particular concept" (§3.1). Running an
+//!   algorithm against one detects hidden semantic requirements:
+//!   [`SinglePassCursor`] is the Input Iterator semantic archetype that
+//!   exposes `max_element`'s undeclared *multipass* dependency (experiment
+//!   E4).
+//!
+//! The module also provides **counting** instrumentation —
+//! [`CountingCursor`] and [`CountingOrder`] — used to *measure* operation
+//! counts and validate complexity guarantees empirically (experiment E9).
+
+use crate::cursor::{
+    AdvanceDispatch, BidirectionalCursor, Category, ForwardCursor, InputCursor,
+    RandomAccessCursor,
+};
+use crate::order::StrictWeakOrder;
+use std::cell::Cell;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Operation counters
+// ---------------------------------------------------------------------------
+
+/// Shared operation counters for instrumented cursors and orders.
+#[derive(Clone, Debug, Default)]
+pub struct Counters(Rc<CounterInner>);
+
+#[derive(Debug, Default)]
+struct CounterInner {
+    reads: Cell<u64>,
+    advances: Cell<u64>,
+    jumps: Cell<u64>,
+    clones: Cell<u64>,
+    equality_tests: Cell<u64>,
+    comparisons: Cell<u64>,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Number of `read` calls.
+    pub fn reads(&self) -> u64 {
+        self.0.reads.get()
+    }
+    /// Number of single-step `advance`/`retreat` calls.
+    pub fn advances(&self) -> u64 {
+        self.0.advances.get()
+    }
+    /// Number of `O(1)` `advance_by`/`distance_to` calls.
+    pub fn jumps(&self) -> u64 {
+        self.0.jumps.get()
+    }
+    /// Number of cursor clones.
+    pub fn clones(&self) -> u64 {
+        self.0.clones.get()
+    }
+    /// Number of cursor equality tests.
+    pub fn equality_tests(&self) -> u64 {
+        self.0.equality_tests.get()
+    }
+    /// Number of element comparisons (via [`CountingOrder`]).
+    pub fn comparisons(&self) -> u64 {
+        self.0.comparisons.get()
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.0.reads.set(0);
+        self.0.advances.set(0);
+        self.0.jumps.set(0);
+        self.0.clones.set(0);
+        self.0.equality_tests.set(0);
+        self.0.comparisons.set(0);
+    }
+
+    fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+}
+
+/// A cursor wrapper that counts every concept operation performed through
+/// it. Wraps any cursor and preserves its category.
+#[derive(Debug)]
+pub struct CountingCursor<C> {
+    inner: C,
+    counters: Counters,
+}
+
+impl<C> CountingCursor<C> {
+    /// Wrap a cursor; operations are tallied into `counters`.
+    pub fn new(inner: C, counters: Counters) -> Self {
+        CountingCursor { inner, counters }
+    }
+
+    /// Access the shared counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Unwrap the inner cursor.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: Clone> Clone for CountingCursor<C> {
+    fn clone(&self) -> Self {
+        Counters::bump(&self.counters.0.clones);
+        CountingCursor {
+            inner: self.inner.clone(),
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+impl<C: InputCursor> InputCursor for CountingCursor<C> {
+    type Item = C::Item;
+    const CATEGORY: Category = C::CATEGORY;
+
+    fn equal(&self, other: &Self) -> bool {
+        Counters::bump(&self.counters.0.equality_tests);
+        self.inner.equal(&other.inner)
+    }
+
+    fn read(&self) -> C::Item {
+        Counters::bump(&self.counters.0.reads);
+        self.inner.read()
+    }
+
+    fn advance(&mut self) {
+        Counters::bump(&self.counters.0.advances);
+        self.inner.advance();
+    }
+}
+
+impl<C: ForwardCursor> ForwardCursor for CountingCursor<C> {}
+
+impl<C: BidirectionalCursor> BidirectionalCursor for CountingCursor<C> {
+    fn retreat(&mut self) {
+        Counters::bump(&self.counters.0.advances);
+        self.inner.retreat();
+    }
+}
+
+impl<C: RandomAccessCursor> RandomAccessCursor for CountingCursor<C> {
+    fn advance_by(&mut self, n: isize) {
+        Counters::bump(&self.counters.0.jumps);
+        self.inner.advance_by(n);
+    }
+
+    fn distance_to(&self, other: &Self) -> isize {
+        Counters::bump(&self.counters.0.jumps);
+        self.inner.distance_to(&other.inner)
+    }
+}
+
+impl<C: InputCursor + AdvanceDispatch> AdvanceDispatch for CountingCursor<C> {
+    // Runtime tag dispatch on the wrapped cursor's declared category:
+    // random-access inners keep their O(1) jumps (counted as jumps), all
+    // others fall back to counted single steps — so measured operation
+    // counts reflect what the algorithm actually costs on that category.
+    fn advance_n(&mut self, n: usize) {
+        if C::CATEGORY == Category::RandomAccess {
+            Counters::bump(&self.counters.0.jumps);
+            self.inner.advance_n(n);
+        } else {
+            for _ in 0..n {
+                self.advance();
+            }
+        }
+    }
+
+    fn steps_until(self, end: &Self) -> usize {
+        if C::CATEGORY == Category::RandomAccess {
+            Counters::bump(&self.counters.0.jumps);
+            self.inner.steps_until(&end.inner)
+        } else {
+            let mut c = self;
+            let mut n = 0;
+            while !c.equal(end) {
+                c.advance();
+                n += 1;
+            }
+            n
+        }
+    }
+}
+
+/// An order wrapper counting element comparisons — the instrument behind
+/// the complexity-guarantee experiments (sort performs `O(n log n)`
+/// comparisons, `lower_bound` `O(log n)`, …).
+#[derive(Clone, Debug)]
+pub struct CountingOrder<O> {
+    inner: O,
+    counters: Counters,
+}
+
+impl<O> CountingOrder<O> {
+    /// Wrap an order; comparisons are tallied into `counters`.
+    pub fn new(inner: O, counters: Counters) -> Self {
+        CountingOrder { inner, counters }
+    }
+}
+
+impl<T, O: StrictWeakOrder<T>> StrictWeakOrder<T> for CountingOrder<O> {
+    fn less(&self, a: &T, b: &T) -> bool {
+        Counters::bump(&self.counters.0.comparisons);
+        self.inner.less(a, b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semantic archetype: the most restrictive Input Cursor
+// ---------------------------------------------------------------------------
+
+/// Record of multipass violations observed by [`SinglePassCursor`]s sharing
+/// a sequence.
+#[derive(Clone, Debug, Default)]
+pub struct PassTracker(Rc<PassState>);
+
+#[derive(Debug, Default)]
+struct PassState {
+    /// One past the furthest position already consumed.
+    high_water: Cell<usize>,
+    /// Number of reads of already-consumed positions (multipass uses).
+    violations: Cell<usize>,
+}
+
+impl PassTracker {
+    /// Number of multipass violations observed so far.
+    pub fn violations(&self) -> usize {
+        self.0.violations.get()
+    }
+}
+
+/// The **semantic archetype of an Input Cursor** (paper §3.1): it
+/// *syntactically* models [`ForwardCursor`] (it is `Clone`), but
+/// *semantically* it permits only one traversal — rereading a position that
+/// any copy has already consumed is recorded as a multipass violation.
+///
+/// Running an algorithm against this archetype answers the question STLlint
+/// asks: does the algorithm "require additional semantic guarantees beyond
+/// what is stated by the semantic concept itself"? `find` (a true
+/// input-iterator algorithm) runs clean; `max_element` (which keeps a
+/// cursor to the best element and rereads through it) does not — exposing
+/// its Forward requirement.
+#[derive(Debug)]
+pub struct SinglePassCursor<T> {
+    data: Rc<Vec<T>>,
+    pos: usize,
+    tracker: PassTracker,
+}
+
+impl<T> SinglePassCursor<T> {
+    /// Build the `[begin, end)` pair over `data`, with a fresh tracker.
+    pub fn make_range(data: Vec<T>) -> (Self, Self, PassTracker) {
+        let data = Rc::new(data);
+        let tracker = PassTracker::default();
+        let n = data.len();
+        (
+            SinglePassCursor {
+                data: data.clone(),
+                pos: 0,
+                tracker: tracker.clone(),
+            },
+            SinglePassCursor {
+                data,
+                pos: n,
+                tracker: tracker.clone(),
+            },
+            tracker,
+        )
+    }
+}
+
+impl<T> Clone for SinglePassCursor<T> {
+    fn clone(&self) -> Self {
+        SinglePassCursor {
+            data: self.data.clone(),
+            pos: self.pos,
+            tracker: self.tracker.clone(),
+        }
+    }
+}
+
+impl<T: Clone> InputCursor for SinglePassCursor<T> {
+    type Item = T;
+    const CATEGORY: Category = Category::Input;
+
+    fn equal(&self, other: &Self) -> bool {
+        self.pos == other.pos
+    }
+
+    fn read(&self) -> T {
+        let s = &self.tracker.0;
+        if self.pos < s.high_water.get() {
+            // A position some copy of this cursor already consumed is being
+            // read again: the algorithm is making a second pass.
+            s.violations.set(s.violations.get() + 1);
+        } else {
+            s.high_water.set(self.pos + 1);
+        }
+        self.data[self.pos].clone()
+    }
+
+    fn advance(&mut self) {
+        assert!(self.pos < self.data.len(), "advance past the end");
+        self.pos += 1;
+    }
+}
+
+// Syntactically Forward (Clone + InputCursor) — the whole point: the
+// violation is semantic, invisible to the type system.
+impl<T: Clone> ForwardCursor for SinglePassCursor<T> {}
+impl<T: Clone> AdvanceDispatch for SinglePassCursor<T> {}
+
+// ---------------------------------------------------------------------------
+// Syntactic archetype: minimal Monoid model
+// ---------------------------------------------------------------------------
+
+/// Element type of the minimal Monoid archetype. Deliberately implements
+/// *only* `Clone` (required to be returnable) — no `PartialEq`, no `Debug`
+/// formatting of the payload, no arithmetic. Instantiating a generic
+/// algorithm with this type proves the algorithm requires no syntax beyond
+/// the Monoid concept's operations.
+#[derive(Clone)]
+pub struct ArchetypeElem(u64);
+
+impl ArchetypeElem {
+    /// Wrap a value (test harnesses need a way in).
+    pub fn new(v: u64) -> Self {
+        ArchetypeElem(v)
+    }
+
+    /// Extract the payload (test harnesses need a way out; generic code
+    /// under test must not call this).
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The minimal Monoid operation witness over [`ArchetypeElem`]
+/// (addition mod 2^64 under the hood, invisible to generic code).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArchetypeOp;
+
+impl crate::algebra::BinaryOp<ArchetypeElem> for ArchetypeOp {
+    fn op(&self, a: &ArchetypeElem, b: &ArchetypeElem) -> ArchetypeElem {
+        ArchetypeElem(a.0.wrapping_add(b.0))
+    }
+    fn name(&self) -> &'static str {
+        "archetype-op"
+    }
+}
+impl crate::algebra::Semigroup<ArchetypeElem> for ArchetypeOp {}
+impl crate::algebra::Identity<ArchetypeElem> for ArchetypeOp {
+    fn identity(&self) -> ArchetypeElem {
+        ArchetypeElem(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::monoid_fold;
+    use crate::cursor::SliceCursor;
+    use crate::order::NaturalLess;
+
+    #[test]
+    fn counting_cursor_tallies_operations() {
+        let data: Vec<i32> = (0..10).collect();
+        let counters = Counters::new();
+        let r = SliceCursor::whole(&data);
+        let mut c = CountingCursor::new(r.first, counters.clone());
+        let end = CountingCursor::new(r.last, counters.clone());
+        let mut sum = 0;
+        while !c.equal(&end) {
+            sum += c.read();
+            c.advance();
+        }
+        assert_eq!(sum, 45);
+        assert_eq!(counters.reads(), 10);
+        assert_eq!(counters.advances(), 10);
+        assert_eq!(counters.equality_tests(), 11);
+        counters.reset();
+        assert_eq!(counters.reads(), 0);
+    }
+
+    #[test]
+    fn counting_cursor_preserves_random_access() {
+        let data: Vec<i32> = (0..100).collect();
+        let counters = Counters::new();
+        let r = SliceCursor::whole(&data);
+        let mut c = CountingCursor::new(r.first, counters.clone());
+        c.advance_by(50);
+        assert_eq!(c.read(), 50);
+        assert_eq!(counters.jumps(), 1);
+        assert_eq!(counters.advances(), 0);
+    }
+
+    #[test]
+    fn counting_order_tallies_comparisons() {
+        let counters = Counters::new();
+        let ord = CountingOrder::new(NaturalLess, counters.clone());
+        let v = [5, 2, 9, 1];
+        let mut best = &v[0];
+        for x in &v[1..] {
+            if ord.less(best, x) {
+                best = x;
+            }
+        }
+        assert_eq!(*best, 9);
+        assert_eq!(counters.comparisons(), 3);
+    }
+
+    #[test]
+    fn single_pass_archetype_allows_one_traversal() {
+        let (mut first, last, tracker) = SinglePassCursor::make_range(vec![1, 2, 3]);
+        let mut sum = 0;
+        while !first.equal(&last) {
+            sum += first.read();
+            first.advance();
+        }
+        assert_eq!(sum, 6);
+        assert_eq!(tracker.violations(), 0);
+    }
+
+    #[test]
+    fn single_pass_archetype_detects_second_pass() {
+        let (first, last, tracker) = SinglePassCursor::make_range(vec![1, 2, 3]);
+        // First traversal: clean.
+        let mut c = first.clone();
+        while !c.equal(&last) {
+            c.read();
+            c.advance();
+        }
+        assert_eq!(tracker.violations(), 0);
+        // Second traversal through a clone: every read is a violation.
+        let mut c = first.clone();
+        while !c.equal(&last) {
+            c.read();
+            c.advance();
+        }
+        assert_eq!(tracker.violations(), 3);
+    }
+
+    #[test]
+    fn single_pass_archetype_detects_max_element_style_reread() {
+        // A hand-rolled max_element that remembers the best *cursor* and
+        // dereferences it again at the end — the hidden multipass use.
+        let (first, last, tracker) = SinglePassCursor::make_range(vec![3, 9, 4]);
+        let mut cur = first.clone();
+        let mut best = cur.clone();
+        let mut best_val = best.read();
+        cur.advance();
+        while !cur.equal(&last) {
+            let v = cur.read();
+            if best_val < v {
+                best = cur.clone();
+                best_val = v;
+            }
+            cur.advance();
+        }
+        assert_eq!(tracker.violations(), 0);
+        let _ = best.read(); // final dereference of the remembered position
+        assert_eq!(tracker.violations(), 1);
+    }
+
+    #[test]
+    fn monoid_archetype_compiles_against_generic_fold() {
+        // Compile-time proof that monoid_fold needs only the Monoid ops.
+        let items: Vec<ArchetypeElem> = (1..=4).map(ArchetypeElem::new).collect();
+        let total = monoid_fold(&ArchetypeOp, &items);
+        assert_eq!(total.get(), 10);
+    }
+}

@@ -1,0 +1,492 @@
+//! First-class concept descriptions.
+//!
+//! A [`Concept`] formalizes an abstraction as a set of requirements on one
+//! or more types (multi-type concepts, §2.4 of the paper). Requirements come
+//! in the four kinds the paper enumerates (§2): associated types, function
+//! signatures (valid expressions), semantic constraints (axioms), and
+//! complexity guarantees.
+//!
+//! Concepts are plain data: they can be inspected, composed by *refinement*,
+//! checked against *model declarations* (the registry verifies conformance),
+//! expanded by *constraint propagation* (§2.3), and used for concept-based
+//! *overload resolution* (§2.1). The executable pieces — axiom checks run
+//! against concrete models — are attached through the [`Registry`].
+
+mod overload;
+mod propagation;
+mod registry;
+
+pub use overload::{resolve_overload, Implementation, ResolvedOverload};
+pub use propagation::{build_multitype_chain, PropagationReport};
+pub use registry::{ModelDecl, ModelId, Registry};
+
+use std::fmt;
+
+/// Identifier of a concept inside a [`Registry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(pub(crate) u32);
+
+/// A type expression occurring in a requirement position.
+///
+/// Type expressions are written relative to the parameters of the enclosing
+/// concept: `Param("G")` is the concept parameter `G`, `Assoc(G,
+/// "vertex_type")` is the associated type `G::vertex_type`, and
+/// `Named("i32")` is a concrete type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TypeExpr {
+    /// A concept parameter, e.g. `G`.
+    Param(String),
+    /// An associated-type projection, e.g. `G::vertex_type`.
+    Assoc(Box<TypeExpr>, String),
+    /// A concrete named type, e.g. `i32`.
+    Named(String),
+}
+
+impl TypeExpr {
+    /// Shorthand for [`TypeExpr::Param`].
+    pub fn param(name: impl Into<String>) -> Self {
+        TypeExpr::Param(name.into())
+    }
+
+    /// Shorthand for [`TypeExpr::Named`].
+    pub fn named(name: impl Into<String>) -> Self {
+        TypeExpr::Named(name.into())
+    }
+
+    /// Shorthand for [`TypeExpr::Assoc`].
+    pub fn assoc(base: TypeExpr, name: impl Into<String>) -> Self {
+        TypeExpr::Assoc(Box::new(base), name.into())
+    }
+
+    /// Substitute concept parameters by the given mapping, leaving other
+    /// expressions untouched.
+    pub fn substitute(&self, map: &dyn Fn(&str) -> Option<TypeExpr>) -> TypeExpr {
+        match self {
+            TypeExpr::Param(p) => map(p).unwrap_or_else(|| self.clone()),
+            TypeExpr::Assoc(base, name) => {
+                TypeExpr::Assoc(Box::new(base.substitute(map)), name.clone())
+            }
+            TypeExpr::Named(_) => self.clone(),
+        }
+    }
+}
+
+impl fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeExpr::Param(p) => write!(f, "{p}"),
+            TypeExpr::Assoc(base, name) => write!(f, "{base}::{name}"),
+            TypeExpr::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A reference to a concept applied to type arguments, e.g.
+/// `IncidenceGraph<G>` or `VectorSpace<V, S>`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptRef {
+    /// Name of the referenced concept.
+    pub concept: String,
+    /// Type arguments, one per parameter of the referenced concept.
+    pub args: Vec<TypeExpr>,
+}
+
+impl ConceptRef {
+    /// Build a concept reference from a name and arguments.
+    pub fn new(concept: impl Into<String>, args: Vec<TypeExpr>) -> Self {
+        ConceptRef {
+            concept: concept.into(),
+            args,
+        }
+    }
+
+    /// A single-parameter reference `Concept<P>` where `P` is a parameter.
+    pub fn unary(concept: impl Into<String>, param: impl Into<String>) -> Self {
+        ConceptRef::new(concept, vec![TypeExpr::param(param)])
+    }
+
+    /// Apply a parameter substitution to every argument.
+    pub fn substitute(&self, map: &dyn Fn(&str) -> Option<TypeExpr>) -> ConceptRef {
+        ConceptRef {
+            concept: self.concept.clone(),
+            args: self.args.iter().map(|a| a.substitute(map)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for ConceptRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<", self.concept)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// An associated-type requirement: the modeling type must expose a type
+/// member with this name, subject to concept bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssocType {
+    /// Name of the associated type, e.g. `vertex_type`.
+    pub name: String,
+    /// Concepts the associated type must model (e.g. `edge_type` models
+    /// `GraphEdge` in Fig. 2). Arguments are written relative to the
+    /// enclosing concept's parameters and associated types.
+    pub bounds: Vec<ConceptRef>,
+}
+
+/// A function-signature requirement (a *valid expression* in the paper's
+/// terminology), e.g. `out_edges(v, g) -> G::out_edge_iterator`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<TypeExpr>,
+    /// Result type.
+    pub result: TypeExpr,
+}
+
+/// A semantic constraint: a named axiom with a human-readable statement.
+/// Executable checks are attached per-model through
+/// [`Registry::register_axiom_check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Axiom {
+    /// Axiom name, e.g. `associativity`.
+    pub name: String,
+    /// Statement, e.g. `op(op(a, b), c) == op(a, op(b, c))`.
+    pub statement: String,
+}
+
+/// A complexity guarantee on one of the concept's operations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Guarantee {
+    /// Name of the operation (or algorithm) the bound applies to.
+    pub operation: String,
+    /// The asymptotic bound.
+    pub bound: crate::complexity::Complexity,
+}
+
+/// A concept: a named set of requirements on one or more type parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Concept {
+    /// Concept name, unique within a registry.
+    pub name: String,
+    /// Type parameters. More than one makes this a multi-type concept
+    /// (§2.4), like `VectorSpace<V, S>`.
+    pub params: Vec<String>,
+    /// Concepts whose requirements this concept incorporates.
+    pub refines: Vec<ConceptRef>,
+    /// Associated-type requirements.
+    pub assoc_types: Vec<AssocType>,
+    /// Same-type constraints between type expressions, e.g.
+    /// `G::out_edge_iterator::value_type == G::edge_type` (Fig. 2).
+    pub same_type: Vec<(TypeExpr, TypeExpr)>,
+    /// Function-signature requirements.
+    pub operations: Vec<Operation>,
+    /// Semantic constraints.
+    pub axioms: Vec<Axiom>,
+    /// Complexity guarantees.
+    pub guarantees: Vec<Guarantee>,
+}
+
+impl Concept {
+    /// Start building a concept with the given name and type parameters.
+    pub fn new<S: Into<String>>(name: impl Into<String>, params: impl IntoIterator<Item = S>) -> Self {
+        Concept {
+            name: name.into(),
+            params: params.into_iter().map(Into::into).collect(),
+            refines: Vec::new(),
+            assoc_types: Vec::new(),
+            same_type: Vec::new(),
+            operations: Vec::new(),
+            axioms: Vec::new(),
+            guarantees: Vec::new(),
+        }
+    }
+
+    /// Declare that this concept refines another.
+    pub fn refines(mut self, r: ConceptRef) -> Self {
+        self.refines.push(r);
+        self
+    }
+
+    /// Add an associated-type requirement without bounds.
+    pub fn assoc(mut self, name: impl Into<String>) -> Self {
+        self.assoc_types.push(AssocType {
+            name: name.into(),
+            bounds: Vec::new(),
+        });
+        self
+    }
+
+    /// Add an associated-type requirement with concept bounds.
+    pub fn assoc_bounded(mut self, name: impl Into<String>, bounds: Vec<ConceptRef>) -> Self {
+        self.assoc_types.push(AssocType {
+            name: name.into(),
+            bounds,
+        });
+        self
+    }
+
+    /// Add a same-type constraint.
+    pub fn same(mut self, left: TypeExpr, right: TypeExpr) -> Self {
+        self.same_type.push((left, right));
+        self
+    }
+
+    /// Add a function-signature requirement.
+    pub fn op(mut self, name: impl Into<String>, params: Vec<TypeExpr>, result: TypeExpr) -> Self {
+        self.operations.push(Operation {
+            name: name.into(),
+            params,
+            result,
+        });
+        self
+    }
+
+    /// Add a semantic constraint.
+    pub fn axiom(mut self, name: impl Into<String>, statement: impl Into<String>) -> Self {
+        self.axioms.push(Axiom {
+            name: name.into(),
+            statement: statement.into(),
+        });
+        self
+    }
+
+    /// Add a complexity guarantee.
+    pub fn guarantee(
+        mut self,
+        operation: impl Into<String>,
+        bound: crate::complexity::Complexity,
+    ) -> Self {
+        self.guarantees.push(Guarantee {
+            operation: operation.into(),
+            bound,
+        });
+        self
+    }
+
+    /// True if this is a multi-type concept (more than one parameter).
+    pub fn is_multi_type(&self) -> bool {
+        self.params.len() > 1
+    }
+
+    /// True if the concept has semantic content (axioms or guarantees) in
+    /// addition to its syntactic requirements — a *semantic concept* in the
+    /// paper's terminology (§2).
+    pub fn is_semantic(&self) -> bool {
+        !self.axioms.is_empty() || !self.guarantees.is_empty()
+    }
+
+    /// Look up an axiom by name.
+    pub fn find_axiom(&self, name: &str) -> Option<&Axiom> {
+        self.axioms.iter().find(|a| a.name == name)
+    }
+}
+
+/// Errors produced by concept definition, model checking, and overload
+/// resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConceptError {
+    /// Referenced concept is not defined.
+    UnknownConcept(String),
+    /// A concept with this name is already defined.
+    DuplicateConcept(String),
+    /// Wrong number of type arguments for a concept.
+    ArityMismatch {
+        concept: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A type expression references a parameter the concept does not have.
+    UnknownParam { concept: String, param: String },
+    /// A model declaration omits a required associated type.
+    MissingAssoc {
+        concept: String,
+        assoc: String,
+        model: String,
+    },
+    /// A model declaration omits a required operation.
+    MissingOperation {
+        concept: String,
+        operation: String,
+        model: String,
+    },
+    /// A type does not model a required concept.
+    UnsatisfiedBound {
+        type_args: Vec<String>,
+        bound: String,
+        context: String,
+    },
+    /// A same-type constraint is violated.
+    SameTypeViolation {
+        left: String,
+        right: String,
+        context: String,
+    },
+    /// A type expression could not be resolved to a concrete type.
+    UnresolvableType { expr: String, context: String },
+    /// No implementation of an algorithm is viable for the argument types.
+    NoViableOverload { algorithm: String, args: Vec<String> },
+    /// Several implementations are viable and none is most specific.
+    AmbiguousOverload {
+        algorithm: String,
+        candidates: Vec<String>,
+    },
+    /// A registered semantic check failed.
+    AxiomFailed {
+        axiom: String,
+        model: String,
+        detail: String,
+    },
+    /// Attempt to attach a check for an axiom the concept does not declare.
+    UnknownAxiom { concept: String, axiom: String },
+    /// Model id out of range.
+    UnknownModel(usize),
+}
+
+impl fmt::Display for ConceptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConceptError::UnknownConcept(n) => write!(f, "unknown concept `{n}`"),
+            ConceptError::DuplicateConcept(n) => write!(f, "concept `{n}` is already defined"),
+            ConceptError::ArityMismatch {
+                concept,
+                expected,
+                got,
+            } => write!(
+                f,
+                "concept `{concept}` expects {expected} type argument(s), got {got}"
+            ),
+            ConceptError::UnknownParam { concept, param } => {
+                write!(f, "concept `{concept}` has no parameter `{param}`")
+            }
+            ConceptError::MissingAssoc {
+                concept,
+                assoc,
+                model,
+            } => write!(
+                f,
+                "model `{model}` of `{concept}` does not bind associated type `{assoc}`"
+            ),
+            ConceptError::MissingOperation {
+                concept,
+                operation,
+                model,
+            } => write!(
+                f,
+                "model `{model}` of `{concept}` does not provide operation `{operation}`"
+            ),
+            ConceptError::UnsatisfiedBound {
+                type_args,
+                bound,
+                context,
+            } => write!(
+                f,
+                "type(s) ({}) do not model `{bound}` (required by {context})",
+                type_args.join(", ")
+            ),
+            ConceptError::SameTypeViolation {
+                left,
+                right,
+                context,
+            } => write!(
+                f,
+                "same-type constraint violated in {context}: `{left}` != `{right}`"
+            ),
+            ConceptError::UnresolvableType { expr, context } => {
+                write!(f, "cannot resolve type expression `{expr}` in {context}")
+            }
+            ConceptError::NoViableOverload { algorithm, args } => write!(
+                f,
+                "no viable implementation of `{algorithm}` for argument types ({})",
+                args.join(", ")
+            ),
+            ConceptError::AmbiguousOverload {
+                algorithm,
+                candidates,
+            } => write!(
+                f,
+                "ambiguous call to `{algorithm}`: candidates {}",
+                candidates.join(", ")
+            ),
+            ConceptError::AxiomFailed {
+                axiom,
+                model,
+                detail,
+            } => write!(f, "axiom `{axiom}` failed for model `{model}`: {detail}"),
+            ConceptError::UnknownAxiom { concept, axiom } => {
+                write!(f, "concept `{concept}` declares no axiom `{axiom}`")
+            }
+            ConceptError::UnknownModel(i) => write!(f, "unknown model id {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ConceptError {}
+
+/// Result alias for concept operations.
+pub type Result<T> = std::result::Result<T, ConceptError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_expr_display() {
+        let e = TypeExpr::assoc(
+            TypeExpr::assoc(TypeExpr::param("G"), "edge_type"),
+            "vertex_type",
+        );
+        assert_eq!(e.to_string(), "G::edge_type::vertex_type");
+    }
+
+    #[test]
+    fn type_expr_substitution_replaces_params_everywhere() {
+        let e = TypeExpr::assoc(TypeExpr::param("G"), "vertex_type");
+        let s = e.substitute(&|p| {
+            if p == "G" {
+                Some(TypeExpr::named("AdjList"))
+            } else {
+                None
+            }
+        });
+        assert_eq!(s.to_string(), "AdjList::vertex_type");
+    }
+
+    #[test]
+    fn concept_ref_display() {
+        let r = ConceptRef::new(
+            "VectorSpace",
+            vec![TypeExpr::param("V"), TypeExpr::param("S")],
+        );
+        assert_eq!(r.to_string(), "VectorSpace<V, S>");
+    }
+
+    #[test]
+    fn builder_collects_requirement_kinds() {
+        let c = Concept::new("GraphEdge", ["Edge"])
+            .assoc("vertex_type")
+            .op(
+                "source",
+                vec![TypeExpr::param("Edge")],
+                TypeExpr::assoc(TypeExpr::param("Edge"), "vertex_type"),
+            )
+            .op(
+                "target",
+                vec![TypeExpr::param("Edge")],
+                TypeExpr::assoc(TypeExpr::param("Edge"), "vertex_type"),
+            )
+            .axiom("endpoints_stable", "source(e) and target(e) are constant");
+        assert_eq!(c.params, vec!["Edge"]);
+        assert_eq!(c.assoc_types.len(), 1);
+        assert_eq!(c.operations.len(), 2);
+        assert!(c.is_semantic());
+        assert!(!c.is_multi_type());
+    }
+}

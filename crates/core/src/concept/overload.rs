@@ -1,0 +1,299 @@
+//! Concept-based overload resolution (paper §2.1).
+//!
+//! "It is often desirable to select from several implementations of a
+//! function based solely on the concepts modeled by the arguments, a process
+//! we refer to as *concept-based overloading*." The canonical example — also
+//! the one used in experiment E7 — is sorting: a sequence whose elements can
+//! only be accessed linearly gets a merge sort, one with efficient indexing
+//! gets introsort/quicksort.
+//!
+//! Resolution follows the usual partial order: an implementation is *viable*
+//! if all of its concept requirements are modeled by the argument types, and
+//! implementation `A` is *at least as specific as* `B` if every requirement
+//! of `B` is implied by some requirement of `A` (same resolved arguments,
+//! equal or refining concept). The unique most-specific viable
+//! implementation wins; none or several is an error, mirroring C++ partial
+//! ordering of overloads / tag dispatching.
+
+use super::{ConceptError, ConceptRef, Registry, Result};
+use std::collections::BTreeMap;
+
+/// One implementation of a generic algorithm, with concept requirements over
+/// positional parameters `T0`, `T1`, ….
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Implementation {
+    /// Implementation name (used in diagnostics and dispatch results).
+    pub name: String,
+    /// Concept requirements; arguments written over `T0`, `T1`, ….
+    pub requires: Vec<ConceptRef>,
+}
+
+impl Implementation {
+    /// Build an implementation from a name and its requirements.
+    pub fn new(name: impl Into<String>, requires: Vec<ConceptRef>) -> Self {
+        Implementation {
+            name: name.into(),
+            requires,
+        }
+    }
+}
+
+/// The outcome of a successful resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedOverload {
+    /// Name of the chosen implementation.
+    pub chosen: String,
+    /// Names of all viable implementations (including the chosen one).
+    pub viable: Vec<String>,
+}
+
+/// Requirements of one implementation with arguments resolved to concrete
+/// type names.
+type ResolvedReqs = Vec<(String, Vec<String>)>;
+
+fn resolve_requirements(
+    reg: &Registry,
+    imp: &Implementation,
+    subst: &BTreeMap<String, String>,
+) -> Result<ResolvedReqs> {
+    imp.requires
+        .iter()
+        .map(|r| Ok((r.concept.clone(), reg.resolve_ref_args(r, subst)?)))
+        .collect()
+}
+
+fn is_viable(reg: &Registry, reqs: &ResolvedReqs) -> bool {
+    reqs.iter().all(|(concept, args)| {
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        reg.models_concept(concept, &refs)
+    })
+}
+
+/// `a` is at least as specific as `b`: every requirement of `b` is implied
+/// by a requirement of `a` on the same resolved arguments.
+fn at_least_as_specific(reg: &Registry, a: &ResolvedReqs, b: &ResolvedReqs) -> bool {
+    b.iter().all(|(bc, bargs)| {
+        a.iter().any(|(ac, aargs)| {
+            aargs == bargs && (ac == bc || reg.refines(ac, bc))
+        })
+    })
+}
+
+/// Resolve a call to `algorithm` with the given concrete argument types
+/// against a set of candidate implementations.
+pub fn resolve_overload(
+    reg: &Registry,
+    algorithm: &str,
+    impls: &[Implementation],
+    arg_types: &[&str],
+) -> Result<ResolvedOverload> {
+    let subst: BTreeMap<String, String> = arg_types
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (format!("T{i}"), t.to_string()))
+        .collect();
+
+    let mut viable: Vec<(&Implementation, ResolvedReqs)> = Vec::new();
+    for imp in impls {
+        // Implementations whose requirements cannot even be resolved against
+        // these argument types (e.g. missing associated types) are not viable.
+        if let Ok(reqs) = resolve_requirements(reg, imp, &subst) {
+            if is_viable(reg, &reqs) {
+                viable.push((imp, reqs));
+            }
+        }
+    }
+
+    if viable.is_empty() {
+        return Err(ConceptError::NoViableOverload {
+            algorithm: algorithm.to_string(),
+            args: arg_types.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+
+    let winners: Vec<&(&Implementation, ResolvedReqs)> = viable
+        .iter()
+        .filter(|(_, reqs)| {
+            viable
+                .iter()
+                .all(|(_, other)| at_least_as_specific(reg, reqs, other))
+        })
+        .collect();
+
+    match winners.len() {
+        1 => Ok(ResolvedOverload {
+            chosen: winners[0].0.name.clone(),
+            viable: viable.iter().map(|(i, _)| i.name.clone()).collect(),
+        }),
+        _ => Err(ConceptError::AmbiguousOverload {
+            algorithm: algorithm.to_string(),
+            candidates: if winners.is_empty() {
+                viable.iter().map(|(i, _)| i.name.clone()).collect()
+            } else {
+                winners.iter().map(|(i, _)| i.name.clone()).collect()
+            },
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::{Concept, ModelDecl, TypeExpr};
+
+    /// The cursor-concept refinement chain used by the sort example.
+    fn cursor_concepts(reg: &mut Registry) {
+        reg.define(Concept::new("InputCursor", ["I"])).unwrap();
+        reg.define(
+            Concept::new("ForwardCursor", ["I"]).refines(ConceptRef::unary("InputCursor", "I")),
+        )
+        .unwrap();
+        reg.define(
+            Concept::new("BidirectionalCursor", ["I"])
+                .refines(ConceptRef::unary("ForwardCursor", "I")),
+        )
+        .unwrap();
+        reg.define(
+            Concept::new("RandomAccessCursor", ["I"])
+                .refines(ConceptRef::unary("BidirectionalCursor", "I")),
+        )
+        .unwrap();
+    }
+
+    fn declare_chain(reg: &mut Registry, ty: &str, upto: &str) {
+        let chain = [
+            "InputCursor",
+            "ForwardCursor",
+            "BidirectionalCursor",
+            "RandomAccessCursor",
+        ];
+        for c in chain {
+            reg.declare_model(ModelDecl::new(c, [ty])).unwrap();
+            if c == upto {
+                break;
+            }
+        }
+    }
+
+    fn sort_impls() -> Vec<Implementation> {
+        vec![
+            Implementation::new("merge_sort", vec![ConceptRef::unary("ForwardCursor", "T0")]),
+            Implementation::new(
+                "intro_sort",
+                vec![ConceptRef::unary("RandomAccessCursor", "T0")],
+            ),
+        ]
+    }
+
+    /// Paper §2.1: linked-list access → default algorithm; indexed access →
+    /// the more efficient quicksort-family algorithm.
+    #[test]
+    fn sort_dispatches_on_cursor_concept() {
+        let mut reg = Registry::new();
+        cursor_concepts(&mut reg);
+        declare_chain(&mut reg, "VecCursor", "RandomAccessCursor");
+        declare_chain(&mut reg, "ListCursor", "ForwardCursor");
+
+        let impls = sort_impls();
+        let r = resolve_overload(&reg, "sort", &impls, &["VecCursor"]).unwrap();
+        assert_eq!(r.chosen, "intro_sort");
+        assert_eq!(r.viable.len(), 2); // both viable, most specific wins
+
+        let r = resolve_overload(&reg, "sort", &impls, &["ListCursor"]).unwrap();
+        assert_eq!(r.chosen, "merge_sort");
+        assert_eq!(r.viable.len(), 1);
+    }
+
+    #[test]
+    fn no_viable_overload_reports_argument_types() {
+        let mut reg = Registry::new();
+        cursor_concepts(&mut reg);
+        let impls = sort_impls();
+        let err = resolve_overload(&reg, "sort", &impls, &["OutputOnly"]).unwrap_err();
+        match err {
+            ConceptError::NoViableOverload { algorithm, args } => {
+                assert_eq!(algorithm, "sort");
+                assert_eq!(args, vec!["OutputOnly"]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrelated_requirements_are_ambiguous() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("Hashable", ["T"])).unwrap();
+        reg.define(Concept::new("Ordered", ["T"])).unwrap();
+        reg.declare_model(ModelDecl::new("Hashable", ["Key"])).unwrap();
+        reg.declare_model(ModelDecl::new("Ordered", ["Key"])).unwrap();
+        let impls = vec![
+            Implementation::new("hash_lookup", vec![ConceptRef::unary("Hashable", "T0")]),
+            Implementation::new("tree_lookup", vec![ConceptRef::unary("Ordered", "T0")]),
+        ];
+        let err = resolve_overload(&reg, "lookup", &impls, &["Key"]).unwrap_err();
+        assert!(matches!(err, ConceptError::AmbiguousOverload { .. }));
+    }
+
+    #[test]
+    fn more_requirements_beat_fewer_when_implied() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("Ordered", ["T"])).unwrap();
+        reg.define(Concept::new("Hashable", ["T"])).unwrap();
+        reg.declare_model(ModelDecl::new("Ordered", ["Key"])).unwrap();
+        reg.declare_model(ModelDecl::new("Hashable", ["Key"])).unwrap();
+        let impls = vec![
+            Implementation::new("generic", vec![ConceptRef::unary("Ordered", "T0")]),
+            Implementation::new(
+                "specialized",
+                vec![
+                    ConceptRef::unary("Ordered", "T0"),
+                    ConceptRef::unary("Hashable", "T0"),
+                ],
+            ),
+        ];
+        let r = resolve_overload(&reg, "lookup", &impls, &["Key"]).unwrap();
+        assert_eq!(r.chosen, "specialized");
+    }
+
+    /// Multi-type dispatch: scaling a vector by a scalar picks the
+    /// mixed-precision kernel when one exists (the Fig. 3 / CLACRM case).
+    #[test]
+    fn multi_type_dispatch_prefers_mixed_kernel() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("VectorSpace", ["V", "S"])).unwrap();
+        reg.define(
+            Concept::new("MixedKernel", ["V", "S"]).refines(ConceptRef::new(
+                "VectorSpace",
+                vec![TypeExpr::param("V"), TypeExpr::param("S")],
+            )),
+        )
+        .unwrap();
+        reg.declare_model(ModelDecl::new("VectorSpace", ["CVec", "f32"]))
+            .unwrap();
+        reg.declare_model(ModelDecl::new("MixedKernel", ["CVec", "f32"]))
+            .unwrap();
+        reg.declare_model(ModelDecl::new("VectorSpace", ["CVec", "Complex<f32>"]))
+            .unwrap();
+
+        let impls = vec![
+            Implementation::new(
+                "scale_generic",
+                vec![ConceptRef::new(
+                    "VectorSpace",
+                    vec![TypeExpr::param("T0"), TypeExpr::param("T1")],
+                )],
+            ),
+            Implementation::new(
+                "scale_mixed",
+                vec![ConceptRef::new(
+                    "MixedKernel",
+                    vec![TypeExpr::param("T0"), TypeExpr::param("T1")],
+                )],
+            ),
+        ];
+        let r = resolve_overload(&reg, "scale", &impls, &["CVec", "f32"]).unwrap();
+        assert_eq!(r.chosen, "scale_mixed");
+        let r = resolve_overload(&reg, "scale", &impls, &["CVec", "Complex<f32>"]).unwrap();
+        assert_eq!(r.chosen, "scale_generic");
+    }
+}

@@ -1,0 +1,244 @@
+//! Constraint propagation (paper §2.3) and the multi-type constraint
+//! blow-up (paper §2.4).
+//!
+//! In a language *without* constraint propagation, a generic function must
+//! textually repeat every constraint implied by its direct requirements:
+//! bounds on associated types, refinement clauses, and so on, recursively
+//! (the `first_neighbor` example in §2.3). With propagation, the compiler
+//! derives the implied constraints, so only the direct requirements are
+//! written.
+//!
+//! This module computes both forms from the same concept definitions:
+//!
+//! * [`Registry::propagated_constraints`] — the deduplicated closure a
+//!   propagating compiler derives (what the programmer gets "for free");
+//! * [`Registry::expansion_tree_size`] — the number of textual constraint
+//!   occurrences a non-propagating language forces, which grows as `2^n` for
+//!   the multi-type hierarchies of §2.4.
+
+use super::{ConceptRef, Registry, TypeExpr};
+use std::collections::BTreeMap;
+
+/// Summary of the constraint counts for one generic declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PropagationReport {
+    /// Constraints written by the programmer.
+    pub direct: usize,
+    /// Distinct constraints after propagation (what the compiler knows).
+    pub propagated: usize,
+    /// Textual constraint occurrences a non-propagating language requires.
+    pub verbose_occurrences: usize,
+}
+
+impl Registry {
+    /// The deduplicated closure of a set of direct constraints: every
+    /// constraint implied through refinement clauses and associated-type
+    /// bounds, expressed relative to the caller's type parameters.
+    pub fn propagated_constraints(&self, direct: &[ConceptRef]) -> Vec<ConceptRef> {
+        let mut out: Vec<ConceptRef> = Vec::new();
+        let mut stack: Vec<ConceptRef> = direct.to_vec();
+        while let Some(c) = stack.pop() {
+            if out.contains(&c) {
+                continue;
+            }
+            for implied in self.implied_by(&c) {
+                stack.push(implied);
+            }
+            out.push(c);
+        }
+        out.sort();
+        out
+    }
+
+    /// The constraints a single constraint directly implies: its refinement
+    /// clauses and the bounds on its associated types, with the concept's
+    /// parameters substituted by the constraint's arguments.
+    fn implied_by(&self, c: &ConceptRef) -> Vec<ConceptRef> {
+        let Ok(def) = self.concept(&c.concept) else {
+            return Vec::new();
+        };
+        if def.params.len() != c.args.len() {
+            return Vec::new();
+        }
+        let map: BTreeMap<&str, &TypeExpr> = def
+            .params
+            .iter()
+            .map(String::as_str)
+            .zip(c.args.iter())
+            .collect();
+        let subst = |p: &str| map.get(p).map(|t| (*t).clone());
+        def.refines
+            .iter()
+            .chain(def.assoc_types.iter().flat_map(|a| a.bounds.iter()))
+            .map(|r| r.substitute(&subst))
+            .collect()
+    }
+
+    /// The number of textual constraint occurrences required when every
+    /// implied constraint must be written out (no propagation, no sharing):
+    /// the size of the full expansion tree. For the split multi-type
+    /// hierarchies of §2.4 this is `Θ(2^n)` in the hierarchy height `n`.
+    pub fn expansion_tree_size(&self, direct: &[ConceptRef]) -> usize {
+        direct.iter().map(|c| self.expansion_size_of(c, 0)).sum()
+    }
+
+    fn expansion_size_of(&self, c: &ConceptRef, depth: usize) -> usize {
+        // Concept refinement forms a DAG (definitions cannot be cyclic since
+        // refinement targets must pre-exist), but guard anyway.
+        if depth > 64 {
+            return 0;
+        }
+        1 + self
+            .implied_by(c)
+            .iter()
+            .map(|i| self.expansion_size_of(i, depth + 1))
+            .sum::<usize>()
+    }
+
+    /// Produce the [`PropagationReport`] for a set of direct constraints.
+    pub fn propagation_report(&self, direct: &[ConceptRef]) -> PropagationReport {
+        PropagationReport {
+            direct: direct.len(),
+            propagated: self.propagated_constraints(direct).len(),
+            verbose_occurrences: self.expansion_tree_size(direct),
+        }
+    }
+}
+
+/// Build the synthetic multi-type hierarchy of §2.4 inside `reg` and return
+/// the top-level constraint.
+///
+/// Each conceptual level is a multi-type concept over `(V, S)` that a
+/// subtype-constrained object-oriented language must split into two
+/// interfaces (`..._a` constraining the vector type, `..._b` constraining
+/// the scalar type). Each split interface at level `k` must restate the
+/// requirements of *both* split interfaces at level `k-1`, which is exactly
+/// what makes the textual expansion `Θ(2^n)`.
+pub fn build_multitype_chain(reg: &mut Registry, height: usize) -> Vec<ConceptRef> {
+    use super::Concept;
+    assert!(height >= 1);
+    let vs = || vec![TypeExpr::param("V"), TypeExpr::param("S")];
+    for k in 1..=height {
+        for half in ["a", "b"] {
+            let mut c = Concept::new(format!("L{k}_{half}"), ["V", "S"]);
+            if k > 1 {
+                c = c
+                    .refines(ConceptRef::new(format!("L{}_a", k - 1), vs()))
+                    .refines(ConceptRef::new(format!("L{}_b", k - 1), vs()));
+            }
+            reg.define(c).expect("chain concepts are fresh");
+        }
+    }
+    vec![
+        ConceptRef::new(format!("L{height}_a"), vs()),
+        ConceptRef::new(format!("L{height}_b"), vs()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::{Concept, ModelDecl};
+
+    /// Reproduce the §2.3 `first_neighbor` example: with propagation, the
+    /// single `IncidenceGraph<G>` constraint implies the `GraphEdge` and
+    /// `Iterator` constraints on the associated types.
+    #[test]
+    fn first_neighbor_constraints_propagate() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("Iterator", ["I"]).assoc("value_type"))
+            .unwrap();
+        reg.define(Concept::new("GraphEdge", ["E"]).assoc("vertex_type"))
+            .unwrap();
+        reg.define(
+            Concept::new("IncidenceGraph", ["G"])
+                .assoc("vertex_type")
+                .assoc_bounded(
+                    "edge_type",
+                    vec![ConceptRef::new(
+                        "GraphEdge",
+                        vec![TypeExpr::assoc(TypeExpr::param("G"), "edge_type")],
+                    )],
+                )
+                .assoc_bounded(
+                    "out_edge_iterator",
+                    vec![ConceptRef::new(
+                        "Iterator",
+                        vec![TypeExpr::assoc(TypeExpr::param("G"), "out_edge_iterator")],
+                    )],
+                ),
+        )
+        .unwrap();
+
+        let direct = vec![ConceptRef::unary("IncidenceGraph", "G")];
+        let report = reg.propagation_report(&direct);
+        // The programmer writes 1 constraint; the non-propagating language
+        // requires 3 (the §2.3 "without constraint propagation" declaration).
+        assert_eq!(report.direct, 1);
+        assert_eq!(report.propagated, 3);
+        assert_eq!(report.verbose_occurrences, 3);
+
+        let all = reg.propagated_constraints(&direct);
+        let names: Vec<&str> = all.iter().map(|c| c.concept.as_str()).collect();
+        assert!(names.contains(&"GraphEdge"));
+        assert!(names.contains(&"Iterator"));
+        assert!(names.contains(&"IncidenceGraph"));
+        // Constraints are expressed on the caller's associated types.
+        let ge = all.iter().find(|c| c.concept == "GraphEdge").unwrap();
+        assert_eq!(ge.args[0].to_string(), "G::edge_type");
+    }
+
+    /// Reproduce §2.4: the textual expansion of a split multi-type hierarchy
+    /// is exponential in the height, while the propagated (deduplicated) set
+    /// grows linearly.
+    #[test]
+    fn multitype_chain_expansion_is_exponential() {
+        for n in 1..=8usize {
+            let mut reg = Registry::new();
+            let direct = build_multitype_chain(&mut reg, n);
+            let report = reg.propagation_report(&direct);
+            // Expansion tree: 2 + 4 + ... + 2^n doublings = 2^(n+1) - 2.
+            assert_eq!(report.verbose_occurrences, (1 << (n + 1)) - 2, "n={n}");
+            // Propagated set: two interfaces per level.
+            assert_eq!(report.propagated, 2 * n, "n={n}");
+            assert_eq!(report.direct, 2);
+        }
+    }
+
+    #[test]
+    fn propagation_handles_diamonds_without_duplicates() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("Base", ["T"])).unwrap();
+        reg.define(Concept::new("Left", ["T"]).refines(ConceptRef::unary("Base", "T")))
+            .unwrap();
+        reg.define(Concept::new("Right", ["T"]).refines(ConceptRef::unary("Base", "T")))
+            .unwrap();
+        reg.define(
+            Concept::new("Top", ["T"])
+                .refines(ConceptRef::unary("Left", "T"))
+                .refines(ConceptRef::unary("Right", "T")),
+        )
+        .unwrap();
+        let direct = vec![ConceptRef::unary("Top", "T")];
+        let all = reg.propagated_constraints(&direct);
+        assert_eq!(all.len(), 4); // Top, Left, Right, Base — Base only once.
+        assert_eq!(reg.expansion_tree_size(&direct), 5); // textual: Base twice.
+    }
+
+    #[test]
+    fn chain_models_still_check() {
+        // The split interfaces remain checkable as ordinary concepts.
+        let mut reg = Registry::new();
+        build_multitype_chain(&mut reg, 3);
+        for k in 1..=3 {
+            for half in ["a", "b"] {
+                reg.declare_model(ModelDecl::new(
+                    format!("L{k}_{half}"),
+                    ["Vec<f64>", "f64"],
+                ))
+                .unwrap();
+            }
+        }
+        assert!(reg.models_concept("L3_a", &["Vec<f64>", "f64"]));
+    }
+}

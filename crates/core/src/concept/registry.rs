@@ -1,0 +1,837 @@
+//! The concept registry: concept definitions, model declarations, and
+//! conformance checking.
+//!
+//! The registry plays the role the paper assigns to a concept-aware
+//! compiler: it verifies that a model declaration satisfies *every*
+//! requirement of a concept — associated types are bound and satisfy their
+//! bounds, same-type constraints hold, operations are provided, and refined
+//! concepts are already modeled — and it can run attached semantic (axiom)
+//! checks against concrete models.
+
+use super::{Concept, ConceptError, ConceptId, ConceptRef, Result, TypeExpr};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifier of a model declaration inside a [`Registry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModelId(pub(crate) u32);
+
+/// A declaration that a tuple of concrete types models a concept.
+///
+/// Modeling is *nominal*, as with Haskell type-class instances: the library
+/// author declares the model, and the registry checks conformance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelDecl {
+    /// Name of the modeled concept.
+    pub concept: String,
+    /// Concrete type names bound to the concept's parameters, in order.
+    pub args: Vec<String>,
+    /// Bindings for the concept's associated types.
+    pub assoc: BTreeMap<String, String>,
+    /// Names of the operations the model provides (operation witnesses).
+    pub ops: BTreeSet<String>,
+}
+
+impl ModelDecl {
+    /// Start a model declaration of `concept` for the given type arguments.
+    pub fn new<S: Into<String>>(
+        concept: impl Into<String>,
+        args: impl IntoIterator<Item = S>,
+    ) -> Self {
+        ModelDecl {
+            concept: concept.into(),
+            args: args.into_iter().map(Into::into).collect(),
+            assoc: BTreeMap::new(),
+            ops: BTreeSet::new(),
+        }
+    }
+
+    /// Bind an associated type to a concrete type.
+    pub fn bind(mut self, assoc: impl Into<String>, ty: impl Into<String>) -> Self {
+        self.assoc.insert(assoc.into(), ty.into());
+        self
+    }
+
+    /// Declare that the model provides the named operation.
+    pub fn provide(mut self, op: impl Into<String>) -> Self {
+        self.ops.insert(op.into());
+        self
+    }
+
+    /// Declare several provided operations at once.
+    pub fn provide_all<S: Into<String>>(mut self, ops: impl IntoIterator<Item = S>) -> Self {
+        for o in ops {
+            self.ops.insert(o.into());
+        }
+        self
+    }
+
+    /// Human-readable label used in diagnostics.
+    pub fn label(&self) -> String {
+        format!("{}<{}>", self.concept, self.args.join(", "))
+    }
+}
+
+/// Signature of an executable axiom check attached to a model.
+///
+/// The check receives a seeded RNG and a trial count and returns `Err` with
+/// a human-readable counterexample description on failure.
+pub type AxiomCheck =
+    Box<dyn Fn(&mut StdRng, usize) -> std::result::Result<(), String> + Send + Sync>;
+
+struct AttachedCheck {
+    model: ModelId,
+    axiom: String,
+    check: AxiomCheck,
+}
+
+/// A registry of concepts and models: the reproduction's stand-in for the
+/// concept-aware compiler the paper calls for.
+#[derive(Default)]
+pub struct Registry {
+    concepts: Vec<Concept>,
+    by_name: HashMap<String, ConceptId>,
+    models: Vec<ModelDecl>,
+    checks: Vec<AttachedCheck>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Define a concept. Fails on duplicate names, references to unknown
+    /// concepts in refinement clauses or bounds, and arity mismatches.
+    pub fn define(&mut self, concept: Concept) -> Result<ConceptId> {
+        if self.by_name.contains_key(&concept.name) {
+            return Err(ConceptError::DuplicateConcept(concept.name));
+        }
+        for r in concept
+            .refines
+            .iter()
+            .chain(concept.assoc_types.iter().flat_map(|a| a.bounds.iter()))
+        {
+            // A concept may reference itself recursively only through
+            // associated-type bounds (e.g. Iterator whose value_type is
+            // unconstrained), not through refinement.
+            if r.concept == concept.name {
+                return Err(ConceptError::UnknownConcept(format!(
+                    "{} (self-reference)",
+                    r.concept
+                )));
+            }
+            self.check_ref_arity(r)?;
+        }
+        let id = ConceptId(self.concepts.len() as u32);
+        self.by_name.insert(concept.name.clone(), id);
+        self.concepts.push(concept);
+        Ok(id)
+    }
+
+    fn check_ref_arity(&self, r: &ConceptRef) -> Result<()> {
+        let c = self.concept(&r.concept)?;
+        if c.params.len() != r.args.len() {
+            return Err(ConceptError::ArityMismatch {
+                concept: r.concept.clone(),
+                expected: c.params.len(),
+                got: r.args.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Look up a concept by name.
+    pub fn concept(&self, name: &str) -> Result<&Concept> {
+        self.by_name
+            .get(name)
+            .map(|id| &self.concepts[id.0 as usize])
+            .ok_or_else(|| ConceptError::UnknownConcept(name.to_string()))
+    }
+
+    /// Look up a concept's identifier by name.
+    pub fn concept_id(&self, name: &str) -> Result<ConceptId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ConceptError::UnknownConcept(name.to_string()))
+    }
+
+    /// Retrieve a concept by identifier.
+    pub fn concept_by_id(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id.0 as usize]
+    }
+
+    /// Iterate over all defined concepts.
+    pub fn concepts(&self) -> impl Iterator<Item = &Concept> {
+        self.concepts.iter()
+    }
+
+    /// Iterate over all declared models.
+    pub fn model_decls(&self) -> impl Iterator<Item = &ModelDecl> {
+        self.models.iter()
+    }
+
+    /// Retrieve a model declaration by identifier.
+    pub fn model(&self, id: ModelId) -> Result<&ModelDecl> {
+        self.models
+            .get(id.0 as usize)
+            .ok_or(ConceptError::UnknownModel(id.0 as usize))
+    }
+
+    /// True if `sub` refines `sup`, directly or transitively (a concept is
+    /// not considered to refine itself).
+    pub fn refines(&self, sub: &str, sup: &str) -> bool {
+        let Ok(c) = self.concept(sub) else {
+            return false;
+        };
+        c.refines
+            .iter()
+            .any(|r| r.concept == sup || self.refines(&r.concept, sup))
+    }
+
+    /// Resolve a type expression to a concrete type name.
+    ///
+    /// `subst` maps concept parameter names to concrete types; associated
+    /// types are looked up among the declared models (and `extra`, the model
+    /// currently under check, if provided).
+    fn resolve(
+        &self,
+        expr: &TypeExpr,
+        subst: &BTreeMap<String, String>,
+        extra: Option<&ModelDecl>,
+        context: &str,
+    ) -> Result<String> {
+        match expr {
+            TypeExpr::Named(n) => Ok(n.clone()),
+            TypeExpr::Param(p) => subst.get(p).cloned().ok_or_else(|| {
+                ConceptError::UnresolvableType {
+                    expr: expr.to_string(),
+                    context: context.to_string(),
+                }
+            }),
+            TypeExpr::Assoc(base, name) => {
+                let base_ty = self.resolve(base, subst, extra, context)?;
+                self.lookup_assoc(&base_ty, name, extra).ok_or_else(|| {
+                    ConceptError::UnresolvableType {
+                        expr: format!("{base_ty}::{name}"),
+                        context: context.to_string(),
+                    }
+                })
+            }
+        }
+    }
+
+    /// Find the binding of associated type `name` for concrete type `ty`,
+    /// searching declared models whose first argument is `ty` (associated
+    /// types are keyed by the concept's primary parameter).
+    fn lookup_assoc(&self, ty: &str, name: &str, extra: Option<&ModelDecl>) -> Option<String> {
+        self.models
+            .iter()
+            .chain(extra)
+            .filter(|m| m.args.first().map(String::as_str) == Some(ty))
+            .find_map(|m| m.assoc.get(name).cloned())
+    }
+
+    /// Declare a model, checking full conformance to the concept: every
+    /// associated type bound and satisfying its bounds, every same-type
+    /// constraint holding, every operation provided, and every refined
+    /// concept already modeled (nominal conformance, superclass-style).
+    pub fn declare_model(&mut self, model: ModelDecl) -> Result<ModelId> {
+        let concept = self.concept(&model.concept)?.clone();
+        if concept.params.len() != model.args.len() {
+            return Err(ConceptError::ArityMismatch {
+                concept: concept.name.clone(),
+                expected: concept.params.len(),
+                got: model.args.len(),
+            });
+        }
+        let subst: BTreeMap<String, String> = concept
+            .params
+            .iter()
+            .cloned()
+            .zip(model.args.iter().cloned())
+            .collect();
+        let label = model.label();
+
+        // 1. Associated types must be bound.
+        for a in &concept.assoc_types {
+            if !model.assoc.contains_key(&a.name) {
+                return Err(ConceptError::MissingAssoc {
+                    concept: concept.name.clone(),
+                    assoc: a.name.clone(),
+                    model: label,
+                });
+            }
+        }
+
+        // 2. Operations must be provided.
+        for op in &concept.operations {
+            if !model.ops.contains(&op.name) {
+                return Err(ConceptError::MissingOperation {
+                    concept: concept.name.clone(),
+                    operation: op.name.clone(),
+                    model: label,
+                });
+            }
+        }
+
+        // 3. Refined concepts must already be modeled by the resolved args.
+        for r in &concept.refines {
+            let resolved: Vec<String> = r
+                .args
+                .iter()
+                .map(|a| self.resolve(a, &subst, Some(&model), &label))
+                .collect::<Result<_>>()?;
+            let arg_refs: Vec<&str> = resolved.iter().map(String::as_str).collect();
+            if !self.models_concept(&r.concept, &arg_refs) {
+                return Err(ConceptError::UnsatisfiedBound {
+                    type_args: resolved,
+                    bound: r.concept.clone(),
+                    context: format!("refinement clause of {label}"),
+                });
+            }
+        }
+
+        // 4. Associated-type bounds must be satisfied.
+        for a in &concept.assoc_types {
+            for b in &a.bounds {
+                let resolved: Vec<String> = b
+                    .args
+                    .iter()
+                    .map(|arg| self.resolve(arg, &subst, Some(&model), &label))
+                    .collect::<Result<_>>()?;
+                let arg_refs: Vec<&str> = resolved.iter().map(String::as_str).collect();
+                if !self.models_concept(&b.concept, &arg_refs) {
+                    return Err(ConceptError::UnsatisfiedBound {
+                        type_args: resolved,
+                        bound: b.concept.clone(),
+                        context: format!("bound on associated type `{}` of {label}", a.name),
+                    });
+                }
+            }
+        }
+
+        // 5. Same-type constraints must hold.
+        for (l, r) in &concept.same_type {
+            let lt = self.resolve(l, &subst, Some(&model), &label)?;
+            let rt = self.resolve(r, &subst, Some(&model), &label)?;
+            if lt != rt {
+                return Err(ConceptError::SameTypeViolation {
+                    left: format!("{l} = {lt}"),
+                    right: format!("{r} = {rt}"),
+                    context: label,
+                });
+            }
+        }
+
+        let id = ModelId(self.models.len() as u32);
+        self.models.push(model);
+        Ok(id)
+    }
+
+    /// True if the type tuple models the concept, either by direct
+    /// declaration or because a declared model's concept refines it (with
+    /// matching resolved arguments).
+    pub fn models_concept(&self, concept: &str, args: &[&str]) -> bool {
+        self.models.iter().any(|m| {
+            (m.concept == concept && m.args.iter().map(String::as_str).eq(args.iter().copied()))
+                || self
+                    .implied_models(m)
+                    .iter()
+                    .any(|(c, a)| c == concept && a.iter().map(String::as_str).eq(args.iter().copied()))
+        })
+    }
+
+    /// All (concept, args) pairs implied by a model declaration through the
+    /// refinement closure. The direct declaration itself is included.
+    pub fn implied_models(&self, model: &ModelDecl) -> Vec<(String, Vec<String>)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(model.concept.clone(), model.args.clone())];
+        while let Some((cname, cargs)) = stack.pop() {
+            if out.iter().any(|(c, a): &(String, Vec<String>)| *c == cname && *a == cargs) {
+                continue;
+            }
+            out.push((cname.clone(), cargs.clone()));
+            let Ok(c) = self.concept(&cname) else { continue };
+            let subst: BTreeMap<String, String> =
+                c.params.iter().cloned().zip(cargs.iter().cloned()).collect();
+            for r in &c.refines {
+                let resolved: Result<Vec<String>> = r
+                    .args
+                    .iter()
+                    .map(|a| self.resolve(a, &subst, Some(model), "refinement closure"))
+                    .collect();
+                if let Ok(resolved) = resolved {
+                    stack.push((r.concept.clone(), resolved));
+                }
+            }
+        }
+        out
+    }
+
+    /// Attach an executable check for one of the concept's axioms to a
+    /// declared model. Axioms inherited through refinement are accepted.
+    pub fn register_axiom_check(
+        &mut self,
+        model: ModelId,
+        axiom: impl Into<String>,
+        check: AxiomCheck,
+    ) -> Result<()> {
+        let axiom = axiom.into();
+        let decl = self.model(model)?.clone();
+        if !self.axiom_visible(&decl.concept, &axiom) {
+            return Err(ConceptError::UnknownAxiom {
+                concept: decl.concept,
+                axiom,
+            });
+        }
+        self.checks.push(AttachedCheck {
+            model,
+            axiom,
+            check,
+        });
+        Ok(())
+    }
+
+    fn axiom_visible(&self, concept: &str, axiom: &str) -> bool {
+        let Ok(c) = self.concept(concept) else {
+            return false;
+        };
+        c.find_axiom(axiom).is_some()
+            || c.refines.iter().any(|r| self.axiom_visible(&r.concept, axiom))
+    }
+
+    /// Run every axiom check attached to the model with a deterministic
+    /// seed. Returns the number of checks executed.
+    pub fn verify_semantics(&self, model: ModelId, trials: usize, seed: u64) -> Result<usize> {
+        let decl = self.model(model)?;
+        let label = decl.label();
+        let mut ran = 0;
+        for c in self.checks.iter().filter(|c| c.model == model) {
+            let mut rng = StdRng::seed_from_u64(seed ^ ran as u64);
+            (c.check)(&mut rng, trials).map_err(|detail| ConceptError::AxiomFailed {
+                axiom: c.axiom.clone(),
+                model: label.clone(),
+                detail,
+            })?;
+            ran += 1;
+        }
+        Ok(ran)
+    }
+
+    /// Axioms of a model's concept (including inherited ones) that have no
+    /// attached executable check — the "externally and informally expressed"
+    /// semantics the paper laments (§1).
+    pub fn unchecked_axioms(&self, model: ModelId) -> Result<Vec<String>> {
+        let decl = self.model(model)?;
+        let mut all = Vec::new();
+        self.collect_axioms(&decl.concept, &mut all);
+        let checked: BTreeSet<&str> = self
+            .checks
+            .iter()
+            .filter(|c| c.model == model)
+            .map(|c| c.axiom.as_str())
+            .collect();
+        all.retain(|a| !checked.contains(a.as_str()));
+        Ok(all)
+    }
+
+    fn collect_axioms(&self, concept: &str, out: &mut Vec<String>) {
+        let Ok(c) = self.concept(concept) else { return };
+        for a in &c.axioms {
+            if !out.contains(&a.name) {
+                out.push(a.name.clone());
+            }
+        }
+        for r in &c.refines {
+            self.collect_axioms(&r.concept, out);
+        }
+    }
+
+    /// GraphViz DOT rendering of the concept refinement graph: one node per
+    /// concept (annotated with its requirement counts and semantic flag),
+    /// one edge per refinement clause.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph concepts {\n  rankdir=BT;\n");
+        for c in &self.concepts {
+            let mut notes = Vec::new();
+            if !c.assoc_types.is_empty() {
+                notes.push(format!("{} assoc", c.assoc_types.len()));
+            }
+            if !c.operations.is_empty() {
+                notes.push(format!("{} ops", c.operations.len()));
+            }
+            if c.is_semantic() {
+                notes.push("semantic".to_string());
+            }
+            if c.is_multi_type() {
+                notes.push(format!("{} params", c.params.len()));
+            }
+            let label = if notes.is_empty() {
+                c.name.clone()
+            } else {
+                format!("{}\\n{}", c.name, notes.join(", "))
+            };
+            let _ = writeln!(s, "  \"{}\" [label=\"{}\"];", c.name, label);
+        }
+        for c in &self.concepts {
+            for r in &c.refines {
+                let _ = writeln!(s, "  \"{}\" -> \"{}\";", c.name, r.concept);
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Resolve a concept reference's arguments to concrete types given a
+    /// positional substitution (used by overload resolution).
+    pub(crate) fn resolve_ref_args(
+        &self,
+        r: &ConceptRef,
+        subst: &BTreeMap<String, String>,
+    ) -> Result<Vec<String>> {
+        r.args
+            .iter()
+            .map(|a| self.resolve(a, subst, None, "overload resolution"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::{Concept, ConceptRef, TypeExpr};
+
+    /// Define the graph concepts of Figs. 1 and 2.
+    pub(crate) fn graph_concepts(reg: &mut Registry) {
+        reg.define(Concept::new("Iterator", ["I"]).assoc("value_type").op(
+            "next",
+            vec![TypeExpr::param("I")],
+            TypeExpr::assoc(TypeExpr::param("I"), "value_type"),
+        ))
+        .unwrap();
+        reg.define(
+            Concept::new("GraphEdge", ["Edge"])
+                .assoc("vertex_type")
+                .op(
+                    "source",
+                    vec![TypeExpr::param("Edge")],
+                    TypeExpr::assoc(TypeExpr::param("Edge"), "vertex_type"),
+                )
+                .op(
+                    "target",
+                    vec![TypeExpr::param("Edge")],
+                    TypeExpr::assoc(TypeExpr::param("Edge"), "vertex_type"),
+                ),
+        )
+        .unwrap();
+        reg.define(
+            Concept::new("IncidenceGraph", ["Graph"])
+                .assoc("vertex_type")
+                .assoc_bounded(
+                    "edge_type",
+                    vec![ConceptRef::new(
+                        "GraphEdge",
+                        vec![TypeExpr::assoc(TypeExpr::param("Graph"), "edge_type")],
+                    )],
+                )
+                .assoc_bounded(
+                    "out_edge_iterator",
+                    vec![ConceptRef::new(
+                        "Iterator",
+                        vec![TypeExpr::assoc(
+                            TypeExpr::param("Graph"),
+                            "out_edge_iterator",
+                        )],
+                    )],
+                )
+                // Vertex == Edge::vertex_type (Fig. 2's same-type constraint)
+                .same(
+                    TypeExpr::assoc(TypeExpr::param("Graph"), "vertex_type"),
+                    TypeExpr::assoc(
+                        TypeExpr::assoc(TypeExpr::param("Graph"), "edge_type"),
+                        "vertex_type",
+                    ),
+                )
+                // out_edge_iterator::value_type == edge_type
+                .same(
+                    TypeExpr::assoc(
+                        TypeExpr::assoc(TypeExpr::param("Graph"), "out_edge_iterator"),
+                        "value_type",
+                    ),
+                    TypeExpr::assoc(TypeExpr::param("Graph"), "edge_type"),
+                )
+                .op(
+                    "out_edges",
+                    vec![
+                        TypeExpr::assoc(TypeExpr::param("Graph"), "vertex_type"),
+                        TypeExpr::param("Graph"),
+                    ],
+                    TypeExpr::assoc(TypeExpr::param("Graph"), "out_edge_iterator"),
+                )
+                .op(
+                    "out_degree",
+                    vec![
+                        TypeExpr::assoc(TypeExpr::param("Graph"), "vertex_type"),
+                        TypeExpr::param("Graph"),
+                    ],
+                    TypeExpr::named("usize"),
+                ),
+        )
+        .unwrap();
+    }
+
+    fn declare_adjlist_models(reg: &mut Registry) -> ModelId {
+        reg.declare_model(
+            ModelDecl::new("GraphEdge", ["AdjEdge"])
+                .bind("vertex_type", "u32")
+                .provide_all(["source", "target"]),
+        )
+        .unwrap();
+        reg.declare_model(
+            ModelDecl::new("Iterator", ["OutEdgeIter"])
+                .bind("value_type", "AdjEdge")
+                .provide("next"),
+        )
+        .unwrap();
+        reg.declare_model(
+            ModelDecl::new("IncidenceGraph", ["AdjList"])
+                .bind("vertex_type", "u32")
+                .bind("edge_type", "AdjEdge")
+                .bind("out_edge_iterator", "OutEdgeIter")
+                .provide_all(["out_edges", "out_degree"]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn incidence_graph_model_checks() {
+        let mut reg = Registry::new();
+        graph_concepts(&mut reg);
+        declare_adjlist_models(&mut reg);
+        assert!(reg.models_concept("IncidenceGraph", &["AdjList"]));
+        assert!(reg.models_concept("GraphEdge", &["AdjEdge"]));
+        assert!(!reg.models_concept("IncidenceGraph", &["AdjEdge"]));
+    }
+
+    #[test]
+    fn missing_assoc_is_rejected() {
+        let mut reg = Registry::new();
+        graph_concepts(&mut reg);
+        let err = reg
+            .declare_model(
+                ModelDecl::new("GraphEdge", ["E"]).provide_all(["source", "target"]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ConceptError::MissingAssoc { .. }));
+    }
+
+    #[test]
+    fn missing_operation_is_rejected() {
+        let mut reg = Registry::new();
+        graph_concepts(&mut reg);
+        let err = reg
+            .declare_model(
+                ModelDecl::new("GraphEdge", ["E"])
+                    .bind("vertex_type", "u32")
+                    .provide("source"),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConceptError::MissingOperation { ref operation, .. } if operation == "target"
+        ));
+    }
+
+    #[test]
+    fn same_type_violation_is_rejected() {
+        let mut reg = Registry::new();
+        graph_concepts(&mut reg);
+        reg.declare_model(
+            ModelDecl::new("GraphEdge", ["AdjEdge"])
+                .bind("vertex_type", "u64") // mismatch: graph says u32
+                .provide_all(["source", "target"]),
+        )
+        .unwrap();
+        reg.declare_model(
+            ModelDecl::new("Iterator", ["OutEdgeIter"])
+                .bind("value_type", "AdjEdge")
+                .provide("next"),
+        )
+        .unwrap();
+        let err = reg
+            .declare_model(
+                ModelDecl::new("IncidenceGraph", ["AdjList"])
+                    .bind("vertex_type", "u32")
+                    .bind("edge_type", "AdjEdge")
+                    .bind("out_edge_iterator", "OutEdgeIter")
+                    .provide_all(["out_edges", "out_degree"]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ConceptError::SameTypeViolation { .. }));
+    }
+
+    #[test]
+    fn assoc_bound_violation_is_rejected() {
+        let mut reg = Registry::new();
+        graph_concepts(&mut reg);
+        // AdjEdge never declared to model GraphEdge.
+        reg.declare_model(
+            ModelDecl::new("Iterator", ["OutEdgeIter"])
+                .bind("value_type", "AdjEdge")
+                .provide("next"),
+        )
+        .unwrap();
+        let err = reg
+            .declare_model(
+                ModelDecl::new("IncidenceGraph", ["AdjList"])
+                    .bind("vertex_type", "u32")
+                    .bind("edge_type", "AdjEdge")
+                    .bind("out_edge_iterator", "OutEdgeIter")
+                    .provide_all(["out_edges", "out_degree"]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ConceptError::UnsatisfiedBound { .. }));
+    }
+
+    #[test]
+    fn refinement_implies_modeling() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("InputIterator", ["I"]).op(
+            "advance",
+            vec![TypeExpr::param("I")],
+            TypeExpr::param("I"),
+        ))
+        .unwrap();
+        reg.define(
+            Concept::new("ForwardIterator", ["I"])
+                .refines(ConceptRef::unary("InputIterator", "I"))
+                .axiom("multipass", "two copies traverse the same values"),
+        )
+        .unwrap();
+        reg.declare_model(ModelDecl::new("InputIterator", ["SliceIter"]).provide("advance"))
+            .unwrap();
+        reg.declare_model(ModelDecl::new("ForwardIterator", ["SliceIter"]))
+            .unwrap();
+        assert!(reg.models_concept("InputIterator", &["SliceIter"]));
+        assert!(reg.refines("ForwardIterator", "InputIterator"));
+        assert!(!reg.refines("InputIterator", "ForwardIterator"));
+    }
+
+    #[test]
+    fn refinement_requires_declared_base_model() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("A", ["T"])).unwrap();
+        reg.define(Concept::new("B", ["T"]).refines(ConceptRef::unary("A", "T")))
+            .unwrap();
+        let err = reg.declare_model(ModelDecl::new("B", ["X"])).unwrap_err();
+        assert!(matches!(err, ConceptError::UnsatisfiedBound { .. }));
+    }
+
+    #[test]
+    fn axiom_checks_run_and_fail_with_counterexample() {
+        let mut reg = Registry::new();
+        reg.define(
+            Concept::new("Monoid", ["T"])
+                .op(
+                    "op",
+                    vec![TypeExpr::param("T"), TypeExpr::param("T")],
+                    TypeExpr::param("T"),
+                )
+                .op("identity", vec![], TypeExpr::param("T"))
+                .axiom("associativity", "op(op(a,b),c) == op(a,op(b,c))")
+                .axiom("identity", "op(a, identity()) == a == op(identity(), a)"),
+        )
+        .unwrap();
+        let m = reg
+            .declare_model(
+                ModelDecl::new("Monoid", ["i64(+)"]).provide_all(["op", "identity"]),
+            )
+            .unwrap();
+        reg.register_axiom_check(
+            m,
+            "associativity",
+            Box::new(|rng, trials| {
+                use rand::Rng;
+                for _ in 0..trials {
+                    let (a, b, c): (i64, i64, i64) = (
+                        rng.gen_range(-1000..1000),
+                        rng.gen_range(-1000..1000),
+                        rng.gen_range(-1000..1000),
+                    );
+                    if (a + b) + c != a + (b + c) {
+                        return Err(format!("counterexample a={a} b={b} c={c}"));
+                    }
+                }
+                Ok(())
+            }),
+        )
+        .unwrap();
+        assert_eq!(reg.verify_semantics(m, 64, 7).unwrap(), 1);
+        assert_eq!(reg.unchecked_axioms(m).unwrap(), vec!["identity"]);
+
+        // A failing check surfaces the counterexample.
+        reg.register_axiom_check(
+            m,
+            "identity",
+            Box::new(|_, _| Err("identity element wrong".into())),
+        )
+        .unwrap();
+        let err = reg.verify_semantics(m, 4, 7).unwrap_err();
+        assert!(matches!(err, ConceptError::AxiomFailed { .. }));
+    }
+
+    #[test]
+    fn unknown_axiom_registration_rejected() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("A", ["T"])).unwrap();
+        let m = reg.declare_model(ModelDecl::new("A", ["X"])).unwrap();
+        let err = reg
+            .register_axiom_check(m, "nonexistent", Box::new(|_, _| Ok(())))
+            .unwrap_err();
+        assert!(matches!(err, ConceptError::UnknownAxiom { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("VectorSpace", ["V", "S"])).unwrap();
+        let err = reg
+            .declare_model(ModelDecl::new("VectorSpace", ["Vec<f64>"]))
+            .unwrap_err();
+        assert!(matches!(err, ConceptError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_concept_rejected() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("A", ["T"])).unwrap();
+        let err = reg.define(Concept::new("A", ["T"])).unwrap_err();
+        assert!(matches!(err, ConceptError::DuplicateConcept(_)));
+    }
+
+    #[test]
+    fn dot_export_renders_the_refinement_graph() {
+        let mut reg = Registry::new();
+        reg.define(Concept::new("InputCursor", ["I"]).op(
+            "advance",
+            vec![TypeExpr::param("I")],
+            TypeExpr::param("I"),
+        ))
+        .unwrap();
+        reg.define(
+            Concept::new("ForwardCursor", ["I"])
+                .refines(ConceptRef::unary("InputCursor", "I"))
+                .axiom("multipass", "clones retraverse"),
+        )
+        .unwrap();
+        let dot = reg.to_dot();
+        assert!(dot.starts_with("digraph concepts"));
+        assert!(dot.contains("\"ForwardCursor\" -> \"InputCursor\""));
+        assert!(dot.contains("semantic"));
+        assert!(dot.contains("1 ops"));
+    }
+}

@@ -1,0 +1,406 @@
+//! The iterator ("cursor") concept hierarchy.
+//!
+//! This is the STL iterator concept taxonomy the paper builds on — Input,
+//! Output, Forward, Bidirectional, Random Access — expressed as Rust traits.
+//! We use the name *cursor* to avoid colliding with `std::iter::Iterator`
+//! (which corresponds to a single-pass input range, not a position).
+//!
+//! The hierarchy encodes both **syntactic** refinement (each level adds
+//! operations) and **semantic** refinement:
+//!
+//! * [`ForwardCursor`] adds the *multipass* guarantee — a copy of the cursor
+//!   can traverse the same sequence again and observe the same values. This
+//!   is the "somewhat subtle" requirement the paper's STLlint checks with
+//!   semantic archetypes (§3.1): algorithms like `max_element` silently
+//!   depend on it. The executable archetype lives in
+//!   [`crate::archetype::SinglePassCursor`].
+//! * [`RandomAccessCursor`] adds `O(1)` `advance_by`/`distance_to` — a
+//!   *complexity guarantee*, which concept-based overloading exploits to
+//!   pick better algorithms (§2.1, experiment E7).
+//!
+//! Dispatch: Rust has no C++-style tag dispatching or specialization, so the
+//! library uses the idiom the paper describes — each model *opts in* to the
+//! fast paths by overriding the defaulted methods of [`AdvanceDispatch`].
+
+/// The cursor concept a type models most specifically, as runtime data
+/// (mirrors the registry's refinement chain; used in diagnostics, dispatch
+/// tables, and the taxonomy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Single-pass read.
+    Input,
+    /// Single-pass write.
+    Output,
+    /// Multipass read.
+    Forward,
+    /// Multipass, can move backwards.
+    Bidirectional,
+    /// Constant-time arbitrary jumps and distances.
+    RandomAccess,
+}
+
+impl Category {
+    /// True if `self` refines (or equals) `other` in the cursor hierarchy.
+    /// `Output` is a separate branch refined by none of the read cursors.
+    pub fn refines(self, other: Category) -> bool {
+        use Category::*;
+        if self == other {
+            return true;
+        }
+        matches!(
+            (self, other),
+            (Forward | Bidirectional | RandomAccess, Input)
+                | (Bidirectional | RandomAccess, Forward)
+                | (RandomAccess, Bidirectional)
+        )
+    }
+}
+
+/// Input Cursor concept: a position in a sequence supporting single-pass
+/// reading. `read` and `advance` must not be called on an end position.
+pub trait InputCursor {
+    /// The element type (the `value_type` associated type).
+    type Item;
+
+    /// The most refined category this model declares. Used for diagnostics
+    /// and concept-based dispatch tables; models overriding the fast paths
+    /// should also override this.
+    const CATEGORY: Category = Category::Input;
+
+    /// Position equality (comparing cursors from different sequences is a
+    /// precondition violation).
+    fn equal(&self, other: &Self) -> bool;
+
+    /// Read the element at this position.
+    fn read(&self) -> Self::Item;
+
+    /// Move to the next position.
+    fn advance(&mut self);
+}
+
+/// Output Cursor concept: single-pass writing. `put` writes the value and
+/// advances.
+pub trait OutputCursor {
+    /// The element type accepted.
+    type Item;
+
+    /// Write a value at the current position and advance past it.
+    fn put(&mut self, value: Self::Item);
+}
+
+/// Forward Cursor concept: refines Input with `Clone` plus the *multipass*
+/// semantic guarantee — cloned cursors traverse the same values.
+pub trait ForwardCursor: InputCursor + Clone {}
+
+/// Bidirectional Cursor concept: refines Forward with backwards movement.
+pub trait BidirectionalCursor: ForwardCursor {
+    /// Move to the previous position. Must not be called on the first
+    /// position of a sequence.
+    fn retreat(&mut self);
+}
+
+/// Random Access Cursor concept: refines Bidirectional with constant-time
+/// jumps and distances (a complexity guarantee, not just new syntax).
+pub trait RandomAccessCursor: BidirectionalCursor {
+    /// Move by `n` positions (negative moves backwards) in `O(1)`.
+    fn advance_by(&mut self, n: isize);
+
+    /// Distance from `self` to `other` in `O(1)` (positive if `other` is
+    /// ahead).
+    fn distance_to(&self, other: &Self) -> isize;
+}
+
+/// Concept-based dispatch for multi-step movement (the `std::advance` /
+/// `std::distance` story). The defaults are the linear, Input-cursor
+/// fallbacks; random-access models override them with the `O(1)` versions —
+/// the Rust rendition of C++ tag dispatching (§2.1).
+pub trait AdvanceDispatch: InputCursor + Sized {
+    /// Advance `n` positions. Default: `n` single steps.
+    fn advance_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.advance();
+        }
+    }
+
+    /// Number of steps from `self` to `end`. Default: count single steps.
+    /// Requires multipass if the cursor is to be used again, so callers
+    /// should pass a clone for Forward cursors.
+    fn steps_until(mut self, end: &Self) -> usize {
+        let mut n = 0;
+        while !self.equal(end) {
+            self.advance();
+            n += 1;
+        }
+        n
+    }
+}
+
+/// A half-open range `[first, last)` of cursor positions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Range<C> {
+    /// First position.
+    pub first: C,
+    /// One-past-the-end position.
+    pub last: C,
+}
+
+impl<C: InputCursor> Range<C> {
+    /// Build a range from its endpoints.
+    pub fn new(first: C, last: C) -> Self {
+        Range { first, last }
+    }
+
+    /// True if the range contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.first.equal(&self.last)
+    }
+}
+
+impl<C: ForwardCursor> Range<C> {
+    /// The number of elements in the range (linear for forward cursors).
+    pub fn len(&self) -> usize
+    where
+        C: AdvanceDispatch,
+    {
+        self.first.clone().steps_until(&self.last)
+    }
+
+    /// Iterate over the elements by value (requires multipass only if the
+    /// range is reused, hence the `ForwardCursor` bound on `Clone`).
+    pub fn iter(&self) -> CursorIter<C> {
+        CursorIter {
+            cur: self.first.clone(),
+            end: self.last.clone(),
+        }
+    }
+}
+
+/// Adapter: iterate a cursor range as a `std::iter::Iterator`.
+#[derive(Clone, Debug)]
+pub struct CursorIter<C> {
+    cur: C,
+    end: C,
+}
+
+impl<C: InputCursor> Iterator for CursorIter<C> {
+    type Item = C::Item;
+
+    fn next(&mut self) -> Option<C::Item> {
+        if self.cur.equal(&self.end) {
+            None
+        } else {
+            let v = self.cur.read();
+            self.cur.advance();
+            Some(v)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SliceCursor: the canonical random-access model
+// ---------------------------------------------------------------------------
+
+/// A random-access cursor over a borrowed slice — the canonical model of
+/// [`RandomAccessCursor`], used by archetype tests and as the cursor type of
+/// `gp-sequences`' array sequence.
+#[derive(Debug)]
+pub struct SliceCursor<'a, T> {
+    data: &'a [T],
+    pos: usize,
+}
+
+impl<'a, T> SliceCursor<'a, T> {
+    /// Cursor at position `pos` of `data` (`pos == data.len()` is the end).
+    pub fn new(data: &'a [T], pos: usize) -> Self {
+        assert!(pos <= data.len(), "cursor position out of range");
+        SliceCursor { data, pos }
+    }
+}
+
+impl<'a, T: Clone> SliceCursor<'a, T> {
+    /// The range covering the whole slice.
+    pub fn whole(data: &'a [T]) -> Range<Self> {
+        Range::new(SliceCursor::new(data, 0), SliceCursor::new(data, data.len()))
+    }
+
+    /// Current index into the underlying slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+// Manual Clone/Copy: derive would needlessly require `T: Clone`.
+impl<T> Clone for SliceCursor<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SliceCursor<'_, T> {}
+
+impl<T: Clone> InputCursor for SliceCursor<'_, T> {
+    type Item = T;
+    const CATEGORY: Category = Category::RandomAccess;
+
+    fn equal(&self, other: &Self) -> bool {
+        std::ptr::eq(self.data, other.data) && self.pos == other.pos
+    }
+
+    fn read(&self) -> T {
+        self.data[self.pos].clone()
+    }
+
+    fn advance(&mut self) {
+        assert!(self.pos < self.data.len(), "advance past the end");
+        self.pos += 1;
+    }
+}
+
+impl<T: Clone> ForwardCursor for SliceCursor<'_, T> {}
+
+impl<T: Clone> BidirectionalCursor for SliceCursor<'_, T> {
+    fn retreat(&mut self) {
+        assert!(self.pos > 0, "retreat before the beginning");
+        self.pos -= 1;
+    }
+}
+
+impl<T: Clone> RandomAccessCursor for SliceCursor<'_, T> {
+    fn advance_by(&mut self, n: isize) {
+        let new = self.pos as isize + n;
+        assert!(new >= 0 && new as usize <= self.data.len(), "jump out of range");
+        self.pos = new as usize;
+    }
+
+    fn distance_to(&self, other: &Self) -> isize {
+        other.pos as isize - self.pos as isize
+    }
+}
+
+impl<T: Clone> AdvanceDispatch for SliceCursor<'_, T> {
+    // The O(1) overrides — this model opting in to the fast dispatch path.
+    fn advance_n(&mut self, n: usize) {
+        self.advance_by(n as isize);
+    }
+
+    fn steps_until(self, end: &Self) -> usize {
+        let d = self.distance_to(end);
+        assert!(d >= 0, "end precedes cursor");
+        d as usize
+    }
+}
+
+/// An output cursor that appends to a `Vec` (the `back_inserter` analog).
+#[derive(Debug)]
+pub struct PushBackCursor<'a, T> {
+    target: &'a mut Vec<T>,
+}
+
+impl<'a, T> PushBackCursor<'a, T> {
+    /// Create a cursor appending to `target`.
+    pub fn new(target: &'a mut Vec<T>) -> Self {
+        PushBackCursor { target }
+    }
+}
+
+impl<T> OutputCursor for PushBackCursor<'_, T> {
+    type Item = T;
+
+    fn put(&mut self, value: T) {
+        self.target.push(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_refinement_chain() {
+        use Category::*;
+        assert!(RandomAccess.refines(Input));
+        assert!(RandomAccess.refines(Forward));
+        assert!(RandomAccess.refines(Bidirectional));
+        assert!(Forward.refines(Input));
+        assert!(!Input.refines(Forward));
+        assert!(!Output.refines(Input));
+        assert!(!Input.refines(Output));
+        assert!(Input.refines(Input));
+    }
+
+    #[test]
+    fn slice_cursor_traverses_and_jumps() {
+        let data = [10, 20, 30, 40];
+        let r = SliceCursor::whole(&data);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![10, 20, 30, 40]);
+        assert_eq!(r.len(), 4);
+
+        let mut c = r.first;
+        c.advance_by(3);
+        assert_eq!(c.read(), 40);
+        c.retreat();
+        assert_eq!(c.read(), 30);
+        assert_eq!(r.first.distance_to(&c), 2);
+    }
+
+    #[test]
+    fn multipass_guarantee_holds_for_slice_cursor() {
+        // The Forward-cursor semantic requirement: a clone re-traverses the
+        // same values.
+        let data = [1, 2, 3];
+        let r = SliceCursor::whole(&data);
+        let pass1: Vec<i32> = r.iter().collect();
+        let pass2: Vec<i32> = r.iter().collect();
+        assert_eq!(pass1, pass2);
+    }
+
+    #[test]
+    fn dispatch_overrides_are_constant_time_equivalent() {
+        let data: Vec<u64> = (0..1000).collect();
+        let r = SliceCursor::whole(&data);
+        let mut fast = r.first;
+        fast.advance_n(500);
+        // Linear fallback on the same model gives the same answer.
+        let mut slow = r.first;
+        for _ in 0..500 {
+            slow.advance();
+        }
+        assert!(fast.equal(&slow));
+        assert_eq!(r.first.steps_until(&r.last), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past the end")]
+    fn advancing_past_end_panics() {
+        let data = [1];
+        let mut c = SliceCursor::new(&data, 1);
+        c.advance();
+    }
+
+    #[test]
+    #[should_panic(expected = "jump out of range")]
+    fn jumping_out_of_range_panics() {
+        let data = [1, 2];
+        let mut c = SliceCursor::new(&data, 0);
+        c.advance_by(5);
+    }
+
+    #[test]
+    fn empty_range_is_empty() {
+        let data: [i32; 0] = [];
+        let r = SliceCursor::whole(&data);
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn push_back_cursor_collects_output() {
+        let mut out = Vec::new();
+        {
+            let mut c = PushBackCursor::new(&mut out);
+            for i in 0..4 {
+                c.put(i * i);
+            }
+        }
+        assert_eq!(out, vec![0, 1, 4, 9]);
+    }
+}

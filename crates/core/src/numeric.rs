@@ -1,0 +1,605 @@
+//! Numeric substrate: complex numbers, rationals, and dense matrices.
+//!
+//! These are the concrete model types behind the algebraic concepts —
+//! `Complex<f64>` models Field, `Rational` models Field (exactly), matrices
+//! model the Monoid/Group rewrite instances of Fig. 5 (`A · I → A`,
+//! `A · A⁻¹ → I`) — and behind the **mixed-precision** experiment (E2):
+//! the paper's Fig. 3 argues the scalar type of a vector space must be an
+//! independent concept parameter because LAPACK's CLACRM multiplies a
+//! *complex* matrix by a *real* matrix with real-by-complex scalar products,
+//! "significantly more efficient than converting the second argument to a
+//! complex number". [`clacrm_mixed`] and [`clacrm_promoted`] implement both
+//! paths so the benchmark can measure the factor.
+
+use crate::algebra::{AlgEq, One, Recip, Zero};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+// ---------------------------------------------------------------------------
+// Complex numbers
+// ---------------------------------------------------------------------------
+
+/// A complex number over any numeric component type.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+impl<T> Complex<T> {
+    /// Construct from real and imaginary parts.
+    pub fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+impl<T: Zero> Complex<T> {
+    /// A purely real complex number.
+    pub fn from_re(re: T) -> Self {
+        Complex {
+            re,
+            im: T::zero(),
+        }
+    }
+}
+
+impl<T: Copy + Neg<Output = T>> Complex<T> {
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl<T: Copy + Add<Output = T> + Mul<Output = T>> Complex<T> {
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(&self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl<T: Copy + Add<Output = T>> Add for Complex<T> {
+    type Output = Complex<T>;
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: Copy + Sub<Output = T>> Sub for Complex<T> {
+    type Output = Complex<T>;
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T: Copy + Neg<Output = T>> Neg for Complex<T> {
+    type Output = Complex<T>;
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl<T: Copy + Add<Output = T> + Sub<Output = T> + Mul<Output = T>> Mul for Complex<T> {
+    type Output = Complex<T>;
+    fn mul(self, rhs: Self) -> Self {
+        // 4 component multiplications and 2 additions.
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// Mixed-precision scalar product: `Complex<T> * T` costs 2 component
+/// multiplications instead of 4 (the CLACRM inner operation).
+impl<T: Copy + Mul<Output = T>> Mul<T> for Complex<T> {
+    type Output = Complex<T>;
+    fn mul(self, rhs: T) -> Self {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+macro_rules! scalar_times_complex {
+    ($($t:ty),*) => {$(
+        impl Mul<Complex<$t>> for $t {
+            type Output = Complex<$t>;
+            fn mul(self, rhs: Complex<$t>) -> Complex<$t> {
+                Complex::new(self * rhs.re, self * rhs.im)
+            }
+        }
+    )*};
+}
+scalar_times_complex!(f32, f64);
+
+impl<T> Div for Complex<T>
+where
+    T: Copy + Add<Output = T> + Sub<Output = T> + Mul<Output = T> + Div<Output = T> + Neg<Output = T>,
+{
+    type Output = Complex<T>;
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        let n = self * rhs.conj();
+        Complex::new(n.re / d, n.im / d)
+    }
+}
+
+impl<T: Zero> Zero for Complex<T> {
+    fn zero() -> Self {
+        Complex {
+            re: T::zero(),
+            im: T::zero(),
+        }
+    }
+}
+
+impl<T: Zero + One> One for Complex<T> {
+    fn one() -> Self {
+        Complex {
+            re: T::one(),
+            im: T::zero(),
+        }
+    }
+}
+
+impl<T> Recip for Complex<T>
+where
+    T: Copy + Add<Output = T> + Mul<Output = T> + Div<Output = T> + Neg<Output = T>,
+{
+    fn recip(&self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+}
+
+impl<T: AlgEq> AlgEq for Complex<T> {
+    fn alg_eq(&self, other: &Self) -> bool {
+        self.re.alg_eq(&other.re) && self.im.alg_eq(&other.im)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} + {}i)", self.re, self.im)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rationals
+// ---------------------------------------------------------------------------
+
+/// An exact rational number: the reproduction's exact Field model (the
+/// `r * r⁻¹ → 1` rewrite instance of Fig. 5 is exact here, unlike floats).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i64,
+    den: i64, // invariant: den > 0, gcd(|num|, den) == 1
+}
+
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Construct `num/den`, normalizing sign and common factors.
+    /// Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// A whole number.
+    pub fn from_int(n: i64) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numerator(&self) -> i64 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denominator(&self) -> i64 {
+        self.den
+    }
+
+    /// Approximate floating-point value.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    fn from_i128(num: i128, den: i128) -> Self {
+        assert!(den != 0, "zero denominator");
+        let sign: i128 = if den < 0 { -1 } else { 1 };
+        let g = {
+            let (mut a, mut b) = (num.abs(), den.abs());
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a.max(1)
+        };
+        let num = sign * num / g;
+        let den = sign * den / g;
+        assert!(
+            num >= i64::MIN as i128 && num <= i64::MAX as i128 && den <= i64::MAX as i128,
+            "rational overflow"
+        );
+        Rational {
+            num: num as i64,
+            den: den as i64,
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Self) -> Self {
+        Rational::from_i128(
+            self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Self) -> Self {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Self) -> Self {
+        Rational::from_i128(
+            self.num as i128 * rhs.num as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Self {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Zero for Rational {
+    fn zero() -> Self {
+        Rational::from_int(0)
+    }
+}
+
+impl One for Rational {
+    fn one() -> Self {
+        Rational::from_int(1)
+    }
+}
+
+impl Recip for Rational {
+    fn recip(&self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+}
+
+impl AlgEq for Rational {
+    fn alg_eq(&self, other: &Self) -> bool {
+        self == other
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.num as i128 * other.den as i128).cmp(&(other.num as i128 * self.den as i128))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense matrices
+// ---------------------------------------------------------------------------
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T> Matrix<T> {
+    /// Build from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    pub fn get(&self, i: usize, j: usize) -> &T {
+        &self.data[i * self.cols + j]
+    }
+
+    /// Mutable element access.
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut T {
+        &mut self.data[i * self.cols + j]
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: Zero> Matrix<T> {
+    /// The zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| T::zero())
+    }
+}
+
+impl<T: Zero + One> Matrix<T> {
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| if i == j { T::one() } else { T::zero() })
+    }
+}
+
+impl<T: Copy + Add<Output = T>> Matrix<T> {
+    /// Elementwise sum. Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Matrix::from_fn(self.rows, self.cols, |i, j| *self.get(i, j) + *rhs.get(i, j))
+    }
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Generic matrix product, permitting **mixed element types**: the
+    /// entry-wise product `T * U -> V` is whatever the scalar `Mul` impl
+    /// provides, so `Matrix<Complex<f32>> * Matrix<f32>` uses the 2-mult
+    /// mixed kernel (Fig. 3 / CLACRM).
+    pub fn matmul<U, V>(&self, rhs: &Matrix<U>) -> Matrix<V>
+    where
+        U: Copy,
+        T: Mul<U, Output = V>,
+        V: Copy + Zero + Add<Output = V>,
+    {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let (m, k_dim, n) = (self.rows, self.cols, rhs.cols);
+        let mut data = vec![V::zero(); m * n];
+        // ikj loop order: the inner loop walks contiguous rows of `rhs` and
+        // the output, so the scalar kernel (mixed or promoted) dominates
+        // instead of index arithmetic.
+        for i in 0..m {
+            let a_row = &self.data[i * k_dim..(i + 1) * k_dim];
+            let out_row = &mut data[i * n..(i + 1) * n];
+            for (k, &aik) in a_row.iter().enumerate() {
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o = *o + aik * b;
+                }
+            }
+        }
+        Matrix { rows: m, cols: n, data }
+    }
+
+    /// Map every element.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+}
+
+impl<T: AlgEq> AlgEq for Matrix<T> {
+    fn alg_eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.data.iter().zip(&other.data).all(|(a, b)| a.alg_eq(b))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLACRM: complex-by-real matrix multiply, mixed vs. promoted
+// ---------------------------------------------------------------------------
+
+/// CLACRM direct path: multiply a complex matrix by a real matrix using
+/// mixed `Complex<f32> * f32` scalar products (2 real multiplications and
+/// 2 real additions per inner step).
+pub fn clacrm_mixed(a: &Matrix<Complex<f32>>, b: &Matrix<f32>) -> Matrix<Complex<f32>> {
+    a.matmul(b)
+}
+
+/// CLACRM naive path: first promote the real matrix to complex — what the
+/// "scalar is an associated type of the vector" design forces — then do a
+/// full complex-by-complex multiply (4 real multiplications and 4 real
+/// additions per inner step).
+pub fn clacrm_promoted(a: &Matrix<Complex<f32>>, b: &Matrix<f32>) -> Matrix<Complex<f32>> {
+    let promoted: Matrix<Complex<f32>> = b.map(|&x| Complex::from_re(x));
+    a.matmul(&promoted)
+}
+
+/// Real multiplications performed by the mixed kernel for `(m×k)·(k×n)`.
+pub fn clacrm_mixed_mults(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m * k * n) as u64
+}
+
+/// Real multiplications performed by the promoted kernel for `(m×k)·(k×n)`.
+pub fn clacrm_promoted_mults(m: usize, k: usize, n: usize) -> u64 {
+    4 * (m * k * n) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_field_laws_hold_approximately() {
+        use crate::algebra::{check_associativity, check_identity, check_inverse, MulOp};
+        let s = vec![
+            Complex::new(1.0f64, 2.0),
+            Complex::new(-0.5, 0.25),
+            Complex::new(3.0, -4.0),
+            Complex::new(0.1, 0.0),
+        ];
+        assert!(check_associativity::<Complex<f64>>(&MulOp, &s).is_ok());
+        assert!(check_identity::<Complex<f64>>(&MulOp, &s).is_ok());
+        assert!(check_inverse::<Complex<f64>>(&MulOp, &s).is_ok());
+    }
+
+    #[test]
+    fn complex_division_inverts_multiplication() {
+        let a = Complex::new(3.0f64, -2.0);
+        let b = Complex::new(1.5, 4.0);
+        let q = (a * b) / b;
+        assert!(q.alg_eq(&a));
+    }
+
+    #[test]
+    fn mixed_scalar_product_matches_promoted() {
+        let c = Complex::new(2.0f32, -3.0);
+        let r = 1.5f32;
+        let mixed = c * r;
+        let promoted = c * Complex::from_re(r);
+        assert!(mixed.alg_eq(&promoted));
+        // And the symmetric form from Fig. 3: mult(s, v).
+        let mixed2 = r * c;
+        assert!(mixed2.alg_eq(&mixed));
+    }
+
+    #[test]
+    fn rational_arithmetic_is_exact_and_normalized() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 6);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(a - a, Rational::from_int(0));
+        assert_eq!(Rational::new(4, -8), Rational::new(-1, 2));
+        assert_eq!(Rational::new(2, 4).denominator(), 2);
+    }
+
+    #[test]
+    fn rational_is_an_exact_field() {
+        use crate::algebra::{check_distributivity, check_inverse, MulOp, NumericRing};
+        let s: Vec<Rational> = vec![
+            Rational::new(1, 2),
+            Rational::new(-3, 4),
+            Rational::from_int(5),
+            Rational::new(7, 3),
+        ];
+        assert!(check_distributivity(&NumericRing, &s).is_ok());
+        assert!(check_inverse::<Rational>(&MulOp, &s).is_ok());
+        assert_eq!(Rational::new(7, 3).recip(), Rational::new(3, 7));
+    }
+
+    #[test]
+    fn rational_ordering_is_exact() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::new(1, 1_000_000));
+        assert_eq!(Rational::new(2, 6), Rational::new(1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn matrix_identity_is_monoid_identity() {
+        // The `A · I → A` rewrite instance of Fig. 5, checked concretely.
+        let a: Matrix<f64> = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let i: Matrix<f64> = Matrix::identity(3);
+        let prod: Matrix<f64> = a.matmul(&i);
+        assert!(prod.alg_eq(&a));
+        let prod: Matrix<f64> = i.matmul(&a);
+        assert!(prod.alg_eq(&a));
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i * 3 + j + 1) as i64); // [[1,2,3],[4,5,6]]
+        let b = Matrix::from_fn(3, 2, |i, j| (i * 2 + j + 1) as i64); // [[1,2],[3,4],[5,6]]
+        let c: Matrix<i64> = a.matmul(&b);
+        assert_eq!(*c.get(0, 0), 22);
+        assert_eq!(*c.get(0, 1), 28);
+        assert_eq!(*c.get(1, 0), 49);
+        assert_eq!(*c.get(1, 1), 64);
+    }
+
+    #[test]
+    fn clacrm_paths_agree_but_mixed_uses_half_the_mults() {
+        let a = Matrix::from_fn(4, 5, |i, j| Complex::new(i as f32 + 0.5, j as f32 - 2.0));
+        let b = Matrix::from_fn(5, 3, |i, j| (i as f32) - (j as f32) * 0.25);
+        let mixed = clacrm_mixed(&a, &b);
+        let promoted = clacrm_promoted(&a, &b);
+        assert!(mixed.alg_eq(&promoted));
+        assert_eq!(clacrm_mixed_mults(4, 5, 3) * 2, clacrm_promoted_mults(4, 5, 3));
+    }
+
+    #[test]
+    fn matrix_addition_shapes_checked() {
+        let a: Matrix<i32> = Matrix::zeros(2, 2);
+        let b: Matrix<i32> = Matrix::from_fn(2, 2, |i, j| (i + j) as i32);
+        let c = a.add(&b);
+        assert_eq!(*c.get(1, 1), 2);
+    }
+}

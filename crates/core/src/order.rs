@@ -1,0 +1,305 @@
+//! Ordering concepts, centered on **Strict Weak Order** (Fig. 6).
+//!
+//! The paper's Fig. 6 gives the axioms of a Strict Weak Order `<` with
+//! induced equivalence `E(a, b) := !(a < b) && !(b < a)`:
+//!
+//! 1. **irreflexivity** — `!(a < a)`
+//! 2. **transitivity** — `a < b && b < c  ⇒  a < c`
+//! 3. **transitivity of equivalence** — `E(a,b) && E(b,c) ⇒ E(a,c)`
+//!
+//! From these, *symmetry* and *reflexivity* of `E` are derivable as theorems
+//! (the derivations are carried out formally in `gp-proofs`); here the same
+//! axioms are *executable* semantic constraints checked on sample data —
+//! "the minimal requirements on `<` for correctness of many search or
+//! sorting-related algorithms, including `max_element`, `binary_search`,
+//! `sort`".
+
+/// A strict weak order on `T`: the comparison concept required by the
+/// sorting and searching algorithms of `gp-sequences`.
+pub trait StrictWeakOrder<T: ?Sized> {
+    /// The strict comparison `a < b`.
+    fn less(&self, a: &T, b: &T) -> bool;
+
+    /// The induced equivalence `E(a, b)`.
+    fn equiv(&self, a: &T, b: &T) -> bool {
+        !self.less(a, b) && !self.less(b, a)
+    }
+}
+
+/// A total order: a strict weak order whose induced equivalence is equality.
+/// (Marker refinement; the extra axiom is `equiv(a, b) ⇒ a == b`.)
+pub trait TotalOrder<T: ?Sized>: StrictWeakOrder<T> {}
+
+/// The natural order of an `Ord` type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NaturalLess;
+
+impl<T: Ord> StrictWeakOrder<T> for NaturalLess {
+    fn less(&self, a: &T, b: &T) -> bool {
+        a < b
+    }
+}
+impl<T: Ord> TotalOrder<T> for NaturalLess {}
+
+/// The reversed natural order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NaturalGreater;
+
+impl<T: Ord> StrictWeakOrder<T> for NaturalGreater {
+    fn less(&self, a: &T, b: &T) -> bool {
+        b < a
+    }
+}
+impl<T: Ord> TotalOrder<T> for NaturalGreater {}
+
+/// Order by a key extracted from the value — a strict *weak* (not total)
+/// order whenever the key function is not injective.
+#[derive(Clone, Copy, Debug)]
+pub struct ByKey<F>(pub F);
+
+impl<T, K: Ord, F: Fn(&T) -> K> StrictWeakOrder<T> for ByKey<F> {
+    fn less(&self, a: &T, b: &T) -> bool {
+        (self.0)(a) < (self.0)(b)
+    }
+}
+
+/// ASCII-case-insensitive string order: the canonical strict weak order
+/// whose equivalence classes are coarser than equality.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CaseInsensitive;
+
+impl StrictWeakOrder<String> for CaseInsensitive {
+    fn less(&self, a: &String, b: &String) -> bool {
+        let la = a.to_ascii_lowercase();
+        let lb = b.to_ascii_lowercase();
+        la < lb
+    }
+}
+
+impl StrictWeakOrder<&str> for CaseInsensitive {
+    fn less(&self, a: &&str, b: &&str) -> bool {
+        a.to_ascii_lowercase() < b.to_ascii_lowercase()
+    }
+}
+
+/// An order given by an arbitrary closure. The closure is trusted to be a
+/// strict weak order; use the checkers below to validate it.
+#[derive(Clone, Copy, Debug)]
+pub struct LessFn<F>(pub F);
+
+impl<T, F: Fn(&T, &T) -> bool> StrictWeakOrder<T> for LessFn<F> {
+    fn less(&self, a: &T, b: &T) -> bool {
+        (self.0)(a, b)
+    }
+}
+
+/// A deliberately *broken* order — non-strict `<=` — used in tests and in
+/// experiment E8 to show the axiom checks catching a real mischaracterized
+/// model (a classic user error when supplying comparators to `sort`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NonStrictLeq;
+
+impl<T: Ord> StrictWeakOrder<T> for NonStrictLeq {
+    fn less(&self, a: &T, b: &T) -> bool {
+        a <= b
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executable axiom checks (Fig. 6)
+// ---------------------------------------------------------------------------
+
+/// Check irreflexivity on every sample.
+pub fn check_irreflexivity<T>(
+    ord: &impl StrictWeakOrder<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    for (i, a) in samples.iter().enumerate() {
+        if ord.less(a, a) {
+            return Err(format!("irreflexivity failed: sample #{i} satisfies a < a"));
+        }
+    }
+    Ok(samples.len())
+}
+
+/// Check transitivity of `<` on all triples drawn from `samples` (capped).
+pub fn check_transitivity<T>(
+    ord: &impl StrictWeakOrder<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    let cap = samples.len().min(24);
+    let mut checked = 0;
+    for a in &samples[..cap] {
+        for b in &samples[..cap] {
+            for c in &samples[..cap] {
+                if ord.less(a, b) && ord.less(b, c) && !ord.less(a, c) {
+                    return Err(format!("transitivity failed on triple #{checked}"));
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Check transitivity of the induced equivalence on sample triples (capped).
+pub fn check_equiv_transitivity<T>(
+    ord: &impl StrictWeakOrder<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    let cap = samples.len().min(24);
+    let mut checked = 0;
+    for a in &samples[..cap] {
+        for b in &samples[..cap] {
+            for c in &samples[..cap] {
+                if ord.equiv(a, b) && ord.equiv(b, c) && !ord.equiv(a, c) {
+                    return Err(format!(
+                        "transitivity of equivalence failed on triple #{checked}"
+                    ));
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Check asymmetry — derivable from irreflexivity and transitivity but
+/// cheaper to test directly, and a sharper diagnostic for non-strict
+/// comparators.
+pub fn check_asymmetry<T>(
+    ord: &impl StrictWeakOrder<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    let cap = samples.len().min(64);
+    let mut checked = 0;
+    for a in &samples[..cap] {
+        for b in &samples[..cap] {
+            if ord.less(a, b) && ord.less(b, a) {
+                return Err(format!("asymmetry failed on pair #{checked}"));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+/// Run the full Fig. 6 axiom suite. Returns total checks performed.
+pub fn check_strict_weak_order<T>(
+    ord: &impl StrictWeakOrder<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    Ok(check_irreflexivity(ord, samples)?
+        + check_asymmetry(ord, samples)?
+        + check_transitivity(ord, samples)?
+        + check_equiv_transitivity(ord, samples)?)
+}
+
+/// The two *derived* properties of Fig. 6 — symmetry and reflexivity of the
+/// induced equivalence — checked directly. If the axioms hold, these can
+/// never fail (the formal derivation lives in `gp-proofs::theories::order`),
+/// so this function exists to validate that claim empirically.
+pub fn check_derived_equivalence<T>(
+    ord: &impl StrictWeakOrder<T>,
+    samples: &[T],
+) -> Result<usize, String> {
+    let mut checked = 0;
+    for (i, a) in samples.iter().enumerate() {
+        if !ord.equiv(a, a) {
+            return Err(format!("reflexivity of E failed on sample #{i}"));
+        }
+        checked += 1;
+    }
+    let cap = samples.len().min(64);
+    for a in &samples[..cap] {
+        for b in &samples[..cap] {
+            if ord.equiv(a, b) != ord.equiv(b, a) {
+                return Err("symmetry of E failed".to_string());
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints() -> Vec<i64> {
+        vec![3, -1, 4, 1, 5, 9, 2, 6, 5, 3, 5, -10, 0]
+    }
+
+    #[test]
+    fn natural_order_satisfies_fig6_axioms() {
+        let s = ints();
+        assert!(check_strict_weak_order(&NaturalLess, &s).is_ok());
+        assert!(check_derived_equivalence(&NaturalLess, &s).is_ok());
+    }
+
+    #[test]
+    fn non_strict_leq_fails_irreflexivity() {
+        // The classic `<=`-instead-of-`<` comparator bug: caught by the
+        // first Fig. 6 axiom.
+        let s = ints();
+        let err = check_irreflexivity(&NonStrictLeq, &s).unwrap_err();
+        assert!(err.contains("irreflexivity"));
+        assert!(check_asymmetry(&NonStrictLeq, &s).is_err());
+    }
+
+    #[test]
+    fn case_insensitive_is_swo_but_not_equality() {
+        let s: Vec<String> = ["Apple", "apple", "APPLE", "banana", "Banana", "cherry"]
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
+        assert!(check_strict_weak_order(&CaseInsensitive, &s).is_ok());
+        // Coarser-than-equality equivalence classes:
+        assert!(CaseInsensitive.equiv(&"Apple".to_string(), &"APPLE".to_string()));
+    }
+
+    #[test]
+    fn by_key_order_is_weak() {
+        // Order points by x only: (1,2) and (1,9) are equivalent, not equal.
+        let pts = vec![(1, 2), (1, 9), (0, 0), (5, 5), (5, 1)];
+        let ord = ByKey(|p: &(i32, i32)| p.0);
+        assert!(check_strict_weak_order(&ord, &pts).is_ok());
+        assert!(ord.equiv(&(1, 2), &(1, 9)));
+        assert!(!ord.equiv(&(1, 2), &(0, 0)));
+    }
+
+    #[test]
+    fn partial_order_on_floats_with_nan_breaks_equiv_transitivity() {
+        // The infamous float caveat: with NaN present, `<` on f64 is not a
+        // strict weak order (E is not transitive: 1 E NaN, NaN E 2, but
+        // !(1 E 2)). The checker must detect it.
+        let ord = LessFn(|a: &f64, b: &f64| a < b);
+        let s = vec![1.0, f64::NAN, 2.0];
+        assert!(check_equiv_transitivity(&ord, &s).is_err());
+        // Without NaN it is fine.
+        let s = vec![1.0, 2.0, 3.0, -1.0];
+        assert!(check_strict_weak_order(&ord, &s).is_ok());
+    }
+
+    #[test]
+    fn reversed_order_is_total() {
+        let s = ints();
+        assert!(check_strict_weak_order(&NaturalGreater, &s).is_ok());
+        assert!(NaturalGreater.less(&5, &3));
+    }
+
+    #[test]
+    fn derived_properties_checker_catches_broken_equiv() {
+        // An order whose handwritten `equiv` override is wrong.
+        struct BadEquiv;
+        impl StrictWeakOrder<i64> for BadEquiv {
+            fn less(&self, a: &i64, b: &i64) -> bool {
+                a < b
+            }
+            fn equiv(&self, a: &i64, b: &i64) -> bool {
+                a < b // nonsense: not reflexive
+            }
+        }
+        assert!(check_derived_equivalence(&BadEquiv, &ints()).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! AsyncMax: asynchronous extrema propagation on arbitrary topologies.
+//!
+//! This algorithm exists because the taxonomy *asked for it*: experiment
+//! E10c shows the catalog has no leader election for `(arbitrary topology,
+//! asynchronous timing)` — the paper's "helps in the design of new ones
+//! (based on situations where no known algorithms for a particular concept
+//! refinement exist)". AsyncMax fills that cell.
+//!
+//! Taxonomy position: problem = leader election; topology = arbitrary
+//! connected; fault tolerance = none; sharing = message passing; strategy =
+//! flooding (gossip on improvement); timing = **asynchronous**; process
+//! management = static.
+//!
+//! Each node floods its best-known uid whenever it improves. On
+//! quiescence, every node's estimate equals the global maximum.
+//! Complexity guarantees: `O(n·|E|)` messages worst case (a node can
+//! improve at most `n` times, flooding its degree each time), `O(diam)`
+//! time. Per-node decisions are *running estimates*: distributed
+//! termination detection would require an overlay (e.g. an [`super::Echo`]
+//! wave), which is exactly the compositional-strategy pairing the taxonomy
+//! can express.
+
+use crate::engine::{Ctx, Payload, Process};
+use crate::topology::NodeId;
+
+/// Per-node AsyncMax state.
+pub struct AsyncMax {
+    uid: u64,
+    best: u64,
+}
+
+impl AsyncMax {
+    /// A node with the given uid.
+    pub fn new(uid: u64) -> Self {
+        AsyncMax { uid, best: uid }
+    }
+}
+
+impl Process for AsyncMax {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.decide(self.best);
+        ctx.send_all(Payload::Max(self.best));
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &Payload, ctx: &mut Ctx) {
+        if let Payload::Max(u) = msg {
+            ctx.charge(1);
+            if *u > self.best {
+                self.best = *u;
+                ctx.decide(self.best);
+                ctx.send_all(Payload::Max(self.best));
+            }
+        }
+        let _ = self.uid;
+    }
+}
+
+/// One AsyncMax process per uid.
+pub fn asyncmax_nodes(uids: &[u64]) -> Vec<Box<dyn Process>> {
+    uids.iter()
+        .map(|&u| Box::new(AsyncMax::new(u)) as Box<dyn Process>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::consensus;
+    use crate::engine::{AsyncRunner, SyncRunner};
+    use crate::topology::Topology;
+
+    fn uids(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 53 + 17) % 1013).collect()
+    }
+
+    #[test]
+    fn converges_to_the_maximum_on_async_arbitrary_topologies() {
+        // The cell no other catalog algorithm covers: async + arbitrary.
+        for topo in [
+            Topology::grid(5, 5),
+            Topology::random_connected(30, 20, 4),
+            Topology::star(12),
+        ] {
+            let n = topo.len();
+            let ids = uids(n);
+            let max = *ids.iter().max().unwrap();
+            for seed in 0..3 {
+                let mut r = AsyncRunner::new(topo.clone(), asyncmax_nodes(&ids), 9, seed);
+                let stats = r.run(10_000_000);
+                assert_eq!(consensus(&stats), Some(max), "{} seed {seed}", topo.name());
+                assert_eq!(stats.deciders_of(max), n);
+            }
+        }
+    }
+
+    #[test]
+    fn message_bound_n_times_edges() {
+        let topo = Topology::grid(6, 6);
+        let n = topo.len() as u64;
+        let edges = topo.directed_edge_count() as u64;
+        let ids = uids(topo.len());
+        let mut r = AsyncRunner::new(topo, asyncmax_nodes(&ids), 5, 1);
+        let stats = r.run(10_000_000);
+        assert!(
+            stats.messages <= n * edges,
+            "{} messages exceeds n·E = {}",
+            stats.messages,
+            n * edges
+        );
+    }
+
+    #[test]
+    fn also_works_synchronously_in_diameter_ish_time() {
+        let topo = Topology::grid(8, 8);
+        let diam = topo.diameter().unwrap() as u64;
+        let ids = uids(topo.len());
+        let max = *ids.iter().max().unwrap();
+        let mut r = SyncRunner::new(topo, asyncmax_nodes(&ids));
+        let stats = r.run(1000);
+        assert_eq!(consensus(&stats), Some(max));
+        assert!(stats.time <= diam + 3);
+    }
+
+    #[test]
+    fn estimates_are_monotone_even_under_adversarial_delays() {
+        // Large delay spread: the algorithm must still converge.
+        let topo = Topology::random_connected(25, 5, 8);
+        let ids = uids(25);
+        let max = *ids.iter().max().unwrap();
+        let mut r = AsyncRunner::new(topo, asyncmax_nodes(&ids), 50, 3);
+        let stats = r.run(10_000_000);
+        assert_eq!(consensus(&stats), Some(max));
+    }
+}

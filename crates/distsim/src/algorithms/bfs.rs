@@ -1,0 +1,116 @@
+//! Synchronous BFS spanning tree.
+//!
+//! Taxonomy position: problem = spanning tree / shortest hop paths;
+//! topology = arbitrary connected; fault tolerance = none; sharing =
+//! message passing; strategy = flooding with level stamping; timing =
+//! synchronous (levels are correct *because* of lockstep rounds);
+//! process management = static.
+//!
+//! Complexity guarantees: `O(|E|)` messages, `O(diam)` rounds.
+
+use crate::engine::{Ctx, Payload, Process};
+use crate::topology::NodeId;
+
+/// Per-node BFS state. Decides its tree level.
+pub struct BfsTree {
+    root: bool,
+    level: Option<u32>,
+    /// Tree parent (root: none).
+    pub parent: Option<NodeId>,
+}
+
+impl BfsTree {
+    /// A node; exactly one should be the root.
+    pub fn new(root: bool) -> Self {
+        BfsTree {
+            root,
+            level: None,
+            parent: None,
+        }
+    }
+}
+
+impl Process for BfsTree {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if self.root {
+            self.level = Some(0);
+            ctx.decide(0);
+            ctx.send_all(Payload::Level(0));
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &Payload, ctx: &mut Ctx) {
+        if let Payload::Level(l) = msg {
+            ctx.charge(1);
+            if self.level.is_none() {
+                let mine = l + 1;
+                self.level = Some(mine);
+                self.parent = Some(from);
+                ctx.decide(mine as u64);
+                ctx.send_all(Payload::Level(mine));
+            }
+            // Later (equal or worse) announcements are ignored: in the
+            // synchronous model the first arrival is a shortest path.
+        }
+    }
+}
+
+/// One BFS process per node, rooted at `root`.
+pub fn bfs_tree_nodes(n: usize, root: NodeId) -> Vec<Box<dyn Process>> {
+    (0..n)
+        .map(|i| Box::new(BfsTree::new(i == root)) as Box<dyn Process>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SyncRunner;
+    use crate::topology::Topology;
+
+    #[test]
+    fn levels_equal_bfs_distances() {
+        let topo = Topology::grid(5, 4);
+        let n = topo.len();
+        // Reference distances via plain BFS on the topology.
+        let mut dist = vec![u64::MAX; n];
+        dist[0] = 0;
+        let mut q = std::collections::VecDeque::from([0usize]);
+        while let Some(u) = q.pop_front() {
+            for &v in topo.neighbors(u) {
+                if dist[v] == u64::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        let mut r = SyncRunner::new(topo, bfs_tree_nodes(n, 0));
+        let stats = r.run(100);
+        for (v, d) in dist.iter().enumerate() {
+            assert_eq!(stats.outputs[v], Some(*d), "node {v}");
+        }
+    }
+
+    #[test]
+    fn rounds_bounded_by_diameter_messages_by_edges() {
+        let topo = Topology::random_connected(40, 30, 1);
+        let n = topo.len();
+        let diam = topo.diameter().unwrap() as u64;
+        let edges = topo.directed_edge_count() as u64;
+        let mut r = SyncRunner::new(topo, bfs_tree_nodes(n, 0));
+        let stats = r.run(1000);
+        assert!(stats.time <= diam + 2, "time {} > diam {diam}", stats.time);
+        assert!(stats.messages <= edges, "each directed edge carries ≤1 level");
+    }
+
+    #[test]
+    fn star_tree_is_depth_one() {
+        let topo = Topology::star(6);
+        let mut r = SyncRunner::new(topo, bfs_tree_nodes(6, 0));
+        let stats = r.run(50);
+        assert_eq!(stats.outputs[0], Some(0));
+        for v in 1..6 {
+            assert_eq!(stats.outputs[v], Some(1));
+        }
+    }
+}

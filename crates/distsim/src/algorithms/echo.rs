@@ -1,0 +1,135 @@
+//! Chang's echo algorithm: broadcast with convergecast acknowledgment.
+//!
+//! Taxonomy position: problem = broadcast (with termination detection);
+//! topology = arbitrary connected; fault tolerance = none; sharing =
+//! message passing; strategy = **probe-echo** (named explicitly in the
+//! paper's strategy dimension); timing = asynchronous; process
+//! management = static.
+//!
+//! Complexity guarantee: exactly `2·|E|` messages (each undirected edge
+//! carries one token each way); `O(diam)` time.
+
+use crate::engine::{Ctx, Payload, Process};
+use crate::topology::NodeId;
+
+/// Per-node echo state.
+pub struct Echo {
+    initiator: bool,
+    parent: Option<NodeId>,
+    received: usize,
+    forwarded: bool,
+}
+
+impl Echo {
+    /// A node; exactly one node should be the initiator.
+    pub fn new(initiator: bool) -> Self {
+        Echo {
+            initiator,
+            parent: None,
+            received: 0,
+            forwarded: false,
+        }
+    }
+}
+
+impl Process for Echo {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if self.initiator {
+            self.forwarded = true;
+            ctx.send_all(Payload::Token);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &Payload, ctx: &mut Ctx) {
+        if !matches!(msg, Payload::Token) {
+            return;
+        }
+        self.received += 1;
+        ctx.charge(1);
+        if !self.initiator && !self.forwarded {
+            self.forwarded = true;
+            self.parent = Some(from);
+            for &n in ctx.neighbors {
+                if n != from {
+                    ctx.send(n, Payload::Token);
+                }
+            }
+        }
+        if self.received == ctx.neighbors.len() {
+            // Heard from every neighbor: subtree complete.
+            if let Some(p) = self.parent {
+                ctx.send(p, Payload::Token);
+            }
+            ctx.decide(1);
+            ctx.halt();
+        }
+    }
+}
+
+/// One echo process per node; node `initiator` starts the wave.
+pub fn echo_nodes(n: usize, initiator: NodeId) -> Vec<Box<dyn Process>> {
+    (0..n)
+        .map(|i| Box::new(Echo::new(i == initiator)) as Box<dyn Process>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AsyncRunner, SyncRunner};
+    use crate::topology::Topology;
+
+    #[test]
+    fn terminates_with_exactly_two_messages_per_edge() {
+        for topo in [
+            Topology::grid(4, 3),
+            Topology::complete(7),
+            Topology::random_connected(25, 20, 2),
+        ] {
+            let n = topo.len();
+            let edges = topo.directed_edge_count() as u64; // = 2·|E| undirected
+            let mut r = SyncRunner::new(topo.clone(), echo_nodes(n, 0));
+            let stats = r.run(500);
+            assert_eq!(stats.messages, edges, "{}", topo.name());
+            // The initiator decided: global termination detected.
+            assert_eq!(stats.outputs[0], Some(1));
+            assert_eq!(
+                stats.outputs.iter().filter(|o| o.is_some()).count(),
+                n,
+                "every node completes in {}",
+                topo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn works_under_asynchrony_with_any_delays() {
+        let topo = Topology::random_connected(30, 25, 9);
+        let n = topo.len();
+        let edges = topo.directed_edge_count() as u64;
+        for seed in 0..4 {
+            let mut r = AsyncRunner::new(topo.clone(), echo_nodes(n, 3), 11, seed);
+            let stats = r.run(1_000_000);
+            assert_eq!(stats.messages, edges, "seed {seed}");
+            assert_eq!(stats.outputs[3], Some(1));
+        }
+    }
+
+    #[test]
+    fn crash_prevents_termination_detection() {
+        let topo = Topology::grid(3, 3);
+        let mut r = SyncRunner::new(topo, echo_nodes(9, 0));
+        r.crash(4, 1); // center node dies early
+        let stats = r.run(500);
+        assert_eq!(stats.outputs[0], None, "initiator must not falsely report");
+    }
+
+    #[test]
+    fn two_nodes() {
+        let topo = Topology::from_lists("pair", vec![vec![1], vec![0]]);
+        let mut r = SyncRunner::new(topo, echo_nodes(2, 0));
+        let stats = r.run(50);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.outputs[0], Some(1));
+    }
+}

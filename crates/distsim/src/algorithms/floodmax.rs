@@ -1,0 +1,121 @@
+//! FloodMax leader election on arbitrary topologies.
+//!
+//! Taxonomy position: problem = leader election; topology = arbitrary
+//! (diameter known); fault tolerance = none; sharing = message passing;
+//! strategy = flooding (centralized knowledge of diameter); timing =
+//! **synchronous** (required — the round structure is the termination
+//! criterion); process management = static.
+//!
+//! Complexity guarantees: `diam · |E|` messages, `diam` rounds; `O(1)`
+//! local computation per received message. Contrast with the ring
+//! algorithms: FloodMax trades message volume for topology generality —
+//! the trade-off a taxonomy-driven selector weighs.
+
+use crate::engine::{Ctx, Payload, Process};
+use crate::topology::NodeId;
+
+/// Per-node FloodMax state.
+pub struct FloodMax {
+    uid: u64,
+    max_seen: u64,
+    diameter: u64,
+}
+
+impl FloodMax {
+    /// A node with the given uid; `diameter` must bound the network
+    /// diameter.
+    pub fn new(uid: u64, diameter: u64) -> Self {
+        FloodMax {
+            uid,
+            max_seen: uid,
+            diameter,
+        }
+    }
+}
+
+impl Process for FloodMax {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.send_all(Payload::Max(self.max_seen));
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &Payload, ctx: &mut Ctx) {
+        if let Payload::Max(u) = msg {
+            ctx.charge(1); // one comparison
+            if *u > self.max_seen {
+                self.max_seen = *u;
+            }
+        }
+    }
+
+    fn on_round(&mut self, round: u64, ctx: &mut Ctx) {
+        if round < self.diameter {
+            ctx.send_all(Payload::Max(self.max_seen));
+        } else if round == self.diameter {
+            ctx.decide(if self.max_seen == self.uid { self.uid } else { self.max_seen });
+            ctx.halt();
+        }
+    }
+}
+
+/// One FloodMax process per uid.
+pub fn floodmax_nodes(uids: &[u64], diameter: u64) -> Vec<Box<dyn Process>> {
+    uids.iter()
+        .map(|&u| Box::new(FloodMax::new(u, diameter)) as Box<dyn Process>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::consensus;
+    use crate::engine::SyncRunner;
+    use crate::topology::Topology;
+
+    fn run(topo: Topology, uids: &[u64]) -> crate::engine::RunStats {
+        let diam = topo.diameter().expect("connected") as u64;
+        let mut r = SyncRunner::new(topo, floodmax_nodes(uids, diam.max(1)));
+        r.run(diam + 10)
+    }
+
+    #[test]
+    fn elects_max_on_grid_complete_and_random() {
+        let uids: Vec<u64> = (0..16).map(|i| (i * 7 + 3) % 97).collect();
+        let max = *uids.iter().max().unwrap();
+        for topo in [
+            Topology::grid(4, 4),
+            Topology::complete(16),
+            Topology::random_connected(16, 12, 5),
+        ] {
+            let stats = run(topo.clone(), &uids);
+            assert_eq!(consensus(&stats), Some(max), "{}", topo.name());
+            assert_eq!(stats.deciders_of(max), 16);
+        }
+    }
+
+    #[test]
+    fn message_count_is_diameter_times_edges() {
+        let topo = Topology::grid(5, 5);
+        let diam = topo.diameter().unwrap() as u64;
+        let edges = topo.directed_edge_count() as u64;
+        let uids: Vec<u64> = (1..=25).collect();
+        let stats = run(topo, &uids);
+        assert_eq!(stats.messages, diam * edges);
+        assert_eq!(stats.time, diam);
+    }
+
+    #[test]
+    fn diameter_rounds_are_necessary() {
+        // With an understated diameter the far corner decides wrong — the
+        // synchronous-timing requirement is real.
+        let topo = Topology::grid(5, 1); // a path, diameter 4
+        let uids = [9, 1, 1, 1, 1]; // max at one end
+        let mut r = SyncRunner::new(topo, floodmax_nodes(&uids, 2)); // lie: diam=2
+        let stats = r.run(20);
+        assert_eq!(stats.outputs[4], Some(1), "too few rounds: wrong decision");
+        // With the true diameter it is correct.
+        let topo = Topology::grid(5, 1);
+        let mut r = SyncRunner::new(topo, floodmax_nodes(&uids, 4));
+        let stats = r.run(20);
+        assert_eq!(stats.outputs[4], Some(9));
+    }
+}

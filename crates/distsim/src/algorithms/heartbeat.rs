@@ -1,0 +1,173 @@
+//! Heartbeat failure detection (synchronous model).
+//!
+//! The taxonomy's strategy dimension names "heart beat" explicitly, and its
+//! fault dimension distinguishes algorithms by what they tolerate. This is
+//! the catalog's crash-*tolerant* entry: every node beats once per round to
+//! its neighbors; a node that misses `timeout` consecutive expected beats
+//! is suspected. In the synchronous model this detector is **perfect**
+//! (strong accuracy + strong completeness): a node is suspected iff it has
+//! crashed.
+//!
+//! Taxonomy position: problem = failure detection; topology = arbitrary
+//! (detection is per-neighbor; complete graphs give global coverage);
+//! fault tolerance = crash; strategy = heart beat; timing = synchronous;
+//! process management = static.
+//!
+//! Complexity guarantees: `|E|` messages per round; detection latency ≤
+//! `timeout + 1` rounds; `O(deg)` local computation per round.
+
+use crate::engine::{Ctx, Payload, Process};
+use crate::topology::NodeId;
+use std::collections::HashMap;
+
+/// Per-node heartbeat state: beats out every round, tracks the last round
+/// each neighbor was heard from, and reports its suspect count.
+pub struct Heartbeat {
+    /// Rounds of silence after which a neighbor is suspected.
+    timeout: u64,
+    /// Stop after this many rounds (the monitoring window).
+    horizon: u64,
+    last_heard: HashMap<NodeId, u64>,
+    suspects: Vec<NodeId>,
+}
+
+impl Heartbeat {
+    /// A detector node with the given silence `timeout` and run `horizon`.
+    pub fn new(timeout: u64, horizon: u64) -> Self {
+        assert!(timeout >= 1);
+        Heartbeat {
+            timeout,
+            horizon,
+            last_heard: HashMap::new(),
+            suspects: Vec::new(),
+        }
+    }
+
+    /// Neighbors currently suspected of having crashed.
+    pub fn suspects(&self) -> &[NodeId] {
+        &self.suspects
+    }
+}
+
+impl Process for Heartbeat {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        for &n in ctx.neighbors {
+            self.last_heard.insert(n, 0);
+        }
+        ctx.send_all(Payload::Uid(ctx.node as u64));
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &Payload, ctx: &mut Ctx) {
+        if matches!(msg, Payload::Uid(_)) {
+            // Stamp the *current* round: beats sent in round r-1 arrive in r;
+            // we only learn the round at the next on_round call, so store a
+            // monotone counter via charge-free bookkeeping below.
+            ctx.charge(1);
+            let e = self.last_heard.entry(from).or_insert(0);
+            *e = u64::MAX; // mark "heard since last round tick"
+        }
+    }
+
+    fn on_round(&mut self, round: u64, ctx: &mut Ctx) {
+        // Resolve the "heard this round" marks to this round's number.
+        for (_, v) in self.last_heard.iter_mut() {
+            if *v == u64::MAX {
+                *v = round;
+            }
+        }
+        // Suspect neighbors silent for more than `timeout` rounds.
+        self.suspects = self
+            .last_heard
+            .iter()
+            .filter(|(_, &heard)| round.saturating_sub(heard) > self.timeout)
+            .map(|(&n, _)| n)
+            .collect();
+        self.suspects.sort_unstable();
+        ctx.charge(self.last_heard.len() as u64);
+        if round >= self.horizon {
+            ctx.decide(self.suspects.len() as u64);
+            ctx.halt();
+        } else {
+            ctx.send_all(Payload::Uid(ctx.node as u64));
+        }
+    }
+}
+
+/// One heartbeat detector per node.
+pub fn heartbeat_nodes(n: usize, timeout: u64, horizon: u64) -> Vec<Box<dyn Process>> {
+    (0..n)
+        .map(|_| Box::new(Heartbeat::new(timeout, horizon)) as Box<dyn Process>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SyncRunner;
+    use crate::topology::Topology;
+
+    #[test]
+    fn no_crashes_means_no_suspects() {
+        let topo = Topology::complete(6);
+        let mut r = SyncRunner::new(topo, heartbeat_nodes(6, 2, 12));
+        let stats = r.run(40);
+        // Every node decided 0 suspects.
+        assert!(stats.outputs.iter().all(|o| *o == Some(0)));
+    }
+
+    #[test]
+    fn crashed_node_is_suspected_by_everyone_else() {
+        // The crash-tolerance the rest of the catalog lacks: the detector
+        // keeps operating *through* the failure and reports it.
+        let topo = Topology::complete(6);
+        let mut r = SyncRunner::new(topo, heartbeat_nodes(6, 2, 14));
+        r.crash(3, 5);
+        let stats = r.run(40);
+        for v in 0..6 {
+            if v == 3 {
+                assert_eq!(stats.outputs[v], None, "the crashed node is silent");
+            } else {
+                assert_eq!(stats.outputs[v], Some(1), "node {v} suspects exactly one");
+            }
+        }
+    }
+
+    #[test]
+    fn detection_latency_is_bounded_by_timeout() {
+        // Crash at round 5 with timeout 2: suspicion must hold by round 8
+        // and not before round 6 (accuracy): run two horizons.
+        let run_with_horizon = |h: u64| {
+            let topo = Topology::complete(4);
+            let mut r = SyncRunner::new(topo, heartbeat_nodes(4, 2, h));
+            r.crash(0, 5);
+            r.run(h + 5)
+        };
+        // Horizon before the crash can possibly be detected: no suspects.
+        let early = run_with_horizon(5);
+        assert_eq!(early.outputs[1], Some(0));
+        // Horizon comfortably after: exactly one suspect.
+        let late = run_with_horizon(10);
+        assert_eq!(late.outputs[1], Some(1));
+    }
+
+    #[test]
+    fn no_false_suspicions_under_synchrony() {
+        // Strong accuracy: with all nodes alive, long runs never suspect.
+        let topo = Topology::grid(3, 3);
+        let mut r = SyncRunner::new(topo, heartbeat_nodes(9, 1, 30));
+        let stats = r.run(60);
+        assert!(stats.outputs.iter().all(|o| *o == Some(0)));
+    }
+
+    #[test]
+    fn message_cost_is_edges_per_round() {
+        let topo = Topology::complete(5); // 20 directed edges
+        let horizon = 10u64;
+        let mut r = SyncRunner::new(topo, heartbeat_nodes(5, 2, horizon));
+        let stats = r.run(horizon + 5);
+        // One beat per directed edge per round (within one round of slack
+        // for the final-round halt).
+        assert!(stats.messages >= 20 * (horizon - 1));
+        assert!(stats.messages <= 20 * (horizon + 1));
+    }
+}

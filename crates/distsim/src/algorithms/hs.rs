@@ -1,0 +1,197 @@
+//! Hirschberg–Sinclair leader election.
+//!
+//! Taxonomy position: problem = leader election; topology = bidirectional
+//! ring; fault tolerance = none; sharing = message passing; strategy =
+//! distributed control with doubling probes (probe-echo flavored); timing =
+//! asynchronous; process management = static.
+//!
+//! Complexity guarantee: `O(n log n)` messages — the asymptotic improvement
+//! over LCR that the taxonomy's selection query surfaces (experiment E10).
+
+use crate::engine::{Ctx, Payload, Process};
+use crate::topology::NodeId;
+
+/// Per-node Hirschberg–Sinclair state.
+pub struct Hs {
+    uid: u64,
+    phase: u32,
+    acks: u8,
+    decided: bool,
+}
+
+impl Hs {
+    /// A node with the given uid.
+    pub fn new(uid: u64) -> Self {
+        Hs {
+            uid,
+            phase: 0,
+            acks: 0,
+            decided: false,
+        }
+    }
+
+    fn send_probes(&self, ctx: &mut Ctx) {
+        let hops = 1u64 << self.phase;
+        for d in 0..2 {
+            ctx.send(
+                ctx.neighbors[d],
+                Payload::HsToken {
+                    uid: self.uid,
+                    hops,
+                    outbound: true,
+                },
+            );
+        }
+    }
+}
+
+impl Process for Hs {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.send_probes(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &Payload, ctx: &mut Ctx) {
+        // On a bidirectional ring the "continue" direction is the neighbor
+        // we did not hear from.
+        let other = if ctx.neighbors[0] == from {
+            ctx.neighbors[1]
+        } else {
+            ctx.neighbors[0]
+        };
+        match msg {
+            Payload::HsToken {
+                uid,
+                hops,
+                outbound: true,
+            } => {
+                ctx.charge(1);
+                if *uid > self.uid {
+                    if *hops > 1 {
+                        ctx.send(
+                            other,
+                            Payload::HsToken {
+                                uid: *uid,
+                                hops: hops - 1,
+                                outbound: true,
+                            },
+                        );
+                    } else {
+                        // Turn the token around.
+                        ctx.send(
+                            from,
+                            Payload::HsToken {
+                                uid: *uid,
+                                hops: 1,
+                                outbound: false,
+                            },
+                        );
+                    }
+                } else if *uid == self.uid {
+                    // Own probe circumnavigated: elected.
+                    self.decided = true;
+                    ctx.decide(self.uid);
+                    ctx.send(ctx.neighbors[1], Payload::Max(self.uid));
+                }
+                // Smaller uids are swallowed.
+            }
+            Payload::HsToken {
+                uid,
+                outbound: false,
+                ..
+            } => {
+                if *uid == self.uid {
+                    self.acks += 1;
+                    if self.acks == 2 {
+                        self.acks = 0;
+                        self.phase += 1;
+                        self.send_probes(ctx);
+                    }
+                } else {
+                    // Retrace toward the origin.
+                    ctx.send(
+                        other,
+                        Payload::HsToken {
+                            uid: *uid,
+                            hops: 1,
+                            outbound: false,
+                        },
+                    );
+                }
+            }
+            Payload::Max(leader) => {
+                if self.decided {
+                    ctx.halt();
+                } else {
+                    self.decided = true;
+                    ctx.decide(*leader);
+                    ctx.send(other, Payload::Max(*leader));
+                    ctx.halt();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One HS process per uid (ring order = slice order).
+pub fn hs_nodes(uids: &[u64]) -> Vec<Box<dyn Process>> {
+    uids.iter().map(|&u| Box::new(Hs::new(u)) as Box<dyn Process>).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{adversarial_ring_uids, consensus, lcr_nodes};
+    use crate::engine::SyncRunner;
+    use crate::topology::Topology;
+
+    fn run(uids: &[u64]) -> crate::engine::RunStats {
+        let mut r = SyncRunner::new(Topology::ring_bidirectional(uids.len()), hs_nodes(uids));
+        r.run(60 * uids.len() as u64 + 100)
+    }
+
+    #[test]
+    fn elects_the_maximum_uid_everywhere() {
+        let uids = [13, 2, 99, 40, 7, 56];
+        let stats = run(&uids);
+        assert_eq!(consensus(&stats), Some(99));
+        assert!(stats.outputs.iter().all(|o| *o == Some(99)));
+    }
+
+    #[test]
+    fn message_count_is_n_log_n() {
+        for n in [16usize, 64, 256] {
+            let stats = run(&adversarial_ring_uids(n));
+            assert_eq!(consensus(&stats), Some(n as u64));
+            let bound = (10.0 * n as f64 * ((n as f64).log2() + 2.0)) as u64;
+            assert!(
+                stats.messages <= bound,
+                "n={n}: {} messages exceeds 10·n·(log n + 2) = {bound}",
+                stats.messages
+            );
+        }
+    }
+
+    #[test]
+    fn beats_lcr_on_adversarial_rings() {
+        // The crossover the taxonomy records: O(n log n) vs O(n²).
+        let n = 128;
+        let uids = adversarial_ring_uids(n);
+        let hs = run(&uids);
+        let mut lcr_runner =
+            SyncRunner::new(Topology::ring_unidirectional(n), lcr_nodes(&uids));
+        let lcr = lcr_runner.run(10 * n as u64 + 50);
+        assert!(
+            hs.messages < lcr.messages / 2,
+            "HS {} vs LCR {}",
+            hs.messages,
+            lcr.messages
+        );
+    }
+
+    #[test]
+    fn two_node_ring() {
+        let stats = run(&[3, 8]);
+        assert_eq!(consensus(&stats), Some(8));
+    }
+}

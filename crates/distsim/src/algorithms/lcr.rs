@@ -1,0 +1,141 @@
+//! LCR (Le Lann / Chang–Roberts) leader election.
+//!
+//! Taxonomy position: problem = leader election; topology = unidirectional
+//! ring; fault tolerance = none; sharing = message passing; strategy =
+//! distributed control (uid comparison); timing = asynchronous (works under
+//! synchronous too); process management = static.
+//!
+//! Complexity guarantees: `O(n²)` messages worst case, `O(n log n)`
+//! average, `Θ(n)` best case; `O(n)` time. Elected leader announces itself
+//! with a second `n`-message wave so every node decides.
+
+use crate::engine::{Ctx, Payload, Process};
+use crate::topology::NodeId;
+
+/// Per-node LCR state.
+pub struct Lcr {
+    uid: u64,
+    decided: bool,
+}
+
+impl Lcr {
+    /// A node with the given uid.
+    pub fn new(uid: u64) -> Self {
+        Lcr { uid, decided: false }
+    }
+}
+
+impl Process for Lcr {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // Candidates circulate clockwise (the single out-neighbor).
+        let next = ctx.neighbors[0];
+        ctx.send(next, Payload::Uid(self.uid));
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &Payload, ctx: &mut Ctx) {
+        let next = ctx.neighbors[0];
+        match msg {
+            Payload::Uid(u) => {
+                ctx.charge(1); // one comparison
+                if *u > self.uid {
+                    ctx.send(next, Payload::Uid(*u));
+                } else if *u == self.uid {
+                    // Own uid survived the whole ring: elected.
+                    self.decided = true;
+                    ctx.decide(self.uid);
+                    ctx.send(next, Payload::Max(self.uid));
+                }
+                // Smaller uids are swallowed.
+            }
+            Payload::Max(leader) => {
+                if self.decided {
+                    // Announcement returned to the leader: done.
+                    ctx.halt();
+                } else {
+                    self.decided = true;
+                    ctx.decide(*leader);
+                    ctx.send(next, Payload::Max(*leader));
+                    ctx.halt();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One LCR process per uid (ring order = slice order).
+pub fn lcr_nodes(uids: &[u64]) -> Vec<Box<dyn Process>> {
+    uids.iter().map(|&u| Box::new(Lcr::new(u)) as Box<dyn Process>).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{adversarial_ring_uids, benign_ring_uids, consensus};
+    use crate::engine::{AsyncRunner, SyncRunner};
+    use crate::topology::Topology;
+
+    fn run_sync(uids: &[u64]) -> crate::engine::RunStats {
+        let mut r = SyncRunner::new(Topology::ring_unidirectional(uids.len()), lcr_nodes(uids));
+        r.run(10 * uids.len() as u64 + 50)
+    }
+
+    #[test]
+    fn elects_the_maximum_uid() {
+        let uids = [5, 9, 2, 7, 4];
+        let stats = run_sync(&uids);
+        assert_eq!(consensus(&stats), Some(9));
+        // Every node decided.
+        assert!(stats.outputs.iter().all(|o| *o == Some(9)));
+    }
+
+    #[test]
+    fn worst_case_messages_are_quadratic() {
+        let n = 64;
+        let worst = run_sync(&adversarial_ring_uids(n));
+        let best = run_sync(&benign_ring_uids(n));
+        let quad = (n * n / 4) as u64;
+        assert!(
+            worst.messages >= quad,
+            "worst-case {} messages, expected ≥ {quad}",
+            worst.messages
+        );
+        // Best case: ~2n candidates+announcements — linear.
+        assert!(best.messages <= 4 * n as u64);
+        assert!(worst.messages > 5 * best.messages);
+    }
+
+    #[test]
+    fn works_asynchronously_and_deterministically() {
+        let uids = adversarial_ring_uids(20);
+        let run = |seed| {
+            let mut r = AsyncRunner::new(
+                Topology::ring_unidirectional(20),
+                lcr_nodes(&uids),
+                7,
+                seed,
+            );
+            r.run(1_000_000)
+        };
+        let a = run(1);
+        assert_eq!(consensus(&a), Some(20));
+        assert_eq!(a.messages, run(1).messages);
+    }
+
+    #[test]
+    fn does_not_tolerate_crashes() {
+        // Crash a relay node: the election never completes — the taxonomy's
+        // fault-tolerance dimension, demonstrated.
+        let uids = benign_ring_uids(8);
+        let mut r = SyncRunner::new(Topology::ring_unidirectional(8), lcr_nodes(&uids));
+        r.crash(2, 1); // crashes before forwarding anything useful
+        let stats = r.run(500);
+        assert_eq!(consensus(&stats), None);
+    }
+
+    #[test]
+    fn single_node_ring_elects_itself() {
+        let stats = run_sync(&[42]);
+        assert_eq!(consensus(&stats), Some(42));
+    }
+}

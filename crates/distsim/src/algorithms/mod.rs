@@ -1,0 +1,64 @@
+//! Distributed algorithms, each annotated with its position in the
+//! seven-dimension taxonomy of §4 (problem, topology, fault tolerance,
+//! information sharing, strategy, timing, process management) and with the
+//! complexity guarantees the experiments validate.
+
+mod asyncmax;
+mod bfs;
+mod echo;
+mod floodmax;
+mod heartbeat;
+mod hs;
+mod lcr;
+
+pub use asyncmax::{asyncmax_nodes, AsyncMax};
+pub use bfs::{bfs_tree_nodes, BfsTree};
+pub use echo::{echo_nodes, Echo};
+pub use floodmax::{floodmax_nodes, FloodMax};
+pub use heartbeat::{heartbeat_nodes, Heartbeat};
+pub use hs::{hs_nodes, Hs};
+pub use lcr::{lcr_nodes, Lcr};
+
+use crate::engine::RunStats;
+
+/// Extract the consensus decision if every deciding node agreed; `None` if
+/// nobody decided or the decisions conflict.
+pub fn consensus(stats: &RunStats) -> Option<u64> {
+    let mut value = None;
+    for o in stats.outputs.iter().flatten() {
+        match value {
+            None => value = Some(*o),
+            Some(v) if v == *o => {}
+            _ => return None,
+        }
+    }
+    value
+}
+
+/// Worst-case LCR uid arrangement: ids strictly decreasing clockwise, so
+/// uid `k` travels `k + 1` hops before meeting a larger id — `Θ(n²)` total
+/// candidate messages.
+pub fn adversarial_ring_uids(n: usize) -> Vec<u64> {
+    (0..n as u64).rev().map(|k| k + 1).collect()
+}
+
+/// Best-case LCR arrangement: ids increasing clockwise — every candidate
+/// dies after one hop except the maximum.
+pub fn benign_ring_uids(n: usize) -> Vec<u64> {
+    (1..=n as u64).collect()
+}
+
+/// Hirschberg–Sinclair stress arrangement (`n` must be a power of two):
+/// bit-reversal permutation of the indices. Roughly `n / 2^(k+1)` nodes
+/// remain local maxima at phase `k`, each spending `Θ(2^k)` messages — the
+/// `Θ(n log n)` behavior the taxonomy's bound describes. (The decreasing
+/// arrangement of [`adversarial_ring_uids`] is a *best* case for HS: only
+/// the global maximum survives phase 0.)
+pub fn bit_reversal_ring_uids(n: usize) -> Vec<u64> {
+    assert!(n.is_power_of_two(), "bit reversal needs a power of two");
+    let bits = n.trailing_zeros();
+    (0..n as u64)
+        .map(|i| i.reverse_bits() >> (64 - bits) as u64)
+        .map(|r| r + 1)
+        .collect()
+}

@@ -1,0 +1,543 @@
+//! Execution engines: synchronous rounds and asynchronous event queue,
+//! with crash-failure injection and full metric accounting.
+
+use crate::topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Message payloads understood by the bundled algorithms. (A closed enum
+/// keeps the engine allocation-light; a production library would make this
+/// generic.)
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// A candidate identifier (LCR, announcements).
+    Uid(u64),
+    /// Hirschberg–Sinclair token.
+    HsToken {
+        /// Candidate id.
+        uid: u64,
+        /// Remaining hops for outbound tokens.
+        hops: u64,
+        /// Outbound (true) or returning (false).
+        outbound: bool,
+    },
+    /// Current maximum (FloodMax).
+    Max(u64),
+    /// Echo-algorithm token (probe and echo are the same token).
+    Token,
+    /// BFS level announcement.
+    Level(u32),
+}
+
+/// Per-run metrics: the three performance dimensions of the taxonomy.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Rounds (synchronous) or virtual completion time (asynchronous).
+    pub time: u64,
+    /// Total local computation steps charged via [`Ctx::charge`] — the
+    /// metric the paper notes is "rarely accounted for".
+    pub local_steps: u64,
+    /// Per-node decided outputs.
+    pub outputs: Vec<Option<u64>>,
+    /// Per-node message counts (sent).
+    pub per_node_sent: Vec<u64>,
+}
+
+impl RunStats {
+    /// Nodes that decided the given value.
+    pub fn deciders_of(&self, v: u64) -> usize {
+        self.outputs.iter().filter(|o| **o == Some(v)).count()
+    }
+}
+
+/// The API a process sees during a step.
+pub struct Ctx<'a> {
+    /// This node's id.
+    pub node: NodeId,
+    /// This node's out-neighbors.
+    pub neighbors: &'a [NodeId],
+    outbox: &'a mut Vec<(NodeId, Payload)>,
+    local_steps: &'a mut u64,
+    output: &'a mut Option<u64>,
+    halted: &'a mut bool,
+}
+
+impl Ctx<'_> {
+    /// Send a message to a neighbor.
+    pub fn send(&mut self, to: NodeId, payload: Payload) {
+        debug_assert!(
+            self.neighbors.contains(&to),
+            "node {} has no link to {}",
+            self.node,
+            to
+        );
+        self.outbox.push((to, payload));
+    }
+
+    /// Send to every neighbor.
+    pub fn send_all(&mut self, payload: Payload) {
+        for &n in self.neighbors {
+            self.outbox.push((n, payload.clone()));
+        }
+    }
+
+    /// Charge `n` units of local computation (taxonomy performance
+    /// accounting).
+    pub fn charge(&mut self, n: u64) {
+        *self.local_steps += n;
+    }
+
+    /// Record this node's decision.
+    pub fn decide(&mut self, v: u64) {
+        *self.output = Some(v);
+    }
+
+    /// Stop participating (no further events delivered).
+    pub fn halt(&mut self) {
+        *self.halted = true;
+    }
+}
+
+/// A distributed process: the algorithm running at one node.
+pub trait Process {
+    /// Called once before any message flows.
+    fn on_start(&mut self, ctx: &mut Ctx);
+
+    /// Called per delivered message.
+    fn on_message(&mut self, from: NodeId, msg: &Payload, ctx: &mut Ctx);
+
+    /// Synchronous model only: called once per round after deliveries.
+    fn on_round(&mut self, _round: u64, _ctx: &mut Ctx) {}
+}
+
+struct NodeState {
+    proc: Box<dyn Process>,
+    output: Option<u64>,
+    halted: bool,
+    crashed: bool,
+}
+
+fn run_step(
+    node: NodeId,
+    topo: &Topology,
+    st: &mut NodeState,
+    stats_local: &mut u64,
+    f: impl FnOnce(&mut dyn Process, &mut Ctx),
+) -> Vec<(NodeId, Payload)> {
+    let mut outbox = Vec::new();
+    if st.crashed || st.halted {
+        return outbox;
+    }
+    let mut ctx = Ctx {
+        node,
+        neighbors: topo.neighbors(node),
+        outbox: &mut outbox,
+        local_steps: stats_local,
+        output: &mut st.output,
+        halted: &mut st.halted,
+    };
+    f(st.proc.as_mut(), &mut ctx);
+    outbox
+}
+
+/// Synchronous executor: all messages sent in round `r` are delivered at
+/// the start of round `r + 1` (taxonomy timing dimension: *synchronous*).
+pub struct SyncRunner {
+    topo: Topology,
+    nodes: Vec<NodeState>,
+    /// Nodes crashing at the start of the given round.
+    crash_at: HashMap<NodeId, u64>,
+}
+
+impl SyncRunner {
+    /// Build a runner from a topology and one process per node.
+    pub fn new(topo: Topology, procs: Vec<Box<dyn Process>>) -> Self {
+        assert_eq!(topo.len(), procs.len(), "one process per node");
+        SyncRunner {
+            topo,
+            nodes: procs
+                .into_iter()
+                .map(|proc| NodeState {
+                    proc,
+                    output: None,
+                    halted: false,
+                    crashed: false,
+                })
+                .collect(),
+            crash_at: HashMap::new(),
+        }
+    }
+
+    /// Schedule a crash: the node stops at the start of `round`.
+    pub fn crash(&mut self, node: NodeId, round: u64) -> &mut Self {
+        self.crash_at.insert(node, round);
+        self
+    }
+
+    /// Run until quiescence (no messages in flight and every node halted or
+    /// idle) or `max_rounds`.
+    pub fn run(&mut self, max_rounds: u64) -> RunStats {
+        let n = self.topo.len();
+        let mut stats = RunStats {
+            outputs: vec![None; n],
+            per_node_sent: vec![0; n],
+            ..RunStats::default()
+        };
+        // In-flight: messages to deliver next round, as (from, to, payload).
+        let mut inflight: Vec<(NodeId, NodeId, Payload)> = Vec::new();
+
+        for v in 0..n {
+            if self.crash_at.get(&v) == Some(&0) {
+                self.nodes[v].crashed = true;
+            }
+            let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats.local_steps, |p, c| {
+                p.on_start(c)
+            });
+            stats.per_node_sent[v] += out.len() as u64;
+            inflight.extend(out.into_iter().map(|(to, pl)| (v, to, pl)));
+        }
+
+        let mut round = 1u64;
+        while round <= max_rounds {
+            for (v, node) in self.nodes.iter_mut().enumerate() {
+                if self.crash_at.get(&v) == Some(&round) {
+                    node.crashed = true;
+                }
+            }
+            let delivering = std::mem::take(&mut inflight);
+            let had_messages = !delivering.is_empty();
+            for (from, to, payload) in delivering {
+                if self.nodes[to].crashed || self.nodes[to].halted {
+                    continue;
+                }
+                stats.messages += 1;
+                let out = run_step(
+                    to,
+                    &self.topo,
+                    &mut self.nodes[to],
+                    &mut stats.local_steps,
+                    |p, c| p.on_message(from, &payload, c),
+                );
+                stats.per_node_sent[to] += out.len() as u64;
+                inflight.extend(out.into_iter().map(|(t, pl)| (to, t, pl)));
+            }
+            // Round tick for every live node.
+            for v in 0..n {
+                let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats.local_steps, |p, c| {
+                    p.on_round(round, c)
+                });
+                stats.per_node_sent[v] += out.len() as u64;
+                inflight.extend(out.into_iter().map(|(to, pl)| (v, to, pl)));
+            }
+            stats.time = round;
+            let all_done = self
+                .nodes
+                .iter()
+                .all(|s| s.halted || s.crashed);
+            if inflight.is_empty() && (all_done || !had_messages) {
+                break;
+            }
+            round += 1;
+        }
+
+        for (v, node) in self.nodes.iter().enumerate() {
+            stats.outputs[v] = node.output;
+        }
+        stats
+    }
+}
+
+/// Asynchronous executor: each message suffers a random delay in
+/// `1..=max_delay`, drawn from a seeded RNG (taxonomy timing dimension:
+/// *asynchronous*, reproducible per seed).
+pub struct AsyncRunner {
+    topo: Topology,
+    nodes: Vec<NodeState>,
+    crash_at: HashMap<NodeId, u64>,
+    max_delay: u64,
+    seed: u64,
+    /// Per-message omission probability in [0, 1] (taxonomy fault
+    /// dimension: *omission failures*). Drawn from the same seeded RNG, so
+    /// lossy runs stay reproducible.
+    drop_rate: f64,
+}
+
+impl AsyncRunner {
+    /// Build a runner. `max_delay` ≥ 1.
+    pub fn new(topo: Topology, procs: Vec<Box<dyn Process>>, max_delay: u64, seed: u64) -> Self {
+        assert_eq!(topo.len(), procs.len(), "one process per node");
+        assert!(max_delay >= 1);
+        AsyncRunner {
+            topo,
+            nodes: procs
+                .into_iter()
+                .map(|proc| NodeState {
+                    proc,
+                    output: None,
+                    halted: false,
+                    crashed: false,
+                })
+                .collect(),
+            crash_at: HashMap::new(),
+            max_delay,
+            seed,
+            drop_rate: 0.0,
+        }
+    }
+
+    /// Schedule a crash at virtual time `t`.
+    pub fn crash(&mut self, node: NodeId, t: u64) -> &mut Self {
+        self.crash_at.insert(node, t);
+        self
+    }
+
+    /// Inject omission failures: each message is silently dropped with the
+    /// given probability.
+    pub fn drop_messages(&mut self, rate: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Run to quiescence (empty event queue) or `max_events`.
+    pub fn run(&mut self, max_events: u64) -> RunStats {
+        let n = self.topo.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut stats = RunStats {
+            outputs: vec![None; n],
+            per_node_sent: vec![0; n],
+            ..RunStats::default()
+        };
+        // (delivery_time, sequence, from, to, payload); sequence breaks ties
+        // deterministically.
+        type EventQueue = BinaryHeap<Reverse<(u64, u64, NodeId, NodeId, PayloadKey)>>;
+        let mut queue: EventQueue = BinaryHeap::new();
+        let mut payloads: HashMap<u64, Payload> = HashMap::new();
+        let mut seq = 0u64;
+
+        let drop_rate = self.drop_rate;
+        let enqueue = |queue: &mut BinaryHeap<_>,
+                           payloads: &mut HashMap<u64, Payload>,
+                           rng: &mut StdRng,
+                           seq: &mut u64,
+                           now: u64,
+                           from: NodeId,
+                           to: NodeId,
+                           pl: Payload| {
+            if drop_rate > 0.0 && rng.gen_bool(drop_rate) {
+                return; // omission failure: the message never arrives
+            }
+            let t = now + rng.gen_range(1..=self.max_delay);
+            payloads.insert(*seq, pl);
+            queue.push(Reverse((t, *seq, from, to, PayloadKey(*seq))));
+            *seq += 1;
+        };
+
+        for v in 0..n {
+            if self.crash_at.get(&v) == Some(&0) {
+                self.nodes[v].crashed = true;
+            }
+            let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats.local_steps, |p, c| {
+                p.on_start(c)
+            });
+            stats.per_node_sent[v] += out.len() as u64;
+            for (to, pl) in out {
+                enqueue(&mut queue, &mut payloads, &mut rng, &mut seq, 0, v, to, pl);
+            }
+        }
+
+        let mut delivered = 0u64;
+        while let Some(Reverse((t, key, from, to, _))) = queue.pop() {
+            if delivered >= max_events {
+                break;
+            }
+            let payload = payloads.remove(&key).expect("payload stored");
+            stats.time = stats.time.max(t);
+            if let Some(&ct) = self.crash_at.get(&to) {
+                if t >= ct {
+                    self.nodes[to].crashed = true;
+                }
+            }
+            if self.nodes[to].crashed || self.nodes[to].halted {
+                continue;
+            }
+            stats.messages += 1;
+            delivered += 1;
+            let out = run_step(
+                to,
+                &self.topo,
+                &mut self.nodes[to],
+                &mut stats.local_steps,
+                |p, c| p.on_message(from, &payload, c),
+            );
+            stats.per_node_sent[to] += out.len() as u64;
+            for (t2, pl) in out {
+                enqueue(&mut queue, &mut payloads, &mut rng, &mut seq, t, to, t2, pl);
+            }
+        }
+
+        for (v, node) in self.nodes.iter().enumerate() {
+            stats.outputs[v] = node.output;
+        }
+        stats
+    }
+}
+
+/// Opaque payload key for heap ordering (payload itself is not `Ord`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct PayloadKey(u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A process that floods a token once and counts receipts.
+    struct Gossip {
+        sent: bool,
+        received: u64,
+    }
+
+    impl Process for Gossip {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            if ctx.node == 0 && !self.sent {
+                self.sent = true;
+                ctx.send_all(Payload::Token);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: &Payload, ctx: &mut Ctx) {
+            self.received += 1;
+            ctx.charge(1);
+            if !self.sent {
+                self.sent = true;
+                ctx.send_all(Payload::Token);
+            }
+            ctx.decide(self.received);
+        }
+    }
+
+    fn gossip_nodes(n: usize) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|_| {
+                Box::new(Gossip {
+                    sent: false,
+                    received: 0,
+                }) as Box<dyn Process>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sync_flood_reaches_everyone_in_diameter_rounds() {
+        let topo = Topology::grid(4, 4);
+        let diam = topo.diameter().unwrap() as u64;
+        let mut r = SyncRunner::new(topo, gossip_nodes(16));
+        let stats = r.run(100);
+        // Every node decided (the initiator also hears the flood echo back).
+        assert_eq!(
+            stats.outputs.iter().filter(|o| o.is_some()).count(),
+            16
+        );
+        assert!(stats.time <= diam + 2);
+        assert!(stats.local_steps > 0, "local computation is accounted");
+    }
+
+    #[test]
+    fn async_flood_is_deterministic_per_seed() {
+        let run = |seed| {
+            let topo = Topology::random_connected(20, 10, 3);
+            let mut r = AsyncRunner::new(topo, gossip_nodes(20), 5, seed);
+            r.run(100_000)
+        };
+        assert_eq!(run(7), run(7));
+        // Different seeds may deliver in different orders: time differs in
+        // general (not asserted — only determinism matters).
+    }
+
+    #[test]
+    fn crashed_node_blocks_its_messages() {
+        // Line topology 0-1-2: crash node 1 before anything flows.
+        let topo = Topology::from_lists("line", vec![vec![1], vec![0, 2], vec![1]]);
+        let mut r = SyncRunner::new(topo, gossip_nodes(3));
+        r.crash(1, 0);
+        let stats = r.run(50);
+        assert_eq!(stats.outputs[2], None, "token cannot pass the crash");
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn per_node_sent_accounting() {
+        let topo = Topology::complete(4);
+        let mut r = SyncRunner::new(topo, gossip_nodes(4));
+        let stats = r.run(50);
+        assert_eq!(stats.per_node_sent[0], 3); // initiator floods once
+        assert_eq!(stats.per_node_sent.iter().sum::<u64>(), 4 * 3);
+    }
+
+    #[test]
+    fn halted_nodes_receive_nothing() {
+        struct HaltEarly;
+        impl Process for HaltEarly {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.halt();
+            }
+            fn on_message(&mut self, _f: NodeId, _m: &Payload, _c: &mut Ctx) {
+                panic!("halted node got a message");
+            }
+        }
+        let topo = Topology::complete(3);
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Gossip {
+                sent: false,
+                received: 0,
+            }),
+            Box::new(HaltEarly),
+            Box::new(HaltEarly),
+        ];
+        let mut r = SyncRunner::new(topo, procs);
+        let stats = r.run(10);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn omission_failures_are_injected_deterministically() {
+        use crate::algorithms::{echo_nodes, lcr_nodes};
+        // Lossless echo completes; a lossy network loses termination
+        // detection — none of the catalog algorithms tolerate omission,
+        // exactly as their taxonomy classification (Fault::None) states.
+        let topo = Topology::grid(4, 4);
+        let run = |rate: f64| {
+            let mut r = AsyncRunner::new(topo.clone(), echo_nodes(16, 0), 5, 42);
+            r.drop_messages(rate);
+            r.run(1_000_000)
+        };
+        let clean = run(0.0);
+        assert_eq!(clean.outputs[0], Some(1));
+        let lossy = run(0.4);
+        assert_eq!(lossy.outputs[0], None, "echo must stall under heavy loss");
+        // Determinism: identical seeds, identical lossy runs.
+        assert_eq!(run(0.4), run(0.4));
+
+        // LCR with loss: the candidate token can vanish — no leader.
+        let uids: Vec<u64> = (1..=12).collect();
+        let mut r = AsyncRunner::new(
+            Topology::ring_unidirectional(12),
+            lcr_nodes(&uids),
+            5,
+            7,
+        );
+        r.drop_messages(0.5);
+        let stats = r.run(1_000_000);
+        assert_eq!(crate::algorithms::consensus(&stats), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn drop_rate_is_validated() {
+        let mut r = AsyncRunner::new(Topology::complete(2), gossip_nodes(2), 1, 0);
+        r.drop_messages(1.5);
+    }
+}

@@ -1,0 +1,28 @@
+//! # gp-distsim — a discrete-event message-passing simulator for
+//! distributed algorithms
+//!
+//! The substrate behind the paper's §4: a distributed-algorithm concept
+//! taxonomy is only useful if the performance dimensions it records —
+//! message complexity, time complexity, and the "rarely accounted for"
+//! **local computation at a node** — can be *measured*. This simulator
+//! executes distributed algorithms over explicit topologies under both
+//! timing models the taxonomy distinguishes, with crash-failure injection,
+//! and reports exactly those three metrics per run.
+//!
+//! * [`topology`] — ring, complete graph, star, grid, random connected
+//!   (dimension 2 of the taxonomy: *topology*).
+//! * [`engine`] — synchronous rounds and asynchronous event-queue execution
+//!   (dimension 6: *timing*), with crash schedules (dimension 3: *fault
+//!   tolerance*) and per-node message/local-step accounting.
+//! * [`algorithms`] — LCR and Hirschberg–Sinclair leader election,
+//!   FloodMax, Chang's echo broadcast/convergecast, synchronous BFS
+//!   spanning tree (dimensions 1, 5: *problem*, *strategy*).
+//!
+//! Runs are deterministic per seed, so every experiment is reproducible.
+
+pub mod algorithms;
+pub mod engine;
+pub mod topology;
+
+pub use engine::{AsyncRunner, Ctx, Payload, Process, RunStats, SyncRunner};
+pub use topology::Topology;

@@ -1,0 +1,225 @@
+//! Network topologies (taxonomy dimension 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Node identifier.
+pub type NodeId = usize;
+
+/// An undirected-or-directed network given by per-node neighbor lists
+/// (directed: a neighbor is someone you can *send to*).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    neighbors: Vec<Vec<NodeId>>,
+    name: String,
+}
+
+impl Topology {
+    /// Build from explicit neighbor lists.
+    pub fn from_lists(name: impl Into<String>, neighbors: Vec<Vec<NodeId>>) -> Self {
+        Topology {
+            neighbors,
+            name: name.into(),
+        }
+    }
+
+    /// A unidirectional ring: node `i` sends to `(i+1) % n`.
+    pub fn ring_unidirectional(n: usize) -> Self {
+        Topology::from_lists(
+            format!("ring-uni({n})"),
+            (0..n).map(|i| vec![(i + 1) % n]).collect(),
+        )
+    }
+
+    /// A bidirectional ring: neighbors `[left, right]`.
+    pub fn ring_bidirectional(n: usize) -> Self {
+        assert!(n >= 2, "bidirectional ring needs at least 2 nodes");
+        Topology::from_lists(
+            format!("ring-bi({n})"),
+            (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect(),
+        )
+    }
+
+    /// The complete graph on `n` nodes.
+    pub fn complete(n: usize) -> Self {
+        Topology::from_lists(
+            format!("complete({n})"),
+            (0..n)
+                .map(|i| (0..n).filter(|&j| j != i).collect())
+                .collect(),
+        )
+    }
+
+    /// A star: node 0 is the hub.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 1);
+        let mut lists = vec![(1..n).collect::<Vec<_>>()];
+        for _ in 1..n {
+            lists.push(vec![0]);
+        }
+        Topology::from_lists(format!("star({n})"), lists)
+    }
+
+    /// A `w × h` grid with 4-neighborhoods.
+    pub fn grid(w: usize, h: usize) -> Self {
+        let idx = |x: usize, y: usize| y * w + x;
+        let mut lists = vec![Vec::new(); w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let mut ns = Vec::new();
+                if x > 0 {
+                    ns.push(idx(x - 1, y));
+                }
+                if x + 1 < w {
+                    ns.push(idx(x + 1, y));
+                }
+                if y > 0 {
+                    ns.push(idx(x, y - 1));
+                }
+                if y + 1 < h {
+                    ns.push(idx(x, y + 1));
+                }
+                lists[idx(x, y)] = ns;
+            }
+        }
+        Topology::from_lists(format!("grid({w}x{h})"), lists)
+    }
+
+    /// A random connected undirected graph: a random spanning tree plus
+    /// `extra_edges` random chords. Deterministic per seed.
+    pub fn random_connected(n: usize, extra_edges: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lists: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let add = |lists: &mut Vec<Vec<NodeId>>, a: usize, b: usize| {
+            if a != b && !lists[a].contains(&b) {
+                lists[a].push(b);
+                lists[b].push(a);
+                true
+            } else {
+                false
+            }
+        };
+        // Random spanning tree: attach each node to a random earlier one.
+        for v in 1..n {
+            let u = rng.gen_range(0..v);
+            add(&mut lists, u, v);
+        }
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < extra_edges && attempts < extra_edges * 20 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if add(&mut lists, a, b) {
+                added += 1;
+            }
+            attempts += 1;
+        }
+        Topology::from_lists(format!("random({n},+{added},seed={seed})"), lists)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Neighbors of a node.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[v]
+    }
+
+    /// Total directed edge count (undirected edges count twice).
+    pub fn directed_edge_count(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum()
+    }
+
+    /// Graph diameter by all-pairs BFS (small networks only). `None` if
+    /// disconnected.
+    pub fn diameter(&self) -> Option<usize> {
+        let n = self.len();
+        let mut diam = 0;
+        for s in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[s] = 0;
+            let mut q = std::collections::VecDeque::from([s]);
+            while let Some(u) = q.pop_front() {
+                for &v in &self.neighbors[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            let far = *dist.iter().max()?;
+            if far == usize::MAX {
+                return None;
+            }
+            diam = diam.max(far);
+        }
+        Some(diam)
+    }
+
+    /// Descriptive name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rings_have_right_degrees() {
+        let uni = Topology::ring_unidirectional(5);
+        assert!(uni.neighbors(4) == [0]);
+        assert_eq!(uni.directed_edge_count(), 5);
+        let bi = Topology::ring_bidirectional(5);
+        assert_eq!(bi.neighbors(0), &[4, 1]);
+        assert_eq!(bi.directed_edge_count(), 10);
+    }
+
+    #[test]
+    fn complete_graph_degrees_and_diameter() {
+        let k = Topology::complete(6);
+        assert_eq!(k.neighbors(3).len(), 5);
+        assert_eq!(k.diameter(), Some(1));
+        assert_eq!(k.directed_edge_count(), 30);
+    }
+
+    #[test]
+    fn star_and_grid_shapes() {
+        let s = Topology::star(5);
+        assert_eq!(s.neighbors(0).len(), 4);
+        assert_eq!(s.neighbors(3), &[0]);
+        assert_eq!(s.diameter(), Some(2));
+
+        let g = Topology::grid(3, 2);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.neighbors(0).len(), 2); // corner
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn random_graphs_are_connected_and_deterministic() {
+        for seed in 0..5 {
+            let t = Topology::random_connected(30, 15, seed);
+            assert!(t.diameter().is_some(), "seed {seed} disconnected");
+        }
+        assert_eq!(
+            Topology::random_connected(20, 10, 3),
+            Topology::random_connected(20, 10, 3)
+        );
+    }
+
+    #[test]
+    fn ring_diameter() {
+        assert_eq!(Topology::ring_bidirectional(8).diameter(), Some(4));
+        assert_eq!(Topology::ring_unidirectional(8).diameter(), Some(7));
+    }
+}

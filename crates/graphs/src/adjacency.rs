@@ -1,0 +1,208 @@
+//! Mutable adjacency-list graph (directed or undirected).
+
+use crate::concepts::{
+    AdjacencyGraph, Edge, EdgeListGraph, Graph, IncidenceGraph, Vertex, VertexListGraph,
+};
+
+/// Edge directedness of an [`AdjacencyList`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Directedness {
+    /// Each added edge appears in one out-edge list.
+    Directed,
+    /// Each added edge appears in both endpoints' out-edge lists (with the
+    /// same edge id, so property maps see one logical edge).
+    Undirected,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct OutRecord {
+    target: Vertex,
+    id: u32,
+}
+
+/// An adjacency-list graph: per-vertex out-edge vectors, dense vertex and
+/// edge ids. Models Incidence/VertexList/EdgeList/Adjacency Graph.
+#[derive(Clone, Debug)]
+pub struct AdjacencyList {
+    out: Vec<Vec<OutRecord>>,
+    /// Canonical endpoints per edge id (as added).
+    edge_endpoints: Vec<(Vertex, Vertex)>,
+    directedness: Directedness,
+}
+
+impl AdjacencyList {
+    /// An empty graph with `n` vertices.
+    pub fn new(n: usize, directedness: Directedness) -> Self {
+        AdjacencyList {
+            out: vec![Vec::new(); n],
+            edge_endpoints: Vec::new(),
+            directedness,
+        }
+    }
+
+    /// Convenience: directed graph with `n` vertices.
+    pub fn directed(n: usize) -> Self {
+        AdjacencyList::new(n, Directedness::Directed)
+    }
+
+    /// Convenience: undirected graph with `n` vertices.
+    pub fn undirected(n: usize) -> Self {
+        AdjacencyList::new(n, Directedness::Undirected)
+    }
+
+    /// Build a directed graph from an edge list.
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        let mut g = AdjacencyList::directed(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Build an undirected graph from an edge list.
+    pub fn from_edges_undirected(n: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        let mut g = AdjacencyList::undirected(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Add a vertex; returns its descriptor.
+    pub fn add_vertex(&mut self) -> Vertex {
+        self.out.push(Vec::new());
+        (self.out.len() - 1) as Vertex
+    }
+
+    /// Add an edge; returns its dense id. For undirected graphs the edge is
+    /// visible from both endpoints under the same id.
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> u32 {
+        assert!((u as usize) < self.out.len(), "source vertex out of range");
+        assert!((v as usize) < self.out.len(), "target vertex out of range");
+        let id = self.edge_endpoints.len() as u32;
+        self.edge_endpoints.push((u, v));
+        self.out[u as usize].push(OutRecord { target: v, id });
+        if self.directedness == Directedness::Undirected && u != v {
+            self.out[v as usize].push(OutRecord { target: u, id });
+        }
+        id
+    }
+
+    /// The graph's directedness.
+    pub fn directedness(&self) -> Directedness {
+        self.directedness
+    }
+
+    /// Endpoints of edge `id` as added.
+    pub fn endpoints(&self, id: u32) -> (Vertex, Vertex) {
+        self.edge_endpoints[id as usize]
+    }
+}
+
+impl Graph for AdjacencyList {
+    type Edge = Edge;
+}
+
+impl IncidenceGraph for AdjacencyList {
+    fn out_edges(&self, v: Vertex) -> impl Iterator<Item = Edge> + '_ {
+        self.out[v as usize].iter().map(move |r| Edge {
+            source: v,
+            target: r.target,
+            id: r.id,
+        })
+    }
+
+    fn out_degree(&self, v: Vertex) -> usize {
+        self.out[v as usize].len()
+    }
+}
+
+impl VertexListGraph for AdjacencyList {
+    fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        0..self.out.len() as Vertex
+    }
+}
+
+impl EdgeListGraph for AdjacencyList {
+    fn num_edges(&self) -> usize {
+        self.edge_endpoints.len()
+    }
+
+    fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edge_endpoints
+            .iter()
+            .enumerate()
+            .map(|(id, &(u, v))| Edge {
+                source: u,
+                target: v,
+                id: id as u32,
+            })
+    }
+}
+
+impl AdjacencyGraph for AdjacencyList {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::GraphEdge;
+
+    #[test]
+    fn directed_graph_incidence() {
+        let g = AdjacencyList::from_edges(4, &[(0, 1), (0, 2), (2, 3)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(1), 0);
+        let targets: Vec<Vertex> = g.out_edges(0).map(|e| e.target()).collect();
+        assert_eq!(targets, vec![1, 2]);
+        // Fig. 1 operations through the concept interface.
+        let e = g.out_edges(2).next().unwrap();
+        assert_eq!((e.source(), e.target()), (2, 3));
+    }
+
+    #[test]
+    fn undirected_edges_visible_from_both_sides_same_id() {
+        let g = AdjacencyList::from_edges_undirected(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(1), 2);
+        let from0: Vec<u32> = g.out_edges(0).map(|e| e.id).collect();
+        let from1: Vec<u32> = g.out_edges(1).map(|e| e.id).collect();
+        assert_eq!(from0, vec![0]);
+        assert!(from1.contains(&0) && from1.contains(&1));
+    }
+
+    #[test]
+    fn adjacency_graph_default_derives_from_incidence() {
+        let g = AdjacencyList::from_edges(3, &[(0, 1), (0, 2)]);
+        let n: Vec<Vertex> = g.adjacent_vertices(0).collect();
+        assert_eq!(n, vec![1, 2]);
+    }
+
+    #[test]
+    fn add_vertex_grows_graph() {
+        let mut g = AdjacencyList::directed(1);
+        let v = g.add_vertex();
+        assert_eq!(v, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.out_degree(0), 1);
+    }
+
+    #[test]
+    fn self_loop_in_undirected_graph_counted_once() {
+        let g = AdjacencyList::from_edges_undirected(2, &[(0, 0)]);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = AdjacencyList::directed(2);
+        g.add_edge(0, 5);
+    }
+}

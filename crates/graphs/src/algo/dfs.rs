@@ -1,0 +1,194 @@
+//! Depth-first search with discover/finish times and edge classification.
+//! Requirements: Incidence Graph + Vertex List Graph. Complexity: `O(V+E)`.
+
+use crate::concepts::{Edge, Graph, GraphEdge, IncidenceGraph, Vertex, VertexListGraph};
+use crate::property::{Color, MutablePropertyMap, PropertyMap, VertexMap};
+use crate::visit::DfsVisitor;
+
+/// Outcome of a DFS over the whole graph.
+#[derive(Clone, Debug)]
+pub struct DfsResult {
+    /// Discovery timestamps.
+    pub discover_time: VertexMap<u32>,
+    /// Finish timestamps.
+    pub finish_time: VertexMap<u32>,
+    /// DFS-forest parents.
+    pub parent: VertexMap<Option<Vertex>>,
+    /// True if any back edge was found (the graph has a cycle).
+    pub has_cycle: bool,
+}
+
+struct DfsState<'a, V> {
+    color: VertexMap<Color>,
+    discover: VertexMap<u32>,
+    finish: VertexMap<u32>,
+    parent: VertexMap<Option<Vertex>>,
+    clock: u32,
+    has_cycle: bool,
+    visitor: &'a mut V,
+}
+
+fn dfs_visit<G, V>(g: &G, u: Vertex, st: &mut DfsState<'_, V>)
+where
+    G: IncidenceGraph + Graph<Edge = Edge>,
+    V: DfsVisitor,
+{
+    // Explicit stack to avoid recursion limits on deep graphs; entries are
+    // (vertex, out-edge list position) pairs.
+    let mut stack: Vec<(Vertex, Vec<Edge>, usize)> = Vec::new();
+    st.color.set(u, Color::Gray);
+    st.discover.set(u, st.clock);
+    st.clock += 1;
+    st.visitor.discover_vertex(u);
+    stack.push((u, g.out_edges(u).collect(), 0));
+
+    while let Some((v, edges, idx)) = stack.last_mut() {
+        if *idx < edges.len() {
+            let e = edges[*idx];
+            *idx += 1;
+            st.visitor.examine_edge(e);
+            let w = e.target();
+            match *st.color.get(w) {
+                Color::White => {
+                    st.visitor.tree_edge(e);
+                    st.parent.set(w, Some(*v));
+                    st.color.set(w, Color::Gray);
+                    st.discover.set(w, st.clock);
+                    st.clock += 1;
+                    st.visitor.discover_vertex(w);
+                    stack.push((w, g.out_edges(w).collect(), 0));
+                }
+                Color::Gray => {
+                    st.has_cycle = true;
+                    st.visitor.back_edge(e);
+                }
+                Color::Black => {
+                    st.visitor.forward_or_cross_edge(e);
+                }
+            }
+        } else {
+            let v = *v;
+            stack.pop();
+            st.color.set(v, Color::Black);
+            st.finish.set(v, st.clock);
+            st.clock += 1;
+            st.visitor.finish_vertex(v);
+        }
+    }
+}
+
+/// DFS over the whole graph (restarting from every undiscovered vertex).
+pub fn dfs<G, V>(g: &G, visitor: &mut V) -> DfsResult
+where
+    G: IncidenceGraph + VertexListGraph + Graph<Edge = Edge>,
+    V: DfsVisitor,
+{
+    let n = g.num_vertices();
+    let mut st = DfsState {
+        color: VertexMap::new(n, Color::White),
+        discover: VertexMap::new(n, 0),
+        finish: VertexMap::new(n, 0),
+        parent: VertexMap::new(n, None),
+        clock: 0,
+        has_cycle: false,
+        visitor,
+    };
+    for v in g.vertices() {
+        if *st.color.get(v) == Color::White {
+            dfs_visit(g, v, &mut st);
+        }
+    }
+    DfsResult {
+        discover_time: st.discover,
+        finish_time: st.finish,
+        parent: st.parent,
+        has_cycle: st.has_cycle,
+    }
+}
+
+/// DFS restricted to the component reachable from `source`.
+pub fn dfs_from<G, V>(g: &G, source: Vertex, visitor: &mut V) -> DfsResult
+where
+    G: IncidenceGraph + VertexListGraph + Graph<Edge = Edge>,
+    V: DfsVisitor,
+{
+    let n = g.num_vertices();
+    let mut st = DfsState {
+        color: VertexMap::new(n, Color::White),
+        discover: VertexMap::new(n, 0),
+        finish: VertexMap::new(n, 0),
+        parent: VertexMap::new(n, None),
+        clock: 0,
+        has_cycle: false,
+        visitor,
+    };
+    dfs_visit(g, source, &mut st);
+    DfsResult {
+        discover_time: st.discover,
+        finish_time: st.finish,
+        parent: st.parent,
+        has_cycle: st.has_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyList;
+    use crate::visit::{EventLog, NullVisitor};
+
+    #[test]
+    fn dag_has_no_cycle_and_nested_intervals() {
+        let g = AdjacencyList::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        let r = dfs(&g, &mut NullVisitor);
+        assert!(!r.has_cycle);
+        // Parenthesis theorem: child interval nested in parent interval.
+        let (d, f) = (&r.discover_time, &r.finish_time);
+        assert!(d.get(0) < d.get(1) && f.get(1) < f.get(0));
+        assert!(d.get(1) < d.get(2) && f.get(2) < f.get(1));
+    }
+
+    #[test]
+    fn cycle_is_detected_via_back_edge() {
+        let g = AdjacencyList::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut log = EventLog::default();
+        let r = dfs(&g, &mut log);
+        assert!(r.has_cycle);
+        assert_eq!(log.back_edges.len(), 1);
+        assert_eq!(log.back_edges[0].target, 0);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = AdjacencyList::from_edges(2, &[(0, 0)]);
+        assert!(dfs(&g, &mut NullVisitor).has_cycle);
+    }
+
+    #[test]
+    fn whole_graph_dfs_covers_disconnected_parts() {
+        let g = AdjacencyList::from_edges(4, &[(0, 1)]); // 2, 3 isolated
+        let mut log = EventLog::default();
+        dfs(&g, &mut log);
+        assert_eq!(log.discovered.len(), 4);
+        assert_eq!(log.finished.len(), 4);
+    }
+
+    #[test]
+    fn dfs_from_stays_in_component() {
+        let g = AdjacencyList::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut log = EventLog::default();
+        dfs_from(&g, 0, &mut log);
+        assert_eq!(log.discovered, vec![0, 1]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 100k-vertex path: must work because DFS is iterative.
+        let n = 100_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = AdjacencyList::from_edges(n as usize, &edges);
+        let r = dfs_from(&g, 0, &mut NullVisitor);
+        assert!(!r.has_cycle);
+        assert_eq!(*r.discover_time.get(n - 1), n - 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! Concept-generic graph algorithms.
+//!
+//! Every algorithm here is written against the concept traits of
+//! [`crate::concepts`] (never against a concrete representation), carries
+//! its complexity guarantee in its doc comment, and appears in the
+//! `gp-taxonomy` graph-algorithm taxonomy with that guarantee.
+
+mod bfs;
+mod dfs;
+mod mst;
+mod paths;
+mod scc;
+mod structure;
+
+pub use bfs::{bfs, bfs_distances, BfsResult};
+pub use dfs::{dfs, dfs_from, DfsResult};
+pub use mst::{kruskal_mst, prim_mst, MstResult};
+pub use paths::{bellman_ford, dijkstra, NegativeCycle, ShortestPaths};
+pub use scc::{strongly_connected_components, SccResult};
+pub use structure::{connected_components, topological_sort, CycleError};

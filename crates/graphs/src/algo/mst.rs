@@ -1,0 +1,168 @@
+//! Minimum spanning trees: Kruskal (`O(E log E)`, Edge List Graph +
+//! union-find) and Prim (`O(E log V)`, Incidence Graph + indexed heap).
+
+use crate::concepts::{Edge, EdgeListGraph, Graph, GraphEdge, IncidenceGraph, VertexListGraph};
+use crate::heap::IndexedMinHeap;
+use crate::unionfind::UnionFind;
+
+/// A spanning forest: chosen edges and their total weight.
+#[derive(Clone, Debug)]
+pub struct MstResult {
+    /// Edges of the forest.
+    pub edges: Vec<Edge>,
+    /// Sum of the chosen edges' weights.
+    pub total_weight: f64,
+}
+
+/// Kruskal's algorithm on an undirected graph given as an edge list.
+pub fn kruskal_mst<G>(g: &G, weight: impl Fn(Edge) -> f64) -> MstResult
+where
+    G: EdgeListGraph + VertexListGraph + Graph<Edge = Edge>,
+{
+    let mut edges: Vec<Edge> = g.edges().collect();
+    edges.sort_by(|a, b| {
+        weight(*a)
+            .partial_cmp(&weight(*b))
+            .expect("weights must be comparable (no NaN)")
+    });
+    let mut uf = UnionFind::new(g.num_vertices());
+    let mut out = Vec::new();
+    let mut total = 0.0;
+    for e in edges {
+        if uf.union(e.source(), e.target()) {
+            total += weight(e);
+            out.push(e);
+        }
+    }
+    MstResult {
+        edges: out,
+        total_weight: total,
+    }
+}
+
+/// Prim's algorithm from vertex 0 (or each component root in turn),
+/// traversing out-edges — requires the undirected graph to expose each edge
+/// from both endpoints (as [`crate::adjacency::AdjacencyList::undirected`]
+/// does).
+pub fn prim_mst<G>(g: &G, weight: impl Fn(Edge) -> f64) -> MstResult
+where
+    G: IncidenceGraph + VertexListGraph + Graph<Edge = Edge>,
+{
+    let n = g.num_vertices();
+    let mut in_tree = vec![false; n];
+    let mut best_edge: Vec<Option<Edge>> = vec![None; n];
+    let mut out = Vec::new();
+    let mut total = 0.0;
+
+    for root in g.vertices() {
+        if in_tree[root as usize] {
+            continue;
+        }
+        let mut heap = IndexedMinHeap::new(n);
+        heap.push(root, 0.0);
+        while let Some((u, _)) = heap.pop() {
+            if in_tree[u as usize] {
+                continue;
+            }
+            in_tree[u as usize] = true;
+            if let Some(e) = best_edge[u as usize].take() {
+                total += weight(e);
+                out.push(e);
+            }
+            for e in g.out_edges(u) {
+                let v = e.target();
+                if !in_tree[v as usize] && heap.push_or_decrease(v, weight(e)) {
+                    best_edge[v as usize] = Some(e);
+                }
+            }
+        }
+    }
+
+    MstResult {
+        edges: out,
+        total_weight: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyList;
+    use crate::property::{EdgeMap, PropertyMap};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample() -> (AdjacencyList, EdgeMap<f64>) {
+        let mut g = AdjacencyList::undirected(5);
+        let mut w = Vec::new();
+        for &(u, v, wt) in &[
+            (0u32, 1u32, 2.0),
+            (0, 3, 6.0),
+            (1, 2, 3.0),
+            (1, 3, 8.0),
+            (1, 4, 5.0),
+            (2, 4, 7.0),
+            (3, 4, 9.0),
+        ] {
+            g.add_edge(u, v);
+            w.push(wt);
+        }
+        (g, EdgeMap::from_values(w))
+    }
+
+    #[test]
+    fn kruskal_finds_known_mst() {
+        let (g, w) = sample();
+        let mst = kruskal_mst(&g, |e| *w.get(e));
+        assert_eq!(mst.edges.len(), 4);
+        assert_eq!(mst.total_weight, 16.0); // 2+3+5+6
+    }
+
+    #[test]
+    fn prim_agrees_with_kruskal_on_weight() {
+        let (g, w) = sample();
+        let k = kruskal_mst(&g, |e| *w.get(e));
+        let p = prim_mst(&g, |e| *w.get(e));
+        assert_eq!(p.edges.len(), k.edges.len());
+        assert!((p.total_weight - k.total_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let mut g = AdjacencyList::undirected(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let mst = kruskal_mst(&g, |_| 1.0);
+        assert_eq!(mst.edges.len(), 2); // two trees
+        let p = prim_mst(&g, |_| 1.0);
+        assert_eq!(p.edges.len(), 2);
+    }
+
+    #[test]
+    fn random_graphs_prim_equals_kruskal() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..5 {
+            let n = 25u32;
+            let mut g = AdjacencyList::undirected(n as usize);
+            let mut w = Vec::new();
+            // A spanning path to guarantee connectivity, plus random extras.
+            for i in 0..n - 1 {
+                g.add_edge(i, i + 1);
+                w.push(rng.gen_range(1.0..10.0));
+            }
+            for _ in 0..60 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(u, v);
+                    w.push(rng.gen_range(1.0..10.0));
+                }
+            }
+            let wm = EdgeMap::from_values(w);
+            let k = kruskal_mst(&g, |e| *wm.get(e));
+            let p = prim_mst(&g, |e| *wm.get(e));
+            assert_eq!(k.edges.len(), (n - 1) as usize);
+            assert!((k.total_weight - p.total_weight).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Shortest paths: Dijkstra (Incidence Graph + non-negative weights,
+//! `O((V+E) log V)`) and Bellman–Ford (Edge List Graph, arbitrary weights,
+//! `O(V·E)`, detects negative cycles).
+//!
+//! The pair is a taxonomy case study: same *problem* concept, different
+//! *requirement* concepts (weight positivity, traversal order), different
+//! complexity guarantees — exactly the distinctions the paper's algorithm
+//! concept taxonomies exist to record.
+
+use crate::concepts::{Edge, EdgeListGraph, Graph, GraphEdge, IncidenceGraph, Vertex, VertexListGraph};
+use crate::heap::IndexedMinHeap;
+use crate::property::{MutablePropertyMap, PropertyMap, VertexMap};
+
+/// Single-source shortest-path tree.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// Distance from the source (`f64::INFINITY` if unreachable).
+    pub distance: VertexMap<f64>,
+    /// Tree parent (`None` for the source / unreachable vertices).
+    pub parent: VertexMap<Option<Vertex>>,
+}
+
+impl ShortestPaths {
+    /// Reconstruct the path to `v` (source first); `None` if unreachable.
+    pub fn path_to(&self, v: Vertex) -> Option<Vec<Vertex>> {
+        if self.distance.get(v).is_infinite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = *self.parent.get(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Dijkstra's algorithm. Precondition (a semantic concept requirement):
+/// every weight is non-negative — violations panic in debug form via the
+/// assertion below, mirroring the checker's entry handler.
+pub fn dijkstra<G>(g: &G, source: Vertex, weight: impl Fn(Edge) -> f64) -> ShortestPaths
+where
+    G: IncidenceGraph + VertexListGraph + Graph<Edge = Edge>,
+{
+    let n = g.num_vertices();
+    let mut dist = VertexMap::new(n, f64::INFINITY);
+    let mut parent: VertexMap<Option<Vertex>> = VertexMap::new(n, None);
+    let mut heap = IndexedMinHeap::new(n);
+    let mut done = vec![false; n];
+
+    dist.set(source, 0.0);
+    heap.push(source, 0.0);
+
+    while let Some((u, du)) = heap.pop() {
+        if done[u as usize] {
+            continue;
+        }
+        done[u as usize] = true;
+        for e in g.out_edges(u) {
+            let w = weight(e);
+            assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let v = e.target();
+            let nd = du + w;
+            if nd < *dist.get(v) {
+                dist.set(v, nd);
+                parent.set(v, Some(u));
+                heap.push_or_decrease(v, nd);
+            }
+        }
+    }
+
+    ShortestPaths {
+        distance: dist,
+        parent,
+    }
+}
+
+/// Witness that the graph contains a negative-weight cycle reachable from
+/// the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NegativeCycle;
+
+/// Bellman–Ford. Handles negative weights; returns `Err(NegativeCycle)` if
+/// a reachable negative cycle exists.
+pub fn bellman_ford<G>(
+    g: &G,
+    source: Vertex,
+    weight: impl Fn(Edge) -> f64,
+) -> Result<ShortestPaths, NegativeCycle>
+where
+    G: EdgeListGraph + VertexListGraph + Graph<Edge = Edge>,
+{
+    let n = g.num_vertices();
+    let mut dist = VertexMap::new(n, f64::INFINITY);
+    let mut parent: VertexMap<Option<Vertex>> = VertexMap::new(n, None);
+    dist.set(source, 0.0);
+
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for e in g.edges() {
+            let (u, v) = (e.source(), e.target());
+            let du = *dist.get(u);
+            if du.is_finite() && du + weight(e) < *dist.get(v) {
+                dist.set(v, du + weight(e));
+                parent.set(v, Some(u));
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // One more relaxation round: any improvement implies a negative cycle.
+    for e in g.edges() {
+        let (u, v) = (e.source(), e.target());
+        let du = *dist.get(u);
+        if du.is_finite() && du + weight(e) < *dist.get(v) {
+            return Err(NegativeCycle);
+        }
+    }
+
+    Ok(ShortestPaths {
+        distance: dist,
+        parent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyList;
+    use crate::property::EdgeMap;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn weighted_graph() -> (AdjacencyList, EdgeMap<f64>) {
+        // Classic CLRS-style example.
+        let mut g = AdjacencyList::directed(5);
+        let mut w = Vec::new();
+        for &(u, v, wt) in &[
+            (0u32, 1u32, 10.0),
+            (0, 3, 5.0),
+            (1, 2, 1.0),
+            (3, 1, 3.0),
+            (3, 2, 9.0),
+            (3, 4, 2.0),
+            (4, 2, 6.0),
+            (4, 0, 7.0),
+            (1, 3, 2.0),
+        ] {
+            g.add_edge(u, v);
+            w.push(wt);
+        }
+        (g, EdgeMap::from_values(w))
+    }
+
+    #[test]
+    fn dijkstra_matches_known_distances() {
+        let (g, w) = weighted_graph();
+        let sp = dijkstra(&g, 0, |e| *w.get(e));
+        let d = sp.distance.as_slice();
+        assert_eq!(d, &[0.0, 8.0, 9.0, 5.0, 7.0]);
+        assert_eq!(sp.path_to(2).unwrap(), vec![0, 3, 1, 2]);
+    }
+
+    #[test]
+    fn bellman_ford_agrees_with_dijkstra_on_nonnegative() {
+        let (g, w) = weighted_graph();
+        let a = dijkstra(&g, 0, |e| *w.get(e));
+        let b = bellman_ford(&g, 0, |e| *w.get(e)).unwrap();
+        assert_eq!(a.distance.as_slice(), b.distance.as_slice());
+    }
+
+    #[test]
+    fn bellman_ford_handles_negative_edges() {
+        let mut g = AdjacencyList::directed(4);
+        let mut w = Vec::new();
+        for &(u, v, wt) in &[(0u32, 1u32, 4.0), (0, 2, 3.0), (2, 1, -2.0), (1, 3, 1.0)] {
+            g.add_edge(u, v);
+            w.push(wt);
+        }
+        let wm = EdgeMap::from_values(w);
+        let sp = bellman_ford(&g, 0, |e| *wm.get(e)).unwrap();
+        assert_eq!(*sp.distance.get(1), 1.0); // via 0→2→1
+        assert_eq!(*sp.distance.get(3), 2.0);
+    }
+
+    #[test]
+    fn negative_cycle_is_detected() {
+        let mut g = AdjacencyList::directed(3);
+        let mut w = Vec::new();
+        for &(u, v, wt) in &[(0u32, 1u32, 1.0), (1, 2, -3.0), (2, 1, 1.0)] {
+            g.add_edge(u, v);
+            w.push(wt);
+        }
+        let wm = EdgeMap::from_values(w);
+        assert!(matches!(bellman_ford(&g, 0, |e| *wm.get(e)), Err(NegativeCycle)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn dijkstra_rejects_negative_weights() {
+        let g = AdjacencyList::from_edges(2, &[(0, 1)]);
+        dijkstra(&g, 0, |_| -1.0);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let g = AdjacencyList::from_edges(3, &[(0, 1)]);
+        let sp = dijkstra(&g, 0, |_| 1.0);
+        assert!(sp.distance.get(2).is_infinite());
+        assert!(sp.path_to(2).is_none());
+    }
+
+    #[test]
+    fn random_graphs_dijkstra_equals_bellman_ford() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let n = 30;
+            let mut g = AdjacencyList::directed(n);
+            let mut w = Vec::new();
+            for _ in 0..120 {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                g.add_edge(u, v);
+                w.push(rng.gen_range(0.0..10.0));
+            }
+            let wm = EdgeMap::from_values(w);
+            let a = dijkstra(&g, 0, |e| *wm.get(e));
+            let b = bellman_ford(&g, 0, |e| *wm.get(e)).unwrap();
+            for (x, y) in a.distance.as_slice().iter().zip(b.distance.as_slice()) {
+                assert!((x - y).abs() < 1e-9 || (x.is_infinite() && y.is_infinite()));
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Strongly connected components (iterative Tarjan). Requirements:
+//! Incidence Graph + Vertex List Graph. Complexity guarantee: `O(V + E)`.
+
+use crate::concepts::{Edge, Graph, GraphEdge, IncidenceGraph, Vertex, VertexListGraph};
+use crate::property::{MutablePropertyMap, PropertyMap, VertexMap};
+
+/// SCC decomposition: component ids in **reverse topological order** of the
+/// condensation (Tarjan's emission order), i.e. if there is an edge from
+/// component `a` to component `b` (a ≠ b) then `a > b`.
+#[derive(Clone, Debug)]
+pub struct SccResult {
+    /// Number of components.
+    pub count: usize,
+    /// Component id per vertex.
+    pub component: VertexMap<u32>,
+}
+
+impl SccResult {
+    /// Group vertices by component id.
+    pub fn groups(&self) -> Vec<Vec<Vertex>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &c) in self.component.iter() {
+            out[c as usize].push(v);
+        }
+        out
+    }
+}
+
+/// Tarjan's algorithm, iterative (no recursion depth limits).
+pub fn strongly_connected_components<G>(g: &G) -> SccResult
+where
+    G: IncidenceGraph + VertexListGraph + Graph<Edge = Edge>,
+{
+    const UNSET: u32 = u32::MAX;
+    let n = g.num_vertices();
+    let mut index = VertexMap::new(n, UNSET);
+    let mut lowlink = VertexMap::new(n, 0u32);
+    let mut on_stack = vec![false; n];
+    let mut component = VertexMap::new(n, UNSET);
+    let mut stack: Vec<Vertex> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0u32;
+
+    // Explicit DFS frames: (vertex, out-edges, cursor position).
+    let mut frames: Vec<(Vertex, Vec<Edge>, usize)> = Vec::new();
+
+    for root in g.vertices() {
+        if *index.get(root) != UNSET {
+            continue;
+        }
+        index.set(root, next_index);
+        lowlink.set(root, next_index);
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        frames.push((root, g.out_edges(root).collect(), 0));
+
+        while let Some((v, edges, pos)) = frames.last_mut() {
+            if *pos < edges.len() {
+                let e = edges[*pos];
+                *pos += 1;
+                let w = e.target();
+                if *index.get(w) == UNSET {
+                    index.set(w, next_index);
+                    lowlink.set(w, next_index);
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, g.out_edges(w).collect(), 0));
+                } else if on_stack[w as usize] {
+                    let low = (*lowlink.get(*v)).min(*index.get(w));
+                    lowlink.set(*v, low);
+                }
+            } else {
+                let v = *v;
+                frames.pop();
+                if let Some((parent, _, _)) = frames.last() {
+                    let low = (*lowlink.get(*parent)).min(*lowlink.get(v));
+                    lowlink.set(*parent, low);
+                }
+                if lowlink.get(v) == index.get(v) {
+                    // v roots a component: pop it off the Tarjan stack.
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w as usize] = false;
+                        component.set(w, count);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+
+    SccResult {
+        count: count as usize,
+        component,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyList;
+
+    #[test]
+    fn classic_two_cycles_and_a_bridge() {
+        // 0→1→2→0 (SCC A), 3→4→3 (SCC B), bridge 2→3, tail 4→5.
+        let g = AdjacencyList::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)],
+        );
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 3);
+        let c = &scc.component;
+        assert_eq!(c.get(0), c.get(1));
+        assert_eq!(c.get(1), c.get(2));
+        assert_eq!(c.get(3), c.get(4));
+        assert_ne!(c.get(0), c.get(3));
+        assert_ne!(c.get(3), c.get(5));
+        // Reverse topological order of the condensation: edges point from
+        // higher component ids to lower.
+        assert!(c.get(0) > c.get(3), "A→B means id(A) > id(B)");
+        assert!(c.get(3) > c.get(5));
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = AdjacencyList::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 4);
+    }
+
+    #[test]
+    fn one_big_cycle_is_one_component() {
+        let n = 50u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = AdjacencyList::from_edges(n as usize, &edges);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 1);
+        assert_eq!(scc.groups()[0].len(), n as usize);
+    }
+
+    #[test]
+    fn deep_chain_is_iterative_safe() {
+        let n = 100_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = AdjacencyList::from_edges(n as usize, &edges);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, n as usize);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_component() {
+        let g = AdjacencyList::from_edges(2, &[(0, 0), (0, 1)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 2);
+    }
+
+    #[test]
+    fn condensation_agrees_with_cycle_detection() {
+        use crate::algo::dfs::dfs;
+        use crate::visit::NullVisitor;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // A graph has a cycle iff some SCC has size > 1 or a self-loop.
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let n = 25u32;
+            let m = rng.gen_range(10..60);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
+            let g = AdjacencyList::from_edges(n as usize, &edges);
+            let scc = strongly_connected_components(&g);
+            let has_big = scc.groups().iter().any(|grp| grp.len() > 1);
+            let has_self = edges.iter().any(|(u, v)| u == v);
+            let dfs_cycle = dfs(&g, &mut NullVisitor).has_cycle;
+            assert_eq!(has_big || has_self, dfs_cycle);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Structural algorithms: topological sort and connected components.
+
+use crate::algo::dfs::dfs;
+use crate::concepts::{Graph, GraphEdge, IncidenceGraph, Vertex, VertexListGraph};
+use crate::property::{MutablePropertyMap, PropertyMap, VertexMap};
+use crate::visit::DfsVisitor;
+
+/// The graph passed to [`topological_sort`] contains a cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleError;
+
+/// Topological order of a DAG (DFS finish-time order, reversed).
+/// `O(V + E)`. Errors on cyclic input — the precondition is checked, not
+/// assumed, matching the paper's stance that semantic requirements should
+/// be verified mechanically.
+pub fn topological_sort<G>(g: &G) -> Result<Vec<Vertex>, CycleError>
+where
+    G: IncidenceGraph + VertexListGraph + Graph<Edge = crate::concepts::Edge>,
+{
+    #[derive(Default)]
+    struct FinishOrder {
+        order: Vec<Vertex>,
+    }
+    impl DfsVisitor for FinishOrder {
+        fn finish_vertex(&mut self, v: Vertex) {
+            self.order.push(v);
+        }
+    }
+    let mut vis = FinishOrder::default();
+    let r = dfs(g, &mut vis);
+    if r.has_cycle {
+        return Err(CycleError);
+    }
+    vis.order.reverse();
+    Ok(vis.order)
+}
+
+/// Connected components of an *undirected* graph (one that exposes each
+/// edge from both endpoints). Returns `(component_count, component_id map)`.
+/// `O(V + E)`.
+pub fn connected_components<G>(g: &G) -> (usize, VertexMap<u32>)
+where
+    G: IncidenceGraph + VertexListGraph,
+{
+    let n = g.num_vertices();
+    let mut comp = VertexMap::new(n, u32::MAX);
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for s in g.vertices() {
+        if *comp.get(s) != u32::MAX {
+            continue;
+        }
+        comp.set(s, count);
+        stack.push(s);
+        while let Some(u) = stack.pop() {
+            for e in g.out_edges(u) {
+                let v = e.target();
+                if *comp.get(v) == u32::MAX {
+                    comp.set(v, count);
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyList;
+
+    #[test]
+    fn topological_order_respects_all_edges() {
+        let edges = [(0u32, 1u32), (0, 2), (1, 3), (2, 3), (3, 4)];
+        let g = AdjacencyList::from_edges(5, &edges);
+        let order = topological_sort(&g).unwrap();
+        let pos: std::collections::HashMap<Vertex, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for (u, v) in edges {
+            assert!(pos[&u] < pos[&v], "edge ({u},{v}) violated");
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let g = AdjacencyList::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(topological_sort(&g), Err(CycleError));
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs_sort() {
+        let g = AdjacencyList::directed(0);
+        assert_eq!(topological_sort(&g).unwrap(), Vec::<Vertex>::new());
+        let g = AdjacencyList::directed(3);
+        assert_eq!(topological_sort(&g).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn components_are_counted_and_labeled() {
+        let g = AdjacencyList::from_edges_undirected(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (count, comp) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(comp.get(0), comp.get(2));
+        assert_eq!(comp.get(3), comp.get(4));
+        assert_ne!(comp.get(0), comp.get(3));
+        assert_ne!(comp.get(0), comp.get(5));
+    }
+
+    #[test]
+    fn single_component_when_connected() {
+        let g = AdjacencyList::from_edges_undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (count, _) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! Graph concepts (paper Figs. 1 and 2) as traits, plus their reflective
+//! registration for the concept registry.
+//!
+//! The trait encoding uses return-position `impl Trait` for the associated
+//! iterator requirements: `out_edges(v, g) -> out_edge_iterator` with the
+//! Fig. 2 same-type constraint `out_edge_iterator::value_type == edge_type`
+//! appearing as the `Item = Self::Edge` bound.
+
+use gp_core::concept::{Concept, ConceptRef, ModelDecl, Registry, TypeExpr};
+
+/// Vertex descriptor. Fixed to a compact integer (BGL's `vecS` vertex
+/// storage); representation genericity lives in the graph types instead.
+pub type Vertex = u32;
+
+/// The **Graph Edge** concept (Fig. 1): an edge knows its endpoints through
+/// the associated vertex type.
+pub trait GraphEdge {
+    /// `Edge::vertex_type` of Fig. 1.
+    type Vertex;
+
+    /// `source(e)`.
+    fn source(&self) -> Self::Vertex;
+
+    /// `target(e)`.
+    fn target(&self) -> Self::Vertex;
+}
+
+/// An edge descriptor carrying its endpoints and a dense edge index
+/// (the key into edge property maps).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source vertex.
+    pub source: Vertex,
+    /// Target vertex.
+    pub target: Vertex,
+    /// Dense edge id (stable across traversals).
+    pub id: u32,
+}
+
+impl GraphEdge for Edge {
+    type Vertex = Vertex;
+
+    fn source(&self) -> Vertex {
+        self.source
+    }
+
+    fn target(&self) -> Vertex {
+        self.target
+    }
+}
+
+/// Base graph concept: fixes the edge type (which must model Graph Edge on
+/// the same vertex type — the Fig. 2 constraint `Vertex == Edge::Vertex`).
+pub trait Graph {
+    /// The `edge_type` associated type.
+    type Edge: GraphEdge<Vertex = Vertex> + Copy;
+}
+
+/// The **Incidence Graph** concept (Fig. 2): out-edge traversal.
+pub trait IncidenceGraph: Graph {
+    /// `out_edges(v, g)`. The iterator's item type is the graph's edge type
+    /// — the `out_edge_iterator::value_type == edge_type` same-type
+    /// constraint of Fig. 2.
+    fn out_edges(&self, v: Vertex) -> impl Iterator<Item = Self::Edge> + '_;
+
+    /// `out_degree(v, g)`.
+    fn out_degree(&self, v: Vertex) -> usize;
+}
+
+/// Vertex enumeration concept.
+pub trait VertexListGraph: Graph {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Iterate all vertex descriptors.
+    fn vertices(&self) -> impl Iterator<Item = Vertex> + '_;
+}
+
+/// Edge enumeration concept.
+pub trait EdgeListGraph: Graph {
+    /// Number of edges.
+    fn num_edges(&self) -> usize;
+
+    /// Iterate all edge descriptors.
+    fn edges(&self) -> impl Iterator<Item = Self::Edge> + '_;
+}
+
+/// Adjacency (neighbor) enumeration concept — derivable from
+/// [`IncidenceGraph`] but a distinct concept in the taxonomy.
+pub trait AdjacencyGraph: IncidenceGraph {
+    /// Iterate the out-neighbors of `v`.
+    fn adjacent_vertices(&self, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+        self.out_edges(v).map(|e| e.target())
+    }
+}
+
+/// Register the Figs. 1–2 concepts in a reflective registry (the exact
+/// tables of the paper, including the same-type constraints), and the
+/// standard refinements.
+pub fn define_graph_concepts(reg: &mut Registry) {
+    reg.define(Concept::new("Iterator", ["I"]).assoc("value_type").op(
+        "next",
+        vec![TypeExpr::param("I")],
+        TypeExpr::assoc(TypeExpr::param("I"), "value_type"),
+    ))
+    .expect("fresh registry");
+    reg.define(
+        Concept::new("GraphEdge", ["Edge"])
+            .assoc("vertex_type")
+            .op(
+                "source",
+                vec![TypeExpr::param("Edge")],
+                TypeExpr::assoc(TypeExpr::param("Edge"), "vertex_type"),
+            )
+            .op(
+                "target",
+                vec![TypeExpr::param("Edge")],
+                TypeExpr::assoc(TypeExpr::param("Edge"), "vertex_type"),
+            ),
+    )
+    .expect("fresh registry");
+    reg.define(
+        Concept::new("IncidenceGraph", ["Graph"])
+            .assoc("vertex_type")
+            .assoc_bounded(
+                "edge_type",
+                vec![ConceptRef::new(
+                    "GraphEdge",
+                    vec![TypeExpr::assoc(TypeExpr::param("Graph"), "edge_type")],
+                )],
+            )
+            .assoc_bounded(
+                "out_edge_iterator",
+                vec![ConceptRef::new(
+                    "Iterator",
+                    vec![TypeExpr::assoc(
+                        TypeExpr::param("Graph"),
+                        "out_edge_iterator",
+                    )],
+                )],
+            )
+            .same(
+                TypeExpr::assoc(TypeExpr::param("Graph"), "vertex_type"),
+                TypeExpr::assoc(
+                    TypeExpr::assoc(TypeExpr::param("Graph"), "edge_type"),
+                    "vertex_type",
+                ),
+            )
+            .same(
+                TypeExpr::assoc(
+                    TypeExpr::assoc(TypeExpr::param("Graph"), "out_edge_iterator"),
+                    "value_type",
+                ),
+                TypeExpr::assoc(TypeExpr::param("Graph"), "edge_type"),
+            )
+            .op(
+                "out_edges",
+                vec![
+                    TypeExpr::assoc(TypeExpr::param("Graph"), "vertex_type"),
+                    TypeExpr::param("Graph"),
+                ],
+                TypeExpr::assoc(TypeExpr::param("Graph"), "out_edge_iterator"),
+            )
+            .op(
+                "out_degree",
+                vec![
+                    TypeExpr::assoc(TypeExpr::param("Graph"), "vertex_type"),
+                    TypeExpr::param("Graph"),
+                ],
+                TypeExpr::named("usize"),
+            ),
+    )
+    .expect("fresh registry");
+    reg.define(
+        Concept::new("VertexListGraph", ["Graph"])
+            .assoc("vertex_type")
+            .op("vertices", vec![TypeExpr::param("Graph")], TypeExpr::named("VertexIter"))
+            .op("num_vertices", vec![TypeExpr::param("Graph")], TypeExpr::named("usize")),
+    )
+    .expect("fresh registry");
+    reg.define(
+        Concept::new("EdgeListGraph", ["Graph"])
+            .assoc("vertex_type")
+            .op("edges", vec![TypeExpr::param("Graph")], TypeExpr::named("EdgeIter"))
+            .op("num_edges", vec![TypeExpr::param("Graph")], TypeExpr::named("usize")),
+    )
+    .expect("fresh registry");
+    reg.define(
+        Concept::new("AdjacencyGraph", ["Graph"])
+            .refines(ConceptRef::unary("IncidenceGraph", "Graph"))
+            .op(
+                "adjacent_vertices",
+                vec![
+                    TypeExpr::assoc(TypeExpr::param("Graph"), "vertex_type"),
+                    TypeExpr::param("Graph"),
+                ],
+                TypeExpr::named("VertexIter"),
+            ),
+    )
+    .expect("fresh registry");
+}
+
+/// Declare the models for this crate's graph types (mirrors the trait
+/// impls; lets the experiment binaries resolve overloads reflectively).
+pub fn declare_graph_models(reg: &mut Registry) {
+    reg.declare_model(
+        ModelDecl::new("GraphEdge", ["Edge"])
+            .bind("vertex_type", "u32")
+            .provide_all(["source", "target"]),
+    )
+    .expect("Edge models GraphEdge");
+    for g in ["AdjacencyList", "CsrGraph"] {
+        reg.declare_model(
+            ModelDecl::new("Iterator", [format!("{g}OutEdgeIter")])
+                .bind("value_type", "Edge")
+                .provide("next"),
+        )
+        .expect("out-edge iterators model Iterator");
+        reg.declare_model(
+            ModelDecl::new("IncidenceGraph", [g])
+                .bind("vertex_type", "u32")
+                .bind("edge_type", "Edge")
+                .bind("out_edge_iterator", format!("{g}OutEdgeIter"))
+                .provide_all(["out_edges", "out_degree"]),
+        )
+        .expect("graphs model IncidenceGraph");
+        reg.declare_model(
+            ModelDecl::new("VertexListGraph", [g])
+                .bind("vertex_type", "u32")
+                .provide_all(["vertices", "num_vertices"]),
+        )
+        .expect("graphs model VertexListGraph");
+        reg.declare_model(
+            ModelDecl::new("EdgeListGraph", [g])
+                .bind("vertex_type", "u32")
+                .provide_all(["edges", "num_edges"]),
+        )
+        .expect("graphs model EdgeListGraph");
+        reg.declare_model(
+            ModelDecl::new("AdjacencyGraph", [g])
+                .bind("vertex_type", "u32")
+                .provide("adjacent_vertices"),
+        )
+        .expect("graphs model AdjacencyGraph");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_models_graph_edge_statically() {
+        let e = Edge {
+            source: 1,
+            target: 2,
+            id: 0,
+        };
+        assert_eq!(e.source(), 1);
+        assert_eq!(e.target(), 2);
+    }
+
+    #[test]
+    fn reflective_registration_checks() {
+        let mut reg = Registry::new();
+        define_graph_concepts(&mut reg);
+        declare_graph_models(&mut reg);
+        assert!(reg.models_concept("IncidenceGraph", &["AdjacencyList"]));
+        assert!(reg.models_concept("IncidenceGraph", &["CsrGraph"]));
+        // AdjacencyGraph refines IncidenceGraph.
+        assert!(reg.refines("AdjacencyGraph", "IncidenceGraph"));
+    }
+
+    #[test]
+    fn fig2_same_type_constraints_are_enforced() {
+        let mut reg = Registry::new();
+        define_graph_concepts(&mut reg);
+        // A bogus graph whose out_edge_iterator yields the wrong value type.
+        reg.declare_model(
+            ModelDecl::new("GraphEdge", ["Edge"])
+                .bind("vertex_type", "u32")
+                .provide_all(["source", "target"]),
+        )
+        .unwrap();
+        reg.declare_model(
+            ModelDecl::new("Iterator", ["WrongIter"])
+                .bind("value_type", "u32") // should be Edge
+                .provide("next"),
+        )
+        .unwrap();
+        let err = reg
+            .declare_model(
+                ModelDecl::new("IncidenceGraph", ["BogusGraph"])
+                    .bind("vertex_type", "u32")
+                    .bind("edge_type", "Edge")
+                    .bind("out_edge_iterator", "WrongIter")
+                    .provide_all(["out_edges", "out_degree"]),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            gp_core::concept::ConceptError::SameTypeViolation { .. }
+        ));
+    }
+}

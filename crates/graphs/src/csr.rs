@@ -1,0 +1,136 @@
+//! Immutable compressed-sparse-row graph storage.
+//!
+//! The high-performance representation: one offsets array, one targets
+//! array, cache-friendly out-edge scans. Because the algorithms are written
+//! against the Incidence Graph concept, they run unchanged on this
+//! representation — the paper's generality-without-performance-loss claim
+//! in miniature (the `bench/graph_reps` bench compares the two).
+
+use crate::concepts::{
+    AdjacencyGraph, Edge, EdgeListGraph, Graph, IncidenceGraph, Vertex, VertexListGraph,
+};
+
+/// A compressed-sparse-row directed graph. Build once from an edge list;
+/// edge ids are positions in the sorted targets array.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<Vertex>,
+}
+
+impl CsrGraph {
+    /// Build from a directed edge list over `n` vertices.
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        let mut degree = vec![0u32; n];
+        for &(u, _) in edges {
+            assert!((u as usize) < n, "source vertex out of range");
+            degree[u as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut targets = vec![0 as Vertex; edges.len()];
+        let mut next = offsets.clone();
+        for &(u, v) in edges {
+            assert!((v as usize) < n, "target vertex out of range");
+            targets[next[u as usize] as usize] = v;
+            next[u as usize] += 1;
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Out-neighbors of `v` as a contiguous slice (the representation's
+    /// whole point).
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+}
+
+impl Graph for CsrGraph {
+    type Edge = Edge;
+}
+
+impl IncidenceGraph for CsrGraph {
+    fn out_edges(&self, v: Vertex) -> impl Iterator<Item = Edge> + '_ {
+        let lo = self.offsets[v as usize];
+        self.neighbors(v).iter().enumerate().map(move |(k, &t)| Edge {
+            source: v,
+            target: t,
+            id: lo + k as u32,
+        })
+    }
+
+    fn out_degree(&self, v: Vertex) -> usize {
+        self.neighbors(v).len()
+    }
+}
+
+impl VertexListGraph for CsrGraph {
+    fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        0..(self.offsets.len() - 1) as Vertex
+    }
+}
+
+impl EdgeListGraph for CsrGraph {
+    fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.vertices().flat_map(move |v| self.out_edges(v))
+    }
+}
+
+impl AdjacencyGraph for CsrGraph {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyList;
+    use crate::concepts::GraphEdge;
+
+    #[test]
+    fn csr_matches_adjacency_list_structure() {
+        let edges = [(0, 1), (0, 2), (1, 2), (3, 0), (2, 3)];
+        let adj = AdjacencyList::from_edges(4, &edges);
+        let csr = CsrGraph::from_edges(4, &edges);
+        assert_eq!(adj.num_vertices(), csr.num_vertices());
+        assert_eq!(adj.num_edges(), csr.num_edges());
+        for v in csr.vertices() {
+            let mut a: Vec<Vertex> = adj.out_edges(v).map(|e| e.target()).collect();
+            let mut c: Vec<Vertex> = csr.out_edges(v).map(|e| e.target()).collect();
+            a.sort_unstable();
+            c.sort_unstable();
+            assert_eq!(a, c, "v={v}");
+        }
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_unique() {
+        let csr = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let mut ids: Vec<u32> = csr.edges().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn neighbors_slice_is_contiguous() {
+        let csr = CsrGraph::from_edges(3, &[(1, 0), (1, 2)]);
+        assert_eq!(csr.neighbors(1), &[0, 2]);
+        assert!(csr.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = CsrGraph::from_edges(0, &[]);
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Graph generators: deterministic workloads for tests, benches, and
+//! experiments.
+
+use crate::adjacency::AdjacencyList;
+use crate::concepts::Vertex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi-style G(n, m): `m` random directed edges over `n` vertices,
+/// deterministic per seed.
+pub fn random_directed(n: usize, m: usize, seed: u64) -> AdjacencyList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = AdjacencyList::directed(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as Vertex);
+        let v = rng.gen_range(0..n as Vertex);
+        g.add_edge(u, v);
+    }
+    g
+}
+
+/// A connected undirected graph: random spanning tree plus `extra` chords.
+pub fn random_connected_undirected(n: usize, extra: usize, seed: u64) -> AdjacencyList {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = AdjacencyList::undirected(n);
+    for v in 1..n as Vertex {
+        let u = rng.gen_range(0..v);
+        g.add_edge(u, v);
+    }
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n as Vertex);
+        let v = rng.gen_range(0..n as Vertex);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A random DAG: edges only from lower to higher indices.
+pub fn random_dag(n: usize, m: usize, seed: u64) -> AdjacencyList {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = AdjacencyList::directed(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..(n - 1) as Vertex);
+        let v = rng.gen_range(u + 1..n as Vertex);
+        g.add_edge(u, v);
+    }
+    g
+}
+
+/// A layered DAG (a "pipeline" shape): `layers` layers of `width` vertices,
+/// each vertex wired to `fanout` random vertices of the next layer.
+pub fn layered_dag(layers: usize, width: usize, fanout: usize, seed: u64) -> AdjacencyList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = layers * width;
+    let mut g = AdjacencyList::directed(n);
+    for l in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            let u = (l * width + i) as Vertex;
+            for _ in 0..fanout {
+                let v = ((l + 1) * width + rng.gen_range(0..width)) as Vertex;
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Deterministic pseudo-random edge weights in `[1, max)` keyed by edge id.
+pub fn hashed_weights(max: f64) -> impl Fn(crate::concepts::Edge) -> f64 {
+    move |e| 1.0 + ((e.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1000) as f64 * (max - 1.0) / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{connected_components, strongly_connected_components, topological_sort};
+    use crate::concepts::{EdgeListGraph, VertexListGraph};
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_directed(50, 200, 9);
+        let b = random_directed(50, 200, 9);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().map(|e| (e.source, e.target)).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.source, e.target)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let g = random_connected_undirected(40, 20, seed);
+            let (count, _) = connected_components(&g);
+            assert_eq!(count, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_dag_is_acyclic() {
+        for seed in 0..5 {
+            let g = random_dag(30, 120, seed);
+            assert!(topological_sort(&g).is_ok(), "seed {seed}");
+            let scc = strongly_connected_components(&g);
+            assert_eq!(scc.count, g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn layered_dag_shape() {
+        let g = layered_dag(4, 5, 2, 3);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 3 * 5 * 2);
+        assert!(topological_sort(&g).is_ok());
+        // Last layer has no out-edges.
+        for v in 15..20 {
+            assert_eq!(crate::concepts::IncidenceGraph::out_degree(&g, v), 0);
+        }
+    }
+
+    #[test]
+    fn hashed_weights_are_stable_and_bounded() {
+        let w = hashed_weights(10.0);
+        let e = crate::concepts::Edge {
+            source: 0,
+            target: 1,
+            id: 42,
+        };
+        assert_eq!(w(e), w(e));
+        for id in 0..100 {
+            let e = crate::concepts::Edge {
+                source: 0,
+                target: 1,
+                id,
+            };
+            assert!(w(e) >= 1.0 && w(e) < 10.0);
+        }
+    }
+}

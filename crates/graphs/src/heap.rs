@@ -1,0 +1,205 @@
+//! Indexed binary min-heap with decrease-key — Dijkstra's and Prim's
+//! priority-queue substrate, built from scratch.
+
+/// A binary min-heap over `(key, item)` pairs where `item` is a dense index
+/// in `0..capacity`, supporting `O(log n)` decrease-key via a position map.
+#[derive(Clone, Debug)]
+pub struct IndexedMinHeap {
+    /// Heap array of item indices.
+    heap: Vec<u32>,
+    /// `pos[item]` = index of item in `heap`, or `NONE`.
+    pos: Vec<u32>,
+    /// Current key of each item.
+    keys: Vec<f64>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl IndexedMinHeap {
+    /// An empty heap over items `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        IndexedMinHeap {
+            heap: Vec::with_capacity(capacity),
+            pos: vec![NONE; capacity],
+            keys: vec![f64::INFINITY; capacity],
+        }
+    }
+
+    /// Number of items in the heap.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no items remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True if `item` is currently in the heap.
+    pub fn contains(&self, item: u32) -> bool {
+        self.pos[item as usize] != NONE
+    }
+
+    /// Current key of `item` (meaningful only if inserted at some point).
+    pub fn key(&self, item: u32) -> f64 {
+        self.keys[item as usize]
+    }
+
+    /// Insert `item` with `key`. Panics if already present.
+    pub fn push(&mut self, item: u32, key: f64) {
+        assert!(!self.contains(item), "item already in heap");
+        self.keys[item as usize] = key;
+        self.pos[item as usize] = self.heap.len() as u32;
+        self.heap.push(item);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Lower `item`'s key. Panics if absent or if the new key is larger.
+    pub fn decrease_key(&mut self, item: u32, key: f64) {
+        assert!(self.contains(item), "item not in heap");
+        assert!(
+            key <= self.keys[item as usize],
+            "decrease_key must not increase the key"
+        );
+        self.keys[item as usize] = key;
+        self.sift_up(self.pos[item as usize] as usize);
+    }
+
+    /// Insert or decrease, whichever applies; returns true if it changed
+    /// anything.
+    pub fn push_or_decrease(&mut self, item: u32, key: f64) -> bool {
+        if self.contains(item) {
+            if key < self.keys[item as usize] {
+                self.decrease_key(item, key);
+                true
+            } else {
+                false
+            }
+        } else {
+            self.push(item, key);
+            true
+        }
+    }
+
+    /// Remove and return the minimum `(item, key)`.
+    pub fn pop(&mut self) -> Option<(u32, f64)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some((top, self.keys[top as usize]))
+    }
+
+    fn less(&self, a: usize, b: usize) -> bool {
+        self.keys[self.heap[a] as usize] < self.keys[self.heap[b] as usize]
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(i, parent) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let mut smallest = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < self.heap.len() && self.less(child, smallest) {
+                    smallest = child;
+                }
+            }
+            if smallest == i {
+                return;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut h = IndexedMinHeap::new(5);
+        h.push(0, 3.0);
+        h.push(1, 1.0);
+        h.push(2, 2.0);
+        assert_eq!(h.pop(), Some((1, 1.0)));
+        assert_eq!(h.pop(), Some((2, 2.0)));
+        assert_eq!(h.pop(), Some((0, 3.0)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn decrease_key_reorders() {
+        let mut h = IndexedMinHeap::new(3);
+        h.push(0, 10.0);
+        h.push(1, 20.0);
+        h.push(2, 30.0);
+        h.decrease_key(2, 5.0);
+        assert_eq!(h.pop(), Some((2, 5.0)));
+        assert!(h.push_or_decrease(1, 1.0));
+        assert!(!h.push_or_decrease(1, 50.0)); // would increase: ignored
+        assert_eq!(h.pop(), Some((1, 1.0)));
+    }
+
+    #[test]
+    fn random_stress_against_sorting() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200;
+        let mut h = IndexedMinHeap::new(n);
+        let mut keys: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            h.push(i as u32, k);
+        }
+        // Random decreases.
+        for _ in 0..100 {
+            let i = rng.gen_range(0..n);
+            let nk = keys[i] * rng.gen_range(0.1..1.0);
+            h.decrease_key(i as u32, nk);
+            keys[i] = nk;
+        }
+        let mut popped = Vec::new();
+        while let Some((_, k)) = h.pop() {
+            popped.push(k);
+        }
+        let mut expect = keys.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(popped.len(), n);
+        for (a, b) in popped.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already in heap")]
+    fn double_push_panics() {
+        let mut h = IndexedMinHeap::new(2);
+        h.push(0, 1.0);
+        h.push(0, 2.0);
+    }
+}

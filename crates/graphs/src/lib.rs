@@ -1,0 +1,43 @@
+//! # gp-graphs — generic graph library (BGL analog)
+//!
+//! The graph substrate of the reproduction. The concept vocabulary is the
+//! paper's Figs. 1–2 — **Graph Edge** (associated `vertex_type`, `source`,
+//! `target`) and **Incidence Graph** (associated `vertex_type`, `edge_type`,
+//! `out_edge_iterator`, with the same-type constraints between them) — plus
+//! the usual BGL companions (VertexListGraph, EdgeListGraph,
+//! AdjacencyGraph). Algorithms are written against the concepts, so the
+//! same BFS/DFS/Dijkstra source serves every representation.
+//!
+//! Modules:
+//!
+//! * [`concepts`] — the concept traits and their reflective registration.
+//! * [`adjacency`] — [`adjacency::AdjacencyList`]: mutable, directed or
+//!   undirected.
+//! * [`csr`] — [`csr::CsrGraph`]: immutable compressed-sparse-row storage.
+//! * [`property`] — vertex/edge property maps (the BGL property-map layer).
+//! * [`visit`] — BFS/DFS visitor concepts (event-point customization).
+//! * [`heap`] — indexed binary min-heap with decrease-key (Dijkstra's
+//!   substrate).
+//! * [`unionfind`] — disjoint sets with union by rank + path compression
+//!   (Kruskal's substrate).
+//! * [`algo`] — BFS, DFS, topological sort, connected components,
+//!   strongly connected components (Tarjan), Dijkstra, Bellman–Ford,
+//!   Kruskal, Prim.
+//! * [`generators`] — deterministic random/layered graph workloads.
+
+pub mod adjacency;
+pub mod algo;
+pub mod concepts;
+pub mod csr;
+pub mod generators;
+pub mod heap;
+pub mod property;
+pub mod unionfind;
+pub mod visit;
+
+pub use adjacency::AdjacencyList;
+pub use concepts::{
+    AdjacencyGraph, Edge, EdgeListGraph, Graph, GraphEdge, IncidenceGraph, Vertex,
+    VertexListGraph,
+};
+pub use csr::CsrGraph;

@@ -1,0 +1,191 @@
+//! Property maps: external data attached to vertices and edges.
+//!
+//! The BGL property-map layer in miniature: algorithms take property maps
+//! as parameters (weights, colors, distances) instead of baking data into
+//! the graph representation — the associated-data counterpart of
+//! concept-generic algorithms.
+
+use crate::concepts::{Edge, Vertex};
+
+/// Readable property map over keys `K`.
+pub trait PropertyMap<K> {
+    /// Stored value type.
+    type Value;
+
+    /// Read the property of `key`.
+    fn get(&self, key: K) -> &Self::Value;
+}
+
+/// Writable property map.
+pub trait MutablePropertyMap<K>: PropertyMap<K> {
+    /// Write the property of `key`.
+    fn set(&mut self, key: K, value: Self::Value);
+}
+
+/// Dense vertex-indexed storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VertexMap<T> {
+    data: Vec<T>,
+}
+
+impl<T: Clone> VertexMap<T> {
+    /// A map over `n` vertices, all set to `init`.
+    pub fn new(n: usize, init: T) -> Self {
+        VertexMap {
+            data: vec![init; n],
+        }
+    }
+}
+
+impl<T> VertexMap<T> {
+    /// Build from a generator.
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> T) -> Self {
+        VertexMap {
+            data: (0..n).map(f).collect(),
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Iterate `(vertex, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Vertex, &T)> {
+        self.data.iter().enumerate().map(|(i, v)| (i as Vertex, v))
+    }
+
+    /// Flat access to the stored values.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> PropertyMap<Vertex> for VertexMap<T> {
+    type Value = T;
+
+    fn get(&self, key: Vertex) -> &T {
+        &self.data[key as usize]
+    }
+}
+
+impl<T> MutablePropertyMap<Vertex> for VertexMap<T> {
+    fn set(&mut self, key: Vertex, value: T) {
+        self.data[key as usize] = value;
+    }
+}
+
+/// Dense edge-id-indexed storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeMap<T> {
+    data: Vec<T>,
+}
+
+impl<T: Clone> EdgeMap<T> {
+    /// A map over `m` edges, all set to `init`.
+    pub fn new(m: usize, init: T) -> Self {
+        EdgeMap { data: vec![init; m] }
+    }
+}
+
+impl<T> EdgeMap<T> {
+    /// Build from per-edge values in edge-id order.
+    pub fn from_values(values: Vec<T>) -> Self {
+        EdgeMap { data: values }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl<T> PropertyMap<Edge> for EdgeMap<T> {
+    type Value = T;
+
+    fn get(&self, key: Edge) -> &T {
+        &self.data[key.id as usize]
+    }
+}
+
+impl<T> MutablePropertyMap<Edge> for EdgeMap<T> {
+    fn set(&mut self, key: Edge, value: T) {
+        self.data[key.id as usize] = value;
+    }
+}
+
+/// A weight function backed by a closure over edges — property-map-shaped
+/// adapter for computed weights.
+#[derive(Clone, Copy, Debug)]
+pub struct FnWeight<F>(pub F);
+
+impl<F: Fn(Edge) -> f64> FnWeight<F> {
+    /// Evaluate the weight of an edge.
+    pub fn weight(&self, e: Edge) -> f64 {
+        (self.0)(e)
+    }
+}
+
+/// Vertex colors used by the traversal algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Color {
+    /// Not yet discovered.
+    White,
+    /// Discovered, not finished.
+    Gray,
+    /// Finished.
+    Black,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_map_get_set() {
+        let mut m = VertexMap::new(3, 0i32);
+        m.set(1, 42);
+        assert_eq!(*m.get(1), 42);
+        assert_eq!(*m.get(0), 0);
+        assert_eq!(m.len(), 3);
+        let pairs: Vec<(Vertex, i32)> = m.iter().map(|(v, x)| (v, *x)).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 42), (2, 0)]);
+    }
+
+    #[test]
+    fn edge_map_keyed_by_id() {
+        let mut m = EdgeMap::new(2, 1.0f64);
+        let e = Edge {
+            source: 7,
+            target: 9,
+            id: 1,
+        };
+        m.set(e, 2.5);
+        assert_eq!(*m.get(e), 2.5);
+        // Same id, different (bogus) endpoints: still the same property.
+        let e2 = Edge {
+            source: 0,
+            target: 0,
+            id: 1,
+        };
+        assert_eq!(*m.get(e2), 2.5);
+    }
+
+    #[test]
+    fn from_fn_and_from_values() {
+        let m = VertexMap::from_fn(4, |i| i * i);
+        assert_eq!(*m.get(3), 9);
+        let em = EdgeMap::from_values(vec![10, 20]);
+        assert_eq!(em.len(), 2);
+    }
+}

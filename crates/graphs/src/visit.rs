@@ -1,0 +1,88 @@
+//! Visitor concepts for graph traversals.
+//!
+//! BGL-style event-point customization: the traversal algorithms accept a
+//! visitor whose hooks default to no-ops, so callers pay only for the
+//! events they observe. The visitor is itself a concept — another instance
+//! of the paper's interface-by-requirements design.
+
+use crate::concepts::{Edge, Vertex};
+
+/// Event hooks for breadth-first search.
+pub trait BfsVisitor {
+    /// First time `v` is seen.
+    fn discover_vertex(&mut self, _v: Vertex) {}
+    /// `v` is popped from the queue.
+    fn examine_vertex(&mut self, _v: Vertex) {}
+    /// Every out-edge of an examined vertex.
+    fn examine_edge(&mut self, _e: Edge) {}
+    /// Edge leading to a newly discovered vertex.
+    fn tree_edge(&mut self, _e: Edge) {}
+    /// Edge leading to an already-discovered vertex.
+    fn non_tree_edge(&mut self, _e: Edge) {}
+    /// All out-edges of `v` processed.
+    fn finish_vertex(&mut self, _v: Vertex) {}
+}
+
+/// Event hooks for depth-first search.
+pub trait DfsVisitor {
+    /// First time `v` is seen.
+    fn discover_vertex(&mut self, _v: Vertex) {}
+    /// Every out-edge examined.
+    fn examine_edge(&mut self, _e: Edge) {}
+    /// Edge to an undiscovered vertex.
+    fn tree_edge(&mut self, _e: Edge) {}
+    /// Edge to a vertex on the current DFS stack (cycle witness).
+    fn back_edge(&mut self, _e: Edge) {}
+    /// Edge to a finished vertex.
+    fn forward_or_cross_edge(&mut self, _e: Edge) {}
+    /// `v`'s subtree is complete.
+    fn finish_vertex(&mut self, _v: Vertex) {}
+}
+
+/// The do-nothing visitor (both concepts' trivial model).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullVisitor;
+
+impl BfsVisitor for NullVisitor {}
+impl DfsVisitor for NullVisitor {}
+
+/// A visitor that records the order of discover/finish events — used by
+/// tests and by topological sort.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    /// Vertices in discovery order.
+    pub discovered: Vec<Vertex>,
+    /// Vertices in finish order.
+    pub finished: Vec<Vertex>,
+    /// Tree edges in traversal order.
+    pub tree_edges: Vec<Edge>,
+    /// Back edges seen (DFS only; nonempty implies a cycle).
+    pub back_edges: Vec<Edge>,
+}
+
+impl BfsVisitor for EventLog {
+    fn discover_vertex(&mut self, v: Vertex) {
+        self.discovered.push(v);
+    }
+    fn tree_edge(&mut self, e: Edge) {
+        self.tree_edges.push(e);
+    }
+    fn finish_vertex(&mut self, v: Vertex) {
+        self.finished.push(v);
+    }
+}
+
+impl DfsVisitor for EventLog {
+    fn discover_vertex(&mut self, v: Vertex) {
+        self.discovered.push(v);
+    }
+    fn tree_edge(&mut self, e: Edge) {
+        self.tree_edges.push(e);
+    }
+    fn back_edge(&mut self, e: Edge) {
+        self.back_edges.push(e);
+    }
+    fn finish_vertex(&mut self, v: Vertex) {
+        self.finished.push(v);
+    }
+}

@@ -1,0 +1,178 @@
+//! A block-distributed vector: the data-parallel container abstraction.
+//!
+//! `BlockVec` partitions a sequence into owner blocks (the "ranks" of a
+//! data-parallel program) and exposes whole-container operations — map,
+//! reduce, scan, gather — that run block-parallel while the programmer
+//! "thinks and programs in parallel, but more abstractly" (§4). Reductions
+//! and scans carry the same Monoid concept obligation as the slice
+//! primitives.
+
+use crate::par;
+use gp_core::algebra::Monoid;
+
+/// A sequence partitioned into near-equal owner blocks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockVec<T> {
+    blocks: Vec<Vec<T>>,
+}
+
+impl<T> BlockVec<T> {
+    /// Partition `data` into `blocks` near-equal contiguous blocks.
+    pub fn from_vec(data: Vec<T>, blocks: usize) -> Self {
+        assert!(blocks >= 1, "need at least one block");
+        let n = data.len();
+        let base = n / blocks;
+        let extra = n % blocks;
+        let mut out = Vec::with_capacity(blocks);
+        let mut iter = data.into_iter();
+        for b in 0..blocks {
+            let take = base + usize::from(b < extra);
+            out.push(iter.by_ref().take(take).collect());
+        }
+        BlockVec { blocks: out }
+    }
+
+    /// Number of blocks (ranks).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// True if no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow a block.
+    pub fn block(&self, b: usize) -> &[T] {
+        &self.blocks[b]
+    }
+
+    /// Gather all elements into one vector (owner order).
+    pub fn gather(self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for b in self.blocks {
+            out.extend(b);
+        }
+        out
+    }
+}
+
+impl<T: Send + Sync> BlockVec<T> {
+    /// Block-parallel map to a new distributed vector (same distribution).
+    pub fn map<U, F>(&self, f: F) -> BlockVec<U>
+    where
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let mut blocks: Vec<Vec<U>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .blocks
+                .iter()
+                .map(|b| s.spawn(|| b.iter().map(&f).collect::<Vec<U>>()))
+                .collect();
+            blocks = handles
+                .into_iter()
+                .map(|h| h.join().expect("map block"))
+                .collect();
+        });
+        BlockVec { blocks }
+    }
+}
+
+impl<T: Clone + Send + Sync> BlockVec<T> {
+    /// Block-parallel Monoid reduction.
+    pub fn reduce<O: Monoid<T> + Sync>(&self, op: &O) -> T {
+        let mut partials: Vec<T> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .blocks
+                .iter()
+                .map(|b| {
+                    s.spawn(move || {
+                        let mut acc = op.identity();
+                        for x in b.iter() {
+                            acc = op.op(&acc, x);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            partials = handles
+                .into_iter()
+                .map(|h| h.join().expect("reduce block"))
+                .collect();
+        });
+        let mut acc = op.identity();
+        for p in &partials {
+            acc = op.op(&acc, p);
+        }
+        acc
+    }
+
+    /// Inclusive prefix scan across the distribution (delegates to the
+    /// slice primitive; result gathered then re-distributed identically).
+    pub fn scan<O: Monoid<T> + Sync>(&self, op: &O) -> BlockVec<T> {
+        let flat: Vec<T> = self.blocks.iter().flat_map(|b| b.iter().cloned()).collect();
+        let scanned = par::par_scan(&flat, self.block_count(), op);
+        let mut blocks = Vec::with_capacity(self.block_count());
+        let mut iter = scanned.into_iter();
+        for b in &self.blocks {
+            blocks.push(iter.by_ref().take(b.len()).collect());
+        }
+        BlockVec { blocks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_core::algebra::{AddOp, MaxOp};
+
+    #[test]
+    fn partitioning_is_near_equal_and_order_preserving() {
+        let v: Vec<i32> = (0..10).collect();
+        let bv = BlockVec::from_vec(v.clone(), 3);
+        assert_eq!(bv.block_count(), 3);
+        assert_eq!(bv.block(0).len(), 4); // 4,3,3
+        assert_eq!(bv.block(1).len(), 3);
+        assert_eq!(bv.len(), 10);
+        assert_eq!(bv.gather(), v);
+    }
+
+    #[test]
+    fn map_reduce_scan_agree_with_sequential() {
+        let v: Vec<i64> = (1..=1000).collect();
+        let bv = BlockVec::from_vec(v.clone(), 4);
+        let doubled = bv.map(|x| x * 2);
+        assert_eq!(doubled.gather(), v.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(bv.reduce(&AddOp), 500_500);
+        assert_eq!(bv.reduce(&MaxOp), 1000);
+        let scanned = bv.scan(&AddOp);
+        let g = scanned.gather();
+        assert_eq!(g[0], 1);
+        assert_eq!(g[999], 500_500);
+        assert_eq!(g[499], 125_250); // 500·501/2
+    }
+
+    #[test]
+    fn more_blocks_than_elements_is_fine() {
+        let bv = BlockVec::from_vec(vec![1i64, 2], 8);
+        assert_eq!(bv.block_count(), 8);
+        assert_eq!(bv.reduce(&AddOp), 3);
+        assert!(bv.block(5).is_empty());
+    }
+
+    #[test]
+    fn empty_distributed_vector() {
+        let bv: BlockVec<i64> = BlockVec::from_vec(vec![], 4);
+        assert!(bv.is_empty());
+        assert_eq!(bv.reduce(&AddOp), 0);
+        assert_eq!(bv.scan(&AddOp).gather(), Vec::<i64>::new());
+    }
+}

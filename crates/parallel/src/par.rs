@@ -1,0 +1,400 @@
+//! Scoped data-parallel primitives over slices.
+//!
+//! All primitives are deterministic: given the same input, operation
+//! witness, and any thread count, they return exactly what the sequential
+//! algorithm returns — that is the point of keying them on concepts whose
+//! axioms license the reordering.
+
+use gp_core::algebra::Monoid;
+use gp_core::order::StrictWeakOrder;
+use gp_sequences::sort::introsort;
+
+fn chunk_len(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.max(1)).max(1)
+}
+
+/// Parallel map preserving order: `out[i] = f(&input[i])`.
+pub fn par_map<T, U, F>(input: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let cl = chunk_len(input.len(), threads);
+    let mut parts: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = input
+            .chunks(cl)
+            .map(|chunk| s.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        parts = handles.into_iter().map(|h| h.join().expect("map worker")).collect();
+    });
+    let mut out = Vec::with_capacity(input.len());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel in-place transform.
+pub fn par_apply<T, F>(data: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    let cl = chunk_len(data.len(), threads);
+    std::thread::scope(|s| {
+        for chunk in data.chunks_mut(cl) {
+            s.spawn(|| {
+                for x in chunk {
+                    f(x);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel tree reduction under a [`Monoid`] witness.
+///
+/// **Concept obligation:** associativity licenses the chunked reordering;
+/// the identity makes empty input (and empty chunks) well-defined. Both are
+/// checkable ([`gp_core::algebra::check_associativity`]) and provable
+/// (`gp_proofs::theories::monoid`). Result is bit-identical to the
+/// sequential left fold for associative operations.
+pub fn par_reduce<T, O>(input: &[T], threads: usize, op: &O) -> T
+where
+    T: Clone + Send + Sync,
+    O: Monoid<T> + Sync,
+{
+    if input.is_empty() {
+        return op.identity();
+    }
+    let cl = chunk_len(input.len(), threads);
+    let mut partials: Vec<T> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = input
+            .chunks(cl)
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut acc = op.identity();
+                    for x in chunk {
+                        acc = op.op(&acc, x);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        partials = handles
+            .into_iter()
+            .map(|h| h.join().expect("reduce worker"))
+            .collect();
+    });
+    let mut acc = op.identity();
+    for p in &partials {
+        acc = op.op(&acc, p);
+    }
+    acc
+}
+
+/// The ablation escape hatch: reduce with an **arbitrary closure** and no
+/// concept obligation. Used by tests and the ablation benchmark to show
+/// that dropping the Monoid requirement silently corrupts results for
+/// non-associative operations. Not part of the supported API surface.
+pub fn par_reduce_unchecked<T, F>(input: &[T], threads: usize, init: T, f: F) -> T
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    if input.is_empty() {
+        return init;
+    }
+    let cl = chunk_len(input.len(), threads);
+    let mut partials: Vec<T> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = input
+            .chunks(cl)
+            .map(|chunk| {
+                let init = init.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let mut acc = init;
+                    for x in chunk {
+                        acc = f(&acc, x);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        partials = handles
+            .into_iter()
+            .map(|h| h.join().expect("reduce worker"))
+            .collect();
+    });
+    let mut acc = init;
+    for p in &partials {
+        acc = f(&acc, p);
+    }
+    acc
+}
+
+/// Parallel inclusive prefix scan under a [`Monoid`] (three-phase Blelloch
+/// scheme: chunk totals → sequential exclusive scan of totals → offset
+/// local scans). `out[i] = x0 ⊕ x1 ⊕ … ⊕ xi`.
+pub fn par_scan<T, O>(input: &[T], threads: usize, op: &O) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    O: Monoid<T> + Sync,
+{
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let cl = chunk_len(input.len(), threads);
+
+    // Phase 1: per-chunk totals, in parallel.
+    let mut totals: Vec<T> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = input
+            .chunks(cl)
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut acc = op.identity();
+                    for x in chunk {
+                        acc = op.op(&acc, x);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        totals = handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker"))
+            .collect();
+    });
+
+    // Phase 2: sequential exclusive scan of the totals (cheap: one element
+    // per chunk).
+    let mut offsets = Vec::with_capacity(totals.len());
+    let mut acc = op.identity();
+    for t in &totals {
+        offsets.push(acc.clone());
+        acc = op.op(&acc, t);
+    }
+
+    // Phase 3: local inclusive scans seeded with the chunk offset.
+    let mut parts: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = input
+            .chunks(cl)
+            .zip(&offsets)
+            .map(|(chunk, off)| {
+                s.spawn(move || {
+                    let mut acc = off.clone();
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for x in chunk {
+                        acc = op.op(&acc, x);
+                        out.push(acc.clone());
+                    }
+                    out
+                })
+            })
+            .collect();
+        parts = handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker"))
+            .collect();
+    });
+    let mut out = Vec::with_capacity(input.len());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel merge sort: chunk-local introsort (the concept-dispatched
+/// random-access algorithm) followed by parallel pairwise merge rounds.
+/// Stable across equal elements is **not** guaranteed (introsort is
+/// unstable), matching the sequential `sort` contract.
+pub fn par_sort<T, O>(data: &mut Vec<T>, threads: usize, ord: &O)
+where
+    T: Clone + Send + Sync,
+    O: StrictWeakOrder<T> + Sync,
+{
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let cl = chunk_len(n, threads);
+
+    // Phase 1: sort chunks in parallel.
+    std::thread::scope(|s| {
+        for chunk in data.chunks_mut(cl) {
+            s.spawn(move || introsort(chunk, ord));
+        }
+    });
+
+    // Phase 2: merge runs pairwise until one run remains.
+    let mut runs: Vec<Vec<T>> = data.chunks(cl).map(|c| c.to_vec()).collect();
+    while runs.len() > 1 {
+        let mut next: Vec<Vec<T>> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        let mut pairs: Vec<(Vec<T>, Option<Vec<T>>)> = Vec::new();
+        while let Some(a) = iter.next() {
+            pairs.push((a, iter.next()));
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .into_iter()
+                .map(|(a, b)| {
+                    s.spawn(move || match b {
+                        None => a,
+                        Some(b) => merge_two(&a, &b, ord),
+                    })
+                })
+                .collect();
+            next = handles
+                .into_iter()
+                .map(|h| h.join().expect("merge worker"))
+                .collect();
+        });
+        runs = next;
+    }
+    *data = runs.pop().expect("one run remains");
+}
+
+fn merge_two<T: Clone, O: StrictWeakOrder<T>>(a: &[T], b: &[T], ord: &O) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if ord.less(&b[j], &a[i]) {
+            out.push(b[j].clone());
+            j += 1;
+        } else {
+            out.push(a[i].clone());
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_core::algebra::{monoid_fold, AddOp, MaxOp, MulOp};
+    use gp_core::archetype::{ArchetypeElem, ArchetypeOp};
+    use gp_core::order::NaturalLess;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1000..1000)).collect()
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v = random(10_000, 1);
+        for threads in [1, 2, 4, 7] {
+            let out = par_map(&v, threads, |x| x * 2);
+            let expect: Vec<i64> = v.iter().map(|x| x * 2).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+        assert_eq!(par_map::<i64, i64, _>(&[], 4, |x| *x), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn par_apply_mutates_everything() {
+        let mut v = random(5000, 2);
+        let expect: Vec<i64> = v.iter().map(|x| x + 1).collect();
+        par_apply(&mut v, 4, |x| *x += 1);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_reduce_equals_sequential_for_any_thread_count() {
+        let v = random(10_001, 3); // deliberately not divisible
+        let seq = monoid_fold(&AddOp, &v);
+        for threads in [1, 2, 3, 8, 33] {
+            assert_eq!(par_reduce(&v, threads, &AddOp), seq, "threads={threads}");
+        }
+        assert_eq!(par_reduce(&v, 4, &MaxOp), monoid_fold(&MaxOp, &v));
+        // Empty input yields the identity.
+        assert_eq!(par_reduce::<i64, _>(&[], 4, &AddOp), 0);
+        assert_eq!(par_reduce::<i64, _>(&[], 4, &MulOp), 1);
+    }
+
+    #[test]
+    fn par_reduce_works_against_the_monoid_archetype() {
+        // Compile-time proof that par_reduce needs only the Monoid concept.
+        let items: Vec<ArchetypeElem> = (1..=100).map(ArchetypeElem::new).collect();
+        let total = par_reduce(&items, 4, &ArchetypeOp);
+        assert_eq!(total.get(), 5050);
+    }
+
+    #[test]
+    fn unchecked_reduce_with_non_associative_op_corrupts_results() {
+        // The ablation: subtraction is not associative; chunked reduction
+        // disagrees with the sequential fold — exactly the failure the
+        // Monoid concept constraint rules out at compile time.
+        let v: Vec<i64> = (1..=1000).collect();
+        let seq = v.iter().fold(0i64, |a, b| a - b);
+        let par = par_reduce_unchecked(&v, 8, 0i64, |a, b| a - b);
+        assert_ne!(par, seq, "non-associative op must break chunked reduce");
+        // Whereas for an associative op the unchecked version agrees.
+        let par_ok = par_reduce_unchecked(&v, 8, 0i64, |a, b| a + b);
+        assert_eq!(par_ok, v.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn par_scan_matches_sequential_prefix_sums() {
+        let v = random(4321, 4);
+        let mut expect = Vec::with_capacity(v.len());
+        let mut acc = 0i64;
+        for x in &v {
+            acc += x;
+            expect.push(acc);
+        }
+        for threads in [1, 2, 5, 16] {
+            assert_eq!(par_scan(&v, threads, &AddOp), expect, "threads={threads}");
+        }
+        assert_eq!(par_scan::<i64, _>(&[], 4, &AddOp), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn par_scan_works_for_non_commutative_monoids() {
+        // Concatenation is associative but not commutative: the scan must
+        // still be correct (associativity is the only requirement).
+        use gp_core::algebra::ConcatOp;
+        let words: Vec<String> = ["a", "b", "c", "d", "e", "f", "g"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = par_scan(&words, 3, &ConcatOp);
+        assert_eq!(out.last().unwrap(), "abcdefg");
+        assert_eq!(out[2], "abc");
+    }
+
+    #[test]
+    fn par_sort_sorts_like_sequential() {
+        for seed in 0..3 {
+            let orig = random(20_000, seed);
+            let mut expect = orig.clone();
+            expect.sort_unstable();
+            for threads in [1, 2, 4, 6] {
+                let mut v = orig.clone();
+                par_sort(&mut v, threads, &NaturalLess);
+                assert_eq!(v, expect, "seed={seed} threads={threads}");
+            }
+        }
+        let mut empty: Vec<i64> = vec![];
+        par_sort(&mut empty, 4, &NaturalLess);
+        assert!(empty.is_empty());
+    }
+}

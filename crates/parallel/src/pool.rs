@@ -1,0 +1,150 @@
+//! A from-scratch job-queue thread pool (crossbeam channel + condvar
+//! idle-tracking). Used for task parallelism; the slice primitives in
+//! [`crate::par`] use scoped threads instead so they can borrow.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Pending {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+/// A fixed-size worker pool executing boxed jobs.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Arc<Pending>,
+}
+
+impl ThreadPool {
+    /// Spawn `n` workers (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a pool needs at least one worker");
+        let (sender, receiver) = unbounded::<Job>();
+        let pending = Arc::new(Pending::default());
+        let workers = (0..n)
+            .map(|i| {
+                let rx = receiver.clone();
+                let pending = pending.clone();
+                std::thread::Builder::new()
+                    .name(format!("gp-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            let mut c = pending.count.lock().expect("pool lock");
+                            *c -= 1;
+                            if *c == 0 {
+                                pending.zero.notify_all();
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            pending,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        {
+            let mut c = self.pending.count.lock().expect("pool lock");
+            *c += 1;
+        }
+        self.sender
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut c = self.pending.count.lock().expect("pool lock");
+        while *c > 0 {
+            c = self.pending.zero.wait(c).expect("pool lock");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers drain and exit, then join.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = counter.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn wait_idle_on_fresh_pool_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.wait_idle();
+        assert_eq!(pool.workers(), 2);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            for _ in 0..50 {
+                let c = counter.clone();
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+        } // drop here
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        // With 4 workers, 4 jobs that each wait for the others must finish
+        // (they would deadlock on a single thread).
+        use std::sync::Barrier;
+        let pool = ThreadPool::new(4);
+        let barrier = Arc::new(Barrier::new(4));
+        for _ in 0..4 {
+            let b = barrier.clone();
+            pool.execute(move || {
+                b.wait();
+            });
+        }
+        pool.wait_idle();
+    }
+}

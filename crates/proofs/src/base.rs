@@ -1,0 +1,99 @@
+//! The assumption base: "an associative memory of propositions that have
+//! been asserted or proved in a proof session" (§3.3).
+
+use crate::logic::Prop;
+use std::collections::HashSet;
+
+/// An assumption base. Insertion-ordered for display, hashed for lookup.
+#[derive(Clone, Debug, Default)]
+pub struct AssumptionBase {
+    order: Vec<Prop>,
+    set: HashSet<Prop>,
+}
+
+impl AssumptionBase {
+    /// An empty base.
+    pub fn new() -> Self {
+        AssumptionBase::default()
+    }
+
+    /// Build from asserted axioms.
+    pub fn from_axioms(axioms: impl IntoIterator<Item = Prop>) -> Self {
+        let mut ab = AssumptionBase::new();
+        for a in axioms {
+            ab.assert(a);
+        }
+        ab
+    }
+
+    /// Assert a proposition (axiom or proved theorem).
+    pub fn assert(&mut self, p: Prop) {
+        if self.set.insert(p.clone()) {
+            self.order.push(p);
+        }
+    }
+
+    /// Membership test — the `claim` primitive's justification.
+    pub fn holds(&self, p: &Prop) -> bool {
+        self.set.contains(p)
+    }
+
+    /// Number of propositions held.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterate in assertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Prop> {
+        self.order.iter()
+    }
+
+    /// A copy with one extra hypothesis (hypothetical reasoning).
+    pub fn with(&self, p: Prop) -> AssumptionBase {
+        let mut ab = self.clone();
+        ab.assert(p);
+        ab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{Prop, Term};
+
+    #[test]
+    fn assert_and_holds() {
+        let p = Prop::atom("lt", vec![Term::var("a"), Term::var("b")]);
+        let mut ab = AssumptionBase::new();
+        assert!(!ab.holds(&p));
+        ab.assert(p.clone());
+        assert!(ab.holds(&p));
+        assert_eq!(ab.len(), 1);
+        // Re-assertion is idempotent.
+        ab.assert(p.clone());
+        assert_eq!(ab.len(), 1);
+    }
+
+    #[test]
+    fn with_leaves_original_untouched() {
+        let p = Prop::falsum();
+        let ab = AssumptionBase::new();
+        let ab2 = ab.with(p.clone());
+        assert!(ab2.holds(&p));
+        assert!(!ab.holds(&p));
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let mut ab = AssumptionBase::new();
+        ab.assert(Prop::atom("p", vec![]));
+        ab.assert(Prop::atom("q", vec![]));
+        let names: Vec<String> = ab.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, vec!["p", "q"]);
+    }
+}

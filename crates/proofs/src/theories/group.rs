@@ -1,0 +1,157 @@
+//! The Group theory: the semantic content behind the `x + (-x) → 0`
+//! rewrite rule of Fig. 5.
+//!
+//! Abstract symbols: `op`, identity `e`, inverse function `inv`. Extends
+//! the monoid axioms.
+
+use super::{NamedTheorem, Theory};
+use crate::deduction::Ded;
+use crate::logic::{Prop, Term};
+use crate::theories::monoid::{ax_assoc, ax_left_id, ax_right_id, e, op};
+
+fn a() -> Term {
+    Term::var("a")
+}
+fn b() -> Term {
+    Term::var("b")
+}
+
+/// `inv(t)`.
+pub fn inv(t: Term) -> Term {
+    Term::app("inv", vec![t])
+}
+
+/// Left inverse: `∀a. op(inv(a), a) = e`.
+pub fn ax_left_inv() -> Prop {
+    Prop::forall(&["a"], Prop::Eq(op(inv(a()), a()), e()))
+}
+
+/// Right inverse: `∀a. op(a, inv(a)) = e` — the axiom justifying the
+/// `x + (-x) → 0` rewrite.
+pub fn ax_right_inv() -> Prop {
+    Prop::forall(&["a"], Prop::Eq(op(a(), inv(a())), e()))
+}
+
+/// The group axioms (monoid + inverses).
+pub fn axioms() -> Vec<Prop> {
+    vec![
+        ax_assoc(),
+        ax_left_id(),
+        ax_right_id(),
+        ax_left_inv(),
+        ax_right_inv(),
+    ]
+}
+
+/// Theorem: left cancellation through the inverse —
+/// `∀a b. op(inv(a), op(a, b)) = b`.
+///
+/// Proof: reassociate, rewrite `op(inv(a), a)` to `e` by congruence, and
+/// collapse the left identity.
+pub fn thm_left_cancellation() -> NamedTheorem {
+    // assoc at (inv(a), a, b): op(op(inv(a),a), b) = op(inv(a), op(a,b))
+    let assoc = Ded::instantiate_all(
+        Ded::Claim(ax_assoc()),
+        vec![inv(a()), a(), b()],
+    );
+    // Sym: op(inv(a), op(a,b)) = op(op(inv(a),a), b)
+    let step1 = Ded::Sym(Box::new(assoc));
+    // left-inv at a: op(inv(a), a) = e; congruence in context op(hole, b):
+    // op(op(inv(a),a), b) = op(e, b)
+    let linv = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_left_inv())),
+        term: a(),
+    };
+    let step2 = Ded::cong(
+        linv,
+        "hole",
+        op(Term::var("hole"), b()),
+        op(inv(a()), a()),
+    );
+    // left-id at b: op(e, b) = b
+    let step3 = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_left_id())),
+        term: b(),
+    };
+    let chain = Ded::Trans(
+        Box::new(Ded::Trans(Box::new(step1), Box::new(step2))),
+        Box::new(step3),
+    );
+    NamedTheorem {
+        name: "left-cancellation".to_string(),
+        statement: Prop::forall(
+            &["a", "b"],
+            Prop::Eq(op(inv(a()), op(a(), b())), b()),
+        ),
+        proof: Ded::generalize_all(&["a", "b"], chain),
+    }
+}
+
+/// Theorem: the identity is its own inverse — `inv(e) = e`.
+pub fn thm_identity_self_inverse() -> NamedTheorem {
+    // left-id at inv(e): op(e, inv(e)) = inv(e); Sym.
+    let lid = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_left_id())),
+        term: inv(e()),
+    };
+    // right-inv at e: op(e, inv(e)) = e.
+    let rinv = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_right_inv())),
+        term: e(),
+    };
+    NamedTheorem {
+        name: "identity-self-inverse".to_string(),
+        statement: Prop::Eq(inv(e()), e()),
+        proof: Ded::Trans(Box::new(Ded::Sym(Box::new(lid))), Box::new(rinv)),
+    }
+}
+
+/// The group theory with its theorems.
+pub fn theory() -> Theory {
+    Theory {
+        name: "Group".to_string(),
+        axioms: axioms(),
+        theorems: vec![thm_left_cancellation(), thm_identity_self_inverse()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::SymbolMap;
+
+    #[test]
+    fn group_theorems_check() {
+        let proved = theory().check().unwrap();
+        assert_eq!(
+            proved[0].to_string(),
+            "∀a. ∀b. op(inv(a), op(a, b)) = b"
+        );
+        assert_eq!(proved[1].to_string(), "inv(e) = e");
+    }
+
+    #[test]
+    fn fig5_group_instances_recheck() {
+        // (int, +, -, 0) and (rational, *, recip, 1).
+        let t = theory();
+        for (name, map) in [
+            (
+                "int-add",
+                SymbolMap::new([("op", "add"), ("e", "zero"), ("inv", "neg")]),
+            ),
+            (
+                "rat-mul",
+                SymbolMap::new([("op", "mul"), ("e", "one"), ("inv", "recip")]),
+            ),
+        ] {
+            assert!(t.instantiate(name, &map).check().is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn cancellation_fails_without_associativity() {
+        let mut t = theory();
+        t.axioms.retain(|ax| *ax != ax_assoc());
+        assert!(t.check().is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Generic theories: axioms packaged with machine-checked proofs that can
+//! be instantiated per model.
+//!
+//! This realizes the paper's organization strategy: "we package up sets of
+//! axioms into functions, pass them around … and we simulate
+//! type-parameterization simply by parameterizing functions and methods by
+//! functions that carry operator mappings." A [`Theory`] is checked once
+//! over abstract symbols; [`Theory::instantiate`] renames axioms *and
+//! proofs* onto a concrete model's symbols, and the renamed proofs re-check
+//! — "one can express a proof once and subsequently instantiate it many
+//! times", amortizing the proof effort over all instances.
+
+pub mod group;
+pub mod monoid;
+pub mod order;
+pub mod ring;
+
+use crate::base::AssumptionBase;
+use crate::deduction::{eval, Ded, ProofError};
+use crate::logic::{Prop, SymbolMap};
+
+/// A named theorem: a statement and the deduction that proves it.
+#[derive(Clone, Debug)]
+pub struct NamedTheorem {
+    /// Theorem name.
+    pub name: String,
+    /// The statement the proof must yield.
+    pub statement: Prop,
+    /// The checked proof.
+    pub proof: Ded,
+}
+
+/// A theory: axioms plus proved theorems.
+#[derive(Clone, Debug)]
+pub struct Theory {
+    /// Theory name.
+    pub name: String,
+    /// Asserted axioms.
+    pub axioms: Vec<Prop>,
+    /// Theorems proved from them (earlier theorems usable by later proofs).
+    pub theorems: Vec<NamedTheorem>,
+}
+
+/// A theorem's proof yielded a different proposition than its statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TheoryError {
+    /// Which theorem failed.
+    pub theorem: String,
+    /// The underlying failure.
+    pub error: TheoryErrorKind,
+}
+
+/// The ways a theory check fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TheoryErrorKind {
+    /// The deduction itself was improper.
+    Proof(ProofError),
+    /// The deduction proved something other than the stated theorem.
+    WrongStatement {
+        /// What it actually proved.
+        proved: String,
+        /// What was claimed.
+        stated: String,
+    },
+}
+
+impl Theory {
+    /// Check every theorem in order (each proved theorem joins the base for
+    /// the next). Returns the proved propositions.
+    pub fn check(&self) -> Result<Vec<Prop>, TheoryError> {
+        let mut ab = AssumptionBase::from_axioms(self.axioms.iter().cloned());
+        let mut proved = Vec::new();
+        for t in &self.theorems {
+            let p = eval(&t.proof, &ab).map_err(|e| TheoryError {
+                theorem: t.name.clone(),
+                error: TheoryErrorKind::Proof(e),
+            })?;
+            if p != t.statement {
+                return Err(TheoryError {
+                    theorem: t.name.clone(),
+                    error: TheoryErrorKind::WrongStatement {
+                        proved: p.to_string(),
+                        stated: t.statement.to_string(),
+                    },
+                });
+            }
+            ab.assert(p.clone());
+            proved.push(p);
+        }
+        Ok(proved)
+    }
+
+    /// Instantiate the theory onto concrete symbols: axioms, statements, and
+    /// proofs are all renamed. The result is checked like any other theory —
+    /// the language processor "must only do proof checking, not proof
+    /// search".
+    pub fn instantiate(&self, instance_name: &str, map: &SymbolMap) -> Theory {
+        Theory {
+            name: format!("{}[{instance_name}]", self.name),
+            axioms: self.axioms.iter().map(|a| a.rename(map)).collect(),
+            theorems: self
+                .theorems
+                .iter()
+                .map(|t| NamedTheorem {
+                    name: format!("{}@{instance_name}", t.name),
+                    statement: t.statement.rename(map),
+                    proof: t.proof.rename(map),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total number of deduction nodes across all proofs (proof-size
+    /// metric for the E8 amortization table).
+    pub fn proof_size(&self) -> usize {
+        fn size(d: &Ded) -> usize {
+            match d {
+                Ded::Claim(_) | Ded::Refl(_) => 1,
+                Ded::Assume { body, .. }
+                | Ded::ByContradiction { body, .. }
+                | Ded::Generalize { body, .. } => 1 + size(body),
+                Ded::Mp { imp, ant } => 1 + size(imp) + size(ant),
+                Ded::Mt { imp, neg } => 1 + size(imp) + size(neg),
+                Ded::AndIntro(a, b) | Ded::Trans(a, b) => 1 + size(a) + size(b),
+                Ded::AndElimL(d)
+                | Ded::AndElimR(d)
+                | Ded::IffElimF(d)
+                | Ded::IffElimB(d)
+                | Ded::DoubleNegElim(d)
+                | Ded::Sym(d) => 1 + size(d),
+                Ded::OrIntroL(d, _) | Ded::OrIntroR(_, d) => 1 + size(d),
+                Ded::Cases { disj, left, right } => 1 + size(disj) + size(left) + size(right),
+                Ded::IffIntro { forward, backward } => 1 + size(forward) + size(backward),
+                Ded::Absurd { pos, neg } => 1 + size(pos) + size(neg),
+                Ded::Instantiate { forall, .. } => 1 + size(forall),
+                Ded::ExIntro { proof, .. } => 1 + size(proof),
+                Ded::ExElim {
+                    existential, body, ..
+                } => 1 + size(existential) + size(body),
+                Ded::Subst { eq, proof, .. } => 1 + size(eq) + size(proof),
+                Ded::Seq(ds) => 1 + ds.iter().map(size).sum::<usize>(),
+            }
+        }
+        self.theorems.iter().map(|t| size(&t.proof)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::Term;
+
+    #[test]
+    fn theory_check_rejects_wrong_statement() {
+        let t = Theory {
+            name: "bogus".into(),
+            axioms: vec![Prop::atom("p", vec![])],
+            theorems: vec![NamedTheorem {
+                name: "lie".into(),
+                statement: Prop::atom("q", vec![]),
+                proof: Ded::Claim(Prop::atom("p", vec![])),
+            }],
+        };
+        let err = t.check().unwrap_err();
+        assert!(matches!(err.error, TheoryErrorKind::WrongStatement { .. }));
+    }
+
+    #[test]
+    fn later_theorems_may_use_earlier_ones() {
+        let p = Prop::atom("p", vec![]);
+        let q = Prop::atom("q", vec![]);
+        let t = Theory {
+            name: "chain".into(),
+            axioms: vec![p.clone(), Prop::implies(p.clone(), q.clone())],
+            theorems: vec![
+                NamedTheorem {
+                    name: "q".into(),
+                    statement: q.clone(),
+                    proof: Ded::mp(
+                        Ded::Claim(Prop::implies(p.clone(), q.clone())),
+                        Ded::Claim(p.clone()),
+                    ),
+                },
+                NamedTheorem {
+                    name: "p-and-q".into(),
+                    statement: Prop::and(p.clone(), q.clone()),
+                    // q is claimable only because the previous theorem was
+                    // asserted into the base.
+                    proof: Ded::AndIntro(
+                        Box::new(Ded::Claim(p.clone())),
+                        Box::new(Ded::Claim(q.clone())),
+                    ),
+                },
+            ],
+        };
+        assert_eq!(t.check().unwrap().len(), 2);
+        assert!(t.proof_size() >= 5);
+    }
+
+    #[test]
+    fn instantiation_renames_axioms_and_proofs_consistently() {
+        let t = Theory {
+            name: "tiny".into(),
+            axioms: vec![Prop::Eq(Term::cst("e"), Term::cst("e"))],
+            theorems: vec![NamedTheorem {
+                name: "sym".into(),
+                statement: Prop::Eq(Term::cst("e"), Term::cst("e")),
+                proof: Ded::Sym(Box::new(Ded::Claim(Prop::Eq(
+                    Term::cst("e"),
+                    Term::cst("e"),
+                )))),
+            }],
+        };
+        let inst = t.instantiate("ints", &SymbolMap::new([("e", "zero")]));
+        assert!(inst.check().is_ok());
+        assert!(inst.axioms[0].to_string().contains("zero"));
+        assert_eq!(inst.name, "tiny[ints]");
+    }
+}

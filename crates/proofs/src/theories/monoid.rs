@@ -1,0 +1,175 @@
+//! The Monoid theory: the semantic content behind the `x + 0 → x` rewrite
+//! rule of Fig. 5 ("the concept-based rules are directly related to and
+//! derivable from the axioms governing the Monoid and Group concepts").
+//!
+//! Abstract symbols: binary function `op`, identity constant `e`.
+
+use super::{NamedTheorem, Theory};
+use crate::deduction::Ded;
+use crate::logic::{Prop, Term};
+
+fn x() -> Term {
+    Term::var("x")
+}
+fn y() -> Term {
+    Term::var("y")
+}
+fn z() -> Term {
+    Term::var("z")
+}
+
+/// `op(a, b)`.
+pub fn op(a: Term, b: Term) -> Term {
+    Term::app("op", vec![a, b])
+}
+
+/// The identity constant `e`.
+pub fn e() -> Term {
+    Term::cst("e")
+}
+
+/// Associativity: `∀x y z. op(op(x,y),z) = op(x,op(y,z))`.
+pub fn ax_assoc() -> Prop {
+    Prop::forall(
+        &["x", "y", "z"],
+        Prop::Eq(op(op(x(), y()), z()), op(x(), op(y(), z()))),
+    )
+}
+
+/// Left identity: `∀x. op(e, x) = x`.
+pub fn ax_left_id() -> Prop {
+    Prop::forall(&["x"], Prop::Eq(op(e(), x()), x()))
+}
+
+/// Right identity: `∀x. op(x, e) = x` — the axiom that *justifies* the
+/// `x + 0 → x` rewrite.
+pub fn ax_right_id() -> Prop {
+    Prop::forall(&["x"], Prop::Eq(op(x(), e()), x()))
+}
+
+/// The monoid axioms.
+pub fn axioms() -> Vec<Prop> {
+    vec![ax_assoc(), ax_left_id(), ax_right_id()]
+}
+
+/// Theorem: stacked identities collapse — `∀x. op(op(x,e),e) = x`.
+/// (The soundness of applying the rewrite rule repeatedly.)
+pub fn thm_double_right_identity() -> NamedTheorem {
+    // op(op(x,e),e) = op(x,e)   [right-id at op(x,e)]
+    let outer = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_right_id())),
+        term: op(x(), e()),
+    };
+    // op(x,e) = x               [right-id at x]
+    let inner = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_right_id())),
+        term: x(),
+    };
+    NamedTheorem {
+        name: "double-right-identity".to_string(),
+        statement: Prop::forall(&["x"], Prop::Eq(op(op(x(), e()), e()), x())),
+        proof: Ded::Generalize {
+            var: "x".to_string(),
+            body: Box::new(Ded::Trans(Box::new(outer), Box::new(inner))),
+        },
+    }
+}
+
+/// Theorem: the identity is unique. Stated over a second constant `e2`
+/// assumed (as extra axioms) to be a two-sided identity; conclusion
+/// `e2 = e`.
+pub fn identity_uniqueness_theory() -> Theory {
+    let e2 = Term::cst("e2");
+    let ax_e2_right = Prop::forall(&["x"], Prop::Eq(op(x(), e2.clone()), x()));
+    let ax_e2_left = Prop::forall(&["x"], Prop::Eq(op(e2.clone(), x()), x()));
+
+    // op(e, e2) = e2   [left identity of e, at x := e2]
+    let via_e = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_left_id())),
+        term: e2.clone(),
+    };
+    // op(e, e2) = e    [right identity of e2, at x := e]
+    let via_e2 = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_e2_right.clone())),
+        term: e(),
+    };
+    // e2 = op(e, e2) = e
+    let proof = Ded::Trans(Box::new(Ded::Sym(Box::new(via_e))), Box::new(via_e2));
+
+    let mut axs = axioms();
+    axs.push(ax_e2_right);
+    axs.push(ax_e2_left);
+    Theory {
+        name: "Monoid+SecondIdentity".to_string(),
+        axioms: axs,
+        theorems: vec![NamedTheorem {
+            name: "identity-uniqueness".to_string(),
+            statement: Prop::Eq(e2, e()),
+            proof,
+        }],
+    }
+}
+
+/// The monoid theory with its theorems.
+pub fn theory() -> Theory {
+    Theory {
+        name: "Monoid".to_string(),
+        axioms: axioms(),
+        theorems: vec![thm_double_right_identity()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::SymbolMap;
+
+    #[test]
+    fn monoid_theorems_check() {
+        assert!(theory().check().is_ok());
+    }
+
+    #[test]
+    fn identity_uniqueness_checks() {
+        let t = identity_uniqueness_theory();
+        let proved = t.check().unwrap();
+        assert_eq!(proved[0].to_string(), "e2 = e");
+    }
+
+    #[test]
+    fn instantiations_cover_fig5_monoids() {
+        // One generic proof; instances for (int,+,0), (float,*,1),
+        // (string,concat,"").
+        let t = theory();
+        for (name, map) in [
+            ("int-add", SymbolMap::new([("op", "add"), ("e", "zero")])),
+            ("float-mul", SymbolMap::new([("op", "mul"), ("e", "one")])),
+            (
+                "string-concat",
+                SymbolMap::new([("op", "concat"), ("e", "empty")]),
+            ),
+        ] {
+            let inst = t.instantiate(name, &map);
+            assert!(inst.check().is_ok(), "{name} failed");
+        }
+    }
+
+    #[test]
+    fn wrong_axiom_instantiation_fails_check() {
+        // Renaming the proof but not the axioms must fail: checking is real.
+        let t = theory();
+        let map = SymbolMap::new([("op", "add"), ("e", "zero")]);
+        let mut broken = t.clone();
+        broken.theorems = t
+            .theorems
+            .iter()
+            .map(|th| super::super::NamedTheorem {
+                name: th.name.clone(),
+                statement: th.statement.rename(&map),
+                proof: th.proof.rename(&map),
+            })
+            .collect();
+        // axioms still abstract (`op`, `e`): claims of renamed axioms fail.
+        assert!(broken.check().is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! The Strict Weak Order theory (paper Fig. 6), with the machine-checked
+//! derivations the paper calls for: "From these axioms two additional
+//! properties of E, symmetry and reflexivity, can be derived as theorems,
+//! showing that E is in fact an equivalence relation."
+//!
+//! Abstract symbols: relation `lt` (the order) and relation `eqv` (the
+//! induced equivalence `E`). Instantiate with [`super::Theory::instantiate`]
+//! — e.g. `lt ↦ int_lt` for `(i32, <)`, `lt ↦ ci_lt` for case-insensitive
+//! string comparison — to amortize the proofs over every model of the
+//! concept.
+
+use super::{NamedTheorem, Theory};
+use crate::deduction::Ded;
+use crate::logic::{Prop, Term};
+
+fn a() -> Term {
+    Term::var("a")
+}
+fn b() -> Term {
+    Term::var("b")
+}
+fn c() -> Term {
+    Term::var("c")
+}
+// Axiom binders use x/y/z so that instantiating at the proof variables
+// a/b (in any order, e.g. the swapped (b, a) instance in the symmetry
+// proof) never captures.
+fn x() -> Term {
+    Term::var("x")
+}
+fn y() -> Term {
+    Term::var("y")
+}
+fn z() -> Term {
+    Term::var("z")
+}
+
+/// `lt(x, y)` — the strict comparison.
+pub fn lt(x: Term, y: Term) -> Prop {
+    Prop::atom("lt", vec![x, y])
+}
+
+/// `eqv(x, y)` — the induced equivalence `E`.
+pub fn eqv(x: Term, y: Term) -> Prop {
+    Prop::atom("eqv", vec![x, y])
+}
+
+/// Axiom 1 (Fig. 6): irreflexivity — `∀a. ¬lt(a, a)`.
+pub fn ax_irreflexivity() -> Prop {
+    Prop::forall(&["x"], Prop::not(lt(x(), x())))
+}
+
+/// Axiom 2 (Fig. 6): transitivity — `∀a b c. lt(a,b) ∧ lt(b,c) → lt(a,c)`.
+pub fn ax_transitivity() -> Prop {
+    Prop::forall(
+        &["x", "y", "z"],
+        Prop::implies(Prop::and(lt(x(), y()), lt(y(), z())), lt(x(), z())),
+    )
+}
+
+/// Definition of the induced equivalence:
+/// `∀a b. eqv(a,b) ↔ ¬lt(a,b) ∧ ¬lt(b,a)`.
+pub fn ax_eqv_definition() -> Prop {
+    Prop::forall(
+        &["x", "y"],
+        Prop::iff(
+            eqv(x(), y()),
+            Prop::and(Prop::not(lt(x(), y())), Prop::not(lt(y(), x()))),
+        ),
+    )
+}
+
+/// Axiom 3 (Fig. 6): transitivity of the equivalence —
+/// `∀a b c. eqv(a,b) ∧ eqv(b,c) → eqv(a,c)`.
+pub fn ax_eqv_transitivity() -> Prop {
+    Prop::forall(
+        &["x", "y", "z"],
+        Prop::implies(Prop::and(eqv(x(), y()), eqv(y(), z())), eqv(x(), z())),
+    )
+}
+
+/// The four asserted propositions of the theory.
+pub fn axioms() -> Vec<Prop> {
+    vec![
+        ax_irreflexivity(),
+        ax_transitivity(),
+        ax_eqv_definition(),
+        ax_eqv_transitivity(),
+    ]
+}
+
+/// **Derived theorem** (Fig. 6): reflexivity of `E` — `∀a. eqv(a, a)`.
+///
+/// Proof: fix `a`. Irreflexivity gives `¬lt(a,a)`; conjoin it with itself;
+/// the definition of `E` at `(a, a)` (right-to-left) yields `eqv(a,a)`.
+pub fn thm_eqv_reflexivity() -> NamedTheorem {
+    let not_ltaa = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_irreflexivity())),
+        term: a(),
+    };
+    let def_aa = Ded::instantiate_all(Ded::Claim(ax_eqv_definition()), vec![a(), a()]);
+    let proof = Ded::Generalize {
+        var: "a".to_string(),
+        body: Box::new(Ded::mp(
+            Ded::IffElimB(Box::new(def_aa)),
+            Ded::AndIntro(Box::new(not_ltaa.clone()), Box::new(not_ltaa)),
+        )),
+    };
+    NamedTheorem {
+        name: "eqv-reflexivity".to_string(),
+        statement: Prop::forall(&["a"], eqv(a(), a())),
+        proof,
+    }
+}
+
+/// **Derived theorem** (Fig. 6): symmetry of `E` —
+/// `∀a b. eqv(a,b) → eqv(b,a)`.
+///
+/// Proof: fix `a, b`; assume `eqv(a,b)`; unfold the definition to get the
+/// conjunction, swap its conjuncts, and fold the definition at `(b, a)`.
+pub fn thm_eqv_symmetry() -> NamedTheorem {
+    let def_ab = Ded::instantiate_all(Ded::Claim(ax_eqv_definition()), vec![a(), b()]);
+    let def_ba = Ded::instantiate_all(Ded::Claim(ax_eqv_definition()), vec![b(), a()]);
+    let conj = Ded::mp(Ded::IffElimF(Box::new(def_ab)), Ded::Claim(eqv(a(), b())));
+    let swapped = Ded::AndIntro(
+        Box::new(Ded::AndElimR(Box::new(conj.clone()))),
+        Box::new(Ded::AndElimL(Box::new(conj))),
+    );
+    let body = Ded::assume(
+        eqv(a(), b()),
+        Ded::mp(Ded::IffElimB(Box::new(def_ba)), swapped),
+    );
+    NamedTheorem {
+        name: "eqv-symmetry".to_string(),
+        statement: Prop::forall(
+            &["a", "b"],
+            Prop::implies(eqv(a(), b()), eqv(b(), a())),
+        ),
+        proof: Ded::generalize_all(&["a", "b"], body),
+    }
+}
+
+/// Bonus theorem: asymmetry of the order —
+/// `∀a b. lt(a,b) → ¬lt(b,a)` (derivable from irreflexivity and
+/// transitivity; the paper notes asymmetry follows from the SWO axioms).
+pub fn thm_asymmetry() -> NamedTheorem {
+    // Under hypotheses lt(a,b) and lt(b,a), transitivity at (a,b,a) gives
+    // lt(a,a), contradicting irreflexivity.
+    let trans_aba = Ded::instantiate_all(Ded::Claim(ax_transitivity()), vec![a(), b(), a()]);
+    let lt_aa = Ded::mp(
+        trans_aba,
+        Ded::AndIntro(
+            Box::new(Ded::Claim(lt(a(), b()))),
+            Box::new(Ded::Claim(lt(b(), a()))),
+        ),
+    );
+    let not_lt_aa = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_irreflexivity())),
+        term: a(),
+    };
+    let refute = Ded::ByContradiction {
+        hypothesis: lt(b(), a()),
+        body: Box::new(Ded::Absurd {
+            pos: Box::new(lt_aa),
+            neg: Box::new(not_lt_aa),
+        }),
+    };
+    let body = Ded::assume(lt(a(), b()), refute);
+    NamedTheorem {
+        name: "lt-asymmetry".to_string(),
+        statement: Prop::forall(
+            &["a", "b"],
+            Prop::implies(lt(a(), b()), Prop::not(lt(b(), a()))),
+        ),
+        proof: Ded::generalize_all(&["a", "b"], body),
+    }
+}
+
+/// Bonus theorem: equivalent elements are not ordered —
+/// `∀a b. eqv(a,b) → ¬lt(a,b)` (the property `binary_search` relies on when
+/// it tests `!(value < *pos)`).
+pub fn thm_eqv_not_lt() -> NamedTheorem {
+    let def_ab = Ded::instantiate_all(Ded::Claim(ax_eqv_definition()), vec![a(), b()]);
+    let conj = Ded::mp(Ded::IffElimF(Box::new(def_ab)), Ded::Claim(eqv(a(), b())));
+    let body = Ded::assume(eqv(a(), b()), Ded::AndElimL(Box::new(conj)));
+    NamedTheorem {
+        name: "eqv-not-lt".to_string(),
+        statement: Prop::forall(
+            &["a", "b"],
+            Prop::implies(eqv(a(), b()), Prop::not(lt(a(), b()))),
+        ),
+        proof: Ded::generalize_all(&["a", "b"], body),
+    }
+}
+
+/// **Derived theorem**: equivalent elements are interchangeable on the
+/// right of `lt` — `∀x y z. lt(x,z) ∧ eqv(y,z) → lt(x,y)`.
+///
+/// This is the substitutivity property `binary_search` correctness rests
+/// on (equivalent keys behave identically under comparison), and the paper
+/// notes it is exactly what the SWO axioms must supply. The proof is the
+/// most intricate in the theory: a double proof-by-contradiction.
+///
+/// Sketch: assume `lt(x,z) ∧ eqv(y,z)` and (towards `lt(x,y)`) suppose
+/// `¬lt(x,y)`. First refute `lt(y,x)` (it would give `lt(y,z)` by
+/// transitivity, contradicting `eqv(y,z)`). With `¬lt(x,y)` and `¬lt(y,x)`
+/// we get `eqv(x,y)`; by transitivity of `eqv`, `eqv(x,z)` — whose
+/// definition yields `¬lt(x,z)`, contradicting the assumption. Hence
+/// `¬¬lt(x,y)`, and classically `lt(x,y)`.
+pub fn thm_eqv_substitutive() -> NamedTheorem {
+    let hyp = Prop::and(lt(a(), c()), eqv(b(), c()));
+    let not_lt_yz = Prop::not(lt(b(), c()));
+    let not_lt_zy = Prop::not(lt(c(), b()));
+    let yz_conj = Prop::and(not_lt_yz.clone(), not_lt_zy);
+
+    // Inner refutation: under ¬lt(x,y), suppose lt(y,x) → ⊥.
+    let refute_lt_yx = Ded::ByContradiction {
+        hypothesis: lt(b(), a()),
+        body: Box::new(Ded::Absurd {
+            // lt(y,x) ∧ lt(x,z) → lt(y,z) by transitivity at (y,x,z).
+            pos: Box::new(Ded::mp(
+                Ded::instantiate_all(Ded::Claim(ax_transitivity()), vec![b(), a(), c()]),
+                Ded::AndIntro(
+                    Box::new(Ded::Claim(lt(b(), a()))),
+                    Box::new(Ded::Claim(lt(a(), c()))),
+                ),
+            )),
+            neg: Box::new(Ded::Claim(not_lt_yz.clone())),
+        }),
+    };
+
+    // Outer refutation: suppose ¬lt(x,y) → ⊥.
+    let outer_body = Ded::Seq(vec![
+        // ¬lt(y,x), via the inner refutation.
+        refute_lt_yx,
+        // eqv(x,y) from ¬lt(x,y) ∧ ¬lt(y,x) (definition, right-to-left).
+        Ded::mp(
+            Ded::IffElimB(Box::new(Ded::instantiate_all(
+                Ded::Claim(ax_eqv_definition()),
+                vec![a(), b()],
+            ))),
+            Ded::AndIntro(
+                Box::new(Ded::Claim(Prop::not(lt(a(), b())))),
+                Box::new(Ded::Claim(Prop::not(lt(b(), a())))),
+            ),
+        ),
+        // eqv(x,z) by transitivity of eqv at (x,y,z).
+        Ded::mp(
+            Ded::instantiate_all(Ded::Claim(ax_eqv_transitivity()), vec![a(), b(), c()]),
+            Ded::AndIntro(
+                Box::new(Ded::Claim(eqv(a(), b()))),
+                Box::new(Ded::Claim(eqv(b(), c()))),
+            ),
+        ),
+        // ¬lt(x,z) ∧ ¬lt(z,x) by the definition at (x,z).
+        Ded::mp(
+            Ded::IffElimF(Box::new(Ded::instantiate_all(
+                Ded::Claim(ax_eqv_definition()),
+                vec![a(), c()],
+            ))),
+            Ded::Claim(eqv(a(), c())),
+        ),
+        // Contradiction with the assumed lt(x,z).
+        Ded::Absurd {
+            pos: Box::new(Ded::Claim(lt(a(), c()))),
+            neg: Box::new(Ded::AndElimL(Box::new(Ded::Claim(Prop::and(
+                Prop::not(lt(a(), c())),
+                Prop::not(lt(c(), a())),
+            ))))),
+        },
+    ]);
+
+    let derive = Ded::Seq(vec![
+        // Unpack the hypothesis into the assumption base.
+        Ded::AndElimL(Box::new(Ded::Claim(hyp.clone()))), // lt(x,z)
+        Ded::AndElimR(Box::new(Ded::Claim(hyp.clone()))), // eqv(y,z)
+        // Unfold eqv(y,z) and keep ¬lt(y,z) at hand.
+        Ded::mp(
+            Ded::IffElimF(Box::new(Ded::instantiate_all(
+                Ded::Claim(ax_eqv_definition()),
+                vec![b(), c()],
+            ))),
+            Ded::Claim(eqv(b(), c())),
+        ),
+        Ded::AndElimL(Box::new(Ded::Claim(yz_conj))), // ¬lt(y,z)
+        // Classical finish: ¬¬lt(x,y) ⇒ lt(x,y).
+        Ded::DoubleNegElim(Box::new(Ded::ByContradiction {
+            hypothesis: Prop::not(lt(a(), b())),
+            body: Box::new(outer_body),
+        })),
+    ]);
+
+    NamedTheorem {
+        name: "eqv-substitutive".to_string(),
+        statement: Prop::forall(
+            &["a", "b", "c"],
+            Prop::implies(hyp, lt(a(), b())),
+        ),
+        proof: Ded::generalize_all(&["a", "b", "c"], Ded::assume(
+            Prop::and(lt(a(), c()), eqv(b(), c())),
+            derive,
+        )),
+    }
+}
+
+/// The complete Strict Weak Order theory with its derived theorems.
+pub fn theory() -> Theory {
+    Theory {
+        name: "StrictWeakOrder".to_string(),
+        axioms: axioms(),
+        theorems: vec![
+            thm_eqv_reflexivity(),
+            thm_eqv_symmetry(),
+            thm_asymmetry(),
+            thm_eqv_not_lt(),
+            thm_eqv_substitutive(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::SymbolMap;
+
+    #[test]
+    fn fig6_derived_theorems_check() {
+        let t = theory();
+        let proved = t.check().expect("all SWO proofs must check");
+        assert_eq!(proved.len(), 5);
+        assert_eq!(proved[0].to_string(), "∀a. eqv(a, a)");
+        assert_eq!(
+            proved[1].to_string(),
+            "∀a. ∀b. (eqv(a, b) → eqv(b, a))"
+        );
+    }
+
+    #[test]
+    fn proofs_are_genuinely_checked_not_rubber_stamped() {
+        // Sabotage: claim symmetry's statement with reflexivity's proof.
+        let mut t = theory();
+        let refl_proof = t.theorems[0].proof.clone();
+        t.theorems[1].proof = refl_proof;
+        let err = t.check().unwrap_err();
+        assert_eq!(err.theorem, "eqv-symmetry");
+    }
+
+    #[test]
+    fn dropping_an_axiom_breaks_the_proofs() {
+        let mut t = theory();
+        t.axioms.retain(|ax| *ax != ax_irreflexivity());
+        assert!(t.check().is_err(), "reflexivity depends on irreflexivity");
+    }
+
+    #[test]
+    fn instantiation_to_integer_less_than_checks() {
+        // The generic proof instantiated for (int, <): lt ↦ int_lt,
+        // eqv ↦ int_eqv. One proof, many models.
+        let t = theory();
+        let map = SymbolMap::new([("lt", "int_lt"), ("eqv", "int_eqv")]);
+        let inst = t.instantiate("i32", &map);
+        let proved = inst.check().expect("instantiated proofs re-check");
+        assert_eq!(proved[0].to_string(), "∀a. int_eqv(a, a)");
+    }
+
+    #[test]
+    fn instantiation_to_case_insensitive_strings_checks() {
+        let t = theory();
+        let map = SymbolMap::new([("lt", "ci_lt"), ("eqv", "ci_eqv")]);
+        assert!(t.instantiate("case-insensitive", &map).check().is_ok());
+    }
+
+    #[test]
+    fn many_instances_amortize_one_proof() {
+        // The §3.3 amortization claim in miniature: k instantiations of the
+        // same checked proofs, no proof rewritten.
+        let t = theory();
+        let base_size = t.proof_size();
+        for i in 0..10 {
+            let map = SymbolMap::new([
+                ("lt", format!("lt_{i}")),
+                ("eqv", format!("eqv_{i}")),
+            ]);
+            let inst = t.instantiate(&format!("model-{i}"), &map);
+            assert!(inst.check().is_ok());
+            assert_eq!(inst.proof_size(), base_size); // same proof, renamed
+        }
+    }
+
+    #[test]
+    fn substitutivity_statement_and_dependencies() {
+        let t = theory();
+        let proved = t.check().unwrap();
+        assert_eq!(
+            proved[4].to_string(),
+            "∀a. ∀b. ∀c. ((lt(a, c) ∧ eqv(b, c)) → lt(a, b))"
+        );
+        // It genuinely needs the transitivity-of-equivalence axiom.
+        let mut broken = theory();
+        broken.axioms.retain(|ax| *ax != ax_eqv_transitivity());
+        assert!(broken.check().is_err());
+        // And the executable side agrees on a concrete weak order.
+        use gp_core::order::{ByKey, StrictWeakOrder};
+        let ord = ByKey(|p: &(i32, i32)| p.0);
+        let samples: Vec<(i32, i32)> = (0..6).flat_map(|k| [(k, 0), (k, 1)]).collect();
+        for a in &samples {
+            for b in &samples {
+                for c in &samples {
+                    if ord.less(a, c) && ord.equiv(b, c) {
+                        assert!(ord.less(a, b), "substitutivity violated");
+                    }
+                }
+            }
+        }
+    }
+}

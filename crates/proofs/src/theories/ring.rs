@@ -1,0 +1,269 @@
+//! The Ring theory, culminating in the **annihilation theorem**
+//! `∀a. 0·a = 0` — the formal justification for the optimizer's
+//! `x * 0 → 0` Annihilator rule, closing the paper's loop between §3.2
+//! ("rules … derivable from the axioms") and §3.3 (checking the
+//! derivations).
+//!
+//! Abstract symbols: `add`, `mul`, constants `zero`, `one`, additive
+//! inverse `neg`.
+
+use super::{NamedTheorem, Theory};
+use crate::deduction::Ded;
+use crate::logic::{Prop, Term};
+
+fn a() -> Term {
+    Term::var("a")
+}
+fn x() -> Term {
+    Term::var("x")
+}
+fn y() -> Term {
+    Term::var("y")
+}
+fn z() -> Term {
+    Term::var("z")
+}
+
+/// `add(s, t)`.
+pub fn add(s: Term, t: Term) -> Term {
+    Term::app("add", vec![s, t])
+}
+
+/// `mul(s, t)`.
+pub fn mul(s: Term, t: Term) -> Term {
+    Term::app("mul", vec![s, t])
+}
+
+/// `neg(t)`.
+pub fn neg(t: Term) -> Term {
+    Term::app("neg", vec![t])
+}
+
+/// The additive identity constant.
+pub fn zero() -> Term {
+    Term::cst("zero")
+}
+
+/// The multiplicative identity constant.
+pub fn one() -> Term {
+    Term::cst("one")
+}
+
+/// Additive associativity.
+pub fn ax_add_assoc() -> Prop {
+    Prop::forall(
+        &["x", "y", "z"],
+        Prop::Eq(add(add(x(), y()), z()), add(x(), add(y(), z()))),
+    )
+}
+
+/// Additive left identity.
+pub fn ax_add_left_id() -> Prop {
+    Prop::forall(&["x"], Prop::Eq(add(zero(), x()), x()))
+}
+
+/// Additive right identity.
+pub fn ax_add_right_id() -> Prop {
+    Prop::forall(&["x"], Prop::Eq(add(x(), zero()), x()))
+}
+
+/// Additive left inverse.
+pub fn ax_add_left_inv() -> Prop {
+    Prop::forall(&["x"], Prop::Eq(add(neg(x()), x()), zero()))
+}
+
+/// Multiplicative left identity.
+pub fn ax_mul_left_id() -> Prop {
+    Prop::forall(&["x"], Prop::Eq(mul(one(), x()), x()))
+}
+
+/// Right distributivity: `(x + y)·z = x·z + y·z`.
+pub fn ax_right_distrib() -> Prop {
+    Prop::forall(
+        &["x", "y", "z"],
+        Prop::Eq(mul(add(x(), y()), z()), add(mul(x(), z()), mul(y(), z()))),
+    )
+}
+
+/// The ring axioms used by the annihilation proof.
+pub fn axioms() -> Vec<Prop> {
+    vec![
+        ax_add_assoc(),
+        ax_add_left_id(),
+        ax_add_right_id(),
+        ax_add_left_inv(),
+        ax_mul_left_id(),
+        ax_right_distrib(),
+    ]
+}
+
+/// Helper lemma (proved first, then used by name): additive left
+/// cancellation in the functional form
+/// `∀a b. add(neg(a), add(a, b)) = b`.
+pub fn thm_add_left_cancel() -> NamedTheorem {
+    let b = || Term::var("b");
+    // assoc at (neg(a), a, b), reversed.
+    let assoc = Ded::instantiate_all(Ded::Claim(ax_add_assoc()), vec![neg(a()), a(), b()]);
+    let step1 = Ded::Sym(Box::new(assoc));
+    // left-inv at a, congruence in context add(hole, b).
+    let linv = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_add_left_inv())),
+        term: a(),
+    };
+    let step2 = Ded::cong(linv, "hole", add(Term::var("hole"), b()), add(neg(a()), a()));
+    // left-id at b.
+    let step3 = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_add_left_id())),
+        term: b(),
+    };
+    let chain = Ded::Trans(
+        Box::new(Ded::Trans(Box::new(step1), Box::new(step2))),
+        Box::new(step3),
+    );
+    NamedTheorem {
+        name: "add-left-cancel".to_string(),
+        statement: Prop::forall(&["a", "b"], Prop::Eq(add(neg(a()), add(a(), b())), b())),
+        proof: Ded::generalize_all(&["a", "b"], chain),
+    }
+}
+
+/// **Annihilation**: `∀a. mul(zero, a) = zero`.
+///
+/// Proof sketch (each step a checked equation):
+/// 1. `0·a = (0+0)·a`             (congruence on `0 = 0+0`)
+/// 2. `(0+0)·a = 0·a + 0·a`       (right distributivity), so
+///    `0·a = 0·a + 0·a`           (transitivity)
+/// 3. add `neg(0·a)` on the left of both sides by congruence:
+///    `neg(0·a) + 0·a = neg(0·a) + (0·a + 0·a)`
+/// 4. the left side is `0` (left inverse); the right side is `0·a`
+///    (cancellation lemma) — chaining gives `0 = 0·a`, then flip.
+pub fn thm_zero_annihilates() -> NamedTheorem {
+    let za = || mul(zero(), a());
+
+    // (1) 0 = 0 + 0 : symmetric right-identity instance at 0.
+    let zero_split = Ded::Sym(Box::new(Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_add_right_id())),
+        term: zero(),
+    }));
+    // (1') congruence in context mul(hole, a): 0·a = (0+0)·a.
+    let step1 = Ded::cong(zero_split, "hole", mul(Term::var("hole"), a()), zero());
+    // (2) distributivity at (0, 0, a): (0+0)·a = 0·a + 0·a.
+    let step2 = Ded::instantiate_all(
+        Ded::Claim(ax_right_distrib()),
+        vec![zero(), zero(), a()],
+    );
+    // 0·a = 0·a + 0·a.
+    let doubled = Ded::Trans(Box::new(step1), Box::new(step2));
+
+    // (3) congruence in context add(neg(0·a), hole):
+    //     neg(0·a) + 0·a = neg(0·a) + (0·a + 0·a).
+    let step3 = Ded::cong(doubled, "hole", add(neg(za()), Term::var("hole")), za());
+
+    // (4a) LHS: neg(0·a) + 0·a = 0 (left inverse at 0·a).
+    let lhs_zero = Ded::Instantiate {
+        forall: Box::new(Ded::Claim(ax_add_left_inv())),
+        term: za(),
+    };
+    // (4b) RHS: neg(0·a) + (0·a + 0·a) = 0·a (left cancel at (0·a, 0·a)).
+    let rhs_cancel = Ded::instantiate_all(
+        Ded::Claim(thm_add_left_cancel().statement),
+        vec![za(), za()],
+    );
+
+    // Chain: 0 = LHS = RHS = 0·a, then flip.
+    let chain = Ded::Trans(
+        Box::new(Ded::Trans(Box::new(Ded::Sym(Box::new(lhs_zero))), Box::new(step3))),
+        Box::new(rhs_cancel),
+    );
+    NamedTheorem {
+        name: "zero-annihilates".to_string(),
+        statement: Prop::forall(&["a"], Prop::Eq(mul(zero(), a()), zero())),
+        proof: Ded::Generalize {
+            var: "a".to_string(),
+            body: Box::new(Ded::Sym(Box::new(chain))),
+        },
+    }
+}
+
+/// The ring theory: cancellation lemma first, annihilation second (the
+/// second proof *claims* the first's statement from the assumption base —
+/// theorems compose).
+pub fn theory() -> Theory {
+    Theory {
+        name: "Ring".to_string(),
+        axioms: axioms(),
+        theorems: vec![thm_add_left_cancel(), thm_zero_annihilates()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::SymbolMap;
+
+    #[test]
+    fn annihilation_checks() {
+        let proved = theory().check().expect("ring proofs check");
+        assert_eq!(proved[1].to_string(), "∀a. mul(zero, a) = zero");
+    }
+
+    #[test]
+    fn annihilation_depends_on_the_cancellation_lemma() {
+        // Removing the lemma breaks the annihilation proof: the claim of
+        // its statement no longer resolves.
+        let mut t = theory();
+        t.theorems.remove(0);
+        assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn annihilation_requires_distributivity() {
+        let mut t = theory();
+        t.axioms.retain(|ax| *ax != ax_right_distrib());
+        assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn instantiates_to_integer_and_matrix_rings() {
+        // One proof; instances justify `i * 0 → 0` and `A · 0 → 0`.
+        let t = theory();
+        for (name, map) in [
+            (
+                "i64",
+                SymbolMap::new([
+                    ("add", "int_add"),
+                    ("mul", "int_mul"),
+                    ("neg", "int_neg"),
+                    ("zero", "int_zero"),
+                    ("one", "int_one"),
+                ]),
+            ),
+            (
+                "matrix",
+                SymbolMap::new([
+                    ("add", "mat_add"),
+                    ("mul", "mat_mul"),
+                    ("neg", "mat_neg"),
+                    ("zero", "mat_zero"),
+                    ("one", "mat_id"),
+                ]),
+            ),
+        ] {
+            assert!(t.instantiate(name, &map).check().is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::erasing_op)] // 0·a == 0 is exactly the theorem under test
+    fn executable_counterpart_on_the_numeric_substrate() {
+        // The theorem's instances hold concretely: 0·a == 0 for i64 and
+        // the rational field (the same models the rewrite rule fires on).
+        use gp_core::numeric::Rational;
+        for a in [-5i64, 0, 7, 123456] {
+            assert_eq!(0 * a, 0);
+        }
+        for a in [Rational::new(3, 7), Rational::from_int(-2)] {
+            assert_eq!(Rational::from_int(0) * a, Rational::from_int(0));
+        }
+    }
+}

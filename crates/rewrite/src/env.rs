@@ -1,0 +1,239 @@
+//! The concept environment: which `(type, operation)` pairs model which
+//! algebraic concepts, with their identity and annihilator elements.
+//!
+//! This is the compiler-side view of the registry: rewrite rules consult it
+//! instead of hard-coding types, which is precisely what turns ten
+//! type-specific rewrites into two concept-based ones (Fig. 5). Adding a
+//! new data type means *declaring its models here* — after which "optimiza-
+//! tion via concept-based rewrite rules comes essentially for free".
+
+use crate::expr::{BinOp, Type, UnOp, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Algebraic concepts the rewriter distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgConcept {
+    /// Associative operation.
+    Semigroup,
+    /// Semigroup with two-sided identity.
+    Monoid,
+    /// Monoid with inverses.
+    Group,
+    /// Operation is commutative.
+    Commutative,
+    /// `x op x == x`.
+    Idempotent,
+}
+
+/// The concept environment for one compilation.
+#[derive(Clone, Debug, Default)]
+pub struct ConceptEnv {
+    models: HashSet<(Type, BinOp, AlgConcept)>,
+    identities: HashMap<(Type, BinOp), Value>,
+    annihilators: HashMap<(Type, BinOp), Value>,
+    inverse_ops: HashMap<(Type, BinOp), UnOp>,
+}
+
+impl ConceptEnv {
+    /// An empty environment (no models — no rewrites fire).
+    pub fn empty() -> Self {
+        ConceptEnv::default()
+    }
+
+    /// Declare that `(ty, op)` models `concept`. Declaring `Monoid` or
+    /// `Group` implies the weaker concepts.
+    pub fn declare(&mut self, ty: Type, op: BinOp, concept: AlgConcept) -> &mut Self {
+        self.models.insert((ty, op, concept));
+        match concept {
+            AlgConcept::Monoid => {
+                self.models.insert((ty, op, AlgConcept::Semigroup));
+            }
+            AlgConcept::Group => {
+                self.models.insert((ty, op, AlgConcept::Monoid));
+                self.models.insert((ty, op, AlgConcept::Semigroup));
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Record the identity element of `(ty, op)`.
+    pub fn set_identity(&mut self, ty: Type, op: BinOp, id: Value) -> &mut Self {
+        self.identities.insert((ty, op), id);
+        self
+    }
+
+    /// Record an annihilator (`x op a == a`), e.g. `x * 0 → 0`.
+    pub fn set_annihilator(&mut self, ty: Type, op: BinOp, a: Value) -> &mut Self {
+        self.annihilators.insert((ty, op), a);
+        self
+    }
+
+    /// Record the unary operator that builds inverses for `(ty, op)`
+    /// (e.g. `Neg` for additive groups, `Recip` for multiplicative ones).
+    pub fn set_inverse_op(&mut self, ty: Type, op: BinOp, un: UnOp) -> &mut Self {
+        self.inverse_ops.insert((ty, op), un);
+        self
+    }
+
+    /// Does `(ty, op)` model `concept`?
+    pub fn models(&self, ty: Type, op: BinOp, concept: AlgConcept) -> bool {
+        self.models.contains(&(ty, op, concept))
+    }
+
+    /// Identity element of `(ty, op)`, if declared.
+    pub fn identity(&self, ty: Type, op: BinOp) -> Option<&Value> {
+        self.identities.get(&(ty, op))
+    }
+
+    /// Annihilator of `(ty, op)`, if declared.
+    pub fn annihilator(&self, ty: Type, op: BinOp) -> Option<&Value> {
+        self.annihilators.get(&(ty, op))
+    }
+
+    /// Inverse-building unary operator of `(ty, op)`, if declared.
+    pub fn inverse_op(&self, ty: Type, op: BinOp) -> Option<UnOp> {
+        self.inverse_ops.get(&(ty, op)).copied()
+    }
+
+    /// The standard environment covering the instances of Fig. 5:
+    ///
+    /// | `(x, op)` | concepts |
+    /// |---|---|
+    /// | `(Int, +)` | commutative Group, identity 0 |
+    /// | `(Int, *)` | commutative Monoid, identity 1, annihilator 0 |
+    /// | `(Float, +)` | commutative Group, identity 0.0 |
+    /// | `(Float, *)` | commutative Group (inverse `1/x`), identity 1.0 |
+    /// | `(BigFloat, *)` | commutative Group, identity 1.0 |
+    /// | `(Bool, ∧)` | commutative idempotent Monoid, identity `true`, annihilator `false` |
+    /// | `(Bool, ∨)` | commutative idempotent Monoid, identity `false`, annihilator `true` |
+    /// | `(UInt, &)` | commutative idempotent Monoid, identity `0xFF…F` |
+    /// | `(Str, ++)` | Monoid (non-commutative), identity `""` |
+    /// | `(Rational, *)` | commutative Group, identity 1 |
+    /// | `(Matrix, *)` | Monoid (non-commutative), identity `I` (symbolic) |
+    pub fn standard() -> Self {
+        use AlgConcept::*;
+        use BinOp::*;
+        let mut env = ConceptEnv::default();
+
+        env.declare(Type::Int, Add, Group)
+            .declare(Type::Int, Add, Commutative)
+            .set_identity(Type::Int, Add, Value::Int(0))
+            .set_inverse_op(Type::Int, Add, UnOp::Neg);
+        env.declare(Type::Int, Mul, Monoid)
+            .declare(Type::Int, Mul, Commutative)
+            .set_identity(Type::Int, Mul, Value::Int(1))
+            .set_annihilator(Type::Int, Mul, Value::Int(0));
+
+        env.declare(Type::Float, Add, Group)
+            .declare(Type::Float, Add, Commutative)
+            .set_identity(Type::Float, Add, Value::Float(0.0))
+            .set_inverse_op(Type::Float, Add, UnOp::Neg);
+        env.declare(Type::Float, Mul, Group)
+            .declare(Type::Float, Mul, Commutative)
+            .set_identity(Type::Float, Mul, Value::Float(1.0))
+            .set_inverse_op(Type::Float, Mul, UnOp::Recip);
+
+        env.declare(Type::BigFloat, Add, Group)
+            .declare(Type::BigFloat, Add, Commutative)
+            .set_identity(Type::BigFloat, Add, Value::BigFloat(0.0))
+            .set_inverse_op(Type::BigFloat, Add, UnOp::Neg);
+        env.declare(Type::BigFloat, Mul, Group)
+            .declare(Type::BigFloat, Mul, Commutative)
+            .set_identity(Type::BigFloat, Mul, Value::BigFloat(1.0))
+            .set_inverse_op(Type::BigFloat, Mul, UnOp::Recip);
+
+        env.declare(Type::Bool, And, Monoid)
+            .declare(Type::Bool, And, Commutative)
+            .declare(Type::Bool, And, Idempotent)
+            .set_identity(Type::Bool, And, Value::Bool(true))
+            .set_annihilator(Type::Bool, And, Value::Bool(false));
+        env.declare(Type::Bool, Or, Monoid)
+            .declare(Type::Bool, Or, Commutative)
+            .declare(Type::Bool, Or, Idempotent)
+            .set_identity(Type::Bool, Or, Value::Bool(false))
+            .set_annihilator(Type::Bool, Or, Value::Bool(true));
+
+        env.declare(Type::UInt, BitAnd, Monoid)
+            .declare(Type::UInt, BitAnd, Commutative)
+            .declare(Type::UInt, BitAnd, Idempotent)
+            .set_identity(Type::UInt, BitAnd, Value::UInt(u64::MAX))
+            .set_annihilator(Type::UInt, BitAnd, Value::UInt(0));
+
+        env.declare(Type::Str, BinOp::Concat, Monoid)
+            .set_identity(Type::Str, BinOp::Concat, Value::Str(String::new()));
+
+        env.declare(Type::Rational, Mul, Group)
+            .declare(Type::Rational, Mul, Commutative)
+            .set_identity(
+                Type::Rational,
+                Mul,
+                Value::Rational(gp_core::numeric::Rational::from_int(1)),
+            )
+            .set_inverse_op(Type::Rational, Mul, UnOp::Recip);
+        env.declare(Type::Rational, Add, Group)
+            .declare(Type::Rational, Add, Commutative)
+            .set_identity(
+                Type::Rational,
+                Add,
+                Value::Rational(gp_core::numeric::Rational::from_int(0)),
+            )
+            .set_inverse_op(Type::Rational, Add, UnOp::Neg);
+
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_declaration_implies_monoid_and_semigroup() {
+        let mut env = ConceptEnv::empty();
+        env.declare(Type::Int, BinOp::Add, AlgConcept::Group);
+        assert!(env.models(Type::Int, BinOp::Add, AlgConcept::Group));
+        assert!(env.models(Type::Int, BinOp::Add, AlgConcept::Monoid));
+        assert!(env.models(Type::Int, BinOp::Add, AlgConcept::Semigroup));
+        assert!(!env.models(Type::Int, BinOp::Add, AlgConcept::Commutative));
+    }
+
+    #[test]
+    fn standard_env_covers_fig5_pairs() {
+        let env = ConceptEnv::standard();
+        // Monoid identity instances of Fig. 5 row 1.
+        assert_eq!(env.identity(Type::Int, BinOp::Mul), Some(&Value::Int(1)));
+        assert_eq!(
+            env.identity(Type::Float, BinOp::Mul),
+            Some(&Value::Float(1.0))
+        );
+        assert_eq!(
+            env.identity(Type::Bool, BinOp::And),
+            Some(&Value::Bool(true))
+        );
+        assert_eq!(
+            env.identity(Type::UInt, BinOp::BitAnd),
+            Some(&Value::UInt(u64::MAX))
+        );
+        assert_eq!(
+            env.identity(Type::Str, BinOp::Concat),
+            Some(&Value::Str(String::new()))
+        );
+        // Group instances of Fig. 5 row 2.
+        assert!(env.models(Type::Int, BinOp::Add, AlgConcept::Group));
+        assert!(env.models(Type::Float, BinOp::Mul, AlgConcept::Group));
+        assert!(env.models(Type::Rational, BinOp::Mul, AlgConcept::Group));
+        // Integer multiplication is NOT a group.
+        assert!(!env.models(Type::Int, BinOp::Mul, AlgConcept::Group));
+        // String concatenation is NOT commutative.
+        assert!(!env.models(Type::Str, BinOp::Concat, AlgConcept::Commutative));
+    }
+
+    #[test]
+    fn inverse_ops_match_operation_kind() {
+        let env = ConceptEnv::standard();
+        assert_eq!(env.inverse_op(Type::Int, BinOp::Add), Some(UnOp::Neg));
+        assert_eq!(env.inverse_op(Type::Float, BinOp::Mul), Some(UnOp::Recip));
+        assert_eq!(env.inverse_op(Type::Int, BinOp::Mul), None);
+    }
+}

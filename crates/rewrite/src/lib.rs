@@ -1,0 +1,33 @@
+//! # gp-rewrite — Simplicissimus: concept-based expression rewriting
+//!
+//! Reproduction of the paper's §3.2 optimizer. A traditional compiler
+//! simplifier rewrites `x + 0 → x` only when `x` is a built-in integer;
+//! Simplicissimus applies rewrite rules **keyed on the concepts the data
+//! types model**: `x + 0 → x` is valid whenever `(x, +)` models *Monoid*,
+//! `x + (-x) → 0` whenever `(x, +, -)` models *Group* (Fig. 5). Two generic
+//! rules thereby subsume the ten type-specific instances of Fig. 5 — and
+//! every future type that declares the concepts, "for free".
+//!
+//! The engine is **user-extensible** (the paper: "of paramount
+//! importance"): libraries register their own rules, e.g. LiDIA's
+//! `1.0/f → f.Inverse()` specialization for arbitrary-precision floats.
+//!
+//! Modules:
+//!
+//! * [`expr`] — the typed expression AST, evaluator, and pretty printer.
+//! * [`mod@env`] — the concept environment: which `(type, operation)` pairs
+//!   model Monoid/Group/…, their identity and annihilator elements.
+//! * [`rules`] — the [`rules::RewriteRule`] concept and the built-in
+//!   concept-based rule library.
+//! * [`simplify`] — the fixpoint rewrite engine with application
+//!   statistics.
+
+pub mod env;
+pub mod expr;
+pub mod rules;
+pub mod simplify;
+
+pub use env::ConceptEnv;
+pub use expr::{BinOp, Expr, Type, UnOp, Value};
+pub use rules::RewriteRule;
+pub use simplify::{Simplifier, SimplifyStats};

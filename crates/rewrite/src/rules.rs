@@ -1,0 +1,585 @@
+//! The rewrite-rule concept and the built-in concept-based rule library.
+//!
+//! Each rule states its concept **requirements** (the middle column of
+//! Fig. 5) and fires only when the concept environment confirms the
+//! operands' types model them. The two headline rules are
+//! [`RightIdentity`]/[`LeftIdentity`] (`x + 0 → x`, Monoid) and
+//! [`RightInverse`]/[`LeftInverse`] (`x + (-x) → 0`, Group); the library
+//! adds the equally concept-generic annihilator, idempotence,
+//! double-inverse, and constant-folding rules.
+
+use crate::env::{AlgConcept, ConceptEnv};
+use crate::expr::{BinOp, Expr, Type, UnOp};
+use std::collections::BTreeMap;
+
+/// The rewrite-rule concept: try to rewrite the *root* of an expression.
+/// The engine handles traversal and iteration.
+pub trait RewriteRule {
+    /// Rule name (statistics, diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable concept requirement, e.g. `(x, op) models Monoid`.
+    fn requirements(&self) -> &'static str;
+
+    /// Rewrite the root of `e` if the rule matches and its concept
+    /// requirements hold in `env`.
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr>;
+}
+
+/// `x op e → x` when `(x, op)` models Monoid and `e` is its identity.
+pub struct RightIdentity;
+
+impl RewriteRule for RightIdentity {
+    fn name(&self) -> &'static str {
+        "right-identity"
+    }
+    fn requirements(&self) -> &'static str {
+        "(x, op) models Monoid"
+    }
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
+        let Expr::Binary(op, l, r) = e else { return None };
+        let ty = l.ty();
+        if env.models(ty, *op, AlgConcept::Monoid) {
+            if let Expr::Lit(v) = &**r {
+                if Some(v) == env.identity(ty, *op) {
+                    return Some((**l).clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+/// `e op x → x` when `(x, op)` models Monoid and `e` is its identity.
+pub struct LeftIdentity;
+
+impl RewriteRule for LeftIdentity {
+    fn name(&self) -> &'static str {
+        "left-identity"
+    }
+    fn requirements(&self) -> &'static str {
+        "(x, op) models Monoid"
+    }
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
+        let Expr::Binary(op, l, r) = e else { return None };
+        let ty = r.ty();
+        if env.models(ty, *op, AlgConcept::Monoid) {
+            if let Expr::Lit(v) = &**l {
+                if Some(v) == env.identity(ty, *op) {
+                    return Some((**r).clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+/// `x op inv(x) → identity` when `(x, op, inv)` models Group.
+/// Also matches the sugared forms `x - x` (additive) and `x / x`
+/// (multiplicative).
+pub struct RightInverse;
+
+/// `inv(x) op x → identity` when `(x, op, inv)` models Group.
+pub struct LeftInverse;
+
+fn inverse_matches(env: &ConceptEnv, ty: Type, op: BinOp, x: &Expr, candidate: &Expr) -> bool {
+    let Some(inv) = env.inverse_op(ty, op) else {
+        return false;
+    };
+    matches!(candidate, Expr::Unary(u, inner) if *u == inv && **inner == *x)
+}
+
+fn group_identity(env: &ConceptEnv, ty: Type, op: BinOp) -> Option<Expr> {
+    env.identity(ty, op).cloned().map(Expr::Lit)
+}
+
+impl RewriteRule for RightInverse {
+    fn name(&self) -> &'static str {
+        "right-inverse"
+    }
+    fn requirements(&self) -> &'static str {
+        "(x, op, inv) models Group"
+    }
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
+        let Expr::Binary(op, l, r) = e else { return None };
+        let ty = l.ty();
+        // Sugared forms first: x - x and x / x.
+        let (base_op, rhs_is_inverse) = match op {
+            BinOp::Sub => (BinOp::Add, **l == **r),
+            BinOp::Div => (BinOp::Mul, **l == **r),
+            other => (*other, inverse_matches(env, ty, *other, l, r)),
+        };
+        if rhs_is_inverse && env.models(ty, base_op, AlgConcept::Group) {
+            return group_identity(env, ty, base_op);
+        }
+        None
+    }
+}
+
+impl RewriteRule for LeftInverse {
+    fn name(&self) -> &'static str {
+        "left-inverse"
+    }
+    fn requirements(&self) -> &'static str {
+        "(x, op, inv) models Group"
+    }
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
+        let Expr::Binary(op, l, r) = e else { return None };
+        let ty = r.ty();
+        if inverse_matches(env, ty, *op, r, l) && env.models(ty, *op, AlgConcept::Group) {
+            return group_identity(env, ty, *op);
+        }
+        None
+    }
+}
+
+/// `x op a → a` when `a` is a declared annihilator of `(x, op)`
+/// (e.g. `x * 0 → 0`, `b && false → false`).
+pub struct Annihilator;
+
+impl RewriteRule for Annihilator {
+    fn name(&self) -> &'static str {
+        "annihilator"
+    }
+    fn requirements(&self) -> &'static str {
+        "(x, op) has a declared annihilator"
+    }
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
+        let Expr::Binary(op, l, r) = e else { return None };
+        let ty = l.ty();
+        let a = env.annihilator(ty, *op)?;
+        for side in [&**l, &**r] {
+            if let Expr::Lit(v) = side {
+                if v == a {
+                    return Some(Expr::Lit(a.clone()));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// `x op x → x` when `(x, op)` models an idempotent operation
+/// (e.g. `b && b → b`, `i & i → i`).
+pub struct Idempotence;
+
+impl RewriteRule for Idempotence {
+    fn name(&self) -> &'static str {
+        "idempotence"
+    }
+    fn requirements(&self) -> &'static str {
+        "(x, op) models Idempotent"
+    }
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
+        let Expr::Binary(op, l, r) = e else { return None };
+        if l == r && env.models(l.ty(), *op, AlgConcept::Idempotent) {
+            return Some((**l).clone());
+        }
+        None
+    }
+}
+
+/// `inv(inv(x)) → x` when the type's operation with that inverse models
+/// Group (e.g. `-(-x) → x`, `1/(1/x) → x`).
+pub struct DoubleInverse;
+
+impl RewriteRule for DoubleInverse {
+    fn name(&self) -> &'static str {
+        "double-inverse"
+    }
+    fn requirements(&self) -> &'static str {
+        "(x, op, inv) models Group"
+    }
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
+        let Expr::Unary(u1, inner) = e else { return None };
+        let Expr::Unary(u2, x) = &**inner else {
+            return None;
+        };
+        if u1 != u2 {
+            return None;
+        }
+        let ty = x.ty();
+        // Find a group operation whose inverse op is u1.
+        for op in [BinOp::Add, BinOp::Mul] {
+            if env.inverse_op(ty, op) == Some(*u1) && env.models(ty, op, AlgConcept::Group) {
+                return Some((**x).clone());
+            }
+        }
+        None
+    }
+}
+
+/// Fold operations on literals (`2 + 3 → 5`) — the traditional simplifier
+/// retained alongside the concept rules.
+pub struct ConstantFold;
+
+impl RewriteRule for ConstantFold {
+    fn name(&self) -> &'static str {
+        "constant-fold"
+    }
+    fn requirements(&self) -> &'static str {
+        "all operands are literals"
+    }
+    fn try_apply(&self, e: &Expr, _env: &ConceptEnv) -> Option<Expr> {
+        match e {
+            Expr::Binary(_, l, r)
+                if matches!(**l, Expr::Lit(_)) && matches!(**r, Expr::Lit(_)) =>
+            {
+                e.eval(&BTreeMap::new()).map(Expr::Lit)
+            }
+            Expr::Unary(_, x) if matches!(**x, Expr::Lit(_)) => {
+                e.eval(&BTreeMap::new()).map(Expr::Lit)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Associativity-based constant gathering: `(x op c1) op c2 → x op (c1 op
+/// c2)` when `(x, op)` models Semigroup and `c1`, `c2` are literals — after
+/// which constant folding collapses the right operand. The commutative
+/// variant also matches `(c1 op x) op c2`.
+pub struct AssocFold;
+
+impl RewriteRule for AssocFold {
+    fn name(&self) -> &'static str {
+        "assoc-fold"
+    }
+    fn requirements(&self) -> &'static str {
+        "(x, op) models Semigroup (plus Commutative for the left variant)"
+    }
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
+        let Expr::Binary(op, l, r) = e else { return None };
+        let Expr::Lit(c2) = &**r else { return None };
+        let Expr::Binary(op2, x, c1) = &**l else {
+            return None;
+        };
+        if op2 != op {
+            return None;
+        }
+        let ty = e.ty();
+        if !env.models(ty, *op, AlgConcept::Semigroup) {
+            return None;
+        }
+        match (&**x, &**c1) {
+            // (x op c1) op c2 → x op (c1 op c2): pure associativity.
+            (inner, Expr::Lit(c1v)) if !matches!(inner, Expr::Lit(_)) => Some(Expr::Binary(
+                *op,
+                Box::new(inner.clone()),
+                Box::new(Expr::Binary(
+                    *op,
+                    Box::new(Expr::Lit(c1v.clone())),
+                    Box::new(Expr::Lit(c2.clone())),
+                )),
+            )),
+            // (c1 op x) op c2 → x op (c1 op c2): needs commutativity.
+            (Expr::Lit(c1v), inner)
+                if !matches!(inner, Expr::Lit(_))
+                    && env.models(ty, *op, AlgConcept::Commutative) =>
+            {
+                Some(Expr::Binary(
+                    *op,
+                    Box::new(inner.clone()),
+                    Box::new(Expr::Binary(
+                        *op,
+                        Box::new(Expr::Lit(c1v.clone())),
+                        Box::new(Expr::Lit(c2.clone())),
+                    )),
+                ))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Boolean double negation: `!!b → b` (involution of `Not`).
+pub struct NotNot;
+
+impl RewriteRule for NotNot {
+    fn name(&self) -> &'static str {
+        "not-not"
+    }
+    fn requirements(&self) -> &'static str {
+        "negation is an involution on bool"
+    }
+    fn try_apply(&self, e: &Expr, _env: &ConceptEnv) -> Option<Expr> {
+        if let Expr::Unary(UnOp::Not, inner) = e {
+            if let Expr::Unary(UnOp::Not, b) = &**inner {
+                return Some((**b).clone());
+            }
+        }
+        None
+    }
+}
+
+/// The LiDIA-style **user-defined, library-specific** rule of §3.2:
+/// `1.0/f → f.Inverse()` (and `recip(f) → f.Inverse()`) for
+/// arbitrary-precision floats, "often … specializing general expressions to
+/// specific function calls".
+pub struct LidiaInverse;
+
+impl RewriteRule for LidiaInverse {
+    fn name(&self) -> &'static str {
+        "lidia-inverse"
+    }
+    fn requirements(&self) -> &'static str {
+        "f is a LiDIA bigfloat"
+    }
+    fn try_apply(&self, e: &Expr, _env: &ConceptEnv) -> Option<Expr> {
+        let make_call = |f: &Expr| {
+            Expr::Call("Inverse".to_string(), Type::BigFloat, vec![f.clone()])
+        };
+        match e {
+            Expr::Unary(UnOp::Recip, f) if f.ty() == Type::BigFloat => Some(make_call(f)),
+            Expr::Binary(BinOp::Div, one, f)
+                if f.ty() == Type::BigFloat
+                    && matches!(&**one, Expr::Lit(crate::expr::Value::BigFloat(v)) if *v == 1.0) =>
+            {
+                Some(make_call(f))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The default concept-based rule set.
+pub fn standard_rules() -> Vec<Box<dyn RewriteRule + Send + Sync>> {
+    vec![
+        Box::new(ConstantFold),
+        Box::new(RightIdentity),
+        Box::new(LeftIdentity),
+        Box::new(RightInverse),
+        Box::new(LeftInverse),
+        Box::new(Annihilator),
+        Box::new(Idempotence),
+        Box::new(DoubleInverse),
+        Box::new(AssocFold),
+        Box::new(NotNot),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Value;
+
+    fn env() -> ConceptEnv {
+        ConceptEnv::standard()
+    }
+
+    #[test]
+    fn right_identity_fires_only_under_monoid() {
+        let e = Expr::bin(BinOp::Mul, Expr::var("i", Type::Int), Expr::int(1));
+        assert_eq!(
+            RightIdentity.try_apply(&e, &env()),
+            Some(Expr::var("i", Type::Int))
+        );
+        // Without the concept declaration, nothing fires.
+        let bare = ConceptEnv::empty();
+        assert_eq!(RightIdentity.try_apply(&e, &bare), None);
+        // Wrong element: no fire.
+        let e = Expr::bin(BinOp::Mul, Expr::var("i", Type::Int), Expr::int(2));
+        assert_eq!(RightIdentity.try_apply(&e, &env()), None);
+    }
+
+    #[test]
+    fn identity_rules_cover_fig5_row1_instances() {
+        let cases = vec![
+            Expr::bin(BinOp::Mul, Expr::var("i", Type::Int), Expr::int(1)),
+            Expr::bin(BinOp::Mul, Expr::var("f", Type::Float), Expr::float(1.0)),
+            Expr::bin(BinOp::And, Expr::var("b", Type::Bool), Expr::boolean(true)),
+            Expr::bin(BinOp::BitAnd, Expr::var("i", Type::UInt), Expr::uint(u64::MAX)),
+            Expr::bin(BinOp::Concat, Expr::var("s", Type::Str), Expr::string("")),
+            Expr::bin(BinOp::Add, Expr::var("x", Type::Int), Expr::int(0)),
+        ];
+        for c in cases {
+            let out = RightIdentity.try_apply(&c, &env());
+            assert!(out.is_some(), "no fire on {c}");
+            assert!(matches!(out.unwrap(), Expr::Var(..)), "wrong result for {c}");
+        }
+    }
+
+    #[test]
+    fn left_identity_respects_non_commutativity_correctly() {
+        // "" ++ s → s is valid in any monoid (identity is two-sided), even
+        // a non-commutative one.
+        let e = Expr::bin(BinOp::Concat, Expr::string(""), Expr::var("s", Type::Str));
+        assert_eq!(
+            LeftIdentity.try_apply(&e, &env()),
+            Some(Expr::var("s", Type::Str))
+        );
+    }
+
+    #[test]
+    fn group_inverse_rules_cover_fig5_row2_instances() {
+        // i + (-i) → 0
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::var("i", Type::Int),
+            Expr::un(UnOp::Neg, Expr::var("i", Type::Int)),
+        );
+        assert_eq!(RightInverse.try_apply(&e, &env()), Some(Expr::int(0)));
+        // f * (1/f) → 1
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::var("f", Type::Float),
+            Expr::un(UnOp::Recip, Expr::var("f", Type::Float)),
+        );
+        assert_eq!(RightInverse.try_apply(&e, &env()), Some(Expr::float(1.0)));
+        // r * r^{-1} → 1 (rationals)
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::var("r", Type::Rational),
+            Expr::un(UnOp::Recip, Expr::var("r", Type::Rational)),
+        );
+        assert!(RightInverse.try_apply(&e, &env()).is_some());
+        // (-i) + i → 0 (left form)
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::un(UnOp::Neg, Expr::var("i", Type::Int)),
+            Expr::var("i", Type::Int),
+        );
+        assert_eq!(LeftInverse.try_apply(&e, &env()), Some(Expr::int(0)));
+    }
+
+    #[test]
+    fn inverse_rule_does_not_fire_for_non_groups() {
+        // i * (1/i) for Int: Int multiplication is not a group — no rule.
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::var("i", Type::Int),
+            Expr::un(UnOp::Recip, Expr::var("i", Type::Int)),
+        );
+        assert_eq!(RightInverse.try_apply(&e, &env()), None);
+    }
+
+    #[test]
+    fn sugar_forms_x_minus_x_and_x_div_x() {
+        let e = Expr::bin(BinOp::Sub, Expr::var("i", Type::Int), Expr::var("i", Type::Int));
+        assert_eq!(RightInverse.try_apply(&e, &env()), Some(Expr::int(0)));
+        let e = Expr::bin(
+            BinOp::Div,
+            Expr::var("f", Type::Float),
+            Expr::var("f", Type::Float),
+        );
+        assert_eq!(RightInverse.try_apply(&e, &env()), Some(Expr::float(1.0)));
+    }
+
+    #[test]
+    fn annihilator_and_idempotence() {
+        let e = Expr::bin(BinOp::Mul, Expr::var("i", Type::Int), Expr::int(0));
+        assert_eq!(Annihilator.try_apply(&e, &env()), Some(Expr::int(0)));
+        let e = Expr::bin(
+            BinOp::And,
+            Expr::boolean(false),
+            Expr::var("b", Type::Bool),
+        );
+        assert_eq!(Annihilator.try_apply(&e, &env()), Some(Expr::boolean(false)));
+        let e = Expr::bin(BinOp::And, Expr::var("b", Type::Bool), Expr::var("b", Type::Bool));
+        assert_eq!(
+            Idempotence.try_apply(&e, &env()),
+            Some(Expr::var("b", Type::Bool))
+        );
+        // Addition is not idempotent.
+        let e = Expr::bin(BinOp::Add, Expr::var("i", Type::Int), Expr::var("i", Type::Int));
+        assert_eq!(Idempotence.try_apply(&e, &env()), None);
+    }
+
+    #[test]
+    fn double_inverse_unwraps() {
+        let e = Expr::un(UnOp::Neg, Expr::un(UnOp::Neg, Expr::var("i", Type::Int)));
+        assert_eq!(
+            DoubleInverse.try_apply(&e, &env()),
+            Some(Expr::var("i", Type::Int))
+        );
+        let e = Expr::un(UnOp::Recip, Expr::un(UnOp::Recip, Expr::var("f", Type::Float)));
+        assert_eq!(
+            DoubleInverse.try_apply(&e, &env()),
+            Some(Expr::var("f", Type::Float))
+        );
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::bin(BinOp::Add, Expr::int(2), Expr::int(3));
+        assert_eq!(ConstantFold.try_apply(&e, &env()), Some(Expr::int(5)));
+        let e = Expr::un(UnOp::Neg, Expr::int(7));
+        assert_eq!(ConstantFold.try_apply(&e, &env()), Some(Expr::int(-7)));
+        let e = Expr::bin(BinOp::Add, Expr::var("x", Type::Int), Expr::int(3));
+        assert_eq!(ConstantFold.try_apply(&e, &env()), None);
+    }
+
+    #[test]
+    fn lidia_rule_specializes_bigfloat_reciprocals_only() {
+        let f = Expr::var("f", Type::BigFloat);
+        let e = Expr::bin(BinOp::Div, Expr::bigfloat(1.0), f.clone());
+        let out = LidiaInverse.try_apply(&e, &env()).unwrap();
+        assert_eq!(out.to_string(), "Inverse(f)");
+        let e = Expr::un(UnOp::Recip, f);
+        assert!(LidiaInverse.try_apply(&e, &env()).is_some());
+        // Plain floats are untouched: the rule is library-specific.
+        let e = Expr::un(UnOp::Recip, Expr::var("g", Type::Float));
+        assert_eq!(LidiaInverse.try_apply(&e, &env()), None);
+        assert_eq!(
+            Value::BigFloat(1.0).ty(),
+            Type::BigFloat // sanity: literals carry the library type
+        );
+    }
+
+    #[test]
+    fn assoc_fold_gathers_constants() {
+        // (x + 1) + 2 → x + (1 + 2); the engine then folds to x + 3.
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, Expr::var("x", Type::Int), Expr::int(1)),
+            Expr::int(2),
+        );
+        let out = AssocFold.try_apply(&e, &env()).unwrap();
+        assert_eq!(out.to_string(), "(x + (1 + 2))");
+        // Commutative variant: (1 + x) + 2 → x + (1 + 2).
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, Expr::int(1), Expr::var("x", Type::Int)),
+            Expr::int(2),
+        );
+        assert!(AssocFold.try_apply(&e, &env()).is_some());
+        // Non-commutative concat: left variant must NOT fire.
+        let e = Expr::bin(
+            BinOp::Concat,
+            Expr::bin(BinOp::Concat, Expr::string("a"), Expr::var("s", Type::Str)),
+            Expr::string("b"),
+        );
+        assert_eq!(AssocFold.try_apply(&e, &env()), None);
+        // But the right-nested concat form does (pure associativity).
+        let e = Expr::bin(
+            BinOp::Concat,
+            Expr::bin(BinOp::Concat, Expr::var("s", Type::Str), Expr::string("a")),
+            Expr::string("b"),
+        );
+        assert!(AssocFold.try_apply(&e, &env()).is_some());
+    }
+
+    #[test]
+    fn assoc_fold_composes_with_constant_fold_in_engine() {
+        use crate::simplify::Simplifier;
+        // ((((x + 1) + 2) + 3) + 4) → x + 10.
+        let mut e = Expr::var("x", Type::Int);
+        for c in 1..=4 {
+            e = Expr::bin(BinOp::Add, e, Expr::int(c));
+        }
+        let s = Simplifier::standard();
+        let (out, stats) = s.simplify(&e);
+        assert_eq!(out.to_string(), "(x + 10)");
+        assert!(stats.applications["assoc-fold"] >= 3);
+        assert!(stats.applications["constant-fold"] >= 3);
+    }
+
+    #[test]
+    fn not_not_unwraps() {
+        let b = Expr::var("b", Type::Bool);
+        let e = Expr::un(UnOp::Not, Expr::un(UnOp::Not, b.clone()));
+        assert_eq!(NotNot.try_apply(&e, &env()), Some(b.clone()));
+        let e = Expr::un(UnOp::Not, b);
+        assert_eq!(NotNot.try_apply(&e, &env()), None);
+    }
+}

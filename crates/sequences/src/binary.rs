@@ -1,0 +1,201 @@
+//! Binary searching over sorted ranges: `lower_bound`, `upper_bound`,
+//! `binary_search`, `equal_range`.
+//!
+//! These algorithms carry two semantic-concept obligations from the paper:
+//!
+//! * an **entry precondition** — the range must be sorted with respect to
+//!   `ord` (STLlint's *sortedness* entry handler, §3.1); calling them on an
+//!   unsorted range is the bug `gp-checker` flags;
+//! * a **complexity guarantee** — `O(log n)` comparisons on *any* forward
+//!   cursor (movement is `O(n)` for forward, `O(log n)` jumps for random
+//!   access via the dispatch overrides). This is the asymptotic win behind
+//!   the paper's "replace `find` on sorted data with `lower_bound`"
+//!   optimization suggestion (§3.2, experiments E6/E9).
+
+use gp_core::cursor::{AdvanceDispatch, ForwardCursor, Range};
+use gp_core::order::StrictWeakOrder;
+
+/// First position whose element is **not less** than `value`.
+/// Precondition: the range is sorted w.r.t. `ord`.
+pub fn lower_bound<C, O>(r: &Range<C>, value: &C::Item, ord: &O) -> C
+where
+    C: ForwardCursor + AdvanceDispatch,
+    O: StrictWeakOrder<C::Item>,
+{
+    let mut first = r.first.clone();
+    let mut len = first.clone().steps_until(&r.last);
+    while len > 0 {
+        let half = len / 2;
+        let mut mid = first.clone();
+        mid.advance_n(half);
+        if ord.less(&mid.read(), value) {
+            mid.advance();
+            first = mid;
+            len -= half + 1;
+        } else {
+            len = half;
+        }
+    }
+    first
+}
+
+/// First position whose element is **greater** than `value`.
+/// Precondition: the range is sorted w.r.t. `ord`.
+pub fn upper_bound<C, O>(r: &Range<C>, value: &C::Item, ord: &O) -> C
+where
+    C: ForwardCursor + AdvanceDispatch,
+    O: StrictWeakOrder<C::Item>,
+{
+    let mut first = r.first.clone();
+    let mut len = first.clone().steps_until(&r.last);
+    while len > 0 {
+        let half = len / 2;
+        let mut mid = first.clone();
+        mid.advance_n(half);
+        if !ord.less(value, &mid.read()) {
+            mid.advance();
+            first = mid;
+            len -= half + 1;
+        } else {
+            len = half;
+        }
+    }
+    first
+}
+
+/// True if some element is equivalent to `value` under `ord`.
+/// Precondition: the range is sorted w.r.t. `ord`.
+pub fn binary_search<C, O>(r: &Range<C>, value: &C::Item, ord: &O) -> bool
+where
+    C: ForwardCursor + AdvanceDispatch,
+    O: StrictWeakOrder<C::Item>,
+{
+    let pos = lower_bound(r, value, ord);
+    !pos.equal(&r.last) && !ord.less(value, &pos.read())
+}
+
+/// The maximal subrange of elements equivalent to `value`.
+/// Precondition: the range is sorted w.r.t. `ord`.
+pub fn equal_range<C, O>(r: &Range<C>, value: &C::Item, ord: &O) -> Range<C>
+where
+    C: ForwardCursor + AdvanceDispatch,
+    O: StrictWeakOrder<C::Item>,
+{
+    Range::new(lower_bound(r, value, ord), upper_bound(r, value, ord))
+}
+
+/// True if the range is sorted w.r.t. `ord` — the executable form of the
+/// *sortedness* property that STLlint's exit handlers attach after `sort`
+/// and entry handlers demand before `binary_search`.
+pub fn is_sorted<C, O>(r: &Range<C>, ord: &O) -> bool
+where
+    C: ForwardCursor,
+    O: StrictWeakOrder<C::Item>,
+{
+    if r.is_empty() {
+        return true;
+    }
+    let mut prev = r.first.clone();
+    let mut cur = r.first.clone();
+    cur.advance();
+    while !cur.equal(&r.last) {
+        if ord.less(&cur.read(), &prev.read()) {
+            return false;
+        }
+        prev = cur.clone();
+        cur.advance();
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containers::{ArraySeq, SList};
+    use gp_core::archetype::{Counters, CountingCursor, CountingOrder};
+    use gp_core::cursor::{InputCursor, Range, SliceCursor};
+    use gp_core::order::NaturalLess;
+
+    fn sorted_seq(n: i64) -> ArraySeq<i64> {
+        (0..n).map(|x| x * 2).collect() // evens 0,2,4,...
+    }
+
+    #[test]
+    fn lower_and_upper_bound_bracket_duplicates() {
+        let a: ArraySeq<i32> = vec![1, 3, 3, 3, 5, 7].into_iter().collect();
+        let r = a.range();
+        assert_eq!(lower_bound(&r, &3, &NaturalLess).position(), 1);
+        assert_eq!(upper_bound(&r, &3, &NaturalLess).position(), 4);
+        let er = equal_range(&r, &3, &NaturalLess);
+        assert_eq!(er.first.position(), 1);
+        assert_eq!(er.last.position(), 4);
+        // Absent value: both bounds collapse to the insertion point.
+        let er = equal_range(&r, &4, &NaturalLess);
+        assert_eq!(er.first.position(), 4);
+        assert_eq!(er.last.position(), 4);
+    }
+
+    #[test]
+    fn binary_search_agrees_with_linear_membership() {
+        let a = sorted_seq(100);
+        for v in -1..=200 {
+            let expect = a.as_slice().contains(&v);
+            assert_eq!(binary_search(&a.range(), &v, &NaturalLess), expect, "v={v}");
+        }
+    }
+
+    #[test]
+    fn bounds_on_boundaries() {
+        let a: ArraySeq<i32> = vec![10, 20, 30].into_iter().collect();
+        let r = a.range();
+        assert_eq!(lower_bound(&r, &5, &NaturalLess).position(), 0);
+        assert_eq!(lower_bound(&r, &35, &NaturalLess).position(), 3);
+        let e: ArraySeq<i32> = ArraySeq::new();
+        assert!(lower_bound(&e.range(), &1, &NaturalLess).equal(&e.range().last));
+    }
+
+    #[test]
+    fn works_on_forward_only_lists() {
+        // The same generic code runs on forward cursors: O(log n)
+        // comparisons, O(n) movement.
+        let l: SList<i32> = (0..50).map(|x| x * 3).collect();
+        let c = lower_bound(&l.range(), &30, &NaturalLess);
+        assert_eq!(c.read(), 30);
+        assert!(binary_search(&l.range(), &42, &NaturalLess));
+        assert!(!binary_search(&l.range(), &43, &NaturalLess));
+    }
+
+    #[test]
+    fn comparison_count_is_logarithmic() {
+        // The complexity guarantee, measured: ~log2(n) comparisons.
+        let data: Vec<i64> = (0..1024).collect();
+        let counters = Counters::new();
+        let ord = CountingOrder::new(NaturalLess, counters.clone());
+        let r = SliceCursor::whole(&data);
+        let wrapped = Range::new(
+            CountingCursor::new(r.first, counters.clone()),
+            CountingCursor::new(r.last, counters.clone()),
+        );
+        let pos = lower_bound(&wrapped, &777, &ord);
+        assert_eq!(pos.read(), 777);
+        assert!(
+            counters.comparisons() <= 12,
+            "expected ≈log2(1024)=10 comparisons, got {}",
+            counters.comparisons()
+        );
+        // Movement used O(1) jumps, not element steps.
+        assert_eq!(counters.advances(), counters.advances().min(12));
+    }
+
+    #[test]
+    fn is_sorted_detects_order() {
+        let a = sorted_seq(20);
+        assert!(is_sorted(&a.range(), &NaturalLess));
+        let b: ArraySeq<i64> = vec![1, 3, 2].into_iter().collect();
+        assert!(!is_sorted(&b.range(), &NaturalLess));
+        let e: ArraySeq<i64> = ArraySeq::new();
+        assert!(is_sorted(&e.range(), &NaturalLess));
+        let one: ArraySeq<i64> = vec![42].into_iter().collect();
+        assert!(is_sorted(&one.range(), &NaturalLess));
+    }
+}

@@ -1,0 +1,214 @@
+//! Reflective concept registrations for the sequence library.
+//!
+//! Seeds a [`Registry`] with the cursor concept hierarchy (with its semantic
+//! axioms and complexity guarantees), declares which concepts this crate's
+//! cursor types model, and exposes the sorting algorithm catalog for
+//! concept-based overload resolution — the data consumed by the experiment
+//! binaries (E1, E7) and by `gp-taxonomy`.
+
+use gp_core::complexity::Complexity;
+use gp_core::concept::{Concept, ConceptRef, Implementation, ModelDecl, Registry, TypeExpr};
+
+/// Canonical names of this crate's cursor model types inside the registry.
+pub mod types {
+    /// `SliceCursor` / `ArraySeq` cursors.
+    pub const ARRAY_CURSOR: &str = "ArraySeqCursor";
+    /// `SListCursor`.
+    pub const LIST_CURSOR: &str = "SListCursor";
+}
+
+/// Define the cursor concept hierarchy (Input → Forward → Bidirectional →
+/// RandomAccess, plus Output) with semantic axioms and complexity
+/// guarantees.
+pub fn define_cursor_concepts(reg: &mut Registry) {
+    reg.define(
+        Concept::new("InputCursor", ["I"])
+            .assoc("value_type")
+            .op("read", vec![TypeExpr::param("I")], TypeExpr::assoc(TypeExpr::param("I"), "value_type"))
+            .op("advance", vec![TypeExpr::param("I")], TypeExpr::param("I"))
+            .op(
+                "equal",
+                vec![TypeExpr::param("I"), TypeExpr::param("I")],
+                TypeExpr::named("bool"),
+            )
+            .axiom("single_pass", "a range may be traversed at most once")
+            .guarantee("read", Complexity::constant())
+            .guarantee("advance", Complexity::constant()),
+    )
+    .expect("fresh registry");
+    reg.define(
+        Concept::new("OutputCursor", ["I"])
+            .assoc("value_type")
+            .op(
+                "put",
+                vec![
+                    TypeExpr::param("I"),
+                    TypeExpr::assoc(TypeExpr::param("I"), "value_type"),
+                ],
+                TypeExpr::param("I"),
+            )
+            .guarantee("put", Complexity::constant()),
+    )
+    .expect("fresh registry");
+    reg.define(
+        Concept::new("ForwardCursor", ["I"])
+            .refines(ConceptRef::unary("InputCursor", "I"))
+            .op("clone", vec![TypeExpr::param("I")], TypeExpr::param("I"))
+            .axiom(
+                "multipass",
+                "a clone of a cursor traverses the same sequence of values",
+            ),
+    )
+    .expect("fresh registry");
+    reg.define(
+        Concept::new("BidirectionalCursor", ["I"])
+            .refines(ConceptRef::unary("ForwardCursor", "I"))
+            .op("retreat", vec![TypeExpr::param("I")], TypeExpr::param("I"))
+            .guarantee("retreat", Complexity::constant()),
+    )
+    .expect("fresh registry");
+    reg.define(
+        Concept::new("RandomAccessCursor", ["I"])
+            .refines(ConceptRef::unary("BidirectionalCursor", "I"))
+            .op(
+                "advance_by",
+                vec![TypeExpr::param("I"), TypeExpr::named("isize")],
+                TypeExpr::param("I"),
+            )
+            .op(
+                "distance_to",
+                vec![TypeExpr::param("I"), TypeExpr::param("I")],
+                TypeExpr::named("isize"),
+            )
+            // These are *complexity* refinements: the operations exist for
+            // Forward cursors too (as loops), but here they are O(1).
+            .guarantee("advance_by", Complexity::constant())
+            .guarantee("distance_to", Complexity::constant()),
+    )
+    .expect("fresh registry");
+}
+
+/// Declare which cursor concepts this crate's cursor types model.
+pub fn declare_cursor_models(reg: &mut Registry) {
+    let chain_ops: [(&str, &[&str]); 4] = [
+        ("InputCursor", &["read", "advance", "equal"]),
+        ("ForwardCursor", &["clone"]),
+        ("BidirectionalCursor", &["retreat"]),
+        ("RandomAccessCursor", &["advance_by", "distance_to"]),
+    ];
+    // ArraySeq cursor: the full chain.
+    for (concept, ops) in chain_ops {
+        let mut m = ModelDecl::new(concept, [types::ARRAY_CURSOR]);
+        if concept == "InputCursor" {
+            m = m.bind("value_type", "T");
+        }
+        reg.declare_model(m.provide_all(ops.iter().copied()))
+            .expect("array cursor models the full chain");
+    }
+    // SList cursor: stops at Forward.
+    for (concept, ops) in &chain_ops[..2] {
+        let mut m = ModelDecl::new(*concept, [types::LIST_CURSOR]);
+        if *concept == "InputCursor" {
+            m = m.bind("value_type", "T");
+        }
+        reg.declare_model(m.provide_all(ops.iter().copied()))
+            .expect("list cursor models Input and Forward");
+    }
+}
+
+/// The sorting algorithm catalog for concept-based overload resolution:
+/// the reflective twin of [`crate::sort::ConceptSort`].
+pub fn sort_implementations() -> Vec<Implementation> {
+    vec![
+        Implementation::new(
+            "merge_sort",
+            vec![ConceptRef::unary("ForwardCursor", "T0")],
+        ),
+        Implementation::new(
+            "intro_sort",
+            vec![ConceptRef::unary("RandomAccessCursor", "T0")],
+        ),
+    ]
+}
+
+/// Algorithm complexity guarantees (comparison counts) as published in the
+/// sequence-algorithm concept taxonomy; validated empirically in E9.
+pub fn algorithm_guarantees() -> Vec<(&'static str, Complexity)> {
+    vec![
+        ("find", Complexity::linear("n")),
+        ("count", Complexity::linear("n")),
+        ("accumulate", Complexity::linear("n")),
+        ("max_element", Complexity::linear("n")),
+        ("lower_bound", Complexity::log("n")),
+        ("binary_search", Complexity::log("n")),
+        ("introsort", Complexity::n_log_n("n")),
+        ("merge_sort", Complexity::n_log_n("n")),
+        ("merge", Complexity::linear("n")),
+        ("insertion_sort", Complexity::poly("n", 2)),
+        ("nth_element", Complexity::linear("n")),
+        ("partial_sort", Complexity::term("n", 1, 1)),
+        ("min_max_element", Complexity::linear("n")),
+        ("set_union", Complexity::linear("n")),
+        ("includes", Complexity::linear("n")),
+    ]
+}
+
+/// Build a fully seeded registry: concepts, models, and nothing else.
+pub fn seeded_registry() -> Registry {
+    let mut reg = Registry::new();
+    define_cursor_concepts(&mut reg);
+    declare_cursor_models(&mut reg);
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_core::concept::resolve_overload;
+
+    #[test]
+    fn registry_seeds_and_models_check() {
+        let reg = seeded_registry();
+        assert!(reg.models_concept("RandomAccessCursor", &[types::ARRAY_CURSOR]));
+        assert!(reg.models_concept("InputCursor", &[types::ARRAY_CURSOR]));
+        assert!(reg.models_concept("ForwardCursor", &[types::LIST_CURSOR]));
+        assert!(!reg.models_concept("RandomAccessCursor", &[types::LIST_CURSOR]));
+        assert!(!reg.models_concept("BidirectionalCursor", &[types::LIST_CURSOR]));
+    }
+
+    #[test]
+    fn reflective_sort_dispatch_matches_static_dispatch() {
+        // The paper's §2.1 selection, resolved reflectively, must agree with
+        // the ConceptSort trait's static answer.
+        let reg = seeded_registry();
+        let impls = sort_implementations();
+        let r = resolve_overload(&reg, "sort", &impls, &[types::ARRAY_CURSOR]).unwrap();
+        assert_eq!(r.chosen, "intro_sort");
+        let r = resolve_overload(&reg, "sort", &impls, &[types::LIST_CURSOR]).unwrap();
+        assert_eq!(r.chosen, "merge_sort");
+    }
+
+    #[test]
+    fn propagation_collapses_cursor_constraint_chains() {
+        let reg = seeded_registry();
+        let direct = vec![ConceptRef::unary("RandomAccessCursor", "I")];
+        let report = reg.propagation_report(&direct);
+        assert_eq!(report.direct, 1);
+        assert_eq!(report.propagated, 4); // whole refinement chain
+    }
+
+    #[test]
+    fn guarantees_cover_the_algorithm_catalog() {
+        let g = algorithm_guarantees();
+        assert!(g.iter().any(|(n, c)| *n == "introsort" && c.to_string() == "O(n log n)"));
+        assert!(g.iter().any(|(n, c)| *n == "lower_bound" && c.to_string() == "O(log n)"));
+    }
+
+    #[test]
+    fn multipass_axiom_lives_on_forward_cursor() {
+        let reg = seeded_registry();
+        let c = reg.concept("ForwardCursor").unwrap();
+        assert!(c.find_axiom("multipass").is_some());
+        assert!(c.is_semantic());
+    }
+}

@@ -1,0 +1,314 @@
+//! Sequence containers at the two ends of the cursor-concept spectrum.
+//!
+//! [`ArraySeq`] gives random-access cursors (contiguous storage);
+//! [`SList`] gives forward-only cursors (singly linked, structurally
+//! shared). Concept-based overloading (§2.1 of the paper, experiment E7)
+//! selects different sorting algorithms for the two.
+
+use gp_core::cursor::{
+    AdvanceDispatch, Category, ForwardCursor, InputCursor, Range, SliceCursor,
+};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// ArraySeq: contiguous storage with random-access cursors
+// ---------------------------------------------------------------------------
+
+/// A contiguous sequence (the `vector` analog). Read access is through
+/// random-access cursors; mutation is through slices, which is the idiomatic
+/// Rust rendering of mutable random-access iterators.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArraySeq<T> {
+    data: Vec<T>,
+}
+
+impl<T> ArraySeq<T> {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        ArraySeq { data: Vec::new() }
+    }
+
+    /// Build from a vector without copying.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        ArraySeq { data }
+    }
+
+    /// Append an element.
+    pub fn push(&mut self, value: T) {
+        self.data.push(value);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the contents as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Borrow the contents mutably (the mutable random-access range).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T: Clone> ArraySeq<T> {
+    /// The whole-sequence cursor range.
+    pub fn range(&self) -> Range<SliceCursor<'_, T>> {
+        SliceCursor::whole(&self.data)
+    }
+}
+
+impl<T> FromIterator<T> for ArraySeq<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        ArraySeq {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SList: singly linked list with forward cursors
+// ---------------------------------------------------------------------------
+
+type Link<T> = Option<Rc<Node<T>>>;
+
+#[derive(Debug)]
+struct Node<T> {
+    elem: T,
+    next: Link<T>,
+}
+
+/// A singly linked, structurally shared sequence (the `slist`/forward-list
+/// analog). Its cursors model [`ForwardCursor`] and nothing more: elements
+/// "can only be accessed linearly", which is exactly the situation where
+/// concept-based overloading must pick a non-indexing algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct SList<T> {
+    head: Link<T>,
+    len: usize,
+}
+
+impl<T> SList<T> {
+    /// An empty list.
+    pub fn new() -> Self {
+        SList { head: None, len: 0 }
+    }
+
+    /// Prepend an element (O(1)).
+    pub fn push_front(&mut self, elem: T) {
+        self.head = Some(Rc::new(Node {
+            elem,
+            next: self.head.take(),
+        }));
+        self.len += 1;
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cursor at the first element.
+    pub fn begin(&self) -> SListCursor<T> {
+        SListCursor {
+            node: self.head.clone(),
+        }
+    }
+
+    /// Past-the-end cursor.
+    pub fn end(&self) -> SListCursor<T> {
+        SListCursor { node: None }
+    }
+
+    /// The whole-list cursor range.
+    pub fn range(&self) -> Range<SListCursor<T>>
+    where
+        T: Clone,
+    {
+        Range::new(self.begin(), self.end())
+    }
+}
+
+impl<T: Clone> SList<T> {
+    /// Build preserving iteration order.
+    pub fn from_slice(items: &[T]) -> Self {
+        let mut l = SList::new();
+        for x in items.iter().rev() {
+            l.push_front(x.clone());
+        }
+        l
+    }
+
+    /// Collect the elements in order.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.range().iter().collect()
+    }
+
+    /// The sublist starting after the first `n` elements, sharing structure
+    /// with `self` (O(n) walk, no copying).
+    pub fn suffix(&self, n: usize) -> SList<T> {
+        assert!(n <= self.len, "suffix beyond end");
+        let mut link = self.head.clone();
+        for _ in 0..n {
+            link = link.and_then(|node| node.next.clone());
+        }
+        SList {
+            head: link,
+            len: self.len - n,
+        }
+    }
+}
+
+impl<T: Clone> FromIterator<T> for SList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let items: Vec<T> = iter.into_iter().collect();
+        SList::from_slice(&items)
+    }
+}
+
+/// A forward cursor into an [`SList`]. `None` is the past-the-end position.
+#[derive(Debug)]
+pub struct SListCursor<T> {
+    node: Link<T>,
+}
+
+impl<T> Clone for SListCursor<T> {
+    fn clone(&self) -> Self {
+        SListCursor {
+            node: self.node.clone(),
+        }
+    }
+}
+
+impl<T: Clone> InputCursor for SListCursor<T> {
+    type Item = T;
+    const CATEGORY: Category = Category::Forward;
+
+    fn equal(&self, other: &Self) -> bool {
+        match (&self.node, &other.node) {
+            (Some(a), Some(b)) => Rc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    fn read(&self) -> T {
+        self.node
+            .as_ref()
+            .expect("read past the end of an SList")
+            .elem
+            .clone()
+    }
+
+    fn advance(&mut self) {
+        let next = self
+            .node
+            .as_ref()
+            .expect("advance past the end of an SList")
+            .next
+            .clone();
+        self.node = next;
+    }
+}
+
+impl<T: Clone> ForwardCursor for SListCursor<T> {}
+impl<T: Clone> AdvanceDispatch for SListCursor<T> {} // linear defaults only
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_seq_round_trips() {
+        let s: ArraySeq<i32> = (1..=5).collect();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.range().iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.as_slice(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn array_seq_cursor_is_random_access() {
+        use gp_core::cursor::RandomAccessCursor;
+        let s: ArraySeq<i32> = (0..100).collect();
+        let r = s.range();
+        let mut c = r.first;
+        c.advance_by(42);
+        assert_eq!(c.read(), 42);
+        assert_eq!(r.first.distance_to(&c), 42);
+    }
+
+    #[test]
+    fn slist_preserves_order_and_length() {
+        let l = SList::from_slice(&[1, 2, 3, 4]);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.to_vec(), vec![1, 2, 3, 4]);
+        assert!(!l.is_empty());
+        assert!(SList::<i32>::new().is_empty());
+    }
+
+    #[test]
+    fn slist_cursor_is_multipass() {
+        let l = SList::from_slice(&[7, 8, 9]);
+        let r = l.range();
+        let a: Vec<i32> = r.iter().collect();
+        let b: Vec<i32> = r.iter().collect();
+        assert_eq!(a, b); // the Forward multipass guarantee
+    }
+
+    #[test]
+    fn slist_suffix_shares_structure() {
+        let l = SList::from_slice(&[1, 2, 3, 4, 5]);
+        let s = l.suffix(2);
+        assert_eq!(s.to_vec(), vec![3, 4, 5]);
+        assert_eq!(s.len(), 3);
+        // The suffix's first node is literally the third node of `l`.
+        let mut c = l.begin();
+        c.advance();
+        c.advance();
+        assert!(c.equal(&s.begin()));
+    }
+
+    #[test]
+    fn slist_cursor_equality_distinguishes_positions() {
+        let l = SList::from_slice(&[1, 2]);
+        let mut a = l.begin();
+        let b = l.begin();
+        assert!(a.equal(&b));
+        a.advance();
+        assert!(!a.equal(&b));
+        a.advance();
+        assert!(a.equal(&l.end()));
+    }
+
+    #[test]
+    #[should_panic(expected = "read past the end")]
+    fn slist_end_read_panics() {
+        let l: SList<i32> = SList::new();
+        l.begin().read();
+    }
+
+    #[test]
+    fn empty_slist_range_is_empty() {
+        let l: SList<i32> = SList::new();
+        assert!(l.range().is_empty());
+        assert_eq!(l.to_vec(), Vec::<i32>::new());
+    }
+}

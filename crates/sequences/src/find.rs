@@ -1,0 +1,256 @@
+//! Input-cursor searching algorithms.
+//!
+//! These are true *Input Cursor* algorithms: a single pass, no cursor
+//! saved and dereferenced later. They run clean against the semantic
+//! Input-Cursor archetype (`gp_core::archetype::SinglePassCursor`), in
+//! contrast to `max_element` (see [`crate::fold`]).
+
+use gp_core::cursor::{InputCursor, Range};
+
+/// Find the first position whose element equals `value`; returns the cursor
+/// there, or `None` if absent. `O(n)` comparisons.
+pub fn find<C>(r: Range<C>, value: &C::Item) -> Option<C>
+where
+    C: InputCursor,
+    C::Item: PartialEq,
+{
+    find_if(r, |x| x == value)
+}
+
+/// Find the first position satisfying `pred`.
+pub fn find_if<C: InputCursor>(r: Range<C>, mut pred: impl FnMut(&C::Item) -> bool) -> Option<C> {
+    let Range { mut first, last } = r;
+    while !first.equal(&last) {
+        if pred(&first.read()) {
+            return Some(first);
+        }
+        first.advance();
+    }
+    None
+}
+
+/// Count elements equal to `value`.
+pub fn count<C>(r: Range<C>, value: &C::Item) -> usize
+where
+    C: InputCursor,
+    C::Item: PartialEq,
+{
+    count_if(r, |x| x == value)
+}
+
+/// Count elements satisfying `pred`.
+pub fn count_if<C: InputCursor>(r: Range<C>, mut pred: impl FnMut(&C::Item) -> bool) -> usize {
+    let Range { mut first, last } = r;
+    let mut n = 0;
+    while !first.equal(&last) {
+        if pred(&first.read()) {
+            n += 1;
+        }
+        first.advance();
+    }
+    n
+}
+
+/// True if every element satisfies `pred` (vacuously true when empty).
+pub fn all_of<C: InputCursor>(r: Range<C>, mut pred: impl FnMut(&C::Item) -> bool) -> bool {
+    find_if(r, |x| !pred(x)).is_none()
+}
+
+/// True if some element satisfies `pred`.
+pub fn any_of<C: InputCursor>(r: Range<C>, pred: impl FnMut(&C::Item) -> bool) -> bool {
+    find_if(r, pred).is_some()
+}
+
+/// True if no element satisfies `pred`.
+pub fn none_of<C: InputCursor>(r: Range<C>, pred: impl FnMut(&C::Item) -> bool) -> bool {
+    find_if(r, pred).is_none()
+}
+
+/// Lexicographic element-wise equality of two ranges.
+pub fn ranges_equal<A, B>(a: Range<A>, b: Range<B>) -> bool
+where
+    A: InputCursor,
+    B: InputCursor<Item = A::Item>,
+    A::Item: PartialEq,
+{
+    let Range {
+        mut first,
+        last,
+    } = a;
+    let Range {
+        first: mut bfirst,
+        last: blast,
+    } = b;
+    loop {
+        match (first.equal(&last), bfirst.equal(&blast)) {
+            (true, true) => return true,
+            (false, false) => {
+                if first.read() != bfirst.read() {
+                    return false;
+                }
+                first.advance();
+                bfirst.advance();
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// First occurrence of the `pattern` range inside `haystack` (the STL
+/// `search` algorithm): returns the cursor at the start of the match.
+/// `O(n·m)` comparisons; requires Forward cursors (the pattern is traversed
+/// repeatedly — a multipass use, like `max_element`).
+pub fn search<H, P>(haystack: &gp_core::cursor::Range<H>, pattern: &gp_core::cursor::Range<P>) -> Option<H>
+where
+    H: gp_core::cursor::ForwardCursor,
+    P: gp_core::cursor::ForwardCursor<Item = H::Item>,
+    H::Item: PartialEq,
+{
+    if pattern.is_empty() {
+        return Some(haystack.first.clone());
+    }
+    let mut start = haystack.first.clone();
+    loop {
+        // Try to match the pattern at `start`.
+        let mut h = start.clone();
+        let mut p = pattern.first.clone();
+        loop {
+            if p.equal(&pattern.last) {
+                return Some(start); // full pattern matched
+            }
+            if h.equal(&haystack.last) {
+                return None; // haystack exhausted mid-match
+            }
+            if h.read() != p.read() {
+                break;
+            }
+            h.advance();
+            p.advance();
+        }
+        if start.equal(&haystack.last) {
+            return None;
+        }
+        start.advance();
+    }
+}
+
+/// First position where the two ranges differ; `None` if one is a prefix of
+/// the other (mismatch at the end).
+pub fn mismatch<A, B>(a: Range<A>, b: Range<B>) -> Option<(A, B)>
+where
+    A: InputCursor,
+    B: InputCursor<Item = A::Item>,
+    A::Item: PartialEq,
+{
+    let Range {
+        mut first,
+        last,
+    } = a;
+    let Range {
+        first: mut bfirst,
+        last: blast,
+    } = b;
+    while !first.equal(&last) && !bfirst.equal(&blast) {
+        if first.read() != bfirst.read() {
+            return Some((first, bfirst));
+        }
+        first.advance();
+        bfirst.advance();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containers::{ArraySeq, SList};
+    use gp_core::archetype::SinglePassCursor;
+    use gp_core::cursor::Range;
+
+    #[test]
+    fn find_works_on_both_container_kinds() {
+        let a: ArraySeq<i32> = vec![5, 3, 8, 3].into_iter().collect();
+        let c = find(a.range(), &8).unwrap();
+        assert_eq!(c.position(), 2);
+        assert!(find(a.range(), &99).is_none());
+
+        let l = SList::from_slice(&[5, 3, 8, 3]);
+        let c = find(l.range(), &8).unwrap();
+        assert_eq!(c.read(), 8);
+    }
+
+    #[test]
+    fn find_is_a_true_input_algorithm() {
+        // Runs clean against the single-pass semantic archetype: no
+        // multipass violation (contrast with max_element in fold.rs).
+        let (first, last, tracker) = SinglePassCursor::make_range(vec![1, 2, 3, 4]);
+        let hit = find(Range::new(first, last), &3);
+        assert!(hit.is_some());
+        assert_eq!(tracker.violations(), 0);
+    }
+
+    #[test]
+    fn count_and_predicates() {
+        let a: ArraySeq<i32> = vec![1, 2, 2, 3, 2].into_iter().collect();
+        assert_eq!(count(a.range(), &2), 3);
+        assert_eq!(count_if(a.range(), |x| x % 2 == 1), 2);
+        assert!(all_of(a.range(), |x| *x > 0));
+        assert!(any_of(a.range(), |x| *x == 3));
+        assert!(none_of(a.range(), |x| *x > 10));
+        // Vacuous truth on the empty range.
+        let e: ArraySeq<i32> = ArraySeq::new();
+        assert!(all_of(e.range(), |_| false));
+    }
+
+    #[test]
+    fn ranges_equal_crosses_container_kinds() {
+        let a: ArraySeq<i32> = vec![1, 2, 3].into_iter().collect();
+        let l = SList::from_slice(&[1, 2, 3]);
+        assert!(ranges_equal(a.range(), l.range()));
+        let l2 = SList::from_slice(&[1, 2]);
+        assert!(!ranges_equal(a.range(), l2.range()));
+        let l3 = SList::from_slice(&[1, 2, 4]);
+        assert!(!ranges_equal(a.range(), l3.range()));
+    }
+
+    #[test]
+    fn mismatch_reports_first_divergence() {
+        let a: ArraySeq<i32> = vec![1, 2, 3, 4].into_iter().collect();
+        let b: ArraySeq<i32> = vec![1, 2, 9, 4].into_iter().collect();
+        let (ca, cb) = mismatch(a.range(), b.range()).unwrap();
+        assert_eq!(ca.read(), 3);
+        assert_eq!(cb.read(), 9);
+        assert!(mismatch(a.range(), a.range()).is_none());
+    }
+
+    #[test]
+    fn subsequence_search_finds_first_match() {
+        let hay: ArraySeq<i32> = vec![1, 2, 3, 1, 2, 4, 1, 2, 4].into_iter().collect();
+        let needle: ArraySeq<i32> = vec![1, 2, 4].into_iter().collect();
+        let hit = search(&hay.range(), &needle.range()).unwrap();
+        assert_eq!(hit.position(), 3);
+        // Missing pattern.
+        let missing: ArraySeq<i32> = vec![2, 2].into_iter().collect();
+        assert!(search(&hay.range(), &missing.range()).is_none());
+        // Empty pattern matches at the start.
+        let empty: ArraySeq<i32> = ArraySeq::new();
+        assert_eq!(search(&hay.range(), &empty.range()).unwrap().position(), 0);
+        // Pattern longer than haystack.
+        let long: ArraySeq<i32> = (0..20).collect();
+        assert!(search(&hay.range(), &long.range()).is_none());
+    }
+
+    #[test]
+    fn subsequence_search_crosses_container_kinds() {
+        let hay = SList::from_slice(&[5, 6, 7, 8, 9]);
+        let pat: ArraySeq<i32> = vec![7, 8].into_iter().collect();
+        let hit = search(&hay.range(), &pat.range()).unwrap();
+        assert_eq!(hit.read(), 7);
+        // Suffix match.
+        let pat: ArraySeq<i32> = vec![8, 9].into_iter().collect();
+        assert!(search(&hay.range(), &pat.range()).is_some());
+        // Near-miss at the end.
+        let pat: ArraySeq<i32> = vec![9, 10].into_iter().collect();
+        assert!(search(&hay.range(), &pat.range()).is_none());
+    }
+}

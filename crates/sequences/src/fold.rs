@@ -1,0 +1,200 @@
+//! Reductions: `accumulate` over any Monoid, and the extremum algorithms.
+//!
+//! [`max_element`] is the paper's running example twice over:
+//!
+//! * **§3.1 (multipass):** it "depends on the multipass property of Forward
+//!   Iterators" because it remembers the cursor to the best element and
+//!   dereferences it again on later comparisons. Its signature therefore
+//!   demands [`ForwardCursor`]; running it against the semantic Input
+//!   archetype records violations — the experiment E4 demonstration.
+//! * **§3.3 (semantics):** it requires the comparison to satisfy the Strict
+//!   Weak Order axioms of Fig. 6, which `gp-proofs` verifies formally and
+//!   [`gp_core::order`] checks executably.
+
+use gp_core::algebra::Monoid;
+use gp_core::cursor::{ForwardCursor, InputCursor, Range};
+use gp_core::order::StrictWeakOrder;
+
+/// Fold a range through a [`Monoid`] — the `accumulate`/`reduce` algorithm.
+/// A true Input-Cursor algorithm: single pass, nothing saved.
+pub fn accumulate<C, O>(r: Range<C>, op: &O) -> C::Item
+where
+    C: InputCursor,
+    O: Monoid<C::Item>,
+{
+    let Range { mut first, last } = r;
+    let mut acc = op.identity();
+    while !first.equal(&last) {
+        acc = op.op(&acc, &first.read());
+        first.advance();
+    }
+    acc
+}
+
+/// Left fold with an explicit initial value and step function.
+pub fn fold_left<C: InputCursor, A>(
+    r: Range<C>,
+    init: A,
+    mut f: impl FnMut(A, C::Item) -> A,
+) -> A {
+    let Range { mut first, last } = r;
+    let mut acc = init;
+    while !first.equal(&last) {
+        acc = f(acc, first.read());
+        first.advance();
+    }
+    acc
+}
+
+/// Cursor to the first maximal element under `ord`, or `None` on an empty
+/// range.
+///
+/// Faithful to the STL implementation: the best *position* is remembered
+/// and re-read at every comparison — the hidden multipass dependency.
+pub fn max_element<C, O>(r: &Range<C>, ord: &O) -> Option<C>
+where
+    C: ForwardCursor,
+    O: StrictWeakOrder<C::Item>,
+{
+    if r.is_empty() {
+        return None;
+    }
+    let mut best = r.first.clone();
+    let mut cur = r.first.clone();
+    cur.advance();
+    while !cur.equal(&r.last) {
+        // Re-reads through the saved cursor: requires multipass.
+        if ord.less(&best.read(), &cur.read()) {
+            best = cur.clone();
+        }
+        cur.advance();
+    }
+    Some(best)
+}
+
+/// Cursor to the first minimal element under `ord`.
+pub fn min_element<C, O>(r: &Range<C>, ord: &O) -> Option<C>
+where
+    C: ForwardCursor,
+    O: StrictWeakOrder<C::Item>,
+{
+    if r.is_empty() {
+        return None;
+    }
+    let mut best = r.first.clone();
+    let mut cur = r.first.clone();
+    cur.advance();
+    while !cur.equal(&r.last) {
+        if ord.less(&cur.read(), &best.read()) {
+            best = cur.clone();
+        }
+        cur.advance();
+    }
+    Some(best)
+}
+
+/// Generic inner product of two ranges under arbitrary "plus" and "times"
+/// monoid/semigroup structure.
+pub fn inner_product<A, B, T>(
+    a: Range<A>,
+    b: Range<B>,
+    init: T,
+    mut plus: impl FnMut(T, T) -> T,
+    mut times: impl FnMut(&A::Item, &B::Item) -> T,
+) -> T
+where
+    A: InputCursor,
+    B: InputCursor,
+{
+    let Range { mut first, last } = a;
+    let Range {
+        first: mut bfirst,
+        last: blast,
+    } = b;
+    let mut acc = init;
+    while !first.equal(&last) && !bfirst.equal(&blast) {
+        acc = plus(acc, times(&first.read(), &bfirst.read()));
+        first.advance();
+        bfirst.advance();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containers::{ArraySeq, SList};
+    use gp_core::algebra::{AddOp, MulOp};
+    use gp_core::archetype::SinglePassCursor;
+    use gp_core::order::NaturalLess;
+
+    #[test]
+    fn accumulate_over_add_and_mul_monoids() {
+        let a: ArraySeq<i64> = vec![1, 2, 3, 4].into_iter().collect();
+        assert_eq!(accumulate(a.range(), &AddOp), 10);
+        assert_eq!(accumulate(a.range(), &MulOp), 24);
+        let e: ArraySeq<i64> = ArraySeq::new();
+        assert_eq!(accumulate(e.range(), &AddOp), 0); // identity on empty
+    }
+
+    #[test]
+    fn accumulate_works_on_forward_only_lists() {
+        let l = SList::from_slice(&[10i64, 20, 30]);
+        assert_eq!(accumulate(l.range(), &AddOp), 60);
+    }
+
+    #[test]
+    fn fold_left_is_sequential() {
+        let a: ArraySeq<i64> = vec![1, 2, 3].into_iter().collect();
+        // Non-associative step: order matters, proving left-to-right fold.
+        let r = fold_left(a.range(), 100, |acc, x| acc - x);
+        assert_eq!(r, 94);
+    }
+
+    #[test]
+    fn max_element_finds_first_maximum() {
+        let a: ArraySeq<i32> = vec![3, 9, 4, 9, 1].into_iter().collect();
+        let c = max_element(&a.range(), &NaturalLess).unwrap();
+        assert_eq!(c.position(), 1); // first of the two 9s
+        assert_eq!(c.read(), 9);
+        let c = min_element(&a.range(), &NaturalLess).unwrap();
+        assert_eq!(c.read(), 1);
+        let e: ArraySeq<i32> = ArraySeq::new();
+        assert!(max_element(&e.range(), &NaturalLess).is_none());
+    }
+
+    #[test]
+    fn max_element_works_on_forward_lists() {
+        let l = SList::from_slice(&[5, 2, 8, 3]);
+        let c = max_element(&l.range(), &NaturalLess).unwrap();
+        assert_eq!(c.read(), 8);
+    }
+
+    /// The §3.1 demonstration: `max_element` violates the single-pass
+    /// semantic archetype, exposing its Forward (multipass) requirement;
+    /// `accumulate` on the same data does not.
+    #[test]
+    fn max_element_violates_input_cursor_semantics() {
+        let (first, last, tracker) = SinglePassCursor::make_range(vec![3, 9, 4, 1]);
+        let r = gp_core::cursor::Range::new(first, last);
+        let best = max_element(&r, &NaturalLess).unwrap();
+        assert_eq!(best.read(), 9);
+        assert!(
+            tracker.violations() > 0,
+            "max_element must reread saved positions"
+        );
+
+        let (first, last, tracker) = SinglePassCursor::make_range(vec![3, 9, 4, 1]);
+        let sum = accumulate(gp_core::cursor::Range::new(first, last), &AddOp);
+        assert_eq!(sum, 17);
+        assert_eq!(tracker.violations(), 0, "accumulate is single-pass");
+    }
+
+    #[test]
+    fn inner_product_matches_hand_dot() {
+        let a: ArraySeq<i64> = vec![1, 2, 3].into_iter().collect();
+        let b: ArraySeq<i64> = vec![4, 5, 6].into_iter().collect();
+        let dot = inner_product(a.range(), b.range(), 0i64, |x, y| x + y, |x, y| x * y);
+        assert_eq!(dot, 32);
+    }
+}

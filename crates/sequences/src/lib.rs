@@ -1,0 +1,43 @@
+//! # gp-sequences — generic sequence containers and algorithms
+//!
+//! The STL-analog substrate of the reproduction: containers with cursor
+//! (iterator) access and generic algorithms specified **against concepts**,
+//! not container types. This is the library that the paper's systems act
+//! on — STLlint checks uses of it, Simplicissimus optimizes expressions
+//! over it, the taxonomy classifies its algorithms, and the proof layer
+//! verifies the axioms its comparators must satisfy.
+//!
+//! Modules:
+//!
+//! * [`containers`] — [`containers::ArraySeq`] (random-access) and
+//!   [`containers::SList`] (forward-only singly linked list): the two ends
+//!   of the cursor-concept spectrum that drive concept-based overloading.
+//! * [`find`] — input-cursor searches (`find`, `find_if`, `count`, …).
+//! * [`fold`] — `accumulate` over any Monoid, `max_element`/`min_element`
+//!   (the multipass-dependent algorithms of §3.1).
+//! * [`binary`] — `lower_bound`, `upper_bound`, `binary_search`,
+//!   `equal_range`: `O(log n)` comparisons on any forward cursor.
+//! * [`sort`] — introsort for random access, merge sort for forward-only
+//!   lists, and the [`sort::ConceptSort`] dispatch facade (experiment E7).
+//! * [`modify`] — `copy`, `transform`, `fill`, `reverse`, `rotate`,
+//!   `partition`, `unique`, `merge`.
+//! * [`select`] — `nth_element` (expected `O(n)` quickselect),
+//!   `partial_sort` (`O(n log k)`), `min_max_element` (~3n/2 comparisons).
+//! * [`setops`] — sorted-range set algebra (`includes`, `set_union`,
+//!   `set_intersection`, `set_difference`) plus `adjacent_find`,
+//!   `remove_if`.
+//! * [`concepts`] — registers the cursor-concept hierarchy and this crate's
+//!   algorithm implementations in a [`gp_core::concept::Registry`] for
+//!   reflective dispatch and the experiment binaries.
+
+pub mod binary;
+pub mod concepts;
+pub mod containers;
+pub mod find;
+pub mod fold;
+pub mod modify;
+pub mod select;
+pub mod setops;
+pub mod sort;
+
+pub use containers::{ArraySeq, SList};

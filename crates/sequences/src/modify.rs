@@ -1,0 +1,248 @@
+//! Mutating and copying sequence algorithms: `copy`, `transform`, `fill`,
+//! `reverse`, `rotate`, `partition`, `unique`, `merge`.
+//!
+//! Copying algorithms are generic over input/output cursors; in-place
+//! algorithms operate on slices (the idiomatic Rust form of mutable
+//! random-access ranges). Several of these are *invalidation-relevant* for
+//! the checker: their IR counterparts in `gp-checker` carry the same
+//! pre/postcondition specifications.
+
+use gp_core::cursor::{InputCursor, OutputCursor, Range};
+use gp_core::order::StrictWeakOrder;
+
+/// Copy a range to an output cursor. Returns the number of elements copied.
+pub fn copy<C, O>(r: Range<C>, out: &mut O) -> usize
+where
+    C: InputCursor,
+    O: OutputCursor<Item = C::Item>,
+{
+    let Range { mut first, last } = r;
+    let mut n = 0;
+    while !first.equal(&last) {
+        out.put(first.read());
+        first.advance();
+        n += 1;
+    }
+    n
+}
+
+/// Copy a transformed range to an output cursor.
+pub fn transform<C, O, U>(
+    r: Range<C>,
+    out: &mut O,
+    mut f: impl FnMut(C::Item) -> U,
+) -> usize
+where
+    C: InputCursor,
+    O: OutputCursor<Item = U>,
+{
+    let Range { mut first, last } = r;
+    let mut n = 0;
+    while !first.equal(&last) {
+        out.put(f(first.read()));
+        first.advance();
+        n += 1;
+    }
+    n
+}
+
+/// Fill a slice with clones of `value`.
+pub fn fill<T: Clone>(v: &mut [T], value: &T) {
+    for x in v.iter_mut() {
+        *x = value.clone();
+    }
+}
+
+/// Reverse a slice in place (bidirectional-cursor algorithm).
+pub fn reverse<T>(v: &mut [T]) {
+    let n = v.len();
+    for i in 0..n / 2 {
+        v.swap(i, n - 1 - i);
+    }
+}
+
+/// Left-rotate a slice so that the element at `mid` becomes first
+/// (the three-reversal rotate).
+pub fn rotate<T>(v: &mut [T], mid: usize) {
+    assert!(mid <= v.len(), "rotation point out of range");
+    v[..mid].reverse();
+    v[mid..].reverse();
+    v.reverse();
+}
+
+/// Stable-order-agnostic partition: moves elements satisfying `pred` to the
+/// front; returns the partition point.
+pub fn partition<T>(v: &mut [T], mut pred: impl FnMut(&T) -> bool) -> usize {
+    let mut store = 0;
+    for i in 0..v.len() {
+        if pred(&v[i]) {
+            v.swap(i, store);
+            store += 1;
+        }
+    }
+    store
+}
+
+/// True if the slice is partitioned by `pred` (all satisfying elements
+/// before all non-satisfying ones).
+pub fn is_partitioned<T>(v: &[T], mut pred: impl FnMut(&T) -> bool) -> bool {
+    let mut seen_false = false;
+    for x in v {
+        if pred(x) {
+            if seen_false {
+                return false;
+            }
+        } else {
+            seen_false = true;
+        }
+    }
+    true
+}
+
+/// Remove consecutive duplicates in place (the `unique` algorithm);
+/// returns the new logical length. **Precondition for full deduplication:**
+/// the range is sorted — the entry-handler specification the checker
+/// enforces (calling `unique` on unsorted data only removes *adjacent*
+/// duplicates, a classic latent bug).
+pub fn unique<T: PartialEq>(v: &mut Vec<T>) -> usize {
+    v.dedup();
+    v.len()
+}
+
+/// Merge two sorted ranges into an output cursor. Stable: ties favor the
+/// first range. Precondition: both inputs sorted w.r.t. `ord`.
+pub fn merge<A, B, O, Ord>(a: Range<A>, b: Range<B>, ord: &Ord, out: &mut O) -> usize
+where
+    A: InputCursor,
+    B: InputCursor<Item = A::Item>,
+    O: OutputCursor<Item = A::Item>,
+    Ord: StrictWeakOrder<A::Item>,
+{
+    let Range { mut first, last } = a;
+    let Range {
+        first: mut bfirst,
+        last: blast,
+    } = b;
+    let mut n = 0;
+    while !first.equal(&last) && !bfirst.equal(&blast) {
+        let (av, bv) = (first.read(), bfirst.read());
+        if ord.less(&bv, &av) {
+            out.put(bv);
+            bfirst.advance();
+        } else {
+            out.put(av);
+            first.advance();
+        }
+        n += 1;
+    }
+    while !first.equal(&last) {
+        out.put(first.read());
+        first.advance();
+        n += 1;
+    }
+    while !bfirst.equal(&blast) {
+        out.put(bfirst.read());
+        bfirst.advance();
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containers::{ArraySeq, SList};
+    use gp_core::cursor::PushBackCursor;
+    use gp_core::order::NaturalLess;
+
+    #[test]
+    fn copy_and_transform_cross_container_kinds() {
+        let l = SList::from_slice(&[1, 2, 3]);
+        let mut out = Vec::new();
+        assert_eq!(copy(l.range(), &mut PushBackCursor::new(&mut out)), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+
+        let a: ArraySeq<i32> = vec![1, 2, 3].into_iter().collect();
+        let mut out = Vec::new();
+        transform(a.range(), &mut PushBackCursor::new(&mut out), |x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn fill_reverse_rotate() {
+        let mut v = vec![1, 2, 3];
+        fill(&mut v, &9);
+        assert_eq!(v, vec![9, 9, 9]);
+
+        let mut v = vec![1, 2, 3, 4, 5];
+        reverse(&mut v);
+        assert_eq!(v, vec![5, 4, 3, 2, 1]);
+
+        let mut v = vec![1, 2, 3, 4, 5];
+        rotate(&mut v, 2);
+        assert_eq!(v, vec![3, 4, 5, 1, 2]);
+        rotate(&mut v, 0);
+        assert_eq!(v, vec![3, 4, 5, 1, 2]);
+        let len = v.len();
+        rotate(&mut v, len);
+        assert_eq!(v, vec![3, 4, 5, 1, 2]);
+    }
+
+    #[test]
+    fn partition_splits_and_reports_point() {
+        let mut v = vec![1, 8, 3, 6, 5, 2, 7];
+        let p = partition(&mut v, |x| x % 2 == 0);
+        assert_eq!(p, 3);
+        assert!(is_partitioned(&v, |x| x % 2 == 0));
+        assert!(v[..p].iter().all(|x| x % 2 == 0));
+        assert!(v[p..].iter().all(|x| x % 2 == 1));
+    }
+
+    #[test]
+    fn is_partitioned_rejects_interleaving() {
+        assert!(!is_partitioned(&[2, 1, 4], |x| x % 2 == 0));
+        assert!(is_partitioned::<i32>(&[], |_| true));
+    }
+
+    #[test]
+    fn unique_full_dedup_requires_sortedness() {
+        // Sorted input: full dedup (the intended use).
+        let mut v = vec![1, 1, 2, 2, 2, 3];
+        assert_eq!(unique(&mut v), 3);
+        assert_eq!(v, vec![1, 2, 3]);
+        // Unsorted input: only adjacent duplicates go — the latent bug the
+        // checker's entry handler warns about.
+        let mut v = vec![1, 2, 1, 1, 2];
+        assert_eq!(unique(&mut v), 4);
+        assert_eq!(v, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn merge_is_stable_and_total() {
+        let a: ArraySeq<i32> = vec![1, 3, 5, 7].into_iter().collect();
+        let b = SList::from_slice(&[2, 3, 6]);
+        let mut out = Vec::new();
+        let n = merge(
+            a.range(),
+            b.range(),
+            &NaturalLess,
+            &mut PushBackCursor::new(&mut out),
+        );
+        assert_eq!(n, 7);
+        assert_eq!(out, vec![1, 2, 3, 3, 5, 6, 7]);
+    }
+
+    #[test]
+    fn merge_with_one_empty_side() {
+        let a: ArraySeq<i32> = ArraySeq::new();
+        let b: ArraySeq<i32> = vec![1, 2].into_iter().collect();
+        let mut out = Vec::new();
+        merge(
+            a.range(),
+            b.range(),
+            &NaturalLess,
+            &mut PushBackCursor::new(&mut out),
+        );
+        assert_eq!(out, vec![1, 2]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Selection algorithms: `nth_element` (quickselect), `partial_sort`
+//! (heap-based), and `min_max_element`.
+//!
+//! Taxonomy value: these occupy the complexity niches *between* `find` and
+//! `sort` — `nth_element` is `O(n)` expected, `partial_sort` is
+//! `O(n log k)` — exactly the kind of distinction the paper says the
+//! algorithm concept taxonomies exist to record ("making distinctions
+//! between some of the algorithms in these domains requires more
+//! precision").
+
+use crate::sort::{heapsort, insertion_sort};
+use gp_core::cursor::{ForwardCursor, Range};
+use gp_core::order::StrictWeakOrder;
+
+/// Rearrange so that `v[n]` holds the element that would be there after a
+/// full sort, with everything before it not-greater and everything after
+/// not-less. Expected `O(n)` (quickselect with median-of-three pivots,
+/// insertion sort on small ranges).
+pub fn nth_element<T, O: StrictWeakOrder<T>>(v: &mut [T], n: usize, ord: &O) {
+    assert!(n < v.len(), "nth_element index out of range");
+    let mut lo = 0;
+    let mut hi = v.len();
+    // Invariant: the target index lies in v[lo..hi].
+    while hi - lo > 16 {
+        let mid = lo + (hi - lo) / 2;
+        // Median-of-three into position `lo`.
+        if ord.less(&v[mid], &v[lo]) {
+            v.swap(lo, mid);
+        }
+        if ord.less(&v[hi - 1], &v[mid]) {
+            v.swap(mid, hi - 1);
+            if ord.less(&v[mid], &v[lo]) {
+                v.swap(lo, mid);
+            }
+        }
+        v.swap(lo, mid);
+        // Hoare-style partition of v[lo..hi] around v[lo].
+        let mut i = lo + 1;
+        let mut j = hi - 1;
+        loop {
+            while i <= j && ord.less(&v[i], &v[lo]) {
+                i += 1;
+            }
+            while i <= j && ord.less(&v[lo], &v[j]) {
+                j -= 1;
+            }
+            if i >= j {
+                break;
+            }
+            v.swap(i, j);
+            i += 1;
+            j -= 1;
+        }
+        v.swap(lo, i - 1);
+        let p = i - 1;
+        match n.cmp(&p) {
+            std::cmp::Ordering::Equal => return,
+            std::cmp::Ordering::Less => hi = p,
+            std::cmp::Ordering::Greater => lo = p + 1,
+        }
+    }
+    insertion_sort(&mut v[lo..hi], ord);
+}
+
+/// Sort the smallest `k` elements into `v[..k]` (ascending); the tail is
+/// an unspecified permutation of the rest. `O(n log k)` comparisons via a
+/// bounded max-heap.
+pub fn partial_sort<T, O: StrictWeakOrder<T>>(v: &mut [T], k: usize, ord: &O) {
+    assert!(k <= v.len(), "partial_sort bound out of range");
+    if k == 0 {
+        return;
+    }
+    // Build a max-heap of the first k elements (ord gives "less"; heapsort's
+    // sift uses max-at-root ordering, reuse its shape inline).
+    let rev = ReverseOrd(ord);
+    // Max-heap on v[..k]: parent not less than children under `ord`.
+    for i in (0..k / 2).rev() {
+        sift_down_max(v, i, k, ord);
+    }
+    // Scan the tail: anything smaller than the heap root displaces it.
+    for i in k..v.len() {
+        if ord.less(&v[i], &v[0]) {
+            v.swap(0, i);
+            sift_down_max(v, 0, k, ord);
+        }
+    }
+    // Sort the heap region ascending.
+    heapsort(&mut v[..k], ord);
+    let _ = rev;
+}
+
+fn sift_down_max<T, O: StrictWeakOrder<T>>(v: &mut [T], mut root: usize, end: usize, ord: &O) {
+    loop {
+        let mut child = 2 * root + 1;
+        if child >= end {
+            return;
+        }
+        if child + 1 < end && ord.less(&v[child], &v[child + 1]) {
+            child += 1;
+        }
+        if ord.less(&v[root], &v[child]) {
+            v.swap(root, child);
+            root = child;
+        } else {
+            return;
+        }
+    }
+}
+
+struct ReverseOrd<'a, O>(&'a O);
+impl<T, O: StrictWeakOrder<T>> StrictWeakOrder<T> for ReverseOrd<'_, O> {
+    fn less(&self, a: &T, b: &T) -> bool {
+        self.0.less(b, a)
+    }
+}
+
+/// Both extrema in one pass with ~3n/2 comparisons (the pairwise trick):
+/// returns cursors to the first minimum and first maximum.
+pub fn min_max_element<C, O>(r: &Range<C>, ord: &O) -> Option<(C, C)>
+where
+    C: ForwardCursor,
+    O: StrictWeakOrder<C::Item>,
+{
+    if r.is_empty() {
+        return None;
+    }
+    let mut min = r.first.clone();
+    let mut max = r.first.clone();
+    let mut cur = r.first.clone();
+    cur.advance();
+    while !cur.equal(&r.last) {
+        let a = cur.clone();
+        let mut b = cur.clone();
+        b.advance();
+        if b.equal(&r.last) {
+            // Odd leftover element.
+            if ord.less(&a.read(), &min.read()) {
+                min = a.clone();
+            }
+            if ord.less(&max.read(), &a.read()) {
+                max = a;
+            }
+            break;
+        }
+        // Compare the pair first, then each against the running extrema:
+        // 3 comparisons per 2 elements.
+        let (lo, hi) = if ord.less(&b.read(), &a.read()) {
+            (b.clone(), a)
+        } else {
+            (a, b.clone())
+        };
+        if ord.less(&lo.read(), &min.read()) {
+            min = lo;
+        }
+        if ord.less(&max.read(), &hi.read()) {
+            max = hi;
+        }
+        cur = b;
+        cur.advance();
+    }
+    Some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_core::archetype::{Counters, CountingOrder};
+    use gp_core::cursor::{InputCursor, SliceCursor};
+    use gp_core::order::NaturalLess;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-10_000..10_000)).collect()
+    }
+
+    #[test]
+    fn nth_element_places_the_order_statistic() {
+        for seed in 0..5 {
+            let orig = random(501, seed);
+            for &n in &[0usize, 1, 250, 499, 500] {
+                let mut v = orig.clone();
+                nth_element(&mut v, n, &NaturalLess);
+                let mut expect = orig.clone();
+                expect.sort_unstable();
+                assert_eq!(v[n], expect[n], "seed={seed} n={n}");
+                assert!(v[..n].iter().all(|x| *x <= v[n]));
+                assert!(v[n + 1..].iter().all(|x| *x >= v[n]));
+            }
+        }
+    }
+
+    #[test]
+    fn nth_element_is_linear_ish_in_comparisons() {
+        // Expected O(n): comparisons well under n log n for large n.
+        let mut v = random(100_000, 9);
+        let counters = Counters::new();
+        let ord = CountingOrder::new(NaturalLess, counters.clone());
+        nth_element(&mut v, 50_000, &ord);
+        let n = 100_000f64;
+        assert!(
+            (counters.comparisons() as f64) < 1.2 * n * n.log2() / 2.0,
+            "{} comparisons looks superlinear",
+            counters.comparisons()
+        );
+    }
+
+    #[test]
+    fn partial_sort_gives_the_smallest_k_sorted() {
+        for seed in 5..9 {
+            let orig = random(300, seed);
+            let mut expect = orig.clone();
+            expect.sort_unstable();
+            for &k in &[0usize, 1, 10, 150, 300] {
+                let mut v = orig.clone();
+                partial_sort(&mut v, k, &NaturalLess);
+                assert_eq!(&v[..k], &expect[..k], "seed={seed} k={k}");
+                // Tail is the complementary multiset.
+                let mut tail = v[k..].to_vec();
+                tail.sort_unstable();
+                assert_eq!(tail, expect[k..], "seed={seed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_sort_comparisons_scale_with_k_not_n() {
+        let orig = random(100_000, 11);
+        let count_for = |k: usize| {
+            let mut v = orig.clone();
+            let counters = Counters::new();
+            let ord = CountingOrder::new(NaturalLess, counters.clone());
+            partial_sort(&mut v, k, &ord);
+            counters.comparisons()
+        };
+        let small = count_for(10);
+        let full_sortish = count_for(50_000);
+        assert!(
+            small * 4 < full_sortish,
+            "k=10 ({small}) should be far cheaper than k=50000 ({full_sortish})"
+        );
+    }
+
+    #[test]
+    fn min_max_element_finds_both_extrema_cheaply() {
+        let v = random(1001, 13);
+        let counters = Counters::new();
+        let ord = CountingOrder::new(NaturalLess, counters.clone());
+        let r = SliceCursor::whole(&v);
+        let (min, max) = min_max_element(&r, &ord).unwrap();
+        assert_eq!(min.read(), *v.iter().min().unwrap());
+        assert_eq!(max.read(), *v.iter().max().unwrap());
+        // ~3n/2 comparisons, versus ~2n for two independent scans.
+        assert!(
+            counters.comparisons() <= 3 * v.len() as u64 / 2 + 4,
+            "{} comparisons exceeds 3n/2",
+            counters.comparisons()
+        );
+    }
+
+    #[test]
+    fn min_max_on_tiny_ranges() {
+        let v = [7i64];
+        let r = SliceCursor::whole(&v);
+        let (min, max) = min_max_element(&r, &NaturalLess).unwrap();
+        assert_eq!(min.read(), 7);
+        assert_eq!(max.read(), 7);
+        let e: [i64; 0] = [];
+        assert!(min_max_element(&SliceCursor::whole(&e), &NaturalLess).is_none());
+        let v = [3i64, 1];
+        let r = SliceCursor::whole(&v);
+        let (min, max) = min_max_element(&r, &NaturalLess).unwrap();
+        assert_eq!((min.read(), max.read()), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nth_element_bounds_checked() {
+        let mut v = vec![1, 2, 3];
+        nth_element(&mut v, 3, &NaturalLess);
+    }
+}

@@ -1,0 +1,273 @@
+//! Set operations on **sorted** ranges: `includes`, `set_union`,
+//! `set_intersection`, `set_difference`, plus `adjacent_find` and
+//! `remove_if`.
+//!
+//! Every set operation carries the sortedness precondition — the same
+//! semantic property the checker's entry handlers track (§3.1) — and runs
+//! in `O(n + m)` comparisons over any pair of input cursors.
+
+use gp_core::cursor::{ForwardCursor, InputCursor, OutputCursor, Range};
+use gp_core::order::StrictWeakOrder;
+
+/// True if every element of sorted `b` appears in sorted `a` (multiset
+/// semantics under the order's equivalence).
+pub fn includes<A, B, O>(a: Range<A>, b: Range<B>, ord: &O) -> bool
+where
+    A: InputCursor,
+    B: InputCursor<Item = A::Item>,
+    O: StrictWeakOrder<A::Item>,
+{
+    let Range { mut first, last } = a;
+    let Range {
+        first: mut bfirst,
+        last: blast,
+    } = b;
+    while !bfirst.equal(&blast) {
+        if first.equal(&last) {
+            return false;
+        }
+        let (av, bv) = (first.read(), bfirst.read());
+        if ord.less(&bv, &av) {
+            return false; // b's element can no longer appear in a
+        }
+        if !ord.less(&av, &bv) {
+            bfirst.advance(); // equivalent: matched
+        }
+        first.advance();
+    }
+    true
+}
+
+/// Merge two sorted ranges into their sorted union (each equivalence class
+/// contributes `max(count_a, count_b)` elements, like `std::set_union`).
+pub fn set_union<A, B, Out, O>(a: Range<A>, b: Range<B>, ord: &O, out: &mut Out) -> usize
+where
+    A: InputCursor,
+    B: InputCursor<Item = A::Item>,
+    Out: OutputCursor<Item = A::Item>,
+    O: StrictWeakOrder<A::Item>,
+{
+    let Range { mut first, last } = a;
+    let Range {
+        first: mut bfirst,
+        last: blast,
+    } = b;
+    let mut n = 0;
+    loop {
+        match (first.equal(&last), bfirst.equal(&blast)) {
+            (true, true) => return n,
+            (true, false) => {
+                out.put(bfirst.read());
+                bfirst.advance();
+                n += 1;
+            }
+            (false, true) => {
+                out.put(first.read());
+                first.advance();
+                n += 1;
+            }
+            (false, false) => {
+                let (av, bv) = (first.read(), bfirst.read());
+                if ord.less(&bv, &av) {
+                    out.put(bv);
+                    bfirst.advance();
+                } else {
+                    if !ord.less(&av, &bv) {
+                        bfirst.advance(); // equivalent: consume both, emit one
+                    }
+                    out.put(av);
+                    first.advance();
+                }
+                n += 1;
+            }
+        }
+    }
+}
+
+/// Elements present in both sorted ranges (pairwise by equivalence class).
+pub fn set_intersection<A, B, Out, O>(a: Range<A>, b: Range<B>, ord: &O, out: &mut Out) -> usize
+where
+    A: InputCursor,
+    B: InputCursor<Item = A::Item>,
+    Out: OutputCursor<Item = A::Item>,
+    O: StrictWeakOrder<A::Item>,
+{
+    let Range { mut first, last } = a;
+    let Range {
+        first: mut bfirst,
+        last: blast,
+    } = b;
+    let mut n = 0;
+    while !first.equal(&last) && !bfirst.equal(&blast) {
+        let (av, bv) = (first.read(), bfirst.read());
+        if ord.less(&av, &bv) {
+            first.advance();
+        } else if ord.less(&bv, &av) {
+            bfirst.advance();
+        } else {
+            out.put(av);
+            first.advance();
+            bfirst.advance();
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Elements of sorted `a` with matches from sorted `b` removed
+/// (pairwise by equivalence class).
+pub fn set_difference<A, B, Out, O>(a: Range<A>, b: Range<B>, ord: &O, out: &mut Out) -> usize
+where
+    A: InputCursor,
+    B: InputCursor<Item = A::Item>,
+    Out: OutputCursor<Item = A::Item>,
+    O: StrictWeakOrder<A::Item>,
+{
+    let Range { mut first, last } = a;
+    let Range {
+        first: mut bfirst,
+        last: blast,
+    } = b;
+    let mut n = 0;
+    while !first.equal(&last) {
+        if bfirst.equal(&blast) {
+            out.put(first.read());
+            first.advance();
+            n += 1;
+            continue;
+        }
+        let (av, bv) = (first.read(), bfirst.read());
+        if ord.less(&av, &bv) {
+            out.put(av);
+            first.advance();
+            n += 1;
+        } else if ord.less(&bv, &av) {
+            bfirst.advance();
+        } else {
+            first.advance();
+            bfirst.advance();
+        }
+    }
+    n
+}
+
+/// First position whose element is equivalent to its successor's
+/// (`adjacent_find`); `None` if all neighbors differ.
+pub fn adjacent_find<C, O>(r: &Range<C>, ord: &O) -> Option<C>
+where
+    C: ForwardCursor,
+    O: StrictWeakOrder<C::Item>,
+{
+    if r.is_empty() {
+        return None;
+    }
+    let mut prev = r.first.clone();
+    let mut cur = r.first.clone();
+    cur.advance();
+    while !cur.equal(&r.last) {
+        if ord.equiv(&prev.read(), &cur.read()) {
+            return Some(prev);
+        }
+        prev = cur.clone();
+        cur.advance();
+    }
+    None
+}
+
+/// Remove elements satisfying `pred` in place, preserving order; returns
+/// the new length (`remove_if` + `erase`, fused as Rust's retain idiom).
+pub fn remove_if<T>(v: &mut Vec<T>, mut pred: impl FnMut(&T) -> bool) -> usize {
+    v.retain(|x| !pred(x));
+    v.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containers::{ArraySeq, SList};
+    use gp_core::cursor::PushBackCursor;
+    use gp_core::order::NaturalLess;
+
+    fn arr(v: &[i32]) -> ArraySeq<i32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn includes_is_multiset_subset() {
+        let a = arr(&[1, 2, 2, 3, 5, 8]);
+        assert!(includes(a.range(), arr(&[2, 3, 8]).range(), &NaturalLess));
+        assert!(includes(a.range(), arr(&[2, 2]).range(), &NaturalLess));
+        assert!(!includes(a.range(), arr(&[2, 2, 2]).range(), &NaturalLess));
+        assert!(!includes(a.range(), arr(&[4]).range(), &NaturalLess));
+        assert!(includes(a.range(), arr(&[]).range(), &NaturalLess));
+        assert!(!includes(arr(&[]).range(), arr(&[1]).range(), &NaturalLess));
+    }
+
+    #[test]
+    fn union_intersection_difference_agree_with_hand_sets() {
+        let a = arr(&[1, 2, 2, 4, 6]);
+        let b = SList::from_slice(&[2, 4, 5]);
+        let mut u = Vec::new();
+        set_union(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut u));
+        assert_eq!(u, vec![1, 2, 2, 4, 5, 6]);
+        let mut i = Vec::new();
+        set_intersection(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut i));
+        assert_eq!(i, vec![2, 4]);
+        let mut d = Vec::new();
+        set_difference(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut d));
+        assert_eq!(d, vec![1, 2, 6]);
+    }
+
+    #[test]
+    fn set_identities_hold() {
+        // |A∪B| + |A∩B| = |A| + |B| for multisets.
+        let a = arr(&[1, 1, 3, 7, 9, 9]);
+        let b = arr(&[1, 3, 3, 9]);
+        let mut u = Vec::new();
+        let nu = set_union(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut u));
+        let mut i = Vec::new();
+        let ni =
+            set_intersection(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut i));
+        assert_eq!(nu + ni, a.len() + b.len());
+        // A\B and A∩B partition A.
+        let mut d = Vec::new();
+        let nd =
+            set_difference(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut d));
+        assert_eq!(nd + ni, a.len());
+        // Union of sorted inputs is sorted.
+        assert!(u.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_side_cases() {
+        let a = arr(&[1, 2]);
+        let e = arr(&[]);
+        let mut u = Vec::new();
+        set_union(a.range(), e.range(), &NaturalLess, &mut PushBackCursor::new(&mut u));
+        assert_eq!(u, vec![1, 2]);
+        let mut i = Vec::new();
+        assert_eq!(
+            set_intersection(e.range(), a.range(), &NaturalLess, &mut PushBackCursor::new(&mut i)),
+            0
+        );
+    }
+
+    #[test]
+    fn adjacent_find_locates_first_duplicate_pair() {
+        let a = arr(&[3, 1, 4, 4, 5, 5]);
+        let hit = adjacent_find(&a.range(), &NaturalLess).unwrap();
+        assert_eq!(hit.position(), 2);
+        let b = arr(&[1, 2, 3]);
+        assert!(adjacent_find(&b.range(), &NaturalLess).is_none());
+        assert!(adjacent_find(&arr(&[]).range(), &NaturalLess).is_none());
+        assert!(adjacent_find(&arr(&[7]).range(), &NaturalLess).is_none());
+    }
+
+    #[test]
+    fn remove_if_retains_order() {
+        let mut v = vec![1, 2, 3, 4, 5, 6];
+        let n = remove_if(&mut v, |x| x % 2 == 0);
+        assert_eq!(n, 3);
+        assert_eq!(v, vec![1, 3, 5]);
+    }
+}

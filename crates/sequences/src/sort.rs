@@ -1,0 +1,386 @@
+//! Sorting, with concept-based algorithm selection.
+//!
+//! The paper's §2.1 example: "when applying a sorting algorithm to a data
+//! structure, we must consider how the elements … are accessed: if they can
+//! only be accessed linearly (as with a linked list) we might select a
+//! default algorithm, but if they can be accessed efficiently via indexing
+//! (as with an array) we can apply the more-efficient quicksort algorithm."
+//!
+//! * Random access ([`crate::ArraySeq`], slices) → [`introsort`]
+//!   (median-of-three quicksort with a heapsort depth guard and insertion
+//!   sort for small runs — in-place, `O(n log n)`).
+//! * Forward access ([`crate::SList`]) → [`sort_list`] (top-down merge
+//!   sort — `O(n log n)` comparisons without ever indexing).
+//!
+//! The [`ConceptSort`] trait is the compile-time dispatch facade
+//! (experiment E7); the reflective equivalent goes through
+//! [`gp_core::concept::resolve_overload`] (see [`crate::concepts`]).
+//!
+//! Every algorithm takes its comparison as a [`StrictWeakOrder`] — the
+//! semantic-concept obligation of Fig. 6.
+
+use crate::containers::{ArraySeq, SList};
+use gp_core::cursor::{Category, InputCursor};
+use gp_core::order::StrictWeakOrder;
+
+/// Insertion sort: `O(n²)` worst case but the best choice for tiny or
+/// nearly-sorted ranges; used as introsort's base case.
+pub fn insertion_sort<T, O: StrictWeakOrder<T>>(v: &mut [T], ord: &O) {
+    for i in 1..v.len() {
+        let mut j = i;
+        while j > 0 && ord.less(&v[j], &v[j - 1]) {
+            v.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
+fn sift_down<T, O: StrictWeakOrder<T>>(v: &mut [T], mut root: usize, end: usize, ord: &O) {
+    loop {
+        let mut child = 2 * root + 1;
+        if child >= end {
+            return;
+        }
+        if child + 1 < end && ord.less(&v[child], &v[child + 1]) {
+            child += 1;
+        }
+        if ord.less(&v[root], &v[child]) {
+            v.swap(root, child);
+            root = child;
+        } else {
+            return;
+        }
+    }
+}
+
+/// Heapsort: in-place, guaranteed `O(n log n)`; introsort's fallback when
+/// quicksort recursion degenerates.
+pub fn heapsort<T, O: StrictWeakOrder<T>>(v: &mut [T], ord: &O) {
+    let n = v.len();
+    for i in (0..n / 2).rev() {
+        sift_down(v, i, n, ord);
+    }
+    for end in (1..n).rev() {
+        v.swap(0, end);
+        sift_down(v, 0, end, ord);
+    }
+}
+
+/// Median-of-three pivot selection: moves the median of first/middle/last
+/// to the front and returns it as the pivot index.
+fn median_of_three<T, O: StrictWeakOrder<T>>(v: &mut [T], ord: &O) {
+    let n = v.len();
+    let (a, b, c) = (0, n / 2, n - 1);
+    // Sort the three sample positions.
+    if ord.less(&v[b], &v[a]) {
+        v.swap(a, b);
+    }
+    if ord.less(&v[c], &v[b]) {
+        v.swap(b, c);
+        if ord.less(&v[b], &v[a]) {
+            v.swap(a, b);
+        }
+    }
+    // Place the median at the front as the pivot.
+    v.swap(0, b);
+}
+
+/// Hoare partition around `v[0]`; returns the final pivot position.
+fn partition_pivot_first<T, O: StrictWeakOrder<T>>(v: &mut [T], ord: &O) -> usize {
+    let mut lo = 1;
+    let mut hi = v.len() - 1;
+    loop {
+        while lo <= hi && ord.less(&v[lo], &v[0]) {
+            lo += 1;
+        }
+        while lo <= hi && ord.less(&v[0], &v[hi]) {
+            hi -= 1;
+        }
+        if lo >= hi {
+            break;
+        }
+        v.swap(lo, hi);
+        lo += 1;
+        hi -= 1;
+    }
+    v.swap(0, lo - 1);
+    lo - 1
+}
+
+const INSERTION_THRESHOLD: usize = 16;
+
+fn introsort_rec<T, O: StrictWeakOrder<T>>(mut v: &mut [T], mut depth: usize, ord: &O) {
+    while v.len() > INSERTION_THRESHOLD {
+        if depth == 0 {
+            heapsort(v, ord);
+            return;
+        }
+        depth -= 1;
+        median_of_three(v, ord);
+        let p = partition_pivot_first(v, ord);
+        // Recurse into the smaller side; loop on the larger (bounded stack).
+        let (left, rest) = v.split_at_mut(p);
+        let right = &mut rest[1..];
+        if left.len() < right.len() {
+            introsort_rec(left, depth, ord);
+            v = right;
+        } else {
+            introsort_rec(right, depth, ord);
+            v = left;
+        }
+    }
+    insertion_sort(v, ord);
+}
+
+/// Introsort — the random-access sort: quicksort with median-of-three
+/// pivots, heapsort when recursion exceeds `2·log₂ n`, insertion sort for
+/// short runs. In-place, unstable, `O(n log n)` worst case.
+pub fn introsort<T, O: StrictWeakOrder<T>>(v: &mut [T], ord: &O) {
+    let n = v.len();
+    if n > 1 {
+        let depth = 2 * (usize::BITS - n.leading_zeros()) as usize;
+        introsort_rec(v, depth, ord);
+    }
+}
+
+/// Stable merge sort on a slice (allocates one auxiliary buffer).
+pub fn merge_sort_slice<T: Clone, O: StrictWeakOrder<T>>(v: &mut [T], ord: &O) {
+    let n = v.len();
+    if n <= 1 {
+        return;
+    }
+    let mid = n / 2;
+    merge_sort_slice(&mut v[..mid], ord);
+    merge_sort_slice(&mut v[mid..], ord);
+    let mut merged = Vec::with_capacity(n);
+    {
+        let (a, b) = v.split_at(mid);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            // `!less(b, a)` keeps equal elements in original order: stable.
+            if !ord.less(&b[j], &a[i]) {
+                merged.push(a[i].clone());
+                i += 1;
+            } else {
+                merged.push(b[j].clone());
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+    }
+    v.clone_from_slice(&merged);
+}
+
+/// Merge sort for forward-only lists — the "default algorithm" of §2.1:
+/// splits by walking, merges by cursor reads, never indexes. Returns a new
+/// list (structure-sharing split, freshly built result). Stable.
+pub fn sort_list<T: Clone, O: StrictWeakOrder<T>>(l: &SList<T>, ord: &O) -> SList<T> {
+    let n = l.len();
+    if n <= 1 {
+        return l.clone();
+    }
+    let mid = n / 2;
+    // Front half: first `mid` values; back half shares structure.
+    let mut front_vals = Vec::with_capacity(mid);
+    let mut c = l.begin();
+    for _ in 0..mid {
+        front_vals.push(c.read());
+        c.advance();
+    }
+    let front = sort_list(&SList::from_slice(&front_vals), ord);
+    let back = sort_list(&l.suffix(mid), ord);
+
+    // Merge by cursors.
+    let mut out = Vec::with_capacity(n);
+    let mut a = front.begin();
+    let ae = front.end();
+    let mut b = back.begin();
+    let be = back.end();
+    while !a.equal(&ae) && !b.equal(&be) {
+        let (av, bv) = (a.read(), b.read());
+        if !ord.less(&bv, &av) {
+            out.push(av);
+            a.advance();
+        } else {
+            out.push(bv);
+            b.advance();
+        }
+    }
+    while !a.equal(&ae) {
+        out.push(a.read());
+        a.advance();
+    }
+    while !b.equal(&be) {
+        out.push(b.read());
+        b.advance();
+    }
+    SList::from_slice(&out)
+}
+
+/// Compile-time concept-based sort dispatch: each container reports its
+/// cursor category and routes to the algorithm that category admits.
+pub trait ConceptSort<T> {
+    /// The cursor category driving the selection.
+    const CATEGORY: Category;
+
+    /// Name of the selected algorithm (for dispatch-audit tables).
+    fn algorithm_name() -> &'static str;
+
+    /// Sort in place under `ord`.
+    fn sort_by<O: StrictWeakOrder<T>>(&mut self, ord: &O);
+}
+
+impl<T: Clone> ConceptSort<T> for ArraySeq<T> {
+    const CATEGORY: Category = Category::RandomAccess;
+
+    fn algorithm_name() -> &'static str {
+        "introsort"
+    }
+
+    fn sort_by<O: StrictWeakOrder<T>>(&mut self, ord: &O) {
+        introsort(self.as_mut_slice(), ord);
+    }
+}
+
+impl<T: Clone> ConceptSort<T> for SList<T> {
+    const CATEGORY: Category = Category::Forward;
+
+    fn algorithm_name() -> &'static str {
+        "merge_sort"
+    }
+
+    fn sort_by<O: StrictWeakOrder<T>>(&mut self, ord: &O) {
+        *self = sort_list(self, ord);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_core::archetype::{Counters, CountingOrder};
+    use gp_core::order::{ByKey, NaturalLess};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1000..1000)).collect()
+    }
+
+    fn check_sorted_permutation(original: &[i64], sorted: &[i64]) {
+        let mut expect = original.to_vec();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn introsort_sorts_random_adversarial_and_tiny() {
+        for seed in 0..5 {
+            let orig = random_vec(500, seed);
+            let mut v = orig.clone();
+            introsort(&mut v, &NaturalLess);
+            check_sorted_permutation(&orig, &v);
+        }
+        // Adversarial shapes for quicksort.
+        for shape in [
+            (0..300).collect::<Vec<i64>>(),
+            (0..300).rev().collect(),
+            vec![7; 300],
+            vec![],
+            vec![1],
+            vec![2, 1],
+        ] {
+            let mut v = shape.clone();
+            introsort(&mut v, &NaturalLess);
+            check_sorted_permutation(&shape, &v);
+        }
+    }
+
+    #[test]
+    fn heapsort_and_insertion_sort_agree_with_std() {
+        for seed in 5..8 {
+            let orig = random_vec(200, seed);
+            let mut h = orig.clone();
+            heapsort(&mut h, &NaturalLess);
+            check_sorted_permutation(&orig, &h);
+            let mut i = orig.clone();
+            insertion_sort(&mut i, &NaturalLess);
+            check_sorted_permutation(&orig, &i);
+        }
+    }
+
+    #[test]
+    fn merge_sort_slice_is_stable() {
+        // Pairs ordered by key only; payload records original order.
+        let mut v: Vec<(i32, usize)> = vec![(2, 0), (1, 1), (2, 2), (1, 3), (2, 4)];
+        merge_sort_slice(&mut v, &ByKey(|p: &(i32, usize)| p.0));
+        assert_eq!(v, vec![(1, 1), (1, 3), (2, 0), (2, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn list_merge_sort_sorts_without_indexing() {
+        for seed in 0..3 {
+            let orig = random_vec(300, seed);
+            let l = SList::from_slice(&orig);
+            let sorted = sort_list(&l, &NaturalLess);
+            check_sorted_permutation(&orig, &sorted.to_vec());
+            // Original is untouched (persistent).
+            assert_eq!(l.to_vec(), orig);
+        }
+    }
+
+    #[test]
+    fn list_merge_sort_is_stable() {
+        let items: Vec<(i32, usize)> = vec![(3, 0), (1, 1), (3, 2), (1, 3)];
+        let l = SList::from_slice(&items);
+        let sorted = sort_list(&l, &ByKey(|p: &(i32, usize)| p.0));
+        assert_eq!(sorted.to_vec(), vec![(1, 1), (1, 3), (3, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn concept_sort_dispatches_by_container() {
+        assert_eq!(<ArraySeq<i64> as ConceptSort<i64>>::algorithm_name(), "introsort");
+        assert_eq!(<SList<i64> as ConceptSort<i64>>::algorithm_name(), "merge_sort");
+        assert_eq!(
+            <ArraySeq<i64> as ConceptSort<i64>>::CATEGORY,
+            Category::RandomAccess
+        );
+        assert_eq!(<SList<i64> as ConceptSort<i64>>::CATEGORY, Category::Forward);
+
+        let orig = random_vec(100, 42);
+        let mut a: ArraySeq<i64> = orig.iter().copied().collect();
+        a.sort_by(&NaturalLess);
+        check_sorted_permutation(&orig, a.as_slice());
+
+        let mut l = SList::from_slice(&orig);
+        l.sort_by(&NaturalLess);
+        check_sorted_permutation(&orig, &l.to_vec());
+    }
+
+    #[test]
+    fn sort_comparison_counts_are_n_log_n() {
+        // The complexity guarantee of the sort concept, measured.
+        for &n in &[256usize, 1024, 4096] {
+            let orig = random_vec(n, 9);
+            let counters = Counters::new();
+            let ord = CountingOrder::new(NaturalLess, counters.clone());
+            let mut v = orig.clone();
+            introsort(&mut v, &ord);
+            let bound = 4.0 * (n as f64) * (n as f64).log2();
+            assert!(
+                (counters.comparisons() as f64) < bound,
+                "n={n}: {} comparisons exceeds 4·n·log n = {bound}",
+                counters.comparisons()
+            );
+        }
+    }
+
+    #[test]
+    fn introsort_handles_weak_orders_with_equivalent_elements() {
+        let mut v: Vec<(i32, i32)> = (0..100).map(|i| (i % 3, i)).collect();
+        introsort(&mut v, &ByKey(|p: &(i32, i32)| p.0));
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(v.len(), 100);
+    }
+}

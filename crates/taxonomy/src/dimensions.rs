@@ -1,0 +1,191 @@
+//! The seven orthogonal classification dimensions of the distributed
+//! algorithm concept taxonomy (paper §4):
+//!
+//! 1. **Problem** solved.
+//! 2. **Topology** of the underlying network (with refinement: "further
+//!    refining this concept leads to some of the well known topologies
+//!    like ring, completely connected graph, etc.").
+//! 3. **Tolerance to component failures** (Byzantine / non-Byzantine …).
+//! 4. **Method of information sharing** (message passing concentrated on).
+//! 5. **Strategy** (centralized control, distributed control, randomized,
+//!    compositional, heart beat, probe echo, …).
+//! 6. **Timing** required of the network (synchronous, asynchronous,
+//!    partially synchronous).
+//! 7. **Process management** (static vs. dynamic membership).
+
+/// Dimension 1: the problem an algorithm solves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// Elect a unique leader.
+    LeaderElection,
+    /// Deliver a message to all nodes (with termination detection).
+    Broadcast,
+    /// Build a spanning tree / hop distances.
+    SpanningTree,
+    /// Agree on a value.
+    Consensus,
+    /// Mutual exclusion.
+    MutualExclusion,
+    /// Detect crashed processes.
+    FailureDetection,
+}
+
+/// Dimension 2: network topology classes, with refinement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Any connected network.
+    Arbitrary,
+    /// Ring (direction unspecified).
+    Ring,
+    /// Unidirectional ring.
+    UniRing,
+    /// Bidirectional ring.
+    BiRing,
+    /// Completely connected graph.
+    Complete,
+    /// Tree.
+    Tree,
+    /// Star (refines tree).
+    Star,
+    /// Grid/mesh.
+    Grid,
+}
+
+impl Topology {
+    /// True if `self` refines (is a special case of) `other`.
+    pub fn refines(self, other: Topology) -> bool {
+        use Topology::*;
+        if self == other || other == Arbitrary {
+            return true;
+        }
+        matches!(
+            (self, other),
+            (UniRing, Ring) | (BiRing, Ring) | (Star, Tree)
+        )
+    }
+}
+
+/// Dimension 3: fault classes an algorithm tolerates, ordered by severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fault {
+    /// No failures tolerated.
+    None,
+    /// Crash-stop failures.
+    Crash,
+    /// Message omission failures.
+    Omission,
+    /// Byzantine (arbitrary) failures.
+    Byzantine,
+}
+
+impl Fault {
+    /// True if tolerating `self` covers a deployment requiring `required`.
+    pub fn covers(self, required: Fault) -> bool {
+        self >= required
+    }
+}
+
+/// Dimension 4: information-sharing mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sharing {
+    /// Message passing (the paper's focus).
+    MessagePassing,
+    /// Shared memory.
+    SharedMemory,
+}
+
+/// Dimension 5: algorithmic strategy (classification labels from the
+/// paper's list).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Centralized control.
+    CentralizedControl,
+    /// Distributed control.
+    DistributedControl,
+    /// Randomized.
+    Randomized,
+    /// Compositional.
+    Compositional,
+    /// Heart beat.
+    HeartBeat,
+    /// Probe echo.
+    ProbeEcho,
+    /// Flooding.
+    Flooding,
+}
+
+/// Dimension 6: timing model, ordered by strength of the assumption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Timing {
+    /// No timing assumptions.
+    Asynchronous,
+    /// Eventually bounded delays.
+    PartiallySynchronous,
+    /// Lockstep rounds.
+    Synchronous,
+}
+
+impl Timing {
+    /// True if a network providing `self` satisfies an algorithm requiring
+    /// `required` (a synchronous network runs asynchronous algorithms, not
+    /// vice versa).
+    pub fn satisfies(self, required: Timing) -> bool {
+        self >= required
+    }
+}
+
+/// Dimension 7: process management.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProcessMgmt {
+    /// Fixed membership.
+    Static,
+    /// Nodes may join/leave.
+    Dynamic,
+}
+
+impl ProcessMgmt {
+    /// Supporting dynamic membership covers static deployments.
+    pub fn covers(self, required: ProcessMgmt) -> bool {
+        self == required || (self == ProcessMgmt::Dynamic && required == ProcessMgmt::Static)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_refinement() {
+        assert!(Topology::UniRing.refines(Topology::Ring));
+        assert!(Topology::UniRing.refines(Topology::Arbitrary));
+        assert!(Topology::Star.refines(Topology::Tree));
+        assert!(Topology::Complete.refines(Topology::Arbitrary));
+        assert!(!Topology::Ring.refines(Topology::UniRing));
+        assert!(!Topology::Grid.refines(Topology::Tree));
+        assert!(Topology::Ring.refines(Topology::Ring));
+    }
+
+    #[test]
+    fn fault_coverage_is_ordered() {
+        assert!(Fault::Byzantine.covers(Fault::Crash));
+        assert!(Fault::Crash.covers(Fault::None));
+        assert!(!Fault::None.covers(Fault::Crash));
+        assert!(Fault::Omission.covers(Fault::Omission));
+    }
+
+    #[test]
+    fn timing_satisfaction_goes_one_way() {
+        assert!(Timing::Synchronous.satisfies(Timing::Asynchronous));
+        assert!(Timing::Synchronous.satisfies(Timing::Synchronous));
+        assert!(!Timing::Asynchronous.satisfies(Timing::Synchronous));
+        assert!(Timing::PartiallySynchronous.satisfies(Timing::Asynchronous));
+        assert!(!Timing::PartiallySynchronous.satisfies(Timing::Synchronous));
+    }
+
+    #[test]
+    fn process_management_coverage() {
+        assert!(ProcessMgmt::Dynamic.covers(ProcessMgmt::Static));
+        assert!(!ProcessMgmt::Static.covers(ProcessMgmt::Dynamic));
+        assert!(ProcessMgmt::Static.covers(ProcessMgmt::Static));
+    }
+}

@@ -1,0 +1,30 @@
+//! # gp-taxonomy — algorithm concept taxonomies
+//!
+//! Reproduction of the paper's taxonomy program (§1, §4): "A major use of
+//! such taxonomies is to provide a well-developed standard to refer to
+//! while designing and implementing a generic algorithm library", and for
+//! distributed algorithms they "aid in our understanding of algorithms,
+//! help in the design of new ones …, and help a system designer to pick
+//! the correct algorithm for a particular application."
+//!
+//! * [`taxonomy`] — the generic refinement-DAG structure with attributes
+//!   and DOT export, plus the **sequential** taxonomies: sequence
+//!   algorithms (STL-style) and graph algorithms (BGL-style), each carrying
+//!   complexity guarantees as attributes (validated empirically in E9).
+//! * [`dimensions`] — the paper's **seven orthogonal dimensions** for
+//!   distributed algorithms: problem, topology, fault tolerance,
+//!   information sharing, strategy, timing, process management — each with
+//!   its own refinement structure.
+//! * [`records`] — the distributed-algorithm catalog (LCR, HS, FloodMax,
+//!   echo, synchronous BFS; all implemented in `gp-distsim`) classified on
+//!   all seven dimensions with message/time/**local-computation**
+//!   complexities, and the selection queries that "pick the correct
+//!   algorithm".
+
+pub mod dimensions;
+pub mod records;
+pub mod taxonomy;
+
+pub use dimensions::{Fault, Problem, ProcessMgmt, Sharing, Strategy, Timing, Topology};
+pub use records::{catalog, select_best, DistAlgorithm, Requirement};
+pub use taxonomy::{graph_taxonomy, sequence_taxonomy, Taxonomy};

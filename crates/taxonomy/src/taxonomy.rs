@@ -1,0 +1,362 @@
+//! The generic taxonomy structure: a refinement DAG of algorithm concepts
+//! with attributes, plus the sequential-algorithm taxonomies.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// A node in a taxonomy: an algorithm concept.
+#[derive(Clone, Debug)]
+pub struct TaxNode {
+    /// Concept name.
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Indices of the concepts this one refines.
+    pub refines: Vec<usize>,
+    /// Free-form attributes (complexity guarantees, requirements, …).
+    pub attributes: BTreeMap<String, String>,
+}
+
+/// A taxonomy: a named refinement DAG.
+#[derive(Clone, Debug, Default)]
+pub struct Taxonomy {
+    name: String,
+    nodes: Vec<TaxNode>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Taxonomy {
+    /// An empty taxonomy.
+    pub fn new(name: impl Into<String>) -> Self {
+        Taxonomy {
+            name: name.into(),
+            ..Taxonomy::default()
+        }
+    }
+
+    /// Taxonomy name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a concept refining the named parents (which must already exist —
+    /// refinement is a DAG by construction).
+    pub fn add(
+        &mut self,
+        name: &str,
+        description: &str,
+        refines: &[&str],
+    ) -> Result<(), String> {
+        if self.by_name.contains_key(name) {
+            return Err(format!("duplicate taxonomy node `{name}`"));
+        }
+        let parents: Result<Vec<usize>, String> = refines
+            .iter()
+            .map(|p| {
+                self.by_name
+                    .get(*p)
+                    .copied()
+                    .ok_or_else(|| format!("unknown parent `{p}` of `{name}`"))
+            })
+            .collect();
+        let idx = self.nodes.len();
+        self.nodes.push(TaxNode {
+            name: name.to_string(),
+            description: description.to_string(),
+            refines: parents?,
+            attributes: BTreeMap::new(),
+        });
+        self.by_name.insert(name.to_string(), idx);
+        Ok(())
+    }
+
+    /// Attach an attribute to a concept.
+    pub fn attr(&mut self, name: &str, key: &str, value: &str) -> Result<(), String> {
+        let idx = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| format!("unknown taxonomy node `{name}`"))?;
+        self.nodes[*idx]
+            .attributes
+            .insert(key.to_string(), value.to_string());
+        Ok(())
+    }
+
+    /// Node lookup.
+    pub fn node(&self, name: &str) -> Option<&TaxNode> {
+        self.by_name.get(name).map(|i| &self.nodes[*i])
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True if `sub` refines `sup` (reflexively, transitively).
+    pub fn refines(&self, sub: &str, sup: &str) -> bool {
+        let (Some(&a), Some(&b)) = (self.by_name.get(sub), self.by_name.get(sup)) else {
+            return false;
+        };
+        if a == b {
+            return true;
+        }
+        let mut stack = vec![a];
+        while let Some(i) = stack.pop() {
+            for &p in &self.nodes[i].refines {
+                if p == b {
+                    return true;
+                }
+                stack.push(p);
+            }
+        }
+        false
+    }
+
+    /// All ancestors (refined concepts) of a node, nearest first.
+    pub fn ancestors(&self, name: &str) -> Vec<&str> {
+        let Some(&start) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut stack: Vec<usize> = self.nodes[start].refines.clone();
+        while let Some(i) = stack.pop() {
+            if !out.contains(&self.nodes[i].name.as_str()) {
+                out.push(self.nodes[i].name.as_str());
+                stack.extend(self.nodes[i].refines.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Leaves: concepts nothing refines (the concrete algorithms).
+    pub fn leaves(&self) -> Vec<&str> {
+        let mut has_child = vec![false; self.nodes.len()];
+        for n in &self.nodes {
+            for &p in &n.refines {
+                has_child[p] = true;
+            }
+        }
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !has_child[*i])
+            .map(|(_, n)| n.name.as_str())
+            .collect()
+    }
+
+    /// All concepts matching a predicate on their attributes.
+    pub fn find_by_attr(&self, key: &str, pred: impl Fn(&str) -> bool) -> Vec<&TaxNode> {
+        self.nodes
+            .iter()
+            .filter(|n| n.attributes.get(key).map(|v| pred(v)).unwrap_or(false))
+            .collect()
+    }
+
+    /// GraphViz DOT rendering of the refinement DAG.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(s, "  rankdir=BT;");
+        for n in &self.nodes {
+            let label = if n.attributes.is_empty() {
+                n.name.clone()
+            } else {
+                let attrs: Vec<String> = n
+                    .attributes
+                    .iter()
+                    .map(|(k, v)| format!("{k}: {v}"))
+                    .collect();
+                format!("{}\\n{}", n.name, attrs.join("\\n"))
+            };
+            let _ = writeln!(s, "  \"{}\" [label=\"{}\"];", n.name, label);
+        }
+        for n in &self.nodes {
+            for &p in &n.refines {
+                let _ = writeln!(s, "  \"{}\" -> \"{}\";", n.name, self.nodes[p].name);
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// The sequence-algorithm concept taxonomy (the STL-domain taxonomy of
+/// Ref. 8), with complexity guarantees as attributes.
+pub fn sequence_taxonomy() -> Taxonomy {
+    let mut t = Taxonomy::new("sequence-algorithms");
+    let add = |t: &mut Taxonomy, n: &str, d: &str, r: &[&str]| {
+        t.add(n, d, r).expect("well-formed taxonomy");
+    };
+    add(&mut t, "sequence-algorithm", "any algorithm over cursor ranges", &[]);
+    add(&mut t, "non-mutating", "reads only", &["sequence-algorithm"]);
+    add(&mut t, "mutating", "writes through cursors or slices", &["sequence-algorithm"]);
+    add(&mut t, "search", "locates elements", &["non-mutating"]);
+    add(&mut t, "reduction", "folds a range to a value", &["non-mutating"]);
+    add(&mut t, "linear-search", "single pass, Input Cursor", &["search"]);
+    add(&mut t, "binary-search", "sorted ranges, Forward Cursor, O(log n) comparisons", &["search"]);
+    add(&mut t, "find", "first match", &["linear-search"]);
+    add(&mut t, "count", "matches in a range", &["linear-search"]);
+    add(&mut t, "lower_bound", "first position not less than value", &["binary-search"]);
+    add(&mut t, "binary_search", "membership on sorted ranges", &["binary-search"]);
+    add(&mut t, "accumulate", "Monoid fold", &["reduction"]);
+    add(&mut t, "max_element", "extremum; Forward Cursor (multipass)", &["reduction"]);
+    add(&mut t, "sort", "permute into order (Strict Weak Order)", &["mutating"]);
+    add(&mut t, "comparison-sort", "Ω(n log n) comparisons", &["sort"]);
+    add(&mut t, "introsort", "random-access; in-place; unstable", &["comparison-sort"]);
+    add(&mut t, "merge_sort", "forward-access; stable", &["comparison-sort"]);
+    add(&mut t, "insertion_sort", "tiny/nearly-sorted inputs", &["comparison-sort"]);
+    add(&mut t, "merge", "combine sorted ranges", &["mutating"]);
+    add(&mut t, "partition", "split by predicate", &["mutating"]);
+    add(&mut t, "selection", "order statistics without full sorting", &["mutating"]);
+    add(&mut t, "nth_element", "expected O(n) quickselect", &["selection"]);
+    add(&mut t, "partial_sort", "smallest k sorted, O(n log k)", &["selection"]);
+    add(&mut t, "min_max_element", "both extrema, ~3n/2 comparisons", &["reduction"]);
+    add(&mut t, "set-operation", "algebra of sorted ranges", &["non-mutating"]);
+    add(&mut t, "set_union", "multiset union of sorted ranges", &["set-operation"]);
+    add(&mut t, "set_intersection", "common elements of sorted ranges", &["set-operation"]);
+    add(&mut t, "set_difference", "sorted-range subtraction", &["set-operation"]);
+    add(&mut t, "includes", "multiset subset test", &["set-operation"]);
+    add(&mut t, "subsequence_search", "first occurrence of a pattern range", &["search"]);
+
+    for (name, c) in gp_sequences::concepts::algorithm_guarantees() {
+        // Attach guarantees where the node exists in this taxonomy.
+        let _ = t.attr(name, "comparisons", &c.to_string());
+    }
+    t.attr("find", "cursor", "InputCursor").unwrap();
+    t.attr("lower_bound", "cursor", "ForwardCursor").unwrap();
+    t.attr("lower_bound", "precondition", "sorted").unwrap();
+    t.attr("binary_search", "precondition", "sorted").unwrap();
+    t.attr("max_element", "cursor", "ForwardCursor (multipass)").unwrap();
+    t.attr("introsort", "cursor", "RandomAccessCursor").unwrap();
+    t.attr("merge_sort", "cursor", "ForwardCursor").unwrap();
+    t.attr("nth_element", "cursor", "RandomAccessCursor").unwrap();
+    t.attr("set_union", "precondition", "sorted").unwrap();
+    t.attr("set_intersection", "precondition", "sorted").unwrap();
+    t.attr("set_difference", "precondition", "sorted").unwrap();
+    t.attr("includes", "precondition", "sorted").unwrap();
+    t
+}
+
+/// The graph-algorithm concept taxonomy (the BGL-domain taxonomy of
+/// Ref. 8).
+pub fn graph_taxonomy() -> Taxonomy {
+    let mut t = Taxonomy::new("graph-algorithms");
+    let add = |t: &mut Taxonomy, n: &str, d: &str, r: &[&str]| {
+        t.add(n, d, r).expect("well-formed taxonomy");
+    };
+    add(&mut t, "graph-algorithm", "any algorithm over graph concepts", &[]);
+    add(&mut t, "traversal", "visits vertices/edges systematically", &["graph-algorithm"]);
+    add(&mut t, "shortest-paths", "single-source distances", &["graph-algorithm"]);
+    add(&mut t, "spanning-tree", "minimum spanning forests", &["graph-algorithm"]);
+    add(&mut t, "ordering", "vertex orders from structure", &["graph-algorithm"]);
+    add(&mut t, "bfs", "breadth-first; hop distances", &["traversal"]);
+    add(&mut t, "dfs", "depth-first; discover/finish times", &["traversal"]);
+    add(&mut t, "dijkstra", "non-negative weights; heap", &["shortest-paths"]);
+    add(&mut t, "bellman_ford", "arbitrary weights; detects negative cycles", &["shortest-paths"]);
+    add(&mut t, "kruskal", "edge list + union-find", &["spanning-tree"]);
+    add(&mut t, "prim", "incidence + indexed heap", &["spanning-tree"]);
+    add(&mut t, "topological_sort", "DAGs only (checked)", &["ordering"]);
+    add(&mut t, "connected_components", "undirected reachability classes", &["ordering"]);
+
+    let attrs: &[(&str, &str, &str)] = &[
+        ("bfs", "complexity", "O(V + E)"),
+        ("dfs", "complexity", "O(V + E)"),
+        ("dijkstra", "complexity", "O((V + E) log V)"),
+        ("dijkstra", "requires", "weights >= 0 (checked)"),
+        ("bellman_ford", "complexity", "O(V E)"),
+        ("kruskal", "complexity", "O(E log E)"),
+        ("prim", "complexity", "O(E log V)"),
+        ("topological_sort", "complexity", "O(V + E)"),
+        ("connected_components", "complexity", "O(V + E)"),
+        ("bfs", "requires", "IncidenceGraph + VertexListGraph"),
+        ("bellman_ford", "requires", "EdgeListGraph"),
+    ];
+    for (n, k, v) in attrs {
+        t.attr(n, k, v).unwrap();
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refinement_is_reflexive_and_transitive() {
+        let t = sequence_taxonomy();
+        assert!(t.refines("find", "find"));
+        assert!(t.refines("find", "linear-search"));
+        assert!(t.refines("find", "search"));
+        assert!(t.refines("find", "sequence-algorithm"));
+        assert!(!t.refines("find", "binary-search"));
+        assert!(!t.refines("search", "find"));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_parents_rejected() {
+        let mut t = Taxonomy::new("t");
+        t.add("a", "", &[]).unwrap();
+        assert!(t.add("a", "", &[]).is_err());
+        assert!(t.add("b", "", &["ghost"]).is_err());
+    }
+
+    #[test]
+    fn sequence_taxonomy_distinguishes_search_costs() {
+        // The paper's point: asymptotic attributes let the taxonomy make
+        // "useful distinctions" between algorithms for the same problem.
+        let t = sequence_taxonomy();
+        assert_eq!(t.node("find").unwrap().attributes["comparisons"], "O(n)");
+        assert_eq!(
+            t.node("lower_bound").unwrap().attributes["comparisons"],
+            "O(log n)"
+        );
+        assert_eq!(
+            t.node("lower_bound").unwrap().attributes["precondition"],
+            "sorted"
+        );
+    }
+
+    #[test]
+    fn leaves_are_concrete_algorithms() {
+        let t = graph_taxonomy();
+        let leaves = t.leaves();
+        for alg in ["bfs", "dijkstra", "kruskal", "topological_sort"] {
+            assert!(leaves.contains(&alg), "{alg} missing from {leaves:?}");
+        }
+        assert!(!leaves.contains(&"traversal"));
+    }
+
+    #[test]
+    fn ancestors_walk_the_dag() {
+        let t = graph_taxonomy();
+        let anc = t.ancestors("dijkstra");
+        assert!(anc.contains(&"shortest-paths"));
+        assert!(anc.contains(&"graph-algorithm"));
+        assert_eq!(t.ancestors("graph-algorithm"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn find_by_attr_queries() {
+        let t = sequence_taxonomy();
+        let sorted_required = t.find_by_attr("precondition", |v| v == "sorted");
+        let names: Vec<&str> = sorted_required.iter().map(|n| n.name.as_str()).collect();
+        assert!(names.contains(&"lower_bound"));
+        assert!(names.contains(&"binary_search"));
+        assert!(!names.contains(&"find"));
+    }
+
+    #[test]
+    fn dot_export_mentions_every_node_and_edge() {
+        let t = graph_taxonomy();
+        let dot = t.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"dijkstra\" -> \"shortest-paths\""));
+        assert!(dot.contains("O((V + E) log V)"));
+        assert_eq!(dot.matches(" -> ").count(), t.len() - 1); // tree here
+    }
+}

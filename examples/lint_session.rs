@@ -1,0 +1,97 @@
+//! A lint session: run the STLlint reproduction over a set of programs the
+//! way a CI hook would, printing diagnostics per file.
+//!
+//! ```text
+//! cargo run --example lint_session
+//! ```
+
+use generic_hpc::checker::analyze::analyze;
+use generic_hpc::checker::corpus::{corpus, fig4_program};
+use generic_hpc::checker::ir::build::*;
+use generic_hpc::checker::ir::{AlgorithmName as A, ContainerKind as K, Program};
+use generic_hpc::checker::parse::parse;
+
+fn lint(p: &Program) {
+    println!("Checking `{}` ...", p.name);
+    let diags = analyze(p);
+    if diags.is_empty() {
+        println!("  clean.");
+    }
+    for d in diags {
+        println!("  {d}");
+    }
+    println!();
+}
+
+fn main() {
+    // The textbook bug and its fix (paper Fig. 4).
+    lint(&fig4_program(false));
+    lint(&fig4_program(true));
+
+    // A fresh program a developer might write: cache a begin() iterator,
+    // grow the vector, then scan — classic invalidation.
+    lint(&Program::new(
+        "cache-then-grow",
+        vec![
+            container("log", K::Vector),
+            begin("head", "log"),
+            push_back("log"),
+            push_back("log"),
+            while_not_end("head", vec![deref("head"), advance("head")]),
+        ],
+    ));
+
+    // Performance lint: sort then linear find.
+    lint(&Program::new(
+        "sorted-but-linear",
+        vec![
+            container("scores", K::Vector),
+            call(A::Sort, "scores"),
+            call_into(A::Find, "scores", "hit"),
+            deref("hit"),
+        ],
+    ));
+
+    // Correct replacement the suggestion asks for.
+    lint(&Program::new(
+        "sorted-binary",
+        vec![
+            container("scores", K::Vector),
+            call(A::Sort, "scores"),
+            call_into(A::LowerBound, "scores", "hit"),
+        ],
+    ));
+
+    // Programs can also arrive as text source, the way a CI hook would
+    // receive them.
+    let src = r"
+        # cache an iterator, grow the vector, then use it
+        container log vector
+        iter head = begin log
+        push_back log
+        while head != end {
+            deref head
+            advance head
+        }
+    ";
+    match parse("text-source", src) {
+        Ok(p) => lint(&p),
+        Err(e) => println!("parse error: {e}"),
+    }
+    // And parse errors come with line numbers.
+    if let Err(e) = parse("broken", "container v hashmap") {
+        println!("as expected, bad source is rejected: {e}\n");
+    }
+
+    // Summary over the whole built-in corpus.
+    let mut clean = 0;
+    let mut flagged = 0;
+    for case in corpus() {
+        if analyze(&case.program).is_empty() {
+            clean += 1;
+        } else {
+            flagged += 1;
+        }
+    }
+    println!("corpus summary: {flagged} programs flagged, {clean} clean");
+}

@@ -1,0 +1,95 @@
+//! Quickstart: a ten-minute tour of the library suite.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use generic_hpc::checker::analyze::analyze;
+use generic_hpc::checker::corpus::fig4_program;
+use generic_hpc::core::algebra::{check_associativity, check_identity, AddOp};
+use generic_hpc::core::concept::{resolve_overload, ConceptRef};
+use generic_hpc::core::order::{check_strict_weak_order, NaturalLess};
+use generic_hpc::proofs::theories::order as swo;
+use generic_hpc::rewrite::{BinOp, Expr, Simplifier, Type, UnOp};
+use generic_hpc::sequences::concepts::{seeded_registry, sort_implementations, types};
+use generic_hpc::sequences::fold::accumulate;
+use generic_hpc::sequences::sort::ConceptSort;
+use generic_hpc::sequences::{ArraySeq, SList};
+
+fn main() {
+    println!("== 1. Concepts are data: reflective dispatch =================");
+    // The registry knows which cursor concepts each container's cursors
+    // model, and resolves `sort` to the right algorithm.
+    let reg = seeded_registry();
+    let impls = sort_implementations();
+    for ty in [types::ARRAY_CURSOR, types::LIST_CURSOR] {
+        let r = resolve_overload(&reg, "sort", &impls, &[ty]).expect("resolvable");
+        println!("  sort over {ty:<15} → {}", r.chosen);
+    }
+    // And the propagation closure of a single constraint:
+    let report = reg.propagation_report(&[ConceptRef::unary("RandomAccessCursor", "I")]);
+    println!(
+        "  1 written constraint implies {} after propagation",
+        report.propagated
+    );
+
+    println!("\n== 2. ...and concepts are traits: zero-cost dispatch =========");
+    let mut array: ArraySeq<i32> = vec![5, 3, 9, 1, 7].into_iter().collect();
+    array.sort_by(&NaturalLess); // statically selects introsort
+    println!(
+        "  ArraySeq sorted by {:<10}: {:?}",
+        ArraySeq::<i32>::algorithm_name(),
+        array.as_slice()
+    );
+    let mut list = SList::from_slice(&[5, 3, 9, 1, 7]);
+    list.sort_by(&NaturalLess); // statically selects merge sort
+    println!(
+        "  SList    sorted by {:<10}: {:?}",
+        SList::<i32>::algorithm_name(),
+        list.to_vec()
+    );
+
+    println!("\n== 3. Semantic concepts are executable ======================");
+    let samples: Vec<i64> = vec![-3, 0, 2, 7, 7, -11];
+    println!(
+        "  (i64, +) associativity : {} checks",
+        check_associativity(&AddOp, &samples).expect("monoid laws hold")
+    );
+    println!(
+        "  (i64, +) identity      : {} checks",
+        check_identity::<i64>(&AddOp, &samples).expect("monoid laws hold")
+    );
+    println!(
+        "  (i64, <) strict weak order : {} checks",
+        check_strict_weak_order(&NaturalLess, &samples).expect("Fig. 6 axioms hold")
+    );
+    println!(
+        "  accumulate over the Add monoid: {}",
+        accumulate(ArraySeq::from_vec(samples).range(), &AddOp)
+    );
+
+    println!("\n== 4. ...and provable =======================================");
+    let theory = swo::theory();
+    let proved = theory.check().expect("Fig. 6 derivations check");
+    for p in &proved[..2] {
+        println!("  proved: {p}");
+    }
+
+    println!("\n== 5. Concept-based optimization (Simplicissimus) ===========");
+    let e = Expr::bin(
+        BinOp::Add,
+        Expr::bin(BinOp::Mul, Expr::var("x", Type::Int), Expr::int(1)),
+        Expr::bin(
+            BinOp::Add,
+            Expr::var("y", Type::Int),
+            Expr::un(UnOp::Neg, Expr::var("y", Type::Int)),
+        ),
+    );
+    let (out, stats) = Simplifier::standard().simplify(&e);
+    println!("  {e}  →  {out}   ({} rule applications)", stats.total());
+
+    println!("\n== 6. Library-level static checking (STLlint) ===============");
+    for d in analyze(&fig4_program(false)) {
+        println!("  {d}");
+    }
+}

@@ -1,0 +1,87 @@
+//! A tour of the algorithm concept taxonomies: refinement queries,
+//! attribute searches, DOT export, and the seven-dimension distributed
+//! catalog.
+//!
+//! ```text
+//! cargo run --example taxonomy_tour > /tmp/taxonomies.txt
+//! ```
+
+use generic_hpc::taxonomy::{
+    catalog, graph_taxonomy, select_best, sequence_taxonomy, Fault, Problem, Requirement, Timing,
+    Topology,
+};
+
+fn main() {
+    let seq = sequence_taxonomy();
+    let gra = graph_taxonomy();
+
+    println!("== Sequence-algorithm taxonomy ({} concepts) ==", seq.len());
+    println!("  concrete algorithms (leaves): {:?}", seq.leaves());
+    println!(
+        "  `find` refines: {:?}",
+        seq.ancestors("find")
+    );
+    println!(
+        "  algorithms requiring sorted input: {:?}",
+        seq.find_by_attr("precondition", |v| v == "sorted")
+            .iter()
+            .map(|n| n.name.as_str())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  O(log n)-comparison algorithms: {:?}",
+        seq.find_by_attr("comparisons", |v| v == "O(log n)")
+            .iter()
+            .map(|n| n.name.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    println!("\n== Graph-algorithm taxonomy ({} concepts) ==", gra.len());
+    for name in ["dijkstra", "bellman_ford"] {
+        let n = gra.node(name).unwrap();
+        println!(
+            "  {name:<14} {}  [{}]",
+            n.attributes.get("complexity").map(String::as_str).unwrap_or("-"),
+            n.attributes.get("requires").map(String::as_str).unwrap_or("-"),
+        );
+    }
+    println!(
+        "  both refine `shortest-paths`: {} / {}",
+        gra.refines("dijkstra", "shortest-paths"),
+        gra.refines("bellman_ford", "shortest-paths")
+    );
+
+    println!("\n== DOT export (paste into graphviz) ==");
+    let dot = gra.to_dot();
+    println!("  graph taxonomy DOT: {} bytes, {} edges", dot.len(), dot.matches(" -> ").count());
+    println!("{}", &dot[..dot.find('\n').unwrap_or(40) + 1]);
+
+    println!("== Distributed catalog on the seven dimensions ==");
+    for alg in catalog() {
+        println!(
+            "  {:<20} problem={:<16?} topology={:<9?} faults={:<5?} strategy={:<18?} timing={:<12?} msgs={}",
+            alg.name, alg.problem, alg.topology, alg.fault_tolerance, alg.strategy, alg.timing,
+            alg.messages
+        );
+    }
+
+    println!("\n== Selection queries ==");
+    let queries = [
+        ("async bi-ring election", Requirement::basic(Problem::LeaderElection, Topology::BiRing, Timing::Asynchronous)),
+        ("sync grid spanning tree", Requirement::basic(Problem::SpanningTree, Topology::Grid, Timing::Synchronous)),
+        ("async broadcast", Requirement::basic(Problem::Broadcast, Topology::Arbitrary, Timing::Asynchronous)),
+    ];
+    let cat = catalog();
+    for (label, req) in queries {
+        println!(
+            "  {label:<26} → {}",
+            select_best(&cat, &req).map(|a| a.name).unwrap_or("NO KNOWN ALGORITHM")
+        );
+    }
+    let mut crashy = Requirement::basic(Problem::FailureDetection, Topology::Complete, Timing::Synchronous);
+    crashy.fault_needed = Fault::Crash;
+    println!(
+        "  crash-tolerant detection   → {}",
+        select_best(&cat, &crashy).map(|a| a.name).unwrap_or("NO KNOWN ALGORITHM")
+    );
+}

@@ -1,0 +1,15 @@
+//! # generic-hpc — facade crate
+//!
+//! Re-exports the whole workspace under one roof so examples and downstream
+//! users can depend on a single crate. See the README for the architecture
+//! overview and `DESIGN.md` for the paper-reproduction map.
+
+pub use gp_checker as checker;
+pub use gp_core as core;
+pub use gp_distsim as distsim;
+pub use gp_graphs as graphs;
+pub use gp_parallel as parallel;
+pub use gp_proofs as proofs;
+pub use gp_rewrite as rewrite;
+pub use gp_sequences as sequences;
+pub use gp_taxonomy as taxonomy;

