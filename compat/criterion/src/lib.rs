@@ -1,0 +1,277 @@
+//! Offline compatibility subset of the `criterion` 0.5 API.
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `sample_size`, and the `criterion_group!` /
+//! `criterion_main!` macros — on a simple min/mean timing harness.
+//! No statistical analysis, plots, or saved baselines: each benchmark is
+//! warmed up once and then timed for `sample_size` iterations, reporting
+//! the minimum and mean wall time (and derived throughput when set).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (used inside groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The per-benchmark timing driver passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration times, filled by [`Bencher::iter`].
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run the routine once for warmup, then `sample_size` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warmup
+        let mut budget = Duration::from_secs(3);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.times.push(dt);
+            budget = budget.saturating_sub(dt);
+            if budget.is_zero() {
+                break; // keep slow benches bounded
+            }
+        }
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The top-level benchmark manager.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards trailing CLI words; treat the first
+        // non-flag word as a substring filter like real criterion does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.filter.as_deref(), &id.id, 20, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate throughput for the group's reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            self.criterion.filter.as_deref(),
+            &full,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a function parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (formatting separator only in this subset).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    filter: Option<&str>,
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples,
+        times: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    if b.times.is_empty() {
+        println!("{id:<44} (no measurements: closure never called iter)");
+        return;
+    }
+    let min = *b.times.iter().min().expect("nonempty");
+    let sum: Duration = b.times.iter().sum();
+    let mean = sum / b.times.len() as u32;
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_s = n as f64 / min.as_secs_f64();
+            format!("  [{:.1} Melem/s]", per_s / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_s = n as f64 / min.as_secs_f64();
+            format!("  [{:.1} MiB/s]", per_s / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<44} time: [min {}  mean {}]{tp}",
+        fmt_time(min),
+        fmt_time(mean)
+    );
+}
+
+/// Group benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("par", 8).id, "par/8");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut called = false;
+        run_one(Some("zzz"), "group/name", 5, None, |_b| called = true);
+        assert!(!called);
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline compatibility subset of the `crossbeam` 0.8 API.
+//!
+//! Provides the `crossbeam::deque` work-stealing primitives used by the
+//! `gp-parallel` executor: per-owner LIFO [`deque::Worker`] queues with
+//! FIFO-stealing [`deque::Stealer`] handles, and a global FIFO
+//! [`deque::Injector`]. The real crate's deques are lock-free (Chase-Lev);
+//! this subset uses one short critical section per operation, which keeps
+//! the same stealing semantics (owner pops newest, thieves take oldest)
+//! and is far from the bottleneck at the task granularities the executor
+//! produces.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; the caller may retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `Some` on success, `None` otherwise.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owner's end of a work-stealing deque (LIFO for the owner).
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A new deque whose owner pops in LIFO order.
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push a task (owner side).
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque lock").push_back(task);
+        }
+
+        /// Pop the most recently pushed task (owner side, LIFO — keeps the
+        /// working set cache-hot and steals coarse).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("deque lock").pop_back()
+        }
+
+        /// True if no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock").is_empty()
+        }
+
+        /// A stealing handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A thief's handle: steals the *oldest* task (FIFO side), i.e. the
+    /// largest outstanding piece of recursively split work.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempt to steal one task from the FIFO end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True if no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock").is_empty()
+        }
+    }
+
+    /// A global FIFO injector queue shared by all workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task from any thread.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Attempt to steal the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True if no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock").is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_thief_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(1)); // oldest
+            assert_eq!(w.pop(), Some(3)); // newest
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push("a");
+            inj.push("b");
+            assert_eq!(inj.steal().success(), Some("a"));
+            assert_eq!(inj.steal().success(), Some("b"));
+            assert!(inj.steal().success().is_none());
+            assert!(inj.is_empty());
+        }
+    }
+}

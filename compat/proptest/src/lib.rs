@@ -1,0 +1,233 @@
+//! Offline compatibility subset of the `proptest` 1.x API.
+//!
+//! Supports the workspace's usage: the [`proptest!`] macro over functions
+//! whose arguments are drawn `pat in strategy`, range strategies over
+//! primitive numbers, tuple strategies, `prop::collection::vec`, and the
+//! `prop_assert*` macros. Cases are sampled from a deterministic seed per
+//! test (no persistence, no shrinking — a failing case reports its case
+//! index and seed instead of a minimized input).
+
+use rand::rngs::StdRng;
+
+/// Number of random cases each property runs.
+pub const CASES: u32 = 64;
+
+/// Strategies produce values from a PRNG — the sampling subset of
+/// proptest's `Strategy`.
+pub trait Strategy {
+    /// The value type this strategy generates.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Collection strategies (subset: [`collection::vec`]).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rand::Rng::gen_range(rng, self.len.clone())
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// The test-case driver used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `case` for [`crate::CASES`] deterministic seeds derived from the
+    /// test name. A panicking case is annotated with its case index and
+    /// seed so it can be re-run, then re-raised.
+    pub fn run(name: &str, mut case: impl FnMut(&mut StdRng)) {
+        let base = fnv1a(name);
+        for i in 0..crate::CASES {
+            let seed = base.wrapping_add(u64::from(i));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                case(&mut rng);
+            }));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest '{name}': case {i} of {} failed (seed {seed:#x})",
+                    crate::CASES
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Property test entry point: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::sample(&$strat, __proptest_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// `assert!` under a name the real proptest uses (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(v in prop::collection::vec(-5i64..5, 0..20), x in 1usize..4) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|e| (-5..5).contains(e)));
+            prop_assert!((1..4).contains(&x));
+        }
+
+        #[test]
+        fn tuples_compose(p in (0u8..5, -4i64..5)) {
+            prop_assert!(p.0 < 5);
+            prop_assert!((-4..5).contains(&p.1));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use rand::Rng;
+        let mut first: Vec<i64> = Vec::new();
+        crate::test_runner::run("det", |rng| {
+            first.push(rng.gen_range(-100i64..100));
+        });
+        let mut second: Vec<i64> = Vec::new();
+        crate::test_runner::run("det", |rng| {
+            second.push(rng.gen_range(-100i64..100));
+        });
+        assert_eq!(first, second);
+    }
+}

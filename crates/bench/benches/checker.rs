@@ -12,14 +12,17 @@ fn bench(c: &mut Criterion) {
         let stmts: usize = programs.iter().map(statement_count).sum();
         g.throughput(Throughput::Elements(stmts as u64));
         g.bench_with_input(BenchmarkId::new("random_programs", size), &size, |b, _| {
-            b.iter(|| {
-                programs.iter().map(|p| analyze(p).len()).sum::<usize>()
-            })
+            b.iter(|| programs.iter().map(|p| analyze(p).len()).sum::<usize>())
         });
     }
     let cases = corpus();
     g.bench_function("full_corpus", |b| {
-        b.iter(|| cases.iter().map(|c| analyze(&c.program).len()).sum::<usize>())
+        b.iter(|| {
+            cases
+                .iter()
+                .map(|c| analyze(&c.program).len())
+                .sum::<usize>()
+        })
     });
     g.finish();
 }

@@ -13,8 +13,7 @@ fn bench(c: &mut Criterion) {
         let uids = adversarial_ring_uids(n);
         g.bench_with_input(BenchmarkId::new("lcr_sync", n), &n, |b, _| {
             b.iter(|| {
-                let mut r =
-                    SyncRunner::new(Topology::ring_unidirectional(n), lcr_nodes(&uids));
+                let mut r = SyncRunner::new(Topology::ring_unidirectional(n), lcr_nodes(&uids));
                 r.run(20 * n as u64 + 100)
             })
         });
@@ -26,12 +25,8 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("lcr_async", n), &n, |b, _| {
             b.iter(|| {
-                let mut r = AsyncRunner::new(
-                    Topology::ring_unidirectional(n),
-                    lcr_nodes(&uids),
-                    5,
-                    9,
-                );
+                let mut r =
+                    AsyncRunner::new(Topology::ring_unidirectional(n), lcr_nodes(&uids), 5, 9);
                 r.run(10_000_000)
             })
         });

@@ -3,7 +3,7 @@
 //! generality-without-performance-loss claim on the graph library.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gp_graphs::algo::{bfs_distances, dijkstra};
+use gp_graphs::algo::{bfs_distances, dijkstra, par_bfs_distances};
 use gp_graphs::{AdjacencyList, CsrGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,6 +29,22 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("csr", n), &n, |b, _| {
             b.iter(|| bfs_distances(&csr, 0))
+        });
+    }
+    g.finish();
+
+    // Sequential vs pooled level-synchronous BFS on CSR (identical
+    // outputs; the gp-parallel work-stealing executor does the frontier
+    // expansion).
+    let mut g = c.benchmark_group("bfs_par");
+    g.sample_size(15);
+    let n = 100_000u32;
+    let edges = random_edges(n, n as usize * 8, 5);
+    let csr = CsrGraph::from_edges(n as usize, &edges);
+    g.bench_function("sequential_100k", |b| b.iter(|| bfs_distances(&csr, 0)));
+    for &th in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("par", th), &th, |b, &th| {
+            b.iter(|| par_bfs_distances(&csr, 0, th))
         });
     }
     g.finish();

@@ -12,7 +12,9 @@ use rand::{Rng, SeedableRng};
 
 fn random(n: usize) -> Vec<i64> {
     let mut rng = StdRng::seed_from_u64(42);
-    (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect()
+    (0..n)
+        .map(|_| rng.gen_range(-1_000_000..1_000_000))
+        .collect()
 }
 
 fn bench(c: &mut Criterion) {

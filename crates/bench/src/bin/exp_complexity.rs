@@ -102,24 +102,36 @@ fn main() {
     });
 
     // list merge sort: O(n log n) comparisons on forward-only cursors.
-    fit_row(&t, "merge_sort(list)", &Complexity::n_log_n("n"), &sizes, |n| {
-        let data = random_ints(n, 17);
-        let l = SList::from_slice(&data);
-        let counters = Counters::new();
-        let ord = CountingOrder::new(NaturalLess, counters.clone());
-        let _ = sort_list(&l, &ord);
-        counters.comparisons()
-    });
+    fit_row(
+        &t,
+        "merge_sort(list)",
+        &Complexity::n_log_n("n"),
+        &sizes,
+        |n| {
+            let data = random_ints(n, 17);
+            let l = SList::from_slice(&data);
+            let counters = Counters::new();
+            let ord = CountingOrder::new(NaturalLess, counters.clone());
+            let _ = sort_list(&l, &ord);
+            counters.comparisons()
+        },
+    );
 
     // insertion sort: O(n²) comparisons on random data (smaller sweep).
     let small = [64usize, 128, 256, 512, 1024];
-    fit_row(&t, "insertion_sort", &Complexity::poly("n", 2), &small, |n| {
-        let mut data = random_ints(n, 19);
-        let counters = Counters::new();
-        let ord = CountingOrder::new(NaturalLess, counters.clone());
-        insertion_sort(&mut data, &ord);
-        counters.comparisons()
-    });
+    fit_row(
+        &t,
+        "insertion_sort",
+        &Complexity::poly("n", 2),
+        &small,
+        |n| {
+            let mut data = random_ints(n, 19);
+            let counters = Counters::new();
+            let ord = CountingOrder::new(NaturalLess, counters.clone());
+            insertion_sort(&mut data, &ord);
+            counters.comparisons()
+        },
+    );
 
     println!();
     println!("  'holds' = the declared taxonomy bound is consistent with the");

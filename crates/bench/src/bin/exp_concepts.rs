@@ -18,7 +18,8 @@ fn main() {
         let kinds = [
             (!c.assoc_types.is_empty()).then(|| format!("{} assoc types", c.assoc_types.len())),
             (!c.operations.is_empty()).then(|| format!("{} operations", c.operations.len())),
-            (!c.same_type.is_empty()).then(|| format!("{} same-type constraints", c.same_type.len())),
+            (!c.same_type.is_empty())
+                .then(|| format!("{} same-type constraints", c.same_type.len())),
             (!c.refines.is_empty()).then(|| format!("refines {}", c.refines.len())),
         ];
         let desc: Vec<String> = kinds.into_iter().flatten().collect();

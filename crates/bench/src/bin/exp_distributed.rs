@@ -38,15 +38,18 @@ fn main() {
         let lcr_stats = lcr.run(20 * n as u64 + 100);
         let mut hs = SyncRunner::new(Topology::ring_bidirectional(n), hs_nodes(&uids));
         let hs_stats = hs.run(60 * n as u64 + 200);
-        let agree = consensus(&lcr_stats) == Some(n as u64)
-            && consensus(&hs_stats) == Some(n as u64);
+        let agree =
+            consensus(&lcr_stats) == Some(n as u64) && consensus(&hs_stats) == Some(n as u64);
         lcr_samples.push((n as f64, lcr_stats.messages as f64));
         hs_samples.push((n as f64, hs_stats.messages as f64));
         t.row(&[
             n.to_string(),
             lcr_stats.messages.to_string(),
             hs_stats.messages.to_string(),
-            format!("{:.1}x", lcr_stats.messages as f64 / hs_stats.messages as f64),
+            format!(
+                "{:.1}x",
+                lcr_stats.messages as f64 / hs_stats.messages as f64
+            ),
             lcr_stats.local_steps.to_string(),
             hs_stats.local_steps.to_string(),
             agree.to_string(),
@@ -153,27 +156,51 @@ fn main() {
     let cases = [
         (
             "leader election, bidirectional ring, async",
-            Requirement::basic(Problem::LeaderElection, TaxTopology::BiRing, Timing::Asynchronous),
+            Requirement::basic(
+                Problem::LeaderElection,
+                TaxTopology::BiRing,
+                Timing::Asynchronous,
+            ),
         ),
         (
             "leader election, unidirectional ring, async",
-            Requirement::basic(Problem::LeaderElection, TaxTopology::UniRing, Timing::Asynchronous),
+            Requirement::basic(
+                Problem::LeaderElection,
+                TaxTopology::UniRing,
+                Timing::Asynchronous,
+            ),
         ),
         (
             "leader election, grid, synchronous",
-            Requirement::basic(Problem::LeaderElection, TaxTopology::Grid, Timing::Synchronous),
+            Requirement::basic(
+                Problem::LeaderElection,
+                TaxTopology::Grid,
+                Timing::Synchronous,
+            ),
         ),
         (
             "leader election, grid, asynchronous",
-            Requirement::basic(Problem::LeaderElection, TaxTopology::Grid, Timing::Asynchronous),
+            Requirement::basic(
+                Problem::LeaderElection,
+                TaxTopology::Grid,
+                Timing::Asynchronous,
+            ),
         ),
         (
             "broadcast, arbitrary, async",
-            Requirement::basic(Problem::Broadcast, TaxTopology::Arbitrary, Timing::Asynchronous),
+            Requirement::basic(
+                Problem::Broadcast,
+                TaxTopology::Arbitrary,
+                Timing::Asynchronous,
+            ),
         ),
         (
             "spanning tree, grid, synchronous",
-            Requirement::basic(Problem::SpanningTree, TaxTopology::Grid, Timing::Synchronous),
+            Requirement::basic(
+                Problem::SpanningTree,
+                TaxTopology::Grid,
+                Timing::Synchronous,
+            ),
         ),
     ];
     for (label, req) in cases {
@@ -182,9 +209,7 @@ fn main() {
                 "  {label:<46} → {:<20} (msgs {}, local {})",
                 alg.name, alg.messages, alg.local_computation
             ),
-            None => println!(
-                "  {label:<46} → NO KNOWN ALGORITHM (a gap the taxonomy exposes)"
-            ),
+            None => println!("  {label:<46} → NO KNOWN ALGORITHM (a gap the taxonomy exposes)"),
         }
     }
 

@@ -22,7 +22,10 @@ fn main() {
     let t0 = Instant::now();
     let proved = t.check().expect("SWO proofs check");
     let us = t0.elapsed().as_secs_f64() * 1e6;
-    println!("\n  theorems proved (checked in {us:.0} µs, {} deduction nodes):", t.proof_size());
+    println!(
+        "\n  theorems proved (checked in {us:.0} µs, {} deduction nodes):",
+        t.proof_size()
+    );
     for (thm, p) in t.theorems.iter().zip(&proved) {
         println!("    [{}] {p}", thm.name);
     }
@@ -39,7 +42,10 @@ fn main() {
         ("verdict", 8),
     ]);
     let instances: Vec<(&str, SymbolMap)> = vec![
-        ("(i32, <)", SymbolMap::new([("lt", "int_lt"), ("eqv", "int_eqv")])),
+        (
+            "(i32, <)",
+            SymbolMap::new([("lt", "int_lt"), ("eqv", "int_eqv")]),
+        ),
         (
             "(String, ci_less)",
             SymbolMap::new([("lt", "ci_lt"), ("eqv", "ci_eqv")]),
@@ -65,7 +71,10 @@ fn main() {
             if ok { "OK" } else { "FAIL" }.to_string(),
         ]);
     }
-    println!("\n  one proof authored; {} instances checked.", instances.len());
+    println!(
+        "\n  one proof authored; {} instances checked.",
+        instances.len()
+    );
 
     banner(
         "E8c",

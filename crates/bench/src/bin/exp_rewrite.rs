@@ -14,8 +14,14 @@ fn instances() -> Vec<(&'static str, Expr)> {
     vec![
         // Fig. 5 row 1: x + 0 → x when (x, +) models Monoid.
         ("i * 1", Expr::bin(Mul, var("i", Type::Int), Expr::int(1))),
-        ("f * 1.0", Expr::bin(Mul, var("f", Type::Float), Expr::float(1.0))),
-        ("b && true", Expr::bin(And, var("b", Type::Bool), Expr::boolean(true))),
+        (
+            "f * 1.0",
+            Expr::bin(Mul, var("f", Type::Float), Expr::float(1.0)),
+        ),
+        (
+            "b && true",
+            Expr::bin(And, var("b", Type::Bool), Expr::boolean(true)),
+        ),
         (
             "i & 0xFF..F",
             Expr::bin(BitAnd, var("i", Type::UInt), Expr::uint(u64::MAX)),

@@ -11,7 +11,9 @@ use rand::{Rng, SeedableRng};
 /// Deterministic random integer workload.
 pub fn random_ints(n: usize, seed: u64) -> Vec<i64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect()
+    (0..n)
+        .map(|_| rng.gen_range(-1_000_000..1_000_000))
+        .collect()
 }
 
 /// Deterministic sorted workload.
@@ -29,7 +31,12 @@ impl Table {
     pub fn new(headers: &[(&str, usize)]) -> Self {
         let widths: Vec<usize> = headers.iter().map(|(_, w)| *w).collect();
         let t = Table { widths };
-        t.row(&headers.iter().map(|(h, _)| h.to_string()).collect::<Vec<_>>());
+        t.row(
+            &headers
+                .iter()
+                .map(|(h, _)| h.to_string())
+                .collect::<Vec<_>>(),
+        );
         t.rule();
         t
     }
@@ -59,6 +66,151 @@ pub fn banner(id: &str, title: &str, paper_ref: &str) {
     println!();
 }
 
+/// Minimal JSON value builder for the machine-readable `BENCH_*.json`
+/// artifacts the experiment binaries emit (no external serializer in this
+/// offline workspace).
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// Null literal.
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Ordered array.
+    Arr(Vec<Json>),
+    /// Ordered object (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert a field (builder style, objects only).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("field() on a non-object Json"),
+        }
+        self
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Integral values render without a trailing ".0".
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        out.push_str(&format!("{}", *x as i64));
+                    } else {
+                        out.push_str(&format!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +221,20 @@ mod tests {
         assert_ne!(random_ints(100, 7), random_ints(100, 8));
         let s = sorted_ints(50);
         assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn json_renders_valid_compact_output() {
+        let j = Json::obj()
+            .field("name", "exp \"quoted\"")
+            .field("n", 1_000_000usize)
+            .field("ms", 1.5f64)
+            .field("ok", true)
+            .field("series", Json::Arr(vec![Json::Num(1.0), Json::Null]));
+        assert_eq!(
+            j.render(),
+            r#"{"name":"exp \"quoted\"","n":1000000,"ms":1.5,"ok":true,"series":[1,null]}"#
+        );
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
     }
 }

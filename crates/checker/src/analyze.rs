@@ -297,7 +297,10 @@ impl Analyzer {
             Stmt::Insert { container, iter } => {
                 self.check_iter_use(state, iter, false);
                 let kind = state.containers.get(container).map(|c| c.kind);
-                if matches!(kind, Some(ContainerKind::Vector) | Some(ContainerKind::Deque)) {
+                if matches!(
+                    kind,
+                    Some(ContainerKind::Vector) | Some(ContainerKind::Deque)
+                ) {
                     Self::invalidate_container(state, container);
                 }
                 if let Some(c) = state.containers.get_mut(container) {
@@ -307,7 +310,10 @@ impl Analyzer {
             }
             Stmt::PushBack { container } => {
                 let kind = state.containers.get(container).map(|c| c.kind);
-                if matches!(kind, Some(ContainerKind::Vector) | Some(ContainerKind::Deque)) {
+                if matches!(
+                    kind,
+                    Some(ContainerKind::Vector) | Some(ContainerKind::Deque)
+                ) {
                     Self::invalidate_container(state, container);
                 }
                 if let Some(c) = state.containers.get_mut(container) {
@@ -565,8 +571,9 @@ mod tests {
             )
         };
         let d = analyze(&make(K::Vector));
-        assert!(d.iter().any(|d| d.code == DiagnosticCode::DerefSingular
-            && d.message == MSG_SINGULAR));
+        assert!(d
+            .iter()
+            .any(|d| d.code == DiagnosticCode::DerefSingular && d.message == MSG_SINGULAR));
         let d = analyze(&make(K::List));
         assert!(
             !d.iter().any(|d| d.code == DiagnosticCode::DerefSingular),
@@ -745,10 +752,7 @@ mod tests {
                     "it",
                     vec![
                         deref("it"),
-                        branch(
-                            vec![erase_into("v", "it", "it")],
-                            vec![advance("it")],
-                        ),
+                        branch(vec![erase_into("v", "it", "it")], vec![advance("it")]),
                     ],
                 ),
             ],

@@ -223,7 +223,7 @@ pub fn random_program(seed: u64, size: usize) -> Program {
     let n_containers = rng.gen_range(1..=3usize);
     let mut stmts: Vec<Stmt> = Vec::new();
     for i in 0..n_containers {
-        stmts.push(container(&format!("c{i}"), kinds[rng.gen_range(0..3)]));
+        stmts.push(container(&format!("c{i}"), kinds[rng.gen_range(0..3usize)]));
     }
     let mut iters: Vec<String> = Vec::new();
     let mut budget = size;

@@ -181,14 +181,9 @@ mod tests {
 
     #[test]
     fn empty_input_produces_no_violations() {
-        let r = check_against_input_archetype(
-            "find",
-            DeclaredCategory::Input,
-            vec![],
-            |range| {
-                let _ = gp_sequences::find::find(range, &1);
-            },
-        );
+        let r = check_against_input_archetype("find", DeclaredCategory::Input, vec![], |range| {
+            let _ = gp_sequences::find::find(range, &1);
+        });
         assert_eq!(r.violations, 0);
     }
 }

@@ -54,9 +54,17 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
 }
 
 enum Frame {
-    While { cond: Cond, body: Vec<Stmt> },
-    IfThen { then_branch: Vec<Stmt> },
-    IfElse { then_branch: Vec<Stmt>, else_branch: Vec<Stmt> },
+    While {
+        cond: Cond,
+        body: Vec<Stmt>,
+    },
+    IfThen {
+        then_branch: Vec<Stmt>,
+    },
+    IfElse {
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
 }
 
 /// Parse a program from source text.
@@ -246,7 +254,9 @@ mod tests {
         let parsed = parse("fig4-fixed", &fixed).unwrap();
         assert_eq!(parsed, fig4_program(true));
         let diags = analyze(&parsed);
-        assert!(!diags.iter().any(|d| d.code == DiagnosticCode::DerefSingular));
+        assert!(!diags
+            .iter()
+            .any(|d| d.code == DiagnosticCode::DerefSingular));
     }
 
     #[test]

@@ -144,7 +144,9 @@ impl AbsState {
             out.containers.insert(name.clone(), merged);
         }
         for (name, b) in &other.containers {
-            out.containers.entry(name.clone()).or_insert_with(|| b.clone());
+            out.containers
+                .entry(name.clone())
+                .or_insert_with(|| b.clone());
         }
         for (name, a) in &self.iters {
             let merged = match other.iters.get(name) {
@@ -185,8 +187,14 @@ mod tests {
     fn at_end_and_sortedness_joins() {
         assert_eq!(AtEnd::No.join(AtEnd::Yes), AtEnd::Maybe);
         assert_eq!(AtEnd::Maybe.join(AtEnd::Maybe), AtEnd::Maybe);
-        assert_eq!(Sortedness::Sorted.join(Sortedness::Unsorted), Sortedness::Unknown);
-        assert_eq!(Sortedness::Sorted.join(Sortedness::Sorted), Sortedness::Sorted);
+        assert_eq!(
+            Sortedness::Sorted.join(Sortedness::Unsorted),
+            Sortedness::Unknown
+        );
+        assert_eq!(
+            Sortedness::Sorted.join(Sortedness::Sorted),
+            Sortedness::Sorted
+        );
     }
 
     #[test]

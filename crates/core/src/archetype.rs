@@ -19,8 +19,7 @@
 //! counts and validate complexity guarantees empirically (experiment E9).
 
 use crate::cursor::{
-    AdvanceDispatch, BidirectionalCursor, Category, ForwardCursor, InputCursor,
-    RandomAccessCursor,
+    AdvanceDispatch, BidirectionalCursor, Category, ForwardCursor, InputCursor, RandomAccessCursor,
 };
 use crate::order::StrictWeakOrder;
 use std::cell::Cell;

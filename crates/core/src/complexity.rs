@@ -218,9 +218,9 @@ impl Complexity {
     }
 
     fn dominant_term(&self) -> Option<&Term> {
-        self.terms.iter().max_by(|a, b| {
-            a.cmp_single(b).unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.terms
+            .iter()
+            .max_by(|a, b| a.cmp_single(b).unwrap_or(std::cmp::Ordering::Equal))
     }
 
     /// Empirically validate the bound against measured `(size, count)`

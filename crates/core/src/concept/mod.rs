@@ -196,7 +196,10 @@ pub struct Concept {
 
 impl Concept {
     /// Start building a concept with the given name and type parameters.
-    pub fn new<S: Into<String>>(name: impl Into<String>, params: impl IntoIterator<Item = S>) -> Self {
+    pub fn new<S: Into<String>>(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = S>,
+    ) -> Self {
         Concept {
             name: name.into(),
             params: params.into_iter().map(Into::into).collect(),
@@ -332,7 +335,10 @@ pub enum ConceptError {
     /// A type expression could not be resolved to a concrete type.
     UnresolvableType { expr: String, context: String },
     /// No implementation of an algorithm is viable for the argument types.
-    NoViableOverload { algorithm: String, args: Vec<String> },
+    NoViableOverload {
+        algorithm: String,
+        args: Vec<String>,
+    },
     /// Several implementations are viable and none is most specific.
     AmbiguousOverload {
         algorithm: String,

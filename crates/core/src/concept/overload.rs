@@ -73,9 +73,8 @@ fn is_viable(reg: &Registry, reqs: &ResolvedReqs) -> bool {
 /// by a requirement of `a` on the same resolved arguments.
 fn at_least_as_specific(reg: &Registry, a: &ResolvedReqs, b: &ResolvedReqs) -> bool {
     b.iter().all(|(bc, bargs)| {
-        a.iter().any(|(ac, aargs)| {
-            aargs == bargs && (ac == bc || reg.refines(ac, bc))
-        })
+        a.iter()
+            .any(|(ac, aargs)| aargs == bargs && (ac == bc || reg.refines(ac, bc)))
     })
 }
 
@@ -224,8 +223,10 @@ mod tests {
         let mut reg = Registry::new();
         reg.define(Concept::new("Hashable", ["T"])).unwrap();
         reg.define(Concept::new("Ordered", ["T"])).unwrap();
-        reg.declare_model(ModelDecl::new("Hashable", ["Key"])).unwrap();
-        reg.declare_model(ModelDecl::new("Ordered", ["Key"])).unwrap();
+        reg.declare_model(ModelDecl::new("Hashable", ["Key"]))
+            .unwrap();
+        reg.declare_model(ModelDecl::new("Ordered", ["Key"]))
+            .unwrap();
         let impls = vec![
             Implementation::new("hash_lookup", vec![ConceptRef::unary("Hashable", "T0")]),
             Implementation::new("tree_lookup", vec![ConceptRef::unary("Ordered", "T0")]),
@@ -239,8 +240,10 @@ mod tests {
         let mut reg = Registry::new();
         reg.define(Concept::new("Ordered", ["T"])).unwrap();
         reg.define(Concept::new("Hashable", ["T"])).unwrap();
-        reg.declare_model(ModelDecl::new("Ordered", ["Key"])).unwrap();
-        reg.declare_model(ModelDecl::new("Hashable", ["Key"])).unwrap();
+        reg.declare_model(ModelDecl::new("Ordered", ["Key"]))
+            .unwrap();
+        reg.declare_model(ModelDecl::new("Hashable", ["Key"]))
+            .unwrap();
         let impls = vec![
             Implementation::new("generic", vec![ConceptRef::unary("Ordered", "T0")]),
             Implementation::new(

@@ -232,11 +232,8 @@ mod tests {
         build_multitype_chain(&mut reg, 3);
         for k in 1..=3 {
             for half in ["a", "b"] {
-                reg.declare_model(ModelDecl::new(
-                    format!("L{k}_{half}"),
-                    ["Vec<f64>", "f64"],
-                ))
-                .unwrap();
+                reg.declare_model(ModelDecl::new(format!("L{k}_{half}"), ["Vec<f64>", "f64"]))
+                    .unwrap();
             }
         }
         assert!(reg.models_concept("L3_a", &["Vec<f64>", "f64"]));

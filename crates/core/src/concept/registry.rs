@@ -205,12 +205,15 @@ impl Registry {
     ) -> Result<String> {
         match expr {
             TypeExpr::Named(n) => Ok(n.clone()),
-            TypeExpr::Param(p) => subst.get(p).cloned().ok_or_else(|| {
-                ConceptError::UnresolvableType {
-                    expr: expr.to_string(),
-                    context: context.to_string(),
-                }
-            }),
+            TypeExpr::Param(p) => {
+                subst
+                    .get(p)
+                    .cloned()
+                    .ok_or_else(|| ConceptError::UnresolvableType {
+                        expr: expr.to_string(),
+                        context: context.to_string(),
+                    })
+            }
             TypeExpr::Assoc(base, name) => {
                 let base_ty = self.resolve(base, subst, extra, context)?;
                 self.lookup_assoc(&base_ty, name, extra).ok_or_else(|| {
@@ -337,10 +340,9 @@ impl Registry {
     pub fn models_concept(&self, concept: &str, args: &[&str]) -> bool {
         self.models.iter().any(|m| {
             (m.concept == concept && m.args.iter().map(String::as_str).eq(args.iter().copied()))
-                || self
-                    .implied_models(m)
-                    .iter()
-                    .any(|(c, a)| c == concept && a.iter().map(String::as_str).eq(args.iter().copied()))
+                || self.implied_models(m).iter().any(|(c, a)| {
+                    c == concept && a.iter().map(String::as_str).eq(args.iter().copied())
+                })
         })
     }
 
@@ -350,13 +352,22 @@ impl Registry {
         let mut out = Vec::new();
         let mut stack = vec![(model.concept.clone(), model.args.clone())];
         while let Some((cname, cargs)) = stack.pop() {
-            if out.iter().any(|(c, a): &(String, Vec<String>)| *c == cname && *a == cargs) {
+            if out
+                .iter()
+                .any(|(c, a): &(String, Vec<String>)| *c == cname && *a == cargs)
+            {
                 continue;
             }
             out.push((cname.clone(), cargs.clone()));
-            let Ok(c) = self.concept(&cname) else { continue };
-            let subst: BTreeMap<String, String> =
-                c.params.iter().cloned().zip(cargs.iter().cloned()).collect();
+            let Ok(c) = self.concept(&cname) else {
+                continue;
+            };
+            let subst: BTreeMap<String, String> = c
+                .params
+                .iter()
+                .cloned()
+                .zip(cargs.iter().cloned())
+                .collect();
             for r in &c.refines {
                 let resolved: Result<Vec<String>> = r
                     .args
@@ -400,7 +411,9 @@ impl Registry {
             return false;
         };
         c.find_axiom(axiom).is_some()
-            || c.refines.iter().any(|r| self.axiom_visible(&r.concept, axiom))
+            || c.refines
+                .iter()
+                .any(|r| self.axiom_visible(&r.concept, axiom))
     }
 
     /// Run every axiom check attached to the model with a deterministic
@@ -622,9 +635,7 @@ mod tests {
         let mut reg = Registry::new();
         graph_concepts(&mut reg);
         let err = reg
-            .declare_model(
-                ModelDecl::new("GraphEdge", ["E"]).provide_all(["source", "target"]),
-            )
+            .declare_model(ModelDecl::new("GraphEdge", ["E"]).provide_all(["source", "target"]))
             .unwrap_err();
         assert!(matches!(err, ConceptError::MissingAssoc { .. }));
     }
@@ -747,9 +758,7 @@ mod tests {
         )
         .unwrap();
         let m = reg
-            .declare_model(
-                ModelDecl::new("Monoid", ["i64(+)"]).provide_all(["op", "identity"]),
-            )
+            .declare_model(ModelDecl::new("Monoid", ["i64(+)"]).provide_all(["op", "identity"]))
             .unwrap();
         reg.register_axiom_check(
             m,

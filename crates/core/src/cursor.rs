@@ -220,7 +220,10 @@ impl<'a, T> SliceCursor<'a, T> {
 impl<'a, T: Clone> SliceCursor<'a, T> {
     /// The range covering the whole slice.
     pub fn whole(data: &'a [T]) -> Range<Self> {
-        Range::new(SliceCursor::new(data, 0), SliceCursor::new(data, data.len()))
+        Range::new(
+            SliceCursor::new(data, 0),
+            SliceCursor::new(data, data.len()),
+        )
     }
 
     /// Current index into the underlying slice.
@@ -267,7 +270,10 @@ impl<T: Clone> BidirectionalCursor for SliceCursor<'_, T> {
 impl<T: Clone> RandomAccessCursor for SliceCursor<'_, T> {
     fn advance_by(&mut self, n: isize) {
         let new = self.pos as isize + n;
-        assert!(new >= 0 && new as usize <= self.data.len(), "jump out of range");
+        assert!(
+            new >= 0 && new as usize <= self.data.len(),
+            "jump out of range"
+        );
         self.pos = new as usize;
     }
 

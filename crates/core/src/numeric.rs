@@ -38,10 +38,7 @@ impl<T> Complex<T> {
 impl<T: Zero> Complex<T> {
     /// A purely real complex number.
     pub fn from_re(re: T) -> Self {
-        Complex {
-            re,
-            im: T::zero(),
-        }
+        Complex { re, im: T::zero() }
     }
 }
 
@@ -117,7 +114,12 @@ scalar_times_complex!(f32, f64);
 
 impl<T> Div for Complex<T>
 where
-    T: Copy + Add<Output = T> + Sub<Output = T> + Mul<Output = T> + Div<Output = T> + Neg<Output = T>,
+    T: Copy
+        + Add<Output = T>
+        + Sub<Output = T>
+        + Mul<Output = T>
+        + Div<Output = T>
+        + Neg<Output = T>,
 {
     type Output = Complex<T>;
     fn div(self, rhs: Self) -> Self {
@@ -404,8 +406,14 @@ impl<T: Zero + One> Matrix<T> {
 impl<T: Copy + Add<Output = T>> Matrix<T> {
     /// Elementwise sum. Panics on shape mismatch.
     pub fn add(&self, rhs: &Matrix<T>) -> Matrix<T> {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
-        Matrix::from_fn(self.rows, self.cols, |i, j| *self.get(i, j) + *rhs.get(i, j))
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            *self.get(i, j) + *rhs.get(i, j)
+        })
     }
 }
 
@@ -436,7 +444,11 @@ impl<T: Copy> Matrix<T> {
                 }
             }
         }
-        Matrix { rows: m, cols: n, data }
+        Matrix {
+            rows: m,
+            cols: n,
+            data,
+        }
     }
 
     /// Map every element.
@@ -592,7 +604,10 @@ mod tests {
         let mixed = clacrm_mixed(&a, &b);
         let promoted = clacrm_promoted(&a, &b);
         assert!(mixed.alg_eq(&promoted));
-        assert_eq!(clacrm_mixed_mults(4, 5, 3) * 2, clacrm_promoted_mults(4, 5, 3));
+        assert_eq!(
+            clacrm_mixed_mults(4, 5, 3) * 2,
+            clacrm_promoted_mults(4, 5, 3)
+        );
     }
 
     #[test]

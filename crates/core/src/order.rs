@@ -167,10 +167,7 @@ pub fn check_equiv_transitivity<T>(
 /// Check asymmetry — derivable from irreflexivity and transitivity but
 /// cheaper to test directly, and a sharper diagnostic for non-strict
 /// comparators.
-pub fn check_asymmetry<T>(
-    ord: &impl StrictWeakOrder<T>,
-    samples: &[T],
-) -> Result<usize, String> {
+pub fn check_asymmetry<T>(ord: &impl StrictWeakOrder<T>, samples: &[T]) -> Result<usize, String> {
     let cap = samples.len().min(64);
     let mut checked = 0;
     for a in &samples[..cap] {

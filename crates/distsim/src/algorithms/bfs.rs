@@ -100,7 +100,10 @@ mod tests {
         let mut r = SyncRunner::new(topo, bfs_tree_nodes(n, 0));
         let stats = r.run(1000);
         assert!(stats.time <= diam + 2, "time {} > diam {diam}", stats.time);
-        assert!(stats.messages <= edges, "each directed edge carries ≤1 level");
+        assert!(
+            stats.messages <= edges,
+            "each directed edge carries ≤1 level"
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl Process for FloodMax {
         if round < self.diameter {
             ctx.send_all(Payload::Max(self.max_seen));
         } else if round == self.diameter {
-            ctx.decide(if self.max_seen == self.uid { self.uid } else { self.max_seen });
+            ctx.decide(if self.max_seen == self.uid {
+                self.uid
+            } else {
+                self.max_seen
+            });
             ctx.halt();
         }
     }

@@ -135,7 +135,9 @@ impl Process for Hs {
 
 /// One HS process per uid (ring order = slice order).
 pub fn hs_nodes(uids: &[u64]) -> Vec<Box<dyn Process>> {
-    uids.iter().map(|&u| Box::new(Hs::new(u)) as Box<dyn Process>).collect()
+    uids.iter()
+        .map(|&u| Box::new(Hs::new(u)) as Box<dyn Process>)
+        .collect()
 }
 
 #[cfg(test)]
@@ -178,8 +180,7 @@ mod tests {
         let n = 128;
         let uids = adversarial_ring_uids(n);
         let hs = run(&uids);
-        let mut lcr_runner =
-            SyncRunner::new(Topology::ring_unidirectional(n), lcr_nodes(&uids));
+        let mut lcr_runner = SyncRunner::new(Topology::ring_unidirectional(n), lcr_nodes(&uids));
         let lcr = lcr_runner.run(10 * n as u64 + 50);
         assert!(
             hs.messages < lcr.messages / 2,

@@ -21,7 +21,10 @@ pub struct Lcr {
 impl Lcr {
     /// A node with the given uid.
     pub fn new(uid: u64) -> Self {
-        Lcr { uid, decided: false }
+        Lcr {
+            uid,
+            decided: false,
+        }
     }
 }
 
@@ -65,7 +68,9 @@ impl Process for Lcr {
 
 /// One LCR process per uid (ring order = slice order).
 pub fn lcr_nodes(uids: &[u64]) -> Vec<Box<dyn Process>> {
-    uids.iter().map(|&u| Box::new(Lcr::new(u)) as Box<dyn Process>).collect()
+    uids.iter()
+        .map(|&u| Box::new(Lcr::new(u)) as Box<dyn Process>)
+        .collect()
 }
 
 #[cfg(test)]
@@ -109,12 +114,8 @@ mod tests {
     fn works_asynchronously_and_deterministically() {
         let uids = adversarial_ring_uids(20);
         let run = |seed| {
-            let mut r = AsyncRunner::new(
-                Topology::ring_unidirectional(20),
-                lcr_nodes(&uids),
-                7,
-                seed,
-            );
+            let mut r =
+                AsyncRunner::new(Topology::ring_unidirectional(20), lcr_nodes(&uids), 7, seed);
             r.run(1_000_000)
         };
         let a = run(1);

@@ -194,9 +194,13 @@ impl SyncRunner {
             if self.crash_at.get(&v) == Some(&0) {
                 self.nodes[v].crashed = true;
             }
-            let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats.local_steps, |p, c| {
-                p.on_start(c)
-            });
+            let out = run_step(
+                v,
+                &self.topo,
+                &mut self.nodes[v],
+                &mut stats.local_steps,
+                |p, c| p.on_start(c),
+            );
             stats.per_node_sent[v] += out.len() as u64;
             inflight.extend(out.into_iter().map(|(to, pl)| (v, to, pl)));
         }
@@ -227,17 +231,18 @@ impl SyncRunner {
             }
             // Round tick for every live node.
             for v in 0..n {
-                let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats.local_steps, |p, c| {
-                    p.on_round(round, c)
-                });
+                let out = run_step(
+                    v,
+                    &self.topo,
+                    &mut self.nodes[v],
+                    &mut stats.local_steps,
+                    |p, c| p.on_round(round, c),
+                );
                 stats.per_node_sent[v] += out.len() as u64;
                 inflight.extend(out.into_iter().map(|(to, pl)| (v, to, pl)));
             }
             stats.time = round;
-            let all_done = self
-                .nodes
-                .iter()
-                .all(|s| s.halted || s.crashed);
+            let all_done = self.nodes.iter().all(|s| s.halted || s.crashed);
             if inflight.is_empty() && (all_done || !had_messages) {
                 break;
             }
@@ -321,13 +326,13 @@ impl AsyncRunner {
 
         let drop_rate = self.drop_rate;
         let enqueue = |queue: &mut BinaryHeap<_>,
-                           payloads: &mut HashMap<u64, Payload>,
-                           rng: &mut StdRng,
-                           seq: &mut u64,
-                           now: u64,
-                           from: NodeId,
-                           to: NodeId,
-                           pl: Payload| {
+                       payloads: &mut HashMap<u64, Payload>,
+                       rng: &mut StdRng,
+                       seq: &mut u64,
+                       now: u64,
+                       from: NodeId,
+                       to: NodeId,
+                       pl: Payload| {
             if drop_rate > 0.0 && rng.gen_bool(drop_rate) {
                 return; // omission failure: the message never arrives
             }
@@ -341,9 +346,13 @@ impl AsyncRunner {
             if self.crash_at.get(&v) == Some(&0) {
                 self.nodes[v].crashed = true;
             }
-            let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats.local_steps, |p, c| {
-                p.on_start(c)
-            });
+            let out = run_step(
+                v,
+                &self.topo,
+                &mut self.nodes[v],
+                &mut stats.local_steps,
+                |p, c| p.on_start(c),
+            );
             stats.per_node_sent[v] += out.len() as u64;
             for (to, pl) in out {
                 enqueue(&mut queue, &mut payloads, &mut rng, &mut seq, 0, v, to, pl);
@@ -437,10 +446,7 @@ mod tests {
         let mut r = SyncRunner::new(topo, gossip_nodes(16));
         let stats = r.run(100);
         // Every node decided (the initiator also hears the flood echo back).
-        assert_eq!(
-            stats.outputs.iter().filter(|o| o.is_some()).count(),
-            16
-        );
+        assert_eq!(stats.outputs.iter().filter(|o| o.is_some()).count(), 16);
         assert!(stats.time <= diam + 2);
         assert!(stats.local_steps > 0, "local computation is accounted");
     }
@@ -523,12 +529,7 @@ mod tests {
 
         // LCR with loss: the candidate token can vanish — no leader.
         let uids: Vec<u64> = (1..=12).collect();
-        let mut r = AsyncRunner::new(
-            Topology::ring_unidirectional(12),
-            lcr_nodes(&uids),
-            5,
-            7,
-        );
+        let mut r = AsyncRunner::new(Topology::ring_unidirectional(12), lcr_nodes(&uids), 5, 7);
         r.drop_messages(0.5);
         let stats = r.run(1_000_000);
         assert_eq!(crate::algorithms::consensus(&stats), None);

@@ -123,7 +123,9 @@ mod tests {
         assert_eq!(p[3], 4);
         assert!(r.path_to(4).is_some());
         let g2 = AdjacencyList::from_edges(6, &sample_edges());
-        assert!(bfs(&g2, 0, &mut crate::visit::NullVisitor).path_to(5).is_none());
+        assert!(bfs(&g2, 0, &mut crate::visit::NullVisitor)
+            .path_to(5)
+            .is_none());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 mod bfs;
 mod dfs;
 mod mst;
+mod parallel;
 mod paths;
 mod scc;
 mod structure;
@@ -15,6 +16,9 @@ mod structure;
 pub use bfs::{bfs, bfs_distances, BfsResult};
 pub use dfs::{dfs, dfs_from, DfsResult};
 pub use mst::{kruskal_mst, prim_mst, MstResult};
+pub use parallel::{
+    out_degrees, par_bfs_distances, par_out_degrees, par_triangle_count, triangle_count,
+};
 pub use paths::{bellman_ford, dijkstra, NegativeCycle, ShortestPaths};
 pub use scc::{strongly_connected_components, SccResult};
 pub use structure::{connected_components, topological_sort, CycleError};

@@ -1,0 +1,353 @@
+//! Parallel graph kernels on the gp-parallel work-stealing executor.
+//!
+//! Same concept discipline as the sequential algorithms: every kernel is
+//! written against [`IncidenceGraph`] + [`VertexListGraph`] (never a
+//! concrete representation) and so runs unchanged on `AdjacencyList` and
+//! `CsrGraph` — CSR's contiguous out-edge slices are where the
+//! parallelism pays. Every kernel is **deterministic**: its output is
+//! bit-for-bit the sequential algorithm's output for every thread count,
+//! because the only cross-task communication is (a) idempotent CAS
+//! claiming of level-labelled BFS vertices and (b) associative integer
+//! sums.
+//!
+//! The `threads` parameter is the same parallelism-width hint as in
+//! [`gp_parallel::par`]; `threads <= 1` runs the sequential loop
+//! directly.
+
+use crate::concepts::{Edge, Graph, GraphEdge, IncidenceGraph, Vertex, VertexListGraph};
+use crate::property::VertexMap;
+use gp_parallel::pool::{self, ThreadPool};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Distance sentinel for "not yet reached".
+const UNREACHED: u32 = u32::MAX;
+
+/// Sequential cutoff for vertex-range and frontier splitting: aim for ~8
+/// stealable leaves per requested thread, floor 128 vertices.
+fn grain(len: usize, threads: usize) -> usize {
+    (len / (threads.max(1) * 8)).max(128)
+}
+
+/// Level-synchronous parallel BFS distances.
+///
+/// Each level expands the current frontier in parallel: subranges of the
+/// frontier are split across the executor (adaptive, work-stealing), and
+/// an unreached neighbor is claimed for the next frontier by a single
+/// winning `compare_exchange` on its distance slot. Distances are
+/// bit-identical to [`super::bfs_distances`] regardless of claim order,
+/// because a vertex first becomes reachable at exactly one level.
+///
+/// Never panics on empty or disconnected graphs: an out-of-range source
+/// (including any source on the empty graph) yields the all-`None` map.
+pub fn par_bfs_distances<G>(g: &G, source: Vertex, threads: usize) -> VertexMap<Option<u32>>
+where
+    G: IncidenceGraph + VertexListGraph + Graph<Edge = Edge> + Sync,
+{
+    let n = g.num_vertices();
+    if n == 0 || source as usize >= n {
+        return VertexMap::new(n, None);
+    }
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let pool = pool::global();
+    let mut frontier = vec![source];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        frontier = if threads <= 1 {
+            expand_seq(g, &frontier, &dist, level)
+        } else {
+            expand_rec(
+                pool,
+                g,
+                &frontier,
+                &dist,
+                level,
+                grain(frontier.len(), threads),
+            )
+        };
+    }
+    VertexMap::from_fn(n, |v| {
+        let d = dist[v].load(Ordering::Relaxed);
+        (d != UNREACHED).then_some(d)
+    })
+}
+
+/// Expand one frontier slice sequentially, claiming unreached neighbors.
+fn expand_seq<G>(g: &G, frontier: &[Vertex], dist: &[AtomicU32], level: u32) -> Vec<Vertex>
+where
+    G: IncidenceGraph + Graph<Edge = Edge>,
+{
+    let mut next = Vec::new();
+    for &u in frontier {
+        for e in g.out_edges(u) {
+            let v = e.target();
+            if dist[v as usize]
+                .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                next.push(v);
+            }
+        }
+    }
+    next
+}
+
+fn expand_rec<G>(
+    pool: &ThreadPool,
+    g: &G,
+    frontier: &[Vertex],
+    dist: &[AtomicU32],
+    level: u32,
+    grain: usize,
+) -> Vec<Vertex>
+where
+    G: IncidenceGraph + Graph<Edge = Edge> + Sync,
+{
+    if frontier.len() <= grain {
+        return expand_seq(g, frontier, dist, level);
+    }
+    let mid = frontier.len() / 2;
+    let (l, r) = frontier.split_at(mid);
+    let (mut a, b) = pool.join(
+        || expand_rec(pool, g, l, dist, level, grain),
+        || expand_rec(pool, g, r, dist, level, grain),
+    );
+    a.extend(b);
+    a
+}
+
+/// Sequential out-degree map (baseline for [`par_out_degrees`]).
+/// `O(V)` on CSR (offset subtraction), `O(V + E)` worst case.
+pub fn out_degrees<G: IncidenceGraph + VertexListGraph>(g: &G) -> Vec<u32> {
+    g.vertices().map(|v| g.out_degree(v) as u32).collect()
+}
+
+/// Parallel out-degree map: the vertex range is split adaptively and each
+/// leaf writes its disjoint output slice directly.
+pub fn par_out_degrees<G>(g: &G, threads: usize) -> Vec<u32>
+where
+    G: IncidenceGraph + VertexListGraph + Sync,
+{
+    let n = g.num_vertices();
+    if threads <= 1 || n == 0 {
+        return out_degrees(g);
+    }
+    let mut out = vec![0u32; n];
+    degrees_rec(pool::global(), g, 0, &mut out, grain(n, threads));
+    out
+}
+
+fn degrees_rec<G>(pool: &ThreadPool, g: &G, base: Vertex, out: &mut [u32], grain: usize)
+where
+    G: IncidenceGraph + Sync,
+{
+    if out.len() <= grain {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = g.out_degree(base + i as Vertex) as u32;
+        }
+        return;
+    }
+    let mid = out.len() / 2;
+    let (l, r) = out.split_at_mut(mid);
+    pool.join(
+        || degrees_rec(pool, g, base, l, grain),
+        || degrees_rec(pool, g, base + mid as Vertex, r, grain),
+    );
+}
+
+/// Sorted higher-endpoint neighbor lists of the graph's undirected
+/// support: `fwd[u]` holds every `w > u` adjacent to `u` in either
+/// direction, sorted and deduplicated. The standard forward-adjacency
+/// preprocessing for triangle counting.
+fn forward_adjacency<G: IncidenceGraph + VertexListGraph>(g: &G) -> Vec<Vec<Vertex>> {
+    let n = g.num_vertices();
+    let mut fwd: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+    for u in g.vertices() {
+        for e in g.out_edges(u) {
+            let v = e.target();
+            if u != v {
+                let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+                fwd[lo as usize].push(hi);
+            }
+        }
+    }
+    for list in &mut fwd {
+        list.sort_unstable();
+        list.dedup();
+    }
+    fwd
+}
+
+/// Two-pointer intersection size of two sorted vertex lists.
+fn sorted_intersection_len(a: &[Vertex], b: &[Vertex]) -> u64 {
+    let (mut i, mut j, mut c) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Triangles through the lowest-numbered vertex `u`.
+fn triangles_at(fwd: &[Vec<Vertex>], u: usize) -> u64 {
+    let mut c = 0;
+    for &v in &fwd[u] {
+        c += sorted_intersection_len(&fwd[u], &fwd[v as usize]);
+    }
+    c
+}
+
+/// Count triangles in the graph's undirected support (each triangle once,
+/// self-loops and parallel/antiparallel edge pairs ignored). `O(E^{3/2})`
+/// with the forward-adjacency + sorted-intersection scheme.
+pub fn triangle_count<G: IncidenceGraph + VertexListGraph>(g: &G) -> u64 {
+    let fwd = forward_adjacency(g);
+    (0..fwd.len()).map(|u| triangles_at(&fwd, u)).sum()
+}
+
+/// Parallel triangle count: forward adjacency built once, then per-vertex
+/// counts tree-reduced on the executor. Integer addition is associative
+/// and exact, so the total is bit-identical to [`triangle_count`].
+pub fn par_triangle_count<G>(g: &G, threads: usize) -> u64
+where
+    G: IncidenceGraph + VertexListGraph + Sync,
+{
+    let fwd = forward_adjacency(g);
+    if threads <= 1 || fwd.is_empty() {
+        return (0..fwd.len()).map(|u| triangles_at(&fwd, u)).sum();
+    }
+    triangles_rec(
+        pool::global(),
+        &fwd,
+        0,
+        fwd.len(),
+        grain(fwd.len(), threads),
+    )
+}
+
+fn triangles_rec(
+    pool: &ThreadPool,
+    fwd: &[Vec<Vertex>],
+    lo: usize,
+    hi: usize,
+    grain: usize,
+) -> u64 {
+    if hi - lo <= grain {
+        return (lo..hi).map(|u| triangles_at(fwd, u)).sum();
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = pool.join(
+        || triangles_rec(pool, fwd, lo, mid, grain),
+        || triangles_rec(pool, fwd, mid, hi, grain),
+    );
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyList;
+    use crate::algo::bfs_distances;
+    use crate::concepts::EdgeListGraph;
+    use crate::csr::CsrGraph;
+    use crate::generators;
+
+    fn to_csr(g: &AdjacencyList) -> CsrGraph {
+        let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.source, e.target)).collect();
+        CsrGraph::from_edges(g.num_vertices(), &edges)
+    }
+
+    #[test]
+    fn par_bfs_matches_sequential_on_random_graphs() {
+        for seed in 0..4 {
+            let adj = generators::random_directed(500, 1500, seed);
+            let csr = to_csr(&adj);
+            let seq = bfs_distances(&csr, 0);
+            for threads in [1, 2, 4, 8] {
+                let par = par_bfs_distances(&csr, 0, threads);
+                assert_eq!(
+                    par.as_slice(),
+                    seq.as_slice(),
+                    "seed={seed} threads={threads}"
+                );
+            }
+            // Same generic source runs on the adjacency-list model too.
+            assert_eq!(
+                par_bfs_distances(&adj, 0, 4).as_slice(),
+                bfs_distances(&adj, 0).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn par_bfs_handles_empty_and_disconnected_graphs() {
+        let empty = CsrGraph::from_edges(0, &[]);
+        assert!(par_bfs_distances(&empty, 0, 4).is_empty());
+        // Fully disconnected: only the source is reached.
+        let iso = CsrGraph::from_edges(10, &[]);
+        let d = par_bfs_distances(&iso, 3, 4);
+        for (v, dv) in d.iter() {
+            assert_eq!(*dv, if v == 3 { Some(0) } else { None });
+        }
+        // Out-of-range source: all-None, no panic.
+        let d = par_bfs_distances(&iso, 99, 4);
+        assert!(d.iter().all(|(_, dv)| dv.is_none()));
+    }
+
+    #[test]
+    fn par_out_degrees_matches_sequential() {
+        let adj = generators::random_directed(2000, 8000, 7);
+        let csr = to_csr(&adj);
+        let seq = out_degrees(&csr);
+        assert_eq!(seq.iter().map(|&d| d as usize).sum::<usize>(), 8000);
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(par_out_degrees(&csr, threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn triangle_count_on_known_graphs() {
+        // A 4-clique has C(4,3) = 4 triangles.
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+            }
+        }
+        let g = CsrGraph::from_edges(4, &edges);
+        assert_eq!(triangle_count(&g), 4);
+        assert_eq!(par_triangle_count(&g, 4), 4);
+        // A path has none; duplicate and reverse edges change nothing.
+        let p = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (1, 2)]);
+        assert_eq!(triangle_count(&p), 0);
+        // Self-loops are ignored.
+        let l = CsrGraph::from_edges(3, &[(0, 0), (0, 1), (1, 2), (2, 0)]);
+        assert_eq!(triangle_count(&l), 1);
+        assert_eq!(par_triangle_count(&l, 8), 1);
+    }
+
+    #[test]
+    fn par_triangle_count_matches_sequential_on_random_graphs() {
+        for seed in 0..3 {
+            let adj = generators::random_connected_undirected(300, 900, seed);
+            let csr = to_csr(&adj);
+            let seq = triangle_count(&csr);
+            assert!(seq > 0, "chord-heavy graph should have triangles");
+            for threads in [1, 2, 4, 8] {
+                assert_eq!(
+                    par_triangle_count(&csr, threads),
+                    seq,
+                    "seed={seed} threads={threads}"
+                );
+            }
+        }
+    }
+}

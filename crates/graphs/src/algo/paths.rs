@@ -7,7 +7,9 @@
 //! complexity guarantees — exactly the distinctions the paper's algorithm
 //! concept taxonomies exist to record.
 
-use crate::concepts::{Edge, EdgeListGraph, Graph, GraphEdge, IncidenceGraph, Vertex, VertexListGraph};
+use crate::concepts::{
+    Edge, EdgeListGraph, Graph, GraphEdge, IncidenceGraph, Vertex, VertexListGraph,
+};
 use crate::heap::IndexedMinHeap;
 use crate::property::{MutablePropertyMap, PropertyMap, VertexMap};
 
@@ -197,7 +199,10 @@ mod tests {
             w.push(wt);
         }
         let wm = EdgeMap::from_values(w);
-        assert!(matches!(bellman_ford(&g, 0, |e| *wm.get(e)), Err(NegativeCycle)));
+        assert!(matches!(
+            bellman_ford(&g, 0, |e| *wm.get(e)),
+            Err(NegativeCycle)
+        ));
     }
 
     #[test]

@@ -108,10 +108,8 @@ mod tests {
     #[test]
     fn classic_two_cycles_and_a_bridge() {
         // 0→1→2→0 (SCC A), 3→4→3 (SCC B), bridge 2→3, tail 4→5.
-        let g = AdjacencyList::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)],
-        );
+        let g =
+            AdjacencyList::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)]);
         let scc = strongly_connected_components(&g);
         assert_eq!(scc.count, 3);
         let c = &scc.component;

@@ -174,15 +174,31 @@ pub fn define_graph_concepts(reg: &mut Registry) {
     reg.define(
         Concept::new("VertexListGraph", ["Graph"])
             .assoc("vertex_type")
-            .op("vertices", vec![TypeExpr::param("Graph")], TypeExpr::named("VertexIter"))
-            .op("num_vertices", vec![TypeExpr::param("Graph")], TypeExpr::named("usize")),
+            .op(
+                "vertices",
+                vec![TypeExpr::param("Graph")],
+                TypeExpr::named("VertexIter"),
+            )
+            .op(
+                "num_vertices",
+                vec![TypeExpr::param("Graph")],
+                TypeExpr::named("usize"),
+            ),
     )
     .expect("fresh registry");
     reg.define(
         Concept::new("EdgeListGraph", ["Graph"])
             .assoc("vertex_type")
-            .op("edges", vec![TypeExpr::param("Graph")], TypeExpr::named("EdgeIter"))
-            .op("num_edges", vec![TypeExpr::param("Graph")], TypeExpr::named("usize")),
+            .op(
+                "edges",
+                vec![TypeExpr::param("Graph")],
+                TypeExpr::named("EdgeIter"),
+            )
+            .op(
+                "num_edges",
+                vec![TypeExpr::param("Graph")],
+                TypeExpr::named("usize"),
+            ),
     )
     .expect("fresh registry");
     reg.define(

@@ -56,11 +56,14 @@ impl Graph for CsrGraph {
 impl IncidenceGraph for CsrGraph {
     fn out_edges(&self, v: Vertex) -> impl Iterator<Item = Edge> + '_ {
         let lo = self.offsets[v as usize];
-        self.neighbors(v).iter().enumerate().map(move |(k, &t)| Edge {
-            source: v,
-            target: t,
-            id: lo + k as u32,
-        })
+        self.neighbors(v)
+            .iter()
+            .enumerate()
+            .map(move |(k, &t)| Edge {
+                source: v,
+                target: t,
+                id: lo + k as u32,
+            })
     }
 
     fn out_degree(&self, v: Vertex) -> usize {

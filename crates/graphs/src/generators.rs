@@ -71,7 +71,10 @@ pub fn layered_dag(layers: usize, width: usize, fanout: usize, seed: u64) -> Adj
 
 /// Deterministic pseudo-random edge weights in `[1, max)` keyed by edge id.
 pub fn hashed_weights(max: f64) -> impl Fn(crate::concepts::Edge) -> f64 {
-    move |e| 1.0 + ((e.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1000) as f64 * (max - 1.0) / 1000.0
+    move |e| {
+        1.0 + ((e.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1000) as f64 * (max - 1.0)
+            / 1000.0
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,6 @@ pub mod visit;
 
 pub use adjacency::AdjacencyList;
 pub use concepts::{
-    AdjacencyGraph, Edge, EdgeListGraph, Graph, GraphEdge, IncidenceGraph, Vertex,
-    VertexListGraph,
+    AdjacencyGraph, Edge, EdgeListGraph, Graph, GraphEdge, IncidenceGraph, Vertex, VertexListGraph,
 };
 pub use csr::CsrGraph;

@@ -89,7 +89,9 @@ pub struct EdgeMap<T> {
 impl<T: Clone> EdgeMap<T> {
     /// A map over `m` edges, all set to `init`.
     pub fn new(m: usize, init: T) -> Self {
-        EdgeMap { data: vec![init; m] }
+        EdgeMap {
+            data: vec![init; m],
+        }
     }
 }
 

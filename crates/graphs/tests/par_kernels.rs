@@ -1,0 +1,73 @@
+//! Property tests: the parallel graph kernels agree with their
+//! sequential counterparts on random graphs — both representations,
+//! every thread count, sources inside and outside the reachable region.
+
+use gp_graphs::algo::{
+    bfs_distances, out_degrees, par_bfs_distances, par_out_degrees, par_triangle_count,
+    triangle_count,
+};
+use gp_graphs::concepts::{EdgeListGraph, Vertex};
+use gp_graphs::{AdjacencyList, CsrGraph};
+use proptest::prelude::*;
+
+fn build(n: usize, pairs: &[(u32, u32)]) -> (AdjacencyList, CsrGraph) {
+    let edges: Vec<(Vertex, Vertex)> = pairs
+        .iter()
+        .map(|&(u, v)| (u % n as u32, v % n as u32))
+        .collect();
+    (
+        AdjacencyList::from_edges(n, &edges),
+        CsrGraph::from_edges(n, &edges),
+    )
+}
+
+proptest! {
+    #[test]
+    fn par_bfs_matches_sequential(
+        n in 1usize..120,
+        pairs in prop::collection::vec((0u32..1000, 0u32..1000), 0..400),
+        source in 0u32..1000,
+    ) {
+        let (adj, csr) = build(n, &pairs);
+        let src = source % n as u32;
+        let seq = bfs_distances(&csr, src);
+        for threads in [1usize, 2, 3, 8] {
+            let par = par_bfs_distances(&csr, src, threads);
+            prop_assert_eq!(par.as_slice(), seq.as_slice());
+        }
+        // Identical generic source on the other representation.
+        prop_assert_eq!(
+            par_bfs_distances(&adj, src, 4).as_slice(),
+            bfs_distances(&adj, src).as_slice()
+        );
+    }
+
+    #[test]
+    fn par_degrees_and_triangles_match_sequential(
+        n in 1usize..100,
+        pairs in prop::collection::vec((0u32..1000, 0u32..1000), 0..500),
+    ) {
+        let (_, csr) = build(n, &pairs);
+        prop_assert_eq!(csr.num_edges(), pairs.len());
+        let deg = out_degrees(&csr);
+        let tri = triangle_count(&csr);
+        for threads in [1usize, 2, 3, 8] {
+            prop_assert_eq!(&par_out_degrees(&csr, threads), &deg);
+            prop_assert_eq!(par_triangle_count(&csr, threads), tri);
+        }
+    }
+}
+
+#[test]
+fn par_bfs_never_panics_on_degenerate_graphs() {
+    let empty = CsrGraph::from_edges(0, &[]);
+    assert!(par_bfs_distances(&empty, 0, 8).is_empty());
+    let single = CsrGraph::from_edges(1, &[]);
+    assert_eq!(par_bfs_distances(&single, 0, 8).as_slice(), &[Some(0)]);
+    // Source beyond the vertex range: all-None, no panic.
+    let few = CsrGraph::from_edges(3, &[(0, 1)]);
+    assert!(par_bfs_distances(&few, 7, 8)
+        .as_slice()
+        .iter()
+        .all(Option::is_none));
+}

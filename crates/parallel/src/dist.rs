@@ -64,49 +64,28 @@ impl<T> BlockVec<T> {
 
 impl<T: Send + Sync> BlockVec<T> {
     /// Block-parallel map to a new distributed vector (same distribution).
+    /// One pooled task per block (grain 1: a block is already coarse).
     pub fn map<U, F>(&self, f: F) -> BlockVec<U>
     where
         U: Send,
         F: Fn(&T) -> U + Sync,
     {
-        let mut blocks: Vec<Vec<U>> = Vec::new();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .blocks
-                .iter()
-                .map(|b| s.spawn(|| b.iter().map(&f).collect::<Vec<U>>()))
-                .collect();
-            blocks = handles
-                .into_iter()
-                .map(|h| h.join().expect("map block"))
-                .collect();
-        });
+        let blocks = par::par_map_grain(&self.blocks, 1, |b| b.iter().map(&f).collect::<Vec<U>>());
         BlockVec { blocks }
     }
 }
 
 impl<T: Clone + Send + Sync> BlockVec<T> {
-    /// Block-parallel Monoid reduction.
+    /// Block-parallel Monoid reduction: per-block partials on the pooled
+    /// executor, then a left fold of the partials (owner order — sound by
+    /// the Monoid associativity obligation).
     pub fn reduce<O: Monoid<T> + Sync>(&self, op: &O) -> T {
-        let mut partials: Vec<T> = Vec::new();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .blocks
-                .iter()
-                .map(|b| {
-                    s.spawn(move || {
-                        let mut acc = op.identity();
-                        for x in b.iter() {
-                            acc = op.op(&acc, x);
-                        }
-                        acc
-                    })
-                })
-                .collect();
-            partials = handles
-                .into_iter()
-                .map(|h| h.join().expect("reduce block"))
-                .collect();
+        let partials = par::par_map_grain(&self.blocks, 1, |b| {
+            let mut acc = op.identity();
+            for x in b.iter() {
+                acc = op.op(&acc, x);
+            }
+            acc
         });
         let mut acc = op.identity();
         for p in &partials {
@@ -150,7 +129,10 @@ mod tests {
         let v: Vec<i64> = (1..=1000).collect();
         let bv = BlockVec::from_vec(v.clone(), 4);
         let doubled = bv.map(|x| x * 2);
-        assert_eq!(doubled.gather(), v.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(
+            doubled.gather(),
+            v.iter().map(|x| x * 2).collect::<Vec<_>>()
+        );
         assert_eq!(bv.reduce(&AddOp), 500_500);
         assert_eq!(bv.reduce(&MaxOp), 1000);
         let scanned = bv.scan(&AddOp);

@@ -19,13 +19,18 @@
 //!   the same Fig. 6 obligation as the sequential sorts, checked by the
 //!   same axioms and proofs.
 //!
-//! Modules: [`pool`] (a from-scratch job-queue thread pool), [`par`]
-//! (scoped data-parallel primitives: map, reduce, scan, sort, for-each),
-//! [`dist`] (a block-distributed vector built on them).
+//! Modules: [`pool`] (a work-stealing executor: per-worker LIFO deques, a
+//! global injector, rayon-style [`pool::ThreadPool::join`], panic-safe
+//! jobs), [`par`] (data-parallel primitives — map, reduce, scan, sort,
+//! for-each — on the lazily initialized global pool via recursive
+//! adaptive splitting), [`spawn`] (the seed's spawn-per-call baseline,
+//! kept for benchmarks), [`dist`] (a block-distributed vector built on
+//! the pooled primitives).
 
 pub mod dist;
 pub mod par;
 pub mod pool;
+pub mod spawn;
 
 pub use dist::BlockVec;
 pub use pool::ThreadPool;

@@ -1,19 +1,68 @@
-//! Scoped data-parallel primitives over slices.
+//! Data-parallel primitives over slices, running on the process-wide
+//! work-stealing executor ([`crate::pool::global`]).
 //!
 //! All primitives are deterministic: given the same input, operation
 //! witness, and any thread count, they return exactly what the sequential
 //! algorithm returns — that is the point of keying them on concepts whose
 //! axioms license the reordering.
+//!
+//! Work is split by **recursive adaptive splitting** (rayon-style
+//! [`crate::pool::ThreadPool::join`]): a range is halved, one half is
+//! pushed where idle workers can steal it, the other half is recursed on
+//! inline, down to a sequential cutoff. Under load imbalance the idle
+//! workers steal the *largest* outstanding subranges, so skewed workloads
+//! balance without any static chunk tuning. The `threads` parameter is a
+//! parallelism-width hint that sets the sequential cutoff (and, for the
+//! chunk-structured `par_scan` / `par_reduce_unchecked`, the chunk
+//! boundaries); `threads <= 1` runs the sequential algorithm directly.
+//! The seed's spawn-per-call implementations survive in [`crate::spawn`]
+//! as the benchmark baseline.
 
+use crate::pool::{self, ThreadPool};
 use gp_core::algebra::Monoid;
 use gp_core::order::StrictWeakOrder;
 use gp_sequences::sort::introsort;
+use std::mem::{ManuallyDrop, MaybeUninit};
 
-fn chunk_len(n: usize, threads: usize) -> usize {
+/// Fixed even chunk length for the chunk-structured primitives.
+pub(crate) fn chunk_len(n: usize, threads: usize) -> usize {
     n.div_ceil(threads.max(1)).max(1)
 }
 
+/// Smallest range worth a task of its own; below this, task bookkeeping
+/// outweighs the work for cheap per-element operations.
+const MIN_GRAIN: usize = 256;
+
+/// Sequential cutoff for adaptive splitting: aim for ~8 stealable leaves
+/// per requested thread, but never finer than [`MIN_GRAIN`].
+fn grain(n: usize, threads: usize) -> usize {
+    (n / (threads.max(1) * 8)).max(MIN_GRAIN)
+}
+
+/// Reinterpret a fully initialized `Vec<MaybeUninit<U>>` as `Vec<U>`.
+///
+/// SAFETY (caller): every element must have been written.
+unsafe fn assume_init_vec<U>(v: Vec<MaybeUninit<U>>) -> Vec<U> {
+    let mut v = ManuallyDrop::new(v);
+    let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+    // SAFETY: MaybeUninit<U> and U have the same layout; all elements are
+    // initialized per the caller contract.
+    unsafe { Vec::from_raw_parts(ptr.cast::<U>(), len, cap) }
+}
+
+/// An uninitialized output buffer of length `n`.
+fn uninit_vec<U>(n: usize) -> Vec<MaybeUninit<U>> {
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit requires no initialization.
+    unsafe { out.set_len(n) };
+    out
+}
+
 /// Parallel map preserving order: `out[i] = f(&input[i])`.
+///
+/// Writes directly into a pre-sized output buffer — no per-chunk `Vec`
+/// intermediates. If `f` panics, the panic propagates once all in-flight
+/// subtasks finish (already-produced elements are leaked, not dropped).
 pub fn par_map<T, U, F>(input: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
@@ -23,20 +72,111 @@ where
     if input.is_empty() {
         return Vec::new();
     }
-    let cl = chunk_len(input.len(), threads);
-    let mut parts: Vec<Vec<U>> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = input
-            .chunks(cl)
-            .map(|chunk| s.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
-            .collect();
-        parts = handles.into_iter().map(|h| h.join().expect("map worker")).collect();
-    });
-    let mut out = Vec::with_capacity(input.len());
-    for p in parts {
-        out.extend(p);
+    if threads <= 1 {
+        return input.iter().map(&f).collect();
     }
-    out
+    let mut out = uninit_vec::<U>(input.len());
+    map_rec(
+        pool::global(),
+        input,
+        &mut out,
+        &f,
+        grain(input.len(), threads),
+    );
+    // SAFETY: map_rec covers the full index range exactly once.
+    unsafe { assume_init_vec(out) }
+}
+
+fn map_rec<T, U, F>(pool: &ThreadPool, input: &[T], out: &mut [MaybeUninit<U>], f: &F, grain: usize)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if input.len() <= grain {
+        for (slot, x) in out.iter_mut().zip(input) {
+            slot.write(f(x));
+        }
+        return;
+    }
+    let mid = input.len() / 2;
+    let (il, ir) = input.split_at(mid);
+    let (ol, or_) = out.split_at_mut(mid);
+    pool.join(
+        || map_rec(pool, il, ol, f, grain),
+        || map_rec(pool, ir, or_, f, grain),
+    );
+}
+
+/// Crate-internal: parallel map with an explicit grain, for callers whose
+/// elements are themselves coarse tasks (e.g. [`crate::dist::BlockVec`]
+/// blocks, where grain 1 is right because each element is a whole block).
+pub(crate) fn par_map_grain<T, U, F>(input: &[T], grain: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let mut out = uninit_vec::<U>(input.len());
+    map_rec(pool::global(), input, &mut out, &f, grain.max(1));
+    // SAFETY: map_rec covers the full index range exactly once.
+    unsafe { assume_init_vec(out) }
+}
+
+/// Parallel map with **static even chunking**: exactly
+/// `ceil(n / threads)`-sized chunks, one task per chunk, no splitting
+/// below chunk granularity. Same output as [`par_map`]; exists so the
+/// E11 benches can measure static vs. adaptive scheduling on skewed
+/// workloads — use [`par_map`] otherwise.
+pub fn par_map_static<T, U, F>(input: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if input.is_empty() {
+        return Vec::new();
+    }
+    if threads <= 1 {
+        return input.iter().map(&f).collect();
+    }
+    let cl = chunk_len(input.len(), threads);
+    let mut out = uninit_vec::<U>(input.len());
+    map_chunks_rec(pool::global(), input, &mut out, cl, &f);
+    // SAFETY: map_chunks_rec covers the full index range exactly once.
+    unsafe { assume_init_vec(out) }
+}
+
+/// Recurse over whole chunks (boundaries at multiples of `cl`); each leaf
+/// is exactly one statically assigned chunk.
+fn map_chunks_rec<T, U, F>(
+    pool: &ThreadPool,
+    input: &[T],
+    out: &mut [MaybeUninit<U>],
+    cl: usize,
+    f: &F,
+) where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if input.len() <= cl {
+        for (slot, x) in out.iter_mut().zip(input) {
+            slot.write(f(x));
+        }
+        return;
+    }
+    let chunks = input.len().div_ceil(cl);
+    let mid = (chunks / 2) * cl;
+    let (il, ir) = input.split_at(mid);
+    let (ol, or_) = out.split_at_mut(mid);
+    pool.join(
+        || map_chunks_rec(pool, il, ol, cl, f),
+        || map_chunks_rec(pool, ir, or_, cl, f),
+    );
 }
 
 /// Parallel in-place transform.
@@ -48,25 +188,43 @@ where
     if data.is_empty() {
         return;
     }
-    let cl = chunk_len(data.len(), threads);
-    std::thread::scope(|s| {
-        for chunk in data.chunks_mut(cl) {
-            s.spawn(|| {
-                for x in chunk {
-                    f(x);
-                }
-            });
+    if threads <= 1 {
+        for x in data {
+            f(x);
         }
-    });
+        return;
+    }
+    let g = grain(data.len(), threads);
+    apply_rec(pool::global(), data, &f, g);
+}
+
+fn apply_rec<T, F>(pool: &ThreadPool, data: &mut [T], f: &F, grain: usize)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    if data.len() <= grain {
+        for x in data {
+            f(x);
+        }
+        return;
+    }
+    let mid = data.len() / 2;
+    let (l, r) = data.split_at_mut(mid);
+    pool.join(
+        || apply_rec(pool, l, f, grain),
+        || apply_rec(pool, r, f, grain),
+    );
 }
 
 /// Parallel tree reduction under a [`Monoid`] witness.
 ///
-/// **Concept obligation:** associativity licenses the chunked reordering;
-/// the identity makes empty input (and empty chunks) well-defined. Both are
+/// **Concept obligation:** associativity licenses the tree reordering;
+/// the identity makes empty input (and leaf seeds) well-defined. Both are
 /// checkable ([`gp_core::algebra::check_associativity`]) and provable
 /// (`gp_proofs::theories::monoid`). Result is bit-identical to the
-/// sequential left fold for associative operations.
+/// sequential left fold for associative operations, for every thread
+/// count and every adaptive split.
 pub fn par_reduce<T, O>(input: &[T], threads: usize, op: &O) -> T
 where
     T: Clone + Send + Sync,
@@ -75,37 +233,46 @@ where
     if input.is_empty() {
         return op.identity();
     }
-    let cl = chunk_len(input.len(), threads);
-    let mut partials: Vec<T> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = input
-            .chunks(cl)
-            .map(|chunk| {
-                s.spawn(move || {
-                    let mut acc = op.identity();
-                    for x in chunk {
-                        acc = op.op(&acc, x);
-                    }
-                    acc
-                })
-            })
-            .collect();
-        partials = handles
-            .into_iter()
-            .map(|h| h.join().expect("reduce worker"))
-            .collect();
-    });
+    if threads <= 1 {
+        return fold_chunk(input, op);
+    }
+    reduce_rec(pool::global(), input, op, grain(input.len(), threads))
+}
+
+fn fold_chunk<T: Clone, O: Monoid<T>>(chunk: &[T], op: &O) -> T {
     let mut acc = op.identity();
-    for p in &partials {
-        acc = op.op(&acc, p);
+    for x in chunk {
+        acc = op.op(&acc, x);
     }
     acc
+}
+
+fn reduce_rec<T, O>(pool: &ThreadPool, input: &[T], op: &O, grain: usize) -> T
+where
+    T: Clone + Send + Sync,
+    O: Monoid<T> + Sync,
+{
+    if input.len() <= grain {
+        return fold_chunk(input, op);
+    }
+    let mid = input.len() / 2;
+    let (l, r) = input.split_at(mid);
+    let (a, b) = pool.join(
+        || reduce_rec(pool, l, op, grain),
+        || reduce_rec(pool, r, op, grain),
+    );
+    op.op(&a, &b)
 }
 
 /// The ablation escape hatch: reduce with an **arbitrary closure** and no
 /// concept obligation. Used by tests and the ablation benchmark to show
 /// that dropping the Monoid requirement silently corrupts results for
 /// non-associative operations. Not part of the supported API surface.
+///
+/// Chunking is static (`ceil(n / threads)` even chunks, seed semantics):
+/// each chunk folds from a clone of `init`, then the per-chunk partials
+/// fold left-to-right — so for a given `threads` the corruption pattern
+/// of a non-associative `f` is reproducible.
 pub fn par_reduce_unchecked<T, F>(input: &[T], threads: usize, init: T, f: F) -> T
 where
     T: Clone + Send + Sync,
@@ -115,27 +282,11 @@ where
         return init;
     }
     let cl = chunk_len(input.len(), threads);
-    let mut partials: Vec<T> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = input
-            .chunks(cl)
-            .map(|chunk| {
-                let init = init.clone();
-                let f = &f;
-                s.spawn(move || {
-                    let mut acc = init;
-                    for x in chunk {
-                        acc = f(&acc, x);
-                    }
-                    acc
-                })
-            })
-            .collect();
-        partials = handles
-            .into_iter()
-            .map(|h| h.join().expect("reduce worker"))
-            .collect();
-    });
+    let n_chunks = input.len().div_ceil(cl);
+    let mut partials = uninit_vec::<T>(n_chunks);
+    unchecked_totals_rec(pool::global(), input, &mut partials, cl, &init, &f);
+    // SAFETY: one partial is written per chunk, covering all chunks.
+    let partials = unsafe { assume_init_vec(partials) };
     let mut acc = init;
     for p in &partials {
         acc = f(&acc, p);
@@ -143,9 +294,39 @@ where
     acc
 }
 
+fn unchecked_totals_rec<T, F>(
+    pool: &ThreadPool,
+    input: &[T],
+    out: &mut [MaybeUninit<T>],
+    cl: usize,
+    init: &T,
+    f: &F,
+) where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    if out.len() == 1 {
+        let mut acc = init.clone();
+        for x in input {
+            acc = f(&acc, x);
+        }
+        out[0].write(acc);
+        return;
+    }
+    let mid_chunks = out.len() / 2;
+    let (ol, or_) = out.split_at_mut(mid_chunks);
+    let (il, ir) = input.split_at(mid_chunks * cl);
+    pool.join(
+        || unchecked_totals_rec(pool, il, ol, cl, init, f),
+        || unchecked_totals_rec(pool, ir, or_, cl, init, f),
+    );
+}
+
 /// Parallel inclusive prefix scan under a [`Monoid`] (three-phase Blelloch
 /// scheme: chunk totals → sequential exclusive scan of totals → offset
-/// local scans). `out[i] = x0 ⊕ x1 ⊕ … ⊕ xi`.
+/// local scans). `out[i] = x0 ⊕ x1 ⊕ … ⊕ xi`. Phases run on the pooled
+/// executor; chunk boundaries are `ceil(n / threads)` so the phase-2
+/// sequential scan stays one element per chunk.
 pub fn par_scan<T, O>(input: &[T], threads: usize, op: &O) -> Vec<T>
 where
     T: Clone + Send + Sync,
@@ -154,31 +335,28 @@ where
     if input.is_empty() {
         return Vec::new();
     }
-    let cl = chunk_len(input.len(), threads);
-
-    // Phase 1: per-chunk totals, in parallel.
-    let mut totals: Vec<T> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = input
-            .chunks(cl)
-            .map(|chunk| {
-                s.spawn(move || {
-                    let mut acc = op.identity();
-                    for x in chunk {
-                        acc = op.op(&acc, x);
-                    }
-                    acc
-                })
+    if threads <= 1 {
+        let mut acc = op.identity();
+        return input
+            .iter()
+            .map(|x| {
+                acc = op.op(&acc, x);
+                acc.clone()
             })
             .collect();
-        totals = handles
-            .into_iter()
-            .map(|h| h.join().expect("scan worker"))
-            .collect();
-    });
+    }
+    let pool = pool::global();
+    let cl = chunk_len(input.len(), threads);
+    let n_chunks = input.len().div_ceil(cl);
 
-    // Phase 2: sequential exclusive scan of the totals (cheap: one element
-    // per chunk).
+    // Phase 1: per-chunk totals, in parallel.
+    let mut totals = uninit_vec::<T>(n_chunks);
+    totals_rec(pool, input, &mut totals, cl, op);
+    // SAFETY: one total is written per chunk.
+    let totals = unsafe { assume_init_vec(totals) };
+
+    // Phase 2: sequential exclusive scan of the totals (cheap: one
+    // element per chunk).
     let mut offsets = Vec::with_capacity(totals.len());
     let mut acc = op.identity();
     for t in &totals {
@@ -186,41 +364,67 @@ where
         acc = op.op(&acc, t);
     }
 
-    // Phase 3: local inclusive scans seeded with the chunk offset.
-    let mut parts: Vec<Vec<T>> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = input
-            .chunks(cl)
-            .zip(&offsets)
-            .map(|(chunk, off)| {
-                s.spawn(move || {
-                    let mut acc = off.clone();
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for x in chunk {
-                        acc = op.op(&acc, x);
-                        out.push(acc.clone());
-                    }
-                    out
-                })
-            })
-            .collect();
-        parts = handles
-            .into_iter()
-            .map(|h| h.join().expect("scan worker"))
-            .collect();
-    });
-    let mut out = Vec::with_capacity(input.len());
-    for p in parts {
-        out.extend(p);
-    }
-    out
+    // Phase 3: local inclusive scans seeded with the chunk offset,
+    // written straight into the pre-sized output.
+    let mut out = uninit_vec::<T>(input.len());
+    scan_chunks_rec(pool, input, &offsets, &mut out, cl, op);
+    // SAFETY: phase 3 writes every output element exactly once.
+    unsafe { assume_init_vec(out) }
 }
 
-/// Parallel merge sort: chunk-local introsort (the concept-dispatched
-/// random-access algorithm) followed by parallel pairwise merge rounds.
-/// Stable across equal elements is **not** guaranteed (introsort is
-/// unstable), matching the sequential `sort` contract.
-pub fn par_sort<T, O>(data: &mut Vec<T>, threads: usize, ord: &O)
+fn totals_rec<T, O>(pool: &ThreadPool, input: &[T], out: &mut [MaybeUninit<T>], cl: usize, op: &O)
+where
+    T: Clone + Send + Sync,
+    O: Monoid<T> + Sync,
+{
+    if out.len() == 1 {
+        out[0].write(fold_chunk(input, op));
+        return;
+    }
+    let mid_chunks = out.len() / 2;
+    let (ol, or_) = out.split_at_mut(mid_chunks);
+    let (il, ir) = input.split_at(mid_chunks * cl);
+    pool.join(
+        || totals_rec(pool, il, ol, cl, op),
+        || totals_rec(pool, ir, or_, cl, op),
+    );
+}
+
+fn scan_chunks_rec<T, O>(
+    pool: &ThreadPool,
+    input: &[T],
+    offsets: &[T],
+    out: &mut [MaybeUninit<T>],
+    cl: usize,
+    op: &O,
+) where
+    T: Clone + Send + Sync,
+    O: Monoid<T> + Sync,
+{
+    if offsets.len() == 1 {
+        let mut acc = offsets[0].clone();
+        for (slot, x) in out.iter_mut().zip(input) {
+            acc = op.op(&acc, x);
+            slot.write(acc.clone());
+        }
+        return;
+    }
+    let mid_chunks = offsets.len() / 2;
+    let (fl, fr) = offsets.split_at(mid_chunks);
+    let (il, ir) = input.split_at(mid_chunks * cl);
+    let (ol, or_) = out.split_at_mut(mid_chunks * cl);
+    pool.join(
+        || scan_chunks_rec(pool, il, fl, ol, cl, op),
+        || scan_chunks_rec(pool, ir, fr, or_, cl, op),
+    );
+}
+
+/// Parallel merge sort: recursive adaptive splitting down to
+/// introsort-sorted leaves (the concept-dispatched random-access
+/// algorithm), merging halves on the way back up. Stability across equal
+/// elements is **not** guaranteed (introsort leaves are unstable),
+/// matching the sequential `sort` contract.
+pub fn par_sort<T, O>(data: &mut [T], threads: usize, ord: &O)
 where
     T: Clone + Send + Sync,
     O: StrictWeakOrder<T> + Sync,
@@ -229,59 +433,57 @@ where
     if n <= 1 {
         return;
     }
-    let cl = chunk_len(n, threads);
-
-    // Phase 1: sort chunks in parallel.
-    std::thread::scope(|s| {
-        for chunk in data.chunks_mut(cl) {
-            s.spawn(move || introsort(chunk, ord));
-        }
-    });
-
-    // Phase 2: merge runs pairwise until one run remains.
-    let mut runs: Vec<Vec<T>> = data.chunks(cl).map(|c| c.to_vec()).collect();
-    while runs.len() > 1 {
-        let mut next: Vec<Vec<T>> = Vec::with_capacity(runs.len().div_ceil(2));
-        let mut iter = runs.into_iter();
-        let mut pairs: Vec<(Vec<T>, Option<Vec<T>>)> = Vec::new();
-        while let Some(a) = iter.next() {
-            pairs.push((a, iter.next()));
-        }
-        std::thread::scope(|s| {
-            let handles: Vec<_> = pairs
-                .into_iter()
-                .map(|(a, b)| {
-                    s.spawn(move || match b {
-                        None => a,
-                        Some(b) => merge_two(&a, &b, ord),
-                    })
-                })
-                .collect();
-            next = handles
-                .into_iter()
-                .map(|h| h.join().expect("merge worker"))
-                .collect();
-        });
-        runs = next;
+    if threads <= 1 {
+        introsort(data, ord);
+        return;
     }
-    *data = runs.pop().expect("one run remains");
+    let g = grain(n, threads).max(1024);
+    sort_rec(pool::global(), data, ord, g);
 }
 
-fn merge_two<T: Clone, O: StrictWeakOrder<T>>(a: &[T], b: &[T], ord: &O) -> Vec<T> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        if ord.less(&b[j], &a[i]) {
-            out.push(b[j].clone());
+fn sort_rec<T, O>(pool: &ThreadPool, data: &mut [T], ord: &O, grain: usize)
+where
+    T: Clone + Send + Sync,
+    O: StrictWeakOrder<T> + Sync,
+{
+    if data.len() <= grain {
+        introsort(data, ord);
+        return;
+    }
+    let mid = data.len() / 2;
+    {
+        let (l, r) = data.split_at_mut(mid);
+        pool.join(
+            || sort_rec(pool, l, ord, grain),
+            || sort_rec(pool, r, ord, grain),
+        );
+    }
+    merge_in_place(data, mid, ord);
+}
+
+/// Merge `data[..mid]` and `data[mid..]` (each sorted) using a clone of
+/// the left run as scratch. Writes never overtake unread right-run
+/// elements: the write index trails the right read index whenever a left
+/// element is chosen.
+fn merge_in_place<T: Clone, O: StrictWeakOrder<T>>(data: &mut [T], mid: usize, ord: &O) {
+    let left: Vec<T> = data[..mid].to_vec();
+    let (mut i, mut j, mut k) = (0, mid, 0);
+    while i < left.len() && j < data.len() {
+        if ord.less(&data[j], &left[i]) {
+            data[k] = data[j].clone();
             j += 1;
         } else {
-            out.push(a[i].clone());
+            data[k] = left[i].clone();
             i += 1;
         }
+        k += 1;
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
+    while i < left.len() {
+        data[k] = left[i].clone();
+        i += 1;
+        k += 1;
+    }
+    // Any remaining right-run elements are already in place.
 }
 
 #[cfg(test)]
@@ -307,6 +509,22 @@ mod tests {
             assert_eq!(out, expect, "threads={threads}");
         }
         assert_eq!(par_map::<i64, i64, _>(&[], 4, |x| *x), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn par_map_static_matches_adaptive() {
+        let v = random(5000, 11);
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(
+                par_map_static(&v, threads, |x| x - 7),
+                par_map(&v, threads, |x| x - 7),
+                "threads={threads}"
+            );
+        }
+        assert_eq!(
+            par_map_static::<i64, i64, _>(&[], 4, |x| *x),
+            Vec::<i64>::new()
+        );
     }
 
     #[test]
@@ -396,5 +614,73 @@ mod tests {
         let mut empty: Vec<i64> = vec![];
         par_sort(&mut empty, 4, &NaturalLess);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn tiny_and_odd_inputs_for_every_primitive() {
+        for n in [0usize, 1, 2, 3, 7] {
+            let v = random(n, 99);
+            for threads in [1usize, 2, 3, 8] {
+                assert_eq!(
+                    par_map(&v, threads, |x| x * 5),
+                    v.iter().map(|x| x * 5).collect::<Vec<_>>(),
+                    "map n={n} threads={threads}"
+                );
+                assert_eq!(
+                    par_reduce(&v, threads, &AddOp),
+                    monoid_fold(&AddOp, &v),
+                    "reduce n={n} threads={threads}"
+                );
+                let mut acc = 0i64;
+                let expect: Vec<i64> = v
+                    .iter()
+                    .map(|x| {
+                        acc += x;
+                        acc
+                    })
+                    .collect();
+                assert_eq!(
+                    par_scan(&v, threads, &AddOp),
+                    expect,
+                    "scan n={n} threads={threads}"
+                );
+                let mut s = v.clone();
+                par_sort(&mut s, threads, &NaturalLess);
+                let mut e = v.clone();
+                e.sort_unstable();
+                assert_eq!(s, e, "sort n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_equals_spawn_baseline() {
+        let v = random(30_000, 5);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                par_map(&v, threads, |x| x ^ 3),
+                crate::spawn::spawn_map(&v, threads, |x| x ^ 3)
+            );
+            assert_eq!(
+                par_reduce(&v, threads, &AddOp),
+                crate::spawn::spawn_reduce(&v, threads, &AddOp)
+            );
+        }
+    }
+
+    #[test]
+    fn map_panic_propagates_cleanly() {
+        let v: Vec<i64> = (0..10_000).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&v, 8, |x| {
+                if *x == 7777 {
+                    panic!("poison element");
+                }
+                x + 1
+            })
+        });
+        assert!(result.is_err());
+        // The executor survives for subsequent calls.
+        assert_eq!(par_reduce(&v, 8, &AddOp), v.iter().sum::<i64>());
     }
 }

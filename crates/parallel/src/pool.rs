@@ -1,56 +1,97 @@
-//! A from-scratch job-queue thread pool (crossbeam channel + condvar
-//! idle-tracking). Used for task parallelism; the slice primitives in
-//! [`crate::par`] use scoped threads instead so they can borrow.
+//! A work-stealing executor: per-worker LIFO deques with a global FIFO
+//! injector, an atomic pending counter (no mutex on the job hot path),
+//! panic-safe job execution, and a blocking [`ThreadPool::join`] primitive
+//! that lets callers recursively split work rayon-style while *helping*
+//! run queued jobs instead of blocking a thread.
+//!
+//! This replaces the seed's single-channel pool, whose two costs the E11
+//! experiment measures: every `par_*` call paid thread spawn/teardown, and
+//! a panicking job killed its worker with the pending count stranded above
+//! zero, deadlocking [`ThreadPool::wait_idle`]. Here jobs run under
+//! `catch_unwind` with the decrement in the return path regardless of
+//! outcome, and the executor is a process-wide singleton ([`global`])
+//! reused by every data-parallel primitive.
 
-use crossbeam::channel::{unbounded, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-#[derive(Default)]
-struct Pending {
-    count: Mutex<usize>,
-    zero: Condvar,
+/// State shared between the pool handle and its workers.
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    /// Jobs submitted but not yet finished. Incremented on submit,
+    /// decremented after the job runs (or panics) — the only hot-path
+    /// synchronization; the mutexes below are touched only to park/wake.
+    pending: AtomicUsize,
+    /// Jobs whose closure panicked (the panic is contained; the pool
+    /// keeps running and `wait_idle` still terminates).
+    panicked: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Workers park here when they find no work.
+    sleep_mutex: Mutex<()>,
+    work_cond: Condvar,
+    sleepers: AtomicUsize,
+    /// `wait_idle` callers park here until `pending` reaches zero.
+    idle_mutex: Mutex<()>,
+    idle_cond: Condvar,
 }
 
-/// A fixed-size worker pool executing boxed jobs.
+/// Thread-local identity of a pool worker, so that jobs submitted from
+/// inside a worker (recursive splits) go to its own LIFO deque instead of
+/// the global injector.
+#[derive(Clone, Copy)]
+struct WorkerCtx {
+    shared: *const Shared,
+    local: *const Worker<Job>,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<WorkerCtx>> = const { Cell::new(None) };
+}
+
+/// A fixed-size work-stealing worker pool executing boxed jobs.
 pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
+    shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    pending: Arc<Pending>,
 }
 
 impl ThreadPool {
     /// Spawn `n` workers (`n >= 1`).
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "a pool needs at least one worker");
-        let (sender, receiver) = unbounded::<Job>();
-        let pending = Arc::new(Pending::default());
-        let workers = (0..n)
-            .map(|i| {
-                let rx = receiver.clone();
-                let pending = pending.clone();
+        let locals: Vec<Worker<Job>> = (0..n).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            pending: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_mutex: Mutex::new(()),
+            work_cond: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            idle_mutex: Mutex::new(()),
+            idle_cond: Condvar::new(),
+        });
+        let workers = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("gp-pool-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                            let mut c = pending.count.lock().expect("pool lock");
-                            *c -= 1;
-                            if *c == 0 {
-                                pending.zero.notify_all();
-                            }
-                        }
-                    })
+                    .spawn(move || worker_loop(&shared, &local, i))
                     .expect("spawn pool worker")
             })
             .collect();
-        ThreadPool {
-            sender: Some(sender),
-            workers,
-            pending,
-        }
+        ThreadPool { shared, workers }
     }
 
     /// Number of workers.
@@ -58,35 +99,233 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Submit a job.
-    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        {
-            let mut c = self.pending.count.lock().expect("pool lock");
-            *c += 1;
-        }
-        self.sender
-            .as_ref()
-            .expect("pool alive")
-            .send(Box::new(job))
-            .expect("workers alive");
+    /// Number of jobs so far whose closure panicked. The panics are
+    /// contained: the worker survives and the pending count still reaches
+    /// zero (the seed pool deadlocked `wait_idle` here).
+    pub fn panicked_jobs(&self) -> usize {
+        self.shared.panicked.load(Ordering::Acquire)
     }
 
-    /// Block until every submitted job has finished.
-    pub fn wait_idle(&self) {
-        let mut c = self.pending.count.lock().expect("pool lock");
-        while *c > 0 {
-            c = self.pending.zero.wait(c).expect("pool lock");
+    /// Submit a fire-and-forget job. If called from inside a pool worker,
+    /// the job goes to that worker's own LIFO deque (cheap, cache-hot,
+    /// stealable by idle workers); otherwise to the global injector.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.submit(Box::new(job));
+    }
+
+    fn submit(&self, job: Job) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        let mut job = Some(job);
+        let pushed_local = CURRENT.with(|c| match c.get() {
+            Some(ctx) if std::ptr::eq(ctx.shared, Arc::as_ptr(&self.shared)) => {
+                // SAFETY: `ctx.local` points at the deque owned by this
+                // very thread's worker loop, which outlives the job run.
+                unsafe { (*ctx.local).push(job.take().expect("job present")) };
+                true
+            }
+            _ => false,
+        });
+        if !pushed_local {
+            self.shared.injector.push(job.take().expect("job present"));
         }
+        // Wake a parked worker, if any. The 1 ms parking timeout below
+        // makes a lost race here a latency blip, not a hang.
+        if self.shared.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.shared.sleep_mutex.lock().expect("sleep lock");
+            self.shared.work_cond.notify_one();
+        }
+    }
+
+    /// Block until every submitted job has finished (even ones that
+    /// panicked — see [`ThreadPool::panicked_jobs`]).
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_mutex.lock().expect("idle lock");
+        while self.shared.pending.load(Ordering::SeqCst) > 0 {
+            guard = self.shared.idle_cond.wait(guard).expect("idle lock");
+        }
+    }
+
+    /// Run both closures, potentially in parallel, and return both
+    /// results — the rayon-style fork-join primitive behind the adaptive
+    /// `par_*` splitting.
+    ///
+    /// `oper_b` is pushed onto the current worker's deque (or the
+    /// injector from non-pool threads) where idle workers can steal it;
+    /// `oper_a` runs inline. While waiting for `oper_b`, the caller
+    /// *helps*: it pops/steals and runs other queued jobs, so nested
+    /// joins cannot starve the pool. If either side panics, the panic is
+    /// re-raised here — after both sides have finished, so borrowed data
+    /// stays valid for the stolen half.
+    pub fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let done = AtomicBool::new(false);
+        let mut slot_b: Option<std::thread::Result<RB>> = None;
+        {
+            let done_ref = &done;
+            let slot_ref = &mut slot_b;
+            let task = move || {
+                let result = catch_unwind(AssertUnwindSafe(oper_b));
+                *slot_ref = Some(result);
+                done_ref.store(true, Ordering::Release);
+            };
+            let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(task);
+            // SAFETY: the borrows captured by `task` (`done`, `slot_b`,
+            // and everything borrowed by `oper_b`) live on this stack
+            // frame, and we do not leave this function before observing
+            // `done == true`, i.e. before the task has fully run. The
+            // Release store / Acquire load pair on `done` orders the
+            // task's writes before our reads.
+            let boxed: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(boxed) };
+            self.submit(boxed);
+        }
+        let result_a = catch_unwind(AssertUnwindSafe(oper_a));
+        self.help_until(&done);
+        let result_b = slot_b.take().expect("join task ran to completion");
+        match (result_a, result_b) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(payload), _) => resume_unwind(payload),
+            (_, Err(payload)) => resume_unwind(payload),
+        }
+    }
+
+    /// Run queued jobs until `done` becomes true. Called by `join` while
+    /// waiting for its spawned half; never blocks the thread for long, so
+    /// a worker whose deque holds the awaited task will get to it.
+    fn help_until(&self, done: &AtomicBool) {
+        let mut idle_rounds = 0u32;
+        while !done.load(Ordering::Acquire) {
+            if let Some(job) = self.find_job_any() {
+                run_job(&self.shared, job);
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+                if idle_rounds < 16 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    /// Find a job from anywhere in the pool: the current worker's deque
+    /// first (when on a worker thread), then the injector, then steals.
+    fn find_job_any(&self) -> Option<Job> {
+        let local_job = CURRENT.with(|c| match c.get() {
+            Some(ctx) if std::ptr::eq(ctx.shared, Arc::as_ptr(&self.shared)) => {
+                // SAFETY: same invariant as in `submit`.
+                unsafe { (*ctx.local).pop() }
+            }
+            _ => None,
+        });
+        if local_job.is_some() {
+            return local_job;
+        }
+        steal_from(&self.shared, usize::MAX)
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Close the channel so workers drain and exit, then join.
-        self.sender.take();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.sleep_mutex.lock().expect("sleep lock");
+            self.shared.work_cond.notify_all();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+    }
+}
+
+/// The process-wide executor the `par_*` primitives run on, sized to the
+/// host's parallelism and created on first use.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool::new(n.clamp(1, 64))
+    })
+}
+
+fn worker_loop(shared: &Arc<Shared>, local: &Worker<Job>, index: usize) {
+    CURRENT.with(|c| {
+        c.set(Some(WorkerCtx {
+            shared: Arc::as_ptr(shared),
+            local,
+        }));
+    });
+    loop {
+        if let Some(job) = local.pop().or_else(|| steal_from(shared, index)) {
+            run_job(shared, job);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Park until new work is submitted. The re-check under the lock
+        // plus the timeout close the submit/park race window.
+        let guard = shared.sleep_mutex.lock().expect("sleep lock");
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        if !shared.shutdown.load(Ordering::SeqCst) && !has_visible_work(shared, local) {
+            let _ = shared
+                .work_cond
+                .wait_timeout(guard, Duration::from_millis(1));
+        }
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+    CURRENT.with(|c| c.set(None));
+}
+
+fn has_visible_work(shared: &Shared, local: &Worker<Job>) -> bool {
+    !local.is_empty()
+        || !shared.injector.is_empty()
+        || shared.stealers.iter().any(|s| !s.is_empty())
+}
+
+/// Steal one job: from the injector first (oldest external work), then
+/// from sibling deques starting after `index` (pass `usize::MAX` when not
+/// a worker).
+fn steal_from(shared: &Shared, index: usize) -> Option<Job> {
+    loop {
+        match shared.injector.steal() {
+            Steal::Success(job) => return Some(job),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    let n = shared.stealers.len();
+    let start = if index == usize::MAX { 0 } else { index + 1 };
+    for k in 0..n {
+        let stealer = &shared.stealers[(start + k) % n];
+        loop {
+            match stealer.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+/// Execute one job panic-safely, then retire it from the pending count,
+/// waking `wait_idle` on the transition to zero.
+fn run_job(shared: &Shared, job: Job) {
+    if catch_unwind(AssertUnwindSafe(job)).is_err() {
+        shared.panicked.fetch_add(1, Ordering::SeqCst);
+    }
+    if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        let _guard = shared.idle_mutex.lock().expect("idle lock");
+        shared.idle_cond.notify_all();
     }
 }
 
@@ -146,5 +385,91 @@ mod tests {
             });
         }
         pool.wait_idle();
+    }
+
+    #[test]
+    fn panicking_job_does_not_hang_wait_idle() {
+        // Regression: in the seed pool a panicking job killed its worker
+        // before the pending decrement, so wait_idle blocked forever.
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..20 {
+            let c = counter.clone();
+            pool.execute(move || {
+                if i % 4 == 0 {
+                    panic!("job {i} panics");
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle(); // must return despite 5 panicking jobs
+        assert_eq!(counter.load(Ordering::Relaxed), 15);
+        assert_eq!(pool.panicked_jobs(), 5);
+        // The pool is still fully operational afterwards.
+        let c = counter.clone();
+        pool.execute(move || {
+            c.fetch_add(100, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 115);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 6 * 7, || "forty-two".len());
+        assert_eq!(a, 42);
+        assert_eq!(b, 9);
+    }
+
+    #[test]
+    fn join_borrows_stack_data() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<u64> = (0..10_000).collect();
+        let (left, right) = data.split_at(5000);
+        let (sl, sr) = pool.join(|| left.iter().sum::<u64>(), || right.iter().sum::<u64>());
+        assert_eq!(sl + sr, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn nested_joins_recurse() {
+        fn sum(pool: &ThreadPool, xs: &[u64]) -> u64 {
+            if xs.len() <= 100 {
+                return xs.iter().sum();
+            }
+            let (l, r) = xs.split_at(xs.len() / 2);
+            let (a, b) = pool.join(|| sum(pool, l), || sum(pool, r));
+            a + b
+        }
+        let pool = ThreadPool::new(4);
+        let xs: Vec<u64> = (0..100_000).collect();
+        assert_eq!(sum(&pool, &xs), xs.iter().sum::<u64>());
+        // And on a single-worker pool (the caller helps).
+        let pool1 = ThreadPool::new(1);
+        assert_eq!(sum(&pool1, &xs), xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_side() {
+        let pool = ThreadPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| 1, || panic!("b side"));
+        }));
+        assert!(caught.is_err());
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| panic!("a side"), || 2);
+        }));
+        assert!(caught.is_err());
+        // Pool still alive and well.
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(global().workers() >= 1);
     }
 }

@@ -1,0 +1,74 @@
+//! Property tests: every pooled data-parallel primitive agrees with its
+//! sequential counterpart for every thread count — the §4 determinism
+//! claim, checked over random inputs including empty, length-1, and
+//! odd-length vectors.
+
+use gp_core::algebra::{monoid_fold, AddOp, ConcatOp, MaxOp};
+use gp_core::order::NaturalLess;
+use gp_parallel::par::{par_map, par_map_static, par_reduce, par_scan, par_sort};
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+proptest! {
+    #[test]
+    fn par_map_matches_sequential(v in prop::collection::vec(-10_000i64..10_000, 0..400)) {
+        let expect: Vec<i64> = v.iter().map(|x| x.wrapping_mul(31) ^ 7).collect();
+        for threads in THREADS {
+            prop_assert_eq!(&par_map(&v, threads, |x| x.wrapping_mul(31) ^ 7), &expect);
+            prop_assert_eq!(&par_map_static(&v, threads, |x| x.wrapping_mul(31) ^ 7), &expect);
+        }
+    }
+
+    #[test]
+    fn par_reduce_matches_sequential_fold(v in prop::collection::vec(-10_000i64..10_000, 0..400)) {
+        let sum = monoid_fold(&AddOp, &v);
+        let max = monoid_fold(&MaxOp, &v);
+        for threads in THREADS {
+            prop_assert_eq!(par_reduce(&v, threads, &AddOp), sum);
+            prop_assert_eq!(par_reduce(&v, threads, &MaxOp), max);
+        }
+    }
+
+    #[test]
+    fn par_reduce_respects_non_commutative_monoids(v in prop::collection::vec(0u8..26, 0..200)) {
+        // String concatenation is associative but NOT commutative: any
+        // reordering (rather than re-association) of the combine would
+        // scramble the letters. The tree reduction must preserve order.
+        let words: Vec<String> = v.iter().map(|c| ((b'a' + c) as char).to_string()).collect();
+        let expect = monoid_fold(&ConcatOp, &words);
+        for threads in THREADS {
+            prop_assert_eq!(&par_reduce(&words, threads, &ConcatOp), &expect);
+        }
+    }
+
+    #[test]
+    fn par_scan_matches_sequential_prefixes(v in prop::collection::vec(-10_000i64..10_000, 0..400)) {
+        let mut acc = 0i64;
+        let expect: Vec<i64> = v.iter().map(|x| { acc += x; acc }).collect();
+        for threads in THREADS {
+            prop_assert_eq!(&par_scan(&v, threads, &AddOp), &expect);
+        }
+    }
+
+    #[test]
+    fn par_scan_respects_non_commutative_monoids(v in prop::collection::vec(0u8..26, 0..120)) {
+        let words: Vec<String> = v.iter().map(|c| ((b'a' + c) as char).to_string()).collect();
+        let mut acc = String::new();
+        let expect: Vec<String> = words.iter().map(|w| { acc.push_str(w); acc.clone() }).collect();
+        for threads in THREADS {
+            prop_assert_eq!(&par_scan(&words, threads, &ConcatOp), &expect);
+        }
+    }
+
+    #[test]
+    fn par_sort_matches_sequential_sort(v in prop::collection::vec(-10_000i64..10_000, 0..500)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        for threads in THREADS {
+            let mut s = v.clone();
+            par_sort(&mut s, threads, &NaturalLess);
+            prop_assert_eq!(&s, &expect);
+        }
+    }
+}

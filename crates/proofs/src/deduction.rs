@@ -267,9 +267,7 @@ impl Ded {
                 imp: Box::new(imp.rename(map)),
                 neg: Box::new(neg.rename(map)),
             },
-            Ded::AndIntro(l, r) => {
-                Ded::AndIntro(Box::new(l.rename(map)), Box::new(r.rename(map)))
-            }
+            Ded::AndIntro(l, r) => Ded::AndIntro(Box::new(l.rename(map)), Box::new(r.rename(map))),
             Ded::AndElimL(d) => Ded::AndElimL(Box::new(d.rename(map))),
             Ded::AndElimR(d) => Ded::AndElimR(Box::new(d.rename(map))),
             Ded::OrIntroL(d, p) => Ded::OrIntroL(Box::new(d.rename(map)), p.rename(map)),
@@ -386,11 +384,17 @@ pub fn eval(d: &Ded, ab: &AssumptionBase) -> Result<Prop, ProofError> {
         Ded::AndIntro(l, r) => Ok(Prop::and(eval(l, ab)?, eval(r, ab)?)),
         Ded::AndElimL(d) => match eval(d, ab)? {
             Prop::And(l, _) => Ok(*l),
-            other => Err(mismatch("and-elim-left", format!("not a conjunction: `{other}`"))),
+            other => Err(mismatch(
+                "and-elim-left",
+                format!("not a conjunction: `{other}`"),
+            )),
         },
         Ded::AndElimR(d) => match eval(d, ab)? {
             Prop::And(_, r) => Ok(*r),
-            other => Err(mismatch("and-elim-right", format!("not a conjunction: `{other}`"))),
+            other => Err(mismatch(
+                "and-elim-right",
+                format!("not a conjunction: `{other}`"),
+            )),
         },
         Ded::OrIntroL(d, right) => Ok(Prop::or(eval(d, ab)?, right.clone())),
         Ded::OrIntroR(left, d) => Ok(Prop::or(left.clone(), eval(d, ab)?)),
@@ -425,11 +429,17 @@ pub fn eval(d: &Ded, ab: &AssumptionBase) -> Result<Prop, ProofError> {
         }
         Ded::IffElimF(d) => match eval(d, ab)? {
             Prop::Iff(p, q) => Ok(Prop::Implies(p, q)),
-            other => Err(mismatch("iff-elim", format!("not a bi-implication: `{other}`"))),
+            other => Err(mismatch(
+                "iff-elim",
+                format!("not a bi-implication: `{other}`"),
+            )),
         },
         Ded::IffElimB(d) => match eval(d, ab)? {
             Prop::Iff(p, q) => Ok(Prop::Implies(q, p)),
-            other => Err(mismatch("iff-elim", format!("not a bi-implication: `{other}`"))),
+            other => Err(mismatch(
+                "iff-elim",
+                format!("not a bi-implication: `{other}`"),
+            )),
         },
         Ded::Absurd { pos, neg } => {
             let p = eval(pos, ab)?;
@@ -517,14 +527,18 @@ pub fn eval(d: &Ded, ab: &AssumptionBase) -> Result<Prop, ProofError> {
             // Freshness: the witness constant must be genuinely new.
             for a in ab.iter() {
                 if a.contains_const(fresh) {
-                    return Err(ProofError::EigenvariableViolation { name: fresh.clone() });
+                    return Err(ProofError::EigenvariableViolation {
+                        name: fresh.clone(),
+                    });
                 }
             }
             let witness_assumption = matrix.subst(&v, &Term::cst(fresh))?;
             let inner = ab.with(witness_assumption);
             let q = eval(body, &inner)?;
             if q.contains_const(fresh) {
-                return Err(ProofError::EigenvariableViolation { name: fresh.clone() });
+                return Err(ProofError::EigenvariableViolation {
+                    name: fresh.clone(),
+                });
             }
             Ok(q)
         }
@@ -620,7 +634,10 @@ mod tests {
         let d = Ded::mp(Ded::Claim(Prop::implies(p(), q())), Ded::Claim(q()));
         assert!(matches!(
             eval(&d, &ab2),
-            Err(ProofError::RuleMismatch { rule: "modus-ponens", .. })
+            Err(ProofError::RuleMismatch {
+                rule: "modus-ponens",
+                ..
+            })
         ));
     }
 
@@ -638,10 +655,8 @@ mod tests {
     fn hypothetical_syllogism_composes() {
         // From p→q and q→r derive p→r.
         let r = Prop::atom("r", vec![]);
-        let ab = AssumptionBase::from_axioms([
-            Prop::implies(p(), q()),
-            Prop::implies(q(), r.clone()),
-        ]);
+        let ab =
+            AssumptionBase::from_axioms([Prop::implies(p(), q()), Prop::implies(q(), r.clone())]);
         let d = Ded::assume(
             p(),
             Ded::mp(
@@ -697,7 +712,10 @@ mod tests {
         ));
         // From ∀x. P(x), instantiate at `a` then re-generalize: fine, since
         // `a` is not free in the base.
-        let all = Prop::Forall("x".to_string(), Box::new(Prop::atom("P", vec![Term::var("x")])));
+        let all = Prop::Forall(
+            "x".to_string(),
+            Box::new(Prop::atom("P", vec![Term::var("x")])),
+        );
         let ab = AssumptionBase::from_axioms([all.clone()]);
         let d = Ded::Generalize {
             var: "a".to_string(),
@@ -746,10 +764,10 @@ mod tests {
     fn existential_intro_and_elim() {
         let px = Prop::atom("P", vec![Term::var("x")]);
         let pa = Prop::atom("P", vec![Term::cst("a")]);
-        let ab = AssumptionBase::from_axioms([pa.clone(), Prop::forall(
-            &["x"],
-            Prop::implies(px.clone(), q()),
-        )]);
+        let ab = AssumptionBase::from_axioms([
+            pa.clone(),
+            Prop::forall(&["x"], Prop::implies(px.clone(), q())),
+        ]);
         // ∃x. P(x) from P(a).
         let ex = Ded::ExIntro {
             witness: Term::cst("a"),

@@ -71,10 +71,9 @@ impl Term {
         match self {
             Term::Var(v) => Term::Var(v.clone()),
             Term::Const(c) => Term::Const(map.apply(c)),
-            Term::App(f, args) => Term::App(
-                map.apply(f),
-                args.iter().map(|a| a.rename(map)).collect(),
-            ),
+            Term::App(f, args) => {
+                Term::App(map.apply(f), args.iter().map(|a| a.rename(map)).collect())
+            }
         }
     }
 }
@@ -293,17 +292,14 @@ impl Prop {
     /// Rename relation, function, and constant symbols.
     pub fn rename(&self, map: &SymbolMap) -> Prop {
         match self {
-            Prop::Atom(r, args) => Prop::Atom(
-                map.apply(r),
-                args.iter().map(|a| a.rename(map)).collect(),
-            ),
+            Prop::Atom(r, args) => {
+                Prop::Atom(map.apply(r), args.iter().map(|a| a.rename(map)).collect())
+            }
             Prop::Eq(l, r) => Prop::Eq(l.rename(map), r.rename(map)),
             Prop::Not(p) => Prop::Not(Box::new(p.rename(map))),
             Prop::And(l, r) => Prop::And(Box::new(l.rename(map)), Box::new(r.rename(map))),
             Prop::Or(l, r) => Prop::Or(Box::new(l.rename(map)), Box::new(r.rename(map))),
-            Prop::Implies(l, r) => {
-                Prop::Implies(Box::new(l.rename(map)), Box::new(r.rename(map)))
-            }
+            Prop::Implies(l, r) => Prop::Implies(Box::new(l.rename(map)), Box::new(r.rename(map))),
             Prop::Iff(l, r) => Prop::Iff(Box::new(l.rename(map)), Box::new(r.rename(map))),
             Prop::Forall(v, body) => Prop::Forall(v.clone(), Box::new(body.rename(map))),
             Prop::Exists(v, body) => Prop::Exists(v.clone(), Box::new(body.rename(map))),
@@ -357,7 +353,10 @@ impl SymbolMap {
 
     /// Apply to one symbol.
     pub fn apply(&self, sym: &str) -> String {
-        self.map.get(sym).cloned().unwrap_or_else(|| sym.to_string())
+        self.map
+            .get(sym)
+            .cloned()
+            .unwrap_or_else(|| sym.to_string())
     }
 }
 
@@ -434,7 +433,10 @@ mod tests {
 
     #[test]
     fn const_occurrence_check() {
-        let p = Prop::Eq(Term::app("op", vec![Term::cst("c0"), Term::var("x")]), Term::var("x"));
+        let p = Prop::Eq(
+            Term::app("op", vec![Term::cst("c0"), Term::var("x")]),
+            Term::var("x"),
+        );
         assert!(p.contains_const("c0"));
         assert!(!p.contains_const("c1"));
     }

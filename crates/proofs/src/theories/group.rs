@@ -50,10 +50,7 @@ pub fn axioms() -> Vec<Prop> {
 /// collapse the left identity.
 pub fn thm_left_cancellation() -> NamedTheorem {
     // assoc at (inv(a), a, b): op(op(inv(a),a), b) = op(inv(a), op(a,b))
-    let assoc = Ded::instantiate_all(
-        Ded::Claim(ax_assoc()),
-        vec![inv(a()), a(), b()],
-    );
+    let assoc = Ded::instantiate_all(Ded::Claim(ax_assoc()), vec![inv(a()), a(), b()]);
     // Sym: op(inv(a), op(a,b)) = op(op(inv(a),a), b)
     let step1 = Ded::Sym(Box::new(assoc));
     // left-inv at a: op(inv(a), a) = e; congruence in context op(hole, b):
@@ -62,12 +59,7 @@ pub fn thm_left_cancellation() -> NamedTheorem {
         forall: Box::new(Ded::Claim(ax_left_inv())),
         term: a(),
     };
-    let step2 = Ded::cong(
-        linv,
-        "hole",
-        op(Term::var("hole"), b()),
-        op(inv(a()), a()),
-    );
+    let step2 = Ded::cong(linv, "hole", op(Term::var("hole"), b()), op(inv(a()), a()));
     // left-id at b: op(e, b) = b
     let step3 = Ded::Instantiate {
         forall: Box::new(Ded::Claim(ax_left_id())),
@@ -79,10 +71,7 @@ pub fn thm_left_cancellation() -> NamedTheorem {
     );
     NamedTheorem {
         name: "left-cancellation".to_string(),
-        statement: Prop::forall(
-            &["a", "b"],
-            Prop::Eq(op(inv(a()), op(a(), b())), b()),
-        ),
+        statement: Prop::forall(&["a", "b"], Prop::Eq(op(inv(a()), op(a(), b())), b())),
         proof: Ded::generalize_all(&["a", "b"], chain),
     }
 }
@@ -123,10 +112,7 @@ mod tests {
     #[test]
     fn group_theorems_check() {
         let proved = theory().check().unwrap();
-        assert_eq!(
-            proved[0].to_string(),
-            "∀a. ∀b. op(inv(a), op(a, b)) = b"
-        );
+        assert_eq!(proved[0].to_string(), "∀a. ∀b. op(inv(a), op(a, b)) = b");
         assert_eq!(proved[1].to_string(), "inv(e) = e");
     }
 

@@ -132,10 +132,7 @@ pub fn thm_eqv_symmetry() -> NamedTheorem {
     );
     NamedTheorem {
         name: "eqv-symmetry".to_string(),
-        statement: Prop::forall(
-            &["a", "b"],
-            Prop::implies(eqv(a(), b()), eqv(b(), a())),
-        ),
+        statement: Prop::forall(&["a", "b"], Prop::implies(eqv(a(), b()), eqv(b(), a()))),
         proof: Ded::generalize_all(&["a", "b"], body),
     }
 }
@@ -292,14 +289,11 @@ pub fn thm_eqv_substitutive() -> NamedTheorem {
 
     NamedTheorem {
         name: "eqv-substitutive".to_string(),
-        statement: Prop::forall(
+        statement: Prop::forall(&["a", "b", "c"], Prop::implies(hyp, lt(a(), b()))),
+        proof: Ded::generalize_all(
             &["a", "b", "c"],
-            Prop::implies(hyp, lt(a(), b())),
+            Ded::assume(Prop::and(lt(a(), c()), eqv(b(), c())), derive),
         ),
-        proof: Ded::generalize_all(&["a", "b", "c"], Ded::assume(
-            Prop::and(lt(a(), c()), eqv(b(), c())),
-            derive,
-        )),
     }
 }
 
@@ -329,10 +323,7 @@ mod tests {
         let proved = t.check().expect("all SWO proofs must check");
         assert_eq!(proved.len(), 5);
         assert_eq!(proved[0].to_string(), "∀a. eqv(a, a)");
-        assert_eq!(
-            proved[1].to_string(),
-            "∀a. ∀b. (eqv(a, b) → eqv(b, a))"
-        );
+        assert_eq!(proved[1].to_string(), "∀a. ∀b. (eqv(a, b) → eqv(b, a))");
     }
 
     #[test]
@@ -377,10 +368,7 @@ mod tests {
         let t = theory();
         let base_size = t.proof_size();
         for i in 0..10 {
-            let map = SymbolMap::new([
-                ("lt", format!("lt_{i}")),
-                ("eqv", format!("eqv_{i}")),
-            ]);
+            let map = SymbolMap::new([("lt", format!("lt_{i}")), ("eqv", format!("eqv_{i}"))]);
             let inst = t.instantiate(&format!("model-{i}"), &map);
             assert!(inst.check().is_ok());
             assert_eq!(inst.proof_size(), base_size); // same proof, renamed

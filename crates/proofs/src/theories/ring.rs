@@ -110,7 +110,12 @@ pub fn thm_add_left_cancel() -> NamedTheorem {
         forall: Box::new(Ded::Claim(ax_add_left_inv())),
         term: a(),
     };
-    let step2 = Ded::cong(linv, "hole", add(Term::var("hole"), b()), add(neg(a()), a()));
+    let step2 = Ded::cong(
+        linv,
+        "hole",
+        add(Term::var("hole"), b()),
+        add(neg(a()), a()),
+    );
     // left-id at b.
     let step3 = Ded::Instantiate {
         forall: Box::new(Ded::Claim(ax_add_left_id())),
@@ -148,10 +153,7 @@ pub fn thm_zero_annihilates() -> NamedTheorem {
     // (1') congruence in context mul(hole, a): 0·a = (0+0)·a.
     let step1 = Ded::cong(zero_split, "hole", mul(Term::var("hole"), a()), zero());
     // (2) distributivity at (0, 0, a): (0+0)·a = 0·a + 0·a.
-    let step2 = Ded::instantiate_all(
-        Ded::Claim(ax_right_distrib()),
-        vec![zero(), zero(), a()],
-    );
+    let step2 = Ded::instantiate_all(Ded::Claim(ax_right_distrib()), vec![zero(), zero(), a()]);
     // 0·a = 0·a + 0·a.
     let doubled = Ded::Trans(Box::new(step1), Box::new(step2));
 
@@ -172,7 +174,10 @@ pub fn thm_zero_annihilates() -> NamedTheorem {
 
     // Chain: 0 = LHS = RHS = 0·a, then flip.
     let chain = Ded::Trans(
-        Box::new(Ded::Trans(Box::new(Ded::Sym(Box::new(lhs_zero))), Box::new(step3))),
+        Box::new(Ded::Trans(
+            Box::new(Ded::Sym(Box::new(lhs_zero))),
+            Box::new(step3),
+        )),
         Box::new(rhs_cancel),
     );
     NamedTheorem {

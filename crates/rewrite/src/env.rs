@@ -160,8 +160,11 @@ impl ConceptEnv {
             .set_identity(Type::UInt, BitAnd, Value::UInt(u64::MAX))
             .set_annihilator(Type::UInt, BitAnd, Value::UInt(0));
 
-        env.declare(Type::Str, BinOp::Concat, Monoid)
-            .set_identity(Type::Str, BinOp::Concat, Value::Str(String::new()));
+        env.declare(Type::Str, BinOp::Concat, Monoid).set_identity(
+            Type::Str,
+            BinOp::Concat,
+            Value::Str(String::new()),
+        );
 
         env.declare(Type::Rational, Mul, Group)
             .declare(Type::Rational, Mul, Commutative)

@@ -324,10 +324,7 @@ mod tests {
             Expr::bin(BinOp::Mul, Expr::var("x", Type::Int), Expr::int(3)),
             Expr::int(1),
         );
-        assert_eq!(
-            e.eval(&env(&[("x", Value::Int(5))])),
-            Some(Value::Int(16))
-        );
+        assert_eq!(e.eval(&env(&[("x", Value::Int(5))])), Some(Value::Int(16)));
         assert_eq!(e.ty(), Type::Int);
         assert_eq!(e.size(), 5);
     }
@@ -371,7 +368,11 @@ mod tests {
             Expr::un(UnOp::Neg, Expr::var("x", Type::Int)),
         );
         assert_eq!(e.to_string(), "(x + (-x))");
-        let e = Expr::Call("Inverse".into(), Type::BigFloat, vec![Expr::var("f", Type::BigFloat)]);
+        let e = Expr::Call(
+            "Inverse".into(),
+            Type::BigFloat,
+            vec![Expr::var("f", Type::BigFloat)],
+        );
         assert_eq!(e.to_string(), "Inverse(f)");
     }
 
@@ -384,7 +385,10 @@ mod tests {
 
     #[test]
     fn zero_recip_of_rational_is_none() {
-        let e = Expr::un(UnOp::Recip, Expr::Lit(Value::Rational(Rational::from_int(0))));
+        let e = Expr::un(
+            UnOp::Recip,
+            Expr::Lit(Value::Rational(Rational::from_int(0))),
+        );
         assert_eq!(e.eval(&BTreeMap::new()), None);
     }
 }

@@ -37,7 +37,9 @@ impl RewriteRule for RightIdentity {
         "(x, op) models Monoid"
     }
     fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
-        let Expr::Binary(op, l, r) = e else { return None };
+        let Expr::Binary(op, l, r) = e else {
+            return None;
+        };
         let ty = l.ty();
         if env.models(ty, *op, AlgConcept::Monoid) {
             if let Expr::Lit(v) = &**r {
@@ -61,7 +63,9 @@ impl RewriteRule for LeftIdentity {
         "(x, op) models Monoid"
     }
     fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
-        let Expr::Binary(op, l, r) = e else { return None };
+        let Expr::Binary(op, l, r) = e else {
+            return None;
+        };
         let ty = r.ty();
         if env.models(ty, *op, AlgConcept::Monoid) {
             if let Expr::Lit(v) = &**l {
@@ -101,7 +105,9 @@ impl RewriteRule for RightInverse {
         "(x, op, inv) models Group"
     }
     fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
-        let Expr::Binary(op, l, r) = e else { return None };
+        let Expr::Binary(op, l, r) = e else {
+            return None;
+        };
         let ty = l.ty();
         // Sugared forms first: x - x and x / x.
         let (base_op, rhs_is_inverse) = match op {
@@ -124,7 +130,9 @@ impl RewriteRule for LeftInverse {
         "(x, op, inv) models Group"
     }
     fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
-        let Expr::Binary(op, l, r) = e else { return None };
+        let Expr::Binary(op, l, r) = e else {
+            return None;
+        };
         let ty = r.ty();
         if inverse_matches(env, ty, *op, r, l) && env.models(ty, *op, AlgConcept::Group) {
             return group_identity(env, ty, *op);
@@ -145,7 +153,9 @@ impl RewriteRule for Annihilator {
         "(x, op) has a declared annihilator"
     }
     fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
-        let Expr::Binary(op, l, r) = e else { return None };
+        let Expr::Binary(op, l, r) = e else {
+            return None;
+        };
         let ty = l.ty();
         let a = env.annihilator(ty, *op)?;
         for side in [&**l, &**r] {
@@ -171,7 +181,9 @@ impl RewriteRule for Idempotence {
         "(x, op) models Idempotent"
     }
     fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
-        let Expr::Binary(op, l, r) = e else { return None };
+        let Expr::Binary(op, l, r) = e else {
+            return None;
+        };
         if l == r && env.models(l.ty(), *op, AlgConcept::Idempotent) {
             return Some((**l).clone());
         }
@@ -191,7 +203,9 @@ impl RewriteRule for DoubleInverse {
         "(x, op, inv) models Group"
     }
     fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
-        let Expr::Unary(u1, inner) = e else { return None };
+        let Expr::Unary(u1, inner) = e else {
+            return None;
+        };
         let Expr::Unary(u2, x) = &**inner else {
             return None;
         };
@@ -222,9 +236,7 @@ impl RewriteRule for ConstantFold {
     }
     fn try_apply(&self, e: &Expr, _env: &ConceptEnv) -> Option<Expr> {
         match e {
-            Expr::Binary(_, l, r)
-                if matches!(**l, Expr::Lit(_)) && matches!(**r, Expr::Lit(_)) =>
-            {
+            Expr::Binary(_, l, r) if matches!(**l, Expr::Lit(_)) && matches!(**r, Expr::Lit(_)) => {
                 e.eval(&BTreeMap::new()).map(Expr::Lit)
             }
             Expr::Unary(_, x) if matches!(**x, Expr::Lit(_)) => {
@@ -249,7 +261,9 @@ impl RewriteRule for AssocFold {
         "(x, op) models Semigroup (plus Commutative for the left variant)"
     }
     fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
-        let Expr::Binary(op, l, r) = e else { return None };
+        let Expr::Binary(op, l, r) = e else {
+            return None;
+        };
         let Expr::Lit(c2) = &**r else { return None };
         let Expr::Binary(op2, x, c1) = &**l else {
             return None;
@@ -326,9 +340,8 @@ impl RewriteRule for LidiaInverse {
         "f is a LiDIA bigfloat"
     }
     fn try_apply(&self, e: &Expr, _env: &ConceptEnv) -> Option<Expr> {
-        let make_call = |f: &Expr| {
-            Expr::Call("Inverse".to_string(), Type::BigFloat, vec![f.clone()])
-        };
+        let make_call =
+            |f: &Expr| Expr::Call("Inverse".to_string(), Type::BigFloat, vec![f.clone()]);
         match e {
             Expr::Unary(UnOp::Recip, f) if f.ty() == Type::BigFloat => Some(make_call(f)),
             Expr::Binary(BinOp::Div, one, f)
@@ -388,14 +401,21 @@ mod tests {
             Expr::bin(BinOp::Mul, Expr::var("i", Type::Int), Expr::int(1)),
             Expr::bin(BinOp::Mul, Expr::var("f", Type::Float), Expr::float(1.0)),
             Expr::bin(BinOp::And, Expr::var("b", Type::Bool), Expr::boolean(true)),
-            Expr::bin(BinOp::BitAnd, Expr::var("i", Type::UInt), Expr::uint(u64::MAX)),
+            Expr::bin(
+                BinOp::BitAnd,
+                Expr::var("i", Type::UInt),
+                Expr::uint(u64::MAX),
+            ),
             Expr::bin(BinOp::Concat, Expr::var("s", Type::Str), Expr::string("")),
             Expr::bin(BinOp::Add, Expr::var("x", Type::Int), Expr::int(0)),
         ];
         for c in cases {
             let out = RightIdentity.try_apply(&c, &env());
             assert!(out.is_some(), "no fire on {c}");
-            assert!(matches!(out.unwrap(), Expr::Var(..)), "wrong result for {c}");
+            assert!(
+                matches!(out.unwrap(), Expr::Var(..)),
+                "wrong result for {c}"
+            );
         }
     }
 
@@ -455,7 +475,11 @@ mod tests {
 
     #[test]
     fn sugar_forms_x_minus_x_and_x_div_x() {
-        let e = Expr::bin(BinOp::Sub, Expr::var("i", Type::Int), Expr::var("i", Type::Int));
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::var("i", Type::Int),
+            Expr::var("i", Type::Int),
+        );
         assert_eq!(RightInverse.try_apply(&e, &env()), Some(Expr::int(0)));
         let e = Expr::bin(
             BinOp::Div,
@@ -469,19 +493,26 @@ mod tests {
     fn annihilator_and_idempotence() {
         let e = Expr::bin(BinOp::Mul, Expr::var("i", Type::Int), Expr::int(0));
         assert_eq!(Annihilator.try_apply(&e, &env()), Some(Expr::int(0)));
+        let e = Expr::bin(BinOp::And, Expr::boolean(false), Expr::var("b", Type::Bool));
+        assert_eq!(
+            Annihilator.try_apply(&e, &env()),
+            Some(Expr::boolean(false))
+        );
         let e = Expr::bin(
             BinOp::And,
-            Expr::boolean(false),
+            Expr::var("b", Type::Bool),
             Expr::var("b", Type::Bool),
         );
-        assert_eq!(Annihilator.try_apply(&e, &env()), Some(Expr::boolean(false)));
-        let e = Expr::bin(BinOp::And, Expr::var("b", Type::Bool), Expr::var("b", Type::Bool));
         assert_eq!(
             Idempotence.try_apply(&e, &env()),
             Some(Expr::var("b", Type::Bool))
         );
         // Addition is not idempotent.
-        let e = Expr::bin(BinOp::Add, Expr::var("i", Type::Int), Expr::var("i", Type::Int));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::var("i", Type::Int),
+            Expr::var("i", Type::Int),
+        );
         assert_eq!(Idempotence.try_apply(&e, &env()), None);
     }
 
@@ -492,7 +523,10 @@ mod tests {
             DoubleInverse.try_apply(&e, &env()),
             Some(Expr::var("i", Type::Int))
         );
-        let e = Expr::un(UnOp::Recip, Expr::un(UnOp::Recip, Expr::var("f", Type::Float)));
+        let e = Expr::un(
+            UnOp::Recip,
+            Expr::un(UnOp::Recip, Expr::var("f", Type::Float)),
+        );
         assert_eq!(
             DoubleInverse.try_apply(&e, &env()),
             Some(Expr::var("f", Type::Float))

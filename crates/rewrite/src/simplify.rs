@@ -136,7 +136,10 @@ impl Simplifier {
             let mut fired = false;
             for rule in &self.rules {
                 if let Some(next) = rule.try_apply(&node, &self.env) {
-                    *stats.applications.entry(rule.name().to_string()).or_insert(0) += 1;
+                    *stats
+                        .applications
+                        .entry(rule.name().to_string())
+                        .or_insert(0) += 1;
                     node = next;
                     fired = true;
                     changed = true;
@@ -284,7 +287,10 @@ mod tests {
         let s = Simplifier::standard();
         let (out, stats) = s.simplify(&e);
         assert_eq!(out, Expr::var("x", Type::Int));
-        assert!(stats.iterations <= 3, "bottom-up should collapse in one pass");
+        assert!(
+            stats.iterations <= 3,
+            "bottom-up should collapse in one pass"
+        );
         assert_eq!(stats.applications["right-identity"], 60);
     }
 

@@ -24,7 +24,11 @@ pub fn define_cursor_concepts(reg: &mut Registry) {
     reg.define(
         Concept::new("InputCursor", ["I"])
             .assoc("value_type")
-            .op("read", vec![TypeExpr::param("I")], TypeExpr::assoc(TypeExpr::param("I"), "value_type"))
+            .op(
+                "read",
+                vec![TypeExpr::param("I")],
+                TypeExpr::assoc(TypeExpr::param("I"), "value_type"),
+            )
             .op("advance", vec![TypeExpr::param("I")], TypeExpr::param("I"))
             .op(
                 "equal",
@@ -120,10 +124,7 @@ pub fn declare_cursor_models(reg: &mut Registry) {
 /// the reflective twin of [`crate::sort::ConceptSort`].
 pub fn sort_implementations() -> Vec<Implementation> {
     vec![
-        Implementation::new(
-            "merge_sort",
-            vec![ConceptRef::unary("ForwardCursor", "T0")],
-        ),
+        Implementation::new("merge_sort", vec![ConceptRef::unary("ForwardCursor", "T0")]),
         Implementation::new(
             "intro_sort",
             vec![ConceptRef::unary("RandomAccessCursor", "T0")],
@@ -200,8 +201,12 @@ mod tests {
     #[test]
     fn guarantees_cover_the_algorithm_catalog() {
         let g = algorithm_guarantees();
-        assert!(g.iter().any(|(n, c)| *n == "introsort" && c.to_string() == "O(n log n)"));
-        assert!(g.iter().any(|(n, c)| *n == "lower_bound" && c.to_string() == "O(log n)"));
+        assert!(g
+            .iter()
+            .any(|(n, c)| *n == "introsort" && c.to_string() == "O(n log n)"));
+        assert!(g
+            .iter()
+            .any(|(n, c)| *n == "lower_bound" && c.to_string() == "O(log n)"));
     }
 
     #[test]

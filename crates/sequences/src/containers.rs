@@ -5,9 +5,7 @@
 //! shared). Concept-based overloading (§2.1 of the paper, experiment E7)
 //! selects different sorting algorithms for the two.
 
-use gp_core::cursor::{
-    AdvanceDispatch, Category, ForwardCursor, InputCursor, Range, SliceCursor,
-};
+use gp_core::cursor::{AdvanceDispatch, Category, ForwardCursor, InputCursor, Range, SliceCursor};
 use std::rc::Rc;
 
 // ---------------------------------------------------------------------------

@@ -73,10 +73,7 @@ where
     B: InputCursor<Item = A::Item>,
     A::Item: PartialEq,
 {
-    let Range {
-        mut first,
-        last,
-    } = a;
+    let Range { mut first, last } = a;
     let Range {
         first: mut bfirst,
         last: blast,
@@ -100,7 +97,10 @@ where
 /// `search` algorithm): returns the cursor at the start of the match.
 /// `O(n·m)` comparisons; requires Forward cursors (the pattern is traversed
 /// repeatedly — a multipass use, like `max_element`).
-pub fn search<H, P>(haystack: &gp_core::cursor::Range<H>, pattern: &gp_core::cursor::Range<P>) -> Option<H>
+pub fn search<H, P>(
+    haystack: &gp_core::cursor::Range<H>,
+    pattern: &gp_core::cursor::Range<P>,
+) -> Option<H>
 where
     H: gp_core::cursor::ForwardCursor,
     P: gp_core::cursor::ForwardCursor<Item = H::Item>,
@@ -142,10 +142,7 @@ where
     B: InputCursor<Item = A::Item>,
     A::Item: PartialEq,
 {
-    let Range {
-        mut first,
-        last,
-    } = a;
+    let Range { mut first, last } = a;
     let Range {
         first: mut bfirst,
         last: blast,

@@ -32,11 +32,7 @@ where
 }
 
 /// Left fold with an explicit initial value and step function.
-pub fn fold_left<C: InputCursor, A>(
-    r: Range<C>,
-    init: A,
-    mut f: impl FnMut(A, C::Item) -> A,
-) -> A {
+pub fn fold_left<C: InputCursor, A>(r: Range<C>, init: A, mut f: impl FnMut(A, C::Item) -> A) -> A {
     let Range { mut first, last } = r;
     let mut acc = init;
     while !first.equal(&last) {

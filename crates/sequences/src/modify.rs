@@ -27,11 +27,7 @@ where
 }
 
 /// Copy a transformed range to an output cursor.
-pub fn transform<C, O, U>(
-    r: Range<C>,
-    out: &mut O,
-    mut f: impl FnMut(C::Item) -> U,
-) -> usize
+pub fn transform<C, O, U>(r: Range<C>, out: &mut O, mut f: impl FnMut(C::Item) -> U) -> usize
 where
     C: InputCursor,
     O: OutputCursor<Item = U>,

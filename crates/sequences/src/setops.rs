@@ -208,13 +208,28 @@ mod tests {
         let a = arr(&[1, 2, 2, 4, 6]);
         let b = SList::from_slice(&[2, 4, 5]);
         let mut u = Vec::new();
-        set_union(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut u));
+        set_union(
+            a.range(),
+            b.range(),
+            &NaturalLess,
+            &mut PushBackCursor::new(&mut u),
+        );
         assert_eq!(u, vec![1, 2, 2, 4, 5, 6]);
         let mut i = Vec::new();
-        set_intersection(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut i));
+        set_intersection(
+            a.range(),
+            b.range(),
+            &NaturalLess,
+            &mut PushBackCursor::new(&mut i),
+        );
         assert_eq!(i, vec![2, 4]);
         let mut d = Vec::new();
-        set_difference(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut d));
+        set_difference(
+            a.range(),
+            b.range(),
+            &NaturalLess,
+            &mut PushBackCursor::new(&mut d),
+        );
         assert_eq!(d, vec![1, 2, 6]);
     }
 
@@ -224,15 +239,28 @@ mod tests {
         let a = arr(&[1, 1, 3, 7, 9, 9]);
         let b = arr(&[1, 3, 3, 9]);
         let mut u = Vec::new();
-        let nu = set_union(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut u));
+        let nu = set_union(
+            a.range(),
+            b.range(),
+            &NaturalLess,
+            &mut PushBackCursor::new(&mut u),
+        );
         let mut i = Vec::new();
-        let ni =
-            set_intersection(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut i));
+        let ni = set_intersection(
+            a.range(),
+            b.range(),
+            &NaturalLess,
+            &mut PushBackCursor::new(&mut i),
+        );
         assert_eq!(nu + ni, a.len() + b.len());
         // A\B and A∩B partition A.
         let mut d = Vec::new();
-        let nd =
-            set_difference(a.range(), b.range(), &NaturalLess, &mut PushBackCursor::new(&mut d));
+        let nd = set_difference(
+            a.range(),
+            b.range(),
+            &NaturalLess,
+            &mut PushBackCursor::new(&mut d),
+        );
         assert_eq!(nd + ni, a.len());
         // Union of sorted inputs is sorted.
         assert!(u.windows(2).all(|w| w[0] <= w[1]));
@@ -243,11 +271,21 @@ mod tests {
         let a = arr(&[1, 2]);
         let e = arr(&[]);
         let mut u = Vec::new();
-        set_union(a.range(), e.range(), &NaturalLess, &mut PushBackCursor::new(&mut u));
+        set_union(
+            a.range(),
+            e.range(),
+            &NaturalLess,
+            &mut PushBackCursor::new(&mut u),
+        );
         assert_eq!(u, vec![1, 2]);
         let mut i = Vec::new();
         assert_eq!(
-            set_intersection(e.range(), a.range(), &NaturalLess, &mut PushBackCursor::new(&mut i)),
+            set_intersection(
+                e.range(),
+                a.range(),
+                &NaturalLess,
+                &mut PushBackCursor::new(&mut i)
+            ),
             0
         );
     }

@@ -340,13 +340,22 @@ mod tests {
 
     #[test]
     fn concept_sort_dispatches_by_container() {
-        assert_eq!(<ArraySeq<i64> as ConceptSort<i64>>::algorithm_name(), "introsort");
-        assert_eq!(<SList<i64> as ConceptSort<i64>>::algorithm_name(), "merge_sort");
+        assert_eq!(
+            <ArraySeq<i64> as ConceptSort<i64>>::algorithm_name(),
+            "introsort"
+        );
+        assert_eq!(
+            <SList<i64> as ConceptSort<i64>>::algorithm_name(),
+            "merge_sort"
+        );
         assert_eq!(
             <ArraySeq<i64> as ConceptSort<i64>>::CATEGORY,
             Category::RandomAccess
         );
-        assert_eq!(<SList<i64> as ConceptSort<i64>>::CATEGORY, Category::Forward);
+        assert_eq!(
+            <SList<i64> as ConceptSort<i64>>::CATEGORY,
+            Category::Forward
+        );
 
         let orig = random_vec(100, 42);
         let mut a: ArraySeq<i64> = orig.iter().copied().collect();

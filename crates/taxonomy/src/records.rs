@@ -262,11 +262,7 @@ mod tests {
     #[test]
     fn synchronous_arbitrary_network_admits_floodmax_and_asyncmax() {
         let cat = catalog();
-        let req = Requirement::basic(
-            Problem::LeaderElection,
-            Topology::Grid,
-            Timing::Synchronous,
-        );
+        let req = Requirement::basic(Problem::LeaderElection, Topology::Grid, Timing::Synchronous);
         let names: Vec<&str> = cat
             .iter()
             .filter(|a| applicable(a, &req))
@@ -316,17 +312,9 @@ mod tests {
     #[test]
     fn broadcast_and_spanning_tree_have_owners() {
         let cat = catalog();
-        let req = Requirement::basic(
-            Problem::Broadcast,
-            Topology::Complete,
-            Timing::Asynchronous,
-        );
+        let req = Requirement::basic(Problem::Broadcast, Topology::Complete, Timing::Asynchronous);
         assert_eq!(select_best(&cat, &req).unwrap().name, "Echo");
-        let req = Requirement::basic(
-            Problem::SpanningTree,
-            Topology::Grid,
-            Timing::Synchronous,
-        );
+        let req = Requirement::basic(Problem::SpanningTree, Topology::Grid, Timing::Synchronous);
         assert_eq!(select_best(&cat, &req).unwrap().name, "SyncBFS");
     }
 

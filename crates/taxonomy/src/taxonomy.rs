@@ -41,12 +41,7 @@ impl Taxonomy {
 
     /// Add a concept refining the named parents (which must already exist —
     /// refinement is a DAG by construction).
-    pub fn add(
-        &mut self,
-        name: &str,
-        description: &str,
-        refines: &[&str],
-    ) -> Result<(), String> {
+    pub fn add(&mut self, name: &str, description: &str, refines: &[&str]) -> Result<(), String> {
         if self.by_name.contains_key(name) {
             return Err(format!("duplicate taxonomy node `{name}`"));
         }
@@ -192,36 +187,156 @@ pub fn sequence_taxonomy() -> Taxonomy {
     let add = |t: &mut Taxonomy, n: &str, d: &str, r: &[&str]| {
         t.add(n, d, r).expect("well-formed taxonomy");
     };
-    add(&mut t, "sequence-algorithm", "any algorithm over cursor ranges", &[]);
-    add(&mut t, "non-mutating", "reads only", &["sequence-algorithm"]);
-    add(&mut t, "mutating", "writes through cursors or slices", &["sequence-algorithm"]);
+    add(
+        &mut t,
+        "sequence-algorithm",
+        "any algorithm over cursor ranges",
+        &[],
+    );
+    add(
+        &mut t,
+        "non-mutating",
+        "reads only",
+        &["sequence-algorithm"],
+    );
+    add(
+        &mut t,
+        "mutating",
+        "writes through cursors or slices",
+        &["sequence-algorithm"],
+    );
     add(&mut t, "search", "locates elements", &["non-mutating"]);
-    add(&mut t, "reduction", "folds a range to a value", &["non-mutating"]);
-    add(&mut t, "linear-search", "single pass, Input Cursor", &["search"]);
-    add(&mut t, "binary-search", "sorted ranges, Forward Cursor, O(log n) comparisons", &["search"]);
+    add(
+        &mut t,
+        "reduction",
+        "folds a range to a value",
+        &["non-mutating"],
+    );
+    add(
+        &mut t,
+        "linear-search",
+        "single pass, Input Cursor",
+        &["search"],
+    );
+    add(
+        &mut t,
+        "binary-search",
+        "sorted ranges, Forward Cursor, O(log n) comparisons",
+        &["search"],
+    );
     add(&mut t, "find", "first match", &["linear-search"]);
     add(&mut t, "count", "matches in a range", &["linear-search"]);
-    add(&mut t, "lower_bound", "first position not less than value", &["binary-search"]);
-    add(&mut t, "binary_search", "membership on sorted ranges", &["binary-search"]);
+    add(
+        &mut t,
+        "lower_bound",
+        "first position not less than value",
+        &["binary-search"],
+    );
+    add(
+        &mut t,
+        "binary_search",
+        "membership on sorted ranges",
+        &["binary-search"],
+    );
     add(&mut t, "accumulate", "Monoid fold", &["reduction"]);
-    add(&mut t, "max_element", "extremum; Forward Cursor (multipass)", &["reduction"]);
-    add(&mut t, "sort", "permute into order (Strict Weak Order)", &["mutating"]);
-    add(&mut t, "comparison-sort", "Ω(n log n) comparisons", &["sort"]);
-    add(&mut t, "introsort", "random-access; in-place; unstable", &["comparison-sort"]);
-    add(&mut t, "merge_sort", "forward-access; stable", &["comparison-sort"]);
-    add(&mut t, "insertion_sort", "tiny/nearly-sorted inputs", &["comparison-sort"]);
+    add(
+        &mut t,
+        "max_element",
+        "extremum; Forward Cursor (multipass)",
+        &["reduction"],
+    );
+    add(
+        &mut t,
+        "sort",
+        "permute into order (Strict Weak Order)",
+        &["mutating"],
+    );
+    add(
+        &mut t,
+        "comparison-sort",
+        "Ω(n log n) comparisons",
+        &["sort"],
+    );
+    add(
+        &mut t,
+        "introsort",
+        "random-access; in-place; unstable",
+        &["comparison-sort"],
+    );
+    add(
+        &mut t,
+        "merge_sort",
+        "forward-access; stable",
+        &["comparison-sort"],
+    );
+    add(
+        &mut t,
+        "insertion_sort",
+        "tiny/nearly-sorted inputs",
+        &["comparison-sort"],
+    );
     add(&mut t, "merge", "combine sorted ranges", &["mutating"]);
     add(&mut t, "partition", "split by predicate", &["mutating"]);
-    add(&mut t, "selection", "order statistics without full sorting", &["mutating"]);
-    add(&mut t, "nth_element", "expected O(n) quickselect", &["selection"]);
-    add(&mut t, "partial_sort", "smallest k sorted, O(n log k)", &["selection"]);
-    add(&mut t, "min_max_element", "both extrema, ~3n/2 comparisons", &["reduction"]);
-    add(&mut t, "set-operation", "algebra of sorted ranges", &["non-mutating"]);
-    add(&mut t, "set_union", "multiset union of sorted ranges", &["set-operation"]);
-    add(&mut t, "set_intersection", "common elements of sorted ranges", &["set-operation"]);
-    add(&mut t, "set_difference", "sorted-range subtraction", &["set-operation"]);
-    add(&mut t, "includes", "multiset subset test", &["set-operation"]);
-    add(&mut t, "subsequence_search", "first occurrence of a pattern range", &["search"]);
+    add(
+        &mut t,
+        "selection",
+        "order statistics without full sorting",
+        &["mutating"],
+    );
+    add(
+        &mut t,
+        "nth_element",
+        "expected O(n) quickselect",
+        &["selection"],
+    );
+    add(
+        &mut t,
+        "partial_sort",
+        "smallest k sorted, O(n log k)",
+        &["selection"],
+    );
+    add(
+        &mut t,
+        "min_max_element",
+        "both extrema, ~3n/2 comparisons",
+        &["reduction"],
+    );
+    add(
+        &mut t,
+        "set-operation",
+        "algebra of sorted ranges",
+        &["non-mutating"],
+    );
+    add(
+        &mut t,
+        "set_union",
+        "multiset union of sorted ranges",
+        &["set-operation"],
+    );
+    add(
+        &mut t,
+        "set_intersection",
+        "common elements of sorted ranges",
+        &["set-operation"],
+    );
+    add(
+        &mut t,
+        "set_difference",
+        "sorted-range subtraction",
+        &["set-operation"],
+    );
+    add(
+        &mut t,
+        "includes",
+        "multiset subset test",
+        &["set-operation"],
+    );
+    add(
+        &mut t,
+        "subsequence_search",
+        "first occurrence of a pattern range",
+        &["search"],
+    );
 
     for (name, c) in gp_sequences::concepts::algorithm_guarantees() {
         // Attach guarantees where the node exists in this taxonomy.
@@ -231,12 +346,15 @@ pub fn sequence_taxonomy() -> Taxonomy {
     t.attr("lower_bound", "cursor", "ForwardCursor").unwrap();
     t.attr("lower_bound", "precondition", "sorted").unwrap();
     t.attr("binary_search", "precondition", "sorted").unwrap();
-    t.attr("max_element", "cursor", "ForwardCursor (multipass)").unwrap();
+    t.attr("max_element", "cursor", "ForwardCursor (multipass)")
+        .unwrap();
     t.attr("introsort", "cursor", "RandomAccessCursor").unwrap();
     t.attr("merge_sort", "cursor", "ForwardCursor").unwrap();
-    t.attr("nth_element", "cursor", "RandomAccessCursor").unwrap();
+    t.attr("nth_element", "cursor", "RandomAccessCursor")
+        .unwrap();
     t.attr("set_union", "precondition", "sorted").unwrap();
-    t.attr("set_intersection", "precondition", "sorted").unwrap();
+    t.attr("set_intersection", "precondition", "sorted")
+        .unwrap();
     t.attr("set_difference", "precondition", "sorted").unwrap();
     t.attr("includes", "precondition", "sorted").unwrap();
     t
@@ -249,19 +367,84 @@ pub fn graph_taxonomy() -> Taxonomy {
     let add = |t: &mut Taxonomy, n: &str, d: &str, r: &[&str]| {
         t.add(n, d, r).expect("well-formed taxonomy");
     };
-    add(&mut t, "graph-algorithm", "any algorithm over graph concepts", &[]);
-    add(&mut t, "traversal", "visits vertices/edges systematically", &["graph-algorithm"]);
-    add(&mut t, "shortest-paths", "single-source distances", &["graph-algorithm"]);
-    add(&mut t, "spanning-tree", "minimum spanning forests", &["graph-algorithm"]);
-    add(&mut t, "ordering", "vertex orders from structure", &["graph-algorithm"]);
-    add(&mut t, "bfs", "breadth-first; hop distances", &["traversal"]);
-    add(&mut t, "dfs", "depth-first; discover/finish times", &["traversal"]);
-    add(&mut t, "dijkstra", "non-negative weights; heap", &["shortest-paths"]);
-    add(&mut t, "bellman_ford", "arbitrary weights; detects negative cycles", &["shortest-paths"]);
-    add(&mut t, "kruskal", "edge list + union-find", &["spanning-tree"]);
-    add(&mut t, "prim", "incidence + indexed heap", &["spanning-tree"]);
-    add(&mut t, "topological_sort", "DAGs only (checked)", &["ordering"]);
-    add(&mut t, "connected_components", "undirected reachability classes", &["ordering"]);
+    add(
+        &mut t,
+        "graph-algorithm",
+        "any algorithm over graph concepts",
+        &[],
+    );
+    add(
+        &mut t,
+        "traversal",
+        "visits vertices/edges systematically",
+        &["graph-algorithm"],
+    );
+    add(
+        &mut t,
+        "shortest-paths",
+        "single-source distances",
+        &["graph-algorithm"],
+    );
+    add(
+        &mut t,
+        "spanning-tree",
+        "minimum spanning forests",
+        &["graph-algorithm"],
+    );
+    add(
+        &mut t,
+        "ordering",
+        "vertex orders from structure",
+        &["graph-algorithm"],
+    );
+    add(
+        &mut t,
+        "bfs",
+        "breadth-first; hop distances",
+        &["traversal"],
+    );
+    add(
+        &mut t,
+        "dfs",
+        "depth-first; discover/finish times",
+        &["traversal"],
+    );
+    add(
+        &mut t,
+        "dijkstra",
+        "non-negative weights; heap",
+        &["shortest-paths"],
+    );
+    add(
+        &mut t,
+        "bellman_ford",
+        "arbitrary weights; detects negative cycles",
+        &["shortest-paths"],
+    );
+    add(
+        &mut t,
+        "kruskal",
+        "edge list + union-find",
+        &["spanning-tree"],
+    );
+    add(
+        &mut t,
+        "prim",
+        "incidence + indexed heap",
+        &["spanning-tree"],
+    );
+    add(
+        &mut t,
+        "topological_sort",
+        "DAGs only (checked)",
+        &["ordering"],
+    );
+    add(
+        &mut t,
+        "connected_components",
+        "undirected reachability classes",
+        &["ordering"],
+    );
 
     let attrs: &[(&str, &str, &str)] = &[
         ("bfs", "complexity", "O(V + E)"),

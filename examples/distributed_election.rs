@@ -48,7 +48,10 @@ fn main() {
         Timing::Asynchronous,
     );
     let choice = select_best(&cat, &req).expect("taxonomy has an answer");
-    println!("  taxonomy picks {} (messages {})", choice.name, choice.messages);
+    println!(
+        "  taxonomy picks {} (messages {})",
+        choice.name, choice.messages
+    );
     let mut runner = SyncRunner::new(Topology::ring_unidirectional(n), lcr_nodes(&uids));
     let stats = runner.run(20 * n as u64 + 100);
     println!(
@@ -67,7 +70,10 @@ fn main() {
         Timing::Synchronous,
     );
     let choice = select_best(&cat, &req).expect("taxonomy has an answer");
-    println!("  taxonomy picks {} (messages {})", choice.name, choice.messages);
+    println!(
+        "  taxonomy picks {} (messages {})",
+        choice.name, choice.messages
+    );
     let grid_uids: Vec<u64> = (0..64u64).map(|i| (i * 31 + 7) % 997).collect();
     let mut runner = SyncRunner::new(topo.clone(), floodmax_nodes(&grid_uids, diam));
     let stats = runner.run(diam + 5);

@@ -64,7 +64,10 @@ fn main() {
     println!("\n== Components and a maintenance MST (undirected view) ==");
     let undirected = AdjacencyList::from_edges_undirected(8, &edges);
     let (count, comp) = connected_components(&undirected);
-    println!("  {count} components; depot 6 is in component {}", comp.get(6));
+    println!(
+        "  {count} components; depot 6 is in component {}",
+        comp.get(6)
+    );
     let mst = kruskal_mst(&undirected, weight);
     println!(
         "  minimum maintenance set: {} lanes, {:.1} total hours",
@@ -72,6 +75,11 @@ fn main() {
         mst.total_weight
     );
     for e in &mst.edges {
-        println!("    lane {}→{} ({:.1} h)", e.source, e.target, *hours.get(*e));
+        println!(
+            "    lane {}→{} ({:.1} h)",
+            e.source,
+            e.target,
+            *hours.get(*e)
+        );
     }
 }

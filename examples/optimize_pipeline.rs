@@ -17,7 +17,11 @@ fn workload() -> Vec<Expr> {
     let f = || Expr::var("f", Type::BigFloat);
     vec![
         Expr::bin(BinOp::Mul, x(), Expr::int(1)),
-        Expr::bin(BinOp::Add, Expr::bin(BinOp::Add, x(), Expr::int(2)), Expr::int(3)),
+        Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, x(), Expr::int(2)),
+            Expr::int(3),
+        ),
         Expr::bin(BinOp::Mul, y(), Expr::un(UnOp::Recip, y())),
         Expr::bin(BinOp::Concat, s(), Expr::string("")),
         Expr::bin(BinOp::Mul, x(), Expr::int(0)),

@@ -17,10 +17,7 @@ fn main() {
 
     println!("== Sequence-algorithm taxonomy ({} concepts) ==", seq.len());
     println!("  concrete algorithms (leaves): {:?}", seq.leaves());
-    println!(
-        "  `find` refines: {:?}",
-        seq.ancestors("find")
-    );
+    println!("  `find` refines: {:?}", seq.ancestors("find"));
     println!(
         "  algorithms requiring sorted input: {:?}",
         seq.find_by_attr("precondition", |v| v == "sorted")
@@ -41,8 +38,14 @@ fn main() {
         let n = gra.node(name).unwrap();
         println!(
             "  {name:<14} {}  [{}]",
-            n.attributes.get("complexity").map(String::as_str).unwrap_or("-"),
-            n.attributes.get("requires").map(String::as_str).unwrap_or("-"),
+            n.attributes
+                .get("complexity")
+                .map(String::as_str)
+                .unwrap_or("-"),
+            n.attributes
+                .get("requires")
+                .map(String::as_str)
+                .unwrap_or("-"),
         );
     }
     println!(
@@ -53,7 +56,11 @@ fn main() {
 
     println!("\n== DOT export (paste into graphviz) ==");
     let dot = gra.to_dot();
-    println!("  graph taxonomy DOT: {} bytes, {} edges", dot.len(), dot.matches(" -> ").count());
+    println!(
+        "  graph taxonomy DOT: {} bytes, {} edges",
+        dot.len(),
+        dot.matches(" -> ").count()
+    );
     println!("{}", &dot[..dot.find('\n').unwrap_or(40) + 1]);
 
     println!("== Distributed catalog on the seven dimensions ==");
@@ -67,21 +74,46 @@ fn main() {
 
     println!("\n== Selection queries ==");
     let queries = [
-        ("async bi-ring election", Requirement::basic(Problem::LeaderElection, Topology::BiRing, Timing::Asynchronous)),
-        ("sync grid spanning tree", Requirement::basic(Problem::SpanningTree, Topology::Grid, Timing::Synchronous)),
-        ("async broadcast", Requirement::basic(Problem::Broadcast, Topology::Arbitrary, Timing::Asynchronous)),
+        (
+            "async bi-ring election",
+            Requirement::basic(
+                Problem::LeaderElection,
+                Topology::BiRing,
+                Timing::Asynchronous,
+            ),
+        ),
+        (
+            "sync grid spanning tree",
+            Requirement::basic(Problem::SpanningTree, Topology::Grid, Timing::Synchronous),
+        ),
+        (
+            "async broadcast",
+            Requirement::basic(
+                Problem::Broadcast,
+                Topology::Arbitrary,
+                Timing::Asynchronous,
+            ),
+        ),
     ];
     let cat = catalog();
     for (label, req) in queries {
         println!(
             "  {label:<26} → {}",
-            select_best(&cat, &req).map(|a| a.name).unwrap_or("NO KNOWN ALGORITHM")
+            select_best(&cat, &req)
+                .map(|a| a.name)
+                .unwrap_or("NO KNOWN ALGORITHM")
         );
     }
-    let mut crashy = Requirement::basic(Problem::FailureDetection, Topology::Complete, Timing::Synchronous);
+    let mut crashy = Requirement::basic(
+        Problem::FailureDetection,
+        Topology::Complete,
+        Timing::Synchronous,
+    );
     crashy.fault_needed = Fault::Crash;
     println!(
         "  crash-tolerant detection   → {}",
-        select_best(&cat, &crashy).map(|a| a.name).unwrap_or("NO KNOWN ALGORITHM")
+        select_best(&cat, &crashy)
+            .map(|a| a.name)
+            .unwrap_or("NO KNOWN ALGORITHM")
     );
 }

@@ -30,10 +30,9 @@ fn acting_on_the_checker_suggestion_is_sound_and_profitable() {
         ],
     );
     let diags = analyze(&program);
-    assert!(diags
-        .iter()
-        .any(|d| d.code == DiagnosticCode::SortedLinearSearch
-            && d.severity == Severity::Suggestion));
+    assert!(diags.iter().any(
+        |d| d.code == DiagnosticCode::SortedLinearSearch && d.severity == Severity::Suggestion
+    ));
 
     // 2. Acting on it preserves the answer...
     let data: Vec<i64> = (0..10_000).map(|x| x * 2).collect();
