@@ -1,18 +1,26 @@
 //! E10: the distributed-algorithm taxonomy in action — measured message /
 //! time / local-computation tables for the catalog, matched against the
-//! declared complexities, plus taxonomy-driven selection.
+//! declared complexities, plus taxonomy-driven selection, plus the fault
+//! layer (E10e): reliable-channel retransmission costs vs drop rate and
+//! crash-tolerant consensus. Emits `results/BENCH_distsim_faults.json`.
+//!
+//! `--smoke` shrinks every deployment for a fast CI pass.
 
-use gp_bench::{banner, Table};
+use gp_bench::{banner, Json, Table};
 use gp_core::complexity::Complexity;
 use gp_distsim::algorithms::{
     adversarial_ring_uids, bfs_tree_nodes, bit_reversal_ring_uids, consensus, echo_nodes,
-    floodmax_nodes, hs_nodes, lcr_nodes,
+    floodmax_nodes, ft_floodmax_nodes, hs_nodes, lcr_nodes, reliable_echo_nodes,
+    reliable_lcr_nodes,
 };
-use gp_distsim::engine::SyncRunner;
+use gp_distsim::engine::{AsyncRunner, SyncRunner};
 use gp_distsim::topology::Topology;
-use gp_taxonomy::{catalog, select_best, Problem, Requirement, Timing, Topology as TaxTopology};
+use gp_taxonomy::{
+    catalog, select_best, Fault, Problem, Requirement, Timing, Topology as TaxTopology,
+};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     banner(
         "E10",
         "Leader election message counts: LCR O(n²) vs HS O(n log n)",
@@ -241,7 +249,6 @@ fn main() {
     );
     // Validate the new algorithm empirically on the gap's deployment.
     use gp_distsim::algorithms::asyncmax_nodes;
-    use gp_distsim::engine::AsyncRunner;
     let topo = Topology::grid(8, 8);
     let uids: Vec<u64> = (0..64u64).map(|i| (i * 41 + 5) % 997).collect();
     let max = *uids.iter().max().unwrap();
@@ -254,4 +261,222 @@ fn main() {
         stats.messages,
         64 * topo.directed_edge_count()
     );
+
+    e10e_faults(smoke);
+}
+
+/// E10e: the fault-tolerance layer measured. Retransmission cost of the
+/// reliable channel vs drop rate (Echo on a grid, LCR on a bidirectional
+/// ring), crash-tolerant FT-FloodMax consensus under f = n/3 failures, and
+/// a structured event-trace sample. Emits
+/// `results/BENCH_distsim_faults.json`.
+fn e10e_faults(smoke: bool) {
+    banner(
+        "E10e",
+        "Fault tolerance: retransmission cost vs drop rate; crash consensus",
+        "§4 fault dimension; omission vs crash are incomparable cells",
+    );
+
+    let (grid_w, ring_n, budget) = if smoke {
+        (3, 6, 500_000)
+    } else {
+        (4, 12, 5_000_000)
+    };
+    let grid_n = grid_w * grid_w;
+    let drop_rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let seed = 42u64;
+
+    let t = Table::new(&[
+        ("algorithm", 14),
+        ("drop", 5),
+        ("ok", 3),
+        ("wire msgs", 9),
+        ("app msgs", 8),
+        ("retrans", 8),
+        ("dropped", 8),
+        ("time", 8),
+        ("local", 8),
+    ]);
+    let mut rows = Vec::new();
+    for &rate in &drop_rates {
+        // Reliable Echo on the grid — the deployment the seed tests prove
+        // stalls unwrapped at drop 0.4.
+        let mut r = AsyncRunner::new(
+            Topology::grid(grid_w, grid_w),
+            reliable_echo_nodes(grid_n, 0, 12, 30),
+            5,
+            seed,
+        );
+        r.drop_messages(rate);
+        let s = r.run(budget);
+        let ok = s.outputs.iter().filter(|o| o.is_some()).count() == grid_n;
+        t.row(&[
+            "ReliableEcho".into(),
+            format!("{rate:.1}"),
+            if ok { "y" } else { "n" }.into(),
+            s.messages.to_string(),
+            s.app_messages.to_string(),
+            s.retransmits.to_string(),
+            s.dropped.to_string(),
+            s.time.to_string(),
+            s.local_steps.to_string(),
+        ]);
+        rows.push(fault_row("ReliableEcho", rate, ok, &s));
+
+        // Reliable LCR on the bidirectional ring.
+        let uids: Vec<u64> = (1..=ring_n as u64).map(|k| k * 3 % 13 + 13 * k).collect();
+        let max = *uids.iter().max().unwrap();
+        let mut r = AsyncRunner::new(
+            Topology::ring_bidirectional(ring_n),
+            reliable_lcr_nodes(&uids, 12, 30),
+            5,
+            seed,
+        );
+        r.drop_messages(rate);
+        let s = r.run(budget);
+        let ok = consensus(&s) == Some(max);
+        t.row(&[
+            "RetransLCR".into(),
+            format!("{rate:.1}"),
+            if ok { "y" } else { "n" }.into(),
+            s.messages.to_string(),
+            s.app_messages.to_string(),
+            s.retransmits.to_string(),
+            s.dropped.to_string(),
+            s.time.to_string(),
+            s.local_steps.to_string(),
+        ]);
+        rows.push(fault_row("RetransLCR", rate, ok, &s));
+    }
+
+    // Crash-tolerant consensus: FT-FloodMax with f = n/3 staggered
+    // crash-stop failures plus one recovery.
+    let n = if smoke { 6 } else { 12 };
+    let ids: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 1009).collect();
+    let crashed: Vec<usize> = (0..n).filter(|v| v % 3 == 1).take(n / 3).collect();
+    let mut r = AsyncRunner::new(
+        Topology::complete(n),
+        ft_floodmax_nodes(&ids, 10, 4),
+        5,
+        seed,
+    );
+    for (i, &v) in crashed.iter().enumerate() {
+        r.crash(v, 5 * i as u64);
+    }
+    r.record_trace();
+    let s = r.run(budget);
+    let live: Vec<usize> = (0..n).filter(|v| !crashed.contains(v)).collect();
+    let decided: Vec<u64> = live.iter().filter_map(|&v| s.outputs[v]).collect();
+    let agree = decided.len() == live.len() && decided.windows(2).all(|w| w[0] == w[1]);
+    println!();
+    println!(
+        "  FT-FloodMax, n = {n}, f = {} crash-stop: live nodes agree = {agree} \
+         (value {}, msgs {}, lost to crashes {})",
+        crashed.len(),
+        decided.first().map(|v| v.to_string()).unwrap_or("-".into()),
+        s.messages,
+        s.lost_to_crash,
+    );
+    println!(
+        "  conservation law holds = {} (sent + duplicated == delivered + dropped + lost + in-flight)",
+        s.conserves_messages()
+    );
+
+    // Taxonomy: the fault dimension routes each requirement to its cell.
+    let cat = catalog();
+    let mut req = Requirement::basic(
+        Problem::Broadcast,
+        TaxTopology::Arbitrary,
+        Timing::Asynchronous,
+    );
+    req.fault_needed = Fault::Omission;
+    let omission_pick = select_best(&cat, &req).map(|a| a.name).unwrap_or("-");
+    let mut req = Requirement::basic(
+        Problem::Consensus,
+        TaxTopology::Complete,
+        Timing::PartiallySynchronous,
+    );
+    req.fault_needed = Fault::Crash;
+    let crash_pick = select_best(&cat, &req).map(|a| a.name).unwrap_or("-");
+    println!(
+        "  selection: broadcast + omission → {omission_pick}; consensus + crash → {crash_pick}"
+    );
+
+    // Event-trace sample: a small lossy run, dumped as structured JSON.
+    let mut tr = AsyncRunner::new(
+        Topology::ring_bidirectional(4),
+        reliable_lcr_nodes(&[3, 1, 4, 2], 12, 30),
+        5,
+        7,
+    );
+    tr.drop_messages(0.3);
+    tr.record_trace();
+    let ts = tr.run(200_000);
+    let sample_len = tr.trace().len().min(if smoke { 40 } else { 400 });
+    let trace_events = gp_distsim::trace_json(&tr.trace()[..sample_len]);
+    println!(
+        "  trace sample: {} events recorded on a lossy 4-ring election ({sample_len} shown in JSON)",
+        tr.trace().len(),
+    );
+
+    let report = Json::obj()
+        .field("experiment", "E10e_distsim_faults")
+        .field("smoke", smoke)
+        .field("seed", seed)
+        .field(
+            "reliable_channel",
+            Json::obj()
+                .field("rto", 12u64)
+                .field("max_attempts", 30u64)
+                .field("runs", Json::Arr(rows)),
+        )
+        .field(
+            "crash_consensus",
+            Json::obj()
+                .field("algorithm", "FT-FloodMax")
+                .field("n", n)
+                .field("crashed", crashed.len())
+                .field("live_agree", agree)
+                .field("messages", s.messages)
+                .field("lost_to_crash", s.lost_to_crash)
+                .field("time", s.time)
+                .field("local_steps", s.local_steps)
+                .field("conserves_messages", s.conserves_messages()),
+        )
+        .field(
+            "selection",
+            Json::obj()
+                .field("broadcast_omission", omission_pick)
+                .field("consensus_crash", crash_pick),
+        )
+        .field(
+            "trace_sample",
+            Json::obj()
+                .field("deployment", "RetransLCR, bidirectional 4-ring, drop 0.3")
+                .field("total_events", tr.trace().len())
+                .field("messages", ts.messages)
+                .field("retransmits", ts.retransmits)
+                .field("events", Json::Raw(trace_events)),
+        );
+    let out_dir = std::path::Path::new("results");
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    let path = out_dir.join("BENCH_distsim_faults.json");
+    std::fs::write(&path, report.render() + "\n").expect("write BENCH_distsim_faults.json");
+    println!();
+    println!("wrote {}", path.display());
+}
+
+/// One reliable-channel measurement row for the JSON artifact.
+fn fault_row(alg: &str, drop_rate: f64, ok: bool, s: &gp_distsim::RunStats) -> Json {
+    Json::obj()
+        .field("algorithm", alg)
+        .field("drop_rate", drop_rate)
+        .field("completed", ok)
+        .field("wire_messages", s.messages)
+        .field("app_messages", s.app_messages)
+        .field("retransmits", s.retransmits)
+        .field("dropped", s.dropped)
+        .field("time", s.time)
+        .field("local_steps", s.local_steps)
+        .field("conserves", s.conserves_messages())
 }

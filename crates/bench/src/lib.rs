@@ -83,6 +83,9 @@ pub enum Json {
     Arr(Vec<Json>),
     /// Ordered object (insertion order preserved).
     Obj(Vec<(String, Json)>),
+    /// Pre-rendered JSON fragment, spliced verbatim (the caller guarantees
+    /// it is valid JSON — e.g. `gp_distsim::trace_json` output).
+    Raw(String),
 }
 
 impl Json {
@@ -147,6 +150,7 @@ impl Json {
                 }
                 out.push(']');
             }
+            Json::Raw(s) => out.push_str(s),
             Json::Obj(fields) => {
                 out.push('{');
                 for (i, (k, v)) in fields.iter().enumerate() {

@@ -18,7 +18,7 @@
 
 use crate::engine::{Ctx, Payload, Process};
 use crate::topology::NodeId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Per-node heartbeat state: beats out every round, tracks the last round
 /// each neighbor was heard from, and reports its suspect count.
@@ -27,7 +27,12 @@ pub struct Heartbeat {
     timeout: u64,
     /// Stop after this many rounds (the monitoring window).
     horizon: u64,
+    /// Last *resolved* round each neighbor was heard in — never a
+    /// sentinel: beats received since the previous round tick live in
+    /// `heard_now` until `on_round` stamps them.
     last_heard: HashMap<NodeId, u64>,
+    /// Neighbors heard from since the last round tick.
+    heard_now: HashSet<NodeId>,
     suspects: Vec<NodeId>,
 }
 
@@ -39,6 +44,7 @@ impl Heartbeat {
             timeout,
             horizon,
             last_heard: HashMap::new(),
+            heard_now: HashSet::new(),
             suspects: Vec::new(),
         }
     }
@@ -46,6 +52,17 @@ impl Heartbeat {
     /// Neighbors currently suspected of having crashed.
     pub fn suspects(&self) -> &[NodeId] {
         &self.suspects
+    }
+
+    /// The last round `n` was heard in — always a real round number,
+    /// even if the run ended between a delivery and the next round tick.
+    pub fn last_heard(&self, n: NodeId) -> Option<u64> {
+        self.last_heard.get(&n).copied()
+    }
+
+    /// True if `n` has been heard since the last round tick.
+    pub fn heard_pending(&self, n: NodeId) -> bool {
+        self.heard_now.contains(&n)
     }
 }
 
@@ -59,21 +76,19 @@ impl Process for Heartbeat {
 
     fn on_message(&mut self, from: NodeId, msg: &Payload, ctx: &mut Ctx) {
         if matches!(msg, Payload::Uid(_)) {
-            // Stamp the *current* round: beats sent in round r-1 arrive in r;
-            // we only learn the round at the next on_round call, so store a
-            // monotone counter via charge-free bookkeeping below.
+            // Beats sent in round r-1 arrive in r, but the round number is
+            // only learned at the next on_round call — park the beat in an
+            // explicit heard-this-round set until then (a u64::MAX
+            // timestamp sentinel would leak if the run ended here).
             ctx.charge(1);
-            let e = self.last_heard.entry(from).or_insert(0);
-            *e = u64::MAX; // mark "heard since last round tick"
+            self.heard_now.insert(from);
         }
     }
 
     fn on_round(&mut self, round: u64, ctx: &mut Ctx) {
-        // Resolve the "heard this round" marks to this round's number.
-        for (_, v) in self.last_heard.iter_mut() {
-            if *v == u64::MAX {
-                *v = round;
-            }
+        // Resolve the "heard this round" set to this round's number.
+        for n in self.heard_now.drain() {
+            self.last_heard.insert(n, round);
         }
         // Suspect neighbors silent for more than `timeout` rounds.
         self.suspects = self
@@ -157,6 +172,52 @@ mod tests {
         let mut r = SyncRunner::new(topo, heartbeat_nodes(9, 1, 30));
         let stats = r.run(60);
         assert!(stats.outputs.iter().all(|o| *o == Some(0)));
+    }
+
+    #[test]
+    fn mid_round_beats_never_surface_as_bogus_timestamps() {
+        // Regression: beats received between round ticks used to be marked
+        // with a u64::MAX sentinel *inside* `last_heard`, which leaked as a
+        // nonsense timestamp whenever the state was read before the next
+        // on_round resolved it. The heard-this-round set keeps `last_heard`
+        // holding only real round numbers at every instant.
+        use crate::engine::{Ctx, RunStats};
+
+        let mut hb = Heartbeat::new(2, 10);
+        let neighbors = [1usize, 2];
+        let mut outbox = Vec::new();
+        let mut timers = Vec::new();
+        let mut stats = RunStats {
+            outputs: vec![None; 3],
+            per_node_sent: vec![0; 3],
+            ..RunStats::default()
+        };
+        let mut output = None;
+        let mut halted = false;
+
+        let mut ctx = Ctx::new(
+            0,
+            &neighbors,
+            &mut outbox,
+            &mut timers,
+            &mut stats,
+            &mut output,
+            &mut halted,
+        );
+        hb.on_start(&mut ctx);
+        hb.on_message(1, &Payload::Uid(1), &mut ctx);
+
+        // Observed between a delivery and the next round tick: the beat is
+        // pending, and the timestamp map still holds a real round number.
+        assert!(hb.heard_pending(1));
+        assert_eq!(hb.last_heard(1), Some(0), "no sentinel leaks");
+        assert_eq!(hb.last_heard(2), Some(0));
+
+        // The next round tick resolves the pending beat to its round.
+        hb.on_round(3, &mut ctx);
+        assert!(!hb.heard_pending(1));
+        assert_eq!(hb.last_heard(1), Some(3));
+        assert_eq!(hb.last_heard(2), Some(0), "silent neighbor unchanged");
     }
 
     #[test]

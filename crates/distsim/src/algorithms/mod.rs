@@ -7,6 +7,7 @@ mod asyncmax;
 mod bfs;
 mod echo;
 mod floodmax;
+mod ftfloodmax;
 mod heartbeat;
 mod hs;
 mod lcr;
@@ -15,11 +16,43 @@ pub use asyncmax::{asyncmax_nodes, AsyncMax};
 pub use bfs::{bfs_tree_nodes, BfsTree};
 pub use echo::{echo_nodes, Echo};
 pub use floodmax::{floodmax_nodes, FloodMax};
+pub use ftfloodmax::{ft_floodmax_nodes, FtFloodMax};
 pub use heartbeat::{heartbeat_nodes, Heartbeat};
 pub use hs::{hs_nodes, Hs};
 pub use lcr::{lcr_nodes, Lcr};
 
-use crate::engine::RunStats;
+use crate::channel::Reliable;
+use crate::engine::{Process, RunStats};
+use crate::topology::NodeId;
+
+/// Echo processes wrapped in the reliable channel ([`Reliable`]): the
+/// catalog's omission-tolerant broadcast. Same API as [`echo_nodes`] plus
+/// the channel's retransmission timeout and give-up bound.
+pub fn reliable_echo_nodes(
+    n: usize,
+    initiator: NodeId,
+    rto: u64,
+    max_attempts: u32,
+) -> Vec<Box<dyn Process>> {
+    (0..n)
+        .map(|i| {
+            Box::new(Reliable::new(Echo::new(i == initiator), rto, max_attempts))
+                as Box<dyn Process>
+        })
+        .collect()
+}
+
+/// LCR processes wrapped in the reliable channel: the catalog's
+/// omission-tolerant leader election. Runs over
+/// [`Topology::ring_bidirectional`] (candidates circulate on
+/// `neighbors[0]`, acknowledgments on the reverse links).
+///
+/// [`Topology::ring_bidirectional`]: crate::topology::Topology::ring_bidirectional
+pub fn reliable_lcr_nodes(uids: &[u64], rto: u64, max_attempts: u32) -> Vec<Box<dyn Process>> {
+    uids.iter()
+        .map(|&u| Box::new(Reliable::new(Lcr::new(u), rto, max_attempts)) as Box<dyn Process>)
+        .collect()
+}
 
 /// Extract the consensus decision if every deciding node agreed; `None` if
 /// nobody decided or the decisions conflict.

@@ -1,0 +1,321 @@
+//! Reliable delivery as a *generic channel concept*: sequence-numbered
+//! sends, acknowledgments, and timeout-driven retransmission with
+//! exponential backoff, packaged as a [`Reliable`] process wrapper.
+//!
+//! The paper's §4 taxonomy treats fault tolerance as an orthogonal
+//! dimension of distributed-algorithm concepts. This module makes that
+//! orthogonality *constructive*: any existing [`Process`] composes with
+//! the reliable channel unmodified — `Reliable::new(Lcr::new(uid), ...)`
+//! turns a loss-intolerant algorithm into one that terminates under
+//! omission failures, at a retransmission-inflated message cost the
+//! taxonomy records honestly.
+//!
+//! Mechanics: every application send is framed as [`Payload::Rel`] with a
+//! per-(sender, receiver) sequence number, and a retransmission timer is
+//! armed. The receiver always acknowledges ([`Payload::RelAck`]) and
+//! deduplicates by sequence number, so the wrapped process observes each
+//! application message exactly once, in spite of drops, duplicates, and
+//! retransmissions. Unacknowledged frames are resent with exponential
+//! backoff until `max_attempts`, which bounds the message overhead (and
+//! guarantees eventual quiescence) at the cost of a residual failure
+//! probability of `drop_rate^max_attempts` per message.
+//!
+//! Requirement: links must be bidirectional (acknowledgments travel the
+//! reverse direction), so e.g. LCR composes with [`Reliable`] over
+//! [`Topology::ring_bidirectional`] rather than the unidirectional ring.
+//!
+//! [`Topology::ring_bidirectional`]: crate::topology::Topology::ring_bidirectional
+
+use crate::engine::{Ctx, Payload, Process};
+use crate::topology::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// Wrapper timer tokens carry this flag; the wrapped process keeps the
+/// rest of the token space.
+const TOKEN_FLAG: u64 = 1 << 63;
+
+/// Backoff doubling is capped at `rto << MAX_BACKOFF_EXP`.
+const MAX_BACKOFF_EXP: u32 = 5;
+
+/// An unacknowledged frame awaiting retransmission.
+struct Pending {
+    to: NodeId,
+    seq: u64,
+    payload: Payload,
+    attempt: u32,
+}
+
+/// Reliable-channel wrapper: runs any [`Process`] over lossy/duplicating
+/// links by framing its sends with sequence numbers, acknowledging and
+/// deduplicating receipts, and retransmitting unacknowledged frames on a
+/// timeout with exponential backoff.
+pub struct Reliable<P> {
+    inner: P,
+    /// Base retransmission timeout (doubled per attempt, capped).
+    rto: u64,
+    /// Give-up bound on send attempts per frame.
+    max_attempts: u32,
+    /// Next stream sequence number per destination.
+    next_seq: HashMap<NodeId, u64>,
+    /// In-flight frames keyed by retransmission-timer token.
+    pending: HashMap<u64, Pending>,
+    /// (destination, stream seq) → timer token, for ack lookup.
+    by_stream: HashMap<(NodeId, u64), u64>,
+    /// Stream sequence numbers already delivered, per source.
+    seen: HashMap<NodeId, HashSet<u64>>,
+    next_token: u64,
+    /// The wrapped process halted; the wrapper halts once `pending`
+    /// drains, so final messages still reach their destinations.
+    inner_halted: bool,
+}
+
+impl<P: Process> Reliable<P> {
+    /// Wrap `inner` with a reliable channel: retransmit after `rto` time
+    /// units (doubling per attempt), giving up after `max_attempts` sends
+    /// of the same frame. `rto` should exceed one round trip (i.e. at
+    /// least `2 * max_delay` of the runner) to avoid spurious
+    /// retransmissions.
+    pub fn new(inner: P, rto: u64, max_attempts: u32) -> Self {
+        assert!(rto >= 1, "retransmission timeout must be at least 1");
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        Reliable {
+            inner,
+            rto,
+            max_attempts,
+            next_seq: HashMap::new(),
+            pending: HashMap::new(),
+            by_stream: HashMap::new(),
+            seen: HashMap::new(),
+            next_token: 0,
+            inner_halted: false,
+        }
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Run an inner-process step with interception: the wrapped process
+    /// sees the real context, but its sends are captured and re-issued
+    /// through the reliable channel, and its halt is deferred until every
+    /// pending frame is acknowledged or given up.
+    fn run_inner(&mut self, ctx: &mut Ctx, f: impl FnOnce(&mut P, &mut Ctx)) {
+        let mut sends: Vec<(NodeId, Payload, bool)> = Vec::new();
+        let mut timers: Vec<(u64, u64)> = Vec::new();
+        {
+            let mut sub = Ctx::new(
+                ctx.node,
+                ctx.neighbors,
+                &mut sends,
+                &mut timers,
+                ctx.stats,
+                ctx.output,
+                &mut self.inner_halted,
+            );
+            f(&mut self.inner, &mut sub);
+        }
+        for (delay, token) in timers {
+            assert!(
+                token & TOKEN_FLAG == 0,
+                "wrapped processes may not use the reserved timer-token high bit"
+            );
+            ctx.set_timer(delay, token);
+        }
+        for (to, pl, _retransmit) in sends {
+            self.send_reliable(to, pl, ctx);
+        }
+        self.settle(ctx);
+    }
+
+    /// Frame and send one application payload, arming its retransmission
+    /// timer.
+    fn send_reliable(&mut self, to: NodeId, payload: Payload, ctx: &mut Ctx) {
+        let seq_ref = self.next_seq.entry(to).or_insert(0);
+        let seq = *seq_ref;
+        *seq_ref += 1;
+        let token = TOKEN_FLAG | self.next_token;
+        self.next_token += 1;
+        self.pending.insert(
+            token,
+            Pending {
+                to,
+                seq,
+                payload: payload.clone(),
+                attempt: 1,
+            },
+        );
+        self.by_stream.insert((to, seq), token);
+        ctx.send(
+            to,
+            Payload::Rel {
+                seq,
+                inner: Box::new(payload),
+            },
+        );
+        ctx.set_timer(self.rto, token);
+    }
+
+    /// Propagate a deferred inner halt once nothing is left in flight.
+    fn settle(&mut self, ctx: &mut Ctx) {
+        if self.inner_halted && self.pending.is_empty() {
+            ctx.halt();
+        }
+    }
+}
+
+impl<P: Process> Process for Reliable<P> {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.run_inner(ctx, |p, c| p.on_start(c));
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &Payload, ctx: &mut Ctx) {
+        match msg {
+            Payload::RelAck { seq } => {
+                if let Some(token) = self.by_stream.remove(&(from, *seq)) {
+                    self.pending.remove(&token);
+                }
+                self.settle(ctx);
+            }
+            Payload::Rel { seq, inner } => {
+                // Always acknowledge — the first ack may have been lost.
+                ctx.send(from, Payload::RelAck { seq: *seq });
+                let fresh = self.seen.entry(from).or_default().insert(*seq);
+                if fresh && !self.inner_halted {
+                    ctx.note_app_delivery();
+                    let inner_pl = (**inner).clone();
+                    self.run_inner(ctx, |p, c| p.on_message(from, &inner_pl, c));
+                } else {
+                    self.settle(ctx);
+                }
+            }
+            other => {
+                // Unframed traffic (mixed deployments) passes straight
+                // through to the wrapped process.
+                ctx.note_app_delivery();
+                let pl = other.clone();
+                self.run_inner(ctx, |p, c| p.on_message(from, &pl, c));
+            }
+        }
+    }
+
+    fn on_round(&mut self, round: u64, ctx: &mut Ctx) {
+        self.run_inner(ctx, |p, c| p.on_round(round, c));
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        if token & TOKEN_FLAG == 0 {
+            self.run_inner(ctx, |p, c| p.on_timer(token, c));
+            return;
+        }
+        if let Some(p) = self.pending.get_mut(&token) {
+            if p.attempt >= self.max_attempts {
+                // Give up: unblock a deferred halt rather than retry
+                // forever (bounds messages and guarantees quiescence).
+                let p = self.pending.remove(&token).expect("present");
+                self.by_stream.remove(&(p.to, p.seq));
+            } else {
+                p.attempt += 1;
+                let backoff_exp = (p.attempt - 1).min(MAX_BACKOFF_EXP);
+                ctx.resend(
+                    p.to,
+                    Payload::Rel {
+                        seq: p.seq,
+                        inner: Box::new(p.payload.clone()),
+                    },
+                );
+                ctx.set_timer(self.rto << backoff_exp, token);
+            }
+        }
+        self.settle(ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx) {
+        // Pending timers died with the crash: re-arm every in-flight
+        // frame (sorted for determinism), then let the wrapped process
+        // react.
+        let mut tokens: Vec<u64> = self.pending.keys().copied().collect();
+        tokens.sort_unstable();
+        for token in tokens {
+            ctx.set_timer(self.rto, token);
+        }
+        self.run_inner(ctx, |p, c| p.on_recover(c));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::algorithms::{consensus, echo_nodes, reliable_echo_nodes, reliable_lcr_nodes};
+    use crate::engine::AsyncRunner;
+    use crate::topology::Topology;
+
+    #[test]
+    fn echo_terminates_under_heavy_loss() {
+        // The seed engine test proves raw echo stalls at drop 0.4; the
+        // reliable wrapper completes the very same deployment.
+        let topo = Topology::grid(4, 4);
+        let mut r = AsyncRunner::new(topo, reliable_echo_nodes(16, 0, 12, 30), 5, 42);
+        r.drop_messages(0.4);
+        let stats = r.run(5_000_000);
+        assert_eq!(stats.outputs[0], Some(1), "initiator detects termination");
+        assert_eq!(
+            stats.outputs.iter().filter(|o| o.is_some()).count(),
+            16,
+            "every node completes"
+        );
+        assert!(stats.retransmits > 0, "loss forces retransmission");
+        assert!(stats.app_messages > 0);
+    }
+
+    #[test]
+    fn lcr_elects_under_loss_on_the_bidirectional_ring() {
+        let uids: Vec<u64> = (1..=12).map(|k| k * 3 % 13).collect();
+        let max = *uids.iter().max().unwrap();
+        let mut r = AsyncRunner::new(
+            Topology::ring_bidirectional(12),
+            reliable_lcr_nodes(&uids, 12, 30),
+            5,
+            7,
+        );
+        r.drop_messages(0.3);
+        let stats = r.run(5_000_000);
+        assert_eq!(consensus(&stats), Some(max));
+    }
+
+    #[test]
+    fn no_loss_means_no_retransmissions() {
+        let topo = Topology::grid(3, 3);
+        let mut r = AsyncRunner::new(topo, reliable_echo_nodes(9, 0, 12, 20), 5, 3);
+        let stats = r.run(1_000_000);
+        assert_eq!(stats.retransmits, 0, "rto > 2·max_delay: acks win the race");
+        assert_eq!(stats.outputs[0], Some(1));
+    }
+
+    #[test]
+    fn app_level_delivery_matches_the_raw_channel() {
+        // Echo's application-message count is schedule-independent:
+        // exactly 2·|E| tokens. The wrapper must deliver the same.
+        let topo = Topology::random_connected(20, 15, 4);
+        let edges = topo.directed_edge_count() as u64;
+        let raw = AsyncRunner::new(topo.clone(), echo_nodes(20, 0), 5, 9).run(1_000_000);
+        assert_eq!(raw.messages, edges);
+        let rel = AsyncRunner::new(topo, reliable_echo_nodes(20, 0, 12, 20), 5, 9).run(1_000_000);
+        assert_eq!(rel.app_messages, edges, "same app messages, framed");
+        assert!(rel.messages > edges, "framing adds acks on the wire");
+    }
+
+    #[test]
+    fn duplicating_network_delivers_each_app_message_once() {
+        let topo = Topology::grid(4, 4);
+        let edges = topo.directed_edge_count() as u64;
+        let mut r = AsyncRunner::new(topo, reliable_echo_nodes(16, 0, 12, 20), 5, 21);
+        r.duplicate_messages(0.5);
+        let stats = r.run(5_000_000);
+        assert!(stats.duplicated > 0, "duplicates were injected");
+        assert_eq!(
+            stats.app_messages, edges,
+            "sequence numbers dedup the duplicates"
+        );
+        assert_eq!(stats.outputs[0], Some(1));
+    }
+}

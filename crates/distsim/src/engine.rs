@@ -1,5 +1,7 @@
 //! Execution engines: synchronous rounds and asynchronous event queue,
-//! with crash-failure injection and full metric accounting.
+//! with fault injection (omission, duplication, crash-stop and
+//! crash-recovery), timer events, a structured event trace, and full
+//! metric accounting.
 
 use crate::topology::{NodeId, Topology};
 use rand::rngs::StdRng;
@@ -29,14 +31,35 @@ pub enum Payload {
     Token,
     /// BFS level announcement.
     Level(u32),
+    /// Reliable-channel data frame: a sequence-numbered application
+    /// payload (see [`crate::channel::Reliable`]).
+    Rel {
+        /// Per-(sender, receiver) stream sequence number.
+        seq: u64,
+        /// The wrapped application payload.
+        inner: Box<Payload>,
+    },
+    /// Reliable-channel acknowledgment for stream sequence number `seq`.
+    RelAck {
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
 }
 
-/// Per-run metrics: the three performance dimensions of the taxonomy.
+/// Per-run metrics: the three performance dimensions of the taxonomy,
+/// plus fault-layer accounting. The message counters obey a conservation
+/// law per run:
+///
+/// ```text
+/// per_node_sent.sum() + duplicated
+///     == messages + dropped + lost_to_crash + undelivered
+/// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Total messages delivered.
     pub messages: u64,
     /// Rounds (synchronous) or virtual completion time (asynchronous).
+    /// Only events actually processed at a live node advance this clock.
     pub time: u64,
     /// Total local computation steps charged via [`Ctx::charge`] — the
     /// metric the paper notes is "rarely accounted for".
@@ -45,6 +68,23 @@ pub struct RunStats {
     pub outputs: Vec<Option<u64>>,
     /// Per-node message counts (sent).
     pub per_node_sent: Vec<u64>,
+    /// Messages lost to injected omission failures.
+    pub dropped: u64,
+    /// Extra copies injected by duplication failures.
+    pub duplicated: u64,
+    /// Sends flagged as retransmissions via [`Ctx::resend`] (these also
+    /// count in `per_node_sent`).
+    pub retransmits: u64,
+    /// Application-level deliveries recorded by channel wrappers via
+    /// [`Ctx::note_app_delivery`] (zero for unwrapped processes).
+    pub app_messages: u64,
+    /// Messages discarded because the receiver had crashed or halted.
+    pub lost_to_crash: u64,
+    /// Messages still in flight when the run ended (quiescence leaves
+    /// this at zero; an exhausted event budget does not).
+    pub undelivered: u64,
+    /// Timer events fired at live nodes.
+    pub timer_events: u64,
 }
 
 impl RunStats {
@@ -52,6 +92,172 @@ impl RunStats {
     pub fn deciders_of(&self, v: u64) -> usize {
         self.outputs.iter().filter(|o| **o == Some(v)).count()
     }
+
+    /// Total application-level sends across nodes.
+    pub fn sent_total(&self) -> u64 {
+        self.per_node_sent.iter().sum()
+    }
+
+    /// True if the message conservation law holds (every send is accounted
+    /// for as delivered, dropped, lost at a dead receiver, or in flight).
+    pub fn conserves_messages(&self) -> bool {
+        self.sent_total() + self.duplicated
+            == self.messages + self.dropped + self.lost_to_crash + self.undelivered
+    }
+}
+
+/// One record in the structured event trace ([`AsyncRunner::record_trace`]).
+/// `seq` is the engine-assigned id correlating a send with its later
+/// delivery / drop / loss.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A first-time application send at virtual time `t`.
+    Send {
+        /// Send time.
+        t: u64,
+        /// Engine message id.
+        seq: u64,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// A send flagged as a retransmission ([`Ctx::resend`]).
+    Retransmit {
+        /// Send time.
+        t: u64,
+        /// Engine message id.
+        seq: u64,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// The message was dropped by injected omission failure.
+    Drop {
+        /// Send time (the message never entered the network).
+        t: u64,
+        /// Engine message id.
+        seq: u64,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// An injected duplicate copy of message `of_seq` was created.
+    Duplicate {
+        /// Send time of the original.
+        t: u64,
+        /// Engine message id of the extra copy.
+        seq: u64,
+        /// Id of the duplicated original.
+        of_seq: u64,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// The message was delivered.
+    Deliver {
+        /// Delivery time.
+        t: u64,
+        /// Engine message id.
+        seq: u64,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// The message arrived at a crashed or halted receiver and was lost.
+    Lost {
+        /// Arrival time.
+        t: u64,
+        /// Engine message id.
+        seq: u64,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// A node crash-stopped.
+    Crash {
+        /// Crash time.
+        t: u64,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node recovered.
+    Recover {
+        /// Recovery time.
+        t: u64,
+        /// The recovered node.
+        node: NodeId,
+    },
+    /// A timer fired at a live node.
+    Timer {
+        /// Firing time.
+        t: u64,
+        /// The node whose timer fired.
+        node: NodeId,
+        /// The token passed to [`Ctx::set_timer`].
+        token: u64,
+    },
+}
+
+impl TraceEvent {
+    fn json_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        let msg = |out: &mut String, kind: &str, t: u64, seq: u64, from: NodeId, to: NodeId| {
+            let _ = write!(
+                out,
+                r#"{{"kind":"{kind}","t":{t},"seq":{seq},"from":{from},"to":{to}}}"#
+            );
+        };
+        match *self {
+            TraceEvent::Send { t, seq, from, to } => msg(out, "send", t, seq, from, to),
+            TraceEvent::Retransmit { t, seq, from, to } => msg(out, "retransmit", t, seq, from, to),
+            TraceEvent::Drop { t, seq, from, to } => msg(out, "drop", t, seq, from, to),
+            TraceEvent::Duplicate {
+                t,
+                seq,
+                of_seq,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"duplicate","t":{t},"seq":{seq},"of_seq":{of_seq},"from":{from},"to":{to}}}"#
+                );
+            }
+            TraceEvent::Deliver { t, seq, from, to } => msg(out, "deliver", t, seq, from, to),
+            TraceEvent::Lost { t, seq, from, to } => msg(out, "lost", t, seq, from, to),
+            TraceEvent::Crash { t, node } => {
+                let _ = write!(out, r#"{{"kind":"crash","t":{t},"node":{node}}}"#);
+            }
+            TraceEvent::Recover { t, node } => {
+                let _ = write!(out, r#"{{"kind":"recover","t":{t},"node":{node}}}"#);
+            }
+            TraceEvent::Timer { t, node, token } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"timer","t":{t},"node":{node},"token":{token}}}"#
+                );
+            }
+        }
+    }
+}
+
+/// Render a trace as a JSON array (one object per event, in order).
+pub fn trace_json(trace: &[TraceEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, ev) in trace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        ev.json_into(&mut out);
+    }
+    out.push(']');
+    out
 }
 
 /// The API a process sees during a step.
@@ -60,13 +266,34 @@ pub struct Ctx<'a> {
     pub node: NodeId,
     /// This node's out-neighbors.
     pub neighbors: &'a [NodeId],
-    outbox: &'a mut Vec<(NodeId, Payload)>,
-    local_steps: &'a mut u64,
-    output: &'a mut Option<u64>,
-    halted: &'a mut bool,
+    pub(crate) outbox: &'a mut Vec<(NodeId, Payload, bool)>,
+    pub(crate) timers: &'a mut Vec<(u64, u64)>,
+    pub(crate) stats: &'a mut RunStats,
+    pub(crate) output: &'a mut Option<u64>,
+    pub(crate) halted: &'a mut bool,
 }
 
-impl Ctx<'_> {
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(
+        node: NodeId,
+        neighbors: &'a [NodeId],
+        outbox: &'a mut Vec<(NodeId, Payload, bool)>,
+        timers: &'a mut Vec<(u64, u64)>,
+        stats: &'a mut RunStats,
+        output: &'a mut Option<u64>,
+        halted: &'a mut bool,
+    ) -> Self {
+        Ctx {
+            node,
+            neighbors,
+            outbox,
+            timers,
+            stats,
+            output,
+            halted,
+        }
+    }
+
     /// Send a message to a neighbor.
     pub fn send(&mut self, to: NodeId, payload: Payload) {
         debug_assert!(
@@ -75,20 +302,49 @@ impl Ctx<'_> {
             self.node,
             to
         );
-        self.outbox.push((to, payload));
+        self.outbox.push((to, payload, false));
     }
 
     /// Send to every neighbor.
     pub fn send_all(&mut self, payload: Payload) {
         for &n in self.neighbors {
-            self.outbox.push((n, payload.clone()));
+            self.outbox.push((n, payload.clone(), false));
         }
+    }
+
+    /// Send a message flagged as a retransmission: counted in
+    /// [`RunStats::retransmits`] and traced as such, but otherwise an
+    /// ordinary send.
+    pub fn resend(&mut self, to: NodeId, payload: Payload) {
+        debug_assert!(
+            self.neighbors.contains(&to),
+            "node {} has no link to {}",
+            self.node,
+            to
+        );
+        self.outbox.push((to, payload, true));
+    }
+
+    /// Schedule [`Process::on_timer`] with `token` after `delay` time units
+    /// (asynchronous model) or rounds (synchronous model). Timers are
+    /// local: they are never dropped, duplicated, or counted as messages —
+    /// but a timer firing at a crashed or halted node is discarded.
+    pub fn set_timer(&mut self, delay: u64, token: u64) {
+        assert!(delay >= 1, "timer delay must be at least 1");
+        self.timers.push((delay, token));
     }
 
     /// Charge `n` units of local computation (taxonomy performance
     /// accounting).
     pub fn charge(&mut self, n: u64) {
-        *self.local_steps += n;
+        self.stats.local_steps += n;
+    }
+
+    /// Record one application-level delivery (used by channel wrappers
+    /// such as [`crate::channel::Reliable`] to expose how many messages
+    /// the wrapped process actually observed).
+    pub fn note_app_delivery(&mut self) {
+        self.stats.app_messages += 1;
     }
 
     /// Record this node's decision.
@@ -112,6 +368,14 @@ pub trait Process {
 
     /// Synchronous model only: called once per round after deliveries.
     fn on_round(&mut self, _round: u64, _ctx: &mut Ctx) {}
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
+
+    /// Called when this node recovers from a crash
+    /// ([`AsyncRunner::recover`]). State survives the crash (stable
+    /// storage semantics); pending timers do not — re-arm them here.
+    fn on_recover(&mut self, _ctx: &mut Ctx) {}
 }
 
 struct NodeState {
@@ -121,27 +385,37 @@ struct NodeState {
     crashed: bool,
 }
 
+/// Sends and timers produced by one process step.
+#[derive(Default)]
+struct StepOut {
+    /// (to, payload, is_retransmit)
+    sends: Vec<(NodeId, Payload, bool)>,
+    /// (delay, token)
+    timers: Vec<(u64, u64)>,
+}
+
 fn run_step(
     node: NodeId,
     topo: &Topology,
     st: &mut NodeState,
-    stats_local: &mut u64,
+    stats: &mut RunStats,
     f: impl FnOnce(&mut dyn Process, &mut Ctx),
-) -> Vec<(NodeId, Payload)> {
-    let mut outbox = Vec::new();
+) -> StepOut {
+    let mut out = StepOut::default();
     if st.crashed || st.halted {
-        return outbox;
+        return out;
     }
-    let mut ctx = Ctx {
+    let mut ctx = Ctx::new(
         node,
-        neighbors: topo.neighbors(node),
-        outbox: &mut outbox,
-        local_steps: stats_local,
-        output: &mut st.output,
-        halted: &mut st.halted,
-    };
+        topo.neighbors(node),
+        &mut out.sends,
+        &mut out.timers,
+        stats,
+        &mut st.output,
+        &mut st.halted,
+    );
     f(st.proc.as_mut(), &mut ctx);
-    outbox
+    out
 }
 
 /// Synchronous executor: all messages sent in round `r` are delivered at
@@ -151,6 +425,10 @@ pub struct SyncRunner {
     nodes: Vec<NodeState>,
     /// Nodes crashing at the start of the given round.
     crash_at: HashMap<NodeId, u64>,
+    /// If set, silence (a round with no deliveries) is not quiescence:
+    /// the run only ends when every node has halted or crashed (or
+    /// `max_rounds` is hit).
+    run_to_halt: bool,
 }
 
 impl SyncRunner {
@@ -169,6 +447,7 @@ impl SyncRunner {
                 })
                 .collect(),
             crash_at: HashMap::new(),
+            run_to_halt: false,
         }
     }
 
@@ -178,8 +457,18 @@ impl SyncRunner {
         self
     }
 
-    /// Run until quiescence (no messages in flight and every node halted or
-    /// idle) or `max_rounds`.
+    /// Require explicit termination: keep running rounds (up to the
+    /// `max_rounds` cap) until every node has halted or crashed, even
+    /// through rounds of total silence. Without this, a round with no
+    /// deliveries and nothing in flight ends the run — which silently
+    /// starves algorithms that rely only on `on_round` or timers.
+    pub fn require_halt(&mut self) -> &mut Self {
+        self.run_to_halt = true;
+        self
+    }
+
+    /// Run until quiescence (no messages in flight, no pending timers, and
+    /// every node halted or idle) or `max_rounds`.
     pub fn run(&mut self, max_rounds: u64) -> RunStats {
         let n = self.topo.len();
         let mut stats = RunStats {
@@ -189,20 +478,37 @@ impl SyncRunner {
         };
         // In-flight: messages to deliver next round, as (from, to, payload).
         let mut inflight: Vec<(NodeId, NodeId, Payload)> = Vec::new();
+        // Pending timers per node: (fire_round, token), insertion-ordered.
+        let mut timers: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+
+        fn absorb(
+            v: NodeId,
+            out: StepOut,
+            now: u64,
+            stats: &mut RunStats,
+            inflight: &mut Vec<(NodeId, NodeId, Payload)>,
+            timers: &mut [Vec<(u64, u64)>],
+        ) {
+            stats.per_node_sent[v] += out.sends.len() as u64;
+            for (to, pl, retransmit) in out.sends {
+                if retransmit {
+                    stats.retransmits += 1;
+                }
+                inflight.push((v, to, pl));
+            }
+            for (delay, token) in out.timers {
+                timers[v].push((now + delay, token));
+            }
+        }
 
         for v in 0..n {
             if self.crash_at.get(&v) == Some(&0) {
                 self.nodes[v].crashed = true;
             }
-            let out = run_step(
-                v,
-                &self.topo,
-                &mut self.nodes[v],
-                &mut stats.local_steps,
-                |p, c| p.on_start(c),
-            );
-            stats.per_node_sent[v] += out.len() as u64;
-            inflight.extend(out.into_iter().map(|(to, pl)| (v, to, pl)));
+            let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats, |p, c| {
+                p.on_start(c)
+            });
+            absorb(v, out, 0, &mut stats, &mut inflight, &mut timers);
         }
 
         let mut round = 1u64;
@@ -216,39 +522,63 @@ impl SyncRunner {
             let had_messages = !delivering.is_empty();
             for (from, to, payload) in delivering {
                 if self.nodes[to].crashed || self.nodes[to].halted {
+                    stats.lost_to_crash += 1;
                     continue;
                 }
                 stats.messages += 1;
-                let out = run_step(
-                    to,
-                    &self.topo,
-                    &mut self.nodes[to],
-                    &mut stats.local_steps,
-                    |p, c| p.on_message(from, &payload, c),
-                );
-                stats.per_node_sent[to] += out.len() as u64;
-                inflight.extend(out.into_iter().map(|(t, pl)| (to, t, pl)));
+                let out = run_step(to, &self.topo, &mut self.nodes[to], &mut stats, |p, c| {
+                    p.on_message(from, &payload, c)
+                });
+                absorb(to, out, round, &mut stats, &mut inflight, &mut timers);
+            }
+            // Fire due timers at live nodes.
+            for v in 0..n {
+                let due: Vec<u64> = {
+                    let q = &mut timers[v];
+                    let mut due = Vec::new();
+                    q.retain(|&(fire, token)| {
+                        if fire <= round {
+                            due.push(token);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    due
+                };
+                for token in due {
+                    if self.nodes[v].crashed || self.nodes[v].halted {
+                        continue;
+                    }
+                    stats.timer_events += 1;
+                    let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats, |p, c| {
+                        p.on_timer(token, c)
+                    });
+                    absorb(v, out, round, &mut stats, &mut inflight, &mut timers);
+                }
             }
             // Round tick for every live node.
             for v in 0..n {
-                let out = run_step(
-                    v,
-                    &self.topo,
-                    &mut self.nodes[v],
-                    &mut stats.local_steps,
-                    |p, c| p.on_round(round, c),
-                );
-                stats.per_node_sent[v] += out.len() as u64;
-                inflight.extend(out.into_iter().map(|(to, pl)| (v, to, pl)));
+                let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats, |p, c| {
+                    p.on_round(round, c)
+                });
+                absorb(v, out, round, &mut stats, &mut inflight, &mut timers);
             }
             stats.time = round;
             let all_done = self.nodes.iter().all(|s| s.halted || s.crashed);
-            if inflight.is_empty() && (all_done || !had_messages) {
+            let timers_pending = self
+                .nodes
+                .iter()
+                .enumerate()
+                .any(|(v, s)| !s.halted && !s.crashed && !timers[v].is_empty());
+            let silent_quiescence = !self.run_to_halt && !had_messages;
+            if inflight.is_empty() && !timers_pending && (all_done || silent_quiescence) {
                 break;
             }
             round += 1;
         }
 
+        stats.undelivered = inflight.len() as u64;
         for (v, node) in self.nodes.iter().enumerate() {
             stats.outputs[v] = node.output;
         }
@@ -256,19 +586,127 @@ impl SyncRunner {
     }
 }
 
+// Event kinds in the asynchronous queue, ordered within a timestamp by
+// their global sequence number (control events are enqueued first).
+const EV_CRASH: u8 = 0;
+const EV_RECOVER: u8 = 1;
+const EV_MSG: u8 = 2;
+const EV_TIMER: u8 = 3;
+
 /// Asynchronous executor: each message suffers a random delay in
 /// `1..=max_delay`, drawn from a seeded RNG (taxonomy timing dimension:
 /// *asynchronous*, reproducible per seed).
+///
+/// Fault injection (all drawn from the same seeded RNG, so runs stay
+/// deterministic): per-message omission ([`drop_messages`]), per-message
+/// duplication ([`duplicate_messages`]), crash-stop ([`crash`]) and
+/// crash-recovery ([`recover`]).
+///
+/// [`drop_messages`]: AsyncRunner::drop_messages
+/// [`duplicate_messages`]: AsyncRunner::duplicate_messages
+/// [`crash`]: AsyncRunner::crash
+/// [`recover`]: AsyncRunner::recover
 pub struct AsyncRunner {
     topo: Topology,
     nodes: Vec<NodeState>,
     crash_at: HashMap<NodeId, u64>,
+    recover_at: HashMap<NodeId, u64>,
     max_delay: u64,
     seed: u64,
     /// Per-message omission probability in [0, 1] (taxonomy fault
-    /// dimension: *omission failures*). Drawn from the same seeded RNG, so
-    /// lossy runs stay reproducible.
+    /// dimension: *omission failures*).
     drop_rate: f64,
+    /// Per-message duplication probability in [0, 1].
+    dup_rate: f64,
+    tracing: bool,
+    trace: Vec<TraceEvent>,
+}
+
+// One queued event: (delivery_time, global_seq, kind, a, b, key). For
+// EV_MSG `a`/`b` are from/to and `key` indexes `payloads`; for EV_TIMER
+// `a` is the node and `key` the token; for crash/recover `a` is the node.
+type QueuedEvent = (u64, u64, u8, NodeId, NodeId, u64);
+
+// Carries the network-level state of one asynchronous run.
+struct NetState {
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    payloads: HashMap<u64, Payload>,
+    seq: u64,
+    rng: StdRng,
+    max_delay: u64,
+    drop_rate: f64,
+    dup_rate: f64,
+    tracing: bool,
+    trace: Vec<TraceEvent>,
+}
+
+impl NetState {
+    fn trace(&mut self, ev: TraceEvent) {
+        if self.tracing {
+            self.trace.push(ev);
+        }
+    }
+
+    // Absorb one step's sends and timers into the event queue, applying
+    // omission and duplication faults to the sends.
+    fn absorb(&mut self, now: u64, from: NodeId, out: StepOut, stats: &mut RunStats) {
+        stats.per_node_sent[from] += out.sends.len() as u64;
+        for (to, pl, retransmit) in out.sends {
+            let seq = self.seq;
+            self.seq += 1;
+            if retransmit {
+                stats.retransmits += 1;
+                self.trace(TraceEvent::Retransmit {
+                    t: now,
+                    seq,
+                    from,
+                    to,
+                });
+            } else {
+                self.trace(TraceEvent::Send {
+                    t: now,
+                    seq,
+                    from,
+                    to,
+                });
+            }
+            if self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate) {
+                stats.dropped += 1;
+                self.trace(TraceEvent::Drop {
+                    t: now,
+                    seq,
+                    from,
+                    to,
+                });
+                continue; // omission failure: the message never arrives
+            }
+            let t = now + self.rng.gen_range(1..=self.max_delay);
+            self.payloads.insert(seq, pl.clone());
+            self.queue.push(Reverse((t, seq, EV_MSG, from, to, seq)));
+            if self.dup_rate > 0.0 && self.rng.gen_bool(self.dup_rate) {
+                let dup_seq = self.seq;
+                self.seq += 1;
+                stats.duplicated += 1;
+                self.trace(TraceEvent::Duplicate {
+                    t: now,
+                    seq: dup_seq,
+                    of_seq: seq,
+                    from,
+                    to,
+                });
+                let t2 = now + self.rng.gen_range(1..=self.max_delay);
+                self.payloads.insert(dup_seq, pl);
+                self.queue
+                    .push(Reverse((t2, dup_seq, EV_MSG, from, to, dup_seq)));
+            }
+        }
+        for (delay, token) in out.timers {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue
+                .push(Reverse((now + delay, seq, EV_TIMER, from, from, token)));
+        }
+    }
 }
 
 impl AsyncRunner {
@@ -288,15 +726,35 @@ impl AsyncRunner {
                 })
                 .collect(),
             crash_at: HashMap::new(),
+            recover_at: HashMap::new(),
             max_delay,
             seed,
             drop_rate: 0.0,
+            dup_rate: 0.0,
+            tracing: false,
+            trace: Vec::new(),
         }
     }
 
     /// Schedule a crash at virtual time `t`.
     pub fn crash(&mut self, node: NodeId, t: u64) -> &mut Self {
         self.crash_at.insert(node, t);
+        self
+    }
+
+    /// Schedule a recovery: the node, crashed earlier via [`crash`], comes
+    /// back at virtual time `t` with its state intact (stable-storage
+    /// semantics) and gets an [`Process::on_recover`] callback. Messages
+    /// that arrived during the outage are lost; so are pending timers.
+    ///
+    /// [`crash`]: AsyncRunner::crash
+    pub fn recover(&mut self, node: NodeId, t: u64) -> &mut Self {
+        let ct = *self
+            .crash_at
+            .get(&node)
+            .expect("recover(node, t) needs a crash scheduled for the node first");
+        assert!(t > ct, "recovery must come after the crash (crash at {ct})");
+        self.recover_at.insert(node, t);
         self
     }
 
@@ -308,97 +766,170 @@ impl AsyncRunner {
         self
     }
 
-    /// Run to quiescence (empty event queue) or `max_events`.
+    /// Inject duplication failures: each (non-dropped) message spawns one
+    /// extra copy with the given probability, delivered with its own
+    /// independent delay.
+    pub fn duplicate_messages(&mut self, rate: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.dup_rate = rate;
+        self
+    }
+
+    /// Record a structured event trace during [`run`], retrievable via
+    /// [`trace`] / [`trace_json`].
+    ///
+    /// [`run`]: AsyncRunner::run
+    /// [`trace`]: AsyncRunner::trace
+    /// [`trace_json`]: AsyncRunner::trace_json
+    pub fn record_trace(&mut self) -> &mut Self {
+        self.tracing = true;
+        self
+    }
+
+    /// The structured event trace of the last [`run`] (empty unless
+    /// [`record_trace`] was called).
+    ///
+    /// [`run`]: AsyncRunner::run
+    /// [`record_trace`]: AsyncRunner::record_trace
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// The last run's trace rendered as a JSON array.
+    pub fn trace_json(&self) -> String {
+        trace_json(&self.trace)
+    }
+
+    /// Run to quiescence (empty event queue) or until `max_events`
+    /// deliveries/timer firings have been processed. The budget is checked
+    /// *before* an event is taken, so an exhausted budget leaves every
+    /// unprocessed message in flight (counted in
+    /// [`RunStats::undelivered`]) rather than silently discarding one.
     pub fn run(&mut self, max_events: u64) -> RunStats {
         let n = self.topo.len();
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let mut stats = RunStats {
             outputs: vec![None; n],
             per_node_sent: vec![0; n],
             ..RunStats::default()
         };
-        // (delivery_time, sequence, from, to, payload); sequence breaks ties
-        // deterministically.
-        type EventQueue = BinaryHeap<Reverse<(u64, u64, NodeId, NodeId, PayloadKey)>>;
-        let mut queue: EventQueue = BinaryHeap::new();
-        let mut payloads: HashMap<u64, Payload> = HashMap::new();
-        let mut seq = 0u64;
-
-        let drop_rate = self.drop_rate;
-        let enqueue = |queue: &mut BinaryHeap<_>,
-                       payloads: &mut HashMap<u64, Payload>,
-                       rng: &mut StdRng,
-                       seq: &mut u64,
-                       now: u64,
-                       from: NodeId,
-                       to: NodeId,
-                       pl: Payload| {
-            if drop_rate > 0.0 && rng.gen_bool(drop_rate) {
-                return; // omission failure: the message never arrives
-            }
-            let t = now + rng.gen_range(1..=self.max_delay);
-            payloads.insert(*seq, pl);
-            queue.push(Reverse((t, *seq, from, to, PayloadKey(*seq))));
-            *seq += 1;
+        let mut net = NetState {
+            queue: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(self.seed),
+            max_delay: self.max_delay,
+            drop_rate: self.drop_rate,
+            dup_rate: self.dup_rate,
+            tracing: self.tracing,
+            trace: Vec::new(),
         };
+
+        // Control events first (in node order, for determinism): their
+        // sequence numbers precede every message's, so at equal timestamps
+        // a crash/recovery takes effect before deliveries.
+        for v in 0..n {
+            if let Some(&ct) = self.crash_at.get(&v) {
+                let seq = net.seq;
+                net.seq += 1;
+                net.queue.push(Reverse((ct, seq, EV_CRASH, v, v, 0)));
+            }
+            if let Some(&rt) = self.recover_at.get(&v) {
+                let seq = net.seq;
+                net.seq += 1;
+                net.queue.push(Reverse((rt, seq, EV_RECOVER, v, v, 0)));
+            }
+        }
 
         for v in 0..n {
             if self.crash_at.get(&v) == Some(&0) {
                 self.nodes[v].crashed = true;
             }
-            let out = run_step(
-                v,
-                &self.topo,
-                &mut self.nodes[v],
-                &mut stats.local_steps,
-                |p, c| p.on_start(c),
-            );
-            stats.per_node_sent[v] += out.len() as u64;
-            for (to, pl) in out {
-                enqueue(&mut queue, &mut payloads, &mut rng, &mut seq, 0, v, to, pl);
-            }
+            let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats, |p, c| {
+                p.on_start(c)
+            });
+            net.absorb(0, v, out, &mut stats);
         }
 
-        let mut delivered = 0u64;
-        while let Some(Reverse((t, key, from, to, _))) = queue.pop() {
-            if delivered >= max_events {
+        let mut processed = 0u64;
+        loop {
+            if processed >= max_events {
                 break;
             }
-            let payload = payloads.remove(&key).expect("payload stored");
-            stats.time = stats.time.max(t);
-            if let Some(&ct) = self.crash_at.get(&to) {
-                if t >= ct {
-                    self.nodes[to].crashed = true;
+            let Some(Reverse((t, _s, kind, a, b, key))) = net.queue.pop() else {
+                break;
+            };
+            match kind {
+                EV_CRASH => {
+                    self.nodes[a].crashed = true;
+                    net.trace(TraceEvent::Crash { t, node: a });
                 }
-            }
-            if self.nodes[to].crashed || self.nodes[to].halted {
-                continue;
-            }
-            stats.messages += 1;
-            delivered += 1;
-            let out = run_step(
-                to,
-                &self.topo,
-                &mut self.nodes[to],
-                &mut stats.local_steps,
-                |p, c| p.on_message(from, &payload, c),
-            );
-            stats.per_node_sent[to] += out.len() as u64;
-            for (t2, pl) in out {
-                enqueue(&mut queue, &mut payloads, &mut rng, &mut seq, t, to, t2, pl);
+                EV_RECOVER => {
+                    self.nodes[a].crashed = false;
+                    net.trace(TraceEvent::Recover { t, node: a });
+                    let out = run_step(a, &self.topo, &mut self.nodes[a], &mut stats, |p, c| {
+                        p.on_recover(c)
+                    });
+                    net.absorb(t, a, out, &mut stats);
+                }
+                EV_MSG => {
+                    let payload = net.payloads.remove(&key).expect("payload stored");
+                    if self.nodes[b].crashed || self.nodes[b].halted {
+                        stats.lost_to_crash += 1;
+                        net.trace(TraceEvent::Lost {
+                            t,
+                            seq: key,
+                            from: a,
+                            to: b,
+                        });
+                        continue;
+                    }
+                    stats.messages += 1;
+                    stats.time = stats.time.max(t);
+                    processed += 1;
+                    net.trace(TraceEvent::Deliver {
+                        t,
+                        seq: key,
+                        from: a,
+                        to: b,
+                    });
+                    let out = run_step(b, &self.topo, &mut self.nodes[b], &mut stats, |p, c| {
+                        p.on_message(a, &payload, c)
+                    });
+                    net.absorb(t, b, out, &mut stats);
+                }
+                EV_TIMER => {
+                    if self.nodes[a].crashed || self.nodes[a].halted {
+                        continue;
+                    }
+                    stats.timer_events += 1;
+                    stats.time = stats.time.max(t);
+                    processed += 1;
+                    net.trace(TraceEvent::Timer {
+                        t,
+                        node: a,
+                        token: key,
+                    });
+                    let out = run_step(a, &self.topo, &mut self.nodes[a], &mut stats, |p, c| {
+                        p.on_timer(key, c)
+                    });
+                    net.absorb(t, a, out, &mut stats);
+                }
+                _ => unreachable!("unknown event kind"),
             }
         }
 
+        stats.undelivered = net
+            .queue
+            .iter()
+            .filter(|Reverse((_, _, kind, ..))| *kind == EV_MSG)
+            .count() as u64;
+        self.trace = net.trace;
         for (v, node) in self.nodes.iter().enumerate() {
             stats.outputs[v] = node.output;
         }
         stats
     }
 }
-
-/// Opaque payload key for heap ordering (payload itself is not `Ord`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct PayloadKey(u64);
 
 #[cfg(test)]
 mod tests {
@@ -512,8 +1043,9 @@ mod tests {
     fn omission_failures_are_injected_deterministically() {
         use crate::algorithms::{echo_nodes, lcr_nodes};
         // Lossless echo completes; a lossy network loses termination
-        // detection — none of the catalog algorithms tolerate omission,
-        // exactly as their taxonomy classification (Fault::None) states.
+        // detection — none of the seed catalog algorithms tolerate
+        // omission, exactly as their taxonomy classification (Fault::None)
+        // states. (The reliable-channel wrappers exist for this reason.)
         let topo = Topology::grid(4, 4);
         let run = |rate: f64| {
             let mut r = AsyncRunner::new(topo.clone(), echo_nodes(16, 0), 5, 42);
@@ -540,5 +1072,250 @@ mod tests {
     fn drop_rate_is_validated() {
         let mut r = AsyncRunner::new(Topology::complete(2), gossip_nodes(2), 1, 0);
         r.drop_messages(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn dup_rate_is_validated() {
+        let mut r = AsyncRunner::new(Topology::complete(2), gossip_nodes(2), 1, 0);
+        r.duplicate_messages(-0.1);
+    }
+
+    /// A sends `count` tokens to B at start; B halts on the first receipt.
+    struct Spray {
+        count: usize,
+    }
+    impl Process for Spray {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            if ctx.node == 0 {
+                for _ in 0..self.count {
+                    ctx.send(1, Payload::Token);
+                }
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, _m: &Payload, ctx: &mut Ctx) {
+            ctx.decide(1);
+            ctx.halt();
+        }
+    }
+
+    /// Regression (bug 1): completion time must reflect only *delivered*
+    /// messages. A message bound for a node that crashed before its
+    /// arrival must not inflate `stats.time`.
+    #[test]
+    fn time_is_not_inflated_by_undeliverable_messages() {
+        let topo = Topology::from_lists("pair", vec![vec![1], vec![0]]);
+        let procs: Vec<Box<dyn Process>> =
+            vec![Box::new(Spray { count: 1 }), Box::new(Spray { count: 0 })];
+        let mut r = AsyncRunner::new(topo, procs, 20, 3);
+        // Node 1 crashes at t=0: the single message (delay in 1..=20) can
+        // never be delivered. Nothing was processed, so time stays 0 —
+        // the buggy engine reported the arrival time of the lost message.
+        r.crash(1, 0);
+        let stats = r.run(1000);
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.time, 0, "undelivered messages must not advance time");
+        assert_eq!(stats.lost_to_crash, 1);
+    }
+
+    /// Regression (bug 1, halted receiver): a message discarded at a node
+    /// that halted before its arrival must not set the clock either.
+    #[test]
+    fn time_stops_at_the_last_delivery() {
+        let topo = Topology::from_lists("pair", vec![vec![1], vec![0]]);
+        // Halting receiver: B halts on the first of two in-flight tokens.
+        let halting = |seed| {
+            let procs: Vec<Box<dyn Process>> =
+                vec![Box::new(Spray { count: 2 }), Box::new(Spray { count: 0 })];
+            AsyncRunner::new(topo.clone(), procs, 50, seed).run(1000)
+        };
+        // Control: same seed (same delays), but the receiver stays live.
+        let receiving = |seed| {
+            let procs: Vec<Box<dyn Process>> = vec![
+                Box::new(Spray { count: 2 }),
+                Box::new(Gossip {
+                    sent: true,
+                    received: 0,
+                }),
+            ];
+            AsyncRunner::new(topo.clone(), procs, 50, seed).run(1000)
+        };
+        for seed in 0..20 {
+            let h = halting(seed);
+            let full = receiving(seed);
+            assert_eq!(h.messages, 1, "B halts after the first token");
+            assert_eq!(h.lost_to_crash, 1);
+            assert_eq!(full.messages, 2);
+            assert!(h.time <= full.time, "a lost message must not add time");
+            if h.time < full.time {
+                return; // found a seed with distinct delays: covered
+            }
+        }
+        panic!("no seed separated first/second delivery times");
+    }
+
+    /// Regression (bug 2): an exhausted event budget must not pop-and-drop
+    /// a message. Every send is conserved: delivered, dropped, lost at a
+    /// dead node, or still in flight.
+    #[test]
+    fn event_budget_conserves_messages() {
+        for budget in 0..12u64 {
+            let mut r = AsyncRunner::new(Topology::complete(4), gossip_nodes(4), 5, 9);
+            let stats = r.run(budget);
+            assert!(
+                stats.conserves_messages(),
+                "budget {budget}: sent {} + dup {} != delivered {} + dropped {} + lost {} + undelivered {}",
+                stats.sent_total(),
+                stats.duplicated,
+                stats.messages,
+                stats.dropped,
+                stats.lost_to_crash,
+                stats.undelivered
+            );
+            assert_eq!(stats.messages, budget.min(12));
+        }
+    }
+
+    /// Regression (bug 4): an algorithm driven only by round ticks — a
+    /// lone heartbeat monitor with nobody to hear, the "total silence"
+    /// case — must still reach its horizon under `require_halt`.
+    #[test]
+    fn sync_silence_does_not_starve_round_driven_nodes() {
+        use crate::algorithms::heartbeat_nodes;
+        let lone = || {
+            let topo = Topology::from_lists("lone", vec![vec![]]);
+            SyncRunner::new(topo, heartbeat_nodes(1, 2, 6))
+        };
+        // Default mode keeps the seed semantics: total silence quiesces.
+        let stats = lone().run(50);
+        assert_eq!(stats.outputs[0], None, "silence ends the default run");
+        // require_halt drives the node through silent rounds to a verdict.
+        let stats = lone().require_halt().run(50);
+        assert_eq!(stats.outputs[0], Some(0), "no neighbors, no suspects");
+        assert!(stats.time >= 6, "ran to the horizon");
+    }
+
+    #[test]
+    fn duplication_is_injected_and_accounted() {
+        let run = |rate: f64| {
+            let mut r = AsyncRunner::new(Topology::complete(4), gossip_nodes(4), 5, 11);
+            r.duplicate_messages(rate);
+            r.run(100_000)
+        };
+        let clean = run(0.0);
+        assert_eq!(clean.duplicated, 0);
+        let dup = run(0.9);
+        assert!(dup.duplicated > 0, "duplicates injected at rate 0.9");
+        assert!(dup.messages > clean.messages, "duplicates are delivered");
+        assert!(dup.conserves_messages());
+        // Determinism under duplication.
+        assert_eq!(run(0.9), run(0.9));
+    }
+
+    #[test]
+    fn crash_recovery_restores_a_node() {
+        struct Pinger;
+        impl Process for Pinger {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                if ctx.node == 0 {
+                    ctx.set_timer(10, 0);
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: &Payload, ctx: &mut Ctx) {
+                ctx.decide(7);
+            }
+            fn on_timer(&mut self, _tok: u64, ctx: &mut Ctx) {
+                ctx.send(1, Payload::Token);
+            }
+            fn on_recover(&mut self, ctx: &mut Ctx) {
+                ctx.decide(99);
+            }
+        }
+        let topo = Topology::from_lists("pair", vec![vec![1], vec![0]]);
+        let procs: Vec<Box<dyn Process>> = vec![Box::new(Pinger), Box::new(Pinger)];
+        let mut r = AsyncRunner::new(topo, procs, 3, 5);
+        // Node 1 is down at t ∈ [1, 5); node 0 pings at t=10 — delivered.
+        r.crash(1, 1);
+        r.recover(1, 5);
+        r.record_trace();
+        let stats = r.run(10_000);
+        assert_eq!(stats.outputs[1], Some(7), "recovered node processes mail");
+        let trace = r.trace();
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Crash { t: 1, node: 1 })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Recover { t: 5, node: 1 })));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a crash")]
+    fn recovery_requires_a_crash() {
+        let mut r = AsyncRunner::new(Topology::complete(2), gossip_nodes(2), 1, 0);
+        r.recover(0, 5);
+    }
+
+    #[test]
+    fn trace_records_the_message_lifecycle_as_json() {
+        let mut r = AsyncRunner::new(Topology::complete(3), gossip_nodes(3), 4, 2);
+        r.drop_messages(0.3).duplicate_messages(0.3).record_trace();
+        let stats = r.run(100_000);
+        let trace = r.trace();
+        let count = |f: fn(&TraceEvent) -> bool| trace.iter().filter(|e| f(e)).count() as u64;
+        assert_eq!(
+            count(|e| matches!(e, TraceEvent::Send { .. })),
+            stats.sent_total()
+        );
+        assert_eq!(
+            count(|e| matches!(e, TraceEvent::Drop { .. })),
+            stats.dropped
+        );
+        assert_eq!(
+            count(|e| matches!(e, TraceEvent::Duplicate { .. })),
+            stats.duplicated
+        );
+        assert_eq!(
+            count(|e| matches!(e, TraceEvent::Deliver { .. })),
+            stats.messages
+        );
+        let json = r.trace_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains(r#""kind":"send""#));
+        // Every deliver's seq has a matching send/duplicate seq.
+        for ev in trace {
+            if let TraceEvent::Deliver { seq, .. } = ev {
+                assert!(trace.iter().any(|e| matches!(
+                    e,
+                    TraceEvent::Send { seq: s, .. } | TraceEvent::Duplicate { seq: s, .. } if s == seq
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn sync_timers_fire_after_their_delay() {
+        struct TimerOnly {
+            fired_at: Option<u64>,
+        }
+        impl Process for TimerOnly {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(3, 42);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: &Payload, _c: &mut Ctx) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+                assert_eq!(token, 42);
+                self.fired_at = Some(1);
+                ctx.decide(token);
+                ctx.halt();
+            }
+        }
+        let topo = Topology::from_lists("lone", vec![vec![]]);
+        let procs: Vec<Box<dyn Process>> = vec![Box::new(TimerOnly { fired_at: None })];
+        let mut r = SyncRunner::new(topo, procs);
+        let stats = r.require_halt().run(50);
+        assert_eq!(stats.outputs[0], Some(42));
+        assert_eq!(stats.time, 3, "timer set at round 0 with delay 3");
+        assert_eq!(stats.timer_events, 1);
     }
 }

@@ -12,17 +12,29 @@
 //! * [`topology`] — ring, complete graph, star, grid, random connected
 //!   (dimension 2 of the taxonomy: *topology*).
 //! * [`engine`] — synchronous rounds and asynchronous event-queue execution
-//!   (dimension 6: *timing*), with crash schedules (dimension 3: *fault
-//!   tolerance*) and per-node message/local-step accounting.
+//!   (dimension 6: *timing*), with fault injection — omission, duplication,
+//!   crash-stop and crash-recovery schedules (dimension 3: *fault
+//!   tolerance*) — timer events, a structured event trace, and per-node
+//!   message/local-step accounting.
+//! * [`channel`] — reliable delivery as a generic channel concept:
+//!   sequence numbers, acknowledgments, and timeout-driven retransmission
+//!   with exponential backoff, composing with any unmodified [`Process`].
 //! * [`algorithms`] — LCR and Hirschberg–Sinclair leader election,
 //!   FloodMax, Chang's echo broadcast/convergecast, synchronous BFS
-//!   spanning tree (dimensions 1, 5: *problem*, *strategy*).
+//!   spanning tree (dimensions 1, 5: *problem*, *strategy*), plus the
+//!   fault-tolerant entries: reliable-channel Echo/LCR and the
+//!   crash-tolerant FT-FloodMax consensus.
 //!
-//! Runs are deterministic per seed, so every experiment is reproducible.
+//! Runs are deterministic per seed — including lossy, duplicating, and
+//! crash-recovery runs — so every experiment is reproducible.
 
 pub mod algorithms;
+pub mod channel;
 pub mod engine;
 pub mod topology;
 
-pub use engine::{AsyncRunner, Ctx, Payload, Process, RunStats, SyncRunner};
+pub use channel::Reliable;
+pub use engine::{
+    trace_json, AsyncRunner, Ctx, Payload, Process, RunStats, SyncRunner, TraceEvent,
+};
 pub use topology::Topology;

@@ -1,0 +1,127 @@
+//! Property-based tests for the fault-tolerance layer: the reliable
+//! channel is a semantic no-op on perfect links, faulty runs are
+//! deterministic per seed (drops, duplicates, crash-recovery, and the
+//! event trace included), and retransmitting LCR keeps its agreement
+//! property across schedules and loss.
+
+use gp_distsim::algorithms::{
+    consensus, echo_nodes, ft_floodmax_nodes, lcr_nodes, reliable_echo_nodes, reliable_lcr_nodes,
+};
+use gp_distsim::{AsyncRunner, Topology};
+use proptest::prelude::*;
+
+const BUDGET: u64 = 5_000_000;
+
+proptest! {
+    /// On a loss-free network the reliable wrapper is transparent: the
+    /// wrapped Echo decides exactly what raw Echo decides, its
+    /// application-level delivery count equals the raw channel's message
+    /// count, and nothing is ever retransmitted.
+    #[test]
+    fn reliable_echo_is_transparent_without_loss(
+        n in 4usize..20,
+        extra in 0usize..12,
+        topo_seed in 0u64..500,
+        seed in 0u64..500,
+    ) {
+        let topo = Topology::random_connected(n, extra, topo_seed);
+        let raw = AsyncRunner::new(topo.clone(), echo_nodes(n, 0), 5, seed).run(BUDGET);
+        let rel =
+            AsyncRunner::new(topo, reliable_echo_nodes(n, 0, 12, 20), 5, seed).run(BUDGET);
+        prop_assert_eq!(&rel.outputs, &raw.outputs);
+        prop_assert_eq!(rel.app_messages, raw.messages);
+        prop_assert_eq!(rel.retransmits, 0);
+        prop_assert_eq!(rel.undelivered, 0, "quiesced, not budget-capped");
+    }
+
+    /// Same for LCR: the wrapper changes the ring from unidirectional to
+    /// bidirectional (acks need reverse links) but not the election.
+    #[test]
+    fn reliable_lcr_elects_the_same_leader_without_loss(
+        n in 3usize..16,
+        seed in 0u64..500,
+    ) {
+        let uids: Vec<u64> = (0..n as u64).map(|i| (i * 631 + 89) % 2003).collect();
+        let max = *uids.iter().max().unwrap();
+        let raw = AsyncRunner::new(
+            Topology::ring_unidirectional(n),
+            lcr_nodes(&uids),
+            5,
+            seed,
+        )
+        .run(BUDGET);
+        let rel = AsyncRunner::new(
+            Topology::ring_bidirectional(n),
+            reliable_lcr_nodes(&uids, 12, 20),
+            5,
+            seed,
+        )
+        .run(BUDGET);
+        prop_assert_eq!(consensus(&raw), Some(max));
+        prop_assert_eq!(consensus(&rel), Some(max));
+        prop_assert_eq!(rel.retransmits, 0);
+    }
+
+    /// Faulty runs are a pure function of the seed: the same deployment
+    /// under drops + duplicates + crash + recovery reproduces identical
+    /// stats and an identical event trace, and a different seed is allowed
+    /// to differ (schedule, not outcome, is what varies).
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed(
+        seed in 0u64..1000,
+        drop_pct in 0u32..40,
+        dup_pct in 0u32..40,
+    ) {
+        let n = 9;
+        let ids: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 1009).collect();
+        let run = |s: u64| {
+            let mut r = AsyncRunner::new(
+                Topology::complete(n),
+                ft_floodmax_nodes(&ids, 10, 4),
+                5,
+                s,
+            );
+            r.drop_messages(f64::from(drop_pct) / 100.0);
+            r.duplicate_messages(f64::from(dup_pct) / 100.0);
+            r.crash(2, 3);
+            r.recover(2, 40);
+            r.record_trace();
+            let stats = r.run(BUDGET);
+            (stats, r.trace_json())
+        };
+        let (s1, t1) = run(seed);
+        let (s2, t2) = run(seed);
+        prop_assert_eq!(&s1, &s2, "same seed, same run");
+        prop_assert_eq!(t1, t2, "same seed, same trace");
+        prop_assert!(s1.conserves_messages(), "conservation law");
+    }
+
+    /// Retransmitting LCR agreement: under message loss on the
+    /// bidirectional ring, every deciding node elects the maximum uid —
+    /// across uid arrangements, seeds, and loss rates up to 30%.
+    #[test]
+    fn retransmitting_lcr_agrees_under_loss(
+        raw_uids in prop::collection::vec(1u64..10_000, 3..10),
+        seed in 0u64..200,
+        drop_pct in 0u32..=30,
+    ) {
+        // Make the uids distinct by construction (LCR needs unique ids).
+        let uids: Vec<u64> = raw_uids
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| u * 16 + i as u64)
+            .collect();
+        let n = uids.len();
+        let max = *uids.iter().max().unwrap();
+        let mut r = AsyncRunner::new(
+            Topology::ring_bidirectional(n),
+            reliable_lcr_nodes(&uids, 12, 40),
+            5,
+            seed,
+        );
+        r.drop_messages(f64::from(drop_pct) / 100.0);
+        let stats = r.run(BUDGET);
+        prop_assert_eq!(consensus(&stats), Some(max));
+        prop_assert!(stats.conserves_messages());
+    }
+}

@@ -65,8 +65,13 @@ impl Topology {
     }
 }
 
-/// Dimension 3: fault classes an algorithm tolerates, ordered by severity.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Dimension 3: fault classes an algorithm tolerates. **Partially**
+/// ordered: crash-stop (a process dies) and omission (the network loses
+/// messages) are *incomparable* failure modes — a retransmitting channel
+/// masks omissions yet stalls the moment a peer crashes, and a
+/// crash-tolerant flood assumes reliable links between live nodes. Only
+/// Byzantine subsumes both, and everything covers a fault-free deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Fault {
     /// No failures tolerated.
     None,
@@ -79,9 +84,11 @@ pub enum Fault {
 }
 
 impl Fault {
-    /// True if tolerating `self` covers a deployment requiring `required`.
+    /// True if tolerating `self` covers a deployment requiring `required`
+    /// (reflexive; Byzantine covers everything; everything covers `None`;
+    /// `Crash` and `Omission` do **not** cover each other).
     pub fn covers(self, required: Fault) -> bool {
-        self >= required
+        self == required || required == Fault::None || self == Fault::Byzantine
     }
 }
 
@@ -166,11 +173,16 @@ mod tests {
     }
 
     #[test]
-    fn fault_coverage_is_ordered() {
+    fn fault_coverage_is_a_partial_order() {
         assert!(Fault::Byzantine.covers(Fault::Crash));
+        assert!(Fault::Byzantine.covers(Fault::Omission));
         assert!(Fault::Crash.covers(Fault::None));
         assert!(!Fault::None.covers(Fault::Crash));
         assert!(Fault::Omission.covers(Fault::Omission));
+        // Crash and omission are incomparable: retransmission does not
+        // survive dead peers, and crash tolerance assumes reliable links.
+        assert!(!Fault::Omission.covers(Fault::Crash));
+        assert!(!Fault::Crash.covers(Fault::Omission));
     }
 
     #[test]

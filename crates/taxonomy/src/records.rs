@@ -126,6 +126,64 @@ pub fn catalog() -> Vec<DistAlgorithm> {
             impl_id: "gp_distsim::algorithms::heartbeat_nodes",
         },
         DistAlgorithm {
+            // Echo under the reliable channel: sequence numbers, acks, and
+            // timeout retransmission (bounded by R attempts) mask message
+            // omission. Honestly classified: Omission, *not* Crash — a dead
+            // peer never acks, and the wrapper eventually gives up.
+            name: "ReliableEcho",
+            problem: Problem::Broadcast,
+            topology: Topology::Arbitrary,
+            fault_tolerance: Fault::Omission,
+            sharing: Sharing::MessagePassing,
+            strategy: Strategy::ProbeEcho,
+            timing: Timing::Asynchronous,
+            process_mgmt: ProcessMgmt::Static,
+            // Each of the O(E) app messages costs up to R frames plus acks.
+            messages: Complexity::product(&[("E", 1, 0), ("R", 1, 0)]),
+            time: Complexity::product(&[("D", 1, 0), ("R", 1, 0)]),
+            local_computation: Complexity::linear("deg"),
+            impl_id: "gp_distsim::algorithms::reliable_echo_nodes",
+        },
+        DistAlgorithm {
+            // LCR under the reliable channel. Needs the *bidirectional*
+            // ring — acknowledgments travel the reverse links — unlike raw
+            // LCR's unidirectional requirement.
+            name: "RetransLCR",
+            problem: Problem::LeaderElection,
+            topology: Topology::BiRing,
+            fault_tolerance: Fault::Omission,
+            sharing: Sharing::MessagePassing,
+            strategy: Strategy::DistributedControl,
+            timing: Timing::Asynchronous,
+            process_mgmt: ProcessMgmt::Static,
+            // LCR's O(n²) candidates, each retransmitted up to R times.
+            messages: Complexity::product(&[("n", 2, 0), ("R", 1, 0)]),
+            time: Complexity::product(&[("n", 1, 0), ("R", 1, 0)]),
+            local_computation: Complexity::linear("n"),
+            impl_id: "gp_distsim::algorithms::reliable_lcr_nodes",
+        },
+        DistAlgorithm {
+            // Crash-tolerant max-consensus: flood improvements immediately
+            // and re-flood the current maximum on a periodic timer, so no
+            // value is stranded by the crash of its carrier. Survives any
+            // f < n crash-stop failures on a complete graph; partially
+            // synchronous because the quiet-period termination rule needs
+            // delays bounded by the re-flood period.
+            name: "FT-FloodMax",
+            problem: Problem::Consensus,
+            topology: Topology::Complete,
+            fault_tolerance: Fault::Crash,
+            sharing: Sharing::MessagePassing,
+            strategy: Strategy::Flooding,
+            timing: Timing::PartiallySynchronous,
+            process_mgmt: ProcessMgmt::Static,
+            // n improvement floods plus K periodic re-floods over E links.
+            messages: Complexity::product(&[("n", 1, 0), ("E", 1, 0)]),
+            time: Complexity::linear("K"),
+            local_computation: Complexity::linear("n"),
+            impl_id: "gp_distsim::algorithms::ft_floodmax_nodes",
+        },
+        DistAlgorithm {
             name: "SyncBFS",
             problem: Problem::SpanningTree,
             topology: Topology::Arbitrary,
@@ -304,9 +362,66 @@ mod tests {
         req.fault_needed = Fault::Crash;
         assert!(
             select_best(&cat, &req).is_none(),
-            "no catalog algorithm tolerates crashes — and the simulator's \
-             crash tests confirm it"
+            "no broadcast algorithm tolerates crashes: retransmission \
+             (ReliableEcho) masks omissions, not dead peers — and the \
+             simulator's crash tests confirm it"
         );
+    }
+
+    #[test]
+    fn omission_tolerant_broadcast_is_reliable_echo() {
+        // Before the reliable channel this cell was empty; now the wrapper
+        // fills it. Without the fault requirement, raw Echo still wins on
+        // message complexity — the taxonomy records the retransmission
+        // overhead honestly.
+        let cat = catalog();
+        let mut req = Requirement::basic(
+            Problem::Broadcast,
+            Topology::Arbitrary,
+            Timing::Asynchronous,
+        );
+        req.fault_needed = Fault::Omission;
+        assert_eq!(select_best(&cat, &req).unwrap().name, "ReliableEcho");
+        req.fault_needed = Fault::None;
+        assert_eq!(select_best(&cat, &req).unwrap().name, "Echo");
+    }
+
+    #[test]
+    fn lossy_ring_election_needs_the_bidirectional_retransmitter() {
+        // Omission-tolerant leader election exists only on the
+        // bidirectional ring (acks need reverse links); the unidirectional
+        // ring cell stays empty.
+        let cat = catalog();
+        let mut req = Requirement::basic(
+            Problem::LeaderElection,
+            Topology::BiRing,
+            Timing::Asynchronous,
+        );
+        req.fault_needed = Fault::Omission;
+        assert_eq!(select_best(&cat, &req).unwrap().name, "RetransLCR");
+        req.topology = Topology::UniRing;
+        assert!(select_best(&cat, &req).is_none());
+    }
+
+    #[test]
+    fn crash_tolerant_consensus_is_ft_floodmax() {
+        let cat = catalog();
+        let mut req = Requirement::basic(
+            Problem::Consensus,
+            Topology::Complete,
+            Timing::PartiallySynchronous,
+        );
+        req.fault_needed = Fault::Crash;
+        assert_eq!(select_best(&cat, &req).unwrap().name, "FT-FloodMax");
+        // But not under omission: periodic re-flooding assumes reliable
+        // links between live nodes. Crash and omission stay incomparable.
+        req.fault_needed = Fault::Omission;
+        assert!(select_best(&cat, &req).is_none());
+        // And not on a fully asynchronous network: the quiet-period
+        // termination rule needs bounded delays.
+        req.fault_needed = Fault::Crash;
+        req.network_timing = Timing::Asynchronous;
+        assert!(select_best(&cat, &req).is_none());
     }
 
     #[test]
