@@ -1,0 +1,311 @@
+//! Round-trip and escaping tests for `gp_bench::Json`, the hand-rolled
+//! serializer behind every `results/BENCH_*.json` artifact.
+//!
+//! The renderer has no parser twin in the library (artifacts are consumed
+//! by external tooling), so this test carries a minimal recursive-descent
+//! JSON reader: render → parse → compare semantically. That catches the
+//! failure class that string-equality tests miss — output that *looks*
+//! plausible but is not actually valid JSON (bad escapes, bare control
+//! characters, `NaN` literals).
+
+use gp_bench::Json;
+
+/// Parsed JSON value for semantic comparison (objects keep order, like
+/// the renderer).
+#[derive(Debug, PartialEq)]
+enum Val {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Val>),
+    Obj(Vec<(String, Val)>),
+}
+
+/// Strict recursive-descent parser over the full input; panics (failing
+/// the test) on any malformed construct, trailing garbage included.
+fn parse(s: &str) -> Val {
+    let b: Vec<char> = s.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&b, &mut pos);
+    assert_eq!(pos, b.len(), "trailing garbage after value in {s:?}");
+    v
+}
+
+fn parse_value(b: &[char], pos: &mut usize) -> Val {
+    match b.get(*pos) {
+        Some('n') => {
+            expect(b, pos, "null");
+            Val::Null
+        }
+        Some('t') => {
+            expect(b, pos, "true");
+            Val::Bool(true)
+        }
+        Some('f') => {
+            expect(b, pos, "false");
+            Val::Bool(false)
+        }
+        Some('"') => Val::Str(parse_string(b, pos)),
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            if b.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Val::Arr(items);
+            }
+            loop {
+                items.push(parse_value(b, pos));
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Val::Arr(items);
+                    }
+                    other => panic!("expected ',' or ']' at {pos:?}, got {other:?}"),
+                }
+            }
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            if b.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Val::Obj(fields);
+            }
+            loop {
+                let k = parse_string(b, pos);
+                assert_eq!(b.get(*pos), Some(&':'), "expected ':' after key {k:?}");
+                *pos += 1;
+                fields.push((k, parse_value(b, pos)));
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Val::Obj(fields);
+                    }
+                    other => panic!("expected ',' or '}}' at {pos:?}, got {other:?}"),
+                }
+            }
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            while let Some(c) = b.get(*pos) {
+                if c.is_ascii_digit() || "+-.eE".contains(*c) {
+                    *pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = b[start..*pos].iter().collect();
+            Val::Num(
+                text.parse()
+                    .unwrap_or_else(|_| panic!("bad number {text:?}")),
+            )
+        }
+        other => panic!("unexpected token {other:?} at {pos}"),
+    }
+}
+
+fn parse_string(b: &[char], pos: &mut usize) -> String {
+    assert_eq!(b.get(*pos), Some(&'"'), "expected string at {pos}");
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some('"') => {
+                *pos += 1;
+                return out;
+            }
+            Some('\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = b[*pos + 1..*pos + 5].iter().collect();
+                        let cp = u32::from_str_radix(&hex, 16)
+                            .unwrap_or_else(|_| panic!("bad \\u escape {hex:?}"));
+                        out.push(char::from_u32(cp).expect("surrogate in \\u escape"));
+                        *pos += 4;
+                    }
+                    other => panic!("invalid escape \\{other:?}"),
+                }
+                *pos += 1;
+            }
+            Some(c) if (*c as u32) < 0x20 => {
+                panic!("bare control character {c:?} inside string")
+            }
+            Some(c) => {
+                out.push(*c);
+                *pos += 1;
+            }
+            None => panic!("unterminated string"),
+        }
+    }
+}
+
+fn expect(b: &[char], pos: &mut usize, word: &str) {
+    let end = *pos + word.chars().count();
+    let got: String = b[*pos..end.min(b.len())].iter().collect();
+    assert_eq!(got, word, "expected literal {word}");
+    *pos = end;
+}
+
+#[test]
+fn strings_with_every_escape_class_round_trip() {
+    let cases = [
+        "plain",
+        "",
+        "quote \" backslash \\ both \\\"",
+        "newline\nand\ttab",
+        "carriage\rreturn",
+        "null byte \u{0} and unit sep \u{1f}",
+        "bell \u{7} backspace \u{8} formfeed \u{c}",
+        "unicode: célérité — ∀x∈S 🚀",
+        "trailing backslash \\",
+        "\\n is not a newline",
+    ];
+    for s in cases {
+        let rendered = Json::Str(s.to_string()).render();
+        assert_eq!(
+            parse(&rendered),
+            Val::Str(s.to_string()),
+            "round-trip failed for {s:?} (rendered {rendered:?})"
+        );
+    }
+}
+
+#[test]
+fn control_characters_never_appear_bare() {
+    // JSON forbids raw U+0000..U+001F inside strings; everything in that
+    // range must leave the renderer escaped.
+    let all_controls: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+    let rendered = Json::Str(all_controls.clone()).render();
+    let inner = &rendered[1..rendered.len() - 1];
+    assert!(
+        inner.chars().all(|c| (c as u32) >= 0x20),
+        "bare control char in rendered string {rendered:?}"
+    );
+    assert_eq!(parse(&rendered), Val::Str(all_controls));
+}
+
+#[test]
+fn object_keys_are_escaped_like_values() {
+    let j = Json::obj().field("key \"with\"\nnasties\u{1}", 1u64);
+    assert_eq!(
+        parse(&j.render()),
+        Val::Obj(vec![(
+            "key \"with\"\nnasties\u{1}".to_string(),
+            Val::Num(1.0)
+        )])
+    );
+}
+
+#[test]
+fn non_finite_numbers_render_as_null() {
+    // `NaN`/`Infinity` are not JSON; the renderer documents them as null.
+    for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert_eq!(Json::Num(x).render(), "null");
+        assert_eq!(parse(&Json::Num(x).render()), Val::Null);
+    }
+    // ...including nested inside arrays/objects.
+    let j = Json::obj().field("series", Json::Arr(vec![Json::Num(f64::NAN)]));
+    assert_eq!(j.render(), r#"{"series":[null]}"#);
+}
+
+#[test]
+fn integral_rendering_near_the_1e15_cutoff() {
+    // Below the cutoff integral values print as integers (no ".0", no
+    // exponent) — counter snapshots rely on this.
+    assert_eq!(Json::Num(0.0).render(), "0");
+    assert_eq!(Json::Num(-0.0).render(), "0");
+    assert_eq!(Json::Num(42.0).render(), "42");
+    assert_eq!(Json::Num(-7.0).render(), "-7");
+    assert_eq!(Json::Num(999_999_999_999_999.0).render(), "999999999999999");
+    assert_eq!(
+        Json::Num(-999_999_999_999_999.0).render(),
+        "-999999999999999"
+    );
+    // At/above the cutoff the renderer falls back to `Display`, which must
+    // still parse to the same value (and f64 `Display` never emits an
+    // exponent, so it stays valid JSON).
+    for x in [1e15, -1e15, 2f64.powi(53), 1e300] {
+        let rendered = Json::Num(x).render();
+        assert_eq!(parse(&rendered), Val::Num(x), "cutoff fallback for {x}");
+    }
+    // Non-integral values keep their fraction on both sides of the cutoff.
+    assert_eq!(Json::Num(1.5).render(), "1.5");
+    let near = 999_999_999_999_999.5f64;
+    assert_eq!(parse(&Json::Num(near).render()), Val::Num(near));
+}
+
+#[test]
+fn integer_from_impls_round_trip_exactly_within_f64_range() {
+    // Every From<integer> impl goes through f64; values up to 2^53 are
+    // exact and must come back bit-identical through render+parse.
+    for v in [0u64, 1, 1_000_000, (1 << 53) - 1] {
+        let rendered = Json::from(v).render();
+        assert_eq!(parse(&rendered), Val::Num(v as f64), "u64 {v}");
+    }
+    for v in [-1i64, -(1 << 53) + 1] {
+        let rendered = Json::from(v).render();
+        assert_eq!(parse(&rendered), Val::Num(v as f64), "i64 {v}");
+    }
+}
+
+#[test]
+fn nested_structures_round_trip() {
+    let j = Json::obj()
+        .field("name", "exp \"tele\"\n")
+        .field("ok", true)
+        .field("none", Json::Null)
+        .field(
+            "rows",
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Str("a\tb".into()),
+                Json::Obj(vec![("k".into(), Json::Bool(false))]),
+            ]),
+        );
+    let rendered = j.render();
+    assert_eq!(
+        parse(&rendered),
+        Val::Obj(vec![
+            ("name".into(), Val::Str("exp \"tele\"\n".into())),
+            ("ok".into(), Val::Bool(true)),
+            ("none".into(), Val::Null),
+            (
+                "rows".into(),
+                Val::Arr(vec![
+                    Val::Num(1.0),
+                    Val::Str("a\tb".into()),
+                    Val::Obj(vec![("k".into(), Val::Bool(false))]),
+                ])
+            ),
+        ])
+    );
+}
+
+#[test]
+fn raw_fragments_splice_verbatim_inside_objects() {
+    // The telemetry bridge relies on Raw: gp_telemetry::Snapshot::to_json
+    // output is spliced into the bench Json tree untouched.
+    let j = Json::obj().field("metrics", Json::Raw(r#"{"pool.park":3}"#.to_string()));
+    let rendered = j.render();
+    assert_eq!(rendered, r#"{"metrics":{"pool.park":3}}"#);
+    // And the spliced result is still valid JSON end to end.
+    assert_eq!(
+        parse(&rendered),
+        Val::Obj(vec![(
+            "metrics".into(),
+            Val::Obj(vec![("pool.park".into(), Val::Num(3.0))])
+        )])
+    );
+}

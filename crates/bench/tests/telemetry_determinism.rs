@@ -1,0 +1,118 @@
+//! Deterministic-metrics properties: the telemetry registry must be a pure
+//! function of the workload for the deterministic layers. Two runs of the
+//! seeded simulator (or the rewriter on a fixed expression stream) have to
+//! produce *identical* counter deltas — if they ever diverge, either the
+//! instrumentation has a data race or the layer itself lost determinism,
+//! and both are bugs this file exists to catch.
+//!
+//! Span `.ns` histograms are excluded via prefix filters (wall-clock is
+//! never deterministic); everything under `distsim.` / `rewrite.` is pure
+//! counts and must match exactly.
+//!
+//! This is an integration-test file on purpose: it gets its own process,
+//! so the only writers to the `distsim.*` and `rewrite.*` prefixes are the
+//! two properties below, and they each stay inside their own prefix.
+
+use gp_distsim::algorithms::echo_nodes;
+use gp_distsim::engine::AsyncRunner;
+use gp_distsim::topology::Topology;
+use gp_rewrite::{BinOp, Expr, Simplifier, Type, UnOp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One seeded faulty-simulator run; returns the `distsim.*` counter delta
+/// it left in the global registry.
+fn distsim_counter_delta(seed: u64, drop_pct: u32, dup_pct: u32) -> gp_telemetry::Snapshot {
+    let before = gp_telemetry::snapshot();
+    let mut runner = AsyncRunner::new(Topology::grid(3, 3), echo_nodes(9, 0), 5, seed);
+    runner
+        .drop_messages(f64::from(drop_pct) / 100.0)
+        .duplicate_messages(f64::from(dup_pct) / 100.0)
+        .crash(1, 3)
+        .recover(1, 40);
+    runner.run(1_000_000);
+    gp_telemetry::snapshot().delta(&before).filter("distsim.")
+}
+
+/// Simplify a seeded stream of random integer expressions; returns the
+/// `rewrite.*` counter delta (per-rule fires, runs, passes) plus the
+/// engine's own per-run statistics totals.
+fn rewrite_fire_delta(seed: u64) -> (gp_telemetry::Snapshot, usize) {
+    let before = gp_telemetry::snapshot();
+    let s = Simplifier::standard();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats_total = 0;
+    for _ in 0..8 {
+        let e = random_int_expr(&mut rng, 4);
+        let (_, stats) = s.simplify(&e);
+        stats_total += stats.total();
+    }
+    (
+        gp_telemetry::snapshot().delta(&before).filter("rewrite."),
+        stats_total,
+    )
+}
+
+fn random_int_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..4) {
+            0 => Expr::int(rng.gen_range(-3..4)),
+            1 => Expr::int(0),
+            2 => Expr::var("a", Type::Int),
+            _ => Expr::var("b", Type::Int),
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => Expr::bin(
+            BinOp::Add,
+            random_int_expr(rng, depth - 1),
+            random_int_expr(rng, depth - 1),
+        ),
+        1 => Expr::bin(
+            BinOp::Mul,
+            random_int_expr(rng, depth - 1),
+            random_int_expr(rng, depth - 1),
+        ),
+        2 => Expr::bin(
+            BinOp::Sub,
+            random_int_expr(rng, depth - 1),
+            random_int_expr(rng, depth - 1),
+        ),
+        _ => Expr::un(UnOp::Neg, random_int_expr(rng, depth - 1)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn same_seed_gives_identical_distsim_counter_delta(
+        seed in 0u64..10_000,
+        drop_pct in 0u32..30,
+        dup_pct in 0u32..30,
+    ) {
+        let first = distsim_counter_delta(seed, drop_pct, dup_pct);
+        let second = distsim_counter_delta(seed, drop_pct, dup_pct);
+        prop_assert_eq!(&first, &second);
+        // The delta is non-trivial (the echo wave always sends something),
+        // so the equality above is not vacuous.
+        prop_assert!(first.counter("distsim.sent") > 0);
+        // And the conservation law holds on the delta alone.
+        prop_assert_eq!(
+            first.counter("distsim.sent") + first.counter("distsim.duplicated"),
+            first.counter("distsim.delivered")
+                + first.counter("distsim.dropped")
+                + first.counter("distsim.lost_to_crash")
+                + first.counter("distsim.undelivered")
+        );
+    }
+
+    #[test]
+    fn same_seed_gives_identical_rewrite_rule_fires(seed in 0u64..10_000) {
+        let (first, stats1) = rewrite_fire_delta(seed);
+        let (second, stats2) = rewrite_fire_delta(seed);
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(stats1, stats2);
+        // Registry fires mirror the engine's own statistics exactly.
+        prop_assert_eq!(first.counter_sum("rewrite.rule.") as usize, stats1);
+    }
+}

@@ -37,6 +37,46 @@ pub enum DiagnosticCode {
     UnknownName,
 }
 
+impl DiagnosticCode {
+    /// Stable kebab-case name, used in reports and telemetry metric names
+    /// (`checker.diag.<name>`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagnosticCode::DerefSingular => "deref-singular",
+            DiagnosticCode::DerefPastEnd => "deref-past-end",
+            DiagnosticCode::AdvanceSingular => "advance-singular",
+            DiagnosticCode::AdvancePastEnd => "advance-past-end",
+            DiagnosticCode::RequiresSorted => "requires-sorted",
+            DiagnosticCode::SortedLinearSearch => "sorted-linear-search",
+            DiagnosticCode::UnknownName => "unknown-name",
+        }
+    }
+}
+
+/// Telemetry handles for the abstract interpreter, resolved once per
+/// process. Statement execution is the checker's hot path, so it gets a
+/// pre-resolved counter; diagnostics are rare and resolve by name.
+struct CheckerMetrics {
+    /// IR statements abstractly executed (loop passes revisit statements).
+    stmts: &'static gp_telemetry::Counter,
+    /// Fixpoint passes over `while` bodies.
+    loop_passes: &'static gp_telemetry::Counter,
+    /// Abstract states materialized (clones for branches and loop bodies).
+    states: &'static gp_telemetry::Counter,
+    /// `analyze` invocations.
+    runs: &'static gp_telemetry::Counter,
+}
+
+fn checker_metrics() -> &'static CheckerMetrics {
+    static METRICS: std::sync::OnceLock<CheckerMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| CheckerMetrics {
+        stmts: gp_telemetry::counter("checker.stmts"),
+        loop_passes: gp_telemetry::counter("checker.loop_passes"),
+        states: gp_telemetry::counter("checker.states"),
+        runs: gp_telemetry::counter("checker.runs"),
+    })
+}
+
 /// One checker finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -80,6 +120,7 @@ impl Analyzer {
     fn report(&mut self, severity: Severity, code: DiagnosticCode, subject: &str, message: String) {
         // Loop fixpoint passes revisit statements; report each finding once.
         if self.seen.insert((code, subject.to_string())) {
+            gp_telemetry::counter(&format!("checker.diag.{}", code.as_str())).incr();
             self.diags.push(Diagnostic {
                 severity,
                 code,
@@ -195,6 +236,7 @@ impl Analyzer {
     }
 
     fn exec(&mut self, stmt: &Stmt, state: &mut AbsState) {
+        checker_metrics().stmts.incr();
         match stmt {
             Stmt::DeclContainer { name, kind } => {
                 state.containers.insert(
@@ -370,6 +412,7 @@ impl Analyzer {
                 then_branch,
                 else_branch,
             } => {
+                checker_metrics().states.add(2);
                 let mut s_then = state.clone();
                 let mut s_else = state.clone();
                 self.exec_block(then_branch, &mut s_then);
@@ -472,6 +515,8 @@ impl Analyzer {
         const MAX_PASSES: usize = 6;
         let mut loop_state = state.clone();
         for _ in 0..MAX_PASSES {
+            checker_metrics().loop_passes.incr();
+            checker_metrics().states.incr();
             let mut body_state = loop_state.clone();
             // Condition refinement on loop entry: `iter != end` means the
             // iterator is dereferenceable inside the body.
@@ -501,6 +546,8 @@ impl Analyzer {
 
 /// Run the checker over a program.
 pub fn analyze(program: &Program) -> Vec<Diagnostic> {
+    let _span = gp_telemetry::span("analyze");
+    checker_metrics().runs.incr();
     let mut a = Analyzer {
         diags: Vec::new(),
         seen: BTreeSet::new(),

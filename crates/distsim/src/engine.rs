@@ -9,6 +9,65 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+/// Telemetry bridge: process-wide tallies of simulator activity, resolved
+/// once per process. Both runners flush a finished run's [`RunStats`] into
+/// these via [`DistMetrics::absorb_run`], so registry snapshot deltas obey
+/// the same conservation law as the per-run stats
+/// (`distsim.sent + distsim.duplicated == distsim.delivered +
+/// distsim.dropped + distsim.lost_to_crash + distsim.undelivered`).
+/// Crash/recovery events, which `RunStats` does not record, are counted
+/// live from the engines.
+struct DistMetrics {
+    runs: &'static gp_telemetry::Counter,
+    sent: &'static gp_telemetry::Counter,
+    retransmits: &'static gp_telemetry::Counter,
+    delivered: &'static gp_telemetry::Counter,
+    dropped: &'static gp_telemetry::Counter,
+    duplicated: &'static gp_telemetry::Counter,
+    lost_to_crash: &'static gp_telemetry::Counter,
+    undelivered: &'static gp_telemetry::Counter,
+    timer_events: &'static gp_telemetry::Counter,
+    local_steps: &'static gp_telemetry::Counter,
+    app_messages: &'static gp_telemetry::Counter,
+    crashes: &'static gp_telemetry::Counter,
+    recoveries: &'static gp_telemetry::Counter,
+}
+
+impl DistMetrics {
+    fn absorb_run(&self, stats: &RunStats) {
+        self.runs.incr();
+        self.sent.add(stats.sent_total());
+        self.retransmits.add(stats.retransmits);
+        self.delivered.add(stats.messages);
+        self.dropped.add(stats.dropped);
+        self.duplicated.add(stats.duplicated);
+        self.lost_to_crash.add(stats.lost_to_crash);
+        self.undelivered.add(stats.undelivered);
+        self.timer_events.add(stats.timer_events);
+        self.local_steps.add(stats.local_steps);
+        self.app_messages.add(stats.app_messages);
+    }
+}
+
+fn dist_metrics() -> &'static DistMetrics {
+    static METRICS: std::sync::OnceLock<DistMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| DistMetrics {
+        runs: gp_telemetry::counter("distsim.runs"),
+        sent: gp_telemetry::counter("distsim.sent"),
+        retransmits: gp_telemetry::counter("distsim.retransmits"),
+        delivered: gp_telemetry::counter("distsim.delivered"),
+        dropped: gp_telemetry::counter("distsim.dropped"),
+        duplicated: gp_telemetry::counter("distsim.duplicated"),
+        lost_to_crash: gp_telemetry::counter("distsim.lost_to_crash"),
+        undelivered: gp_telemetry::counter("distsim.undelivered"),
+        timer_events: gp_telemetry::counter("distsim.timer_events"),
+        local_steps: gp_telemetry::counter("distsim.local_steps"),
+        app_messages: gp_telemetry::counter("distsim.app_messages"),
+        crashes: gp_telemetry::counter("distsim.crashes"),
+        recoveries: gp_telemetry::counter("distsim.recoveries"),
+    })
+}
+
 /// Message payloads understood by the bundled algorithms. (A closed enum
 /// keeps the engine allocation-light; a production library would make this
 /// generic.)
@@ -470,6 +529,7 @@ impl SyncRunner {
     /// Run until quiescence (no messages in flight, no pending timers, and
     /// every node halted or idle) or `max_rounds`.
     pub fn run(&mut self, max_rounds: u64) -> RunStats {
+        let _span = gp_telemetry::span("sync_run");
         let n = self.topo.len();
         let mut stats = RunStats {
             outputs: vec![None; n],
@@ -504,6 +564,7 @@ impl SyncRunner {
         for v in 0..n {
             if self.crash_at.get(&v) == Some(&0) {
                 self.nodes[v].crashed = true;
+                dist_metrics().crashes.incr();
             }
             let out = run_step(v, &self.topo, &mut self.nodes[v], &mut stats, |p, c| {
                 p.on_start(c)
@@ -516,6 +577,7 @@ impl SyncRunner {
             for (v, node) in self.nodes.iter_mut().enumerate() {
                 if self.crash_at.get(&v) == Some(&round) {
                     node.crashed = true;
+                    dist_metrics().crashes.incr();
                 }
             }
             let delivering = std::mem::take(&mut inflight);
@@ -582,6 +644,7 @@ impl SyncRunner {
         for (v, node) in self.nodes.iter().enumerate() {
             stats.outputs[v] = node.output;
         }
+        dist_metrics().absorb_run(&stats);
         stats
     }
 }
@@ -806,6 +869,7 @@ impl AsyncRunner {
     /// unprocessed message in flight (counted in
     /// [`RunStats::undelivered`]) rather than silently discarding one.
     pub fn run(&mut self, max_events: u64) -> RunStats {
+        let _span = gp_telemetry::span("async_run");
         let n = self.topo.len();
         let mut stats = RunStats {
             outputs: vec![None; n],
@@ -861,10 +925,12 @@ impl AsyncRunner {
             match kind {
                 EV_CRASH => {
                     self.nodes[a].crashed = true;
+                    dist_metrics().crashes.incr();
                     net.trace(TraceEvent::Crash { t, node: a });
                 }
                 EV_RECOVER => {
                     self.nodes[a].crashed = false;
+                    dist_metrics().recoveries.incr();
                     net.trace(TraceEvent::Recover { t, node: a });
                     let out = run_step(a, &self.topo, &mut self.nodes[a], &mut stats, |p, c| {
                         p.on_recover(c)
@@ -927,6 +993,7 @@ impl AsyncRunner {
         for (v, node) in self.nodes.iter().enumerate() {
             stats.outputs[v] = node.output;
         }
+        dist_metrics().absorb_run(&stats);
         stats
     }
 }

@@ -22,7 +22,27 @@ use crate::pool::{self, ThreadPool};
 use gp_core::algebra::Monoid;
 use gp_core::order::StrictWeakOrder;
 use gp_sequences::sort::introsort;
+use gp_telemetry::{Counter, Histogram};
 use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::OnceLock;
+
+/// Telemetry handles for the adaptive splitter, resolved once per process
+/// (resolution takes the registry lock; the hot-path cost is one relaxed
+/// increment per split / per leaf).
+struct ParMetrics {
+    /// Times an adaptive recursion split a range in two.
+    splits: &'static Counter,
+    /// Lengths of the sequential leaves the splitter bottomed out on.
+    leaf_len: &'static Histogram,
+}
+
+fn par_metrics() -> &'static ParMetrics {
+    static METRICS: OnceLock<ParMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ParMetrics {
+        splits: gp_telemetry::counter("par.splits"),
+        leaf_len: gp_telemetry::histogram("par.leaf_len"),
+    })
+}
 
 /// Fixed even chunk length for the chunk-structured primitives.
 pub(crate) fn chunk_len(n: usize, threads: usize) -> usize {
@@ -75,6 +95,7 @@ where
     if threads <= 1 {
         return input.iter().map(&f).collect();
     }
+    let _span = gp_telemetry::span("par_map");
     let mut out = uninit_vec::<U>(input.len());
     map_rec(
         pool::global(),
@@ -94,11 +115,14 @@ where
     F: Fn(&T) -> U + Sync,
 {
     if input.len() <= grain {
+        let m = par_metrics();
+        m.leaf_len.record(input.len() as u64);
         for (slot, x) in out.iter_mut().zip(input) {
             slot.write(f(x));
         }
         return;
     }
+    par_metrics().splits.incr();
     let mid = input.len() / 2;
     let (il, ir) = input.split_at(mid);
     let (ol, or_) = out.split_at_mut(mid);
@@ -194,6 +218,7 @@ where
         }
         return;
     }
+    let _span = gp_telemetry::span("par_apply");
     let g = grain(data.len(), threads);
     apply_rec(pool::global(), data, &f, g);
 }
@@ -204,11 +229,13 @@ where
     F: Fn(&mut T) + Sync,
 {
     if data.len() <= grain {
+        par_metrics().leaf_len.record(data.len() as u64);
         for x in data {
             f(x);
         }
         return;
     }
+    par_metrics().splits.incr();
     let mid = data.len() / 2;
     let (l, r) = data.split_at_mut(mid);
     pool.join(
@@ -236,6 +263,7 @@ where
     if threads <= 1 {
         return fold_chunk(input, op);
     }
+    let _span = gp_telemetry::span("par_reduce");
     reduce_rec(pool::global(), input, op, grain(input.len(), threads))
 }
 
@@ -253,8 +281,10 @@ where
     O: Monoid<T> + Sync,
 {
     if input.len() <= grain {
+        par_metrics().leaf_len.record(input.len() as u64);
         return fold_chunk(input, op);
     }
+    par_metrics().splits.incr();
     let mid = input.len() / 2;
     let (l, r) = input.split_at(mid);
     let (a, b) = pool.join(
@@ -345,6 +375,7 @@ where
             })
             .collect();
     }
+    let _span = gp_telemetry::span("par_scan");
     let pool = pool::global();
     let cl = chunk_len(input.len(), threads);
     let n_chunks = input.len().div_ceil(cl);
@@ -437,6 +468,7 @@ where
         introsort(data, ord);
         return;
     }
+    let _span = gp_telemetry::span("par_sort");
     let g = grain(n, threads).max(1024);
     sort_rec(pool::global(), data, ord, g);
 }
@@ -447,9 +479,11 @@ where
     O: StrictWeakOrder<T> + Sync,
 {
     if data.len() <= grain {
+        par_metrics().leaf_len.record(data.len() as u64);
         introsort(data, ord);
         return;
     }
+    par_metrics().splits.incr();
     let mid = data.len() / 2;
     {
         let (l, r) = data.split_at_mut(mid);

@@ -13,6 +13,7 @@
 //! reused by every data-parallel primitive.
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use gp_telemetry::Counter;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -21,6 +22,74 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Telemetry handles for the executor, resolved once per pool (name
+/// lookup takes the registry lock; the increments themselves are relaxed
+/// atomics). All pools share the same global counters — the registry
+/// observes the process-wide executor layer, not one pool instance.
+struct PoolMetrics {
+    /// Jobs executed per worker, indexed by worker id
+    /// (`pool.worker{i}.jobs`).
+    worker_jobs: Vec<&'static Counter>,
+    /// Jobs found in the worker's own LIFO deque.
+    local_pop: &'static Counter,
+    /// Jobs taken from the global FIFO injector.
+    injector_pop: &'static Counter,
+    /// Jobs stolen from a sibling worker's deque.
+    steal_hit: &'static Counter,
+    /// `Steal::Retry` collisions observed while stealing.
+    steal_retry: &'static Counter,
+    /// Times a worker parked on the sleep condvar.
+    park: &'static Counter,
+    /// Parked waits ended by a submit-side notification (as opposed to
+    /// the parking timeout).
+    unpark: &'static Counter,
+    /// Jobs submitted to the current worker's own deque.
+    submit_local: &'static Counter,
+    /// Jobs submitted to the global injector.
+    submit_injector: &'static Counter,
+    /// `join` calls.
+    joins: &'static Counter,
+    /// Iterations of the join help loop (each either runs a stolen job or
+    /// backs off).
+    join_help_iters: &'static Counter,
+    /// Jobs executed inside the help loop rather than by a worker.
+    help_jobs: &'static Counter,
+    /// Jobs whose closure panicked (mirrors `Shared::panicked`).
+    panics: &'static Counter,
+}
+
+impl PoolMetrics {
+    fn new(workers: usize) -> Self {
+        let reg = gp_telemetry::global();
+        PoolMetrics {
+            worker_jobs: (0..workers)
+                .map(|i| reg.counter(&format!("pool.worker{i}.jobs")))
+                .collect(),
+            local_pop: reg.counter("pool.local_pop"),
+            injector_pop: reg.counter("pool.injector_pop"),
+            steal_hit: reg.counter("pool.steal_hit"),
+            steal_retry: reg.counter("pool.steal_retry"),
+            park: reg.counter("pool.park"),
+            unpark: reg.counter("pool.unpark"),
+            submit_local: reg.counter("pool.submit_local"),
+            submit_injector: reg.counter("pool.submit_injector"),
+            joins: reg.counter("pool.joins"),
+            join_help_iters: reg.counter("pool.join_help_iters"),
+            help_jobs: reg.counter("pool.help_jobs"),
+            panics: reg.counter("pool.panicked_jobs"),
+        }
+    }
+
+    /// The per-worker jobs counter, shared `pool.helper` slot for jobs run
+    /// by non-worker threads inside `help_until`.
+    fn jobs_of(&self, index: usize) -> &'static Counter {
+        self.worker_jobs
+            .get(index)
+            .copied()
+            .unwrap_or(self.help_jobs)
+    }
+}
 
 /// State shared between the pool handle and its workers.
 struct Shared {
@@ -41,6 +110,9 @@ struct Shared {
     /// `wait_idle` callers park here until `pending` reaches zero.
     idle_mutex: Mutex<()>,
     idle_cond: Condvar,
+    /// Telemetry handles (see [`PoolMetrics`]); increments are relaxed
+    /// atomics, resolution happened at pool construction.
+    metrics: PoolMetrics,
 }
 
 /// Thread-local identity of a pool worker, so that jobs submitted from
@@ -50,6 +122,7 @@ struct Shared {
 struct WorkerCtx {
     shared: *const Shared,
     local: *const Worker<Job>,
+    index: usize,
 }
 
 thread_local! {
@@ -79,6 +152,7 @@ impl ThreadPool {
             sleepers: AtomicUsize::new(0),
             idle_mutex: Mutex::new(()),
             idle_cond: Condvar::new(),
+            metrics: PoolMetrics::new(n),
         });
         let workers = locals
             .into_iter()
@@ -125,8 +199,11 @@ impl ThreadPool {
             }
             _ => false,
         });
-        if !pushed_local {
+        if pushed_local {
+            self.shared.metrics.submit_local.incr();
+        } else {
             self.shared.injector.push(job.take().expect("job present"));
+            self.shared.metrics.submit_injector.incr();
         }
         // Wake a parked worker, if any. The 1 ms parking timeout below
         // makes a lost race here a latency blip, not a hang.
@@ -163,6 +240,7 @@ impl ThreadPool {
         RA: Send,
         RB: Send,
     {
+        self.shared.metrics.joins.incr();
         let done = AtomicBool::new(false);
         let mut slot_b: Option<std::thread::Result<RB>> = None;
         {
@@ -198,10 +276,20 @@ impl ThreadPool {
     /// waiting for its spawned half; never blocks the thread for long, so
     /// a worker whose deque holds the awaited task will get to it.
     fn help_until(&self, done: &AtomicBool) {
+        // Attribute help-run jobs to the worker doing the helping (or the
+        // shared helper slot when `join` was called from outside the pool).
+        let jobs_counter = CURRENT.with(|c| match c.get() {
+            Some(ctx) if std::ptr::eq(ctx.shared, Arc::as_ptr(&self.shared)) => {
+                self.shared.metrics.jobs_of(ctx.index)
+            }
+            _ => self.shared.metrics.help_jobs,
+        });
         let mut idle_rounds = 0u32;
         while !done.load(Ordering::Acquire) {
+            self.shared.metrics.join_help_iters.incr();
             if let Some(job) = self.find_job_any() {
                 run_job(&self.shared, job);
+                jobs_counter.incr();
                 idle_rounds = 0;
             } else {
                 idle_rounds += 1;
@@ -225,6 +313,7 @@ impl ThreadPool {
             _ => None,
         });
         if local_job.is_some() {
+            self.shared.metrics.local_pop.incr();
             return local_job;
         }
         steal_from(&self.shared, usize::MAX)
@@ -261,11 +350,17 @@ fn worker_loop(shared: &Arc<Shared>, local: &Worker<Job>, index: usize) {
         c.set(Some(WorkerCtx {
             shared: Arc::as_ptr(shared),
             local,
+            index,
         }));
     });
     loop {
-        if let Some(job) = local.pop().or_else(|| steal_from(shared, index)) {
+        let local_job = local.pop();
+        if local_job.is_some() {
+            shared.metrics.local_pop.incr();
+        }
+        if let Some(job) = local_job.or_else(|| steal_from(shared, index)) {
             run_job(shared, job);
+            shared.metrics.worker_jobs[index].incr();
             continue;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -276,9 +371,15 @@ fn worker_loop(shared: &Arc<Shared>, local: &Worker<Job>, index: usize) {
         let guard = shared.sleep_mutex.lock().expect("sleep lock");
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
         if !shared.shutdown.load(Ordering::SeqCst) && !has_visible_work(shared, local) {
-            let _ = shared
+            shared.metrics.park.incr();
+            let (_guard, timeout) = shared
                 .work_cond
-                .wait_timeout(guard, Duration::from_millis(1));
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("sleep lock");
+            if !timeout.timed_out() {
+                // Woken by a submit-side notify, not the parking timeout.
+                shared.metrics.unpark.incr();
+            }
         }
         shared.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
@@ -297,9 +398,15 @@ fn has_visible_work(shared: &Shared, local: &Worker<Job>) -> bool {
 fn steal_from(shared: &Shared, index: usize) -> Option<Job> {
     loop {
         match shared.injector.steal() {
-            Steal::Success(job) => return Some(job),
+            Steal::Success(job) => {
+                shared.metrics.injector_pop.incr();
+                return Some(job);
+            }
             Steal::Empty => break,
-            Steal::Retry => continue,
+            Steal::Retry => {
+                shared.metrics.steal_retry.incr();
+                continue;
+            }
         }
     }
     let n = shared.stealers.len();
@@ -308,9 +415,15 @@ fn steal_from(shared: &Shared, index: usize) -> Option<Job> {
         let stealer = &shared.stealers[(start + k) % n];
         loop {
             match stealer.steal() {
-                Steal::Success(job) => return Some(job),
+                Steal::Success(job) => {
+                    shared.metrics.steal_hit.incr();
+                    return Some(job);
+                }
                 Steal::Empty => break,
-                Steal::Retry => continue,
+                Steal::Retry => {
+                    shared.metrics.steal_retry.incr();
+                    continue;
+                }
             }
         }
     }
@@ -322,6 +435,7 @@ fn steal_from(shared: &Shared, index: usize) -> Option<Job> {
 fn run_job(shared: &Shared, job: Job) {
     if catch_unwind(AssertUnwindSafe(job)).is_err() {
         shared.panicked.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.panics.incr();
     }
     if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
         let _guard = shared.idle_mutex.lock().expect("idle lock");

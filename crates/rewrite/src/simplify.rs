@@ -8,7 +8,15 @@
 use crate::env::ConceptEnv;
 use crate::expr::Expr;
 use crate::rules::{standard_rules, RewriteRule};
+use gp_telemetry::Counter;
 use std::collections::BTreeMap;
+
+/// The global telemetry counter tracking fires of the rule named `name`
+/// (`rewrite.rule.<name>.fires`). Resolved once per [`Simplifier`] per
+/// rule; the per-fire cost is one relaxed increment.
+fn rule_fire_counter(name: &str) -> &'static Counter {
+    gp_telemetry::counter(&format!("rewrite.rule.{name}.fires"))
+}
 
 /// Statistics from one simplification run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -35,35 +43,39 @@ impl SimplifyStats {
 pub struct Simplifier {
     env: ConceptEnv,
     rules: Vec<Box<dyn RewriteRule + Send + Sync>>,
+    /// Pre-resolved global fire counters, aligned index-for-index with
+    /// `rules`.
+    rule_fires: Vec<&'static Counter>,
 }
 
 impl Simplifier {
+    fn from_parts(env: ConceptEnv, rules: Vec<Box<dyn RewriteRule + Send + Sync>>) -> Self {
+        let rule_fires = rules.iter().map(|r| rule_fire_counter(r.name())).collect();
+        Simplifier {
+            env,
+            rules,
+            rule_fires,
+        }
+    }
+
     /// Standard rules over the standard environment.
     pub fn standard() -> Self {
-        Simplifier {
-            env: ConceptEnv::standard(),
-            rules: standard_rules(),
-        }
+        Self::from_parts(ConceptEnv::standard(), standard_rules())
     }
 
     /// Custom environment with the standard rules.
     pub fn with_env(env: ConceptEnv) -> Self {
-        Simplifier {
-            env,
-            rules: standard_rules(),
-        }
+        Self::from_parts(env, standard_rules())
     }
 
     /// An engine with no rules at all (baseline for benchmarks).
     pub fn empty(env: ConceptEnv) -> Self {
-        Simplifier {
-            env,
-            rules: Vec::new(),
-        }
+        Self::from_parts(env, Vec::new())
     }
 
     /// Register a user/library rule (the LiDIA extension point of §3.2).
     pub fn add_rule(&mut self, rule: Box<dyn RewriteRule + Send + Sync>) -> &mut Self {
+        self.rule_fires.push(rule_fire_counter(rule.name()));
         self.rules.push(rule);
         self
     }
@@ -86,6 +98,7 @@ impl Simplifier {
 
     /// Simplify to fixpoint; returns the result and statistics.
     pub fn simplify(&self, e: &Expr) -> (Expr, SimplifyStats) {
+        let _span = gp_telemetry::span("simplify");
         let mut stats = SimplifyStats {
             size_before: e.size(),
             ..SimplifyStats::default()
@@ -101,6 +114,18 @@ impl Simplifier {
             }
         }
         stats.size_after = cur.size();
+        // Mirror the run into the global registry; the names are fixed, so
+        // resolve them once per process rather than per call.
+        {
+            use std::sync::OnceLock;
+            static RUNS: OnceLock<&'static Counter> = OnceLock::new();
+            static PASSES: OnceLock<&'static Counter> = OnceLock::new();
+            RUNS.get_or_init(|| gp_telemetry::counter("rewrite.runs"))
+                .incr();
+            PASSES
+                .get_or_init(|| gp_telemetry::counter("rewrite.passes"))
+                .add(stats.iterations as u64);
+        }
         (cur, stats)
     }
 
@@ -134,12 +159,13 @@ impl Simplifier {
         // Then the root, repeatedly until no rule fires.
         loop {
             let mut fired = false;
-            for rule in &self.rules {
+            for (i, rule) in self.rules.iter().enumerate() {
                 if let Some(next) = rule.try_apply(&node, &self.env) {
                     *stats
                         .applications
                         .entry(rule.name().to_string())
                         .or_insert(0) += 1;
+                    self.rule_fires[i].incr();
                     node = next;
                     fired = true;
                     changed = true;

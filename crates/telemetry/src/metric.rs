@@ -1,0 +1,311 @@
+//! The atomic instruments: counters, gauges, and log2-bucketed histograms.
+//!
+//! Every write is a relaxed atomic RMW — no locks, no fences beyond what
+//! the hardware does anyway — so instruments can sit on the executor's
+//! job-dispatch path or the simulator's event loop without perturbing what
+//! they measure. Reads (snapshots) are relaxed too: a snapshot taken while
+//! writers run is a consistent-enough point-in-time view for reporting,
+//! and deltas of monotone counters are exact once the writers quiesce.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed up-down gauge (current level of something: queue depth,
+/// parked workers, live spans).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Move the level up.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Move the level down.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: values up to 2^63 land in bucket
+/// `floor(log2(v))`; zero lands in bucket 0.
+pub const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples (durations in nanoseconds,
+/// sizes in elements). Bucket `i` counts samples `v` with
+/// `floor(log2(max(v, 1))) == i`, so the whole `u64` range fits in 64
+/// fixed slots and recording is branch-light: one `leading_zeros`, five
+/// relaxed RMWs.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        // `[const { ... }; N]` keeps the array initializer const-friendly.
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a sample.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        // floor(log2(v)) with 0 mapped to bucket 0: `v | 1` makes the
+        // leading-zeros count well-defined and leaves buckets unchanged
+        // for v >= 1.
+        63 - (v | 1).leading_zeros() as usize
+    }
+
+    /// Inclusive lower bound of bucket `i` (0 for the zero/one bucket).
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of one [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts, `BUCKETS` entries.
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Samples recorded here but not in `earlier` (bucket-wise saturating
+    /// difference; `min`/`max` are taken from `self` since extrema are not
+    /// differential).
+    pub fn delta(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+
+    /// `(bucket_lo, count)` for every non-empty bucket, in order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (Histogram::bucket_lo(i), *c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(8);
+        assert_eq!(g.get(), -3);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+        assert_eq!(Histogram::bucket_lo(0), 0);
+        assert_eq!(Histogram::bucket_lo(10), 1024);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_extrema() {
+        let h = Histogram::new();
+        for v in [3u64, 5, 1000, 0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1008);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 252.0).abs() < 1e-9);
+        // 0 and (3,5 split): bucket 0 has one (the 0), bucket 1 the 3,
+        // bucket 2 the 5, bucket 9 the 1000.
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[9], 1);
+        assert_eq!(s.nonzero_buckets(), vec![(0, 1), (2, 1), (4, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn histogram_delta_subtracts_bucketwise() {
+        let h = Histogram::new();
+        h.record(10);
+        let before = h.snapshot();
+        h.record(10);
+        h.record(2000);
+        let after = h.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 2010);
+        assert_eq!(d.buckets[3], 1);
+        assert_eq!(d.buckets[10], 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = std::sync::Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+}

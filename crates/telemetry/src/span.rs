@@ -1,0 +1,126 @@
+//! RAII span timers with per-thread scoping.
+//!
+//! A span measures one region of work: created at region entry, it
+//! records the elapsed wall time (nanoseconds) into the histogram
+//! `span.<name>.ns` and bumps the counter `span.<name>.calls` when it
+//! drops. Spans nest: each thread keeps a stack of active span names, so
+//! [`current_span_path`] can attribute low-level work ("who called this
+//! reduce?") without threading labels through every API.
+//!
+//! When telemetry is disabled ([`crate::set_enabled`]`(false)`) a span is
+//! constructed as a no-op: no clock read, no registry access, no
+//! thread-local push — the documented way to make instrumented hot paths
+//! indistinguishable from uninstrumented ones.
+
+use crate::metric::Histogram;
+use crate::registry::global;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The active span scope of the calling thread, rendered as
+/// `outer/inner/innermost` (empty string when no span is open).
+pub fn current_span_path() -> String {
+    SPAN_STACK.with(|s| s.borrow().join("/"))
+}
+
+/// Depth of the calling thread's span stack.
+pub fn span_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// An RAII timer for one named region; see the module docs. Obtain via
+/// [`span`].
+pub struct SpanTimer {
+    /// `None` when telemetry was disabled at construction: drop is a no-op.
+    armed: Option<(Instant, &'static Histogram)>,
+}
+
+/// Open a span named `name`. The name must be `'static` because it lives
+/// on the thread's scope stack; metric names derive from it
+/// (`span.<name>.ns`, `span.<name>.calls`). Resolution hits the registry
+/// mutex, so spans belong on coarse boundaries (an entire `par_sort`
+/// call, one simplifier run), not per-element loops.
+pub fn span(name: &'static str) -> SpanTimer {
+    if !crate::enabled() {
+        return SpanTimer { armed: None };
+    }
+    let hist = global().histogram(&format!("span.{name}.ns"));
+    global().counter(&format!("span.{name}.calls")).incr();
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    SpanTimer {
+        armed: Some((Instant::now(), hist)),
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.armed.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot;
+
+    #[test]
+    fn span_records_duration_and_call_count() {
+        let _guard = crate::test_flag_lock();
+        let before = snapshot();
+        {
+            let _s = span("span_unit_test");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let d = snapshot().delta(&before);
+        assert_eq!(d.counter("span.span_unit_test.calls"), 1);
+        let h = d.histogram("span.span_unit_test.ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 1_000_000, "slept 2ms, recorded {}ns", h.sum);
+    }
+
+    #[test]
+    fn spans_nest_and_unwind_per_thread() {
+        assert_eq!(current_span_path(), "");
+        {
+            let _a = span("outer_scope");
+            assert_eq!(current_span_path(), "outer_scope");
+            {
+                let _b = span("inner_scope");
+                assert_eq!(current_span_path(), "outer_scope/inner_scope");
+                assert_eq!(span_depth(), 2);
+            }
+            assert_eq!(current_span_path(), "outer_scope");
+        }
+        assert_eq!(span_depth(), 0);
+        // Another thread's stack is independent.
+        let _a = span("outer_scope");
+        std::thread::spawn(|| assert_eq!(current_span_path(), ""))
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn disabled_spans_are_no_ops() {
+        let _guard = crate::test_flag_lock();
+        crate::set_enabled(false);
+        let before = snapshot();
+        {
+            let _s = span("disabled_span_test");
+            assert_eq!(span_depth(), 0, "disabled span must not push scope");
+        }
+        let d = snapshot().delta(&before);
+        assert_eq!(d.counter("span.disabled_span_test.calls"), 0);
+        assert!(d.histogram("span.disabled_span_test.ns").is_none());
+        crate::set_enabled(true);
+    }
+}
