@@ -6,7 +6,7 @@
 //!
 //! `--smoke` shrinks every deployment for a fast CI pass.
 
-use gp_bench::{banner, Json, Table};
+use gp_bench::{banner, write_results, Json, Table};
 use gp_core::complexity::Complexity;
 use gp_distsim::algorithms::{
     adversarial_ring_uids, bfs_tree_nodes, bit_reversal_ring_uids, consensus, echo_nodes,
@@ -458,10 +458,7 @@ fn e10e_faults(smoke: bool) {
                 .field("retransmits", ts.retransmits)
                 .field("events", Json::Raw(trace_events)),
         );
-    let out_dir = std::path::Path::new("results");
-    std::fs::create_dir_all(out_dir).expect("create results dir");
-    let path = out_dir.join("BENCH_distsim_faults.json");
-    std::fs::write(&path, report.render() + "\n").expect("write BENCH_distsim_faults.json");
+    let path = write_results("BENCH_distsim_faults.json", &report);
     println!();
     println!("wrote {}", path.display());
 }

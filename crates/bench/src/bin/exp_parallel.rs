@@ -4,7 +4,7 @@
 //! chunking on a skewed workload, sequential vs parallel BFS on CSR, and
 //! the Monoid-obligation ablation. Emits `results/BENCH_parallel.json`.
 
-use gp_bench::{banner, random_ints, Json, Table};
+use gp_bench::{banner, random_ints, write_results, Json, Table};
 use gp_core::algebra::AddOp;
 use gp_core::order::NaturalLess;
 use gp_graphs::algo::{bfs_distances, par_bfs_distances};
@@ -336,10 +336,7 @@ fn main() {
     report = report.field("ablation", Json::Arr(ablation));
 
     // --- Machine-readable artifact -------------------------------------
-    let out_dir = std::path::Path::new("results");
-    std::fs::create_dir_all(out_dir).expect("create results dir");
-    let path = out_dir.join("BENCH_parallel.json");
-    std::fs::write(&path, report.render() + "\n").expect("write BENCH_parallel.json");
+    let path = write_results("BENCH_parallel.json", &report);
     println!();
     println!("wrote {}", path.display());
 }

@@ -6,7 +6,7 @@
 //! of the PR 1 recursion. Emits `results/BENCH_telemetry.json`.
 //! `--smoke` shrinks every workload for a fast CI pass.
 
-use gp_bench::{banner, random_ints, Json, Table};
+use gp_bench::{banner, random_ints, write_results, Json, Table};
 use gp_checker::analyze::analyze;
 use gp_checker::ir::build::{
     advance, begin, branch, call, call_into, container, deref, erase, push_back, while_not_end,
@@ -374,10 +374,7 @@ fn main() {
     );
 
     // --- Machine-readable artifact -------------------------------------
-    let out_dir = std::path::Path::new("results");
-    std::fs::create_dir_all(out_dir).expect("create results dir");
-    let path = out_dir.join("BENCH_telemetry.json");
-    std::fs::write(&path, report.render() + "\n").expect("write BENCH_telemetry.json");
+    let path = write_results("BENCH_telemetry.json", &report);
     println!();
     println!("wrote {}", path.display());
 }

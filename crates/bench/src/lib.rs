@@ -8,6 +8,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The JSON value behind every `results/BENCH_*.json` artifact and the
+/// `gp-service` wire protocol. The implementation (builder, compact
+/// renderer, and the validating [`Json::parse`] reader that grew out of
+/// this crate's escaping test suite) lives in [`gp_core::json`] so the
+/// service crate can share it without a dependency cycle; this re-export
+/// keeps `gp_bench::Json` the canonical spelling in experiment code.
+pub use gp_core::json::{Json, JsonParseError};
+
 /// Deterministic random integer workload.
 pub fn random_ints(n: usize, seed: u64) -> Vec<i64> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -19,6 +27,21 @@ pub fn random_ints(n: usize, seed: u64) -> Vec<i64> {
 /// Deterministic sorted workload.
 pub fn sorted_ints(n: usize) -> Vec<i64> {
     (0..n as i64).map(|x| x * 3).collect()
+}
+
+/// Write a machine-readable artifact to `results/<file_name>`, creating
+/// the `results/` directory first (a fresh checkout has none, and failing
+/// at the end of a long run is the worst possible time). Every `exp_*`
+/// binary emits its `BENCH_*.json` through this helper. Returns the path
+/// written.
+pub fn write_results(file_name: &str, report: &Json) -> std::path::PathBuf {
+    let out_dir = std::path::Path::new("results");
+    std::fs::create_dir_all(out_dir)
+        .unwrap_or_else(|e| panic!("create {}: {e}", out_dir.display()));
+    let path = out_dir.join(file_name);
+    std::fs::write(&path, report.render() + "\n")
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
 }
 
 /// Minimal fixed-width table printer for the experiment binaries.
@@ -64,155 +87,6 @@ pub fn banner(id: &str, title: &str, paper_ref: &str) {
     println!("=== {id}: {title}");
     println!("    paper: {paper_ref}");
     println!();
-}
-
-/// Minimal JSON value builder for the machine-readable `BENCH_*.json`
-/// artifacts the experiment binaries emit (no external serializer in this
-/// offline workspace).
-#[derive(Clone, Debug)]
-pub enum Json {
-    /// Null literal.
-    Null,
-    /// Boolean literal.
-    Bool(bool),
-    /// Finite number (non-finite values serialize as `null`).
-    Num(f64),
-    /// String (escaped on render).
-    Str(String),
-    /// Ordered array.
-    Arr(Vec<Json>),
-    /// Ordered object (insertion order preserved).
-    Obj(Vec<(String, Json)>),
-    /// Pre-rendered JSON fragment, spliced verbatim (the caller guarantees
-    /// it is valid JSON — e.g. `gp_distsim::trace_json` output).
-    Raw(String),
-}
-
-impl Json {
-    /// Empty object.
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Insert a field (builder style, objects only).
-    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
-            _ => panic!("field() on a non-object Json"),
-        }
-        self
-    }
-
-    /// Render to a compact JSON string.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // Integral values render without a trailing ".0".
-                    if x.fract() == 0.0 && x.abs() < 1e15 {
-                        out.push_str(&format!("{}", *x as i64));
-                    } else {
-                        out.push_str(&format!("{x}"));
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Raw(s) => out.push_str(s),
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::Str(k.clone()).write(out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl From<bool> for Json {
-    fn from(b: bool) -> Json {
-        Json::Bool(b)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(x: f64) -> Json {
-        Json::Num(x)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(x: usize) -> Json {
-        Json::Num(x as f64)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(x: u64) -> Json {
-        Json::Num(x as f64)
-    }
-}
-
-impl From<i64> for Json {
-    fn from(x: i64) -> Json {
-        Json::Num(x as f64)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-
-impl From<Vec<Json>> for Json {
-    fn from(v: Vec<Json>) -> Json {
-        Json::Arr(v)
-    }
 }
 
 #[cfg(test)]

@@ -1,161 +1,24 @@
 //! Round-trip and escaping tests for `gp_bench::Json`, the hand-rolled
-//! serializer behind every `results/BENCH_*.json` artifact.
+//! serializer behind every `results/BENCH_*.json` artifact and the
+//! `gp-service` wire protocol.
 //!
-//! The renderer has no parser twin in the library (artifacts are consumed
-//! by external tooling), so this test carries a minimal recursive-descent
-//! JSON reader: render → parse → compare semantically. That catches the
-//! failure class that string-equality tests miss — output that *looks*
-//! plausible but is not actually valid JSON (bad escapes, bare control
-//! characters, `NaN` literals).
+//! The recursive-descent reader that used to live inside this file was
+//! promoted to the library as [`Json::parse`] (it now decodes service
+//! requests, so encode and decode round-trip through one audited
+//! implementation). These tests exercise the library version: render →
+//! parse → compare. That catches the failure class string-equality tests
+//! miss — output that *looks* plausible but is not actually valid JSON
+//! (bad escapes, bare control characters, `NaN` literals).
 
 use gp_bench::Json;
+use proptest::prelude::*;
+use proptest::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
 
-/// Parsed JSON value for semantic comparison (objects keep order, like
-/// the renderer).
-#[derive(Debug, PartialEq)]
-enum Val {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Val>),
-    Obj(Vec<(String, Val)>),
-}
-
-/// Strict recursive-descent parser over the full input; panics (failing
-/// the test) on any malformed construct, trailing garbage included.
-fn parse(s: &str) -> Val {
-    let b: Vec<char> = s.chars().collect();
-    let mut pos = 0usize;
-    let v = parse_value(&b, &mut pos);
-    assert_eq!(pos, b.len(), "trailing garbage after value in {s:?}");
-    v
-}
-
-fn parse_value(b: &[char], pos: &mut usize) -> Val {
-    match b.get(*pos) {
-        Some('n') => {
-            expect(b, pos, "null");
-            Val::Null
-        }
-        Some('t') => {
-            expect(b, pos, "true");
-            Val::Bool(true)
-        }
-        Some('f') => {
-            expect(b, pos, "false");
-            Val::Bool(false)
-        }
-        Some('"') => Val::Str(parse_string(b, pos)),
-        Some('[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            if b.get(*pos) == Some(&']') {
-                *pos += 1;
-                return Val::Arr(items);
-            }
-            loop {
-                items.push(parse_value(b, pos));
-                match b.get(*pos) {
-                    Some(',') => *pos += 1,
-                    Some(']') => {
-                        *pos += 1;
-                        return Val::Arr(items);
-                    }
-                    other => panic!("expected ',' or ']' at {pos:?}, got {other:?}"),
-                }
-            }
-        }
-        Some('{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            if b.get(*pos) == Some(&'}') {
-                *pos += 1;
-                return Val::Obj(fields);
-            }
-            loop {
-                let k = parse_string(b, pos);
-                assert_eq!(b.get(*pos), Some(&':'), "expected ':' after key {k:?}");
-                *pos += 1;
-                fields.push((k, parse_value(b, pos)));
-                match b.get(*pos) {
-                    Some(',') => *pos += 1,
-                    Some('}') => {
-                        *pos += 1;
-                        return Val::Obj(fields);
-                    }
-                    other => panic!("expected ',' or '}}' at {pos:?}, got {other:?}"),
-                }
-            }
-        }
-        Some(c) if *c == '-' || c.is_ascii_digit() => {
-            let start = *pos;
-            while let Some(c) = b.get(*pos) {
-                if c.is_ascii_digit() || "+-.eE".contains(*c) {
-                    *pos += 1;
-                } else {
-                    break;
-                }
-            }
-            let text: String = b[start..*pos].iter().collect();
-            Val::Num(
-                text.parse()
-                    .unwrap_or_else(|_| panic!("bad number {text:?}")),
-            )
-        }
-        other => panic!("unexpected token {other:?} at {pos}"),
-    }
-}
-
-fn parse_string(b: &[char], pos: &mut usize) -> String {
-    assert_eq!(b.get(*pos), Some(&'"'), "expected string at {pos}");
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            Some('"') => {
-                *pos += 1;
-                return out;
-            }
-            Some('\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('n') => out.push('\n'),
-                    Some('t') => out.push('\t'),
-                    Some('r') => out.push('\r'),
-                    Some('b') => out.push('\u{8}'),
-                    Some('f') => out.push('\u{c}'),
-                    Some('u') => {
-                        let hex: String = b[*pos + 1..*pos + 5].iter().collect();
-                        let cp = u32::from_str_radix(&hex, 16)
-                            .unwrap_or_else(|_| panic!("bad \\u escape {hex:?}"));
-                        out.push(char::from_u32(cp).expect("surrogate in \\u escape"));
-                        *pos += 4;
-                    }
-                    other => panic!("invalid escape \\{other:?}"),
-                }
-                *pos += 1;
-            }
-            Some(c) if (*c as u32) < 0x20 => {
-                panic!("bare control character {c:?} inside string")
-            }
-            Some(c) => {
-                out.push(*c);
-                *pos += 1;
-            }
-            None => panic!("unterminated string"),
-        }
-    }
-}
-
-fn expect(b: &[char], pos: &mut usize, word: &str) {
-    let end = *pos + word.chars().count();
-    let got: String = b[*pos..end.min(b.len())].iter().collect();
-    assert_eq!(got, word, "expected literal {word}");
-    *pos = end;
+/// Parse, failing the test with context on malformed input.
+fn parse(s: &str) -> Json {
+    Json::parse(s).unwrap_or_else(|e| panic!("invalid JSON {s:?}: {e}"))
 }
 
 #[test]
@@ -176,7 +39,7 @@ fn strings_with_every_escape_class_round_trip() {
         let rendered = Json::Str(s.to_string()).render();
         assert_eq!(
             parse(&rendered),
-            Val::Str(s.to_string()),
+            Json::Str(s.to_string()),
             "round-trip failed for {s:?} (rendered {rendered:?})"
         );
     }
@@ -193,7 +56,7 @@ fn control_characters_never_appear_bare() {
         inner.chars().all(|c| (c as u32) >= 0x20),
         "bare control char in rendered string {rendered:?}"
     );
-    assert_eq!(parse(&rendered), Val::Str(all_controls));
+    assert_eq!(parse(&rendered), Json::Str(all_controls));
 }
 
 #[test]
@@ -201,9 +64,9 @@ fn object_keys_are_escaped_like_values() {
     let j = Json::obj().field("key \"with\"\nnasties\u{1}", 1u64);
     assert_eq!(
         parse(&j.render()),
-        Val::Obj(vec![(
+        Json::Obj(vec![(
             "key \"with\"\nnasties\u{1}".to_string(),
-            Val::Num(1.0)
+            Json::Num(1.0)
         )])
     );
 }
@@ -213,7 +76,7 @@ fn non_finite_numbers_render_as_null() {
     // `NaN`/`Infinity` are not JSON; the renderer documents them as null.
     for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
         assert_eq!(Json::Num(x).render(), "null");
-        assert_eq!(parse(&Json::Num(x).render()), Val::Null);
+        assert_eq!(parse(&Json::Num(x).render()), Json::Null);
     }
     // ...including nested inside arrays/objects.
     let j = Json::obj().field("series", Json::Arr(vec![Json::Num(f64::NAN)]));
@@ -238,12 +101,12 @@ fn integral_rendering_near_the_1e15_cutoff() {
     // exponent, so it stays valid JSON).
     for x in [1e15, -1e15, 2f64.powi(53), 1e300] {
         let rendered = Json::Num(x).render();
-        assert_eq!(parse(&rendered), Val::Num(x), "cutoff fallback for {x}");
+        assert_eq!(parse(&rendered), Json::Num(x), "cutoff fallback for {x}");
     }
     // Non-integral values keep their fraction on both sides of the cutoff.
     assert_eq!(Json::Num(1.5).render(), "1.5");
     let near = 999_999_999_999_999.5f64;
-    assert_eq!(parse(&Json::Num(near).render()), Val::Num(near));
+    assert_eq!(parse(&Json::Num(near).render()), Json::Num(near));
 }
 
 #[test]
@@ -252,11 +115,11 @@ fn integer_from_impls_round_trip_exactly_within_f64_range() {
     // exact and must come back bit-identical through render+parse.
     for v in [0u64, 1, 1_000_000, (1 << 53) - 1] {
         let rendered = Json::from(v).render();
-        assert_eq!(parse(&rendered), Val::Num(v as f64), "u64 {v}");
+        assert_eq!(parse(&rendered), Json::Num(v as f64), "u64 {v}");
     }
     for v in [-1i64, -(1 << 53) + 1] {
         let rendered = Json::from(v).render();
-        assert_eq!(parse(&rendered), Val::Num(v as f64), "i64 {v}");
+        assert_eq!(parse(&rendered), Json::Num(v as f64), "i64 {v}");
     }
 }
 
@@ -274,23 +137,7 @@ fn nested_structures_round_trip() {
                 Json::Obj(vec![("k".into(), Json::Bool(false))]),
             ]),
         );
-    let rendered = j.render();
-    assert_eq!(
-        parse(&rendered),
-        Val::Obj(vec![
-            ("name".into(), Val::Str("exp \"tele\"\n".into())),
-            ("ok".into(), Val::Bool(true)),
-            ("none".into(), Val::Null),
-            (
-                "rows".into(),
-                Val::Arr(vec![
-                    Val::Num(1.0),
-                    Val::Str("a\tb".into()),
-                    Val::Obj(vec![("k".into(), Val::Bool(false))]),
-                ])
-            ),
-        ])
-    );
+    assert_eq!(parse(&j.render()), j);
 }
 
 #[test]
@@ -300,12 +147,93 @@ fn raw_fragments_splice_verbatim_inside_objects() {
     let j = Json::obj().field("metrics", Json::Raw(r#"{"pool.park":3}"#.to_string()));
     let rendered = j.render();
     assert_eq!(rendered, r#"{"metrics":{"pool.park":3}}"#);
-    // And the spliced result is still valid JSON end to end.
+    // And the spliced result is still valid JSON end to end — the parser
+    // reconstructs it as a structural (non-Raw) value.
     assert_eq!(
         parse(&rendered),
-        Val::Obj(vec![(
+        Json::Obj(vec![(
             "metrics".into(),
-            Val::Obj(vec![("pool.park".into(), Val::Num(3.0))])
+            Json::Obj(vec![("pool.park".into(), Json::Num(3.0))])
         )])
     );
+}
+
+/// Strategy for arbitrary parseable `Json` trees: every variant except
+/// `Raw` (not produced by the parser) and non-finite numbers (documented
+/// to render as `null`). Strings draw from a pool covering every escape
+/// class, including raw control characters and astral-plane codepoints.
+struct JsonTree {
+    depth: usize,
+}
+
+fn arb_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..12);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..8) {
+            0 => char::from_u32(rng.gen_range(0..0x20)).unwrap(), // control
+            1 => '"',
+            2 => '\\',
+            3 => char::from_u32(rng.gen_range(0x20..0x7f)).unwrap(), // ascii
+            4 => '\u{1F680}',                                        // astral
+            5 => 'é',
+            6 => '∀',
+            _ => char::from_u32(rng.gen_range(0x20..0x3000)).unwrap(),
+        })
+        .collect()
+}
+
+impl Strategy for JsonTree {
+    type Value = Json;
+
+    fn sample(&self, rng: &mut StdRng) -> Json {
+        let leaf_only = self.depth == 0;
+        match rng.gen_range(0u32..if leaf_only { 5 } else { 7 }) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen_bool(0.5)),
+            // Mix of integral (the common counter case) and fractional.
+            2 => Json::Num(rng.gen_range(-1_000_000i64..1_000_000) as f64),
+            3 => Json::Num(rng.gen_range(-1e9..1e9) / 128.0),
+            4 => Json::Str(arb_string(rng)),
+            5 => {
+                let inner = JsonTree {
+                    depth: self.depth - 1,
+                };
+                let n = rng.gen_range(0usize..4);
+                Json::Arr((0..n).map(|_| inner.sample(rng)).collect())
+            }
+            _ => {
+                let inner = JsonTree {
+                    depth: self.depth - 1,
+                };
+                let n = rng.gen_range(0usize..4);
+                Json::Obj(
+                    (0..n)
+                        .map(|_| (arb_string(rng), inner.sample(rng)))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_trees_round_trip_through_render_and_parse(
+        j in JsonTree { depth: 3 }
+    ) {
+        let rendered = j.render();
+        let back = Json::parse(&rendered)
+            .unwrap_or_else(|e| panic!("render produced invalid JSON {rendered:?}: {e}"));
+        prop_assert_eq!(back, j);
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_reparse_is_idempotent(
+        j in JsonTree { depth: 3 }
+    ) {
+        let r1 = j.render();
+        let r2 = Json::parse(&r1).unwrap().render();
+        // parse(render(j)).render() == render(j): one canonical encoding.
+        prop_assert_eq!(r1, r2);
+    }
 }

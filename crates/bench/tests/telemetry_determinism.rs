@@ -39,8 +39,12 @@ fn distsim_counter_delta(seed: u64, drop_pct: u32, dup_pct: u32) -> gp_telemetry
 /// `rewrite.*` counter delta (per-rule fires, runs, passes) plus the
 /// engine's own per-run statistics totals.
 fn rewrite_fire_delta(seed: u64) -> (gp_telemetry::Snapshot, usize) {
-    let before = gp_telemetry::snapshot();
+    // Build the simplifier *before* opening the delta window: the standard
+    // environment is built once per process (`rewrite.env.standard_builds`
+    // fires only on the first call), and this delta is about the simplify
+    // stream, not simplifier construction.
     let s = Simplifier::standard();
+    let before = gp_telemetry::snapshot();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stats_total = 0;
     for _ in 0..8 {

@@ -111,7 +111,32 @@ impl ConceptEnv {
     /// | `(Str, ++)` | Monoid (non-commutative), identity `""` |
     /// | `(Rational, *)` | commutative Group, identity 1 |
     /// | `(Matrix, *)` | Monoid (non-commutative), identity `I` (symbolic) |
+    ///
+    /// The environment is **built once per process** and cached behind
+    /// [`ConceptEnv::standard_ref`]; this constructor clones the cached
+    /// copy (a handful of small hash tables) instead of re-running the
+    /// declarations. Concurrent request handlers (`gp-service`) that only
+    /// need shared read access should hold the `&'static` reference and
+    /// skip even the clone.
     pub fn standard() -> Self {
+        Self::standard_ref().clone()
+    }
+
+    /// The shared, lazily-built standard environment. Safe to read from
+    /// any thread; the build happens exactly once per process (mirrored to
+    /// the telemetry counter `rewrite.env.standard_builds`, which a
+    /// regression test pins at ≤ 1).
+    pub fn standard_ref() -> &'static ConceptEnv {
+        static STANDARD: std::sync::OnceLock<ConceptEnv> = std::sync::OnceLock::new();
+        STANDARD.get_or_init(|| {
+            gp_telemetry::counter("rewrite.env.standard_builds").incr();
+            Self::build_standard()
+        })
+    }
+
+    /// Run the Fig. 5 declarations from scratch (the body behind the
+    /// cached [`ConceptEnv::standard_ref`]).
+    fn build_standard() -> Self {
         use AlgConcept::*;
         use BinOp::*;
         let mut env = ConceptEnv::default();
@@ -230,6 +255,38 @@ mod tests {
         assert!(!env.models(Type::Int, BinOp::Mul, AlgConcept::Group));
         // String concatenation is NOT commutative.
         assert!(!env.models(Type::Str, BinOp::Concat, AlgConcept::Commutative));
+    }
+
+    #[test]
+    fn standard_env_is_shared_not_rebuilt_per_request() {
+        // Regression for the gp-service hot path: concurrent handlers each
+        // construct a `Simplifier::standard()`; the concept environment
+        // behind them must be built once per process, not once per
+        // request. Force the one allowed build, then prove 8 threads x 4
+        // requests add zero further builds and all see the same statics.
+        let first = ConceptEnv::standard_ref();
+        let before = gp_telemetry::snapshot();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..4 {
+                        let env = ConceptEnv::standard();
+                        assert_eq!(env.identity(Type::Int, BinOp::Mul), Some(&Value::Int(1)));
+                    }
+                    ConceptEnv::standard_ref() as *const ConceptEnv as usize
+                })
+            })
+            .collect();
+        for h in handles {
+            let ptr = h.join().unwrap();
+            assert_eq!(ptr, first as *const ConceptEnv as usize);
+        }
+        let delta = gp_telemetry::snapshot().delta(&before);
+        assert_eq!(
+            delta.counter("rewrite.env.standard_builds"),
+            0,
+            "standard env was rebuilt after first use"
+        );
     }
 
     #[test]

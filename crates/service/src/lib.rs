@@ -1,0 +1,45 @@
+//! # gp-service: the concept-query server
+//!
+//! A batched, cached, load-shedding request/response front end over the
+//! repo's library stack — the paper's generic components packaged behind
+//! one wire protocol:
+//!
+//! | kind       | backing crate | question                                   |
+//! |------------|---------------|--------------------------------------------|
+//! | `lint`     | `gp-checker`  | does this program misuse library semantics? |
+//! | `simplify` | `gp-rewrite`  | what does this expression reduce to here?   |
+//! | `prove`    | `gp-proofs`   | do the theory's proofs hold on this model?  |
+//! | `select`   | `gp-taxonomy` | which algorithm fits this deployment?       |
+//!
+//! The wire is length-prefixed JSON frames over TCP ([`wire`]); the same
+//! serving core answers in-process through [`Service::call`]. Three
+//! mechanisms make it a *server* rather than four function calls:
+//!
+//! - **Admission control** ([`queue`]): a bounded queue sheds overflow as
+//!   retriable [`Response::Overloaded`] instead of queueing unboundedly.
+//! - **Micro-batching** ([`server`]): queued `Simplify` requests sharing
+//!   an environment fingerprint execute under one `Simplifier` build.
+//! - **Response caching** ([`cache`]): mutex-striped LRU keyed by the
+//!   request's canonical form; hits are byte-identical to fresh answers.
+//!
+//! Everything is observable through `gp-telemetry` (`service.*` counters,
+//!  queue-depth gauge, per-kind latency histograms), and the counters
+//! obey `accepted == completed + shed + in_flight` — checked from
+//! snapshot deltas by `exp_service` and the coherence proptests.
+
+pub mod cache;
+pub mod lint;
+pub mod prove;
+pub mod queue;
+pub mod request;
+pub mod select;
+pub mod server;
+pub mod simplify;
+pub mod wire;
+
+pub use cache::{CacheStats, ResponseCache};
+pub use request::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
+pub use server::{Service, ServiceConfig, ServiceStats, Ticket};
+pub use wire::TcpClient;

@@ -1,0 +1,134 @@
+//! The `Lint` request: STLlint as a service (`gp-checker` backing).
+//!
+//! A client ships a program in the checker's line-oriented source format
+//! (`gp_checker::parse`); the handler parses it and runs the abstract
+//! interpreter, returning every diagnostic with its severity, stable
+//! category code, subject, and message. A source-level parse error is a
+//! *handler* error (the request was well-formed JSON but not a checkable
+//! program), reported through the error status.
+
+use gp_checker::analyze::{analyze, Severity};
+use gp_core::json::Json;
+
+/// Lint a program against library semantics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LintRequest {
+    /// Program name, echoed in diagnostics (defaults to `"request"`).
+    pub name: String,
+    /// Program source in the checker's text format.
+    pub program: String,
+}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Suggestion => "suggestion",
+    }
+}
+
+impl LintRequest {
+    /// Canonical JSON form (field order fixed — cache keys depend on it).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("name", self.name.as_str())
+            .field("program", self.program.as_str())
+    }
+
+    /// Decode from the `req` object of a request envelope.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let program = j
+            .get("program")
+            .and_then(Json::as_str)
+            .ok_or("lint: missing string field 'program'")?
+            .to_string();
+        let name = j
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("request")
+            .to_string();
+        Ok(LintRequest { name, program })
+    }
+}
+
+/// Parse and analyze; the response payload lists every diagnostic.
+pub fn handle(req: &LintRequest) -> Result<Json, String> {
+    let program =
+        gp_checker::parse::parse(&req.name, &req.program).map_err(|e| format!("parse: {e}"))?;
+    let diags = analyze(&program);
+    let rows: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            Json::obj()
+                .field("severity", severity_str(d.severity))
+                .field("code", d.code.as_str())
+                .field("subject", d.subject.as_str())
+                .field("message", d.message.as_str())
+        })
+        .collect();
+    Ok(Json::obj()
+        .field("program", req.name.as_str())
+        .field("count", rows.len())
+        .field("diagnostics", rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 4 erase-loop bug in checker source form.
+    pub(crate) const FIG4: &str = "\
+container students list
+container failures list
+iter it = begin students
+while it != end {
+    deref it
+    if {
+        deref it
+        push_back failures
+        erase students it
+    } else {
+        advance it
+    }
+}
+";
+
+    #[test]
+    fn fig4_yields_the_singular_dereference_diagnostic() {
+        let req = LintRequest {
+            name: "fig4".into(),
+            program: FIG4.into(),
+        };
+        let payload = handle(&req).unwrap();
+        let diags = payload.get("diagnostics").and_then(Json::as_arr).unwrap();
+        assert!(!diags.is_empty());
+        assert!(
+            diags.iter().any(|d| {
+                d.get("message")
+                    .and_then(Json::as_str)
+                    .is_some_and(|m| m.contains("singular iterator"))
+            }),
+            "expected the paper's diagnostic in {payload:?}"
+        );
+    }
+
+    #[test]
+    fn source_parse_errors_surface_as_handler_errors() {
+        let req = LintRequest {
+            name: "bad".into(),
+            program: "container x vectorr\n".into(),
+        };
+        let err = handle(&req).unwrap_err();
+        assert!(err.starts_with("parse:"), "got {err}");
+    }
+
+    #[test]
+    fn request_json_round_trips() {
+        let req = LintRequest {
+            name: "fig4".into(),
+            program: FIG4.into(),
+        };
+        let back = LintRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(back, req);
+    }
+}

@@ -1,0 +1,296 @@
+//! Request/response envelopes and the canonical form that keys the
+//! response cache.
+//!
+//! A request frame is `{"id": N, "kind": "...", "req": {...}}`; a
+//! response frame is `{"id": N, "status": "ok", "resp": {...}}`,
+//! `{"id": N, "status": "error", "error": "..."}`, or
+//! `{"id": N, "status": "overloaded"}`. The `id` is a client-chosen
+//! correlation number echoed verbatim; it is *excluded* from the
+//! canonical form, so two clients asking the same question share a cache
+//! entry.
+//!
+//! Every `to_json` emits fields in a fixed order and every decoder
+//! re-canonicalizes on entry, so `canonical()` is a stable cache key for
+//! semantically equal requests however the client ordered its fields.
+
+use crate::{lint, prove, select, simplify};
+use gp_core::json::Json;
+
+/// One query against the library stack.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Lint a program (`gp-checker`).
+    Lint(lint::LintRequest),
+    /// Simplify an expression under a concept environment (`gp-rewrite`).
+    Simplify(simplify::SimplifyRequest),
+    /// Check an instantiated theory (`gp-proofs`).
+    Prove(prove::ProveRequest),
+    /// Select a distributed algorithm (`gp-taxonomy`).
+    Select(select::SelectRequest),
+}
+
+/// The server's answer to one request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Success; `payload` is the rendered JSON payload, bit-stable so
+    /// cached and fresh responses are byte-identical.
+    Ok {
+        /// Rendered payload JSON.
+        payload: String,
+    },
+    /// The handler rejected the request (bad program, unknown theory …).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Admission control shed the request; retry later. The server did
+    /// *not* do the work.
+    Overloaded,
+}
+
+impl Request {
+    /// The wire name of this request's kind (also its telemetry label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Lint(_) => "lint",
+            Request::Simplify(_) => "simplify",
+            Request::Prove(_) => "prove",
+            Request::Select(_) => "select",
+        }
+    }
+
+    /// The `req` object in canonical field order.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Lint(r) => r.to_json(),
+            Request::Simplify(r) => r.to_json(),
+            Request::Prove(r) => r.to_json(),
+            Request::Select(r) => r.to_json(),
+        }
+    }
+
+    /// Decode from `kind` + `req` object.
+    pub fn from_kind_json(kind: &str, req: &Json) -> Result<Request, String> {
+        Ok(match kind {
+            "lint" => Request::Lint(lint::LintRequest::from_json(req)?),
+            "simplify" => Request::Simplify(simplify::SimplifyRequest::from_json(req)?),
+            "prove" => Request::Prove(prove::ProveRequest::from_json(req)?),
+            "select" => Request::Select(select::SelectRequest::from_json(req)?),
+            other => return Err(format!("unknown request kind {other:?}")),
+        })
+    }
+
+    /// Canonical form: kind + canonical payload rendering. Equal for
+    /// semantically equal requests; the cache key is its hash (with the
+    /// full string kept for collision checks).
+    pub fn canonical(&self) -> String {
+        format!("{}:{}", self.kind(), self.to_json().render())
+    }
+
+    /// Dispatch to the backing handler (a batch of one for `Simplify`;
+    /// the serving core batches when it can).
+    pub fn handle(&self) -> Result<Json, String> {
+        match self {
+            Request::Lint(r) => lint::handle(r),
+            Request::Simplify(r) => simplify::handle(r),
+            Request::Prove(r) => prove::handle(r),
+            Request::Select(r) => select::handle(r),
+        }
+    }
+}
+
+/// FNV-1a — the cache's request hash. Small, dependency-free, and good
+/// enough given the canonical string rides along to catch collisions.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode a request frame.
+pub fn encode_request(id: u64, req: &Request) -> String {
+    Json::obj()
+        .field("id", id)
+        .field("kind", req.kind())
+        .field("req", req.to_json())
+        .render()
+}
+
+/// Decode a request frame into `(id, request)`.
+pub fn decode_request(frame: &str) -> Result<(u64, Request), String> {
+    let j = Json::parse(frame).map_err(|e| format!("bad frame: {e}"))?;
+    let id = j.get("id").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let kind = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("bad frame: missing string field 'kind'")?;
+    let req = j.get("req").ok_or("bad frame: missing field 'req'")?;
+    Ok((id, Request::from_kind_json(kind, req)?))
+}
+
+/// Encode a response frame.
+pub fn encode_response(id: u64, resp: &Response) -> String {
+    let j = Json::obj().field("id", id);
+    match resp {
+        // The payload is already rendered JSON; splice it verbatim so the
+        // bytes a cache hit returns are identical to the fresh ones.
+        Response::Ok { payload } => j
+            .field("status", "ok")
+            .field("resp", Json::Raw(payload.clone())),
+        Response::Error { message } => j.field("status", "error").field("error", message.as_str()),
+        Response::Overloaded => j.field("status", "overloaded"),
+    }
+    .render()
+}
+
+/// Decode a response frame into `(id, response)`. The payload is
+/// re-rendered from the parse — safe because rendering is canonical
+/// (`parse(r).render() == r`, proptested in `gp-bench`).
+pub fn decode_response(frame: &str) -> Result<(u64, Response), String> {
+    let j = Json::parse(frame).map_err(|e| format!("bad frame: {e}"))?;
+    let id = j.get("id").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let status = j
+        .get("status")
+        .and_then(Json::as_str)
+        .ok_or("bad frame: missing string field 'status'")?;
+    Ok((
+        id,
+        match status {
+            "ok" => Response::Ok {
+                payload: j
+                    .get("resp")
+                    .ok_or("bad frame: ok without 'resp'")?
+                    .render(),
+            },
+            "error" => Response::Error {
+                message: j
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .ok_or("bad frame: error without 'error'")?
+                    .to_string(),
+            },
+            "overloaded" => Response::Overloaded,
+            other => return Err(format!("unknown status {other:?}")),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplify::EnvSpec;
+    use gp_rewrite::{BinOp, Expr, Type};
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Lint(lint::LintRequest {
+                name: "p".into(),
+                program: "container xs vector\n".into(),
+            }),
+            Request::Simplify(simplify::SimplifyRequest {
+                expr: Expr::bin(BinOp::Add, Expr::var("x", Type::Int), Expr::int(0)),
+                env: EnvSpec::Standard,
+            }),
+            Request::Prove(prove::ProveRequest {
+                theory: "monoid".into(),
+                instance: "i".into(),
+                model: vec![("op".into(), "add".into())],
+            }),
+            Request::Select(
+                select::SelectRequest::from_json(
+                    &Json::parse(
+                        r#"{"problem":"broadcast","topology":"tree","timing":"asynchronous"}"#,
+                    )
+                    .unwrap(),
+                )
+                .unwrap(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn request_frames_round_trip_for_every_kind() {
+        for (i, req) in sample_requests().into_iter().enumerate() {
+            let frame = encode_request(i as u64 + 7, &req);
+            let (id, back) = decode_request(&frame).unwrap();
+            assert_eq!(id, i as u64 + 7);
+            assert_eq!(back, req, "round-trip for kind {}", req.kind());
+            assert_eq!(back.canonical(), req.canonical());
+        }
+    }
+
+    #[test]
+    fn canonical_form_ignores_client_field_order_and_id() {
+        let a = decode_request(
+            r#"{"id":1,"kind":"lint","req":{"name":"p","program":"container xs vector\n"}}"#,
+        )
+        .unwrap()
+        .1;
+        let b = decode_request(
+            r#"{"kind":"lint","id":99,"req":{"program":"container xs vector\n","name":"p"}}"#,
+        )
+        .unwrap()
+        .1;
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn response_frames_round_trip_and_ok_payload_is_spliced_verbatim() {
+        let payload = Request::Select(
+            select::SelectRequest::from_json(
+                &Json::parse(
+                    r#"{"problem":"broadcast","topology":"tree","timing":"asynchronous"}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap(),
+        )
+        .handle()
+        .unwrap()
+        .render();
+        let resp = Response::Ok {
+            payload: payload.clone(),
+        };
+        let frame = encode_response(3, &resp);
+        assert!(
+            frame.contains(&payload),
+            "payload bytes verbatim in {frame}"
+        );
+        let (id, back) = decode_response(&frame).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(back, resp);
+
+        for r in [
+            Response::Error {
+                message: "bad \"input\"".into(),
+            },
+            Response::Overloaded,
+        ] {
+            let (_, back) = decode_response(&encode_response(0, &r)).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_with_context() {
+        for frame in [
+            "",
+            "not json",
+            r#"{"id":1}"#,
+            r#"{"id":1,"kind":"frobnicate","req":{}}"#,
+            r#"{"id":1,"kind":"lint","req":{}}"#,
+        ] {
+            assert!(decode_request(frame).is_err(), "accepted {frame:?}");
+        }
+    }
+
+    #[test]
+    fn fnv1a_distinguishes_close_strings() {
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+        assert_ne!(fnv1a("lint:{}"), fnv1a("lint:{} "));
+        assert_eq!(fnv1a("same"), fnv1a("same"));
+    }
+}

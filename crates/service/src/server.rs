@@ -1,0 +1,612 @@
+//! The serving core: admission control, worker pool, micro-batching,
+//! response cache, TCP front end, and graceful shutdown.
+//!
+//! A request's life: `submit` stamps it, counts it as **accepted**, and
+//! either answers from the cache (**completed**), sheds it when the
+//! bounded queue is full (**shed**, a retriable `Overloaded` — the
+//! load-shedding design choice documented in DESIGN.md), or queues it.
+//! Workers pop jobs, pull queued `Simplify` requests with the same
+//! environment fingerprint into a micro-batch (one `Simplifier` build
+//! amortized over the batch), execute on the `gp-parallel` global pool,
+//! and reply through the job's channel.
+//!
+//! The conservation law `accepted == completed + shed + in_flight` holds
+//! at every instant, and `in_flight == 0` after [`Service::shutdown`]
+//! drains — provable from one telemetry snapshot delta, which is exactly
+//! how `exp_service --smoke` and the coherence proptests check it.
+
+use crate::cache::{CacheStats, ResponseCache};
+use crate::queue::BoundedQueue;
+use crate::request::{decode_request, encode_response, fnv1a, Request, Response};
+use crate::simplify::SimplifyRequest;
+use crate::wire::{read_frame, write_frame};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity; arrivals beyond it are shed.
+    pub queue_depth: usize,
+    /// Whether the response cache answers repeat requests.
+    pub cache_enabled: bool,
+    /// Mutex stripes in the cache.
+    pub cache_shards: usize,
+    /// Total cache entries across stripes.
+    pub cache_capacity: usize,
+    /// Most `Simplify` requests merged into one micro-batch.
+    pub batch_max: usize,
+    /// Artificial per-batch handler delay — the load generator's knob for
+    /// making overload reproducible; `None` in production paths.
+    pub handler_delay: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 64,
+            cache_enabled: true,
+            cache_shards: 8,
+            cache_capacity: 512,
+            batch_max: 8,
+            handler_delay: None,
+        }
+    }
+}
+
+/// Counter snapshot for one service instance (telemetry counters
+/// aggregate the same events process-wide).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests that entered `submit` (sheds included).
+    pub accepted: u64,
+    /// Requests answered with `Ok`/`Error` (cache hits included).
+    pub completed: u64,
+    /// Requests refused by admission control.
+    pub shed: u64,
+    /// Requests that joined another request's micro-batch.
+    pub batched: u64,
+    /// Cache counters (all zero when the cache is disabled).
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// `accepted - completed - shed`: zero at quiescence, and provably
+    /// zero after a drained shutdown.
+    pub fn in_flight(&self) -> i64 {
+        self.accepted as i64 - self.completed as i64 - self.shed as i64
+    }
+}
+
+/// One queued request plus everything needed to answer it.
+struct Job {
+    request: Request,
+    canonical: String,
+    hash: u64,
+    /// Environment fingerprint for `Simplify` (batching key).
+    batch_key: Option<u64>,
+    reply: mpsc::Sender<Response>,
+    enqueued: Instant,
+}
+
+/// A pending response; `wait` blocks until the worker replies.
+pub struct Ticket {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Block for the response. A service that dropped the job without
+    /// replying (cannot happen through public paths) reads as an error.
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or(Response::Error {
+            message: "service dropped the request without replying".into(),
+        })
+    }
+}
+
+struct ServiceInner {
+    config: ServiceConfig,
+    queue: BoundedQueue<Job>,
+    cache: Option<ResponseCache>,
+    accepting: AtomicBool,
+    stop_listener: AtomicBool,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    batched: AtomicU64,
+}
+
+fn span_name(kind: &str) -> &'static str {
+    match kind {
+        "lint" => "service.lint",
+        "simplify" => "service.simplify",
+        "prove" => "service.prove",
+        _ => "service.select",
+    }
+}
+
+impl ServiceInner {
+    fn submit(self: &Arc<Self>, request: Request) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
+        let kind = request.kind();
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        gp_telemetry::counter("service.accepted").incr();
+        gp_telemetry::counter(&format!("service.req.{kind}")).incr();
+
+        if !self.accepting.load(Ordering::Acquire) {
+            self.shed_one(&tx);
+            return ticket;
+        }
+        let canonical = request.canonical();
+        let hash = fnv1a(&canonical);
+        if let Some(cache) = &self.cache {
+            if let Some(payload) = cache.get(hash, &canonical) {
+                self.complete_one(kind, Instant::now());
+                let _ = tx.send(Response::Ok { payload });
+                return ticket;
+            }
+        }
+        let batch_key = match &request {
+            Request::Simplify(r) => Some(r.env.fingerprint()),
+            _ => None,
+        };
+        let job = Job {
+            request,
+            canonical,
+            hash,
+            batch_key,
+            reply: tx,
+            enqueued: Instant::now(),
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                gp_telemetry::gauge("service.queue.depth").add(1);
+            }
+            Err(job) => self.shed_one(&job.reply),
+        }
+        ticket
+    }
+
+    fn shed_one(&self, reply: &mpsc::Sender<Response>) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        gp_telemetry::counter("service.shed").incr();
+        let _ = reply.send(Response::Overloaded);
+    }
+
+    fn complete_one(&self, kind: &str, enqueued: Instant) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        gp_telemetry::counter("service.completed").incr();
+        gp_telemetry::histogram(&format!("service.latency.{kind}.ns"))
+            .record(enqueued.elapsed().as_nanos() as u64);
+    }
+
+    /// Answer one job from a handler result: render, cache, count, reply.
+    fn finish(&self, job: Job, result: Result<gp_core::json::Json, String>) {
+        let response = match result {
+            Ok(json) => {
+                let payload = json.render();
+                if let Some(cache) = &self.cache {
+                    cache.put(job.hash, &job.canonical, &payload);
+                }
+                Response::Ok { payload }
+            }
+            Err(message) => Response::Error { message },
+        };
+        self.complete_one(job.request.kind(), job.enqueued);
+        let _ = job.reply.send(response);
+    }
+
+    /// Execute a popped batch (always non-empty; len > 1 only for
+    /// `Simplify` jobs sharing an environment fingerprint).
+    fn execute_batch(&self, mut batch: Vec<Job>) {
+        if let Some(delay) = self.config.handler_delay {
+            thread::sleep(delay);
+        }
+        if batch.len() > 1 {
+            let reqs: Vec<SimplifyRequest> = batch
+                .iter()
+                .map(|j| match &j.request {
+                    Request::Simplify(r) => r.clone(),
+                    _ => unreachable!("only Simplify jobs carry a batch key"),
+                })
+                .collect();
+            let _span = gp_telemetry::span("service.simplify");
+            let results = catch_unwind(AssertUnwindSafe(|| crate::simplify::handle_batch(&reqs)));
+            match results {
+                Ok(results) => {
+                    for (job, result) in batch.drain(..).zip(results) {
+                        self.finish(job, result);
+                    }
+                }
+                Err(_) => {
+                    for job in batch.drain(..) {
+                        self.finish(job, Err("handler panicked".into()));
+                    }
+                }
+            }
+        } else {
+            let job = batch.pop().expect("batch is non-empty");
+            let _span = gp_telemetry::span(span_name(job.request.kind()));
+            let result = catch_unwind(AssertUnwindSafe(|| job.request.handle()))
+                .unwrap_or_else(|_| Err("handler panicked".into()));
+            self.finish(job, result);
+        }
+    }
+
+    /// Worker loop: pop, gather batch-mates, run on the global pool.
+    fn worker_loop(self: Arc<Self>) {
+        while let Some(job) = self.queue.pop() {
+            gp_telemetry::gauge("service.queue.depth").sub(1);
+            let mut batch = vec![job];
+            if let Some(key) = batch[0].batch_key {
+                while batch.len() < self.config.batch_max {
+                    match self.queue.try_take_matching(|j| j.batch_key == Some(key)) {
+                        Some(mate) => {
+                            gp_telemetry::gauge("service.queue.depth").sub(1);
+                            self.batched.fetch_add(1, Ordering::Relaxed);
+                            gp_telemetry::counter("service.batch.merged").incr();
+                            batch.push(mate);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            // Execute on the gp-parallel global pool; the worker blocks
+            // until its batch is done, so worker count bounds service
+            // concurrency and shutdown-join implies no in-flight work.
+            let (done_tx, done_rx) = mpsc::channel();
+            let inner = Arc::clone(&self);
+            gp_parallel::pool::global().execute(move || {
+                inner.execute_batch(batch);
+                let _ = done_tx.send(());
+            });
+            let _ = done_rx.recv();
+        }
+    }
+
+    fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            batched: self.batched.load(Ordering::Relaxed),
+            cache: self
+                .cache
+                .as_ref()
+                .map(ResponseCache::stats)
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// The concept-query server. Construct with [`Service::start`], query
+/// in-process with [`Service::call`] (or [`Service::submit`] for
+/// pipelining), optionally expose over TCP with [`Service::listen`], and
+/// stop with [`Service::shutdown`].
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+    listen_thread: Option<JoinHandle<()>>,
+    listen_addr: Option<SocketAddr>,
+}
+
+impl Service {
+    /// Start workers and (optionally) the cache.
+    pub fn start(config: ServiceConfig) -> Service {
+        let cache = config
+            .cache_enabled
+            .then(|| ResponseCache::new(config.cache_shards, config.cache_capacity));
+        let inner = Arc::new(ServiceInner {
+            queue: BoundedQueue::new(config.queue_depth),
+            cache,
+            accepting: AtomicBool::new(true),
+            stop_listener: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..inner.config.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        Service {
+            inner,
+            workers,
+            listen_thread: None,
+            listen_addr: None,
+        }
+    }
+
+    /// Submit without waiting; the [`Ticket`] resolves to the response.
+    pub fn submit(&self, request: Request) -> Ticket {
+        self.inner.submit(request)
+    }
+
+    /// The in-process client: submit and block for the answer — same
+    /// admission control, cache, and batching as the socket path, minus
+    /// the socket.
+    pub fn call(&self, request: Request) -> Response {
+        self.submit(request).wait()
+    }
+
+    /// Serve TCP on `addr` (use port 0 for an ephemeral port); returns
+    /// the bound address.
+    pub fn listen(&mut self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::clone(&self.inner);
+        self.listen_thread = Some(thread::spawn(move || {
+            for stream in listener.incoming() {
+                if inner.stop_listener.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    let inner = Arc::clone(&inner);
+                    thread::spawn(move || serve_connection(&inner, stream));
+                }
+            }
+        }));
+        self.listen_addr = Some(local);
+        Ok(local)
+    }
+
+    /// This instance's counters (telemetry carries the same events
+    /// process-wide).
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.stats()
+    }
+
+    /// Graceful shutdown: refuse new work, stop the listener, drain every
+    /// admitted job, join the workers. On return `in_flight == 0` and the
+    /// conservation law has collapsed to `accepted == completed + shed`.
+    pub fn shutdown(&mut self) -> ServiceStats {
+        self.inner.accepting.store(false, Ordering::Release);
+        self.inner.stop_listener.store(true, Ordering::Release);
+        if let Some(addr) = self.listen_addr.take() {
+            // Unblock the accept loop so it observes the stop flag.
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(t) = self.listen_thread.take() {
+            let _ = t.join();
+        }
+        self.inner.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.inner.stats()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One connection: frames in, frames out, until the peer hangs up. A
+/// frame that is not a well-formed request gets an error response with
+/// correlation id 0 (the decoder could not recover the client's id).
+fn serve_connection(inner: &Arc<ServiceInner>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            _ => return,
+        };
+        let reply = match decode_request(&frame) {
+            Ok((id, request)) => encode_response(id, &inner.submit(request).wait()),
+            Err(e) => encode_response(0, &Response::Error { message: e }),
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::LintRequest;
+    use crate::prove::ProveRequest;
+    use crate::select::SelectRequest;
+    use crate::simplify::{EnvSpec, SimplifyRequest};
+    use crate::wire::TcpClient;
+    use gp_core::json::Json;
+    use gp_rewrite::{BinOp, Expr, Type};
+
+    fn sample(kind: usize, salt: usize) -> Request {
+        match kind {
+            0 => Request::Lint(LintRequest {
+                name: format!("p{salt}"),
+                program: "container xs vector\niter it = begin xs\nderef it\n".into(),
+            }),
+            1 => Request::Simplify(SimplifyRequest {
+                expr: Expr::bin(
+                    BinOp::Mul,
+                    Expr::var(format!("x{salt}"), Type::Int),
+                    Expr::int(1),
+                ),
+                env: EnvSpec::Standard,
+            }),
+            2 => Request::Prove(ProveRequest {
+                theory: "monoid".into(),
+                instance: format!("i{salt}"),
+                model: vec![("op".into(), format!("op{salt}"))],
+            }),
+            _ => Request::Select(
+                SelectRequest::from_json(
+                    &Json::parse(
+                        r#"{"problem":"broadcast","topology":"tree","timing":"asynchronous"}"#,
+                    )
+                    .unwrap(),
+                )
+                .unwrap(),
+            ),
+        }
+    }
+
+    #[test]
+    fn all_four_kinds_answer_in_process_and_conservation_holds() {
+        let mut svc = Service::start(ServiceConfig::default());
+        for kind in 0..4 {
+            match svc.call(sample(kind, kind)) {
+                Response::Ok { payload } => {
+                    Json::parse(&payload).expect("payload is valid JSON");
+                }
+                other => panic!("kind {kind} answered {other:?}"),
+            }
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.accepted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache_with_identical_bytes() {
+        let mut svc = Service::start(ServiceConfig::default());
+        let req = sample(2, 0);
+        let first = match svc.call(req.clone()) {
+            Response::Ok { payload } => payload,
+            other => panic!("{other:?}"),
+        };
+        let second = match svc.call(req) {
+            Response::Ok { payload } => payload,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(first, second, "cached response must be byte-identical");
+        let stats = svc.shutdown();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.completed, 2, "a cache hit still completes");
+    }
+
+    #[test]
+    fn handler_errors_are_responses_not_cache_entries() {
+        let mut svc = Service::start(ServiceConfig::default());
+        let bad = Request::Lint(LintRequest {
+            name: "bad".into(),
+            program: "container x vectorr\n".into(),
+        });
+        for _ in 0..2 {
+            match svc.call(bad.clone()) {
+                Response::Error { message } => assert!(message.starts_with("parse:")),
+                other => panic!("{other:?}"),
+            }
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.cache.hits, 0, "errors are never cached");
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn overload_sheds_with_overloaded_not_collapse() {
+        let mut svc = Service::start(ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            cache_enabled: false,
+            handler_delay: Some(Duration::from_millis(20)),
+            ..ServiceConfig::default()
+        });
+        // Distinct lint requests (no batching) flood a 1-deep queue.
+        let tickets: Vec<Ticket> = (0..32).map(|i| svc.submit(sample(0, i))).collect();
+        let responses: Vec<Response> = tickets.into_iter().map(Ticket::wait).collect();
+        let sheds = responses
+            .iter()
+            .filter(|r| matches!(r, Response::Overloaded))
+            .count();
+        let served = responses
+            .iter()
+            .filter(|r| matches!(r, Response::Ok { .. }))
+            .count();
+        assert!(sheds > 0, "a 1-deep queue under flood must shed");
+        assert!(served > 0, "shedding must not starve admitted work");
+        let stats = svc.shutdown();
+        assert_eq!(stats.accepted, 32);
+        assert_eq!(stats.shed as usize, sheds);
+        assert_eq!(stats.completed as usize, served);
+        assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn queued_simplify_requests_merge_into_micro_batches() {
+        let mut svc = Service::start(ServiceConfig {
+            workers: 1,
+            queue_depth: 64,
+            cache_enabled: false,
+            batch_max: 8,
+            handler_delay: Some(Duration::from_millis(10)),
+            ..ServiceConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..16).map(|i| svc.submit(sample(1, i))).collect();
+        for t in tickets {
+            match t.wait() {
+                Response::Ok { .. } => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 16);
+        assert!(
+            stats.batched > 0,
+            "a busy single worker must batch same-env simplify requests: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work_before_returning() {
+        let mut svc = Service::start(ServiceConfig {
+            workers: 2,
+            queue_depth: 64,
+            cache_enabled: false,
+            handler_delay: Some(Duration::from_millis(5)),
+            ..ServiceConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..12).map(|i| svc.submit(sample(i % 4, i))).collect();
+        let stats = svc.shutdown();
+        assert_eq!(stats.in_flight(), 0, "shutdown drained: {stats:?}");
+        for t in tickets {
+            assert!(
+                matches!(t.wait(), Response::Ok { .. }),
+                "admitted work is finished, not dropped"
+            );
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_and_malformed_frames() {
+        let mut svc = Service::start(ServiceConfig::default());
+        let addr = svc.listen("127.0.0.1:0").unwrap();
+        let mut client = TcpClient::connect(addr).unwrap();
+        for kind in 0..4 {
+            match client.call(&sample(kind, kind)).unwrap() {
+                Response::Ok { payload } => {
+                    Json::parse(&payload).expect("payload is valid JSON");
+                }
+                other => panic!("kind {kind} answered {other:?}"),
+            }
+        }
+        // A malformed frame gets an error reply (id 0), not a hangup.
+        let mut raw = TcpStream::connect(addr).unwrap();
+        write_frame(&mut raw, "this is not a request").unwrap();
+        let reply = read_frame(&mut raw).unwrap().unwrap();
+        let j = Json::parse(&reply).unwrap();
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("error"));
+        drop(raw);
+        let stats = svc.shutdown();
+        assert_eq!(stats.in_flight(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Length-prefixed framing over byte streams, and the TCP client.
+//!
+//! A frame is a 4-byte big-endian length followed by that many bytes of
+//! UTF-8 JSON. Length prefixes (rather than newline delimiting) keep the
+//! framing independent of payload content — programs shipped to `Lint`
+//! contain newlines — and make the read loop allocation-exact. Frames
+//! above [`MAX_FRAME`] are rejected before allocation, so a corrupt or
+//! hostile length prefix cannot balloon memory.
+
+use crate::request::{decode_response, encode_request, Request, Response};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Maximum frame payload (16 MiB) — far above any real request, far
+/// below an allocation-of-garbage DoS.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Write one frame and flush.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` on clean EOF (peer closed between frames);
+/// an EOF mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut len_buf[1..])?,
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}")))
+}
+
+/// A blocking request/response client over one TCP connection.
+///
+/// Correlation ids are assigned per connection; `call` is synchronous
+/// (one frame out, one frame in), which is all the closed-loop load
+/// generator and smoke tests need.
+pub struct TcpClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl TcpClient {
+    /// Connect to a listening service.
+    pub fn connect(addr: SocketAddr) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient { stream, next_id: 1 })
+    }
+
+    /// Send one request and block for its response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &encode_request(id, req))
+            .map_err(|e| format!("send: {e}"))?;
+        let frame = read_frame(&mut self.stream)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("recv: connection closed")?;
+        let (resp_id, resp) = decode_response(&frame)?;
+        if resp_id != id {
+            return Err(format!(
+                "response id {resp_id} does not match request id {id}"
+            ));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_including_empty_and_multibyte() {
+        let payloads = ["", "{}", "newlines\nand\ttabs", "célérité 🚀 ∀x"];
+        let mut buf = Vec::new();
+        for p in payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for p in payloads {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(p));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error_not_a_truncated_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello world").unwrap();
+        let mut cursor = &buf[..buf.len() - 3];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::from(u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        assert!(read_frame(&mut &buf[..]).is_err());
+        let huge = "x".repeat(MAX_FRAME + 1);
+        assert!(write_frame(&mut Vec::new(), &huge).is_err());
+    }
+}

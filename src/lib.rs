@@ -12,4 +12,6 @@ pub use gp_parallel as parallel;
 pub use gp_proofs as proofs;
 pub use gp_rewrite as rewrite;
 pub use gp_sequences as sequences;
+pub use gp_service as service;
 pub use gp_taxonomy as taxonomy;
+pub use gp_telemetry as telemetry;
