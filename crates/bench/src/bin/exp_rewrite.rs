@@ -1,12 +1,19 @@
 //! E5: Simplicissimus — the Fig. 5 coverage table: two concept-based rules
 //! subsume the ten type-specific instances, plus the LiDIA user extension
 //! and the "new type for free" demonstration.
+//!
+//! E13r: the rewrite-engine benchmark — hash-consed interner + indexed
+//! dispatch + normal-form memo vs the clone-per-pass baseline, over
+//! shared-subterm, deep, and wide workloads, plus the id-level DAG entry
+//! point on expressions too large to exist as trees. Emits
+//! `results/BENCH_rewrite.json`; `--smoke` shrinks sizes for CI.
 
-use gp_bench::{banner, Table};
+use gp_bench::{banner, write_results, Json, Table};
 use gp_rewrite::env::AlgConcept;
 use gp_rewrite::expr::Value;
 use gp_rewrite::rules::LidiaInverse;
 use gp_rewrite::{BinOp, Expr, Simplifier, Type, UnOp};
+use std::time::Instant;
 
 fn instances() -> Vec<(&'static str, Expr)> {
     use BinOp::*;
@@ -173,4 +180,166 @@ fn main() {
         stats.total()
     );
     println!("  result: {out}");
+
+    e13r(std::env::args().any(|a| a == "--smoke"));
+}
+
+// --- E13r: interned engine vs clone-per-pass baseline -------------------
+
+/// Median wall time of `reps` runs, in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// `levels` doublings of a rewritable core: every level duplicates the
+/// term below it, so the tree has ~3·2^levels nodes but only ~3·levels
+/// distinct subterms — the workload hash-consing exists for.
+fn shared_subterm_expr(levels: usize) -> Expr {
+    let mut t = Expr::bin(
+        BinOp::Add,
+        Expr::bin(BinOp::Mul, Expr::var("x", Type::Int), Expr::int(1)),
+        Expr::int(0),
+    );
+    for _ in 0..levels {
+        let half = Expr::bin(BinOp::Mul, t, Expr::int(1));
+        t = Expr::bin(BinOp::Add, half.clone(), half);
+    }
+    t
+}
+
+/// Right-identity chain `((x*1)*1)*…` of the given depth: every level is
+/// a *distinct* subterm, so the memo never hits — the no-sharing control.
+fn deep_expr(depth: usize) -> Expr {
+    let mut e = Expr::var("x", Type::Int);
+    for _ in 0..depth {
+        e = Expr::bin(BinOp::Mul, e, Expr::int(1));
+    }
+    e
+}
+
+/// Balanced tree over distinct variables — wide, shallow, all-distinct.
+fn wide_expr(depth: usize) -> Expr {
+    fn build(depth: usize, next: &mut usize) -> Expr {
+        if depth == 0 {
+            let e = Expr::bin(
+                BinOp::Mul,
+                Expr::var(format!("v{next}"), Type::Int),
+                Expr::int(1),
+            );
+            *next += 1;
+            return e;
+        }
+        Expr::bin(BinOp::Add, build(depth - 1, next), build(depth - 1, next))
+    }
+    build(depth, &mut 0)
+}
+
+fn bench_workload(name: &str, e: &Expr, reps: usize, table: &Table) -> Json {
+    let s = Simplifier::standard();
+    let (out_new, stats_new) = s.simplify(e);
+    let (out_old, stats_old) = s.simplify_baseline(e);
+    assert_eq!(out_new, out_old, "engines diverged on workload {name}");
+    let interned_ms = time_ms(reps, || s.simplify(e));
+    let baseline_ms = time_ms(reps, || s.simplify_baseline(e));
+    let speedup = baseline_ms / interned_ms;
+    table.row(&[
+        name.to_string(),
+        stats_new.size_before.to_string(),
+        stats_new.distinct_terms.to_string(),
+        format!("{baseline_ms:.3}"),
+        format!("{interned_ms:.3}"),
+        format!("{speedup:.2}x"),
+    ]);
+    Json::obj()
+        .field("workload", name)
+        .field("size_before", stats_new.size_before)
+        .field("distinct_terms", stats_new.distinct_terms)
+        .field("memo_hits", stats_new.memo_hits)
+        .field("applications_interned", stats_new.total())
+        .field("applications_baseline", stats_old.total())
+        .field("baseline_ms", baseline_ms)
+        .field("interned_ms", interned_ms)
+        .field("speedup", speedup)
+}
+
+fn e13r(smoke: bool) {
+    banner(
+        "E13r",
+        "Hash-consed interner + indexed dispatch vs clone-per-pass engine",
+        "§3.2 (rewriting as a performance tool); ROADMAP 'fast as the hardware allows'",
+    );
+    let (shared_levels, deep_depth, wide_depth, reps) = if smoke {
+        (10, 128, 8, 3)
+    } else {
+        (16, 512, 11, 7)
+    };
+    let t = Table::new(&[
+        ("workload", 10),
+        ("tree size", 12),
+        ("distinct", 10),
+        ("baseline ms", 12),
+        ("interned ms", 12),
+        ("speedup", 9),
+    ]);
+    let workloads = vec![
+        bench_workload("shared", &shared_subterm_expr(shared_levels), reps, &t),
+        bench_workload("deep", &deep_expr(deep_depth), reps, &t),
+        bench_workload("wide", &wide_expr(wide_depth), reps, &t),
+    ];
+
+    // The id-level entry point: a (x*1 + x*1)-doubling DAG 48 levels deep
+    // — a 2^48-node expression that cannot exist as a tree — simplified
+    // directly in the store.
+    let s = Simplifier::standard();
+    let mut sess = s.session();
+    let st = sess.store_mut();
+    let x = st.var("x", Type::Int);
+    let one = st.lit(&Value::Int(1));
+    let mut d = x;
+    for _ in 0..48 {
+        let m = st.binary(BinOp::Mul, d, one);
+        d = st.binary(BinOp::Add, m, m);
+    }
+    let t0 = Instant::now();
+    let (_, dag_stats) = sess.simplify_id(d);
+    let dag_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "\n  id-level DAG: 2^48-node (virtual) expression, {} distinct terms, \
+         {} rule fires in {:.3} ms",
+        dag_stats.distinct_terms,
+        dag_stats.total(),
+        dag_ms
+    );
+
+    let shared_speedup = workloads[0].get("speedup").and_then(Json::as_f64).unwrap();
+    println!(
+        "\n  headline: {shared_speedup:.1}x on the shared-subterm workload \
+         (target >= 3x)"
+    );
+
+    let report = Json::obj()
+        .field("experiment", "E13r")
+        .field("smoke", smoke)
+        .field("reps", reps)
+        .field("workloads", Json::Arr(workloads))
+        .field(
+            "dag_id_level",
+            Json::obj()
+                .field("virtual_levels", 48usize)
+                .field("distinct_terms", dag_stats.distinct_terms)
+                .field("applications", dag_stats.total())
+                .field("interned_ms", dag_ms),
+        )
+        .field("shared_speedup", shared_speedup)
+        .field("target_speedup", 3.0);
+    let path = write_results("BENCH_rewrite.json", &report);
+    println!("  wrote {}", path.display());
 }

@@ -38,7 +38,7 @@ fn distsim_counter_delta(seed: u64, drop_pct: u32, dup_pct: u32) -> gp_telemetry
 /// Simplify a seeded stream of random integer expressions; returns the
 /// `rewrite.*` counter delta (per-rule fires, runs, passes) plus the
 /// engine's own per-run statistics totals.
-fn rewrite_fire_delta(seed: u64) -> (gp_telemetry::Snapshot, usize) {
+fn rewrite_fire_delta(seed: u64) -> (gp_telemetry::Snapshot, usize, usize) {
     // Build the simplifier *before* opening the delta window: the standard
     // environment is built once per process (`rewrite.env.standard_builds`
     // fires only on the first call), and this delta is about the simplify
@@ -47,14 +47,17 @@ fn rewrite_fire_delta(seed: u64) -> (gp_telemetry::Snapshot, usize) {
     let before = gp_telemetry::snapshot();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stats_total = 0;
+    let mut memo_total = 0;
     for _ in 0..8 {
         let e = random_int_expr(&mut rng, 4);
         let (_, stats) = s.simplify(&e);
         stats_total += stats.total();
+        memo_total += stats.memo_hits;
     }
     (
         gp_telemetry::snapshot().delta(&before).filter("rewrite."),
         stats_total,
+        memo_total,
     )
 }
 
@@ -112,11 +115,19 @@ proptest! {
 
     #[test]
     fn same_seed_gives_identical_rewrite_rule_fires(seed in 0u64..10_000) {
-        let (first, stats1) = rewrite_fire_delta(seed);
-        let (second, stats2) = rewrite_fire_delta(seed);
+        let (first, stats1, memo1) = rewrite_fire_delta(seed);
+        let (second, stats2, memo2) = rewrite_fire_delta(seed);
         prop_assert_eq!(&first, &second);
         prop_assert_eq!(stats1, stats2);
-        // Registry fires mirror the engine's own statistics exactly.
+        // Registry fires mirror the engine's own statistics exactly —
+        // both the per-rule counters and the interner/memo layer added
+        // with the hash-consed engine (each simplify uses a fresh store,
+        // so intern/memo counts are workload-determined too; the delta
+        // equality above already pins them, these pin the stats mirror).
         prop_assert_eq!(first.counter_sum("rewrite.rule.") as usize, stats1);
+        prop_assert_eq!(first.counter("rewrite.memo.hits") as usize, memo1);
+        prop_assert_eq!(memo1, memo2);
+        // Interning happened (misses count every distinct term created).
+        prop_assert!(first.counter("rewrite.intern.misses") > 0);
     }
 }

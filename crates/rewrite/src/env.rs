@@ -96,6 +96,35 @@ impl ConceptEnv {
         self.inverse_ops.get(&(ty, op)).copied()
     }
 
+    // --- declaration iterators (rule-index construction) ----------------
+    //
+    // The indexed dispatch of `simplify` precomputes, per rule, the
+    // `(Type, head)` keys the rule can possibly fire on *given this
+    // environment*. These iterators expose the declarations read-only;
+    // iteration order is arbitrary (hash order) — index construction
+    // dedups per rule and keeps rule order, so dispatch stays
+    // deterministic.
+
+    /// Iterate every declared `(type, op) models concept` triple.
+    pub fn declared_models(&self) -> impl Iterator<Item = (Type, BinOp, AlgConcept)> + '_ {
+        self.models.iter().copied()
+    }
+
+    /// Iterate every declared identity element.
+    pub fn declared_identities(&self) -> impl Iterator<Item = (Type, BinOp, &Value)> + '_ {
+        self.identities.iter().map(|(&(t, o), v)| (t, o, v))
+    }
+
+    /// Iterate every declared annihilator element.
+    pub fn declared_annihilators(&self) -> impl Iterator<Item = (Type, BinOp, &Value)> + '_ {
+        self.annihilators.iter().map(|(&(t, o), v)| (t, o, v))
+    }
+
+    /// Iterate every declared inverse-building operator.
+    pub fn declared_inverse_ops(&self) -> impl Iterator<Item = (Type, BinOp, UnOp)> + '_ {
+        self.inverse_ops.iter().map(|(&(t, o), &u)| (t, o, u))
+    }
+
     /// The standard environment covering the instances of Fig. 5:
     ///
     /// | `(x, op)` | concepts |

@@ -19,15 +19,20 @@
 //!   model Monoid/Group/…, their identity and annihilator elements.
 //! * [`rules`] — the [`rules::RewriteRule`] concept and the built-in
 //!   concept-based rule library.
-//! * [`simplify`] — the fixpoint rewrite engine with application
-//!   statistics.
+//! * [`intern`] — the hash-consed term store: every distinct subterm
+//!   interned once, `u32` ids, O(1) equality.
+//! * [`simplify`] — the rewrite engine: indexed rule dispatch plus a
+//!   normal-form memo over the interner (and the original clone-per-pass
+//!   engine as a measured baseline), with application statistics.
 
 pub mod env;
 pub mod expr;
+pub mod intern;
 pub mod rules;
 pub mod simplify;
 
 pub use env::ConceptEnv;
 pub use expr::{BinOp, Expr, Type, UnOp, Value};
+pub use intern::{TermId, TermStore};
 pub use rules::RewriteRule;
-pub use simplify::{Simplifier, SimplifyStats};
+pub use simplify::{Session, Simplifier, SimplifyStats};

@@ -9,8 +9,24 @@
 //! double-inverse, and constant-folding rules.
 
 use crate::env::{AlgConcept, ConceptEnv};
-use crate::expr::{BinOp, Expr, Type, UnOp};
+use crate::expr::{BinOp, Expr, Type, UnOp, Value};
+use crate::intern::{Head, Term, TermId, TermStore};
 use std::collections::BTreeMap;
+
+/// The `(Type, head)` keys a rule can possibly fire on, used to build the
+/// dispatch index. `Any` (the default) places the rule in every bucket —
+/// always correct, never fast. `Keys` must be a **superset** of the keys
+/// the rule fires on under the environment it was derived from: an
+/// over-approximation only costs a failed `try_apply`, an
+/// under-approximation silently disables the rule.
+#[derive(Clone, Debug)]
+pub enum IndexHints {
+    /// Consult this rule at every node (the safe default for user rules).
+    Any,
+    /// Consult this rule only at nodes with one of these `(type, head)`
+    /// keys.
+    Keys(Vec<(Type, Head)>),
+}
 
 /// The rewrite-rule concept: try to rewrite the *root* of an expression.
 /// The engine handles traversal and iteration.
@@ -24,6 +40,35 @@ pub trait RewriteRule {
     /// Rewrite the root of `e` if the rule matches and its concept
     /// requirements hold in `env`.
     fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr>;
+
+    /// The `(type, head)` dispatch keys this rule can fire on under
+    /// `env`. The engine rebuilds the index whenever the environment or
+    /// rule set changes, so hints may (and should) consult `env`.
+    /// Defaults to [`IndexHints::Any`], which is always correct.
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        let _ = env;
+        IndexHints::Any
+    }
+
+    /// Rewrite the root of the interned term `id` — the hash-consed fast
+    /// path. The default extracts the whole subtree, applies
+    /// [`RewriteRule::try_apply`], and re-interns the result, which is
+    /// correct for any user rule but pays a tree materialization; the
+    /// built-in rules override it with direct id-level matching.
+    ///
+    /// Implementations must preserve `try_apply` semantics exactly; in
+    /// particular, subterm equality is `Expr::eq` — use
+    /// [`TermStore::exprs_eq`], never raw id equality (NaN and `-0.0`
+    /// literals make the two differ).
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let out = self.try_apply(&st.extract(id), env)?;
+        Some(st.intern_expr(&out))
+    }
 }
 
 /// `x op e → x` when `(x, op)` models Monoid and `e` is its identity.
@@ -45,6 +90,35 @@ impl RewriteRule for RightIdentity {
             if let Expr::Lit(v) = &**r {
                 if Some(v) == env.identity(ty, *op) {
                     return Some((**l).clone());
+                }
+            }
+        }
+        None
+    }
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        // Dispatch key is (l.ty(), op); the rule needs a Monoid model and
+        // a declared identity for exactly that pair.
+        IndexHints::Keys(
+            env.declared_identities()
+                .filter(|&(ty, op, _)| env.models(ty, op, AlgConcept::Monoid))
+                .map(|(ty, op, _)| (ty, Head::Bin(op)))
+                .collect(),
+        )
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let &Term::Binary(op, l, r) = st.term(id) else {
+            return None;
+        };
+        let ty = st.ty(l);
+        if env.models(ty, op, AlgConcept::Monoid) {
+            if let Term::Lit(v) = st.term(r) {
+                if Some(v) == env.identity(ty, op) {
+                    return Some(l);
                 }
             }
         }
@@ -76,6 +150,36 @@ impl RewriteRule for LeftIdentity {
         }
         None
     }
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        // The node's dispatch type is l.ty(); here l must be the identity
+        // *literal*, whose intrinsic type can differ from the declared
+        // type in exotic environments — key on the literal's type.
+        IndexHints::Keys(
+            env.declared_identities()
+                .filter(|&(ty, op, _)| env.models(ty, op, AlgConcept::Monoid))
+                .map(|(_, op, v)| (v.ty(), Head::Bin(op)))
+                .collect(),
+        )
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let &Term::Binary(op, l, r) = st.term(id) else {
+            return None;
+        };
+        let ty = st.ty(r);
+        if env.models(ty, op, AlgConcept::Monoid) {
+            if let Term::Lit(v) = st.term(l) {
+                if Some(v) == env.identity(ty, op) {
+                    return Some(r);
+                }
+            }
+        }
+        None
+    }
 }
 
 /// `x op inv(x) → identity` when `(x, op, inv)` models Group.
@@ -93,8 +197,34 @@ fn inverse_matches(env: &ConceptEnv, ty: Type, op: BinOp, x: &Expr, candidate: &
     matches!(candidate, Expr::Unary(u, inner) if *u == inv && **inner == *x)
 }
 
+/// Interned mirror of [`inverse_matches`]: `candidate` must be `inv(x)`
+/// for the declared inverse operator, with `inv`'s operand expr-equal to
+/// `x` (O(1) via the store's normalized ids).
+fn inverse_matches_interned(
+    st: &TermStore,
+    env: &ConceptEnv,
+    ty: Type,
+    op: BinOp,
+    x: TermId,
+    candidate: TermId,
+) -> bool {
+    let Some(inv) = env.inverse_op(ty, op) else {
+        return false;
+    };
+    matches!(st.term(candidate), &Term::Unary(u, inner) if u == inv && st.exprs_eq(inner, x))
+}
+
 fn group_identity(env: &ConceptEnv, ty: Type, op: BinOp) -> Option<Expr> {
     env.identity(ty, op).cloned().map(Expr::Lit)
+}
+
+fn group_identity_interned(
+    st: &mut TermStore,
+    env: &ConceptEnv,
+    ty: Type,
+    op: BinOp,
+) -> Option<TermId> {
+    env.identity(ty, op).cloned().map(|v| st.lit(&v))
 }
 
 impl RewriteRule for RightInverse {
@@ -120,6 +250,48 @@ impl RewriteRule for RightInverse {
         }
         None
     }
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        let mut keys = Vec::new();
+        for (ty, op, _) in env.declared_models() {
+            if !env.models(ty, op, AlgConcept::Group) {
+                continue;
+            }
+            // Sugared spellings of the group operation.
+            if op == BinOp::Add {
+                keys.push((ty, Head::Bin(BinOp::Sub)));
+            }
+            if op == BinOp::Mul {
+                keys.push((ty, Head::Bin(BinOp::Div)));
+            }
+        }
+        // Explicit `x op inv(x)` requires a declared inverse operator.
+        for (ty, op, _) in env.declared_inverse_ops() {
+            if env.models(ty, op, AlgConcept::Group) {
+                keys.push((ty, Head::Bin(op)));
+            }
+        }
+        IndexHints::Keys(keys)
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let &Term::Binary(op, l, r) = st.term(id) else {
+            return None;
+        };
+        let ty = st.ty(l);
+        let (base_op, rhs_is_inverse) = match op {
+            BinOp::Sub => (BinOp::Add, st.exprs_eq(l, r)),
+            BinOp::Div => (BinOp::Mul, st.exprs_eq(l, r)),
+            other => (other, inverse_matches_interned(st, env, ty, other, l, r)),
+        };
+        if rhs_is_inverse && env.models(ty, base_op, AlgConcept::Group) {
+            return group_identity_interned(st, env, ty, base_op);
+        }
+        None
+    }
 }
 
 impl RewriteRule for LeftInverse {
@@ -136,6 +308,35 @@ impl RewriteRule for LeftInverse {
         let ty = r.ty();
         if inverse_matches(env, ty, *op, r, l) && env.models(ty, *op, AlgConcept::Group) {
             return group_identity(env, ty, *op);
+        }
+        None
+    }
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        // Node dispatch type is l.ty() where l = inv(x) with x == r; for
+        // Not the unary's type is Bool regardless of the operand.
+        IndexHints::Keys(
+            env.declared_inverse_ops()
+                .filter(|&(ty, op, _)| env.models(ty, op, AlgConcept::Group))
+                .map(|(ty, op, inv)| {
+                    let node_ty = if inv == UnOp::Not { Type::Bool } else { ty };
+                    (node_ty, Head::Bin(op))
+                })
+                .collect(),
+        )
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let &Term::Binary(op, l, r) = st.term(id) else {
+            return None;
+        };
+        let ty = st.ty(r);
+        if inverse_matches_interned(st, env, ty, op, r, l) && env.models(ty, op, AlgConcept::Group)
+        {
+            return group_identity_interned(st, env, ty, op);
         }
         None
     }
@@ -167,6 +368,35 @@ impl RewriteRule for Annihilator {
         }
         None
     }
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        // The annihilator lookup keys on l.ty() itself, so the declared
+        // pair is exactly the dispatch key.
+        IndexHints::Keys(
+            env.declared_annihilators()
+                .map(|(ty, op, _)| (ty, Head::Bin(op)))
+                .collect(),
+        )
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let &Term::Binary(op, l, r) = st.term(id) else {
+            return None;
+        };
+        let a = env.annihilator(st.ty(l), op)?;
+        for side in [l, r] {
+            if let Term::Lit(v) = st.term(side) {
+                if v == a {
+                    let a = a.clone();
+                    return Some(st.lit(&a));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// `x op x → x` when `(x, op)` models an idempotent operation
@@ -186,6 +416,28 @@ impl RewriteRule for Idempotence {
         };
         if l == r && env.models(l.ty(), *op, AlgConcept::Idempotent) {
             return Some((**l).clone());
+        }
+        None
+    }
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        IndexHints::Keys(
+            env.declared_models()
+                .filter(|&(_, _, c)| c == AlgConcept::Idempotent)
+                .map(|(ty, op, _)| (ty, Head::Bin(op)))
+                .collect(),
+        )
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let &Term::Binary(op, l, r) = st.term(id) else {
+            return None;
+        };
+        if st.exprs_eq(l, r) && env.models(st.ty(l), op, AlgConcept::Idempotent) {
+            return Some(l);
         }
         None
     }
@@ -221,6 +473,42 @@ impl RewriteRule for DoubleInverse {
         }
         None
     }
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        IndexHints::Keys(
+            env.declared_inverse_ops()
+                .filter(|&(ty, op, _)| {
+                    (op == BinOp::Add || op == BinOp::Mul) && env.models(ty, op, AlgConcept::Group)
+                })
+                .map(|(ty, _, inv)| {
+                    let node_ty = if inv == UnOp::Not { Type::Bool } else { ty };
+                    (node_ty, Head::Un(inv))
+                })
+                .collect(),
+        )
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let &Term::Unary(u1, inner) = st.term(id) else {
+            return None;
+        };
+        let &Term::Unary(u2, x) = st.term(inner) else {
+            return None;
+        };
+        if u1 != u2 {
+            return None;
+        }
+        let ty = st.ty(x);
+        for op in [BinOp::Add, BinOp::Mul] {
+            if env.inverse_op(ty, op) == Some(u1) && env.models(ty, op, AlgConcept::Group) {
+                return Some(x);
+            }
+        }
+        None
+    }
 }
 
 /// Fold operations on literals (`2 + 3 → 5`) — the traditional simplifier
@@ -244,6 +532,73 @@ impl RewriteRule for ConstantFold {
             }
             _ => None,
         }
+    }
+    fn index_hints(&self, _env: &ConceptEnv) -> IndexHints {
+        // Fires on any unary/binary node whose operands are literals; a
+        // literal-headed binary node's dispatch type is its left literal's
+        // intrinsic type, so Matrix (which has no literal form) is the
+        // only impossible type.
+        let value_types = [
+            Type::Int,
+            Type::UInt,
+            Type::Float,
+            Type::Bool,
+            Type::Str,
+            Type::Rational,
+            Type::BigFloat,
+        ];
+        let bin_ops = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::BitAnd,
+            BinOp::Concat,
+        ];
+        let un_ops = [UnOp::Neg, UnOp::Recip, UnOp::Not];
+        let mut keys = Vec::new();
+        for ty in value_types {
+            for op in bin_ops {
+                keys.push((ty, Head::Bin(op)));
+            }
+            for op in un_ops {
+                keys.push((ty, Head::Un(op)));
+            }
+        }
+        IndexHints::Keys(keys)
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        _env: &ConceptEnv,
+    ) -> Option<TermId> {
+        // Rebuild only the two-level literal node as a tree and reuse the
+        // evaluator — cheap (a couple of `Value` clones) and guaranteed to
+        // fold exactly as the tree engine does.
+        let folded = match *st.term(id) {
+            Term::Binary(op, l, r) => {
+                let (Term::Lit(a), Term::Lit(b)) = (st.term(l), st.term(r)) else {
+                    return None;
+                };
+                Expr::Binary(
+                    op,
+                    Box::new(Expr::Lit(a.clone())),
+                    Box::new(Expr::Lit(b.clone())),
+                )
+                .eval(&BTreeMap::new())?
+            }
+            Term::Unary(op, x) => {
+                let Term::Lit(a) = st.term(x) else {
+                    return None;
+                };
+                Expr::Unary(op, Box::new(Expr::Lit(a.clone()))).eval(&BTreeMap::new())?
+            }
+            _ => return None,
+        };
+        Some(st.lit(&folded))
     }
 }
 
@@ -304,6 +659,48 @@ impl RewriteRule for AssocFold {
             _ => None,
         }
     }
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        IndexHints::Keys(
+            env.declared_models()
+                .filter(|&(ty, op, _)| env.models(ty, op, AlgConcept::Semigroup))
+                .map(|(ty, op, _)| (ty, Head::Bin(op)))
+                .collect(),
+        )
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let &Term::Binary(op, l, r) = st.term(id) else {
+            return None;
+        };
+        if !matches!(st.term(r), Term::Lit(_)) {
+            return None;
+        }
+        let &Term::Binary(op2, x, c1) = st.term(l) else {
+            return None;
+        };
+        if op2 != op || !env.models(st.ty(id), op, AlgConcept::Semigroup) {
+            return None;
+        }
+        let (x_lit, c1_lit) = (
+            matches!(st.term(x), Term::Lit(_)),
+            matches!(st.term(c1), Term::Lit(_)),
+        );
+        if !x_lit && c1_lit {
+            // (x op c1) op c2 → x op (c1 op c2): pure associativity.
+            let consts = st.binary(op, c1, r);
+            Some(st.binary(op, x, consts))
+        } else if x_lit && !c1_lit && env.models(st.ty(id), op, AlgConcept::Commutative) {
+            // (c1 op x) op c2 → x op (c1 op c2): needs commutativity.
+            let consts = st.binary(op, x, r);
+            Some(st.binary(op, c1, consts))
+        } else {
+            None
+        }
+    }
 }
 
 /// Boolean double negation: `!!b → b` (involution of `Not`).
@@ -320,6 +717,23 @@ impl RewriteRule for NotNot {
         if let Expr::Unary(UnOp::Not, inner) = e {
             if let Expr::Unary(UnOp::Not, b) = &**inner {
                 return Some((**b).clone());
+            }
+        }
+        None
+    }
+    fn index_hints(&self, _env: &ConceptEnv) -> IndexHints {
+        // A `!`-headed node always has type Bool.
+        IndexHints::Keys(vec![(Type::Bool, Head::Un(UnOp::Not))])
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        _env: &ConceptEnv,
+    ) -> Option<TermId> {
+        if let &Term::Unary(UnOp::Not, inner) = st.term(id) {
+            if let &Term::Unary(UnOp::Not, b) = st.term(inner) {
+                return Some(b);
             }
         }
         None
@@ -352,6 +766,32 @@ impl RewriteRule for LidiaInverse {
             }
             _ => None,
         }
+    }
+    fn index_hints(&self, _env: &ConceptEnv) -> IndexHints {
+        // recip(f): node type is f's type (BigFloat); 1.0/f: node type is
+        // the left literal's type (BigFloat).
+        IndexHints::Keys(vec![
+            (Type::BigFloat, Head::Un(UnOp::Recip)),
+            (Type::BigFloat, Head::Bin(BinOp::Div)),
+        ])
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        _env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let f = match *st.term(id) {
+            Term::Unary(UnOp::Recip, f) if st.ty(f) == Type::BigFloat => f,
+            Term::Binary(BinOp::Div, one, f)
+                if st.ty(f) == Type::BigFloat
+                    && matches!(st.term(one), Term::Lit(Value::BigFloat(v)) if *v == 1.0) =>
+            {
+                f
+            }
+            _ => return None,
+        };
+        Some(st.call("Inverse", Type::BigFloat, &[f]))
     }
 }
 

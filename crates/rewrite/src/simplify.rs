@@ -1,15 +1,55 @@
-//! The fixpoint rewrite engine.
+//! The rewrite engine: hash-consed normalization with indexed rule
+//! dispatch, plus the original clone-per-pass engine kept as a measured
+//! baseline.
 //!
-//! Bottom-up traversal applying every registered rule at every node,
-//! iterated to a fixpoint (with a safety cap). Records per-rule application
-//! counts — the data behind the Fig. 5 "two rules subsume ten instances"
-//! table in experiment E5.
+//! The default path ([`Simplifier::simplify`]) interns the expression into
+//! a [`TermStore`] (every distinct subterm once, ids are `u32`), then
+//! normalizes bottom-up:
+//!
+//! * **Memo table** (`TermId → TermId`): each distinct subterm is
+//!   normalized exactly once per [`Session`]; a repeated subterm — common
+//!   in machine-generated expressions — is a single hash lookup
+//!   (`rewrite.memo.hits`). The fixpoint is linear in *distinct* subterms.
+//! * **Rule index** keyed by `(Type, head symbol)`: each node consults
+//!   only the rules whose [`IndexHints`](crate::rules::IndexHints) admit
+//!   its key instead of scanning the whole rule list
+//!   (`rewrite.index.candidates` histogram records how many). Hints are
+//!   conservative supersets, so behavior is identical to the full scan.
+//! * **Facade**: the public API still speaks `Expr` trees; conversion
+//!   happens once in, once out. [`Session::simplify_id`] exposes the
+//!   id-level entry point for callers that build DAGs directly.
+//!
+//! [`Simplifier::simplify_baseline`] preserves the original engine
+//! (bottom-up clone-per-pass, iterated to fixpoint) byte-for-byte in
+//! behavior; `exp_rewrite` (E13r) measures one against the other, and a
+//! property test pins output equality.
 
 use crate::env::ConceptEnv;
 use crate::expr::Expr;
-use crate::rules::{standard_rules, RewriteRule};
-use gp_telemetry::Counter;
+use crate::intern::{type_index, Head, TermId, TermMap, TermStore, TYPE_COUNT};
+use crate::rules::{standard_rules, IndexHints, RewriteRule};
+use gp_telemetry::{Counter, Histogram};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Engine-level telemetry, resolved once per process at module level (the
+/// same pattern the gp-parallel primitives use) rather than per run.
+struct EngineMetrics {
+    runs: &'static Counter,
+    passes: &'static Counter,
+    memo_hits: &'static Counter,
+    index_candidates: &'static Histogram,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        runs: gp_telemetry::counter("rewrite.runs"),
+        passes: gp_telemetry::counter("rewrite.passes"),
+        memo_hits: gp_telemetry::counter("rewrite.memo.hits"),
+        index_candidates: gp_telemetry::histogram("rewrite.index.candidates"),
+    })
+}
 
 /// The global telemetry counter tracking fires of the rule named `name`
 /// (`rewrite.rule.<name>.fires`). Resolved once per [`Simplifier`] per
@@ -23,18 +63,66 @@ fn rule_fire_counter(name: &str) -> &'static Counter {
 pub struct SimplifyStats {
     /// Applications per rule name.
     pub applications: BTreeMap<String, usize>,
-    /// Fixpoint iterations used.
+    /// Fixpoint iterations used (the interned engine normalizes in one).
     pub iterations: usize,
     /// AST size before and after.
     pub size_before: usize,
     /// AST size after simplification.
     pub size_after: usize,
+    /// Distinct subterms normalized (interned engine only; 0 for the
+    /// baseline).
+    pub distinct_terms: usize,
+    /// Normal-form memo hits — repeated subterms whose normalization was
+    /// skipped entirely (interned engine only).
+    pub memo_hits: usize,
 }
 
 impl SimplifyStats {
     /// Total rule applications.
     pub fn total(&self) -> usize {
         self.applications.values().sum()
+    }
+}
+
+/// Indexed rule dispatch: for every `(Type, head)` key, the (registration-
+/// ordered) rule indices that can possibly fire there. Built from each
+/// rule's [`IndexHints`] against the concept environment; rebuilt whenever
+/// the environment or rule set changes.
+struct RuleIndex {
+    buckets: Vec<Vec<u16>>,
+}
+
+impl RuleIndex {
+    fn build(rules: &[Box<dyn RewriteRule + Send + Sync>], env: &ConceptEnv) -> Self {
+        let n = TYPE_COUNT * Head::COUNT;
+        let mut buckets = vec![Vec::new(); n];
+        let mut seen = vec![false; n];
+        for (i, rule) in rules.iter().enumerate() {
+            let i = u16::try_from(i).expect("more than 65535 rewrite rules");
+            match rule.index_hints(env) {
+                IndexHints::Any => {
+                    for b in &mut buckets {
+                        b.push(i);
+                    }
+                }
+                IndexHints::Keys(keys) => {
+                    seen.iter_mut().for_each(|s| *s = false);
+                    for (ty, head) in keys {
+                        let k = type_index(ty) * Head::COUNT + head.index();
+                        if !seen[k] {
+                            seen[k] = true;
+                            buckets[k].push(i);
+                        }
+                    }
+                }
+            }
+        }
+        RuleIndex { buckets }
+    }
+
+    fn candidates(&self, store: &TermStore, id: TermId) -> &[u16] {
+        let k = type_index(store.ty(id)) * Head::COUNT + store.head(id).index();
+        &self.buckets[k]
     }
 }
 
@@ -46,6 +134,9 @@ pub struct Simplifier {
     /// Pre-resolved global fire counters, aligned index-for-index with
     /// `rules`.
     rule_fires: Vec<&'static Counter>,
+    /// Lazily built dispatch index; cleared by every `&mut` accessor so
+    /// later env/rule changes are honored on the next simplify.
+    index: OnceLock<RuleIndex>,
 }
 
 impl Simplifier {
@@ -55,6 +146,7 @@ impl Simplifier {
             env,
             rules,
             rule_fires,
+            index: OnceLock::new(),
         }
     }
 
@@ -75,14 +167,17 @@ impl Simplifier {
 
     /// Register a user/library rule (the LiDIA extension point of §3.2).
     pub fn add_rule(&mut self, rule: Box<dyn RewriteRule + Send + Sync>) -> &mut Self {
+        self.index = OnceLock::new();
         self.rule_fires.push(rule_fire_counter(rule.name()));
         self.rules.push(rule);
         self
     }
 
     /// The concept environment (mutable, so libraries can declare new
-    /// models — after which existing rules cover them "for free").
+    /// models — after which existing rules cover them "for free"). Taking
+    /// it invalidates the dispatch index, which is rebuilt lazily.
     pub fn env_mut(&mut self) -> &mut ConceptEnv {
+        self.index = OnceLock::new();
         &mut self.env
     }
 
@@ -96,8 +191,62 @@ impl Simplifier {
         self.rules.iter().map(|r| r.name()).collect()
     }
 
-    /// Simplify to fixpoint; returns the result and statistics.
+    fn index(&self) -> &RuleIndex {
+        self.index
+            .get_or_init(|| RuleIndex::build(&self.rules, &self.env))
+    }
+
+    /// Start a rewriting session: a hash-consing term store plus a
+    /// normal-form memo table, shared by every expression simplified
+    /// through it. A batch of related expressions simplified on one
+    /// session interns common structure once.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            simp: self,
+            store: TermStore::new(),
+            memo: TermMap::new(),
+            budget: 0,
+        }
+    }
+
+    /// Simplify to normal form (interned engine); returns the result and
+    /// statistics. Equivalent to a fresh [`Session`] per call.
     pub fn simplify(&self, e: &Expr) -> (Expr, SimplifyStats) {
+        self.session().simplify(e)
+    }
+
+    /// Simplify a batch of expressions on one shared term store (common
+    /// subterms across the batch intern once). The normal-form memo is
+    /// reset between entries so each entry's `SimplifyStats` — and the
+    /// per-rule telemetry it mirrors — is identical to a solo
+    /// [`Simplifier::simplify`] call; the served batching path relies on
+    /// that equivalence.
+    pub fn simplify_batch(&self, exprs: &[Expr]) -> Vec<(Expr, SimplifyStats)> {
+        let mut sess = self.session();
+        exprs
+            .iter()
+            .map(|e| {
+                sess.clear_memo();
+                sess.simplify(e)
+            })
+            .collect()
+    }
+
+    /// Simplify independent expressions in parallel on the gp-parallel
+    /// global pool (each entry gets its own store + memo, so results and
+    /// statistics are identical to solo calls). Worth it when the batch
+    /// is large or the entries are; for small batches the shared-store
+    /// sequential [`Simplifier::simplify_batch`] wins.
+    pub fn simplify_batch_parallel(&self, exprs: &[Expr]) -> Vec<(Expr, SimplifyStats)> {
+        let threads = gp_parallel::pool::global().workers();
+        gp_parallel::par::par_map(exprs, threads, |e| self.simplify(e))
+    }
+
+    /// The original clone-per-pass engine (bottom-up rewrite of a fresh
+    /// tree per pass, iterated to fixpoint with a safety cap), kept as
+    /// the measured baseline for E13r and as the behavioral reference the
+    /// interned engine is property-tested against.
+    pub fn simplify_baseline(&self, e: &Expr) -> (Expr, SimplifyStats) {
         let _span = gp_telemetry::span("simplify");
         let mut stats = SimplifyStats {
             size_before: e.size(),
@@ -114,22 +263,13 @@ impl Simplifier {
             }
         }
         stats.size_after = cur.size();
-        // Mirror the run into the global registry; the names are fixed, so
-        // resolve them once per process rather than per call.
-        {
-            use std::sync::OnceLock;
-            static RUNS: OnceLock<&'static Counter> = OnceLock::new();
-            static PASSES: OnceLock<&'static Counter> = OnceLock::new();
-            RUNS.get_or_init(|| gp_telemetry::counter("rewrite.runs"))
-                .incr();
-            PASSES
-                .get_or_init(|| gp_telemetry::counter("rewrite.passes"))
-                .add(stats.iterations as u64);
-        }
+        let m = engine_metrics();
+        m.runs.incr();
+        m.passes.add(stats.iterations as u64);
         (cur, stats)
     }
 
-    /// One bottom-up pass. Returns (expr, changed).
+    /// One bottom-up pass of the baseline engine. Returns (expr, changed).
     fn pass(&self, e: &Expr, stats: &mut SimplifyStats) -> (Expr, bool) {
         // Rewrite children first.
         let (mut node, mut changed) = match e {
@@ -156,7 +296,9 @@ impl Simplifier {
             }
             leaf => (leaf.clone(), false),
         };
-        // Then the root, repeatedly until no rule fires.
+        // Then the root, repeatedly until no rule fires. (This loop runs
+        // for leaves too: a rule matching a bare variable or literal at
+        // any position — including the whole-expression root — fires.)
         loop {
             let mut fired = false;
             for (i, rule) in self.rules.iter().enumerate() {
@@ -176,6 +318,173 @@ impl Simplifier {
                 return (node, changed);
             }
         }
+    }
+}
+
+/// A rewriting session: term store + normal-form memo over one
+/// [`Simplifier`]. Cheap to create; hold one across many related
+/// expressions to amortize interning (this is what the service's
+/// micro-batches do).
+pub struct Session<'s> {
+    simp: &'s Simplifier,
+    store: TermStore,
+    memo: TermMap,
+    /// Remaining rule applications for the current run — the interned
+    /// engine's analogue of the baseline's pass cap, bounding adversarial
+    /// user rule sets that rewrite forever.
+    budget: usize,
+}
+
+/// Rule-application cap per `simplify` call. The baseline engine caps
+/// fixpoint passes at 64 but lets a self-looping rule spin forever inside
+/// one pass; the interned engine bounds total applications instead, far
+/// above anything a terminating rule set reaches.
+const MAX_APPLICATIONS: usize = 1 << 16;
+
+impl Session<'_> {
+    /// The session's term store (read access: sizes, types, extraction).
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// The session's term store, mutably — for callers that build
+    /// DAG-shaped inputs directly with ids and hand them to
+    /// [`Session::simplify_id`].
+    pub fn store_mut(&mut self) -> &mut TermStore {
+        &mut self.store
+    }
+
+    /// Drop the normal-form memo (keeping interned terms). After this,
+    /// the next `simplify` reports statistics exactly as a fresh session
+    /// would, while still sharing the interner.
+    pub fn clear_memo(&mut self) {
+        self.memo.clear();
+    }
+
+    /// Simplify an expression tree: intern, normalize, extract.
+    ///
+    /// The memo persists across calls on one session, so a second call on
+    /// an expression sharing subterms with an earlier one skips their
+    /// normalization — and consequently reports fewer `applications` than
+    /// a solo run would (the skipped rules fired in the earlier call).
+    /// Call [`Session::clear_memo`] between entries if per-call stats
+    /// parity matters more than amortization.
+    pub fn simplify(&mut self, e: &Expr) -> (Expr, SimplifyStats) {
+        let _span = gp_telemetry::span("simplify");
+        let size_before = e.size();
+        let root = self.store.intern_expr(e);
+        let (out, mut stats) = self.simplify_id(root);
+        stats.size_before = size_before;
+        (self.store.extract(out), stats)
+    }
+
+    /// Simplify an already-interned term; returns the normal-form id and
+    /// statistics (sizes are DAG-unfolded tree sizes, saturating).
+    pub fn simplify_id(&mut self, root: TermId) -> (TermId, SimplifyStats) {
+        let mut stats = SimplifyStats {
+            size_before: usize::try_from(self.store.size(root)).unwrap_or(usize::MAX),
+            ..SimplifyStats::default()
+        };
+        self.budget = MAX_APPLICATIONS;
+        let out = self.norm(root, &mut stats);
+        stats.iterations = 1;
+        stats.size_after = usize::try_from(self.store.size(out)).unwrap_or(usize::MAX);
+        let m = engine_metrics();
+        m.runs.incr();
+        m.passes.add(stats.iterations as u64);
+        (out, stats)
+    }
+
+    /// Normalize one term: memo lookup, children first, then root rules.
+    fn norm(&mut self, id: TermId, stats: &mut SimplifyStats) -> TermId {
+        if let Some(nf) = self.memo.get(id) {
+            stats.memo_hits += 1;
+            engine_metrics().memo_hits.incr();
+            return nf;
+        }
+        stats.distinct_terms += 1;
+        let rebuilt = self.norm_children(id, stats);
+        // Distinct trees can rebuild to the same term (e.g. every level of
+        // `((x*1)*1)*…` rebuilds to `x*1` once its child collapses); the
+        // first occurrence already reduced it, so check the memo before
+        // scanning rules again.
+        let out = match (rebuilt != id).then(|| self.memo.get(rebuilt)).flatten() {
+            Some(nf) => {
+                stats.memo_hits += 1;
+                engine_metrics().memo_hits.incr();
+                nf
+            }
+            None => self.reduce_root(rebuilt, stats),
+        };
+        self.memo.insert(id, out);
+        if rebuilt != id {
+            self.memo.insert(rebuilt, out);
+        }
+        // The normal form is its own normal form: later occurrences of
+        // `out` as a subterm are instant hits.
+        self.memo.insert(out, out);
+        out
+    }
+
+    /// Rebuild `id` with normalized children (returns `id` unchanged when
+    /// no child moved — the hash-cons hit that makes untouched subtrees
+    /// free).
+    fn norm_children(&mut self, id: TermId, stats: &mut SimplifyStats) -> TermId {
+        use crate::intern::Term;
+        match self.store.term(id) {
+            Term::Lit(_) | Term::Var(..) => id,
+            &Term::Unary(op, x) => {
+                let xn = self.norm(x, stats);
+                if xn == x {
+                    id
+                } else {
+                    self.store.unary(op, xn)
+                }
+            }
+            &Term::Binary(op, l, r) => {
+                let (ln, rn) = (self.norm(l, stats), self.norm(r, stats));
+                if ln == l && rn == r {
+                    id
+                } else {
+                    self.store.binary(op, ln, rn)
+                }
+            }
+            Term::Call(name, ty, args) => {
+                let (name, ty, args) = (name.clone(), *ty, args.clone());
+                let normed: Vec<TermId> = args.iter().map(|&a| self.norm(a, stats)).collect();
+                if normed == args {
+                    id
+                } else {
+                    self.store.call(&name, ty, &normed)
+                }
+            }
+        }
+    }
+
+    /// Apply the first matching candidate rule at the root; on a fire,
+    /// fully normalize the replacement (its children may be new terms)
+    /// and return that normal form.
+    fn reduce_root(&mut self, id: TermId, stats: &mut SimplifyStats) -> TermId {
+        let index = self.simp.index();
+        let cands = index.candidates(&self.store, id);
+        engine_metrics().index_candidates.record(cands.len() as u64);
+        for &ri in cands {
+            let ri = ri as usize;
+            if self.budget == 0 {
+                return id;
+            }
+            let rule = &self.simp.rules[ri];
+            if let Some(next) = rule.try_apply_interned(&mut self.store, id, &self.simp.env) {
+                self.budget -= 1;
+                *stats
+                    .applications
+                    .entry(rule.name().to_string())
+                    .or_insert(0) += 1;
+                self.simp.rule_fires[ri].incr();
+                return self.norm(next, stats);
+            }
+        }
+        id
     }
 }
 
@@ -203,12 +512,17 @@ mod tests {
         assert_eq!(out, x); // (x*1) + (y + -y) → x + 0 → x
         assert!(stats.total() >= 3);
         assert!(stats.size_after < stats.size_before);
+        // And the baseline engine agrees.
+        let (out_b, stats_b) = s.simplify_baseline(&e);
+        assert_eq!(out_b, out);
+        assert_eq!(stats_b.applications, stats.applications);
     }
 
     #[test]
     fn simplification_preserves_semantics_on_random_expressions() {
         // Property: for random integer expressions, eval(simplify(e)) ==
-        // eval(e).
+        // eval(e) — for both engines, which must also agree with each
+        // other exactly.
         let mut rng = StdRng::seed_from_u64(5);
         let s = Simplifier::standard();
         for _ in 0..200 {
@@ -222,6 +536,8 @@ mod tests {
             let (out, _) = s.simplify(&e);
             let after = out.eval(&env);
             assert_eq!(before, after, "expr {e} simplified to {out}");
+            let (out_b, _) = s.simplify_baseline(&e);
+            assert_eq!(out_b, out, "engines diverged on {e}");
         }
     }
 
@@ -294,6 +610,28 @@ mod tests {
     }
 
     #[test]
+    fn env_mutation_after_construction_rebuilds_the_index() {
+        // The dispatch index is derived from the environment; declaring a
+        // model through env_mut after construction must be honored (the
+        // index is invalidated and lazily rebuilt).
+        use crate::env::AlgConcept;
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::var("m", Type::BigFloat),
+            Expr::bigfloat(0.0),
+        );
+        let mut s = Simplifier::with_env(ConceptEnv::empty());
+        let (out, _) = s.simplify(&e);
+        assert_eq!(out, e, "no declarations — nothing fires");
+        s.env_mut()
+            .declare(Type::BigFloat, BinOp::Add, AlgConcept::Monoid)
+            .set_identity(Type::BigFloat, BinOp::Add, Value::BigFloat(0.0));
+        let (out, stats) = s.simplify(&e);
+        assert_eq!(out, Expr::var("m", Type::BigFloat));
+        assert_eq!(stats.applications["right-identity"], 1);
+    }
+
+    #[test]
     fn empty_engine_is_identity() {
         let s = Simplifier::empty(ConceptEnv::standard());
         let e = Expr::bin(BinOp::Mul, Expr::var("x", Type::Int), Expr::int(1));
@@ -311,13 +649,22 @@ mod tests {
             e = Expr::bin(BinOp::Mul, e, Expr::int(1));
         }
         let s = Simplifier::standard();
-        let (out, stats) = s.simplify(&e);
+        // Baseline engine: one fire per level, collapsed in one bottom-up
+        // pass (plus the fixpoint-confirming one).
+        let (out, stats) = s.simplify_baseline(&e);
         assert_eq!(out, Expr::var("x", Type::Int));
         assert!(
             stats.iterations <= 3,
             "bottom-up should collapse in one pass"
         );
         assert_eq!(stats.applications["right-identity"], 60);
+        // Interned engine: every level rebuilds to the same `x*1` term, so
+        // the rule fires ONCE and the other 59 levels are memo hits.
+        let (out, stats) = s.simplify(&e);
+        assert_eq!(out, Expr::var("x", Type::Int));
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.applications["right-identity"], 1);
+        assert!(stats.memo_hits >= 59);
     }
 
     #[test]
@@ -332,5 +679,149 @@ mod tests {
         assert_eq!(out, Expr::var("p", Type::Bool));
         assert_eq!(stats.size_before, 5);
         assert_eq!(stats.size_after, 1);
+    }
+
+    #[test]
+    fn rules_fire_on_bare_leaf_roots() {
+        // Regression (engine-rewrite guard): a rule whose pattern is a
+        // bare variable or literal must fire when that leaf IS the whole
+        // expression — an indexed engine that forgets Lit/Var dispatch
+        // buckets, or a traversal that skips root rules for leaves, would
+        // silently drop these. Pins both engines.
+        struct InlineX;
+        impl RewriteRule for InlineX {
+            fn name(&self) -> &'static str {
+                "inline-x"
+            }
+            fn requirements(&self) -> &'static str {
+                "x is a known compile-time constant"
+            }
+            fn try_apply(&self, e: &Expr, _env: &ConceptEnv) -> Option<Expr> {
+                matches!(e, Expr::Var(name, Type::Int) if name == "x").then(|| Expr::int(7))
+            }
+        }
+        let mut s = Simplifier::standard();
+        s.add_rule(Box::new(InlineX));
+        // Bare variable root: the rule fires, then nothing else.
+        let (out, stats) = s.simplify(&Expr::var("x", Type::Int));
+        assert_eq!(out, Expr::int(7));
+        assert_eq!(stats.applications["inline-x"], 1);
+        let (out_b, stats_b) = s.simplify_baseline(&Expr::var("x", Type::Int));
+        assert_eq!(out_b, Expr::int(7));
+        assert_eq!(stats_b.applications["inline-x"], 1);
+        // The replacement feeds the concept rules: x + x → 7 + 7 → 14.
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::var("x", Type::Int),
+            Expr::var("x", Type::Int),
+        );
+        let (out, _) = s.simplify(&e);
+        assert_eq!(out, Expr::int(14));
+        assert_eq!(s.simplify_baseline(&e).0, Expr::int(14));
+        // Literal root with a literal-matching rule (standard rules leave
+        // bare literals alone, so use constant-fold through a Neg chain).
+        let (out, _) = s.simplify(&Expr::un(UnOp::Neg, Expr::int(3)));
+        assert_eq!(out, Expr::int(-3));
+    }
+
+    #[test]
+    fn session_memo_carries_across_calls() {
+        // Two expressions sharing a subterm: the second call on the same
+        // session skips the shared part via the memo.
+        let s = Simplifier::standard();
+        let shared = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::var("x", Type::Int), Expr::int(1)),
+            Expr::int(0),
+        );
+        let e1 = shared.clone();
+        let e2 = Expr::bin(BinOp::Mul, shared, Expr::int(2));
+        let (_, solo2) = s.simplify(&e2);
+        let mut sess = s.session();
+        let (out1, stats1) = sess.simplify(&e1);
+        assert_eq!(out1, Expr::var("x", Type::Int));
+        let (out2, stats2) = sess.simplify(&e2);
+        assert_eq!(out2.to_string(), "(x * 2)");
+        // The shared subtree was normalized during the first call, so the
+        // second call's rule fires happened there: fewer applications
+        // than a solo run of e2, and the shared subterm memo-hits.
+        assert!(stats2.total() < solo2.total());
+        assert!(stats2.memo_hits > 0, "shared subterm must memo-hit");
+        assert!(stats2.total() < stats1.total() + 1);
+    }
+
+    #[test]
+    fn batch_stats_match_solo_stats() {
+        // simplify_batch shares the interner but resets the memo, so
+        // per-entry statistics are identical to solo runs even when
+        // entries share structure.
+        let s = Simplifier::standard();
+        let shared = Expr::bin(BinOp::Mul, Expr::var("x", Type::Int), Expr::int(1));
+        let exprs = vec![
+            shared.clone(),
+            Expr::bin(BinOp::Add, shared.clone(), Expr::int(0)),
+            Expr::bin(BinOp::Sub, shared.clone(), shared),
+        ];
+        let batched = s.simplify_batch(&exprs);
+        for (e, (out_b, stats_b)) in exprs.iter().zip(&batched) {
+            let (out_s, stats_s) = s.simplify(e);
+            assert_eq!(&out_s, out_b);
+            assert_eq!(&stats_s, stats_b);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let exprs: Vec<Expr> = (0..64).map(|_| random_int_expr(&mut rng, 5)).collect();
+        let s = Simplifier::standard();
+        let seq: Vec<_> = exprs.iter().map(|e| s.simplify(e)).collect();
+        let par = s.simplify_batch_parallel(&exprs);
+        assert_eq!(seq.len(), par.len());
+        for ((a, sa), (b, sb)) in seq.iter().zip(&par) {
+            assert_eq!(a, b);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn dag_shaped_input_is_linear_in_distinct_terms() {
+        // (t - t) doubled k times: 2^k tree nodes, O(k) distinct terms.
+        // The interned engine must report distinct_terms ≈ k, not 2^k.
+        let mut e = Expr::var("x", Type::Int);
+        for _ in 0..12 {
+            e = Expr::bin(BinOp::Add, e.clone(), e);
+        }
+        let s = Simplifier::standard();
+        let (_, stats) = s.simplify(&e);
+        assert!(stats.size_before > 4000, "tree is exponentially large");
+        assert!(
+            stats.distinct_terms < 100,
+            "interned engine visited {} distinct terms",
+            stats.distinct_terms
+        );
+        assert!(stats.memo_hits > 0);
+    }
+
+    #[test]
+    fn id_level_entry_point_simplifies_native_dags() {
+        // Callers can skip trees entirely: build 2^40-node (virtual)
+        // expressions directly in the store and simplify by id.
+        let s = Simplifier::standard();
+        let mut sess = s.session();
+        let st = sess.store_mut();
+        let x = st.var("x", Type::Int);
+        let one = st.lit(&Value::Int(1));
+        let mut t = x;
+        for _ in 0..40 {
+            let m = st.binary(BinOp::Mul, t, one);
+            t = st.binary(BinOp::Add, m, m);
+        }
+        let (nf, stats) = sess.simplify_id(t);
+        // (x*1 + x*1) → (x + x) each level; nothing folds x + x, so the
+        // normal form is the doubling DAG itself — but with the *1 gone.
+        assert!(stats.size_before > 1 << 40);
+        assert!(stats.applications["right-identity"] >= 40);
+        assert!(sess.store().size(nf) < stats.size_before as u64);
     }
 }

@@ -412,10 +412,21 @@ pub fn handle(req: &SimplifyRequest) -> Result<Json, String> {
     handle_batch(std::slice::from_ref(req)).pop().unwrap()
 }
 
+/// Batch size at which simplification fans out to the `gp-parallel`
+/// pool. Below it, the shared-interner sequential path wins (common
+/// subterms across the batch intern once, and no spawn overhead).
+const PARALLEL_BATCH_THRESHOLD: usize = 8;
+
 /// Simplify a batch of requests sharing an environment fingerprint: the
-/// `Simplifier` (environment + rule set + resolved fire counters) is
-/// built **once** and reused for every expression — the amortization the
-/// serving core's micro-batching exists to exploit.
+/// `Simplifier` (environment + rule set + resolved fire counters + rule
+/// dispatch index) is built **once** and reused for every expression —
+/// the amortization the serving core's micro-batching exists to exploit.
+///
+/// Small batches run sequentially on one rewriting session, so common
+/// subterms across entries are interned once (the normal-form memo is
+/// reset per entry, keeping each result and its stats byte-identical to a
+/// solo call — the response cache depends on that). Large batches fan out
+/// to the `gp-parallel` pool, one independent session per entry.
 pub fn handle_batch(reqs: &[SimplifyRequest]) -> Vec<Result<Json, String>> {
     let Some(first) = reqs.first() else {
         return Vec::new();
@@ -426,27 +437,35 @@ pub fn handle_batch(reqs: &[SimplifyRequest]) -> Vec<Result<Json, String>> {
         "batched simplify requests must share an environment fingerprint"
     );
     let simplifier = Simplifier::with_env(first.env.build());
-    reqs.iter()
-        .map(|req| {
-            let (out, stats) = simplifier.simplify(&req.expr);
-            let mut apps = Json::obj();
-            for (rule, count) in &stats.applications {
-                apps = apps.field(rule, *count);
-            }
-            Ok(Json::obj()
-                .field("expr", expr_to_json(&out))
-                .field("display", out.to_string())
-                .field(
-                    "stats",
-                    Json::obj()
-                        .field("iterations", stats.iterations)
-                        .field("size_before", stats.size_before)
-                        .field("size_after", stats.size_after)
-                        .field("total", stats.total())
-                        .field("applications", apps),
-                ))
-        })
+    let exprs: Vec<Expr> = reqs.iter().map(|r| r.expr.clone()).collect();
+    let results = if reqs.len() >= PARALLEL_BATCH_THRESHOLD {
+        simplifier.simplify_batch_parallel(&exprs)
+    } else {
+        simplifier.simplify_batch(&exprs)
+    };
+    results
+        .into_iter()
+        .map(|(out, stats)| Ok(render_result(&out, &stats)))
         .collect()
+}
+
+fn render_result(out: &Expr, stats: &gp_rewrite::SimplifyStats) -> Json {
+    let mut apps = Json::obj();
+    for (rule, count) in &stats.applications {
+        apps = apps.field(rule, *count);
+    }
+    Json::obj()
+        .field("expr", expr_to_json(out))
+        .field("display", out.to_string())
+        .field(
+            "stats",
+            Json::obj()
+                .field("iterations", stats.iterations)
+                .field("size_before", stats.size_before)
+                .field("size_after", stats.size_after)
+                .field("total", stats.total())
+                .field("applications", apps),
+        )
 }
 
 #[cfg(test)]
@@ -553,6 +572,32 @@ mod tests {
             })
             .collect();
         let batched = handle_batch(&reqs);
+        for (req, b) in reqs.iter().zip(&batched) {
+            let solo = handle(req).unwrap();
+            assert_eq!(b.as_ref().unwrap().render(), solo.render());
+        }
+    }
+
+    #[test]
+    fn large_batch_takes_the_parallel_path_and_still_matches_solo() {
+        // 3× the fan-out threshold, with shared structure between entries.
+        let shared = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::var("x", Type::Int), Expr::int(1)),
+            Expr::int(0),
+        );
+        let reqs: Vec<SimplifyRequest> = (0..24)
+            .map(|i| SimplifyRequest {
+                expr: Expr::bin(
+                    BinOp::Add,
+                    shared.clone(),
+                    Expr::var(format!("v{i}"), Type::Int),
+                ),
+                env: EnvSpec::Standard,
+            })
+            .collect();
+        let batched = handle_batch(&reqs);
+        assert_eq!(batched.len(), reqs.len());
         for (req, b) in reqs.iter().zip(&batched) {
             let solo = handle(req).unwrap();
             assert_eq!(b.as_ref().unwrap().render(), solo.render());
