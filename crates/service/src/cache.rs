@@ -48,11 +48,25 @@ pub struct ResponseCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Pre-resolved telemetry counters (`<label>.{hit,miss,evict}`) so
+    /// the hot path never takes the registry lock. A shard router labels
+    /// each partition `service.shard.<i>.cache`, making the partitioning
+    /// observable from one snapshot.
+    tele_hit: &'static gp_telemetry::Counter,
+    tele_miss: &'static gp_telemetry::Counter,
+    tele_evict: &'static gp_telemetry::Counter,
 }
 
 impl ResponseCache {
-    /// `shards` stripes (`>= 1`), `capacity` total entries split evenly.
+    /// `shards` stripes (`>= 1`), `capacity` total entries split evenly,
+    /// counted under the default `service.cache` telemetry label.
     pub fn new(shards: usize, capacity: usize) -> Self {
+        ResponseCache::with_label(shards, capacity, "service.cache")
+    }
+
+    /// Like [`ResponseCache::new`], with the telemetry counters named
+    /// `<label>.hit`, `<label>.miss`, `<label>.evict`.
+    pub fn with_label(shards: usize, capacity: usize, label: &str) -> Self {
         let shards = shards.max(1);
         ResponseCache {
             per_shard_cap: capacity.div_ceil(shards).max(1),
@@ -67,6 +81,9 @@ impl ResponseCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            tele_hit: gp_telemetry::counter(&format!("{label}.hit")),
+            tele_miss: gp_telemetry::counter(&format!("{label}.miss")),
+            tele_evict: gp_telemetry::counter(&format!("{label}.evict")),
         }
     }
 
@@ -85,13 +102,13 @@ impl ResponseCache {
                 let payload = e.payload.clone();
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                gp_telemetry::counter("service.cache.hit").incr();
+                self.tele_hit.incr();
                 Some(payload)
             }
             _ => {
                 drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                gp_telemetry::counter("service.cache.miss").incr();
+                self.tele_miss.incr();
                 None
             }
         }
@@ -121,7 +138,7 @@ impl ResponseCache {
                 shard.entries.remove(&oldest);
                 drop(shard);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
-                gp_telemetry::counter("service.cache.evict").incr();
+                self.tele_evict.incr();
                 shard = self.shard(hash).lock().unwrap();
             }
         }

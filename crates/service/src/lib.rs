@@ -22,24 +22,47 @@
 //! - **Response caching** ([`cache`]): mutex-striped LRU keyed by the
 //!   request's canonical form; hits are byte-identical to fresh answers.
 //!
+//! Two TCP front ends expose the same serving core:
+//!
+//! - **Blocking** ([`Service::listen`]): thread per connection, capped at
+//!   `max_connections` (beyond it, a retriable `Overloaded` frame and a
+//!   close). Simple, portable, and the correctness oracle.
+//! - **Reactor** ([`Service::listen_reactor`], [`reactor`]): one
+//!   epoll-driven event-loop thread multiplexing thousands of
+//!   connections — incremental frame decoding, request pipelining with
+//!   in-order responses, per-connection write backpressure. Responses
+//!   are byte-identical to the blocking path's for the same request
+//!   stream (property-tested in `gp-bench`).
+//!
+//! For horizontal scale, [`shard::ShardRouter`] consistent-hashes
+//! requests across N service instances so each shard's cache owns a true
+//! partition of the key space and the micro-batcher sees denser same-
+//! environment runs.
+//!
 //! Everything is observable through `gp-telemetry` (`service.*` counters,
-//!  queue-depth gauge, per-kind latency histograms), and the counters
+//!  queue-depth gauge, per-kind latency histograms, `service.conn.open`,
+//! `service.reactor.*`, `service.shard.<i>.cache.*`), and the counters
 //! obey `accepted == completed + shed + in_flight` — checked from
-//! snapshot deltas by `exp_service` and the coherence proptests.
+//! snapshot deltas by `exp_service`, `exp_service_reactor`, and the
+//! coherence proptests.
 
 pub mod cache;
 pub mod lint;
 pub mod prove;
 pub mod queue;
+pub mod reactor;
 pub mod request;
 pub mod select;
 pub mod server;
+pub mod shard;
 pub mod simplify;
 pub mod wire;
 
 pub use cache::{CacheStats, ResponseCache};
+pub use reactor::{Reactor, ReactorConfig, ReactorHandle, SubmitRequest};
 pub use request::{
     decode_request, decode_response, encode_request, encode_response, Request, Response,
 };
 pub use server::{Service, ServiceConfig, ServiceStats, Ticket};
-pub use wire::TcpClient;
+pub use shard::{HashRing, ShardRouter, ShardRouterConfig};
+pub use wire::{FrameDecoder, TcpClient};

@@ -17,13 +17,14 @@
 
 use crate::cache::{CacheStats, ResponseCache};
 use crate::queue::BoundedQueue;
+use crate::reactor::{Reactor, ReactorConfig, ReactorHandle, ReplyFn, SubmitRequest};
 use crate::request::{decode_request, encode_response, fnv1a, Request, Response};
 use crate::simplify::SimplifyRequest;
 use crate::wire::{read_frame, write_frame};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -43,6 +44,15 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Most `Simplify` requests merged into one micro-batch.
     pub batch_max: usize,
+    /// Concurrent connections the **blocking** TCP path serves; one
+    /// beyond this is shed at accept with a retriable `Overloaded` frame
+    /// (the reactor path has its own cap in [`ReactorConfig`]).
+    pub max_connections: usize,
+    /// Telemetry prefix for the response cache's counters. `None` means
+    /// the process-wide `service.cache`; a shard router labels each
+    /// shard's cache `service.shard.<i>.cache` so partitioning is
+    /// observable per shard.
+    pub cache_label: Option<String>,
     /// Artificial per-batch handler delay — the load generator's knob for
     /// making overload reproducible; `None` in production paths.
     pub handler_delay: Option<Duration>,
@@ -57,6 +67,8 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             cache_capacity: 512,
             batch_max: 8,
+            max_connections: 1024,
+            cache_label: None,
             handler_delay: None,
         }
     }
@@ -86,14 +98,17 @@ impl ServiceStats {
     }
 }
 
-/// One queued request plus everything needed to answer it.
+/// One queued request plus everything needed to answer it. The reply is
+/// a one-shot callback: the blocking paths hand it an `mpsc` sender (a
+/// [`Ticket`] waits on the other end), the reactor hands it a completion
+/// push + wakeup — the serving core cannot tell the difference.
 struct Job {
     request: Request,
     canonical: String,
     hash: u64,
     /// Environment fingerprint for `Simplify` (batching key).
     batch_key: Option<u64>,
-    reply: mpsc::Sender<Response>,
+    reply: ReplyFn,
     enqueued: Instant,
 }
 
@@ -136,23 +151,35 @@ fn span_name(kind: &str) -> &'static str {
 impl ServiceInner {
     fn submit(self: &Arc<Self>, request: Request) -> Ticket {
         let (tx, rx) = mpsc::channel();
-        let ticket = Ticket { rx };
+        self.submit_callback(
+            request,
+            Box::new(move |resp| {
+                let _ = tx.send(resp);
+            }),
+        );
+        Ticket { rx }
+    }
+
+    /// The one submission path: admission control, cache, queue. `reply`
+    /// is invoked exactly once — synchronously for sheds and cache hits,
+    /// from a worker otherwise.
+    fn submit_callback(&self, request: Request, reply: ReplyFn) {
         let kind = request.kind();
         self.accepted.fetch_add(1, Ordering::Relaxed);
         gp_telemetry::counter("service.accepted").incr();
         gp_telemetry::counter(&format!("service.req.{kind}")).incr();
 
         if !self.accepting.load(Ordering::Acquire) {
-            self.shed_one(&tx);
-            return ticket;
+            self.shed_one(reply);
+            return;
         }
         let canonical = request.canonical();
         let hash = fnv1a(&canonical);
         if let Some(cache) = &self.cache {
             if let Some(payload) = cache.get(hash, &canonical) {
                 self.complete_one(kind, Instant::now());
-                let _ = tx.send(Response::Ok { payload });
-                return ticket;
+                reply(Response::Ok { payload });
+                return;
             }
         }
         let batch_key = match &request {
@@ -164,22 +191,21 @@ impl ServiceInner {
             canonical,
             hash,
             batch_key,
-            reply: tx,
+            reply,
             enqueued: Instant::now(),
         };
         match self.queue.try_push(job) {
             Ok(()) => {
                 gp_telemetry::gauge("service.queue.depth").add(1);
             }
-            Err(job) => self.shed_one(&job.reply),
+            Err(job) => self.shed_one(job.reply),
         }
-        ticket
     }
 
-    fn shed_one(&self, reply: &mpsc::Sender<Response>) {
+    fn shed_one(&self, reply: ReplyFn) {
         self.shed.fetch_add(1, Ordering::Relaxed);
         gp_telemetry::counter("service.shed").incr();
-        let _ = reply.send(Response::Overloaded);
+        reply(Response::Overloaded);
     }
 
     fn complete_one(&self, kind: &str, enqueued: Instant) {
@@ -202,7 +228,7 @@ impl ServiceInner {
             Err(message) => Response::Error { message },
         };
         self.complete_one(job.request.kind(), job.enqueued);
-        let _ = job.reply.send(response);
+        (job.reply)(response);
     }
 
     /// Execute a popped batch (always non-empty; len > 1 only for
@@ -288,6 +314,12 @@ impl ServiceInner {
     }
 }
 
+impl SubmitRequest for ServiceInner {
+    fn submit_with(&self, request: Request, reply: ReplyFn) {
+        self.submit_callback(request, reply);
+    }
+}
+
 /// The concept-query server. Construct with [`Service::start`], query
 /// in-process with [`Service::call`] (or [`Service::submit`] for
 /// pipelining), optionally expose over TCP with [`Service::listen`], and
@@ -297,14 +329,19 @@ pub struct Service {
     workers: Vec<JoinHandle<()>>,
     listen_thread: Option<JoinHandle<()>>,
     listen_addr: Option<SocketAddr>,
+    reactor: Option<ReactorHandle>,
 }
 
 impl Service {
     /// Start workers and (optionally) the cache.
     pub fn start(config: ServiceConfig) -> Service {
-        let cache = config
-            .cache_enabled
-            .then(|| ResponseCache::new(config.cache_shards, config.cache_capacity));
+        let cache = config.cache_enabled.then(|| {
+            ResponseCache::with_label(
+                config.cache_shards,
+                config.cache_capacity,
+                config.cache_label.as_deref().unwrap_or("service.cache"),
+            )
+        });
         let inner = Arc::new(ServiceInner {
             queue: BoundedQueue::new(config.queue_depth),
             cache,
@@ -327,7 +364,13 @@ impl Service {
             workers,
             listen_thread: None,
             listen_addr: None,
+            reactor: None,
         }
+    }
+
+    /// This service as a request sink for a [`Reactor`] or shard router.
+    pub fn submitter(&self) -> Arc<dyn SubmitRequest> {
+        Arc::clone(&self.inner) as Arc<dyn SubmitRequest>
     }
 
     /// Submit without waiting; the [`Ticket`] resolves to the response.
@@ -342,24 +385,55 @@ impl Service {
         self.submit(request).wait()
     }
 
-    /// Serve TCP on `addr` (use port 0 for an ephemeral port); returns
-    /// the bound address.
+    /// Serve TCP on `addr` (use port 0 for an ephemeral port) with the
+    /// legacy blocking thread-per-connection path; returns the bound
+    /// address. Connections beyond `max_connections` are shed at accept
+    /// with one retriable `Overloaded` frame — a connection flood turns
+    /// into explicit sheds instead of unbounded thread spawn.
     pub fn listen(&mut self, addr: &str) -> io::Result<SocketAddr> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let inner = Arc::clone(&self.inner);
+        let open = Arc::new(AtomicUsize::new(0));
         self.listen_thread = Some(thread::spawn(move || {
             for stream in listener.incoming() {
                 if inner.stop_listener.load(Ordering::Acquire) {
                     break;
                 }
-                if let Ok(stream) = stream {
+                if let Ok(mut stream) = stream {
+                    if open.load(Ordering::Acquire) >= inner.config.max_connections {
+                        gp_telemetry::counter("service.conn.shed").incr();
+                        let _ =
+                            write_frame(&mut stream, &encode_response(0, &Response::Overloaded));
+                        continue;
+                    }
+                    open.fetch_add(1, Ordering::AcqRel);
+                    gp_telemetry::gauge("service.conn.open").add(1);
                     let inner = Arc::clone(&inner);
-                    thread::spawn(move || serve_connection(&inner, stream));
+                    let open = Arc::clone(&open);
+                    thread::spawn(move || {
+                        serve_connection(&inner, stream);
+                        open.fetch_sub(1, Ordering::AcqRel);
+                        gp_telemetry::gauge("service.conn.open").sub(1);
+                    });
                 }
             }
         }));
         self.listen_addr = Some(local);
+        Ok(local)
+    }
+
+    /// Serve TCP on `addr` with the readiness-polled reactor front end
+    /// (Linux): one event-loop thread multiplexing every connection,
+    /// incremental frame decoding, request pipelining with in-order
+    /// response delivery, and per-connection write backpressure. The
+    /// serving core behind it — admission control, cache, batching,
+    /// workers — is exactly the one [`Service::listen`] uses, so
+    /// responses are byte-identical between the two paths.
+    pub fn listen_reactor(&mut self, addr: &str, config: ReactorConfig) -> io::Result<SocketAddr> {
+        let handle = Reactor::start(addr, self.submitter(), config)?;
+        let local = handle.local_addr();
+        self.reactor = Some(handle);
         Ok(local)
     }
 
@@ -375,6 +449,9 @@ impl Service {
     pub fn shutdown(&mut self) -> ServiceStats {
         self.inner.accepting.store(false, Ordering::Release);
         self.inner.stop_listener.store(true, Ordering::Release);
+        if let Some(mut reactor) = self.reactor.take() {
+            reactor.shutdown();
+        }
         if let Some(addr) = self.listen_addr.take() {
             // Unblock the accept loop so it observes the stop flag.
             let _ = TcpStream::connect(addr);
@@ -606,6 +683,39 @@ mod tests {
         let j = Json::parse(&reply).unwrap();
         assert_eq!(j.get("status").and_then(Json::as_str), Some("error"));
         drop(raw);
+        let stats = svc.shutdown();
+        assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn blocking_listener_sheds_connections_beyond_the_cap() {
+        let mut svc = Service::start(ServiceConfig {
+            max_connections: 2,
+            ..ServiceConfig::default()
+        });
+        let addr = svc.listen("127.0.0.1:0").unwrap();
+        // Two connections get in and answer; hold them open.
+        let mut a = TcpClient::connect(addr).unwrap();
+        let mut b = TcpClient::connect(addr).unwrap();
+        assert!(matches!(a.call(&sample(0, 0)), Ok(Response::Ok { .. })));
+        assert!(matches!(b.call(&sample(0, 1)), Ok(Response::Ok { .. })));
+        // The third is shed with one retriable Overloaded frame, then EOF.
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let frame = read_frame(&mut raw).unwrap().expect("shed frame");
+        let (id, resp) = crate::request::decode_response(&frame).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(resp, Response::Overloaded);
+        assert_eq!(read_frame(&mut raw).unwrap(), None, "then EOF");
+        // Freeing a slot lets a retry in.
+        drop(a);
+        std::thread::sleep(Duration::from_millis(100));
+        let mut retry = TcpClient::connect(addr).unwrap();
+        match retry.call(&sample(0, 2)) {
+            Ok(Response::Ok { .. }) => {}
+            other => panic!("retry after a slot freed should serve: {other:?}"),
+        }
+        drop(b);
+        drop(retry);
         let stats = svc.shutdown();
         assert_eq!(stats.in_flight(), 0);
     }

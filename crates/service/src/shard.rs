@@ -1,0 +1,348 @@
+//! The consistent-hash shard router: N [`Service`] instances, each
+//! owning a true partition of the response cache.
+//!
+//! One big service instance shares one cache and one queue between all
+//! workers; under heavy load the cache stripes contend and the
+//! micro-batcher's queue scan wades through every environment's
+//! requests. The router splits the tier into `shards` independent
+//! `Service` instances and routes each request by a **routing key**
+//! hashed onto a consistent ring ([`HashRing`], `vnodes` virtual nodes
+//! per shard so a shard's arc is spread across the key space and
+//! adding/removing a shard moves only `1/n` of the keys):
+//!
+//! - `Simplify` routes by its **environment fingerprint**, so every
+//!   request that could share a micro-batch lands on the same shard —
+//!   the batcher sees denser same-env runs, and a given cache key still
+//!   maps to exactly one shard (the environment is part of the
+//!   canonical form).
+//! - Every other kind routes by the hash of its **canonical form** (the
+//!   cache key), spreading load uniformly.
+//!
+//! Either way the map from canonical form to shard is deterministic, so
+//! the per-shard caches partition the key space with zero cross-shard
+//! duplication: `service.shard.<i>.cache.{hit,miss}` counters make the
+//! partition observable, and the E14 experiment checks that the union of
+//! shard caches holds each key at most once.
+
+use crate::reactor::{Reactor, ReactorConfig, ReactorHandle, ReplyFn, SubmitRequest};
+use crate::request::{fnv1a, Request, Response};
+use crate::server::{Service, ServiceConfig, ServiceStats, Ticket};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// A consistent-hash ring over shard indices.
+///
+/// Points are `(hash, shard)` pairs sorted by hash; a key routes to the
+/// first point clockwise from its own hash. With `vnodes` points per
+/// shard the expected fraction of keys moved by adding or removing one
+/// shard is `1/n`, not the `(n-1)/n` a modulo hash pays.
+pub struct HashRing {
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// A ring of `shards` shards with `vnodes` virtual nodes each.
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        let mut points: Vec<(u64, u32)> = (0..shards.max(1))
+            .flat_map(|s| {
+                (0..vnodes.max(1)).map(move |v| (fnv1a(&format!("shard-{s}-vnode-{v}")), s as u32))
+            })
+            .collect();
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        HashRing { points }
+    }
+
+    /// The shard owning `key`.
+    pub fn route(&self, key: u64) -> usize {
+        let idx = self.points.partition_point(|&(h, _)| h < key);
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard as usize
+    }
+
+    /// Number of virtual-node points on the ring.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Rings are never empty (shards and vnodes are clamped to ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Tuning for a [`ShardRouter`].
+#[derive(Clone, Debug)]
+pub struct ShardRouterConfig {
+    /// Independent `Service` instances.
+    pub shards: usize,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: usize,
+    /// Per-shard service configuration (the router overrides each
+    /// shard's `cache_label` with `service.shard.<i>.cache`).
+    pub base: ServiceConfig,
+}
+
+impl Default for ShardRouterConfig {
+    fn default() -> Self {
+        ShardRouterConfig {
+            shards: 2,
+            vnodes: 64,
+            base: ServiceConfig::default(),
+        }
+    }
+}
+
+/// The routing state shared with reactors: ring + per-shard submitters.
+struct RouterInner {
+    ring: HashRing,
+    submitters: Vec<Arc<dyn SubmitRequest>>,
+}
+
+impl RouterInner {
+    /// The routing key: environment fingerprint for `Simplify` (batch
+    /// density), canonical-form hash otherwise. Both are functions of
+    /// the canonical form, so the cache partition is deterministic.
+    fn routing_key(request: &Request) -> u64 {
+        match request {
+            Request::Simplify(r) => r.env.fingerprint(),
+            other => fnv1a(&other.canonical()),
+        }
+    }
+}
+
+impl SubmitRequest for RouterInner {
+    fn submit_with(&self, request: Request, reply: ReplyFn) {
+        let shard = self.ring.route(Self::routing_key(&request));
+        self.submitters[shard].submit_with(request, reply);
+    }
+}
+
+/// A fleet of [`Service`] shards behind one consistent-hash front door.
+pub struct ShardRouter {
+    services: Vec<Service>,
+    inner: Arc<RouterInner>,
+    reactor: Option<ReactorHandle>,
+}
+
+impl ShardRouter {
+    /// Start `config.shards` service instances, each with its own
+    /// workers, queue, and cache partition.
+    pub fn start(config: ShardRouterConfig) -> ShardRouter {
+        let services: Vec<Service> = (0..config.shards.max(1))
+            .map(|i| {
+                Service::start(ServiceConfig {
+                    cache_label: Some(format!("service.shard.{i}.cache")),
+                    ..config.base.clone()
+                })
+            })
+            .collect();
+        let inner = Arc::new(RouterInner {
+            ring: HashRing::new(services.len(), config.vnodes),
+            submitters: services.iter().map(Service::submitter).collect(),
+        });
+        ShardRouter {
+            services,
+            inner,
+            reactor: None,
+        }
+    }
+
+    /// Which shard `request` routes to (stable for its canonical form).
+    pub fn shard_of(&self, request: &Request) -> usize {
+        self.inner.ring.route(RouterInner::routing_key(request))
+    }
+
+    /// Submit without waiting; the [`Ticket`] resolves to the response.
+    pub fn submit(&self, request: Request) -> Ticket {
+        let shard = self.shard_of(&request);
+        self.services[shard].submit(request)
+    }
+
+    /// Route, submit, and block for the answer.
+    pub fn call(&self, request: Request) -> Response {
+        self.submit(request).wait()
+    }
+
+    /// This router as a reactor request sink.
+    pub fn submitter(&self) -> Arc<dyn SubmitRequest> {
+        Arc::clone(&self.inner) as Arc<dyn SubmitRequest>
+    }
+
+    /// Serve the whole fleet over one reactor front end on `addr`.
+    pub fn listen_reactor(&mut self, addr: &str, config: ReactorConfig) -> io::Result<SocketAddr> {
+        let handle = Reactor::start(addr, self.submitter(), config)?;
+        let local = handle.local_addr();
+        self.reactor = Some(handle);
+        Ok(local)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Per-shard counter snapshots.
+    pub fn stats(&self) -> Vec<ServiceStats> {
+        self.services.iter().map(Service::stats).collect()
+    }
+
+    /// Fleet-wide totals (sum over shards).
+    pub fn aggregate_stats(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for s in self.stats() {
+            total.accepted += s.accepted;
+            total.completed += s.completed;
+            total.shed += s.shed;
+            total.batched += s.batched;
+            total.cache.hits += s.cache.hits;
+            total.cache.misses += s.cache.misses;
+            total.cache.evictions += s.cache.evictions;
+        }
+        total
+    }
+
+    /// Stop the reactor (if any), then drain and join every shard.
+    /// Returns per-shard stats; the conservation law holds per shard and
+    /// therefore in aggregate.
+    pub fn shutdown(&mut self) -> Vec<ServiceStats> {
+        if let Some(mut reactor) = self.reactor.take() {
+            reactor.shutdown();
+        }
+        self.services.iter_mut().map(Service::shutdown).collect()
+    }
+}
+
+impl Drop for ShardRouter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplify::{EnvSpec, SimplifyRequest};
+    use gp_core::json::Json;
+    use gp_rewrite::{BinOp, Expr, Type};
+
+    fn simplify_req(i: usize) -> Request {
+        Request::Simplify(SimplifyRequest {
+            expr: Expr::bin(
+                BinOp::Mul,
+                Expr::var(format!("x{i}"), Type::Int),
+                Expr::int(1),
+            ),
+            env: EnvSpec::Standard,
+        })
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_shards() {
+        let ring = HashRing::new(4, 64);
+        assert_eq!(ring.len(), 4 * 64);
+        let mut hit = [false; 4];
+        for k in 0..10_000u64 {
+            let s = ring.route(k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            assert_eq!(s, ring.route(k.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "64 vnodes reach every shard");
+    }
+
+    #[test]
+    fn adding_a_shard_moves_a_minority_of_keys() {
+        let before = HashRing::new(4, 64);
+        let after = HashRing::new(5, 64);
+        let keys = 10_000u64;
+        let moved = (0..keys)
+            .filter(|k| {
+                let h = k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                before.route(h) != after.route(h)
+            })
+            .count();
+        // Ideal is 1/5 = 20%; allow slack for hash unevenness. A modulo
+        // hash would move ~80%.
+        assert!(
+            moved < keys as usize * 2 / 5,
+            "only a minority of keys move: {moved}/{keys}"
+        );
+    }
+
+    #[test]
+    fn same_env_simplify_requests_share_a_shard() {
+        let router = ShardRouter::start(ShardRouterConfig {
+            shards: 4,
+            ..ShardRouterConfig::default()
+        });
+        let shard = router.shard_of(&simplify_req(0));
+        for i in 1..16 {
+            assert_eq!(
+                router.shard_of(&simplify_req(i)),
+                shard,
+                "standard-env simplify requests all batch on one shard"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_so_caches_partition() {
+        let mut router = ShardRouter::start(ShardRouterConfig {
+            shards: 3,
+            ..ShardRouterConfig::default()
+        });
+        // A mixed stream: each distinct request repeats; the repeat must
+        // hit the same shard's cache.
+        let reqs: Vec<Request> = (0..6)
+            .map(|i| {
+                Request::Prove(crate::prove::ProveRequest {
+                    theory: "monoid".into(),
+                    instance: format!("i{i}"),
+                    model: vec![("op".into(), format!("op{i}"))],
+                })
+            })
+            .collect();
+        let mut first = Vec::new();
+        for r in &reqs {
+            match router.call(r.clone()) {
+                Response::Ok { payload } => first.push(payload),
+                other => panic!("{other:?}"),
+            }
+        }
+        for (r, f) in reqs.iter().zip(&first) {
+            match router.call(r.clone()) {
+                Response::Ok { payload } => {
+                    assert_eq!(&payload, f, "repeat answered byte-identically")
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        let stats = router.shutdown();
+        let hits: u64 = stats.iter().map(|s| s.cache.hits).sum();
+        assert_eq!(hits, reqs.len() as u64, "every repeat was a cache hit");
+        let total: u64 = stats.iter().map(|s| s.accepted).sum();
+        assert_eq!(total, 2 * reqs.len() as u64);
+        for s in &stats {
+            assert_eq!(s.in_flight(), 0, "each shard drained: {s:?}");
+        }
+    }
+
+    #[test]
+    fn router_answers_all_kinds_and_conserves() {
+        let mut router = ShardRouter::start(ShardRouterConfig::default());
+        for i in 0..8 {
+            match router.call(simplify_req(i)) {
+                Response::Ok { payload } => {
+                    Json::parse(&payload).expect("valid JSON");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        let agg = {
+            let stats = router.shutdown();
+            stats.iter().fold(0i64, |acc, s| acc + s.in_flight())
+        };
+        assert_eq!(agg, 0);
+    }
+}

@@ -6,10 +6,18 @@
 //! contain newlines — and make the read loop allocation-exact. Frames
 //! above [`MAX_FRAME`] are rejected before allocation, so a corrupt or
 //! hostile length prefix cannot balloon memory.
+//!
+//! Two consumers share the format: the blocking path reads whole frames
+//! with [`read_frame`], and the reactor feeds whatever bytes the kernel
+//! handed it into a [`FrameDecoder`], which buffers partial frames across
+//! reads — a frame split inside the length prefix, a 1-byte-at-a-time
+//! trickle, and several pipelined frames in one read all decode to the
+//! same frame sequence (property-tested in `tests/frame_codec.rs`).
 
 use crate::request::{decode_response, encode_request, Request, Response};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// Maximum frame payload (16 MiB) — far above any real request, far
 /// below an allocation-of-garbage DoS.
@@ -27,6 +35,13 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     w.write_all(&(bytes.len() as u32).to_be_bytes())?;
     w.write_all(bytes)?;
     w.flush()
+}
+
+/// Append one frame to a byte buffer without flushing — the reactor's
+/// outbound path, and how tests build multi-frame streams.
+pub fn encode_frame(buf: &mut Vec<u8>, payload: &str) {
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload.as_bytes());
 }
 
 /// Read one frame. `Ok(None)` on clean EOF (peer closed between frames);
@@ -51,40 +66,185 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}")))
 }
 
+/// Incremental frame decoder: feed arbitrary byte chunks, pop complete
+/// frames. The reactor's read path is nonblocking, so a `read` returns
+/// whatever the kernel has — possibly half a length prefix, possibly
+/// three pipelined frames and the first byte of a fourth. The decoder
+/// owns the carry-over so connection state machines don't.
+///
+/// Invariants: a frame longer than [`MAX_FRAME`] is rejected as soon as
+/// its length prefix is complete (before any payload allocation), and
+/// non-UTF-8 payloads are rejected when the frame completes — both fatal
+/// to the stream, matching [`read_frame`].
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by emitted frames; compacted
+    /// lazily so a pipelined burst costs one memmove, not one per frame.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with no buffered bytes.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Buffer `bytes` for decoding.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Pop the next complete frame: `Ok(Some(payload))` when one is
+    /// buffered, `Ok(None)` when more bytes are needed, `Err` on an
+    /// oversized length prefix or non-UTF-8 payload (the stream is
+    /// poisoned; the caller should drop the connection).
+    pub fn next_frame(&mut self) -> io::Result<Option<String>> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds MAX_FRAME"),
+            ));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = std::str::from_utf8(&avail[4..4 + len])
+            .map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}"))
+            })?
+            .to_string();
+        self.pos += 4 + len;
+        Ok(Some(payload))
+    }
+
+    /// True when no partial frame is buffered — EOF here is a clean close,
+    /// EOF mid-frame is a truncated stream.
+    pub fn is_idle(&self) -> bool {
+        self.buf.len() == self.pos
+    }
+
+    /// Bytes currently buffered (partial-frame carry-over).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
 /// A blocking request/response client over one TCP connection.
 ///
-/// Correlation ids are assigned per connection; `call` is synchronous
-/// (one frame out, one frame in), which is all the closed-loop load
-/// generator and smoke tests need.
+/// Correlation ids are assigned per connection. [`TcpClient::call`] is
+/// synchronous (one frame out, one frame in); [`TcpClient::send`] /
+/// [`TcpClient::recv`] split the two halves so a client can keep several
+/// requests in flight on one connection — the pipelining the reactor
+/// front end exists to serve. Responses come back in request order
+/// (the server reorders out-of-order completions), so `recv` matches
+/// sends first-in-first-out.
 pub struct TcpClient {
     stream: TcpStream,
     next_id: u64,
+    /// Ids sent but not yet received, oldest first.
+    inflight: std::collections::VecDeque<u64>,
 }
 
 impl TcpClient {
-    /// Connect to a listening service.
+    /// Connect to a listening service with no I/O timeouts (reads block
+    /// until the server answers — the closed-loop load generator's mode).
     pub fn connect(addr: SocketAddr) -> io::Result<TcpClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpClient { stream, next_id: 1 })
+        Ok(TcpClient {
+            stream,
+            next_id: 1,
+            inflight: std::collections::VecDeque::new(),
+        })
+    }
+
+    /// Connect with read/write timeouts: a server that stalls mid-frame
+    /// (half-written length prefix, wedged worker) surfaces as a clean
+    /// `timed out` error instead of hanging the client forever.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<TcpClient> {
+        let client = TcpClient::connect(addr)?;
+        client.set_timeouts(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Set (or clear) both the read and write timeout.
+    pub fn set_timeouts(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    fn io_error(stage: &str, e: io::Error) -> String {
+        match e.kind() {
+            // Platform-dependent spelling of a read/write timeout.
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                format!("{stage}: timed out waiting for the server")
+            }
+            _ => format!("{stage}: {e}"),
+        }
+    }
+
+    /// Send one request without waiting; returns its correlation id.
+    pub fn send(&mut self, req: &Request) -> Result<u64, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &encode_request(id, req))
+            .map_err(|e| Self::io_error("send", e))?;
+        self.inflight.push_back(id);
+        Ok(id)
+    }
+
+    /// Receive the next response in send order; errors if it does not
+    /// correlate with the oldest in-flight request.
+    pub fn recv(&mut self) -> Result<(u64, Response), String> {
+        let expect = self
+            .inflight
+            .pop_front()
+            .ok_or("recv: no request in flight")?;
+        let frame = read_frame(&mut self.stream)
+            .map_err(|e| Self::io_error("recv", e))?
+            .ok_or("recv: connection closed")?;
+        let (resp_id, resp) = decode_response(&frame)?;
+        if resp_id != expect {
+            return Err(format!(
+                "response id {resp_id} does not match request id {expect}"
+            ));
+        }
+        Ok((resp_id, resp))
+    }
+
+    /// Requests currently awaiting responses.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
     }
 
     /// Send one request and block for its response.
     pub fn call(&mut self, req: &Request) -> Result<Response, String> {
-        let id = self.next_id;
-        self.next_id += 1;
-        write_frame(&mut self.stream, &encode_request(id, req))
-            .map_err(|e| format!("send: {e}"))?;
-        let frame = read_frame(&mut self.stream)
-            .map_err(|e| format!("recv: {e}"))?
-            .ok_or("recv: connection closed")?;
-        let (resp_id, resp) = decode_response(&frame)?;
-        if resp_id != id {
-            return Err(format!(
-                "response id {resp_id} does not match request id {id}"
-            ));
+        self.send(req)?;
+        Ok(self.recv()?.1)
+    }
+
+    /// Send every request, then collect every response — `depth`-deep
+    /// pipelining on one connection (one round trip of latency amortized
+    /// over the whole slice instead of paid per request).
+    pub fn call_pipelined(&mut self, reqs: &[Request]) -> Result<Vec<Response>, String> {
+        for req in reqs {
+            self.send(req)?;
         }
-        Ok(resp)
+        (0..reqs.len()).map(|_| Ok(self.recv()?.1)).collect()
     }
 }
 
@@ -121,5 +281,100 @@ mod tests {
         assert!(read_frame(&mut &buf[..]).is_err());
         let huge = "x".repeat(MAX_FRAME + 1);
         assert!(write_frame(&mut Vec::new(), &huge).is_err());
+    }
+
+    #[test]
+    fn decoder_handles_one_byte_trickle_and_pipelined_burst() {
+        let payloads = ["", "a", "{\"id\":1}", "payload with\nnewline"];
+        let mut stream = Vec::new();
+        for p in payloads {
+            encode_frame(&mut stream, p);
+        }
+        // 1-byte trickle.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert!(dec.is_idle());
+        // Whole burst in one feed.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let mut got = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, payloads);
+        assert!(dec.is_idle());
+    }
+
+    #[test]
+    fn decoder_split_inside_length_prefix_is_not_idle() {
+        let mut stream = Vec::new();
+        encode_frame(&mut stream, "hello");
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream[..2]); // half the length prefix
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(!dec.is_idle(), "mid-prefix EOF is a truncated stream");
+        dec.feed(&stream[2..]);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some("hello"));
+        assert!(dec.is_idle());
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_and_non_utf8() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&u32::MAX.to_be_bytes());
+        assert!(dec.next_frame().is_err(), "oversized length prefix");
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&4u32.to_be_bytes());
+        dec.feed(&[0xff, 0xfe, 0xfd, 0xfc]);
+        assert!(dec.next_frame().is_err(), "non-UTF-8 payload");
+    }
+
+    #[test]
+    fn client_times_out_cleanly_on_a_half_written_length_prefix() {
+        use crate::lint::LintRequest;
+        use std::io::Write as _;
+        use std::net::TcpListener;
+        use std::time::Instant;
+
+        // A stub server that writes half a length prefix and then stalls
+        // forever — the nastiest spot to hang a client, because the
+        // response is "in progress" but can never complete.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stub = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut drain = vec![0u8; 4096];
+            use std::io::Read as _;
+            let _ = conn.read(&mut drain); // swallow the request
+            conn.write_all(&[0x00, 0x00]).unwrap(); // half a prefix
+            conn // keep the socket open until the test ends
+        });
+
+        let mut client = TcpClient::connect_with_timeout(addr, Duration::from_millis(200)).unwrap();
+        let req = Request::Lint(LintRequest {
+            name: "p".into(),
+            program: "container xs vector\n".into(),
+        });
+        let started = Instant::now();
+        let err = client.call(&req).expect_err("must not hang");
+        assert!(
+            err.contains("timed out waiting for the server"),
+            "clean timeout error, got: {err}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timeout must fire promptly, took {:?}",
+            started.elapsed()
+        );
+        drop(client);
+        drop(stub.join().unwrap());
     }
 }

@@ -1,0 +1,190 @@
+//! Property tests for the incremental frame codec.
+//!
+//! The reactor reads whatever byte spans the kernel hands it — a frame
+//! can arrive one byte at a time, split inside the length prefix, or
+//! glued to its neighbors in one read. The decoder must produce the
+//! exact same frame sequence for **every** chunking of the same byte
+//! stream, reject oversized frames as soon as the prefix is complete,
+//! and flag a stream that ends mid-frame as truncated rather than
+//! silently dropping the tail.
+
+use gp_service::wire::{encode_frame, FrameDecoder, MAX_FRAME};
+use gp_service::{decode_request, encode_request, Request};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A valid frame stream: payloads of printable text (some empty, some
+/// multibyte) of varied lengths.
+struct FrameStream {
+    max_frames: usize,
+}
+
+impl Strategy for FrameStream {
+    type Value = Vec<String>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<String> {
+        let n = rng.gen_range(0..self.max_frames);
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(0usize..200);
+                (0..len)
+                    .map(|_| {
+                        // Mix ASCII with multibyte so UTF-8 boundaries land
+                        // inside chunks.
+                        match rng.gen_range(0u8..10) {
+                            0 => 'é',
+                            1 => '🚀',
+                            2 => '\n',
+                            _ => rng.gen_range(b' '..b'~') as char,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Cut points for a byte stream: a sorted set of split positions.
+fn random_chunks(rng: &mut StdRng, len: usize) -> Vec<usize> {
+    let cuts = rng.gen_range(0..20.min(len + 1));
+    let mut points: Vec<usize> = (0..cuts).map(|_| rng.gen_range(0..=len)).collect();
+    points.push(0);
+    points.push(len);
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+fn decode_all(bytes: &[u8], cuts: &[usize]) -> (Vec<String>, bool) {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    for w in cuts.windows(2) {
+        dec.feed(&bytes[w[0]..w[1]]);
+        while let Some(f) = dec.next_frame().expect("valid stream decodes") {
+            frames.push(f);
+        }
+    }
+    (frames, dec.is_idle())
+}
+
+proptest! {
+    /// Any chunking of a valid frame stream decodes to the same frames,
+    /// and a fully consumed stream leaves the decoder idle.
+    #[test]
+    fn any_chunking_decodes_to_the_same_frame_sequence(
+        payloads in FrameStream { max_frames: 12 },
+        seed in 0u64..1_000_000,
+    ) {
+        use rand::SeedableRng;
+        let mut bytes = Vec::new();
+        for p in &payloads {
+            encode_frame(&mut bytes, p);
+        }
+        // Whole stream in one feed is the reference...
+        let all = vec![0, bytes.len()];
+        let (reference, idle) = decode_all(&bytes, &all);
+        prop_assert_eq!(&reference, &payloads);
+        prop_assert!(idle);
+        // ...and three random chunkings must agree with it.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let cuts = random_chunks(&mut rng, bytes.len());
+            let (frames, idle) = decode_all(&bytes, &cuts);
+            prop_assert_eq!(&frames, &payloads);
+            prop_assert!(idle);
+        }
+        // Byte-at-a-time is the worst case.
+        let every: Vec<usize> = (0..=bytes.len()).collect();
+        let (frames, idle) = decode_all(&bytes, &every);
+        prop_assert_eq!(&frames, &payloads);
+        prop_assert!(idle);
+    }
+
+    /// Chunked request frames decode to the same (id, request) sequence
+    /// the sender encoded — the reactor's actual input path.
+    #[test]
+    fn chunked_request_frames_recover_the_request_sequence(
+        ids in prop::collection::vec(1u64..1_000, 1..8),
+        seed in 0u64..1_000_000,
+    ) {
+        use rand::SeedableRng;
+        let reqs: Vec<(u64, Request)> = ids
+            .iter()
+            .map(|&id| {
+                (id, Request::Lint(gp_service::lint::LintRequest {
+                    name: format!("p{id}"),
+                    program: "container xs vector\niter it = begin xs\n".into(),
+                }))
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        for (id, req) in &reqs {
+            encode_frame(&mut bytes, &encode_request(*id, req));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cuts = random_chunks(&mut rng, bytes.len());
+        let (frames, idle) = decode_all(&bytes, &cuts);
+        prop_assert!(idle);
+        prop_assert_eq!(frames.len(), reqs.len());
+        for (frame, (id, req)) in frames.iter().zip(&reqs) {
+            let (got_id, got_req) = decode_request(frame).expect("decodes");
+            prop_assert_eq!(got_id, *id);
+            prop_assert_eq!(got_req.canonical(), req.canonical());
+        }
+    }
+
+    /// A stream cut anywhere strictly inside a frame is truncated: the
+    /// decoder reports not-idle rather than inventing a frame.
+    #[test]
+    fn truncated_streams_are_flagged_not_silently_dropped(
+        payload_len in 1usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload: String = (0..payload_len)
+            .map(|_| rng.gen_range(b'a'..=b'z') as char)
+            .collect();
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, &payload);
+        let cut = rng.gen_range(1..bytes.len());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes[..cut]);
+        prop_assert_eq!(dec.next_frame().unwrap(), None, "no frame yet");
+        prop_assert!(!dec.is_idle(), "mid-frame EOF must look truncated");
+        // Feeding the rest completes it — nothing was lost.
+        dec.feed(&bytes[cut..]);
+        prop_assert_eq!(dec.next_frame().unwrap().as_deref(), Some(payload.as_str()));
+        prop_assert!(dec.is_idle());
+    }
+}
+
+/// An oversized length prefix is rejected as soon as the prefix is
+/// complete — before any payload allocation, whatever the chunking.
+#[test]
+fn oversized_frames_are_rejected_at_the_prefix() {
+    let prefix = ((MAX_FRAME + 1) as u32).to_be_bytes();
+    // All four prefix chunkings: 4, 2+2, 1+3, 1+1+1+1.
+    for cuts in [
+        vec![0, 4],
+        vec![0, 2, 4],
+        vec![0, 1, 4],
+        vec![0, 1, 2, 3, 4],
+    ] {
+        let mut dec = FrameDecoder::new();
+        let mut err = false;
+        for w in cuts.windows(2) {
+            dec.feed(&prefix[w[0]..w[1]]);
+            if dec.next_frame().is_err() {
+                err = true;
+                break;
+            }
+        }
+        assert!(err, "oversized prefix must error before payload bytes");
+    }
+    // Exactly MAX_FRAME is allowed (boundary).
+    let mut dec = FrameDecoder::new();
+    dec.feed(&(MAX_FRAME as u32).to_be_bytes());
+    assert!(dec.next_frame().is_ok(), "MAX_FRAME itself is legal");
+}
