@@ -10,10 +10,10 @@ use gp_bench::{banner, write_results, Json, Table};
 use gp_core::complexity::Complexity;
 use gp_distsim::algorithms::{
     adversarial_ring_uids, bfs_tree_nodes, bit_reversal_ring_uids, consensus, echo_nodes,
-    floodmax_nodes, ft_floodmax_nodes, hs_nodes, lcr_nodes, reliable_echo_nodes,
+    expected_leader, floodmax_nodes, ft_floodmax_nodes, hs_nodes, lcr_nodes, reliable_echo_nodes,
     reliable_lcr_nodes,
 };
-use gp_distsim::engine::{AsyncRunner, SyncRunner};
+use gp_distsim::engine::{required_diameter, AsyncRunner, SyncRunner};
 use gp_distsim::topology::Topology;
 use gp_taxonomy::{
     catalog, select_best, Fault, Problem, Requirement, Timing, Topology as TaxTopology,
@@ -111,7 +111,7 @@ fn main() {
         Topology::random_connected(40, 30, 7),
     ] {
         let n = topo.len();
-        let diam = topo.diameter().unwrap() as u64;
+        let diam = required_diameter(&topo).expect("benchmark topologies are connected");
         let edges = topo.directed_edge_count() as u64;
         let uids: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 1009).collect();
 
@@ -251,7 +251,7 @@ fn main() {
     use gp_distsim::algorithms::asyncmax_nodes;
     let topo = Topology::grid(8, 8);
     let uids: Vec<u64> = (0..64u64).map(|i| (i * 41 + 5) % 997).collect();
-    let max = *uids.iter().max().unwrap();
+    let max = expected_leader(&uids).expect("non-empty uid set");
     let mut r = AsyncRunner::new(topo.clone(), asyncmax_nodes(&uids), 7, 11);
     let stats = r.run(100_000_000);
     println!(
@@ -325,7 +325,7 @@ fn e10e_faults(smoke: bool) {
 
         // Reliable LCR on the bidirectional ring.
         let uids: Vec<u64> = (1..=ring_n as u64).map(|k| k * 3 % 13 + 13 * k).collect();
-        let max = *uids.iter().max().unwrap();
+        let max = expected_leader(&uids).expect("non-empty uid set");
         let mut r = AsyncRunner::new(
             Topology::ring_bidirectional(ring_n),
             reliable_lcr_nodes(&uids, 12, 30),

@@ -41,6 +41,7 @@ pub mod archetype;
 pub mod complexity;
 pub mod concept;
 pub mod cursor;
+pub mod frame;
 pub mod json;
 pub mod numeric;
 pub mod order;

@@ -20,7 +20,7 @@
 //! wave), which is exactly the compositional-strategy pairing the taxonomy
 //! can express.
 
-use crate::engine::{Ctx, Payload, Process};
+use crate::engine::{BoxProcess, Ctx, Payload, Process};
 use crate::topology::NodeId;
 
 /// Per-node AsyncMax state.
@@ -56,9 +56,9 @@ impl Process for AsyncMax {
 }
 
 /// One AsyncMax process per uid.
-pub fn asyncmax_nodes(uids: &[u64]) -> Vec<Box<dyn Process>> {
+pub fn asyncmax_nodes(uids: &[u64]) -> Vec<BoxProcess> {
     uids.iter()
-        .map(|&u| Box::new(AsyncMax::new(u)) as Box<dyn Process>)
+        .map(|&u| Box::new(AsyncMax::new(u)) as BoxProcess)
         .collect()
 }
 

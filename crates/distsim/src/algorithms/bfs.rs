@@ -8,7 +8,7 @@
 //!
 //! Complexity guarantees: `O(|E|)` messages, `O(diam)` rounds.
 
-use crate::engine::{Ctx, Payload, Process};
+use crate::engine::{BoxProcess, Ctx, Payload, Process};
 use crate::topology::NodeId;
 
 /// Per-node BFS state. Decides its tree level.
@@ -56,9 +56,9 @@ impl Process for BfsTree {
 }
 
 /// One BFS process per node, rooted at `root`.
-pub fn bfs_tree_nodes(n: usize, root: NodeId) -> Vec<Box<dyn Process>> {
+pub fn bfs_tree_nodes(n: usize, root: NodeId) -> Vec<BoxProcess> {
     (0..n)
-        .map(|i| Box::new(BfsTree::new(i == root)) as Box<dyn Process>)
+        .map(|i| Box::new(BfsTree::new(i == root)) as BoxProcess)
         .collect()
 }
 

@@ -9,7 +9,7 @@
 //! Complexity guarantee: exactly `2·|E|` messages (each undirected edge
 //! carries one token each way); `O(diam)` time.
 
-use crate::engine::{Ctx, Payload, Process};
+use crate::engine::{BoxProcess, Ctx, Payload, Process};
 use crate::topology::NodeId;
 
 /// Per-node echo state.
@@ -67,9 +67,9 @@ impl Process for Echo {
 }
 
 /// One echo process per node; node `initiator` starts the wave.
-pub fn echo_nodes(n: usize, initiator: NodeId) -> Vec<Box<dyn Process>> {
+pub fn echo_nodes(n: usize, initiator: NodeId) -> Vec<BoxProcess> {
     (0..n)
-        .map(|i| Box::new(Echo::new(i == initiator)) as Box<dyn Process>)
+        .map(|i| Box::new(Echo::new(i == initiator)) as BoxProcess)
         .collect()
 }
 

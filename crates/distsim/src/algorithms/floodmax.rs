@@ -11,7 +11,7 @@
 //! algorithms: FloodMax trades message volume for topology generality —
 //! the trade-off a taxonomy-driven selector weighs.
 
-use crate::engine::{Ctx, Payload, Process};
+use crate::engine::{BoxProcess, Ctx, Payload, Process};
 use crate::topology::NodeId;
 
 /// Per-node FloodMax state.
@@ -35,6 +35,14 @@ impl FloodMax {
 
 impl Process for FloodMax {
     fn on_start(&mut self, ctx: &mut Ctx) {
+        if self.diameter == 0 {
+            // Single-node (or otherwise diameter-0) topology: nobody can
+            // outrank us and no round will ever reach `on_round`'s decide
+            // branch (rounds start at 1), so elect trivially here.
+            ctx.decide(self.uid);
+            ctx.halt();
+            return;
+        }
         ctx.send_all(Payload::Max(self.max_seen));
     }
 
@@ -62,29 +70,30 @@ impl Process for FloodMax {
 }
 
 /// One FloodMax process per uid.
-pub fn floodmax_nodes(uids: &[u64], diameter: u64) -> Vec<Box<dyn Process>> {
+pub fn floodmax_nodes(uids: &[u64], diameter: u64) -> Vec<BoxProcess> {
     uids.iter()
-        .map(|&u| Box::new(FloodMax::new(u, diameter)) as Box<dyn Process>)
+        .map(|&u| Box::new(FloodMax::new(u, diameter)) as BoxProcess)
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithms::consensus;
-    use crate::engine::SyncRunner;
+    use crate::algorithms::{consensus, expected_leader, floodmax_nodes_for};
+    use crate::engine::{required_diameter, SyncRunner};
     use crate::topology::Topology;
 
     fn run(topo: Topology, uids: &[u64]) -> crate::engine::RunStats {
-        let diam = topo.diameter().expect("connected") as u64;
-        let mut r = SyncRunner::new(topo, floodmax_nodes(uids, diam.max(1)));
+        let diam = required_diameter(&topo).expect("connected");
+        let procs = floodmax_nodes_for(&topo, uids).expect("connected");
+        let mut r = SyncRunner::new(topo, procs);
         r.run(diam + 10)
     }
 
     #[test]
     fn elects_max_on_grid_complete_and_random() {
         let uids: Vec<u64> = (0..16).map(|i| (i * 7 + 3) % 97).collect();
-        let max = *uids.iter().max().unwrap();
+        let max = expected_leader(&uids).expect("non-empty");
         for topo in [
             Topology::grid(4, 4),
             Topology::complete(16),
@@ -99,7 +108,7 @@ mod tests {
     #[test]
     fn message_count_is_diameter_times_edges() {
         let topo = Topology::grid(5, 5);
-        let diam = topo.diameter().unwrap() as u64;
+        let diam = required_diameter(&topo).expect("connected");
         let edges = topo.directed_edge_count() as u64;
         let uids: Vec<u64> = (1..=25).collect();
         let stats = run(topo, &uids);
@@ -121,5 +130,27 @@ mod tests {
         let mut r = SyncRunner::new(topo, floodmax_nodes(&uids, 4));
         let stats = r.run(20);
         assert_eq!(stats.outputs[4], Some(9));
+    }
+
+    /// Edge cases that used to panic: a one-node topology has diameter 0
+    /// (the decide round never arrives), and an empty uid list has no max.
+    #[test]
+    fn one_node_and_empty_topologies_elect_trivially() {
+        // Single node: elects itself immediately on start.
+        let topo = Topology::from_lists("lone", vec![vec![]]);
+        let procs = floodmax_nodes_for(&topo, &[42]).expect("trivially connected");
+        let mut r = SyncRunner::new(topo, procs);
+        let stats = r.run(10);
+        assert_eq!(consensus(&stats), Some(42));
+        assert_eq!(stats.messages, 0, "nobody to flood to");
+
+        // Empty topology: nothing to elect, nothing to panic on.
+        assert_eq!(expected_leader(&[]), None);
+        let topo = Topology::from_lists("empty", vec![]);
+        let procs = floodmax_nodes_for(&topo, &[]).expect("vacuously connected");
+        let mut r = SyncRunner::new(topo, procs);
+        let stats = r.run(10);
+        assert_eq!(consensus(&stats), None);
+        assert_eq!(stats.messages, 0);
     }
 }

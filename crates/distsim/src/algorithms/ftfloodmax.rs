@@ -23,7 +23,7 @@
 //! ticks (each node improves at most `n` times and re-floods `≤ K`
 //! times); `O(K · period)` time; `O(n + K)` local computation per node.
 
-use crate::engine::{Ctx, Payload, Process};
+use crate::engine::{BoxProcess, Ctx, Payload, Process};
 use crate::topology::NodeId;
 
 /// Per-node FT-FloodMax state.
@@ -102,9 +102,9 @@ impl Process for FtFloodMax {
 }
 
 /// One FT-FloodMax process per uid.
-pub fn ft_floodmax_nodes(uids: &[u64], period: u64, quiet_ticks: u64) -> Vec<Box<dyn Process>> {
+pub fn ft_floodmax_nodes(uids: &[u64], period: u64, quiet_ticks: u64) -> Vec<BoxProcess> {
     uids.iter()
-        .map(|&u| Box::new(FtFloodMax::new(u, period, quiet_ticks)) as Box<dyn Process>)
+        .map(|&u| Box::new(FtFloodMax::new(u, period, quiet_ticks)) as BoxProcess)
         .collect()
 }
 

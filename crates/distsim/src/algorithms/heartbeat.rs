@@ -16,7 +16,7 @@
 //! Complexity guarantees: `|E|` messages per round; detection latency ≤
 //! `timeout + 1` rounds; `O(deg)` local computation per round.
 
-use crate::engine::{Ctx, Payload, Process};
+use crate::engine::{BoxProcess, Ctx, Payload, Process};
 use crate::topology::NodeId;
 use std::collections::{HashMap, HashSet};
 
@@ -109,9 +109,9 @@ impl Process for Heartbeat {
 }
 
 /// One heartbeat detector per node.
-pub fn heartbeat_nodes(n: usize, timeout: u64, horizon: u64) -> Vec<Box<dyn Process>> {
+pub fn heartbeat_nodes(n: usize, timeout: u64, horizon: u64) -> Vec<BoxProcess> {
     (0..n)
-        .map(|_| Box::new(Heartbeat::new(timeout, horizon)) as Box<dyn Process>)
+        .map(|_| Box::new(Heartbeat::new(timeout, horizon)) as BoxProcess)
         .collect()
 }
 

@@ -8,7 +8,7 @@
 //! Complexity guarantee: `O(n log n)` messages — the asymptotic improvement
 //! over LCR that the taxonomy's selection query surfaces (experiment E10).
 
-use crate::engine::{Ctx, Payload, Process};
+use crate::engine::{BoxProcess, Ctx, Payload, Process};
 use crate::topology::NodeId;
 
 /// Per-node Hirschberg–Sinclair state.
@@ -134,9 +134,9 @@ impl Process for Hs {
 }
 
 /// One HS process per uid (ring order = slice order).
-pub fn hs_nodes(uids: &[u64]) -> Vec<Box<dyn Process>> {
+pub fn hs_nodes(uids: &[u64]) -> Vec<BoxProcess> {
     uids.iter()
-        .map(|&u| Box::new(Hs::new(u)) as Box<dyn Process>)
+        .map(|&u| Box::new(Hs::new(u)) as BoxProcess)
         .collect()
 }
 

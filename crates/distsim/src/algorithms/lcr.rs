@@ -9,7 +9,7 @@
 //! average, `Θ(n)` best case; `O(n)` time. Elected leader announces itself
 //! with a second `n`-message wave so every node decides.
 
-use crate::engine::{Ctx, Payload, Process};
+use crate::engine::{BoxProcess, Ctx, Payload, Process};
 use crate::topology::NodeId;
 
 /// Per-node LCR state.
@@ -67,9 +67,9 @@ impl Process for Lcr {
 }
 
 /// One LCR process per uid (ring order = slice order).
-pub fn lcr_nodes(uids: &[u64]) -> Vec<Box<dyn Process>> {
+pub fn lcr_nodes(uids: &[u64]) -> Vec<BoxProcess> {
     uids.iter()
-        .map(|&u| Box::new(Lcr::new(u)) as Box<dyn Process>)
+        .map(|&u| Box::new(Lcr::new(u)) as BoxProcess)
         .collect()
 }
 

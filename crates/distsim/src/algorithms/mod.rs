@@ -22,8 +22,8 @@ pub use hs::{hs_nodes, Hs};
 pub use lcr::{lcr_nodes, Lcr};
 
 use crate::channel::Reliable;
-use crate::engine::{Process, RunStats};
-use crate::topology::NodeId;
+use crate::engine::{required_diameter, BoxProcess, ConfigError, RunStats};
+use crate::topology::{NodeId, Topology};
 
 /// Echo processes wrapped in the reliable channel ([`Reliable`]): the
 /// catalog's omission-tolerant broadcast. Same API as [`echo_nodes`] plus
@@ -33,11 +33,10 @@ pub fn reliable_echo_nodes(
     initiator: NodeId,
     rto: u64,
     max_attempts: u32,
-) -> Vec<Box<dyn Process>> {
+) -> Vec<BoxProcess> {
     (0..n)
         .map(|i| {
-            Box::new(Reliable::new(Echo::new(i == initiator), rto, max_attempts))
-                as Box<dyn Process>
+            Box::new(Reliable::new(Echo::new(i == initiator), rto, max_attempts)) as BoxProcess
         })
         .collect()
 }
@@ -48,10 +47,26 @@ pub fn reliable_echo_nodes(
 /// `neighbors[0]`, acknowledgments on the reverse links).
 ///
 /// [`Topology::ring_bidirectional`]: crate::topology::Topology::ring_bidirectional
-pub fn reliable_lcr_nodes(uids: &[u64], rto: u64, max_attempts: u32) -> Vec<Box<dyn Process>> {
+pub fn reliable_lcr_nodes(uids: &[u64], rto: u64, max_attempts: u32) -> Vec<BoxProcess> {
     uids.iter()
-        .map(|&u| Box::new(Reliable::new(Lcr::new(u), rto, max_attempts)) as Box<dyn Process>)
+        .map(|&u| Box::new(Reliable::new(Lcr::new(u), rto, max_attempts)) as BoxProcess)
         .collect()
+}
+
+/// FloodMax processes parameterized by the diameter of the topology they
+/// will actually run on. Deploying on a disconnected topology is a
+/// [`ConfigError`] (no diameter exists), not a panic — the bug the bare
+/// `diameter().unwrap()` call sites used to have.
+pub fn floodmax_nodes_for(topo: &Topology, uids: &[u64]) -> Result<Vec<BoxProcess>, ConfigError> {
+    assert_eq!(topo.len(), uids.len(), "one uid per node");
+    Ok(floodmax_nodes(uids, required_diameter(topo)?))
+}
+
+/// The leader a max-consensus election must settle on: the largest uid,
+/// or `None` for the empty topology (nobody to elect — the trivial case
+/// that used to panic on `uids.iter().max().unwrap()`).
+pub fn expected_leader(uids: &[u64]) -> Option<u64> {
+    uids.iter().max().copied()
 }
 
 /// Extract the consensus decision if every deciding node agreed; `None` if

@@ -245,7 +245,9 @@ impl<P: Process> Process for Reliable<P> {
 
 #[cfg(test)]
 mod tests {
-    use crate::algorithms::{consensus, echo_nodes, reliable_echo_nodes, reliable_lcr_nodes};
+    use crate::algorithms::{
+        consensus, echo_nodes, expected_leader, reliable_echo_nodes, reliable_lcr_nodes,
+    };
     use crate::engine::AsyncRunner;
     use crate::topology::Topology;
 
@@ -270,7 +272,7 @@ mod tests {
     #[test]
     fn lcr_elects_under_loss_on_the_bidirectional_ring() {
         let uids: Vec<u64> = (1..=12).map(|k| k * 3 % 13).collect();
-        let max = *uids.iter().max().unwrap();
+        let max = expected_leader(&uids).expect("non-empty ring");
         let mut r = AsyncRunner::new(
             Topology::ring_bidirectional(12),
             reliable_lcr_nodes(&uids, 12, 30),

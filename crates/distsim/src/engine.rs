@@ -17,7 +17,7 @@ use std::collections::{BinaryHeap, HashMap};
 /// distsim.dropped + distsim.lost_to_crash + distsim.undelivered`).
 /// Crash/recovery events, which `RunStats` does not record, are counted
 /// live from the engines.
-struct DistMetrics {
+pub(crate) struct DistMetrics {
     runs: &'static gp_telemetry::Counter,
     sent: &'static gp_telemetry::Counter,
     retransmits: &'static gp_telemetry::Counter,
@@ -29,12 +29,12 @@ struct DistMetrics {
     timer_events: &'static gp_telemetry::Counter,
     local_steps: &'static gp_telemetry::Counter,
     app_messages: &'static gp_telemetry::Counter,
-    crashes: &'static gp_telemetry::Counter,
-    recoveries: &'static gp_telemetry::Counter,
+    pub(crate) crashes: &'static gp_telemetry::Counter,
+    pub(crate) recoveries: &'static gp_telemetry::Counter,
 }
 
 impl DistMetrics {
-    fn absorb_run(&self, stats: &RunStats) {
+    pub(crate) fn absorb_run(&self, stats: &RunStats) {
         self.runs.incr();
         self.sent.add(stats.sent_total());
         self.retransmits.add(stats.retransmits);
@@ -49,7 +49,7 @@ impl DistMetrics {
     }
 }
 
-fn dist_metrics() -> &'static DistMetrics {
+pub(crate) fn dist_metrics() -> &'static DistMetrics {
     static METRICS: std::sync::OnceLock<DistMetrics> = std::sync::OnceLock::new();
     METRICS.get_or_init(|| DistMetrics {
         runs: gp_telemetry::counter("distsim.runs"),
@@ -103,6 +103,44 @@ pub enum Payload {
         /// Acknowledged sequence number.
         seq: u64,
     },
+    /// Control-plane assignment flood: the elected leader announces which
+    /// shards are dead (a bitmask) under its election epoch, and every
+    /// receiver re-routes the dead shards' vnode ranges to survivors.
+    Assign {
+        /// Election epoch the assignment was issued under; stale epochs
+        /// are fenced by receivers.
+        epoch: u64,
+        /// Bitmask of dead shard indices.
+        dead: u64,
+    },
+}
+
+/// A configuration error detected before a run starts — a disconnected
+/// topology handed to a diameter-dependent algorithm, for example — as a
+/// value to propagate instead of a panic inside the runner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "configuration error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The topology's diameter as a configuration result: `Err` for a
+/// disconnected topology (where no diameter exists and any
+/// diameter-parameterized algorithm is misconfigured) instead of the
+/// panic a bare `diameter().unwrap()` produces.
+pub fn required_diameter(topo: &Topology) -> Result<u64, ConfigError> {
+    topo.diameter().map(|d| d as u64).ok_or_else(|| {
+        ConfigError(format!(
+            "topology {} is disconnected: no diameter exists, so \
+             diameter-parameterized algorithms cannot be deployed on it",
+            topo.name()
+        ))
+    })
 }
 
 /// Per-run metrics: the three performance dimensions of the taxonomy,
@@ -333,7 +371,13 @@ pub struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
-    pub(crate) fn new(
+    /// Assemble a context from its parts. Public so *composition
+    /// wrappers* — [`crate::channel::Reliable`] in this crate, the
+    /// service's control-plane process outside it — can run a wrapped
+    /// process against a sub-context whose outbox, timers, or halt flag
+    /// they own, intercepting what they need and forwarding the rest.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
         node: NodeId,
         neighbors: &'a [NodeId],
         outbox: &'a mut Vec<(NodeId, Payload, bool)>,
@@ -437,21 +481,39 @@ pub trait Process {
     fn on_recover(&mut self, _ctx: &mut Ctx) {}
 }
 
+/// A heap-allocated process. `Send` so runners may host nodes on OS
+/// threads (the socket-backed [`crate::net::NetRunner`]) as well as
+/// in-process.
+pub type BoxProcess = Box<dyn Process + Send>;
+
 struct NodeState {
-    proc: Box<dyn Process>,
+    proc: BoxProcess,
     output: Option<u64>,
     halted: bool,
     crashed: bool,
 }
 
-/// Sends and timers produced by one process step.
-#[derive(Default)]
-struct StepOut {
-    /// (to, payload, is_retransmit)
-    sends: Vec<(NodeId, Payload, bool)>,
+/// Sends and timers produced by one process step, generic in what a
+/// "send" carries: the simulator moves real [`Payload`]s; the socket
+/// runner's coordinator moves per-link frame indices (the payload bytes
+/// travel peer-to-peer over TCP and never pass through the scheduler).
+pub(crate) struct StepOutOf<M> {
+    /// (to, message, is_retransmit)
+    pub(crate) sends: Vec<(NodeId, M, bool)>,
     /// (delay, token)
-    timers: Vec<(u64, u64)>,
+    pub(crate) timers: Vec<(u64, u64)>,
 }
+
+impl<M> Default for StepOutOf<M> {
+    fn default() -> Self {
+        StepOutOf {
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+}
+
+pub(crate) type StepOut = StepOutOf<Payload>;
 
 fn run_step(
     node: NodeId,
@@ -492,7 +554,7 @@ pub struct SyncRunner {
 
 impl SyncRunner {
     /// Build a runner from a topology and one process per node.
-    pub fn new(topo: Topology, procs: Vec<Box<dyn Process>>) -> Self {
+    pub fn new(topo: Topology, procs: Vec<BoxProcess>) -> Self {
         assert_eq!(topo.len(), procs.len(), "one process per node");
         SyncRunner {
             topo,
@@ -651,10 +713,12 @@ impl SyncRunner {
 
 // Event kinds in the asynchronous queue, ordered within a timestamp by
 // their global sequence number (control events are enqueued first).
-const EV_CRASH: u8 = 0;
-const EV_RECOVER: u8 = 1;
-const EV_MSG: u8 = 2;
-const EV_TIMER: u8 = 3;
+// Shared with the socket runner's coordinator, which replays the exact
+// same schedule over real connections.
+pub(crate) const EV_CRASH: u8 = 0;
+pub(crate) const EV_RECOVER: u8 = 1;
+pub(crate) const EV_MSG: u8 = 2;
+pub(crate) const EV_TIMER: u8 = 3;
 
 /// Asynchronous executor: each message suffers a random delay in
 /// `1..=max_delay`, drawn from a seeded RNG (taxonomy timing dimension:
@@ -688,31 +752,66 @@ pub struct AsyncRunner {
 // One queued event: (delivery_time, global_seq, kind, a, b, key). For
 // EV_MSG `a`/`b` are from/to and `key` indexes `payloads`; for EV_TIMER
 // `a` is the node and `key` the token; for crash/recover `a` is the node.
-type QueuedEvent = (u64, u64, u8, NodeId, NodeId, u64);
+pub(crate) type QueuedEvent = (u64, u64, u8, NodeId, NodeId, u64);
 
-// Carries the network-level state of one asynchronous run.
-struct NetState {
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
-    payloads: HashMap<u64, Payload>,
-    seq: u64,
-    rng: StdRng,
-    max_delay: u64,
-    drop_rate: f64,
-    dup_rate: f64,
-    tracing: bool,
-    trace: Vec<TraceEvent>,
+// Carries the network-level state of one asynchronous run: the event
+// queue, the fault-injection RNG, and the trace. Generic in the message
+// representation `M` for the same reason as [`StepOutOf`]: the simulator
+// schedules real [`Payload`]s, the socket runner's coordinator schedules
+// per-link frame indices — but both draw from the RNG in the *identical*
+// order, which is what makes a socket run cross-validate event-for-event
+// against a simulator run on the same seed.
+pub(crate) struct NetState<M> {
+    pub(crate) queue: BinaryHeap<Reverse<QueuedEvent>>,
+    pub(crate) payloads: HashMap<u64, M>,
+    pub(crate) seq: u64,
+    pub(crate) rng: StdRng,
+    pub(crate) max_delay: u64,
+    pub(crate) drop_rate: f64,
+    pub(crate) dup_rate: f64,
+    pub(crate) tracing: bool,
+    pub(crate) trace: Vec<TraceEvent>,
 }
 
-impl NetState {
-    fn trace(&mut self, ev: TraceEvent) {
+impl<M: Clone> NetState<M> {
+    pub(crate) fn new(
+        max_delay: u64,
+        seed: u64,
+        drop_rate: f64,
+        dup_rate: f64,
+        tracing: bool,
+    ) -> Self {
+        NetState {
+            queue: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            max_delay,
+            drop_rate,
+            dup_rate,
+            tracing,
+            trace: Vec::new(),
+        }
+    }
+
+    pub(crate) fn trace(&mut self, ev: TraceEvent) {
         if self.tracing {
             self.trace.push(ev);
         }
     }
 
     // Absorb one step's sends and timers into the event queue, applying
-    // omission and duplication faults to the sends.
-    fn absorb(&mut self, now: u64, from: NodeId, out: StepOut, stats: &mut RunStats) {
+    // omission and duplication faults to the sends. This is the *only*
+    // place the fault/delay RNG is consulted, in a fixed per-send order
+    // (drop draw, delay draw, duplication draw, duplicate-delay draw) —
+    // every runner that shares it inherits the same schedule.
+    pub(crate) fn absorb(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        out: StepOutOf<M>,
+        stats: &mut RunStats,
+    ) {
         stats.per_node_sent[from] += out.sends.len() as u64;
         for (to, pl, retransmit) in out.sends {
             let seq = self.seq;
@@ -774,7 +873,7 @@ impl NetState {
 
 impl AsyncRunner {
     /// Build a runner. `max_delay` ≥ 1.
-    pub fn new(topo: Topology, procs: Vec<Box<dyn Process>>, max_delay: u64, seed: u64) -> Self {
+    pub fn new(topo: Topology, procs: Vec<BoxProcess>, max_delay: u64, seed: u64) -> Self {
         assert_eq!(topo.len(), procs.len(), "one process per node");
         assert!(max_delay >= 1);
         AsyncRunner {
@@ -876,17 +975,13 @@ impl AsyncRunner {
             per_node_sent: vec![0; n],
             ..RunStats::default()
         };
-        let mut net = NetState {
-            queue: BinaryHeap::new(),
-            payloads: HashMap::new(),
-            seq: 0,
-            rng: StdRng::seed_from_u64(self.seed),
-            max_delay: self.max_delay,
-            drop_rate: self.drop_rate,
-            dup_rate: self.dup_rate,
-            tracing: self.tracing,
-            trace: Vec::new(),
-        };
+        let mut net: NetState<Payload> = NetState::new(
+            self.max_delay,
+            self.seed,
+            self.drop_rate,
+            self.dup_rate,
+            self.tracing,
+        );
 
         // Control events first (in node order, for determinism): their
         // sequence numbers precede every message's, so at equal timestamps
@@ -1026,13 +1121,13 @@ mod tests {
         }
     }
 
-    fn gossip_nodes(n: usize) -> Vec<Box<dyn Process>> {
+    fn gossip_nodes(n: usize) -> Vec<BoxProcess> {
         (0..n)
             .map(|_| {
                 Box::new(Gossip {
                     sent: false,
                     received: 0,
-                }) as Box<dyn Process>
+                }) as BoxProcess
             })
             .collect()
     }
@@ -1040,13 +1135,26 @@ mod tests {
     #[test]
     fn sync_flood_reaches_everyone_in_diameter_rounds() {
         let topo = Topology::grid(4, 4);
-        let diam = topo.diameter().unwrap() as u64;
+        let diam = required_diameter(&topo).expect("grid is connected");
         let mut r = SyncRunner::new(topo, gossip_nodes(16));
         let stats = r.run(100);
         // Every node decided (the initiator also hears the flood echo back).
         assert_eq!(stats.outputs.iter().filter(|o| o.is_some()).count(), 16);
         assert!(stats.time <= diam + 2);
         assert!(stats.local_steps > 0, "local computation is accounted");
+    }
+
+    /// Regression: deploying a diameter-parameterized algorithm on a
+    /// disconnected topology used to panic on `diameter().unwrap()`; it
+    /// must surface as a configuration error instead.
+    #[test]
+    fn disconnected_topology_is_a_config_error_not_a_panic() {
+        let topo = Topology::from_lists("islands", vec![vec![1], vec![0], vec![]]);
+        let err = required_diameter(&topo).expect_err("no diameter exists");
+        assert!(err.to_string().contains("disconnected"), "got: {err}");
+        assert!(err.to_string().contains("islands"), "names the topology");
+        // Connected topologies still report their diameter.
+        assert_eq!(required_diameter(&Topology::ring_bidirectional(6)), Ok(3));
     }
 
     #[test]
@@ -1093,7 +1201,7 @@ mod tests {
             }
         }
         let topo = Topology::complete(3);
-        let procs: Vec<Box<dyn Process>> = vec![
+        let procs: Vec<BoxProcess> = vec![
             Box::new(Gossip {
                 sent: false,
                 received: 0,
@@ -1172,7 +1280,7 @@ mod tests {
     #[test]
     fn time_is_not_inflated_by_undeliverable_messages() {
         let topo = Topology::from_lists("pair", vec![vec![1], vec![0]]);
-        let procs: Vec<Box<dyn Process>> =
+        let procs: Vec<BoxProcess> =
             vec![Box::new(Spray { count: 1 }), Box::new(Spray { count: 0 })];
         let mut r = AsyncRunner::new(topo, procs, 20, 3);
         // Node 1 crashes at t=0: the single message (delay in 1..=20) can
@@ -1192,13 +1300,13 @@ mod tests {
         let topo = Topology::from_lists("pair", vec![vec![1], vec![0]]);
         // Halting receiver: B halts on the first of two in-flight tokens.
         let halting = |seed| {
-            let procs: Vec<Box<dyn Process>> =
+            let procs: Vec<BoxProcess> =
                 vec![Box::new(Spray { count: 2 }), Box::new(Spray { count: 0 })];
             AsyncRunner::new(topo.clone(), procs, 50, seed).run(1000)
         };
         // Control: same seed (same delays), but the receiver stays live.
         let receiving = |seed| {
-            let procs: Vec<Box<dyn Process>> = vec![
+            let procs: Vec<BoxProcess> = vec![
                 Box::new(Spray { count: 2 }),
                 Box::new(Gossip {
                     sent: true,
@@ -1299,7 +1407,7 @@ mod tests {
             }
         }
         let topo = Topology::from_lists("pair", vec![vec![1], vec![0]]);
-        let procs: Vec<Box<dyn Process>> = vec![Box::new(Pinger), Box::new(Pinger)];
+        let procs: Vec<BoxProcess> = vec![Box::new(Pinger), Box::new(Pinger)];
         let mut r = AsyncRunner::new(topo, procs, 3, 5);
         // Node 1 is down at t ∈ [1, 5); node 0 pings at t=10 — delivered.
         r.crash(1, 1);
@@ -1378,7 +1486,7 @@ mod tests {
             }
         }
         let topo = Topology::from_lists("lone", vec![vec![]]);
-        let procs: Vec<Box<dyn Process>> = vec![Box::new(TimerOnly { fired_at: None })];
+        let procs: Vec<BoxProcess> = vec![Box::new(TimerOnly { fired_at: None })];
         let mut r = SyncRunner::new(topo, procs);
         let stats = r.require_halt().run(50);
         assert_eq!(stats.outputs[0], Some(42));

@@ -24,6 +24,13 @@
 //!   spanning tree (dimensions 1, 5: *problem*, *strategy*), plus the
 //!   fault-tolerant entries: reliable-channel Echo/LCR and the
 //!   crash-tolerant FT-FloodMax consensus.
+//! * [`net`] — sim-to-real: the same unmodified processes over real TCP.
+//!   The lockstep [`NetRunner`] replays the simulator's event schedule
+//!   against a live socket mesh and is event-for-event identical to
+//!   [`AsyncRunner`] on the same seed/topology (faults included); the
+//!   free-running [`LiveMesh`] gives each node a thread and a real tick
+//!   clock for actual deployment (it backs `gp-service`'s control
+//!   plane).
 //!
 //! Runs are deterministic per seed — including lossy, duplicating, and
 //! crash-recovery runs — so every experiment is reproducible.
@@ -31,10 +38,13 @@
 pub mod algorithms;
 pub mod channel;
 pub mod engine;
+pub mod net;
 pub mod topology;
 
 pub use channel::Reliable;
 pub use engine::{
-    trace_json, AsyncRunner, Ctx, Payload, Process, RunStats, SyncRunner, TraceEvent,
+    required_diameter, trace_json, AsyncRunner, BoxProcess, ConfigError, Ctx, Payload, Process,
+    RunStats, SyncRunner, TraceEvent,
 };
+pub use net::{decode_payload, encode_payload, LiveMesh, NetRunner};
 pub use topology::Topology;

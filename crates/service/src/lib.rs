@@ -37,7 +37,11 @@
 //! For horizontal scale, [`shard::ShardRouter`] consistent-hashes
 //! requests across N service instances so each shard's cache owns a true
 //! partition of the key space and the micro-batcher sees denser same-
-//! environment runs.
+//! environment runs. The [`control`] plane runs unmodified `gp-distsim`
+//! catalog algorithms (heartbeat failure detection, epoch-fenced
+//! FT-FloodMax election) over real TCP: the elected leader owns the
+//! router's assignment table and floods vnode reassignments when a shard
+//! dies (`control.*` counters).
 //!
 //! Everything is observable through `gp-telemetry` (`service.*` counters,
 //!  queue-depth gauge, per-kind latency histograms, `service.conn.open`,
@@ -47,6 +51,7 @@
 //! coherence proptests.
 
 pub mod cache;
+pub mod control;
 pub mod lint;
 pub mod prove;
 pub mod queue;
@@ -59,10 +64,11 @@ pub mod simplify;
 pub mod wire;
 
 pub use cache::{CacheStats, ResponseCache};
+pub use control::{ControlConfig, ControlPlane, NodeStatus};
 pub use reactor::{Reactor, ReactorConfig, ReactorHandle, SubmitRequest};
 pub use request::{
     decode_request, decode_response, encode_request, encode_response, Request, Response,
 };
 pub use server::{Service, ServiceConfig, ServiceStats, Ticket};
-pub use shard::{HashRing, ShardRouter, ShardRouterConfig};
+pub use shard::{FailoverTarget, HashRing, ShardRouter, ShardRouterConfig};
 pub use wire::{FrameDecoder, TcpClient};

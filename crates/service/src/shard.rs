@@ -29,6 +29,7 @@ use crate::request::{fnv1a, Request, Response};
 use crate::server::{Service, ServiceConfig, ServiceStats, Ticket};
 use std::io;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A consistent-hash ring over shard indices.
@@ -59,6 +60,31 @@ impl HashRing {
         let idx = self.points.partition_point(|&(h, _)| h < key);
         let (_, shard) = self.points[idx % self.points.len()];
         shard as usize
+    }
+
+    /// The first *eligible* shard clockwise from `key`: a dead shard's
+    /// vnode ranges fall through to the next live point on the ring, so a
+    /// failover moves only the dead shard's arcs — exactly the property
+    /// consistent hashing buys. Falls back to plain [`route`](Self::route)
+    /// if no point is eligible.
+    pub fn route_where(&self, key: u64, eligible: impl Fn(usize) -> bool) -> usize {
+        let start = self.points.partition_point(|&(h, _)| h < key);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if eligible(shard as usize) {
+                return shard as usize;
+            }
+        }
+        self.route(key)
+    }
+
+    /// Number of ring points owned by `shard` — the vnode ranges that move
+    /// when the shard dies.
+    pub fn points_of(&self, shard: usize) -> usize {
+        self.points
+            .iter()
+            .filter(|&&(_, s)| s as usize == shard)
+            .count()
     }
 
     /// Number of virtual-node points on the ring.
@@ -94,10 +120,29 @@ impl Default for ShardRouterConfig {
     }
 }
 
-/// The routing state shared with reactors: ring + per-shard submitters.
+/// The control plane's hook into the routing table: whoever is elected
+/// leader calls [`mark_dead`](FailoverTarget::mark_dead) to re-route a
+/// crashed shard's vnode ranges to survivors. Implemented by the router's
+/// shared inner state so reactors and control-plane nodes see one table.
+pub trait FailoverTarget: Send + Sync {
+    /// Take `shard` out of the routing table; its vnode ranges fall
+    /// through to the next live shards clockwise. Returns the number of
+    /// ring points reassigned — 0 if the shard was already dead, and 0
+    /// (refusing the operation) if it is the last live shard.
+    fn mark_dead(&self, shard: usize) -> usize;
+
+    /// Bitmask of live shards (bit `i` set = shard `i` routable).
+    fn alive_mask(&self) -> u64;
+}
+
+/// The routing state shared with reactors and the control plane: ring,
+/// per-shard submitters, and the live-shard mask.
 struct RouterInner {
     ring: HashRing,
     submitters: Vec<Arc<dyn SubmitRequest>>,
+    /// Bit `i` set = shard `i` is routable. The mask caps the tier at 64
+    /// shards, enforced in [`ShardRouter::start`].
+    alive: AtomicU64,
 }
 
 impl RouterInner {
@@ -110,11 +155,44 @@ impl RouterInner {
             other => fnv1a(&other.canonical()),
         }
     }
+
+    /// Route among live shards only.
+    fn route(&self, key: u64) -> usize {
+        let alive = self.alive.load(Ordering::Acquire);
+        self.ring.route_where(key, |s| alive & (1 << s) != 0)
+    }
+}
+
+impl FailoverTarget for RouterInner {
+    fn mark_dead(&self, shard: usize) -> usize {
+        let bit = 1u64 << shard;
+        let mut cur = self.alive.load(Ordering::Acquire);
+        loop {
+            if cur & bit == 0 {
+                return 0; // already dead: assignment floods are idempotent
+            }
+            let next = cur & !bit;
+            if next == 0 {
+                return 0; // never un-route the last live shard
+            }
+            match self
+                .alive
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return self.ring.points_of(shard),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn alive_mask(&self) -> u64 {
+        self.alive.load(Ordering::Acquire)
+    }
 }
 
 impl SubmitRequest for RouterInner {
     fn submit_with(&self, request: Request, reply: ReplyFn) {
-        let shard = self.ring.route(Self::routing_key(&request));
+        let shard = self.route(Self::routing_key(&request));
         self.submitters[shard].submit_with(request, reply);
     }
 }
@@ -130,6 +208,10 @@ impl ShardRouter {
     /// Start `config.shards` service instances, each with its own
     /// workers, queue, and cache partition.
     pub fn start(config: ShardRouterConfig) -> ShardRouter {
+        assert!(
+            config.shards <= 64,
+            "the live-shard mask supports at most 64 shards"
+        );
         let services: Vec<Service> = (0..config.shards.max(1))
             .map(|i| {
                 Service::start(ServiceConfig {
@@ -141,6 +223,11 @@ impl ShardRouter {
         let inner = Arc::new(RouterInner {
             ring: HashRing::new(services.len(), config.vnodes),
             submitters: services.iter().map(Service::submitter).collect(),
+            alive: AtomicU64::new(if services.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << services.len()) - 1
+            }),
         });
         ShardRouter {
             services,
@@ -149,9 +236,11 @@ impl ShardRouter {
         }
     }
 
-    /// Which shard `request` routes to (stable for its canonical form).
+    /// Which shard `request` routes to (stable for its canonical form
+    /// while the live-shard set is stable; a failover re-routes only the
+    /// dead shard's vnode ranges).
     pub fn shard_of(&self, request: &Request) -> usize {
-        self.inner.ring.route(RouterInner::routing_key(request))
+        self.inner.route(RouterInner::routing_key(request))
     }
 
     /// Submit without waiting; the [`Ticket`] resolves to the response.
@@ -168,6 +257,24 @@ impl ShardRouter {
     /// This router as a reactor request sink.
     pub fn submitter(&self) -> Arc<dyn SubmitRequest> {
         Arc::clone(&self.inner) as Arc<dyn SubmitRequest>
+    }
+
+    /// This router's assignment table as a control-plane hook: the
+    /// elected leader re-routes a dead shard's vnodes through it.
+    pub fn failover_target(&self) -> Arc<dyn FailoverTarget> {
+        Arc::clone(&self.inner) as Arc<dyn FailoverTarget>
+    }
+
+    /// Crash-stop shard `i` *without touching the routing table*: the
+    /// shard drains and joins, and until the control plane detects the
+    /// death and re-floods the assignment, requests routed to it shed as
+    /// retriable [`Response::Overloaded`] — the real detection window.
+    /// Returns the dead shard's final stats (its conservation law holds:
+    /// `accepted = completed + shed`).
+    ///
+    /// [`Response::Overloaded`]: crate::request::Response::Overloaded
+    pub fn kill_shard(&mut self, i: usize) -> ServiceStats {
+        self.services[i].shutdown()
     }
 
     /// Serve the whole fleet over one reactor front end on `addr`.
@@ -326,6 +433,97 @@ mod tests {
         for s in &stats {
             assert_eq!(s.in_flight(), 0, "each shard drained: {s:?}");
         }
+    }
+
+    fn prove_req(i: usize) -> Request {
+        Request::Prove(crate::prove::ProveRequest {
+            theory: "monoid".into(),
+            instance: format!("i{i}"),
+            model: vec![("op".into(), format!("op{i}"))],
+        })
+    }
+
+    #[test]
+    fn failover_moves_only_the_dead_shards_keys() {
+        let router = ShardRouter::start(ShardRouterConfig {
+            shards: 3,
+            ..ShardRouterConfig::default()
+        });
+        let reqs: Vec<Request> = (0..64).map(prove_req).collect();
+        let before: Vec<usize> = reqs.iter().map(|r| router.shard_of(r)).collect();
+        assert!(
+            (0..3).all(|s| before.contains(&s)),
+            "64 keys reach all 3 shards"
+        );
+
+        let target = router.failover_target();
+        let dead = before[0];
+        let moved = target.mark_dead(dead);
+        assert!(moved > 0, "vnode points were reassigned");
+        assert_eq!(target.mark_dead(dead), 0, "idempotent: already dead");
+        assert_eq!(target.alive_mask().count_ones(), 2);
+
+        for (r, &was) in reqs.iter().zip(&before) {
+            let now = router.shard_of(r);
+            assert_ne!(now, dead, "nothing routes to the dead shard");
+            if was != dead {
+                assert_eq!(now, was, "live shards keep their keys");
+            }
+        }
+    }
+
+    #[test]
+    fn the_last_live_shard_cannot_be_marked_dead() {
+        let router = ShardRouter::start(ShardRouterConfig {
+            shards: 2,
+            ..ShardRouterConfig::default()
+        });
+        let target = router.failover_target();
+        assert!(target.mark_dead(0) > 0);
+        assert_eq!(target.mark_dead(1), 0, "refused: last live shard");
+        assert_eq!(target.alive_mask(), 0b10);
+        assert_eq!(router.shard_of(&prove_req(3)), 1);
+    }
+
+    #[test]
+    fn killed_shard_sheds_retriably_then_failover_restores_service() {
+        let mut router = ShardRouter::start(ShardRouterConfig {
+            shards: 2,
+            ..ShardRouterConfig::default()
+        });
+        let reqs: Vec<Request> = (0..32).map(prove_req).collect();
+        let victim = router.shard_of(&reqs[0]);
+
+        // The detection window: the shard is down but still routed to.
+        let dead_stats = router.kill_shard(victim);
+        assert_eq!(dead_stats.in_flight(), 0, "victim drained cleanly");
+        let mut shed = 0;
+        for r in &reqs {
+            if router.shard_of(r) != victim {
+                continue;
+            }
+            match router.call(r.clone()) {
+                Response::Overloaded => shed += 1, // retriable by contract
+                other => panic!("expected shed, got {other:?}"),
+            }
+        }
+        assert!(shed > 0, "the window is observable");
+
+        // Failover: the leader (here, the test) re-routes the vnodes.
+        assert!(router.failover_target().mark_dead(victim) > 0);
+        for r in &reqs {
+            match router.call(r.clone()) {
+                Response::Ok { .. } => {}
+                other => panic!("post-failover request failed: {other:?}"),
+            }
+        }
+        let agg = router.aggregate_stats();
+        assert_eq!(
+            agg.accepted,
+            agg.completed + agg.shed,
+            "conservation holds across the failover"
+        );
+        router.shutdown();
     }
 
     #[test]

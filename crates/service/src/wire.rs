@@ -1,11 +1,11 @@
 //! Length-prefixed framing over byte streams, and the TCP client.
 //!
-//! A frame is a 4-byte big-endian length followed by that many bytes of
-//! UTF-8 JSON. Length prefixes (rather than newline delimiting) keep the
-//! framing independent of payload content — programs shipped to `Lint`
-//! contain newlines — and make the read loop allocation-exact. Frames
-//! above [`MAX_FRAME`] are rejected before allocation, so a corrupt or
-//! hostile length prefix cannot balloon memory.
+//! The frame codec itself lives in [`gp_core::frame`] — a frame is a
+//! 4-byte big-endian length followed by that many bytes of UTF-8 JSON —
+//! so that `gp-distsim`'s socket runner can share the exact
+//! implementation the service uses without a dependency cycle. This
+//! module re-exports it under the service's historical paths and adds
+//! the request/response [`TcpClient`].
 //!
 //! Two consumers share the format: the blocking path reads whole frames
 //! with [`read_frame`], and the reactor feeds whatever bytes the kernel
@@ -14,134 +14,12 @@
 //! trickle, and several pipelined frames in one read all decode to the
 //! same frame sequence (property-tested in `tests/frame_codec.rs`).
 
+pub use gp_core::frame::{encode_frame, read_frame, write_frame, FrameDecoder, MAX_FRAME};
+
 use crate::request::{decode_response, encode_request, Request, Response};
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
-
-/// Maximum frame payload (16 MiB) — far above any real request, far
-/// below an allocation-of-garbage DoS.
-pub const MAX_FRAME: usize = 16 << 20;
-
-/// Write one frame and flush.
-pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
-    let bytes = payload.as_bytes();
-    if bytes.len() > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!("frame of {} bytes exceeds MAX_FRAME", bytes.len()),
-        ));
-    }
-    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
-    w.write_all(bytes)?;
-    w.flush()
-}
-
-/// Append one frame to a byte buffer without flushing — the reactor's
-/// outbound path, and how tests build multi-frame streams.
-pub fn encode_frame(buf: &mut Vec<u8>, payload: &str) {
-    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    buf.extend_from_slice(payload.as_bytes());
-}
-
-/// Read one frame. `Ok(None)` on clean EOF (peer closed between frames);
-/// an EOF mid-frame is an error.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
-    let mut len_buf = [0u8; 4];
-    match r.read(&mut len_buf[..1])? {
-        0 => return Ok(None),
-        _ => r.read_exact(&mut len_buf[1..])?,
-    }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds MAX_FRAME"),
-        ));
-    }
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}")))
-}
-
-/// Incremental frame decoder: feed arbitrary byte chunks, pop complete
-/// frames. The reactor's read path is nonblocking, so a `read` returns
-/// whatever the kernel has — possibly half a length prefix, possibly
-/// three pipelined frames and the first byte of a fourth. The decoder
-/// owns the carry-over so connection state machines don't.
-///
-/// Invariants: a frame longer than [`MAX_FRAME`] is rejected as soon as
-/// its length prefix is complete (before any payload allocation), and
-/// non-UTF-8 payloads are rejected when the frame completes — both fatal
-/// to the stream, matching [`read_frame`].
-#[derive(Default)]
-pub struct FrameDecoder {
-    buf: Vec<u8>,
-    /// Bytes of `buf` already consumed by emitted frames; compacted
-    /// lazily so a pipelined burst costs one memmove, not one per frame.
-    pos: usize,
-}
-
-impl FrameDecoder {
-    /// A decoder with no buffered bytes.
-    pub fn new() -> Self {
-        FrameDecoder::default()
-    }
-
-    /// Buffer `bytes` for decoding.
-    pub fn feed(&mut self, bytes: &[u8]) {
-        self.compact();
-        self.buf.extend_from_slice(bytes);
-    }
-
-    fn compact(&mut self) {
-        if self.pos > 0 {
-            self.buf.drain(..self.pos);
-            self.pos = 0;
-        }
-    }
-
-    /// Pop the next complete frame: `Ok(Some(payload))` when one is
-    /// buffered, `Ok(None)` when more bytes are needed, `Err` on an
-    /// oversized length prefix or non-UTF-8 payload (the stream is
-    /// poisoned; the caller should drop the connection).
-    pub fn next_frame(&mut self) -> io::Result<Option<String>> {
-        let avail = &self.buf[self.pos..];
-        if avail.len() < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
-        if len > MAX_FRAME {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("frame length {len} exceeds MAX_FRAME"),
-            ));
-        }
-        if avail.len() < 4 + len {
-            return Ok(None);
-        }
-        let payload = std::str::from_utf8(&avail[4..4 + len])
-            .map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}"))
-            })?
-            .to_string();
-        self.pos += 4 + len;
-        Ok(Some(payload))
-    }
-
-    /// True when no partial frame is buffered — EOF here is a clean close,
-    /// EOF mid-frame is a truncated stream.
-    pub fn is_idle(&self) -> bool {
-        self.buf.len() == self.pos
-    }
-
-    /// Bytes currently buffered (partial-frame carry-over).
-    pub fn buffered(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-}
 
 /// A blocking request/response client over one TCP connection.
 ///
@@ -253,88 +131,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn frames_round_trip_including_empty_and_multibyte() {
-        let payloads = ["", "{}", "newlines\nand\ttabs", "célérité 🚀 ∀x"];
+    fn reexported_codec_round_trips() {
+        // The codec's own unit tests live in gp_core::frame; this pins
+        // the re-export so the historical `crate::wire` paths keep
+        // resolving to the shared implementation.
         let mut buf = Vec::new();
-        for p in payloads {
-            write_frame(&mut buf, p).unwrap();
-        }
+        write_frame(&mut buf, "{\"id\":1}").unwrap();
         let mut cursor = &buf[..];
-        for p in payloads {
-            assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(p));
-        }
-        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
-    }
-
-    #[test]
-    fn eof_mid_frame_is_an_error_not_a_truncated_payload() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, "hello world").unwrap();
-        let mut cursor = &buf[..buf.len() - 3];
-        assert!(read_frame(&mut cursor).is_err());
-    }
-
-    #[test]
-    fn oversized_length_prefix_is_rejected_before_allocation() {
-        let mut buf = Vec::from(u32::MAX.to_be_bytes());
-        buf.extend_from_slice(b"junk");
-        assert!(read_frame(&mut &buf[..]).is_err());
-        let huge = "x".repeat(MAX_FRAME + 1);
-        assert!(write_frame(&mut Vec::new(), &huge).is_err());
-    }
-
-    #[test]
-    fn decoder_handles_one_byte_trickle_and_pipelined_burst() {
-        let payloads = ["", "a", "{\"id\":1}", "payload with\nnewline"];
-        let mut stream = Vec::new();
-        for p in payloads {
-            encode_frame(&mut stream, p);
-        }
-        // 1-byte trickle.
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some("{\"id\":1}")
+        );
         let mut dec = FrameDecoder::new();
-        let mut got = Vec::new();
-        for b in &stream {
-            dec.feed(std::slice::from_ref(b));
-            while let Some(f) = dec.next_frame().unwrap() {
-                got.push(f);
-            }
-        }
-        assert_eq!(got, payloads);
+        dec.feed(&buf);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some("{\"id\":1}"));
         assert!(dec.is_idle());
-        // Whole burst in one feed.
-        let mut dec = FrameDecoder::new();
-        dec.feed(&stream);
-        let mut got = Vec::new();
-        while let Some(f) = dec.next_frame().unwrap() {
-            got.push(f);
-        }
-        assert_eq!(got, payloads);
-        assert!(dec.is_idle());
-    }
-
-    #[test]
-    fn decoder_split_inside_length_prefix_is_not_idle() {
-        let mut stream = Vec::new();
-        encode_frame(&mut stream, "hello");
-        let mut dec = FrameDecoder::new();
-        dec.feed(&stream[..2]); // half the length prefix
-        assert_eq!(dec.next_frame().unwrap(), None);
-        assert!(!dec.is_idle(), "mid-prefix EOF is a truncated stream");
-        dec.feed(&stream[2..]);
-        assert_eq!(dec.next_frame().unwrap().as_deref(), Some("hello"));
-        assert!(dec.is_idle());
-    }
-
-    #[test]
-    fn decoder_rejects_oversized_and_non_utf8() {
-        let mut dec = FrameDecoder::new();
-        dec.feed(&u32::MAX.to_be_bytes());
-        assert!(dec.next_frame().is_err(), "oversized length prefix");
-
-        let mut dec = FrameDecoder::new();
-        dec.feed(&4u32.to_be_bytes());
-        dec.feed(&[0xff, 0xfe, 0xfd, 0xfc]);
-        assert!(dec.next_frame().is_err(), "non-UTF-8 payload");
     }
 
     #[test]

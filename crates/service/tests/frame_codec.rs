@@ -8,7 +8,7 @@
 //! and flag a stream that ends mid-frame as truncated rather than
 //! silently dropping the tail.
 
-use gp_service::wire::{encode_frame, FrameDecoder, MAX_FRAME};
+use gp_service::wire::{encode_frame, read_frame, write_frame, FrameDecoder, MAX_FRAME};
 use gp_service::{decode_request, encode_request, Request};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -187,4 +187,68 @@ fn oversized_frames_are_rejected_at_the_prefix() {
     let mut dec = FrameDecoder::new();
     dec.feed(&(MAX_FRAME as u32).to_be_bytes());
     assert!(dec.next_frame().is_ok(), "MAX_FRAME itself is legal");
+}
+
+/// Zero-length payloads are real frames, not EOF: both the blocking
+/// reader and the incremental decoder must yield `Some("")`, and only a
+/// stream that ends *between* frames reads as clean EOF.
+#[test]
+fn zero_length_frames_round_trip_on_both_paths() {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, "").unwrap();
+    write_frame(&mut bytes, "x").unwrap();
+    write_frame(&mut bytes, "").unwrap();
+    assert_eq!(bytes.len(), 4 + 4 + 1 + 4, "empty frames are bare prefixes");
+
+    // Blocking path: read_frame distinguishes empty frame from EOF.
+    let mut r = &bytes[..];
+    assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+    assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("x"));
+    assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+    assert_eq!(read_frame(&mut r).unwrap(), None, "then clean EOF");
+
+    // Incremental path, worst-case chunking: byte at a time.
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    for b in &bytes {
+        dec.feed(std::slice::from_ref(b));
+        while let Some(f) = dec.next_frame().unwrap() {
+            frames.push(f);
+        }
+    }
+    assert_eq!(frames, ["", "x", ""]);
+    assert!(dec.is_idle());
+}
+
+/// A payload of exactly `MAX_FRAME` bytes passes both paths, and one
+/// byte more is rejected by the writer before it touches the wire.
+#[test]
+fn max_frame_payloads_round_trip_and_one_more_byte_is_refused() {
+    let payload = "m".repeat(MAX_FRAME);
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &payload).unwrap();
+    assert_eq!(bytes.len(), 4 + MAX_FRAME);
+
+    // Blocking path.
+    let mut r = &bytes[..];
+    assert_eq!(read_frame(&mut r).unwrap(), Some(payload.clone()));
+    assert_eq!(read_frame(&mut r).unwrap(), None);
+
+    // Incremental path, split mid-prefix and mid-payload.
+    let mut dec = FrameDecoder::new();
+    dec.feed(&bytes[..2]);
+    assert_eq!(dec.next_frame().unwrap(), None, "prefix incomplete");
+    dec.feed(&bytes[2..MAX_FRAME / 2]);
+    assert_eq!(dec.next_frame().unwrap(), None, "payload incomplete");
+    assert!(!dec.is_idle());
+    dec.feed(&bytes[MAX_FRAME / 2..]);
+    assert_eq!(dec.next_frame().unwrap(), Some(payload.clone()));
+    assert!(dec.is_idle());
+
+    // MAX_FRAME + 1 never leaves the sender.
+    let oversize = "m".repeat(MAX_FRAME + 1);
+    let mut sink = Vec::new();
+    let err = write_frame(&mut sink, &oversize).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(sink.is_empty(), "nothing was written before the refusal");
 }
