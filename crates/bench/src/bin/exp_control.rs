@@ -310,6 +310,33 @@ fn part_b_failover(smoke: bool) -> Json {
         dead_stats.accepted, dead_stats.completed, dead_stats.shed
     );
 
+    // The black box: applying the failover snapshotted the process-wide
+    // flight recorder into the survivor's status. The dump must contain
+    // the forensic chain — crash detection, the settled election, and
+    // the vnode reassignment — alongside ordinary serving traffic.
+    let flight_dump = plane
+        .status(0)
+        .flight_dump
+        .expect("survivor 0 captured a flight dump on failover");
+    let flight = Json::parse(&flight_dump).expect("flight dump parses");
+    let event_kinds: Vec<&str> = flight
+        .get("events")
+        .and_then(Json::as_arr)
+        .expect("events array")
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(Json::as_str))
+        .collect();
+    for needed in ["crash_detect", "election", "reassign"] {
+        assert!(
+            event_kinds.contains(&needed),
+            "flight dump must record a {needed} event"
+        );
+    }
+    println!(
+        "  flight recorder: {} events in the failover dump (crash_detect, election, reassign all present)",
+        event_kinds.len()
+    );
+
     // The ledger. `shutdown` re-reports every shard's final totals —
     // the dead shard's included (its post-kill sheds land there too),
     // so the sum below already covers the whole fleet.
@@ -377,6 +404,23 @@ fn part_b_failover(smoke: bool) -> Json {
         .field("elections", elections)
         .field("failovers", failovers)
         .field("reassigned_vnodes", reassigned)
+        .field(
+            "flight",
+            Json::obj()
+                .field("events", event_kinds.len() as u64)
+                .field(
+                    "crash_detect_events",
+                    event_kinds.iter().filter(|k| **k == "crash_detect").count() as u64,
+                )
+                .field(
+                    "election_events",
+                    event_kinds.iter().filter(|k| **k == "election").count() as u64,
+                )
+                .field(
+                    "reassign_events",
+                    event_kinds.iter().filter(|k| **k == "reassign").count() as u64,
+                ),
+        )
         .field("wall_ms", wall_ms)
 }
 

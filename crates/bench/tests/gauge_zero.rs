@@ -1,0 +1,112 @@
+//! Gauges must return exactly to their baseline after every way a
+//! connection can die.
+//!
+//! `service.conn.open` and `service.queue.depth` are *levels*, not
+//! counters: a leak of even one increment is permanent and poisons every
+//! later reading. This exercises the two interesting exits on the
+//! reactor path — a protocol-error hangup (oversized length prefix) and
+//! a graceful drain — plus ordinary clients completing normally, and
+//! asserts both gauges land back exactly on their starting values.
+//!
+//! Lives in its own test binary: the telemetry registry is process-wide,
+//! and parallel test cases poking the same gauges would race.
+
+#![cfg(target_os = "linux")]
+
+use gp_rewrite::{BinOp, Expr, Type};
+use gp_service::simplify::{EnvSpec, SimplifyRequest};
+use gp_service::{ReactorConfig, Request, Response, Service, ServiceConfig, TcpClient};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn sample_request(n: i64) -> Request {
+    Request::Simplify(SimplifyRequest {
+        expr: Expr::bin(BinOp::Add, Expr::var("x", Type::Int), Expr::int(n)),
+        env: EnvSpec::Standard,
+    })
+}
+
+/// Spin until `f` holds or the deadline passes; gauges settle
+/// asynchronously (the reactor decrements after the event loop observes
+/// the close).
+fn eventually(what: &str, f: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !f() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn gauges_return_to_baseline_after_disconnects_and_drain() {
+    let conn_open = gp_telemetry::gauge("service.conn.open");
+    let queue_depth = gp_telemetry::gauge("service.queue.depth");
+    let base_conn = conn_open.get();
+    let base_queue = queue_depth.get();
+
+    let mut svc = Service::start(ServiceConfig {
+        workers: 2,
+        queue_depth: 64,
+        ..ServiceConfig::default()
+    });
+    let addr = svc
+        .listen_reactor("127.0.0.1:0", ReactorConfig::default())
+        .unwrap();
+
+    // 1. Protocol error: a length prefix far beyond the frame cap makes
+    //    the reactor hang up on us mid-connection.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(&[0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = Vec::new();
+        // The server closes without a response.
+        let n = sock.read_to_end(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "a poisoned stream gets no response bytes");
+    }
+    eventually("protocol-error close to release conn.open", || {
+        conn_open.get() == base_conn
+    });
+
+    // 2. Normal clients complete and close.
+    for round in 0..3 {
+        let mut client = TcpClient::connect(addr).unwrap();
+        for n in 0..8 {
+            let resp = client.call(&sample_request(round * 8 + n)).unwrap();
+            assert!(matches!(resp, Response::Ok { .. }));
+        }
+    }
+    eventually("normal closes to release conn.open", || {
+        conn_open.get() == base_conn
+    });
+
+    // 3. A half-written frame abandoned by a vanishing client.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(&[0x00, 0x00]).unwrap(); // half a length prefix
+        eventually("partial-frame conn to register", || {
+            conn_open.get() == base_conn + 1
+        });
+    } // dropped here: RST/EOF at the server
+    eventually("abandoned conn to release conn.open", || {
+        conn_open.get() == base_conn
+    });
+
+    // 4. Graceful drain: stats must balance and the queue gauge must be
+    //    back at its floor.
+    let stats = svc.shutdown();
+    assert_eq!(stats.accepted, stats.completed + stats.shed);
+    assert_eq!(stats.in_flight(), 0);
+    assert_eq!(
+        conn_open.get(),
+        base_conn,
+        "service.conn.open must return exactly to baseline"
+    );
+    assert_eq!(
+        queue_depth.get(),
+        base_queue,
+        "service.queue.depth must return exactly to baseline"
+    );
+}

@@ -16,7 +16,8 @@ use gp_service::prove::ProveRequest;
 use gp_service::simplify::{EnvSpec, SimplifyRequest};
 use gp_service::wire::encode_frame;
 use gp_service::{
-    encode_request, ReactorConfig, Request, Service, ServiceConfig, ShardRouter, ShardRouterConfig,
+    encode_request, encode_request_traced, ReactorConfig, Request, Service, ServiceConfig,
+    ShardRouter, ShardRouterConfig,
 };
 use proptest::prelude::*;
 use proptest::Strategy;
@@ -185,6 +186,75 @@ proptest! {
         for s in &shard_stats {
             prop_assert_eq!(s.in_flight(), 0);
         }
+        blocking.shutdown();
+    }
+}
+
+/// Write a pipelined stream whose frames carry the given per-request
+/// wire trace ids, half-close, and read every response byte to EOF.
+fn drive_traced(addr: SocketAddr, stream: &[(Request, Option<u64>)]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for (i, (req, trace)) in stream.iter().enumerate() {
+        encode_frame(
+            &mut bytes,
+            &encode_request_traced(i as u64 + 1, req, *trace),
+        );
+    }
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    sock.set_nodelay(true).unwrap();
+    sock.write_all(&bytes).expect("write stream");
+    sock.shutdown(std::net::Shutdown::Write).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut out = Vec::new();
+    sock.read_to_end(&mut out).expect("read responses");
+    out
+}
+
+proptest! {
+    /// Tracing is strictly opt-in on the wire and invisible in the
+    /// response bytes: a stream where requests randomly carry a
+    /// `"trace":N` envelope field, served by the reactor with sampling
+    /// forced to every-request, is byte-identical to the same stream
+    /// served untraced by the blocking oracle. (PR 6's oracle property,
+    /// preserved under the tracing machinery.)
+    #[test]
+    fn traced_requests_answer_byte_identically_to_the_untraced_oracle(
+        (stream, _) in PipelinedStream { pool: 5, len: 12 },
+        raw_tags in proptest::collection::vec(0u64..2_000, 12..13)
+    ) {
+        // Half the draws become `Some(trace_id)`, half stay untraced.
+        let tags: Vec<Option<u64>> = raw_tags
+            .iter()
+            .map(|&t| (t >= 1_000).then_some(t))
+            .collect();
+        let mut blocking = Service::start(deep_config());
+        let baddr = blocking.listen("127.0.0.1:0").unwrap();
+        let mut reactor = Service::start(deep_config());
+        let raddr = reactor
+            .listen_reactor("127.0.0.1:0", ReactorConfig::default())
+            .unwrap();
+
+        let tagged: Vec<(Request, Option<u64>)> = stream
+            .iter()
+            .cloned()
+            .zip(tags.iter().cycle().cloned())
+            .collect();
+        let untraced: Vec<(Request, Option<u64>)> =
+            stream.iter().cloned().map(|r| (r, None)).collect();
+
+        // Force every tagged request through the full span machinery.
+        let prev = gp_telemetry::trace::sampling();
+        gp_telemetry::trace::set_sampling(1);
+        let got = drive_traced(raddr, &tagged);
+        gp_telemetry::trace::set_sampling(prev);
+        let expected = drive_traced(baddr, &untraced);
+
+        prop_assert_eq!(&got, &expected, "trace field leaked into responses");
+
+        let rs = reactor.shutdown();
+        prop_assert_eq!(rs.accepted, rs.completed + rs.shed);
+        prop_assert_eq!(rs.in_flight(), 0);
         blocking.shutdown();
     }
 }

@@ -432,11 +432,19 @@ fn steal_from(shared: &Shared, index: usize) -> Option<Job> {
 
 /// Execute one job panic-safely, then retire it from the pending count,
 /// waking `wait_idle` on the transition to zero.
+///
+/// The telemetry span stack is restored to its pre-job depth after the
+/// catch: a job that panics while holding span timers it leaked (or that
+/// carries a timer into the discarded panic payload) would otherwise
+/// leave its names on this worker's stack forever, corrupting
+/// `current_span_path` for every job the worker runs afterwards.
 fn run_job(shared: &Shared, job: Job) {
+    let span_depth = gp_telemetry::span::span_depth();
     if catch_unwind(AssertUnwindSafe(job)).is_err() {
         shared.panicked.fetch_add(1, Ordering::SeqCst);
         shared.metrics.panics.incr();
     }
+    gp_telemetry::span::truncate_span_stack(span_depth);
     if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
         let _guard = shared.idle_mutex.lock().expect("idle lock");
         shared.idle_cond.notify_all();
@@ -499,6 +507,35 @@ mod tests {
             });
         }
         pool.wait_idle();
+    }
+
+    #[test]
+    fn panicking_job_cannot_corrupt_the_worker_span_stack() {
+        // Regression: a job that panicked with a leaked span timer (the
+        // timer forgotten, or riding in the discarded panic payload) left
+        // its span name on the worker's thread-local stack — the catch in
+        // run_job contained the panic but nothing restored the stack, so
+        // every later job on that worker reported a bogus span path. One
+        // worker makes the follow-up job land on the poisoned thread.
+        let pool = ThreadPool::new(1);
+        pool.execute(|| {
+            let timer = gp_telemetry::span("pool_panic_leak");
+            std::mem::forget(timer); // no drop will ever pop this
+            panic!("panics with an open span");
+        });
+        pool.wait_idle();
+        assert_eq!(pool.panicked_jobs(), 1);
+        let seen = Arc::new(std::sync::Mutex::new(String::from("unset")));
+        let out = seen.clone();
+        pool.execute(move || {
+            *out.lock().unwrap() = gp_telemetry::current_span_path();
+        });
+        pool.wait_idle();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            "",
+            "worker span stack must be clean after a panicking job"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::shard::FailoverTarget;
 use gp_distsim::algorithms::{FtFloodMax, Heartbeat};
 use gp_distsim::topology::NodeId;
 use gp_distsim::{BoxProcess, Ctx, LiveMesh, Payload, Process, RunStats};
+use gp_telemetry::flight::{self, FlightKind};
 use std::io;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -93,6 +94,10 @@ pub struct NodeStatus {
     pub dead_mask: u64,
     /// Settled elections this node has won.
     pub elections_won: u64,
+    /// The process-wide flight-recorder dump captured the last time this
+    /// node applied a failover assignment (the forensic record of what
+    /// led up to the reassignment).
+    pub flight_dump: Option<String>,
 }
 
 /// The per-shard control process: heartbeat + epoch-fenced FT-FloodMax +
@@ -182,7 +187,13 @@ impl ControlProc {
             if fresh & (1 << shard) != 0 {
                 let moved = self.target.mark_dead(shard as usize);
                 control_metrics().reassigned_vnodes.add(moved as u64);
+                flight::record(FlightKind::Reassign, shard as u64, moved as u64);
             }
+        }
+        if fresh != 0 {
+            // Failover applied: snapshot the flight recorder so the drill
+            // (and any operator) can see the event chain that led here.
+            self.status.lock().unwrap().flight_dump = Some(flight::dump_json());
         }
     }
 
@@ -201,6 +212,7 @@ impl ControlProc {
             if leader == self.id && self.counted_epoch != Some(self.epoch) {
                 self.counted_epoch = Some(self.epoch);
                 control_metrics().elections.incr();
+                flight::record(FlightKind::Election, self.epoch, leader as u64);
                 self.status.lock().unwrap().elections_won += 1;
             }
             let unflooded = self.dead_mask & !self.flooded_mask;
@@ -272,6 +284,11 @@ impl Process for ControlProc {
         }
         let new_dead = suspect_mask & !self.dead_mask;
         if new_dead != 0 {
+            for shard in 0..64 {
+                if new_dead & (1 << shard) != 0 {
+                    flight::record(FlightKind::CrashDetect, shard as u64, self.epoch + 1);
+                }
+            }
             // Fresh deaths: bump the epoch and re-elect among survivors.
             self.dead_mask |= new_dead;
             self.epoch += 1;

@@ -48,10 +48,17 @@
 //! `service.reactor.*`, `service.shard.<i>.cache.*`), and the counters
 //! obey `accepted == completed + shed + in_flight` — checked from
 //! snapshot deltas by `exp_service`, `exp_service_reactor`, and the
-//! coherence proptests.
+//! coherence proptests. On top of the metrics sit three deeper lenses
+//! ([`introspect`]): sampled end-to-end *traces* whose spans follow a
+//! request across thread hops (`"trace":N` on the wire, assembled into a
+//! per-shard `TraceStore`), a process-wide lock-free *flight recorder* of
+//! recent structured events (dumped on drain and on failover), and the
+//! `stats`/`trace` wire request kinds that export both — served on either
+//! front end, even while draining.
 
 pub mod cache;
 pub mod control;
+pub mod introspect;
 pub mod lint;
 pub mod prove;
 pub mod queue;
@@ -65,9 +72,11 @@ pub mod wire;
 
 pub use cache::{CacheStats, ResponseCache};
 pub use control::{ControlConfig, ControlPlane, NodeStatus};
+pub use introspect::{stats_payload, StatsRequest, TraceQuery};
 pub use reactor::{Reactor, ReactorConfig, ReactorHandle, SubmitRequest};
 pub use request::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    decode_request, decode_request_traced, decode_response, encode_request, encode_request_traced,
+    encode_response, Request, Response,
 };
 pub use server::{Service, ServiceConfig, ServiceStats, Ticket};
 pub use shard::{FailoverTarget, HashRing, ShardRouter, ShardRouterConfig};

@@ -32,7 +32,7 @@
 //! request.
 
 #[cfg(target_os = "linux")]
-use crate::request::{decode_request, encode_response, Response};
+use crate::request::{decode_request_traced, encode_response, Response};
 #[cfg(target_os = "linux")]
 use crate::wire::{encode_frame, FrameDecoder};
 #[cfg(target_os = "linux")]
@@ -55,13 +55,24 @@ use std::thread::JoinHandle;
 
 /// The request sink a reactor serves: [`crate::Service`] (one instance)
 /// and [`crate::shard::ShardRouter`] (a consistent-hash fleet) both
-/// implement it. `submit_with` must not block: admission control answers
+/// implement it. Submission must not block: admission control answers
 /// `Overloaded` through the callback instead of back-pressuring the
 /// reactor thread.
 pub trait SubmitRequest: Send + Sync + 'static {
-    /// Submit one decoded request; `reply` is invoked exactly once, on
-    /// whatever thread completes the request.
-    fn submit_with(&self, request: crate::request::Request, reply: ReplyFn);
+    /// Submit one decoded request with an optional trace handle (the
+    /// sampled context plus the caller's span to parent under); `reply`
+    /// is invoked exactly once, on whatever thread completes the request.
+    fn submit_traced(
+        &self,
+        request: crate::request::Request,
+        trace: Option<gp_telemetry::trace::TraceHandle>,
+        reply: ReplyFn,
+    );
+
+    /// Submit one untraced request — identical to passing `None`.
+    fn submit_with(&self, request: crate::request::Request, reply: ReplyFn) {
+        self.submit_traced(request, None, reply);
+    }
 }
 
 /// The one-shot completion callback handed to [`SubmitRequest`].
@@ -668,12 +679,33 @@ mod linux_impl {
                 gp_telemetry::histogram("service.reactor.pipeline.depth")
                     .record(conn.in_flight as u64);
                 let gen = self.slots[token as usize].gen;
-                match decode_request(&frame) {
-                    Ok((id, request)) => {
+                match decode_request_traced(&frame) {
+                    Ok((id, request, wire_trace)) => {
+                        // Tracing is strictly opt-in on the wire: only a
+                        // frame carrying a `trace` field can be sampled,
+                        // and the 1-in-N sampler gates even those. The
+                        // root `reactor` span rides in the completion
+                        // callback and closes — publishing the trace if
+                        // it holds the last clone — before the response
+                        // is handed to the event loop for writing.
+                        let traced = wire_trace.and_then(gp_telemetry::trace::sample).map(|ctx| {
+                            let root = ctx.span("reactor", None);
+                            let handle = gp_telemetry::trace::TraceHandle {
+                                ctx,
+                                parent: Some(root.id()),
+                            };
+                            (handle, root)
+                        });
+                        let (handle, root) = match traced {
+                            Some((h, r)) => (Some(h), Some(r)),
+                            None => (None, None),
+                        };
                         let completions = Arc::clone(&self.completions);
-                        self.submit.submit_with(
+                        self.submit.submit_traced(
                             request,
+                            handle,
                             Box::new(move |resp| {
+                                drop(root);
                                 completions.push(Completion {
                                     token,
                                     gen,

@@ -13,7 +13,7 @@
 //! re-canonicalizes on entry, so `canonical()` is a stable cache key for
 //! semantically equal requests however the client ordered its fields.
 
-use crate::{lint, prove, select, simplify};
+use crate::{introspect, lint, prove, select, simplify};
 use gp_core::json::Json;
 
 /// One query against the library stack.
@@ -27,6 +27,12 @@ pub enum Request {
     Prove(prove::ProveRequest),
     /// Select a distributed algorithm (`gp-taxonomy`).
     Select(select::SelectRequest),
+    /// Export the telemetry registry with derived percentiles
+    /// (introspection; answered at admission, never queued or cached).
+    Stats(introspect::StatsRequest),
+    /// Fetch an assembled trace tree by id (introspection; answered at
+    /// admission from the shard trace stores).
+    Trace(introspect::TraceQuery),
 }
 
 /// The server's answer to one request.
@@ -56,6 +62,8 @@ impl Request {
             Request::Simplify(_) => "simplify",
             Request::Prove(_) => "prove",
             Request::Select(_) => "select",
+            Request::Stats(_) => "stats",
+            Request::Trace(_) => "trace",
         }
     }
 
@@ -66,6 +74,8 @@ impl Request {
             Request::Simplify(r) => r.to_json(),
             Request::Prove(r) => r.to_json(),
             Request::Select(r) => r.to_json(),
+            Request::Stats(r) => r.to_json(),
+            Request::Trace(r) => r.to_json(),
         }
     }
 
@@ -76,6 +86,8 @@ impl Request {
             "simplify" => Request::Simplify(simplify::SimplifyRequest::from_json(req)?),
             "prove" => Request::Prove(prove::ProveRequest::from_json(req)?),
             "select" => Request::Select(select::SelectRequest::from_json(req)?),
+            "stats" => Request::Stats(introspect::StatsRequest::from_json(req)?),
+            "trace" => Request::Trace(introspect::TraceQuery::from_json(req)?),
             other => return Err(format!("unknown request kind {other:?}")),
         })
     }
@@ -95,6 +107,11 @@ impl Request {
             Request::Simplify(r) => simplify::handle(r),
             Request::Prove(r) => prove::handle(r),
             Request::Select(r) => select::handle(r),
+            Request::Stats(r) => Ok(Json::Raw(introspect::stats_payload(&r.prefix))),
+            // Trace lookups need a serving shard's store; the serving
+            // core answers them at admission, so reaching this handler
+            // means the request was dispatched outside a service.
+            Request::Trace(_) => Err("trace lookup requires a running service".into()),
         }
     }
 }
@@ -112,15 +129,37 @@ pub(crate) fn fnv1a(s: &str) -> u64 {
 
 /// Encode a request frame.
 pub fn encode_request(id: u64, req: &Request) -> String {
-    Json::obj()
-        .field("id", id)
-        .field("kind", req.kind())
-        .field("req", req.to_json())
-        .render()
+    encode_request_traced(id, req, None)
 }
 
-/// Decode a request frame into `(id, request)`.
+/// Encode a request frame, optionally carrying a trace context: the
+/// envelope grows an extra `"trace": N` field naming the client-chosen
+/// trace id. Decoders that predate tracing ignore unknown envelope
+/// fields, and the field is excluded from the canonical form (which is
+/// built from `kind` + `req` only), so a traced request shares cache
+/// entries — and response bytes — with its untraced twin.
+pub fn encode_request_traced(id: u64, req: &Request, trace: Option<u64>) -> String {
+    let j = Json::obj()
+        .field("id", id)
+        .field("kind", req.kind())
+        .field("req", req.to_json());
+    match trace {
+        Some(t) => j.field("trace", t),
+        None => j,
+    }
+    .render()
+}
+
+/// Decode a request frame into `(id, request)`, dropping any trace field.
 pub fn decode_request(frame: &str) -> Result<(u64, Request), String> {
+    decode_request_traced(frame).map(|(id, req, _)| (id, req))
+}
+
+/// Decode a request frame into `(id, request, trace)`, where `trace` is
+/// the optional wire trace id. Tracing is strictly opt-in: a frame
+/// without the field yields `None` and is processed identically to one
+/// decoded before tracing existed.
+pub fn decode_request_traced(frame: &str) -> Result<(u64, Request, Option<u64>), String> {
     let j = Json::parse(frame).map_err(|e| format!("bad frame: {e}"))?;
     let id = j.get("id").and_then(Json::as_f64).unwrap_or(0.0) as u64;
     let kind = j
@@ -128,7 +167,8 @@ pub fn decode_request(frame: &str) -> Result<(u64, Request), String> {
         .and_then(Json::as_str)
         .ok_or("bad frame: missing string field 'kind'")?;
     let req = j.get("req").ok_or("bad frame: missing field 'req'")?;
-    Ok((id, Request::from_kind_json(kind, req)?))
+    let trace = j.get("trace").and_then(Json::as_f64).map(|t| t as u64);
+    Ok((id, Request::from_kind_json(kind, req)?, trace))
 }
 
 /// Encode a response frame.
@@ -208,6 +248,10 @@ mod tests {
                 )
                 .unwrap(),
             ),
+            Request::Stats(introspect::StatsRequest {
+                prefix: "service.".into(),
+            }),
+            Request::Trace(introspect::TraceQuery { id: 42 }),
         ]
     }
 
@@ -219,6 +263,33 @@ mod tests {
             assert_eq!(id, i as u64 + 7);
             assert_eq!(back, req, "round-trip for kind {}", req.kind());
             assert_eq!(back.canonical(), req.canonical());
+        }
+    }
+
+    #[test]
+    fn trace_field_is_optional_invisible_to_canonical_and_ignored_by_old_decoders() {
+        for req in sample_requests() {
+            let plain = encode_request(5, &req);
+            let traced = encode_request_traced(5, &req, Some(777));
+            // Match the *field* form `"trace":` — the `trace` request
+            // kind legitimately puts the word in `"kind":"trace"`.
+            assert!(!plain.contains("\"trace\":"), "untraced stays untraced");
+            assert!(traced.contains("\"trace\":777"));
+            // The traced-aware decoder sees the id; the legacy decoder
+            // (and thus everything downstream of it) sees the identical
+            // request.
+            let (_, r1, t1) = decode_request_traced(&traced).unwrap();
+            assert_eq!(t1, Some(777));
+            let (_, r2) = decode_request(&traced).unwrap();
+            assert_eq!(r1, req);
+            assert_eq!(r2, req);
+            let (_, _, t0) = decode_request_traced(&plain).unwrap();
+            assert_eq!(t0, None, "tracing is strictly opt-in");
+            assert_eq!(
+                r1.canonical(),
+                req.canonical(),
+                "trace id never keys the cache"
+            );
         }
     }
 

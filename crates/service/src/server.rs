@@ -18,9 +18,11 @@
 use crate::cache::{CacheStats, ResponseCache};
 use crate::queue::BoundedQueue;
 use crate::reactor::{Reactor, ReactorConfig, ReactorHandle, ReplyFn, SubmitRequest};
-use crate::request::{decode_request, encode_response, fnv1a, Request, Response};
+use crate::request::{decode_request_traced, encode_response, fnv1a, Request, Response};
 use crate::simplify::SimplifyRequest;
 use crate::wire::{read_frame, write_frame};
+use gp_telemetry::flight::{self, FlightKind};
+use gp_telemetry::trace::{SpanId, TraceContext, TraceHandle, TraceId, TraceSpan, TraceStore};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -53,6 +55,9 @@ pub struct ServiceConfig {
     /// shard's cache `service.shard.<i>.cache` so partitioning is
     /// observable per shard.
     pub cache_label: Option<String>,
+    /// Completed traces this shard's bounded trace store retains for
+    /// `trace` queries (oldest evicted beyond it).
+    pub trace_capacity: usize,
     /// Artificial per-batch handler delay — the load generator's knob for
     /// making overload reproducible; `None` in production paths.
     pub handler_delay: Option<Duration>,
@@ -69,6 +74,7 @@ impl Default for ServiceConfig {
             batch_max: 8,
             max_connections: 1024,
             cache_label: None,
+            trace_capacity: 256,
             handler_delay: None,
         }
     }
@@ -110,6 +116,17 @@ struct Job {
     batch_key: Option<u64>,
     reply: ReplyFn,
     enqueued: Instant,
+    /// Trace state riding with a sampled request (None = untraced).
+    trace: Option<JobTrace>,
+}
+
+/// The per-job slice of a sampled trace: the shared context, the open
+/// `queue` span (dropped when a worker picks the job up, so it measures
+/// queued wait), and that span's id for parenting the `worker` span.
+struct JobTrace {
+    ctx: TraceContext,
+    queue_id: SpanId,
+    queue_span: Option<TraceSpan>,
 }
 
 /// A pending response; `wait` blocks until the worker replies.
@@ -131,6 +148,7 @@ struct ServiceInner {
     config: ServiceConfig,
     queue: BoundedQueue<Job>,
     cache: Option<ResponseCache>,
+    trace_store: Arc<TraceStore>,
     accepting: AtomicBool,
     stop_listener: AtomicBool,
     accepted: AtomicU64,
@@ -148,11 +166,39 @@ fn span_name(kind: &str) -> &'static str {
     }
 }
 
+/// The engine-stage trace span name for a request kind.
+fn engine_span_name(kind: &str) -> &'static str {
+    match kind {
+        "lint" => "engine.lint",
+        "simplify" => "engine.simplify",
+        "prove" => "engine.prove",
+        _ => "engine.select",
+    }
+}
+
+/// Compact request-kind code for flight-recorder payload words.
+fn kind_code(kind: &str) -> u64 {
+    match kind {
+        "lint" => 1,
+        "simplify" => 2,
+        "prove" => 3,
+        "select" => 4,
+        "stats" => 5,
+        "trace" => 6,
+        _ => 0,
+    }
+}
+
 impl ServiceInner {
     fn submit(self: &Arc<Self>, request: Request) -> Ticket {
+        self.submit_traced(request, None)
+    }
+
+    fn submit_traced(self: &Arc<Self>, request: Request, trace: Option<TraceHandle>) -> Ticket {
         let (tx, rx) = mpsc::channel();
-        self.submit_callback(
+        self.submit_traced_callback(
             request,
+            trace,
             Box::new(move |resp| {
                 let _ = tx.send(resp);
             }),
@@ -160,32 +206,91 @@ impl ServiceInner {
         Ticket { rx }
     }
 
+    /// Answer an introspection request (`stats`/`trace`) synchronously at
+    /// admission: never queued, never cached, identical on every front
+    /// end because all of them funnel through the submission path.
+    fn answer_introspection(&self, request: &Request) -> Option<Response> {
+        match request {
+            Request::Stats(r) => Some(Response::Ok {
+                payload: crate::introspect::stats_payload(&r.prefix),
+            }),
+            Request::Trace(q) => Some(match self.trace_store.get(q.id) {
+                Some(spans) => Response::Ok {
+                    payload: gp_telemetry::trace::render_tree(TraceId(q.id), &spans),
+                },
+                None => Response::Error {
+                    message: format!(
+                        "trace {} not found (unsampled, still in flight, or evicted)",
+                        q.id
+                    ),
+                },
+            }),
+            _ => None,
+        }
+    }
+
     /// The one submission path: admission control, cache, queue. `reply`
-    /// is invoked exactly once — synchronously for sheds and cache hits,
-    /// from a worker otherwise.
-    fn submit_callback(&self, request: Request, reply: ReplyFn) {
+    /// is invoked exactly once — synchronously for sheds, cache hits, and
+    /// introspection, from a worker otherwise.
+    fn submit_traced_callback(
+        &self,
+        request: Request,
+        mut trace: Option<TraceHandle>,
+        reply: ReplyFn,
+    ) {
         let kind = request.kind();
         self.accepted.fetch_add(1, Ordering::Relaxed);
         gp_telemetry::counter("service.accepted").incr();
         gp_telemetry::counter(&format!("service.req.{kind}")).incr();
 
+        // Introspection answers even while draining — the whole point is
+        // inspecting a server that is misbehaving.
+        if let Some(response) = self.answer_introspection(&request) {
+            drop(trace);
+            self.complete_one(kind, Instant::now());
+            reply(response);
+            return;
+        }
+
         if !self.accepting.load(Ordering::Acquire) {
-            self.shed_one(reply);
+            drop(trace);
+            self.shed_one(kind, reply);
             return;
         }
         let canonical = request.canonical();
         let hash = fnv1a(&canonical);
         if let Some(cache) = &self.cache {
             if let Some(payload) = cache.get(hash, &canonical) {
+                flight::record(FlightKind::CacheHit, kind_code(kind), hash & 0xffff_ffff);
+                if let Some(t) = trace.take() {
+                    // The hit never reaches a queue; a lone `cache` span
+                    // under the caller's parent is the whole story. Drop
+                    // the handle before replying so the trace publishes
+                    // strictly before the response can be observed.
+                    t.ctx.set_sink(&self.trace_store);
+                    t.span("cache").finish();
+                }
                 self.complete_one(kind, Instant::now());
                 reply(Response::Ok { payload });
                 return;
             }
+            flight::record(FlightKind::CacheMiss, kind_code(kind), hash & 0xffff_ffff);
         }
         let batch_key = match &request {
             Request::Simplify(r) => Some(r.env.fingerprint()),
             _ => None,
         };
+        let job_trace = trace.take().map(|t| {
+            // The executing shard owns the completed trace (first claim
+            // wins, so a failover retry landing elsewhere re-claims).
+            t.ctx.set_sink(&self.trace_store);
+            let queue_span = t.span("queue");
+            JobTrace {
+                queue_id: queue_span.id(),
+                ctx: t.ctx,
+                queue_span: Some(queue_span),
+            }
+        });
         let job = Job {
             request,
             canonical,
@@ -193,18 +298,30 @@ impl ServiceInner {
             batch_key,
             reply,
             enqueued: Instant::now(),
+            trace: job_trace,
         };
         match self.queue.try_push(job) {
             Ok(()) => {
                 gp_telemetry::gauge("service.queue.depth").add(1);
+                flight::record(
+                    FlightKind::Enqueue,
+                    kind_code(kind),
+                    self.queue.len() as u64,
+                );
             }
-            Err(job) => self.shed_one(job.reply),
+            Err(mut job) => {
+                // Drop the trace (publishing the partial trace: the queue
+                // span never opened past this point) before replying.
+                drop(job.trace.take());
+                self.shed_one(kind, job.reply);
+            }
         }
     }
 
-    fn shed_one(&self, reply: ReplyFn) {
+    fn shed_one(&self, kind: &str, reply: ReplyFn) {
         self.shed.fetch_add(1, Ordering::Relaxed);
         gp_telemetry::counter("service.shed").incr();
+        flight::record(FlightKind::Shed, kind_code(kind), 0);
         reply(Response::Overloaded);
     }
 
@@ -216,7 +333,7 @@ impl ServiceInner {
     }
 
     /// Answer one job from a handler result: render, cache, count, reply.
-    fn finish(&self, job: Job, result: Result<gp_core::json::Json, String>) {
+    fn finish(&self, mut job: Job, result: Result<gp_core::json::Json, String>) {
         let response = match result {
             Ok(json) => {
                 let payload = json.render();
@@ -228,6 +345,11 @@ impl ServiceInner {
             Err(message) => Response::Error { message },
         };
         self.complete_one(job.request.kind(), job.enqueued);
+        // Drop the job's trace handle before replying: if these are the
+        // last live clones the trace publishes here, strictly before the
+        // response can reach a client — so a `trace` query issued after
+        // the response always finds the completed trace.
+        drop(job.trace.take());
         (job.reply)(response);
     }
 
@@ -236,6 +358,22 @@ impl ServiceInner {
     fn execute_batch(&self, mut batch: Vec<Job>) {
         if let Some(delay) = self.config.handler_delay {
             thread::sleep(delay);
+        }
+        // For every traced job: close its `queue` span (measuring queued
+        // wait) and open `worker` → `engine.<kind>` spans here, on the
+        // pool thread — the explicit parent ids are what keep the tree
+        // intact across the hop from the submitting thread. Batched jobs
+        // each get their own span pair over the shared handler run.
+        let mut stage_spans: Vec<(TraceSpan, TraceSpan)> = Vec::new();
+        for job in &mut batch {
+            if let Some(t) = &mut job.trace {
+                t.queue_span.take();
+                let worker = t.ctx.span("worker", Some(t.queue_id));
+                let engine = t
+                    .ctx
+                    .span(engine_span_name(job.request.kind()), Some(worker.id()));
+                stage_spans.push((worker, engine));
+            }
         }
         if batch.len() > 1 {
             let reqs: Vec<SimplifyRequest> = batch
@@ -247,6 +385,7 @@ impl ServiceInner {
                 .collect();
             let _span = gp_telemetry::span("service.simplify");
             let results = catch_unwind(AssertUnwindSafe(|| crate::simplify::handle_batch(&reqs)));
+            drop(stage_spans); // engine/worker spans end with the handler
             match results {
                 Ok(results) => {
                     for (job, result) in batch.drain(..).zip(results) {
@@ -264,6 +403,7 @@ impl ServiceInner {
             let _span = gp_telemetry::span(span_name(job.request.kind()));
             let result = catch_unwind(AssertUnwindSafe(|| job.request.handle()))
                 .unwrap_or_else(|_| Err("handler panicked".into()));
+            drop(stage_spans); // engine/worker spans end with the handler
             self.finish(job, result);
         }
     }
@@ -285,6 +425,13 @@ impl ServiceInner {
                         None => break,
                     }
                 }
+            }
+            for job in &batch {
+                flight::record(
+                    FlightKind::Dequeue,
+                    kind_code(job.request.kind()),
+                    batch.len() as u64,
+                );
             }
             // Execute on the gp-parallel global pool; the worker blocks
             // until its batch is done, so worker count bounds service
@@ -315,8 +462,8 @@ impl ServiceInner {
 }
 
 impl SubmitRequest for ServiceInner {
-    fn submit_with(&self, request: Request, reply: ReplyFn) {
-        self.submit_callback(request, reply);
+    fn submit_traced(&self, request: Request, trace: Option<TraceHandle>, reply: ReplyFn) {
+        self.submit_traced_callback(request, trace, reply);
     }
 }
 
@@ -345,6 +492,7 @@ impl Service {
         let inner = Arc::new(ServiceInner {
             queue: BoundedQueue::new(config.queue_depth),
             cache,
+            trace_store: TraceStore::new(config.trace_capacity),
             accepting: AtomicBool::new(true),
             stop_listener: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
@@ -376,6 +524,20 @@ impl Service {
     /// Submit without waiting; the [`Ticket`] resolves to the response.
     pub fn submit(&self, request: Request) -> Ticket {
         self.inner.submit(request)
+    }
+
+    /// Submit carrying a trace handle: the service opens `queue` →
+    /// `worker` → `engine.<kind>` spans under the handle's parent and
+    /// publishes the completed trace to this shard's store. `None`
+    /// behaves exactly like [`Service::submit`].
+    pub fn submit_traced(&self, request: Request, trace: Option<TraceHandle>) -> Ticket {
+        self.inner.submit_traced(request, trace)
+    }
+
+    /// This shard's bounded store of completed traces (what `trace`
+    /// queries read).
+    pub fn trace_store(&self) -> Arc<TraceStore> {
+        Arc::clone(&self.inner.trace_store)
     }
 
     /// The in-process client: submit and block for the answer — same
@@ -447,7 +609,15 @@ impl Service {
     /// admitted job, join the workers. On return `in_flight == 0` and the
     /// conservation law has collapsed to `accepted == completed + shed`.
     pub fn shutdown(&mut self) -> ServiceStats {
-        self.inner.accepting.store(false, Ordering::Release);
+        if self.inner.accepting.swap(false, Ordering::Release) {
+            // First shutdown call: the black box records that a drain
+            // began, with the admission count so far.
+            flight::record(
+                FlightKind::Drain,
+                self.inner.accepted.load(Ordering::Relaxed),
+                self.inner.queue.len() as u64,
+            );
+        }
         self.inner.stop_listener.store(true, Ordering::Release);
         if let Some(mut reactor) = self.reactor.take() {
             reactor.shutdown();
@@ -464,6 +634,14 @@ impl Service {
             let _ = w.join();
         }
         self.inner.stats()
+    }
+
+    /// [`Service::shutdown`], then dump the process-wide flight recorder
+    /// — the drained server's black box, with the `drain` event and the
+    /// enqueue/dequeue history leading up to it.
+    pub fn shutdown_with_dump(&mut self) -> (ServiceStats, String) {
+        let stats = self.shutdown();
+        (stats, flight::dump_json())
     }
 }
 
@@ -483,8 +661,32 @@ fn serve_connection(inner: &Arc<ServiceInner>, mut stream: TcpStream) {
             Ok(Some(f)) => f,
             _ => return,
         };
-        let reply = match decode_request(&frame) {
-            Ok((id, request)) => encode_response(id, &inner.submit(request).wait()),
+        let reply = match decode_request_traced(&frame) {
+            Ok((id, request, wire_trace)) => {
+                // Tracing is strictly opt-in: only a frame carrying a
+                // `trace` field can be sampled, and an unsampled or
+                // untraced request takes the identical path.
+                let sampled = wire_trace.and_then(gp_telemetry::trace::sample);
+                let (handle, root) = match sampled {
+                    Some(ctx) => {
+                        let root = ctx.span("server", None);
+                        (
+                            Some(TraceHandle {
+                                ctx: ctx.clone(),
+                                parent: Some(root.id()),
+                            }),
+                            Some(root),
+                        )
+                    }
+                    None => (None, None),
+                };
+                let response = inner.submit_traced(request, handle).wait();
+                // Close the root span before writing the response so the
+                // assembled trace is queryable the moment the client
+                // reads its answer.
+                drop(root);
+                encode_response(id, &response)
+            }
             Err(e) => encode_response(0, &Response::Error { message: e }),
         };
         if write_frame(&mut stream, &reply).is_err() {

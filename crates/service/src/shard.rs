@@ -27,6 +27,7 @@
 use crate::reactor::{Reactor, ReactorConfig, ReactorHandle, ReplyFn, SubmitRequest};
 use crate::request::{fnv1a, Request, Response};
 use crate::server::{Service, ServiceConfig, ServiceStats, Ticket};
+use gp_telemetry::trace::{TraceHandle, TraceStore};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -140,6 +141,10 @@ pub trait FailoverTarget: Send + Sync {
 struct RouterInner {
     ring: HashRing,
     submitters: Vec<Arc<dyn SubmitRequest>>,
+    /// Each shard's completed-trace store, in shard order: a `trace`
+    /// query must probe all of them, because the trace lives on whichever
+    /// shard *executed* the original request.
+    trace_stores: Vec<Arc<TraceStore>>,
     /// Bit `i` set = shard `i` is routable. The mask caps the tier at 64
     /// shards, enforced in [`ShardRouter::start`].
     alive: AtomicU64,
@@ -160,6 +165,19 @@ impl RouterInner {
     fn route(&self, key: u64) -> usize {
         let alive = self.alive.load(Ordering::Acquire);
         self.ring.route_where(key, |s| alive & (1 << s) != 0)
+    }
+
+    /// The shard that should answer `request`. A `trace` query routes to
+    /// the shard whose store holds the trace (any shard may have executed
+    /// it); everything else — including a trace id no store holds, which
+    /// the routed shard reports as not-found — hash-routes.
+    fn shard_for(&self, request: &Request) -> usize {
+        if let Request::Trace(q) = request {
+            if let Some(shard) = self.trace_stores.iter().position(|s| s.get(q.id).is_some()) {
+                return shard;
+            }
+        }
+        self.route(Self::routing_key(request))
     }
 }
 
@@ -191,9 +209,21 @@ impl FailoverTarget for RouterInner {
 }
 
 impl SubmitRequest for RouterInner {
-    fn submit_with(&self, request: Request, reply: ReplyFn) {
-        let shard = self.route(Self::routing_key(&request));
-        self.submitters[shard].submit_with(request, reply);
+    fn submit_traced(&self, request: Request, trace: Option<TraceHandle>, reply: ReplyFn) {
+        let shard = self.shard_for(&request);
+        match trace {
+            Some(h) => {
+                // The `router` span brackets the routing decision and the
+                // hand-off into the shard's admission path; the shard's
+                // spans parent under it.
+                let span = h.span("router");
+                let child = h.child_of(&span);
+                drop(h);
+                self.submitters[shard].submit_traced(request, Some(child), reply);
+                span.finish();
+            }
+            None => self.submitters[shard].submit_traced(request, None, reply),
+        }
     }
 }
 
@@ -223,6 +253,7 @@ impl ShardRouter {
         let inner = Arc::new(RouterInner {
             ring: HashRing::new(services.len(), config.vnodes),
             submitters: services.iter().map(Service::submitter).collect(),
+            trace_stores: services.iter().map(Service::trace_store).collect(),
             alive: AtomicU64::new(if services.len() == 64 {
                 u64::MAX
             } else {
@@ -238,15 +269,35 @@ impl ShardRouter {
 
     /// Which shard `request` routes to (stable for its canonical form
     /// while the live-shard set is stable; a failover re-routes only the
-    /// dead shard's vnode ranges).
+    /// dead shard's vnode ranges). A `trace` query routes to the shard
+    /// whose store holds the trace.
     pub fn shard_of(&self, request: &Request) -> usize {
-        self.inner.route(RouterInner::routing_key(request))
+        self.inner.shard_for(request)
     }
 
     /// Submit without waiting; the [`Ticket`] resolves to the response.
     pub fn submit(&self, request: Request) -> Ticket {
         let shard = self.shard_of(&request);
         self.services[shard].submit(request)
+    }
+
+    /// Submit carrying a trace handle: the router opens a `router` span
+    /// and the chosen shard's spans nest under it.
+    pub fn submit_traced(&self, request: Request, trace: Option<TraceHandle>) -> Ticket {
+        let shard = self.shard_of(&request);
+        let traced = trace.map(|h| {
+            let span = h.span("router");
+            let child = h.child_of(&span);
+            (child, span)
+        });
+        match traced {
+            Some((child, span)) => {
+                let ticket = self.services[shard].submit_traced(request, Some(child));
+                span.finish();
+                ticket
+            }
+            None => self.services[shard].submit_traced(request, None),
+        }
     }
 
     /// Route, submit, and block for the answer.

@@ -16,7 +16,7 @@
 
 pub use gp_core::frame::{encode_frame, read_frame, write_frame, FrameDecoder, MAX_FRAME};
 
-use crate::request::{decode_response, encode_request, Request, Response};
+use crate::request::{decode_response, Request, Response};
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -77,10 +77,19 @@ impl TcpClient {
 
     /// Send one request without waiting; returns its correlation id.
     pub fn send(&mut self, req: &Request) -> Result<u64, String> {
+        self.send_traced(req, None)
+    }
+
+    /// Send one request carrying an optional wire trace id. A `None`
+    /// trace produces a byte-identical frame to [`send`](Self::send).
+    pub fn send_traced(&mut self, req: &Request, trace: Option<u64>) -> Result<u64, String> {
         let id = self.next_id;
         self.next_id += 1;
-        write_frame(&mut self.stream, &encode_request(id, req))
-            .map_err(|e| Self::io_error("send", e))?;
+        write_frame(
+            &mut self.stream,
+            &crate::request::encode_request_traced(id, req, trace),
+        )
+        .map_err(|e| Self::io_error("send", e))?;
         self.inflight.push_back(id);
         Ok(id)
     }
@@ -112,6 +121,12 @@ impl TcpClient {
     /// Send one request and block for its response.
     pub fn call(&mut self, req: &Request) -> Result<Response, String> {
         self.send(req)?;
+        Ok(self.recv()?.1)
+    }
+
+    /// [`call`](Self::call) with an optional wire trace id attached.
+    pub fn call_traced(&mut self, req: &Request, trace: Option<u64>) -> Result<Response, String> {
+        self.send_traced(req, trace)?;
         Ok(self.recv()?.1)
     }
 

@@ -28,15 +28,21 @@
 //!
 //! Modules: [`metric`] (the atomic instruments), [`registry`] (the global
 //! name → instrument map and snapshots), [`span`] (RAII timers with a
-//! per-thread scope stack).
+//! per-thread scope stack), [`trace`] (causal traces with explicit
+//! parents that survive thread hops), [`flight`] (a lock-free flight
+//! recorder of recent structured events).
 
+pub mod flight;
 pub mod metric;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use metric::{Counter, Gauge, HistSnapshot, Histogram};
 pub use registry::{global, Registry, Snapshot};
 pub use span::{current_span_path, span, SpanTimer};
+pub use trace::{SpanId, TraceContext, TraceHandle, TraceId, TraceSpan, TraceStore};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

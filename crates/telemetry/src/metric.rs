@@ -147,6 +147,12 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Estimated `q`-quantile of the recorded samples — see
+    /// [`HistSnapshot::percentile`] for the estimator and its error bound.
+    pub fn percentile(&self, q: f64) -> u64 {
+        self.snapshot().percentile(q)
+    }
+
     /// Point-in-time copy of the histogram state.
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
@@ -204,6 +210,51 @@ impl HistSnapshot {
                 .map(|(a, b)| a.saturating_sub(*b))
                 .collect(),
         }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) via nearest-rank over the
+    /// log2 buckets, interpolating linearly inside the target bucket and
+    /// clamping to the exact recorded `[min, max]`.
+    ///
+    /// Error bound: the true quantile and the estimate always land in the
+    /// same bucket `[2^i, 2^(i+1))`, so the estimate is within a factor
+    /// of 2 of the true value (relative error ≤ 2×, usually far less) —
+    /// the best any fixed log2 bucketing can promise. Returns 0 when the
+    /// histogram is empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank, 1-based: the smallest rank whose cumulative
+        // probability reaches q.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let lo = Histogram::bucket_lo(i);
+                let hi = if i == 0 {
+                    1
+                } else if i == BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                // Position of the target rank inside this bucket,
+                // midpoint-of-rank so a single-sample bucket estimates
+                // its middle rather than an edge.
+                let frac = (target - cum) as f64 - 0.5;
+                let est = lo as f64 + (hi - lo) as f64 * (frac / c as f64);
+                // The exact extrema are tracked exactly; never estimate
+                // outside them.
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
     }
 
     /// `(bucket_lo, count)` for every non-empty bucket, in order.
@@ -288,6 +339,100 @@ mod tests {
         assert_eq!(d.sum, 2010);
         assert_eq!(d.buckets[3], 1);
         assert_eq!(d.buckets[10], 1);
+    }
+
+    /// Exact nearest-rank quantile of a sorted sample set.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let n = sorted.len() as f64;
+        let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Assert the histogram estimate is within the promised 2× relative
+    /// error of the exact quantile, for a spread of q values.
+    fn assert_percentiles_bounded(samples: &[u64], what: &str) {
+        let h = Histogram::new();
+        for &v in samples {
+            h.record(v);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let s = h.snapshot();
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q) as f64;
+            let est = s.percentile(q) as f64;
+            // Relative error bound: same log2 bucket ⇒ ratio < 2 either way.
+            let (lo, hi) = (exact / 2.0 - 1.0, exact * 2.0 + 1.0);
+            assert!(
+                est >= lo && est <= hi,
+                "{what}: p{q} estimate {est} outside 2x of exact {exact}"
+            );
+        }
+        assert_eq!(s.percentile(0.0), s.min, "{what}: p0 is the exact min");
+        assert_eq!(s.percentile(1.0), s.max, "{what}: p100 is the exact max");
+    }
+
+    #[test]
+    fn percentile_bounded_on_uniform_distribution() {
+        let samples: Vec<u64> = (1..=10_000).collect();
+        assert_percentiles_bounded(&samples, "uniform 1..=10000");
+    }
+
+    #[test]
+    fn percentile_bounded_on_geometric_distribution() {
+        // Half the mass at 1, a quarter at 2, ... — heavy head, long tail,
+        // the shape of latency histograms.
+        let mut samples = Vec::new();
+        for (i, reps) in [
+            (1u64, 512u64),
+            (2, 256),
+            (4, 128),
+            (64, 64),
+            (4096, 32),
+            (1 << 20, 4),
+        ] {
+            samples.extend(std::iter::repeat_n(i, reps as usize));
+        }
+        assert_percentiles_bounded(&samples, "geometric");
+    }
+
+    #[test]
+    fn percentile_bounded_on_bimodal_distribution() {
+        // Fast path around 500ns, slow path around 3ms — the cache
+        // hit/miss shape.
+        let mut samples = Vec::new();
+        for i in 0..900u64 {
+            samples.push(400 + i % 200);
+        }
+        for i in 0..100u64 {
+            samples.push(2_800_000 + i * 4000);
+        }
+        assert_percentiles_bounded(&samples, "bimodal");
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0, "empty histogram reports 0");
+        h.record(77);
+        assert_eq!(h.percentile(0.0), 77);
+        assert_eq!(h.percentile(0.5), 77);
+        assert_eq!(h.percentile(1.0), 77, "single sample is every quantile");
+        let s = h.snapshot();
+        assert_eq!(s.percentile(-3.0), 77, "q clamps into [0,1]");
+        assert_eq!(s.percentile(9.0), 77);
+        // Percentiles are monotone in q.
+        let h2 = Histogram::new();
+        for v in [1u64, 10, 100, 1000, 10_000, 100_000] {
+            h2.record(v);
+        }
+        let s2 = h2.snapshot();
+        let mut last = 0;
+        for q in 0..=20 {
+            let p = s2.percentile(q as f64 / 20.0);
+            assert!(p >= last, "percentile must be monotone in q");
+            last = p;
+        }
     }
 
     #[test]

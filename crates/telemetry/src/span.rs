@@ -33,11 +33,31 @@ pub fn span_depth() -> usize {
     SPAN_STACK.with(|s| s.borrow().len())
 }
 
+/// Truncate the calling thread's span stack to `depth` entries. Exposed
+/// for executors that run untrusted jobs behind `catch_unwind`: a job
+/// that leaks an open [`SpanTimer`] (or carries one into a panic payload
+/// that is caught and discarded) leaves entries on the worker's stack
+/// with no drop left to remove them, permanently corrupting every later
+/// job's [`current_span_path`]. The pool snapshots [`span_depth`] before
+/// the catch boundary and restores it here after.
+pub fn truncate_span_stack(depth: usize) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if stack.len() > depth {
+            stack.truncate(depth);
+        }
+    });
+}
+
 /// An RAII timer for one named region; see the module docs. Obtain via
 /// [`span`].
 pub struct SpanTimer {
     /// `None` when telemetry was disabled at construction: drop is a no-op.
-    armed: Option<(Instant, &'static Histogram)>,
+    /// The `usize` is the stack depth *before* this span pushed — drop
+    /// truncates back to it rather than blind-popping, so out-of-LIFO
+    /// drops (possible when caught panics reorder destruction) cannot pop
+    /// someone else's entry.
+    armed: Option<(Instant, &'static Histogram, usize)>,
 }
 
 /// Open a span named `name`. The name must be `'static` because it lives
@@ -51,19 +71,26 @@ pub fn span(name: &'static str) -> SpanTimer {
     }
     let hist = global().histogram(&format!("span.{name}.ns"));
     global().counter(&format!("span.{name}.calls")).incr();
-    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    let depth = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let depth = stack.len();
+        stack.push(name);
+        depth
+    });
     SpanTimer {
-        armed: Some((Instant::now(), hist)),
+        armed: Some((Instant::now(), hist, depth)),
     }
 }
 
 impl Drop for SpanTimer {
     fn drop(&mut self) {
-        if let Some((start, hist)) = self.armed.take() {
+        if let Some((start, hist, depth)) = self.armed.take() {
             hist.record(start.elapsed().as_nanos() as u64);
-            SPAN_STACK.with(|s| {
-                s.borrow_mut().pop();
-            });
+            // Truncate to the depth this span pushed at, not pop: if an
+            // inner span leaked (caught panic discarded its timer without
+            // running drop) the stale entries above us go too, and if
+            // drops run out of LIFO order we never pop an outer entry.
+            truncate_span_stack(depth);
         }
     }
 }
@@ -107,6 +134,44 @@ mod tests {
         std::thread::spawn(|| assert_eq!(current_span_path(), ""))
             .join()
             .unwrap();
+    }
+
+    #[test]
+    fn out_of_order_drops_cannot_corrupt_the_stack() {
+        // Caught panics can reorder destruction (a payload carrying a
+        // timer drops after the catch). Dropping the OUTER span first
+        // must clear its whole scope, and the late inner drop must not
+        // pop anything beneath it.
+        let outer = span("ooo_outer");
+        let inner = span("ooo_inner");
+        assert_eq!(current_span_path(), "ooo_outer/ooo_inner");
+        drop(outer);
+        assert_eq!(
+            current_span_path(),
+            "",
+            "closing the outer scope closes everything nested in it"
+        );
+        let bystander = span("ooo_bystander");
+        drop(inner); // recorded at depth 1: must not touch the bystander
+        assert_eq!(current_span_path(), "ooo_bystander");
+        drop(bystander);
+        assert_eq!(span_depth(), 0);
+    }
+
+    #[test]
+    fn leaked_span_is_cleaned_by_depth_truncation() {
+        // A leaked timer (e.g. mem::forget inside a pooled job that then
+        // panics) leaves entries with no drop to remove them; the
+        // executor restores the stack via truncate_span_stack.
+        let depth_before = span_depth();
+        let leaked = span("leaked_span_test");
+        std::mem::forget(leaked);
+        assert_eq!(current_span_path(), "leaked_span_test");
+        truncate_span_stack(depth_before);
+        assert_eq!(current_span_path(), "", "stack restored after leak");
+        // Truncating deeper than the stack is a no-op, not a panic.
+        truncate_span_stack(100);
+        assert_eq!(span_depth(), 0);
     }
 
     #[test]
