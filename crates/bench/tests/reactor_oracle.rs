@@ -12,6 +12,7 @@
 
 use gp_rewrite::{BinOp, Expr, Type, UnOp};
 use gp_service::lint::LintRequest;
+use gp_service::optimize::{CostSpec, OptimizeRequest};
 use gp_service::prove::ProveRequest;
 use gp_service::simplify::{EnvSpec, SimplifyRequest};
 use gp_service::wire::encode_frame;
@@ -40,10 +41,24 @@ fn arb_expr(rng: &mut StdRng, depth: usize) -> Expr {
 }
 
 fn arb_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0u32..5) {
+    match rng.gen_range(0u32..6) {
         0..=2 => Request::Simplify(SimplifyRequest {
             expr: arb_expr(rng, 3),
             env: EnvSpec::Standard,
+        }),
+        5 => Request::Optimize(OptimizeRequest {
+            expr: arb_expr(rng, 3),
+            env: EnvSpec::Standard,
+            cost: if rng.gen_bool(0.5) {
+                CostSpec::Annotation
+            } else {
+                CostSpec::Measured
+            },
+            // Tight budgets keep saturation of random terms bounded; the
+            // oracle property only needs byte-equal answers, not optimal
+            // ones.
+            max_nodes: Some(512),
+            max_iters: Some(4),
         }),
         3 => Request::Lint(LintRequest {
             name: format!("p{}", rng.gen_range(0u32..3)),

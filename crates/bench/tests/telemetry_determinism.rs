@@ -11,15 +11,24 @@
 //!
 //! This is an integration-test file on purpose: it gets its own process,
 //! so the only writers to the `distsim.*` and `rewrite.*` prefixes are the
-//! two properties below, and they each stay inside their own prefix.
+//! properties below. The two `rewrite.*` writers (directed stream and
+//! e-graph stream) serialize their delta windows through [`REWRITE_LOCK`]:
+//! e-graph runs fire the shared `rewrite.rule.*` / `rewrite.intern.*`
+//! counters too, so overlapping windows would see each other's counts.
 
 use gp_distsim::algorithms::echo_nodes;
 use gp_distsim::engine::AsyncRunner;
 use gp_distsim::topology::Topology;
-use gp_rewrite::{BinOp, Expr, Simplifier, Type, UnOp};
+use gp_rewrite::egraph::{AstSizeCost, EGraphConfig};
+use gp_rewrite::{BinOp, ConceptEnv, Expr, Simplifier, Type, UnOp};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// Exclusive window over every `rewrite.*`-writing workload in this
+/// process (proptest properties run on parallel test threads).
+static REWRITE_LOCK: Mutex<()> = Mutex::new(());
 
 /// One seeded faulty-simulator run; returns the `distsim.*` counter delta
 /// it left in the global registry.
@@ -44,6 +53,7 @@ fn rewrite_fire_delta(seed: u64) -> (gp_telemetry::Snapshot, usize, usize) {
     // fires only on the first call), and this delta is about the simplify
     // stream, not simplifier construction.
     let s = Simplifier::standard();
+    let _window = REWRITE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let before = gp_telemetry::snapshot();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stats_total = 0;
@@ -58,6 +68,41 @@ fn rewrite_fire_delta(seed: u64) -> (gp_telemetry::Snapshot, usize, usize) {
         gp_telemetry::snapshot().delta(&before).filter("rewrite."),
         stats_total,
         memo_total,
+    )
+}
+
+/// Superoptimize a seeded stream of random integer expressions under a
+/// tight budget; returns the `rewrite.egraph.*` counter delta plus the
+/// per-run stats totals the counters must mirror.
+fn egraph_counter_delta(seed: u64) -> (gp_telemetry::Snapshot, (usize, usize, usize, usize)) {
+    let s = Simplifier::superopt(ConceptEnv::standard());
+    let cfg = EGraphConfig {
+        max_nodes: 400,
+        max_classes: 400,
+        max_iters: 5,
+    };
+    let _window = REWRITE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let before = gp_telemetry::snapshot();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut classes, mut nodes, mut unions, mut iters) = (0, 0, 0, 0);
+    for _ in 0..6 {
+        let e = random_int_expr(&mut rng, 3);
+        let (_, stats) = s.session().optimize(&e, &cfg, &AstSizeCost);
+        assert!(
+            stats.nodes >= stats.classes,
+            "every class explains at least one node: {stats:?}"
+        );
+        assert!(stats.cost_after <= stats.cost_before);
+        classes += stats.classes;
+        nodes += stats.nodes;
+        unions += stats.unions;
+        iters += stats.iters;
+    }
+    (
+        gp_telemetry::snapshot()
+            .delta(&before)
+            .filter("rewrite.egraph."),
+        (classes, nodes, unions, iters),
     )
 }
 
@@ -129,5 +174,24 @@ proptest! {
         prop_assert_eq!(memo1, memo2);
         // Interning happened (misses count every distinct term created).
         prop_assert!(first.counter("rewrite.intern.misses") > 0);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_egraph_counter_delta(seed in 0u64..10_000) {
+        let (first, totals1) = egraph_counter_delta(seed);
+        let (second, totals2) = egraph_counter_delta(seed);
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(totals1, totals2);
+        let (classes, nodes, unions, iters) = totals1;
+        // The registry mirrors the engine's own statistics exactly —
+        // counters accumulate each run's final figures.
+        prop_assert_eq!(first.counter("rewrite.egraph.classes") as usize, classes);
+        prop_assert_eq!(first.counter("rewrite.egraph.nodes") as usize, nodes);
+        prop_assert_eq!(first.counter("rewrite.egraph.unions") as usize, unions);
+        prop_assert_eq!(first.counter("rewrite.egraph.iters") as usize, iters);
+        // Structural sanity on the delta itself: a class can only exist
+        // by explaining a node, and every run iterates at least once.
+        prop_assert!(nodes >= classes);
+        prop_assert!(iters >= 6);
     }
 }

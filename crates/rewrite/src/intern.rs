@@ -141,6 +141,13 @@ impl TermId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuild an id from a dense index. Crate-internal: only the e-graph
+    /// sweeps the store by index; callers must stay below
+    /// [`TermStore::len`] of the store the index came from.
+    pub(crate) fn from_index(i: usize) -> TermId {
+        TermId(u32::try_from(i).expect("term index exceeds u32"))
+    }
 }
 
 /// An interned term: the same shape as [`Expr`], children by id.

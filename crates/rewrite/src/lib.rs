@@ -24,13 +24,21 @@
 //! * [`simplify`] — the rewrite engine: indexed rule dispatch plus a
 //!   normal-form memo over the interner (and the original clone-per-pass
 //!   engine as a measured baseline), with application statistics.
+//! * [`egraph`] — the opt-in equality-saturation mode: e-classes and
+//!   congruence closure layered over the interner, bounded saturation of
+//!   the same concept-gated rules, and cost-based extraction (the
+//!   concept superoptimizer).
 
+pub mod egraph;
 pub mod env;
 pub mod expr;
 pub mod intern;
 pub mod rules;
 pub mod simplify;
 
+pub use egraph::{
+    AstSizeCost, ComplexityCost, CostModel, EGraph, EGraphConfig, MeasuredCost, OptimizeStats,
+};
 pub use env::ConceptEnv;
 pub use expr::{BinOp, Expr, Type, UnOp, Value};
 pub use intern::{TermId, TermStore};

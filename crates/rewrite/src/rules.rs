@@ -795,6 +795,117 @@ impl RewriteRule for LidiaInverse {
     }
 }
 
+/// Commutativity as a pure equality: `x op y → y op x` when `(x, op)`
+/// models Commutative.
+///
+/// This is an **exploration** rule for the e-graph: as a directed
+/// reduction it never terminates (the two orientations rewrite into each
+/// other forever), so it is *not* in [`standard_rules`]. Under equality
+/// saturation it merely merges the two orientations into one e-class,
+/// which is exactly what lets cost-based extraction consider both.
+pub struct Commute;
+
+impl RewriteRule for Commute {
+    fn name(&self) -> &'static str {
+        "commute"
+    }
+    fn requirements(&self) -> &'static str {
+        "(x, op) models Commutative"
+    }
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
+        let Expr::Binary(op, l, r) = e else {
+            return None;
+        };
+        if l == r || !env.models(e.ty(), *op, AlgConcept::Commutative) {
+            return None;
+        }
+        Some(Expr::Binary(*op, r.clone(), l.clone()))
+    }
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        IndexHints::Keys(
+            env.declared_models()
+                .filter(|&(ty, op, _)| env.models(ty, op, AlgConcept::Commutative))
+                .map(|(ty, op, _)| (ty, Head::Bin(op)))
+                .collect(),
+        )
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let &Term::Binary(op, l, r) = st.term(id) else {
+            return None;
+        };
+        if l == r || !env.models(st.ty(id), op, AlgConcept::Commutative) {
+            return None;
+        }
+        Some(st.binary(op, r, l))
+    }
+}
+
+/// Associativity as a pure equality: `(a op b) op c → a op (b op c)` when
+/// `(x, op)` models Semigroup.
+///
+/// Like [`Commute`], an **exploration** rule for the e-graph only: the
+/// general re-association (unlike [`AssocFold`]'s constant-gathering
+/// special case) does not reduce anything by itself, but it exposes
+/// cancellation the directed engine cannot see — `(x + y) + (-y)`
+/// re-associates to `x + (y + (-y))`, where the Group inverse rule fires.
+pub struct Associate;
+
+impl RewriteRule for Associate {
+    fn name(&self) -> &'static str {
+        "associate"
+    }
+    fn requirements(&self) -> &'static str {
+        "(x, op) models Semigroup"
+    }
+    fn try_apply(&self, e: &Expr, env: &ConceptEnv) -> Option<Expr> {
+        let Expr::Binary(op, l, r) = e else {
+            return None;
+        };
+        let Expr::Binary(op2, a, b) = &**l else {
+            return None;
+        };
+        if op2 != op || !env.models(e.ty(), *op, AlgConcept::Semigroup) {
+            return None;
+        }
+        Some(Expr::Binary(
+            *op,
+            a.clone(),
+            Box::new(Expr::Binary(*op, b.clone(), r.clone())),
+        ))
+    }
+    fn index_hints(&self, env: &ConceptEnv) -> IndexHints {
+        IndexHints::Keys(
+            env.declared_models()
+                .filter(|&(ty, op, _)| env.models(ty, op, AlgConcept::Semigroup))
+                .map(|(ty, op, _)| (ty, Head::Bin(op)))
+                .collect(),
+        )
+    }
+    fn try_apply_interned(
+        &self,
+        st: &mut TermStore,
+        id: TermId,
+        env: &ConceptEnv,
+    ) -> Option<TermId> {
+        let &Term::Binary(op, l, r) = st.term(id) else {
+            return None;
+        };
+        let &Term::Binary(op2, a, b) = st.term(l) else {
+            return None;
+        };
+        if op2 != op || !env.models(st.ty(id), op, AlgConcept::Semigroup) {
+            return None;
+        }
+        let right = st.binary(op, b, r);
+        Some(st.binary(op, a, right))
+    }
+}
+
 /// The default concept-based rule set.
 pub fn standard_rules() -> Vec<Box<dyn RewriteRule + Send + Sync>> {
     vec![
@@ -809,6 +920,14 @@ pub fn standard_rules() -> Vec<Box<dyn RewriteRule + Send + Sync>> {
         Box::new(AssocFold),
         Box::new(NotNot),
     ]
+}
+
+/// The exploration rules the equality-saturation engine adds on top of
+/// [`standard_rules`]: non-reducing equalities (commutativity,
+/// associativity) that a directed engine cannot run without looping, but
+/// that merely merge e-classes under saturation.
+pub fn exploration_rules() -> Vec<Box<dyn RewriteRule + Send + Sync>> {
+    vec![Box::new(Commute), Box::new(Associate)]
 }
 
 #[cfg(test)]

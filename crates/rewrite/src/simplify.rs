@@ -88,7 +88,7 @@ impl SimplifyStats {
 /// ordered) rule indices that can possibly fire there. Built from each
 /// rule's [`IndexHints`] against the concept environment; rebuilt whenever
 /// the environment or rule set changes.
-struct RuleIndex {
+pub(crate) struct RuleIndex {
     buckets: Vec<Vec<u16>>,
 }
 
@@ -120,7 +120,7 @@ impl RuleIndex {
         RuleIndex { buckets }
     }
 
-    fn candidates(&self, store: &TermStore, id: TermId) -> &[u16] {
+    pub(crate) fn candidates(&self, store: &TermStore, id: TermId) -> &[u16] {
         let k = type_index(store.ty(id)) * Head::COUNT + store.head(id).index();
         &self.buckets[k]
     }
@@ -160,6 +160,17 @@ impl Simplifier {
         Self::from_parts(env, standard_rules())
     }
 
+    /// The superoptimizer rule set: standard reductions **plus** the
+    /// exploration equalities (commutativity, associativity) that only
+    /// the equality-saturation engine can run without looping. Use this
+    /// with [`Session::optimize`]; the directed [`Simplifier::simplify`]
+    /// path would burn its application budget re-orienting terms.
+    pub fn superopt(env: ConceptEnv) -> Self {
+        let mut rules = standard_rules();
+        rules.extend(crate::rules::exploration_rules());
+        Self::from_parts(env, rules)
+    }
+
     /// An engine with no rules at all (baseline for benchmarks).
     pub fn empty(env: ConceptEnv) -> Self {
         Self::from_parts(env, Vec::new())
@@ -191,9 +202,20 @@ impl Simplifier {
         self.rules.iter().map(|r| r.name()).collect()
     }
 
-    fn index(&self) -> &RuleIndex {
+    pub(crate) fn index(&self) -> &RuleIndex {
         self.index
             .get_or_init(|| RuleIndex::build(&self.rules, &self.env))
+    }
+
+    /// The registered rules, in registration order (the e-graph engine
+    /// e-matches the same rule objects the directed engine dispatches).
+    pub(crate) fn rules_slice(&self) -> &[Box<dyn RewriteRule + Send + Sync>] {
+        &self.rules
+    }
+
+    /// Bump the global fire counter of rule `i` (registration index).
+    pub(crate) fn record_fire(&self, i: usize) {
+        self.rule_fires[i].incr();
     }
 
     /// Start a rewriting session: a hash-consing term store plus a
@@ -376,6 +398,34 @@ impl Session<'_> {
         let (out, mut stats) = self.simplify_id(root);
         stats.size_before = size_before;
         (self.store.extract(out), stats)
+    }
+
+    /// The opt-in equality-saturation mode: saturate an e-graph from `e`
+    /// under this session's rules/environment, then extract the cheapest
+    /// equivalent under `cost`. The directed [`Session::simplify`] stays
+    /// the fast path; reach for this when extraction needs to *explore*
+    /// (e.g. with [`crate::rules::exploration_rules`] registered, via
+    /// [`Simplifier::superopt`]).
+    pub fn optimize(
+        &mut self,
+        e: &Expr,
+        cfg: &crate::egraph::EGraphConfig,
+        cost: &dyn crate::egraph::CostModel,
+    ) -> (Expr, crate::egraph::OptimizeStats) {
+        let root = self.store.intern_expr(e);
+        let (out, stats) = self.optimize_id(root, cfg, cost);
+        (self.store.extract(out), stats)
+    }
+
+    /// [`Session::optimize`] for an already-interned term — the id-level
+    /// entry point, symmetric with [`Session::simplify_id`].
+    pub fn optimize_id(
+        &mut self,
+        root: TermId,
+        cfg: &crate::egraph::EGraphConfig,
+        cost: &dyn crate::egraph::CostModel,
+    ) -> (TermId, crate::egraph::OptimizeStats) {
+        crate::egraph::EGraph::new(self.simp, &mut self.store).optimize(root, cfg, cost)
     }
 
     /// Simplify an already-interned term; returns the normal-form id and

@@ -1,0 +1,161 @@
+//! Extraction-soundness properties for the e-graph: whatever equalities
+//! saturation discovers, the extracted term must still *mean* the same
+//! thing as the input.
+//!
+//! Two oracles, two rule sets:
+//!
+//! * **Directed oracle** (standard rules only): without the exploration
+//!   equalities, every union the e-graph performs is justified by a rule
+//!   the directed engine also runs, so the extracted term must simplify
+//!   to the directed engine's normal form.
+//! * **Numeric oracle** (superoptimizer rules): commutativity and
+//!   associativity have no directed counterpart, so the check is
+//!   semantic — evaluate input and output under random integer bindings
+//!   and require identical values. The integer fragment is exact
+//!   (wrapping arithmetic is truly associative/commutative), so equality
+//!   is `==`, with no float-NaN/-0.0 caveats to paper over.
+//!
+//! Both properties also pin the cost contract: `cost_after <=
+//! cost_before` always, and extraction never invents a term the input's
+//! class cannot explain.
+
+use gp_rewrite::egraph::{AstSizeCost, EGraphConfig, MeasuredCost};
+use gp_rewrite::expr::{BinOp, Type, UnOp, Value};
+use gp_rewrite::{ConceptEnv, Expr, Simplifier};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+fn gen_int_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..4) {
+            0 => Expr::int(rng.gen_range(-3..4)),
+            1 => Expr::int(0),
+            2 => Expr::var("a", Type::Int),
+            _ => Expr::var("b", Type::Int),
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => Expr::bin(
+            BinOp::Add,
+            gen_int_expr(rng, depth - 1),
+            gen_int_expr(rng, depth - 1),
+        ),
+        1 => Expr::bin(
+            BinOp::Sub,
+            gen_int_expr(rng, depth - 1),
+            gen_int_expr(rng, depth - 1),
+        ),
+        2 => Expr::bin(
+            BinOp::Mul,
+            gen_int_expr(rng, depth - 1),
+            gen_int_expr(rng, depth - 1),
+        ),
+        _ => Expr::un(UnOp::Neg, gen_int_expr(rng, depth - 1)),
+    }
+}
+
+/// A random integer expression over variables `a` and `b`, plus a set of
+/// random bindings to evaluate it under.
+struct IntExprWithBindings {
+    depth: usize,
+}
+
+impl Strategy for IntExprWithBindings {
+    type Value = (Expr, Vec<BTreeMap<String, Value>>);
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let e = gen_int_expr(rng, self.depth);
+        let bindings = (0..4)
+            .map(|_| {
+                let mut env = BTreeMap::new();
+                env.insert("a".to_string(), Value::Int(rng.gen_range(-50..50)));
+                env.insert("b".to_string(), Value::Int(rng.gen_range(-50..50)));
+                env
+            })
+            .collect();
+        (e, bindings)
+    }
+}
+
+/// Tight-but-sufficient budgets: small random terms saturate well inside
+/// these, and when they don't, soundness must hold anyway.
+fn cfg() -> EGraphConfig {
+    EGraphConfig {
+        max_nodes: 2_000,
+        max_classes: 2_000,
+        max_iters: 8,
+    }
+}
+
+proptest! {
+    /// Standard rules only: the e-graph discovers a subset of what the
+    /// directed engine computes, so re-simplifying the extracted term
+    /// must land on the directed normal form.
+    #[test]
+    fn standard_rule_extraction_agrees_with_the_directed_engine(
+        (e, _) in IntExprWithBindings { depth: 4 }
+    ) {
+        let s = Simplifier::standard();
+        let (directed_nf, _) = s.simplify(&e);
+        let (extracted, stats) = s.session().optimize(&e, &cfg(), &AstSizeCost);
+        prop_assert!(stats.cost_after <= stats.cost_before);
+        let (renf, _) = s.simplify(&extracted);
+        prop_assert_eq!(
+            renf,
+            directed_nf,
+            "extracted term drifted from the directed normal form on {}",
+            e
+        );
+    }
+
+    /// Superoptimizer rules (with commutativity/associativity): semantic
+    /// equality under random bindings. Int arithmetic wraps, so the
+    /// exploration equalities are *exact* — any value difference is an
+    /// unsound union or a broken extraction.
+    #[test]
+    fn superopt_extraction_preserves_value_under_random_bindings(
+        (e, bindings) in IntExprWithBindings { depth: 4 }
+    ) {
+        let s = Simplifier::superopt(ConceptEnv::standard());
+        let measured = MeasuredCost::from_counts(gp_taxonomy_free_counts());
+        let (extracted, stats) = s.session().optimize(&e, &cfg(), &measured);
+        prop_assert!(stats.cost_after <= stats.cost_before);
+        for env in &bindings {
+            let want = e.eval(env);
+            let got = extracted.eval(env);
+            prop_assert_eq!(
+                &got, &want,
+                "{} -> {} changed value under {:?}",
+                e, extracted, env
+            );
+        }
+    }
+
+    /// Determinism rides along: two saturations of the same input are
+    /// bit-equal in output and statistics (budgets make this meaningful
+    /// even on explosive terms).
+    #[test]
+    fn superopt_extraction_is_deterministic((e, _) in IntExprWithBindings { depth: 4 }) {
+        let s = Simplifier::superopt(ConceptEnv::standard());
+        let (out1, stats1) = s.session().optimize(&e, &cfg(), &AstSizeCost);
+        let (out2, stats2) = s.session().optimize(&e, &cfg(), &AstSizeCost);
+        prop_assert_eq!(out1, out2);
+        prop_assert_eq!(stats1, stats2);
+    }
+}
+
+/// A stand-in for `gp_taxonomy::measured_op_counts()` — the rewrite
+/// crate cannot depend on the taxonomy (the dependency points the other
+/// way), so this test weights the integer fragment directly: multiplies
+/// are worth more than adds, negation is free-ish. Any positive weights
+/// exercise the same extraction code paths.
+fn gp_taxonomy_free_counts() -> Vec<(&'static str, u64)> {
+    vec![
+        ("int.mul", 4),
+        ("int.add", 1),
+        ("int.sub", 1),
+        ("int.neg", 1),
+    ]
+}

@@ -8,8 +8,17 @@
 //! |------------|---------------|--------------------------------------------|
 //! | `lint`     | `gp-checker`  | does this program misuse library semantics? |
 //! | `simplify` | `gp-rewrite`  | what does this expression reduce to here?   |
+//! | `optimize` | `gp-rewrite`  | what is the *cheapest* equivalent form?     |
 //! | `prove`    | `gp-proofs`   | do the theory's proofs hold on this model?  |
 //! | `select`   | `gp-taxonomy` | which algorithm fits this deployment?       |
+//!
+//! `simplify` runs the directed engine — one pass to a normal form, the
+//! fast path. `optimize` escalates to the equality-saturation e-graph
+//! ([`optimize`], backed by `gp_rewrite::egraph`): bounded saturation
+//! under the same concept-gated rules plus exploration equalities, then
+//! cost-based extraction against the taxonomy's per-operator cost
+//! annotations. The server never escalates on its own; the client asks
+//! for the superoptimizer by kind.
 //!
 //! The wire is length-prefixed JSON frames over TCP ([`wire`]); the same
 //! serving core answers in-process through [`Service::call`]. Three
@@ -60,6 +69,7 @@ pub mod cache;
 pub mod control;
 pub mod introspect;
 pub mod lint;
+pub mod optimize;
 pub mod prove;
 pub mod queue;
 pub mod reactor;
@@ -73,6 +83,7 @@ pub mod wire;
 pub use cache::{CacheStats, ResponseCache};
 pub use control::{ControlConfig, ControlPlane, NodeStatus};
 pub use introspect::{stats_payload, StatsRequest, TraceQuery};
+pub use optimize::{CostSpec, OptimizeRequest};
 pub use reactor::{Reactor, ReactorConfig, ReactorHandle, SubmitRequest};
 pub use request::{
     decode_request, decode_request_traced, decode_response, encode_request, encode_request_traced,

@@ -13,7 +13,7 @@
 //! re-canonicalizes on entry, so `canonical()` is a stable cache key for
 //! semantically equal requests however the client ordered its fields.
 
-use crate::{introspect, lint, prove, select, simplify};
+use crate::{introspect, lint, optimize, prove, select, simplify};
 use gp_core::json::Json;
 
 /// One query against the library stack.
@@ -21,8 +21,12 @@ use gp_core::json::Json;
 pub enum Request {
     /// Lint a program (`gp-checker`).
     Lint(lint::LintRequest),
-    /// Simplify an expression under a concept environment (`gp-rewrite`).
+    /// Simplify an expression under a concept environment (`gp-rewrite`,
+    /// directed engine — the fast path).
     Simplify(simplify::SimplifyRequest),
+    /// Superoptimize an expression by equality saturation and cost-based
+    /// extraction (`gp-rewrite` e-graph mode).
+    Optimize(optimize::OptimizeRequest),
     /// Check an instantiated theory (`gp-proofs`).
     Prove(prove::ProveRequest),
     /// Select a distributed algorithm (`gp-taxonomy`).
@@ -60,6 +64,7 @@ impl Request {
         match self {
             Request::Lint(_) => "lint",
             Request::Simplify(_) => "simplify",
+            Request::Optimize(_) => "optimize",
             Request::Prove(_) => "prove",
             Request::Select(_) => "select",
             Request::Stats(_) => "stats",
@@ -72,6 +77,7 @@ impl Request {
         match self {
             Request::Lint(r) => r.to_json(),
             Request::Simplify(r) => r.to_json(),
+            Request::Optimize(r) => r.to_json(),
             Request::Prove(r) => r.to_json(),
             Request::Select(r) => r.to_json(),
             Request::Stats(r) => r.to_json(),
@@ -84,6 +90,7 @@ impl Request {
         Ok(match kind {
             "lint" => Request::Lint(lint::LintRequest::from_json(req)?),
             "simplify" => Request::Simplify(simplify::SimplifyRequest::from_json(req)?),
+            "optimize" => Request::Optimize(optimize::OptimizeRequest::from_json(req)?),
             "prove" => Request::Prove(prove::ProveRequest::from_json(req)?),
             "select" => Request::Select(select::SelectRequest::from_json(req)?),
             "stats" => Request::Stats(introspect::StatsRequest::from_json(req)?),
@@ -105,6 +112,7 @@ impl Request {
         match self {
             Request::Lint(r) => lint::handle(r),
             Request::Simplify(r) => simplify::handle(r),
+            Request::Optimize(r) => optimize::handle(r),
             Request::Prove(r) => prove::handle(r),
             Request::Select(r) => select::handle(r),
             Request::Stats(r) => Ok(Json::Raw(introspect::stats_payload(&r.prefix))),
@@ -233,6 +241,13 @@ mod tests {
             Request::Simplify(simplify::SimplifyRequest {
                 expr: Expr::bin(BinOp::Add, Expr::var("x", Type::Int), Expr::int(0)),
                 env: EnvSpec::Standard,
+            }),
+            Request::Optimize(optimize::OptimizeRequest {
+                expr: Expr::bin(BinOp::Add, Expr::var("x", Type::Int), Expr::int(0)),
+                env: EnvSpec::Standard,
+                cost: optimize::CostSpec::Annotation,
+                max_nodes: Some(4096),
+                max_iters: Some(8),
             }),
             Request::Prove(prove::ProveRequest {
                 theory: "monoid".into(),

@@ -161,6 +161,7 @@ fn span_name(kind: &str) -> &'static str {
     match kind {
         "lint" => "service.lint",
         "simplify" => "service.simplify",
+        "optimize" => "service.optimize",
         "prove" => "service.prove",
         _ => "service.select",
     }
@@ -171,6 +172,7 @@ fn engine_span_name(kind: &str) -> &'static str {
     match kind {
         "lint" => "engine.lint",
         "simplify" => "engine.simplify",
+        "optimize" => "engine.optimize",
         "prove" => "engine.prove",
         _ => "engine.select",
     }
@@ -185,6 +187,7 @@ fn kind_code(kind: &str) -> u64 {
         "select" => 4,
         "stats" => 5,
         "trace" => 6,
+        "optimize" => 7,
         _ => 0,
     }
 }

@@ -157,6 +157,10 @@ impl RouterInner {
     fn routing_key(request: &Request) -> u64 {
         match request {
             Request::Simplify(r) => r.env.fingerprint(),
+            // Optimize deliberately hash-routes on its canonical form
+            // (not the env fingerprint): e-graph runs don't micro-batch,
+            // so spreading them across shards beats cache-partition
+            // affinity with simplify traffic.
             other => fnv1a(&other.canonical()),
         }
     }

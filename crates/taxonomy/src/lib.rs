@@ -20,11 +20,17 @@
 //!   all seven dimensions with message/time/**local-computation**
 //!   complexities, and the selection queries that "pick the correct
 //!   algorithm".
+//! * [`costs`] — the taxonomy's complexity attributes at expression-
+//!   operator granularity: asymptotic annotations plus E9-style measured
+//!   operation counts, feeding the rewrite engine's cost-based
+//!   extraction (the `optimize` service kind).
 
+pub mod costs;
 pub mod dimensions;
 pub mod records;
 pub mod taxonomy;
 
+pub use costs::{measured_op_counts, op_cost_catalog, OpCostAnnotation};
 pub use dimensions::{Fault, Problem, ProcessMgmt, Sharing, Strategy, Timing, Topology};
 pub use records::{catalog, select_best, DistAlgorithm, Requirement};
 pub use taxonomy::{graph_taxonomy, sequence_taxonomy, Taxonomy};
