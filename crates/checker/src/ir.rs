@@ -165,23 +165,70 @@ pub enum Stmt {
         /// Else-arm.
         else_branch: Vec<Stmt>,
     },
+    /// `name(args)` — call a user-defined function ([`FunctionDef`]).
+    ///
+    /// Containers are passed **by reference** (the callee's structural
+    /// mutations — erase, sort, push_back — escape to the caller);
+    /// iterators are passed **by value** (the callee advances its own
+    /// copy, but erasing *through* the copy kills the caller's position
+    /// too, exactly like C++ iterators).
+    Invoke {
+        /// Callee name.
+        function: String,
+        /// Argument names (containers or iterators in the caller's scope).
+        args: Vec<String>,
+    },
 }
 
-/// A checkable program: a named statement list.
+/// A user-defined function: `fn name(params) { body }`.
+///
+/// Parameters are untyped names; each call site binds them to containers
+/// or iterators from the caller's scope, and the interprocedural analysis
+/// ([`crate::interp`]) summarizes the body once per abstract calling
+/// context (parameter kinds + aliasing), not once per call site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionDef {
+    /// Function name (the `invoke` target).
+    pub name: String,
+    /// Parameter names, bound per call site.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A checkable program: a named statement list (the implicit `main`) plus
+/// any function definitions. Flat programs — every program the seed
+/// checker accepted — are simply programs with no functions.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Program {
     /// Program name (corpus id / diagnostics context).
     pub name: String,
-    /// Top-level statements.
+    /// Top-level statements (the implicit `main`).
     pub stmts: Vec<Stmt>,
+    /// Function definitions, invocable from `main` and from each other.
+    pub functions: Vec<FunctionDef>,
 }
 
 impl Program {
-    /// Create a program.
+    /// Create a flat program (no functions).
     pub fn new(name: impl Into<String>, stmts: Vec<Stmt>) -> Self {
         Program {
             name: name.into(),
             stmts,
+            functions: Vec::new(),
+        }
+    }
+
+    /// Create a program with function definitions.
+    pub fn with_functions(
+        name: impl Into<String>,
+        stmts: Vec<Stmt>,
+        functions: Vec<FunctionDef>,
+    ) -> Self {
+        Program {
+            name: name.into(),
+            stmts,
+            functions,
         }
     }
 }
@@ -305,6 +352,23 @@ pub mod build {
         Stmt::If {
             then_branch,
             else_branch,
+        }
+    }
+
+    /// `f(a, b);`
+    pub fn invoke(function: &str, args: &[&str]) -> Stmt {
+        Stmt::Invoke {
+            function: function.into(),
+            args: args.iter().map(|a| (*a).to_string()).collect(),
+        }
+    }
+
+    /// `fn name(params) { body }`
+    pub fn func(name: &str, params: &[&str], body: Vec<Stmt>) -> FunctionDef {
+        FunctionDef {
+            name: name.into(),
+            params: params.iter().map(|p| (*p).to_string()).collect(),
+            body,
         }
     }
 }

@@ -30,12 +30,31 @@
 //! interpreter and algorithm entry/exit handlers), [`corpus`] (the bug
 //! corpus, including Fig. 4), [`multipass`] (semantic-archetype checking).
 
+//!
+//! The analysis is **interprocedural**: programs may define `fn
+//! name(params) { ... }` and call them with `invoke name(args)`
+//! (containers by reference, iterators by value). [`callgraph`]
+//! discovers every `(function, calling context)` instance and condenses
+//! them into SCCs; [`interp`] computes a [`summary::Summary`] per
+//! instance bottom-up — SCCs at equal condensation height in parallel —
+//! and the [`summary::SummaryCache`] keyed by *transitive content hash*
+//! makes re-analysis after an edit touch only the edited function and
+//! its transitive callers, across service requests.
+
 pub mod analyze;
+pub mod callgraph;
 pub mod corpus;
+pub mod interp;
 pub mod ir;
 pub mod multipass;
 pub mod parse;
 pub mod state;
+pub mod summary;
+pub mod sym;
 
-pub use analyze::{analyze, Diagnostic, DiagnosticCode, Severity};
-pub use ir::{AlgorithmName, Cond, ContainerKind, PosExpr, Program, Stmt};
+pub use analyze::{analyze, diag_counter, Diagnostic, DiagnosticCode, Severity};
+pub use interp::{
+    analyze_program, analyze_program_cached, analyze_program_with_cache, CheckConfig, CheckError,
+};
+pub use ir::{AlgorithmName, Cond, ContainerKind, FunctionDef, PosExpr, Program, Stmt};
+pub use summary::{global_cache, SummaryCache};

@@ -25,8 +25,14 @@
 //! `call (sort|find|lower_bound|binary_search|unique|max_element)
 //! CONTAINER [-> IT]`, `while IT != end {`, `while ? {`, `if {`,
 //! `} else {`, `}`. `#` starts a comment.
+//!
+//! Interprocedural programs add two forms: `fn NAME(P1, P2) {` opens a
+//! function definition (top level only — `fn` cannot nest inside blocks
+//! or other functions), and `invoke NAME(A1, A2)` calls one. A flat
+//! program — no `fn`/`invoke` lines — parses to exactly the same
+//! [`Program`] the seed parser produced, as the implicit `main`.
 
-use crate::ir::{AlgorithmName, Cond, ContainerKind, PosExpr, Program, Stmt};
+use crate::ir::{AlgorithmName, Cond, ContainerKind, FunctionDef, PosExpr, Program, Stmt};
 use std::fmt;
 
 /// A parse failure with its 1-based line number.
@@ -65,12 +71,50 @@ enum Frame {
         then_branch: Vec<Stmt>,
         else_branch: Vec<Stmt>,
     },
+    Fn {
+        name: String,
+        params: Vec<String>,
+        body: Vec<Stmt>,
+    },
+}
+
+/// Split `name(a, b)` into the name and comma-separated argument names.
+/// `rest` is the already-whitespace-joined text after the keyword.
+fn parse_name_args(line: usize, rest: &str) -> Result<(String, Vec<String>), ParseError> {
+    let open = match rest.find('(') {
+        Some(i) => i,
+        None => return err(line, format!("expected `name(args)`, got `{rest}`")),
+    };
+    if !rest.ends_with(')') {
+        return err(line, format!("expected closing `)` in `{rest}`"));
+    }
+    let name = rest[..open].trim();
+    if name.is_empty() || name.contains(|c: char| c.is_whitespace()) {
+        return err(line, format!("bad function name in `{rest}`"));
+    }
+    let inner = &rest[open + 1..rest.len() - 1];
+    let mut args = Vec::new();
+    for piece in inner.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            if inner.trim().is_empty() && args.is_empty() {
+                break; // `name()` — zero args
+            }
+            return err(line, format!("empty argument name in `{rest}`"));
+        }
+        if piece.contains(|c: char| c.is_whitespace()) {
+            return err(line, format!("bad argument `{piece}` in `{rest}`"));
+        }
+        args.push(piece.to_string());
+    }
+    Ok((name.to_string(), args))
 }
 
 /// Parse a program from source text.
 pub fn parse(name: &str, src: &str) -> Result<Program, ParseError> {
     let mut stack: Vec<Frame> = Vec::new();
     let mut top: Vec<Stmt> = Vec::new();
+    let mut functions: Vec<FunctionDef> = Vec::new();
 
     fn current<'a>(stack: &'a mut [Frame], top: &'a mut Vec<Stmt>) -> &'a mut Vec<Stmt> {
         match stack.last_mut() {
@@ -78,6 +122,7 @@ pub fn parse(name: &str, src: &str) -> Result<Program, ParseError> {
             Some(Frame::While { body, .. }) => body,
             Some(Frame::IfThen { then_branch }) => then_branch,
             Some(Frame::IfElse { else_branch, .. }) => else_branch,
+            Some(Frame::Fn { body, .. }) => body,
         }
     }
 
@@ -165,6 +210,35 @@ pub fn parse(name: &str, src: &str) -> Result<Program, ParseError> {
                     capture,
                 });
             }
+            ["fn", ..] if toks.last() == Some(&"{") => {
+                if !stack.is_empty() {
+                    return err(lineno, "`fn` definitions must be at the top level");
+                }
+                let rest = toks[1..toks.len() - 1].join(" ");
+                let (fname, params) = parse_name_args(lineno, &rest)?;
+                if functions.iter().any(|f: &FunctionDef| f.name == fname) {
+                    return err(lineno, format!("duplicate function `{fname}`"));
+                }
+                let mut seen = params.clone();
+                seen.sort();
+                seen.dedup();
+                if seen.len() != params.len() {
+                    return err(lineno, format!("duplicate parameter name in `fn {fname}`"));
+                }
+                stack.push(Frame::Fn {
+                    name: fname,
+                    params,
+                    body: Vec::new(),
+                });
+            }
+            ["invoke", ..] => {
+                let rest = toks[1..].join(" ");
+                let (fname, args) = parse_name_args(lineno, &rest)?;
+                current(&mut stack, &mut top).push(Stmt::Invoke {
+                    function: fname,
+                    args,
+                });
+            }
             ["while", it, "!=", "end", "{"] => stack.push(Frame::While {
                 cond: Cond::IterNotEnd {
                     iter: it.to_string(),
@@ -199,6 +273,18 @@ pub fn parse(name: &str, src: &str) -> Result<Program, ParseError> {
                         then_branch,
                         else_branch,
                     },
+                    Some(Frame::Fn {
+                        name: fname,
+                        params,
+                        body,
+                    }) => {
+                        functions.push(FunctionDef {
+                            name: fname,
+                            params,
+                            body,
+                        });
+                        continue;
+                    }
                     None => return err(lineno, "unmatched `}`"),
                 };
                 current(&mut stack, &mut top).push(stmt);
@@ -209,7 +295,7 @@ pub fn parse(name: &str, src: &str) -> Result<Program, ParseError> {
     if !stack.is_empty() {
         return err(src.lines().count(), "unclosed block at end of input");
     }
-    Ok(Program::new(name, top))
+    Ok(Program::with_functions(name, top, functions))
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use crate::ir::ContainerKind;
 use std::collections::BTreeMap;
 
 /// Is the iterator usable at all?
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Validity {
     /// Definitely valid.
     Valid,
@@ -32,7 +32,7 @@ impl Validity {
 }
 
 /// Does the iterator sit at the past-the-end position?
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AtEnd {
     /// Definitely dereferenceable (not at end).
     No,
@@ -54,7 +54,7 @@ impl AtEnd {
 }
 
 /// The sortedness property installed/consumed by the algorithm handlers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Sortedness {
     /// Known sorted (post-`sort`).
     Sorted,

@@ -1,0 +1,798 @@
+//! Function summaries: the abstract effect of a function on its
+//! container/iterator arguments, plus the diagnostics its body produces.
+//!
+//! A summary is computed once per `(function, calling context)` instance
+//! and reused at every call site — including across service requests,
+//! through the [`SummaryCache`] keyed by *transitive content hash*: the
+//! FNV-1a hash of the function's own body and context combined with the
+//! keys of everything it (transitively) calls. Editing one function
+//! changes the keys of exactly that function and its transitive callers;
+//! every other summary is a cache hit. Keys deliberately do **not**
+//! include function *names* (see DESIGN.md): renaming a function, or
+//! re-submitting the same body under another program, still hits.
+
+use crate::analyze::{DiagnosticCode, Severity, MSG_PAST_END, MSG_SINGULAR, MSG_SORTED_LINEAR};
+use crate::ir::{AlgorithmName, Cond, ContainerKind, FunctionDef, PosExpr, Stmt};
+use crate::state::{AtEnd, Sortedness, Validity};
+use crate::sym::{Lat3, Sym};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// What a callee parameter is bound to, as far as the summary needs to
+/// know: a container of a known kind, or an iterator (by value) that may
+/// point into one of the *other* parameters.
+///
+/// This is everything that is resolvable **syntactically** — kinds are
+/// fixed at declaration and iterators never change target container
+/// across a call (containers pass by reference, iterators by value) — so
+/// contexts can be discovered by a cheap pre-pass without running the
+/// analysis, which is what makes the SCC-parallel bottom-up phase
+/// possible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParamBinding {
+    /// A container argument of this kind.
+    Container {
+        /// Invalidation-semantics kind of the bound container.
+        kind: ContainerKind,
+    },
+    /// An iterator argument; `into` is the index of the container
+    /// parameter it points into, or `None` when it points into a
+    /// container the callee cannot name (externals are immutable from
+    /// below, so non-aliasing is sound).
+    Iter {
+        /// Container-parameter index the iterator aims at, if passed.
+        into: Option<u8>,
+    },
+}
+
+/// A calling context: one [`ParamBinding`] per parameter.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct CallCtx(pub Vec<ParamBinding>);
+
+impl CallCtx {
+    /// FNV-1a fingerprint, mixed into summary keys.
+    pub fn hash64(&self) -> u64 {
+        let mut h = Fnv::new();
+        for b in &self.0 {
+            match b {
+                ParamBinding::Container { kind } => {
+                    h.write_u8(1);
+                    h.write_u8(*kind as u8);
+                }
+                ParamBinding::Iter { into } => {
+                    h.write_u8(2);
+                    match into {
+                        Some(j) => {
+                            h.write_u8(1);
+                            h.write_u8(*j);
+                        }
+                        None => h.write_u8(0),
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// One recorded analysis event inside a function body.
+///
+/// Concrete findings become [`Event::Diag`] immediately; checks that
+/// land on symbolic (caller-dependent) values are deferred as
+/// [`Event::IterCheck`]/[`Event::SortCheck`] and resolved per call site.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A ready diagnostic.
+    Diag {
+        /// Severity at the point the finding fired.
+        severity: Severity,
+        /// Category.
+        code: DiagnosticCode,
+        /// Body-relative subject (emission prefixes the function path).
+        subject: String,
+        /// Ready message text.
+        message: String,
+    },
+    /// A deferred iterator-use check (`deref`/`advance`/`erase`).
+    IterCheck {
+        /// True for dereference-style uses.
+        deref: bool,
+        /// Body-relative iterator path.
+        subject: String,
+        /// Symbolic validity at the use.
+        validity: Sym<Validity>,
+        /// Symbolic end-position knowledge at the use.
+        at_end: Sym<AtEnd>,
+    },
+    /// A deferred algorithm sortedness entry-check.
+    SortCheck {
+        /// The algorithm whose entry handler fired.
+        alg: AlgorithmName,
+        /// Ready subject (`alg(container)`, path-prefixed on compose).
+        subject: String,
+        /// Symbolic sortedness of the sequence at the call.
+        sorted: Sym<Sortedness>,
+    },
+}
+
+/// Summary effect on one container parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ContainerEffect {
+    /// Did the body invalidate every iterator into this container?
+    pub inval: Lat3,
+    /// Sortedness at exit, relative to the entry environment.
+    pub sorted_out: Sym<Sortedness>,
+    /// Emptiness knowledge at exit.
+    pub maybe_empty_out: Sym<bool>,
+}
+
+impl ContainerEffect {
+    /// The identity effect (function did nothing to the container).
+    pub fn identity(idx: u8) -> ContainerEffect {
+        ContainerEffect {
+            inval: Lat3::No,
+            sorted_out: Sym::Entry(idx),
+            maybe_empty_out: Sym::Entry(idx),
+        }
+    }
+
+    fn join(self, other: ContainerEffect) -> ContainerEffect {
+        ContainerEffect {
+            inval: self.inval.join(other.inval),
+            sorted_out: self.sorted_out.join(other.sorted_out),
+            maybe_empty_out: self.maybe_empty_out.join(other.maybe_empty_out),
+        }
+    }
+}
+
+/// Summary effect on one iterator parameter. Iterators pass by value, so
+/// the only escaping effect is positional: erasing *through* the copy
+/// kills the caller's iterator too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IterEffect {
+    /// Did the body erase the position this iterator denotes?
+    pub pos_erased: Lat3,
+}
+
+impl IterEffect {
+    /// The identity effect.
+    pub fn identity() -> IterEffect {
+        IterEffect {
+            pos_erased: Lat3::No,
+        }
+    }
+
+    fn join(self, other: IterEffect) -> IterEffect {
+        IterEffect {
+            pos_erased: self.pos_erased.join(other.pos_erased),
+        }
+    }
+}
+
+/// Per-parameter summary effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParamEffect {
+    /// Effect on a container parameter.
+    Container(ContainerEffect),
+    /// Effect on an iterator parameter.
+    Iter(IterEffect),
+}
+
+impl ParamEffect {
+    fn join(self, other: ParamEffect) -> ParamEffect {
+        match (self, other) {
+            (ParamEffect::Container(a), ParamEffect::Container(b)) => {
+                ParamEffect::Container(a.join(b))
+            }
+            (ParamEffect::Iter(a), ParamEffect::Iter(b)) => ParamEffect::Iter(a.join(b)),
+            // Bindings disagree between fixpoint iterates — cannot
+            // happen (the context fixes them); keep self.
+            (a, _) => a,
+        }
+    }
+}
+
+/// The abstract effect of one `(function, context)` instance.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Summary {
+    /// Concrete diagnostics attributed to this instance's body
+    /// (including callee checks that resolved here, path-prefixed).
+    /// Emitted once per instance, *not* propagated to callers — which
+    /// keeps summaries O(body), not O(call-tree).
+    pub own_events: Vec<Event>,
+    /// Still-symbolic checks, resolved (or re-deferred) per call site.
+    pub deferred: Vec<Event>,
+    /// One effect per parameter.
+    pub effects: Vec<ParamEffect>,
+}
+
+impl Summary {
+    /// The optimistic starting summary for SCC fixpoints: identity
+    /// effects, no events.
+    pub fn identity(ctx: &CallCtx) -> Summary {
+        Summary {
+            own_events: Vec::new(),
+            deferred: Vec::new(),
+            effects: ctx
+                .0
+                .iter()
+                .enumerate()
+                .map(|(i, b)| match b {
+                    ParamBinding::Container { .. } => {
+                        ParamEffect::Container(ContainerEffect::identity(i as u8))
+                    }
+                    ParamBinding::Iter { .. } => ParamEffect::Iter(IterEffect::identity()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Widening join: pointwise effect join, event-list union (left
+    /// order first). Forces monotone ascent in a finite lattice, so SCC
+    /// fixpoints terminate even when the raw transfer oscillates.
+    pub fn widen(&self, newer: &Summary) -> Summary {
+        let effects = self
+            .effects
+            .iter()
+            .zip(&newer.effects)
+            .map(|(a, b)| a.join(*b))
+            .collect();
+        let union = |a: &Vec<Event>, b: &Vec<Event>| {
+            let mut out = a.clone();
+            for e in b {
+                if !out.contains(e) {
+                    out.push(e.clone());
+                }
+            }
+            out
+        };
+        Summary {
+            own_events: union(&self.own_events, &newer.own_events),
+            deferred: union(&self.deferred, &newer.deferred),
+            effects,
+        }
+    }
+}
+
+/// Replicates the seed checker's iterator-use decision table
+/// (`check_iter_use`) on resolved values, pushing the diagnostics it
+/// would report in the seed's order. Used both for concrete checks
+/// during summary computation and for resolving deferred checks at call
+/// sites — one table, so cached replay and cold analysis cannot drift.
+pub fn iter_check_events(
+    deref: bool,
+    subject: &str,
+    validity: Validity,
+    at_end: AtEnd,
+    out: &mut Vec<Event>,
+) {
+    match validity {
+        Validity::Singular => out.push(Event::Diag {
+            severity: Severity::Error,
+            code: if deref {
+                DiagnosticCode::DerefSingular
+            } else {
+                DiagnosticCode::AdvanceSingular
+            },
+            subject: subject.to_string(),
+            message: if deref {
+                MSG_SINGULAR.to_string()
+            } else {
+                format!("attempt to advance a singular iterator (`{subject}`)")
+            },
+        }),
+        Validity::MaybeSingular => out.push(Event::Diag {
+            severity: Severity::Warning,
+            code: if deref {
+                DiagnosticCode::DerefSingular
+            } else {
+                DiagnosticCode::AdvanceSingular
+            },
+            subject: subject.to_string(),
+            message: if deref {
+                MSG_SINGULAR.to_string()
+            } else {
+                format!("attempt to advance a possibly singular iterator (`{subject}`)")
+            },
+        }),
+        Validity::Valid => {}
+    }
+    if validity != Validity::Singular {
+        match at_end {
+            AtEnd::Yes => out.push(Event::Diag {
+                severity: Severity::Error,
+                code: if deref {
+                    DiagnosticCode::DerefPastEnd
+                } else {
+                    DiagnosticCode::AdvancePastEnd
+                },
+                subject: subject.to_string(),
+                message: if deref {
+                    MSG_PAST_END.to_string()
+                } else {
+                    format!("attempt to advance past the end (`{subject}`)")
+                },
+            }),
+            AtEnd::Maybe if deref => out.push(Event::Diag {
+                severity: Severity::Warning,
+                code: DiagnosticCode::DerefPastEnd,
+                subject: subject.to_string(),
+                message: MSG_PAST_END.to_string(),
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Replicates the seed's algorithm entry handlers (sortedness checks) on
+/// a resolved sortedness value.
+pub fn sort_check_events(
+    alg: AlgorithmName,
+    subject: &str,
+    sorted: Sortedness,
+    out: &mut Vec<Event>,
+) {
+    match alg {
+        AlgorithmName::Find => {
+            if sorted == Sortedness::Sorted {
+                out.push(Event::Diag {
+                    severity: Severity::Suggestion,
+                    code: DiagnosticCode::SortedLinearSearch,
+                    subject: subject.to_string(),
+                    message: MSG_SORTED_LINEAR.to_string(),
+                });
+            }
+        }
+        AlgorithmName::LowerBound | AlgorithmName::BinarySearch => match sorted {
+            Sortedness::Sorted => {}
+            Sortedness::Unsorted => out.push(Event::Diag {
+                severity: Severity::Error,
+                code: DiagnosticCode::RequiresSorted,
+                subject: subject.to_string(),
+                message: format!(
+                    "algorithm `{}` requires the sequence to be sorted, but it is not",
+                    alg.as_str()
+                ),
+            }),
+            Sortedness::Unknown => out.push(Event::Diag {
+                severity: Severity::Warning,
+                code: DiagnosticCode::RequiresSorted,
+                subject: subject.to_string(),
+                message: format!(
+                    "algorithm `{}` requires the sequence to be sorted, but it may not be",
+                    alg.as_str()
+                ),
+            }),
+        },
+        AlgorithmName::Unique => {
+            if sorted != Sortedness::Sorted {
+                out.push(Event::Diag {
+                    severity: Severity::Warning,
+                    code: DiagnosticCode::RequiresSorted,
+                    subject: subject.to_string(),
+                    message: "algorithm `unique` removes only adjacent duplicates; on an \
+                              unsorted sequence this is unlikely to be the intended full \
+                              deduplication"
+                        .to_string(),
+                });
+            }
+        }
+        AlgorithmName::Sort | AlgorithmName::MaxElement => {}
+    }
+}
+
+/// Streaming FNV-1a, the checker's content hash (same constants as the
+/// service cache's request hash).
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// Offset-basis start.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mix one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    /// Mix a 64-bit word in one step. The hash is FNV-1a folded over
+    /// 64-bit symbols rather than bytes: one xor-multiply per word
+    /// instead of eight, which matters when content-hashing 10^5
+    /// function bodies on every incremental request.
+    pub fn write_u64(&mut self, w: u64) {
+        self.0 ^= w;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    /// Mix a byte slice, eight bytes per step (little-endian words,
+    /// zero-padded tail). Callers length-prefix variable-size input, so
+    /// the padding cannot collide across boundaries.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("exact chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = 0u64;
+            for (i, &b) in rem.iter().enumerate() {
+                tail |= (b as u64) << (8 * i);
+            }
+            self.write_u64(tail);
+        }
+    }
+
+    /// Mix a length-prefixed string (prefix prevents concatenation
+    /// collisions between adjacent names).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// [`Fnv`] as a [`std::hash::Hasher`], for the checker's internal maps
+/// (function ids, instance ids, edge sets). SipHash's per-lookup setup
+/// cost is pure overhead on these hot, attacker-free paths.
+#[derive(Default)]
+pub struct FnvHasher(Fnv);
+
+impl std::hash::Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write_bytes(bytes);
+    }
+
+    fn write_u64(&mut self, w: u64) {
+        self.0.write_u64(w);
+    }
+
+    fn write_usize(&mut self, w: usize) {
+        self.0.write_u64(w as u64);
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0.write_u8(b);
+    }
+
+    fn finish(&self) -> u64 {
+        // hashbrown takes bucket indices from the low bits, and FNV's
+        // final multiply leaves those weakly mixed — at 10^5 keys the
+        // clustering is a measurable slowdown. Fold the high bits down
+        // (64-bit finalizer, splitmix-style).
+        let h = self.0.finish();
+        let h = (h ^ (h >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^ (h >> 33)
+    }
+}
+
+/// `HashMap` with [`FnvHasher`] keys.
+pub type FnvMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FnvHasher>>;
+/// `HashSet` with [`FnvHasher`] keys.
+pub type FnvSet<T> = std::collections::HashSet<T, std::hash::BuildHasherDefault<FnvHasher>>;
+
+fn hash_stmt(h: &mut Fnv, s: &Stmt) {
+    match s {
+        Stmt::DeclContainer { name, kind } => {
+            h.write_u8(1);
+            h.write_str(name);
+            h.write_u8(*kind as u8);
+        }
+        Stmt::DeclIter {
+            name,
+            container,
+            pos,
+        } => {
+            h.write_u8(2);
+            h.write_str(name);
+            h.write_str(container);
+            h.write_u8(match pos {
+                PosExpr::Begin => 0,
+                PosExpr::End => 1,
+                PosExpr::SearchResult => 2,
+            });
+        }
+        Stmt::Advance { iter } => {
+            h.write_u8(3);
+            h.write_str(iter);
+        }
+        Stmt::Deref { iter } => {
+            h.write_u8(4);
+            h.write_str(iter);
+        }
+        Stmt::Erase {
+            container,
+            iter,
+            capture,
+        } => {
+            h.write_u8(5);
+            h.write_str(container);
+            h.write_str(iter);
+            h.write_str(capture.as_deref().unwrap_or(""));
+        }
+        Stmt::Insert { container, iter } => {
+            h.write_u8(6);
+            h.write_str(container);
+            h.write_str(iter);
+        }
+        Stmt::PushBack { container } => {
+            h.write_u8(7);
+            h.write_str(container);
+        }
+        Stmt::Clear { container } => {
+            h.write_u8(8);
+            h.write_str(container);
+        }
+        Stmt::Assign { dst, src } => {
+            h.write_u8(9);
+            h.write_str(dst);
+            h.write_str(src);
+        }
+        Stmt::Call {
+            algorithm,
+            container,
+            capture,
+        } => {
+            h.write_u8(10);
+            h.write_u8(*algorithm as u8);
+            h.write_str(container);
+            h.write_str(capture.as_deref().unwrap_or(""));
+        }
+        Stmt::While { cond, body } => {
+            h.write_u8(11);
+            match cond {
+                Cond::IterNotEnd { iter } => {
+                    h.write_u8(1);
+                    h.write_str(iter);
+                }
+                Cond::Unknown => h.write_u8(0),
+            }
+            hash_block(h, body);
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+        } => {
+            h.write_u8(12);
+            hash_block(h, then_branch);
+            hash_block(h, else_branch);
+        }
+        Stmt::Invoke { function, args } => {
+            h.write_u8(13);
+            h.write_str(function);
+            h.write_u64(args.len() as u64);
+            for a in args {
+                h.write_str(a);
+            }
+        }
+    }
+}
+
+fn hash_block(h: &mut Fnv, stmts: &[Stmt]) {
+    h.write_u64(stmts.len() as u64);
+    for s in stmts {
+        hash_stmt(h, s);
+    }
+}
+
+/// Content hash of a function body: parameters and statements, **not**
+/// the function's name. Callee names appearing in `invoke` statements
+/// are part of the body and therefore of the hash — which is exactly
+/// what ties a caller's key to its call graph shape.
+pub fn content_hash(f: &FunctionDef) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(f.params.len() as u64);
+    for p in &f.params {
+        h.write_str(p);
+    }
+    hash_block(&mut h, &f.body);
+    h.finish()
+}
+
+/// Content hash of a bare statement list (the implicit `main`).
+pub fn content_hash_stmts(stmts: &[Stmt]) -> u64 {
+    let mut h = Fnv::new();
+    hash_block(&mut h, stmts);
+    h.finish()
+}
+
+/// Pre-resolved telemetry handles for the summary cache (hot path:
+/// every instance of every request goes through get/insert).
+struct CacheMetrics {
+    hit: &'static gp_telemetry::Counter,
+    miss: &'static gp_telemetry::Counter,
+    evict: &'static gp_telemetry::Counter,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hit: gp_telemetry::counter("checker.summary.hit"),
+        miss: gp_telemetry::counter("checker.summary.miss"),
+        evict: gp_telemetry::counter("checker.summary.evict"),
+    })
+}
+
+struct CacheInner {
+    map: FnvMap<u64, Arc<Summary>>,
+    order: VecDeque<u64>,
+}
+
+/// A bounded summary store keyed by transitive content hash. FIFO
+/// eviction (deterministic, no access-order dependence), safe to share
+/// across threads and requests: a key's value is a pure function of the
+/// key, so concurrent inserts of the same key are idempotent.
+pub struct SummaryCache {
+    inner: Mutex<CacheInner>,
+    cap: usize,
+}
+
+impl SummaryCache {
+    /// An empty cache holding at most `cap` summaries.
+    pub fn new(cap: usize) -> SummaryCache {
+        SummaryCache {
+            inner: Mutex::new(CacheInner {
+                map: FnvMap::default(),
+                order: VecDeque::new(),
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Look up a summary; counts `checker.summary.{hit,miss}`.
+    pub fn get(&self, key: u64) -> Option<Arc<Summary>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let found = inner.map.get(&key).cloned();
+        if found.is_some() {
+            cache_metrics().hit.incr();
+        } else {
+            cache_metrics().miss.incr();
+        }
+        found
+    }
+
+    /// Insert a summary, evicting oldest-inserted entries beyond
+    /// capacity; counts `checker.summary.evict`.
+    pub fn insert(&self, key: u64, summary: Arc<Summary>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.map.insert(key, summary).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.cap {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                    cache_metrics().evict.incr();
+                }
+            }
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide cache behind the service `lint` path: summaries
+/// survive across requests, so re-linting a program with one edited
+/// function re-analyzes only that function and its transitive callers.
+pub fn global_cache() -> &'static SummaryCache {
+    static CACHE: OnceLock<SummaryCache> = OnceLock::new();
+    CACHE.get_or_init(|| SummaryCache::new(1 << 18))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build::*;
+    use crate::ir::ContainerKind as K;
+
+    #[test]
+    fn content_hash_ignores_name_but_not_body_or_params() {
+        let a = func("a", &["c"], vec![push_back("c")]);
+        let b = func("b", &["c"], vec![push_back("c")]);
+        assert_eq!(content_hash(&a), content_hash(&b));
+        let c = func("a", &["c"], vec![clear("c")]);
+        assert_ne!(content_hash(&a), content_hash(&c));
+        let d = func("a", &["d"], vec![push_back("c")]);
+        assert_ne!(content_hash(&a), content_hash(&d));
+    }
+
+    #[test]
+    fn content_hash_sees_invoke_targets_and_nesting() {
+        let a = func("f", &[], vec![invoke("g", &[])]);
+        let b = func("f", &[], vec![invoke("h", &[])]);
+        assert_ne!(content_hash(&a), content_hash(&b));
+        // Nesting structure matters: [while { x }] vs [while {}, x].
+        let nested = func("f", &["it"], vec![while_not_end("it", vec![advance("it")])]);
+        let flat = func(
+            "f",
+            &["it"],
+            vec![while_not_end("it", vec![]), advance("it")],
+        );
+        assert_ne!(content_hash(&nested), content_hash(&flat));
+    }
+
+    #[test]
+    fn ctx_hash_distinguishes_kinds_and_aliasing() {
+        let vec_ctx = CallCtx(vec![ParamBinding::Container { kind: K::Vector }]);
+        let list_ctx = CallCtx(vec![ParamBinding::Container { kind: K::List }]);
+        assert_ne!(vec_ctx.hash64(), list_ctx.hash64());
+        let aliased = CallCtx(vec![
+            ParamBinding::Container { kind: K::List },
+            ParamBinding::Iter { into: Some(0) },
+        ]);
+        let external = CallCtx(vec![
+            ParamBinding::Container { kind: K::List },
+            ParamBinding::Iter { into: None },
+        ]);
+        assert_ne!(aliased.hash64(), external.hash64());
+    }
+
+    #[test]
+    fn cache_fifo_eviction_and_counters() {
+        let cache = SummaryCache::new(2);
+        let s = Arc::new(Summary::default());
+        cache.insert(1, s.clone());
+        cache.insert(2, s.clone());
+        assert!(cache.get(1).is_some());
+        cache.insert(3, s.clone());
+        // FIFO: key 1 (oldest inserted) evicted, not key 2.
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+        // Re-inserting an existing key must not duplicate the order
+        // entry (which would over-evict later).
+        cache.insert(3, s);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn widen_unions_events_and_joins_effects() {
+        let ctx = CallCtx(vec![ParamBinding::Container { kind: K::Vector }]);
+        let mut a = Summary::identity(&ctx);
+        let mut b = Summary::identity(&ctx);
+        a.own_events.push(Event::Diag {
+            severity: Severity::Warning,
+            code: DiagnosticCode::DerefSingular,
+            subject: "it".into(),
+            message: MSG_SINGULAR.into(),
+        });
+        b.effects[0] = ParamEffect::Container(ContainerEffect {
+            inval: Lat3::Must,
+            sorted_out: Sym::Const(Sortedness::Unsorted),
+            maybe_empty_out: Sym::Entry(0),
+        });
+        let w = a.widen(&b);
+        assert_eq!(w.own_events.len(), 1);
+        match w.effects[0] {
+            ParamEffect::Container(e) => {
+                assert_eq!(e.inval, Lat3::May);
+                assert_eq!(e.sorted_out, Sym::EntryJoin(0, Sortedness::Unsorted));
+            }
+            _ => panic!("container effect expected"),
+        }
+        // Widening is idempotent at the fixpoint.
+        assert_eq!(w.widen(&w), w);
+    }
+}

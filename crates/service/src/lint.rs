@@ -5,9 +5,21 @@
 //! interpreter, returning every diagnostic with its severity, stable
 //! category code, subject, and message. A source-level parse error is a
 //! *handler* error (the request was well-formed JSON but not a checkable
-//! program), reported through the error status.
+//! program), reported through the error status; so is an analysis limit
+//! (context-depth or fixpoint cap).
+//!
+//! Analysis runs through the interprocedural engine against the
+//! process-wide [`gp_checker::SummaryCache`], so function summaries are
+//! keyed by *content hash* and survive across requests: two requests
+//! sharing a helper function — or re-submitting an edited program —
+//! re-analyze only what changed. This is a semantic layer above the
+//! service's byte-level response cache: that one only hits on identical
+//! request bodies, this one hits per function body inside *different*
+//! requests. SCCs at equal call-graph height run on the gp-parallel
+//! global pool.
 
-use gp_checker::analyze::{analyze, Severity};
+use gp_checker::analyze::Severity;
+use gp_checker::CheckConfig;
 use gp_core::json::Json;
 
 /// Lint a program against library semantics.
@@ -55,7 +67,12 @@ impl LintRequest {
 pub fn handle(req: &LintRequest) -> Result<Json, String> {
     let program =
         gp_checker::parse::parse(&req.name, &req.program).map_err(|e| format!("parse: {e}"))?;
-    let diags = analyze(&program);
+    let cfg = CheckConfig {
+        parallel: true,
+        ..CheckConfig::default()
+    };
+    let diags =
+        gp_checker::analyze_program_cached(&program, &cfg).map_err(|e| format!("check: {e}"))?;
     let rows: Vec<Json> = diags
         .iter()
         .map(|d| {
@@ -120,6 +137,78 @@ while it != end {
         };
         let err = handle(&req).unwrap_err();
         assert!(err.starts_with("parse:"), "got {err}");
+    }
+
+    /// Two different requests sharing a helper function: the second
+    /// request's summaries come from the process-wide cache, and both
+    /// responses are byte-identical to the cacheless oracle.
+    #[test]
+    fn summary_cache_hits_across_requests_without_changing_answers() {
+        const HELPER: &str = "\
+fn grow(C) {
+    push_back C
+}
+";
+        let prog_a = format!(
+            "{HELPER}container V vector\npush_back V\niter I = begin V\ninvoke grow(V)\nderef I\n"
+        );
+        let prog_b = format!("{HELPER}container W vector\ninvoke grow(W)\nderef Z\n");
+        let hits = gp_telemetry::counter("checker.summary.hit");
+        let before = hits.get();
+        let pay_a = handle(&LintRequest {
+            name: "a".into(),
+            program: prog_a.clone(),
+        })
+        .unwrap();
+        let pay_b = handle(&LintRequest {
+            name: "b".into(),
+            program: prog_b.clone(),
+        })
+        .unwrap();
+        assert!(
+            hits.get() > before,
+            "second request should hit the shared `grow` summary"
+        );
+        // Oracle: same analysis with no cache at all.
+        for (name, src, pay) in [("a", &prog_a, &pay_a), ("b", &prog_b, &pay_b)] {
+            let p = gp_checker::parse::parse(name, src).unwrap();
+            let oracle =
+                gp_checker::analyze_program(&p, &gp_checker::CheckConfig::default()).unwrap();
+            let got = pay.get("diagnostics").and_then(Json::as_arr).unwrap();
+            assert_eq!(got.len(), oracle.len(), "{name}: {pay:?}");
+            for (row, d) in got.iter().zip(&oracle) {
+                assert_eq!(
+                    row.get("subject").and_then(Json::as_str),
+                    Some(d.subject.as_str())
+                );
+                assert_eq!(
+                    row.get("message").and_then(Json::as_str),
+                    Some(d.message.as_str())
+                );
+            }
+        }
+    }
+
+    /// Mutual recursion terminates (widening) and lints cleanly end to
+    /// end — the service must never hang on a recursive program.
+    #[test]
+    fn recursive_programs_lint_through_the_service() {
+        let req = LintRequest {
+            name: "deep".into(),
+            program: "\
+fn f(C) {
+    invoke g(C)
+}
+fn g(C) {
+    invoke f(C)
+}
+container V vector
+invoke f(V)
+"
+            .into(),
+        };
+        let payload = handle(&req).unwrap();
+        assert_eq!(payload.get("count").and_then(Json::as_f64), Some(0.0));
     }
 
     #[test]
